@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! node-limited routing (M sweep), the FP8 promotion interval, pipeline
+//! schedule families, PXN plane count, and EPLB redundancy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsv3_core::collectives::failures::alltoall_with_failed_planes;
+use dsv3_core::collectives::{Cluster, ClusterConfig, FabricKind};
+use dsv3_core::model::eplb::{place, zipf_loads};
+use dsv3_core::model::moe::{route, MoeGateConfig};
+use dsv3_core::numerics::gemm::{gemm_fp8, Fp8GemmConfig};
+use dsv3_core::numerics::Matrix;
+use dsv3_core::parallel::dualpipe::{dualpipe, zb1p};
+use dsv3_core::parallel::schedule::{one_f_one_b, ChunkTimes};
+use std::hint::black_box;
+
+fn ablation_node_limit(c: &mut Criterion) {
+    // How expensive is routing as the node limit loosens?
+    let mut g = c.benchmark_group("ablation_node_limit");
+    let scores: Vec<f32> = Matrix::random(1, 256, 1.0, 3)
+        .data
+        .iter()
+        .map(|v| 1.0 / (1.0 + (-v).exp()))
+        .collect();
+    for m in [1usize, 2, 4, 8] {
+        let cfg = MoeGateConfig { experts: 256, groups: 8, top_groups: m, top_k: 8 };
+        g.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
+            b.iter(|| black_box(route(&scores, None, cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_promotion_interval(c: &mut Criterion) {
+    // DeepGEMM promotes FP22 partials to FP32 every 128 MACs; sweep the
+    // interval (= tile size) to see the accuracy/overhead design point.
+    let mut g = c.benchmark_group("ablation_fp8_chunk");
+    g.sample_size(10);
+    let a = Matrix::random(4, 4096, 1.0, 7);
+    let b = Matrix::random(4096, 4, 1.0, 8);
+    for chunk in [32usize, 128, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |bench, &chunk| {
+            bench.iter(|| {
+                black_box(gemm_fp8(&a, &b, Fp8GemmConfig { chunk, ..Fp8GemmConfig::default() }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_schedules(c: &mut Criterion) {
+    // Print the bubble comparison once, then benchmark the simulators.
+    let t = ChunkTimes { f: 1.0, b: 1.0, w: 0.33 };
+    let (s, m) = (16usize, 120usize);
+    let classic = one_f_one_b(s, m, t);
+    let zb = zb1p(s, m, t);
+    let dp = dualpipe(s, m, t);
+    println!("schedule ablation (PP=16, M=120, f=b=1, w=0.33):");
+    println!("  1F1B:     total {:.1}, bubble {:.1}", classic.total_time, classic.bubble_time);
+    println!("  ZB1P:     total {:.1}, bubble {:.1}", zb.total_time, zb.bubble_time);
+    println!("  DualPipe: total {:.1}, bubble {:.1}", dp.total_time, dp.bubble_time);
+    let mut g = c.benchmark_group("ablation_schedules");
+    g.bench_function("one_f_one_b", |b| b.iter(|| black_box(one_f_one_b(s, m, t))));
+    g.bench_function("zb1p", |b| b.iter(|| black_box(zb1p(s, m, t))));
+    g.bench_function("dualpipe", |b| b.iter(|| black_box(dualpipe(s, m, t))));
+    g.finish();
+}
+
+fn ablation_plane_failures(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig::h800(4, FabricKind::MultiPlane));
+    let mut g = c.benchmark_group("ablation_plane_failures");
+    g.sample_size(10);
+    for k in [0usize, 1, 4] {
+        let failed: Vec<usize> = (0..k).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &failed, |b, failed| {
+            b.iter(|| black_box(alltoall_with_failed_planes(&cluster, 262_144.0, failed)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_eplb(c: &mut Criterion) {
+    let loads = zipf_loads(256, 1.1, 1_000_000.0);
+    println!("EPLB ablation (256 experts, zipf 1.1, 32 GPUs):");
+    for r in [0usize, 16, 32, 64] {
+        let p = place(&loads, 32, r);
+        println!("  +{r:>2} replicas: imbalance {:.3}", p.imbalance());
+    }
+    let mut g = c.benchmark_group("ablation_eplb");
+    for r in [0usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(place(&loads, 32, r)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_node_limit,
+    ablation_promotion_interval,
+    ablation_schedules,
+    ablation_plane_failures,
+    ablation_eplb
+);
+criterion_main!(benches);

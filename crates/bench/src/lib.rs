@@ -1,0 +1,13 @@
+//! Benchmark support for the DeepSeek-V3 reproduction.
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `tables` — regenerates Tables 1–5 (printing each once) and benchmarks
+//!   the runners.
+//! * `figures` — regenerates Figures 5–8.
+//! * `numerics` — FP8 GEMM strategies, quantization and LogFMT codecs.
+//! * `inference` — speed limits, MTP simulation, overlap and the KV cache.
+//! * `ablations` — design-choice sweeps: node limit, FP8 promotion
+//!   interval, schedule families, plane failures, EPLB redundancy.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,154 @@
+//! NCCL-style all-to-all with PXN NVLink forwarding (Figures 5–6).
+//!
+//! Under PXN, a message from GPU `(a, i)` to GPU `(b, q)` is first forwarded
+//! over NVLink to the source node's GPU `(a, q)` — the GPU whose NIC lives
+//! on the destination's plane — and then crosses the network on plane `q`,
+//! landing directly in the destination GPU's memory. Inter-node traffic for
+//! a given destination GPU therefore aggregates into a single per-plane
+//! node-to-node flow, which is why the multi-plane topology matches the
+//! multi-rail one: the flow patterns coincide.
+
+use crate::{Cluster, CollectiveReport};
+
+/// Run an all-to-all where every GPU sends `bytes_per_peer` to every other
+/// GPU. Returns nccl-tests-style bandwidths (`algbw = per-rank buffer /
+/// time`, `busbw = algbw · (n−1)/n`).
+///
+/// ```
+/// use dsv3_collectives::{alltoall::alltoall_pxn, Cluster, ClusterConfig, FabricKind};
+///
+/// let cluster = Cluster::new(ClusterConfig::h800(2, FabricKind::MultiPlane));
+/// let report = alltoall_pxn(&cluster, 1024.0 * 1024.0);
+/// assert!(report.busbw_gbps > 30.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the cluster has fewer than 2 GPUs or `bytes_per_peer < 0`.
+#[must_use]
+pub fn alltoall_pxn(cluster: &Cluster, bytes_per_peer: f64) -> CollectiveReport {
+    let g = cluster.cfg.gpus();
+    assert!(g >= 2, "all-to-all needs at least two GPUs");
+    assert!(bytes_per_peer >= 0.0, "negative message size");
+    let nodes = cluster.cfg.nodes;
+    let locals = cluster.cfg.gpus_per_node;
+    let mut sim = cluster.sim();
+
+    for a in 0..nodes {
+        // Intra-node exchange over NVLink.
+        for i in 0..locals {
+            for j in 0..locals {
+                if i != j {
+                    let (path, lat) = cluster.nvlink_path(cluster.gpu(a, i), cluster.gpu(a, j));
+                    sim.add_flow(path, bytes_per_peer, 0.0, lat);
+                }
+            }
+        }
+        if nodes == 1 {
+            continue;
+        }
+        // PXN source-side forwarding: GPU (a,i)'s traffic for remote GPUs of
+        // local index q funnels over NVLink to (a,q) — aggregated across all
+        // remote nodes.
+        for i in 0..locals {
+            for q in 0..locals {
+                if i != q {
+                    let (path, lat) = cluster.nvlink_path(cluster.gpu(a, i), cluster.gpu(a, q));
+                    sim.add_flow(path, bytes_per_peer * (nodes - 1) as f64, 0.0, lat);
+                }
+            }
+        }
+        // Inter-node flows: plane q carries all of node a's traffic for GPU
+        // (b, q) — `locals` senders worth of bytes.
+        for b in 0..nodes {
+            if a != b {
+                for q in 0..locals {
+                    let (path, lat) = cluster.plane_path(a, b, q);
+                    sim.add_flow(path, bytes_per_peer * locals as f64, 0.0, lat);
+                }
+            }
+        }
+    }
+
+    let report = sim.run();
+    let time_us = report.makespan_us;
+    let per_rank_buffer = bytes_per_peer * g as f64;
+    let algbw = per_rank_buffer / (time_us * 1000.0); // bytes/µs/1000 = GB/s
+    CollectiveReport {
+        time_us,
+        algbw_gbps: algbw,
+        busbw_gbps: algbw * (g as f64 - 1.0) / g as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, FabricKind};
+
+    fn cluster(nodes: usize, fabric: FabricKind) -> Cluster {
+        Cluster::new(ClusterConfig::h800(nodes, fabric))
+    }
+
+    #[test]
+    fn large_messages_approach_nic_bandwidth() {
+        let c = cluster(8, FabricKind::MultiPlane);
+        let r = alltoall_pxn(&c, 4.0 * 1024.0 * 1024.0);
+        assert!(
+            r.busbw_gbps > 0.8 * c.cfg.nic_gbps && r.busbw_gbps < 1.5 * c.cfg.nic_gbps,
+            "busbw {}",
+            r.busbw_gbps
+        );
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let c = cluster(8, FabricKind::MultiPlane);
+        let small = alltoall_pxn(&c, 64.0);
+        let large = alltoall_pxn(&c, 1024.0 * 1024.0);
+        assert!(small.busbw_gbps < 0.1 * large.busbw_gbps);
+        // Time floor is the cross-node path latency.
+        assert!(small.time_us >= c.cfg.net_latency.same_leaf_us());
+    }
+
+    #[test]
+    fn mpft_and_mrft_parity() {
+        // Figure 5/6: with PXN the two fabrics perform identically.
+        for bytes in [4096.0, 262_144.0, 8.0 * 1024.0 * 1024.0] {
+            let mp = alltoall_pxn(&cluster(16, FabricKind::MultiPlane), bytes);
+            let mr = alltoall_pxn(&cluster(16, FabricKind::MultiRail), bytes);
+            let diff = (mp.busbw_gbps - mr.busbw_gbps).abs() / mp.busbw_gbps.max(1e-9);
+            assert!(diff < 0.02, "parity broken at {bytes}: {diff}");
+        }
+    }
+
+    #[test]
+    fn single_node_uses_only_nvlink() {
+        let c = cluster(1, FabricKind::MultiPlane);
+        let r = alltoall_pxn(&c, 1024.0 * 1024.0);
+        // 7 peers × 1 MB over 160 GB/s egress ≈ 43.75 µs + latency.
+        assert!(r.time_us < 60.0, "{}", r.time_us);
+        assert!(r.busbw_gbps > 100.0, "NVLink-only busbw {}", r.busbw_gbps);
+    }
+
+    #[test]
+    fn scaling_16_to_128_gpus_holds_bandwidth() {
+        // Figure 5's x-axis: 32..128 GPUs. Bus bandwidth stays near the NIC
+        // limit as the cluster grows.
+        let mut last = f64::INFINITY;
+        for nodes in [2, 4, 8, 16] {
+            let r = alltoall_pxn(&cluster(nodes, FabricKind::MultiPlane), 1024.0 * 1024.0);
+            assert!(r.busbw_gbps > 30.0, "{nodes} nodes: {}", r.busbw_gbps);
+            last = last.min(r.busbw_gbps);
+        }
+        assert!(last > 30.0);
+    }
+
+    #[test]
+    fn zero_bytes_pure_latency() {
+        let c = cluster(2, FabricKind::MultiPlane);
+        let r = alltoall_pxn(&c, 0.0);
+        assert!(r.time_us > 0.0);
+        assert_eq!(r.algbw_gbps, 0.0);
+    }
+}

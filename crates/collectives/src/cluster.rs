@@ -1,0 +1,286 @@
+//! The H800 cluster model: nodes, GPUs, NVLink and network planes.
+
+use dsv3_netsim::{FlowSim, LatencyParams, Link};
+use serde::{Deserialize, Serialize};
+
+/// Scale-out fabric arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// Multi-plane fat-tree: NIC `i` of every node joins plane `i`
+    /// (DeepSeek-V3's deployment, Figure 3).
+    MultiPlane,
+    /// Single-plane multi-rail fat-tree: rails share one fabric. With
+    /// NCCL's PXN forwarding the flow pattern coincides with MPFT, which is
+    /// exactly the parity Figures 5–6 report.
+    MultiRail,
+}
+
+/// Cluster shape and link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// GPUs (= NICs = planes) per node.
+    pub gpus_per_node: usize,
+    /// Effective per-GPU NVLink bandwidth, GB/s (§4.3: ~160 of 200).
+    pub nvlink_gbps: f64,
+    /// Effective per-NIC bandwidth, GB/s (§4.3: ~40–50 of a 400 Gbps NIC;
+    /// DeepEP saturates ≈46).
+    pub nic_gbps: f64,
+    /// Hosts (nodes) per leaf switch in each plane.
+    pub hosts_per_leaf: usize,
+    /// Spine switches per plane.
+    pub spines: usize,
+    /// Scale-out latency parameters.
+    pub net_latency: LatencyParams,
+    /// NVLink latency parameters.
+    pub nvlink_latency: LatencyParams,
+    /// Fabric arrangement.
+    pub fabric: FabricKind,
+}
+
+impl ClusterConfig {
+    /// The paper's H800 cluster shape at `nodes` nodes.
+    #[must_use]
+    pub fn h800(nodes: usize, fabric: FabricKind) -> Self {
+        Self {
+            nodes,
+            gpus_per_node: 8,
+            nvlink_gbps: 160.0,
+            nic_gbps: 46.0,
+            hosts_per_leaf: 32,
+            spines: 32,
+            net_latency: LatencyParams::INFINIBAND,
+            nvlink_latency: LatencyParams::NVLINK,
+            fabric,
+        }
+    }
+
+    /// Total GPUs.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// A cluster with a materialized link table, ready to issue flows.
+///
+/// Link layout per GPU: an NVLink ingress and egress through the NVSwitch;
+/// per (node, plane): NIC egress and ingress; per (plane, leaf, spine): an
+/// up and a down link.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Configuration.
+    pub cfg: ClusterConfig,
+    links: Vec<Link>,
+    leaves: usize,
+}
+
+impl Cluster {
+    /// Build the link table for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero nodes/GPUs/bandwidth).
+    #[must_use]
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.nodes > 0 && cfg.gpus_per_node > 0, "empty cluster");
+        assert!(cfg.nvlink_gbps > 0.0 && cfg.nic_gbps > 0.0, "non-positive bandwidth");
+        assert!(cfg.hosts_per_leaf > 0 && cfg.spines > 0, "degenerate fabric");
+        let leaves = cfg.nodes.div_ceil(cfg.hosts_per_leaf);
+        let g = cfg.gpus();
+        let np = cfg.nodes * cfg.gpus_per_node; // NICs
+        let ls = cfg.gpus_per_node * leaves * cfg.spines; // per-plane leaf-spine
+        let mut links = Vec::with_capacity(2 * g + 2 * np + 2 * ls);
+        for _ in 0..2 * g {
+            links.push(Link { capacity_gbps: cfg.nvlink_gbps });
+        }
+        for _ in 0..2 * np {
+            links.push(Link { capacity_gbps: cfg.nic_gbps });
+        }
+        for _ in 0..2 * ls {
+            links.push(Link { capacity_gbps: cfg.nic_gbps });
+        }
+        Self { cfg, links, leaves }
+    }
+
+    /// Leaf of a node (within each plane).
+    #[must_use]
+    pub fn leaf_of(&self, node: usize) -> usize {
+        node / self.cfg.hosts_per_leaf
+    }
+
+    /// Number of leaves per plane.
+    #[must_use]
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// NVLink egress link of a GPU (global index).
+    #[must_use]
+    pub fn nv_up(&self, gpu: usize) -> usize {
+        gpu
+    }
+
+    /// NVLink ingress link of a GPU.
+    #[must_use]
+    pub fn nv_down(&self, gpu: usize) -> usize {
+        self.cfg.gpus() + gpu
+    }
+
+    /// NIC egress link of `(node, plane)`.
+    #[must_use]
+    pub fn nic_up(&self, node: usize, plane: usize) -> usize {
+        2 * self.cfg.gpus() + node * self.cfg.gpus_per_node + plane
+    }
+
+    /// NIC ingress link of `(node, plane)`.
+    #[must_use]
+    pub fn nic_down(&self, node: usize, plane: usize) -> usize {
+        2 * self.cfg.gpus() + self.cfg.nodes * self.cfg.gpus_per_node
+            + node * self.cfg.gpus_per_node
+            + plane
+    }
+
+    fn ls_base(&self) -> usize {
+        2 * self.cfg.gpus() + 2 * self.cfg.nodes * self.cfg.gpus_per_node
+    }
+
+    /// Leaf→spine link of `(plane, leaf, spine)`.
+    #[must_use]
+    pub fn leaf_up(&self, plane: usize, leaf: usize, spine: usize) -> usize {
+        self.ls_base() + ((plane * self.leaves + leaf) * self.cfg.spines + spine)
+    }
+
+    /// Spine→leaf link of `(plane, spine, leaf)`.
+    #[must_use]
+    pub fn leaf_down(&self, plane: usize, leaf: usize, spine: usize) -> usize {
+        self.ls_base()
+            + self.cfg.gpus_per_node * self.leaves * self.cfg.spines
+            + ((plane * self.leaves + leaf) * self.cfg.spines + spine)
+    }
+
+    /// Global GPU index of `(node, local)`.
+    #[must_use]
+    pub fn gpu(&self, node: usize, local: usize) -> usize {
+        node * self.cfg.gpus_per_node + local
+    }
+
+    /// Node of a global GPU index.
+    #[must_use]
+    pub fn node_of(&self, gpu: usize) -> usize {
+        gpu / self.cfg.gpus_per_node
+    }
+
+    /// NVLink path between two GPUs of the same node, with its latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPUs are on different nodes or identical.
+    #[must_use]
+    pub fn nvlink_path(&self, src: usize, dst: usize) -> (Vec<usize>, f64) {
+        assert_eq!(self.node_of(src), self.node_of(dst), "NVLink is intra-node only");
+        assert_ne!(src, dst, "no self-path");
+        (vec![self.nv_up(src), self.nv_down(dst)], self.cfg.nvlink_latency.same_leaf_us())
+    }
+
+    /// Inter-node network path on `plane` from node `a` to node `b`, with
+    /// its latency. Spine chosen statically by `(a + b) mod spines` (the
+    /// fabrics here are non-blocking for the symmetric patterns we issue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    #[must_use]
+    pub fn plane_path(&self, a: usize, b: usize, plane: usize) -> (Vec<usize>, f64) {
+        assert_ne!(a, b, "inter-node path requires distinct nodes");
+        let (la, lb) = (self.leaf_of(a), self.leaf_of(b));
+        if la == lb {
+            (
+                vec![self.nic_up(a, plane), self.nic_down(b, plane)],
+                self.cfg.net_latency.same_leaf_us(),
+            )
+        } else {
+            let s = (a + b) % self.cfg.spines;
+            (
+                vec![
+                    self.nic_up(a, plane),
+                    self.leaf_up(plane, la, s),
+                    self.leaf_down(plane, lb, s),
+                    self.nic_down(b, plane),
+                ],
+                self.cfg.net_latency.cross_leaf_us(),
+            )
+        }
+    }
+
+    /// Fresh simulator over this cluster's links.
+    #[must_use]
+    pub fn sim(&self) -> FlowSim {
+        FlowSim::new(self.links.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_ids_disjoint() {
+        let c = Cluster::new(ClusterConfig::h800(4, FabricKind::MultiPlane));
+        let mut ids = Vec::new();
+        for g in 0..c.cfg.gpus() {
+            ids.push(c.nv_up(g));
+            ids.push(c.nv_down(g));
+        }
+        for n in 0..4 {
+            for p in 0..8 {
+                ids.push(c.nic_up(n, p));
+                ids.push(c.nic_down(n, p));
+            }
+        }
+        for p in 0..8 {
+            for l in 0..c.leaves() {
+                for s in 0..c.cfg.spines {
+                    ids.push(c.leaf_up(p, l, s));
+                    ids.push(c.leaf_down(p, l, s));
+                }
+            }
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "link ids must not collide");
+        assert_eq!(*ids.last().unwrap() + 1, c.sim().links(), "ids must cover the table");
+    }
+
+    #[test]
+    fn paths_and_latencies() {
+        let c = Cluster::new(ClusterConfig::h800(64, FabricKind::MultiPlane));
+        let (p, l) = c.nvlink_path(c.gpu(0, 0), c.gpu(0, 3));
+        assert_eq!(p.len(), 2);
+        assert!((l - 3.33).abs() < 1e-9);
+        // Same leaf (nodes 0 and 1 under leaf 0).
+        let (p, l) = c.plane_path(0, 1, 2);
+        assert_eq!(p.len(), 2);
+        assert!((l - 2.8).abs() < 1e-9);
+        // Cross leaf (nodes 0 and 40).
+        let (p, l) = c.plane_path(0, 40, 2);
+        assert_eq!(p.len(), 4);
+        assert!((l - 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node")]
+    fn nvlink_cross_node_panics() {
+        let c = Cluster::new(ClusterConfig::h800(2, FabricKind::MultiPlane));
+        let _ = c.nvlink_path(0, 8);
+    }
+
+    #[test]
+    fn gpu_indexing_roundtrip() {
+        let c = Cluster::new(ClusterConfig::h800(3, FabricKind::MultiPlane));
+        assert_eq!(c.gpu(2, 5), 21);
+        assert_eq!(c.node_of(21), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Failure injection: the robustness story of §5.1.1 and §6.1.
+//!
+//! The multi-plane fabric's planes are independent: a failed plane (NIC
+//! port, leaf, or cable) removes 1/P of the scale-out bandwidth while the
+//! remaining planes carry the rerouted traffic over NVLink forwarding —
+//! degradation, not disconnection. A single-NIC-per-GPU design has no such
+//! fallback: its NIC failure severs the GPU from the fabric.
+
+use crate::{Cluster, CollectiveReport};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running an all-to-all with failed planes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedReport {
+    /// Healthy-fabric result.
+    pub healthy: CollectiveReport,
+    /// Result with the failed planes removed (traffic rerouted).
+    pub degraded: CollectiveReport,
+    /// Surviving fraction of bus bandwidth.
+    pub bandwidth_retention: f64,
+}
+
+/// Run a PXN all-to-all with `failed_planes` out of service: flows that
+/// would ride a failed plane are spread evenly across the survivors (the
+/// NVLink forwarding step retargets a healthy NIC).
+///
+/// # Panics
+///
+/// Panics if every plane failed, a plane id is out of range, or the cluster
+/// has a single node (no scale-out traffic to reroute).
+#[must_use]
+pub fn alltoall_with_failed_planes(
+    cluster: &Cluster,
+    bytes_per_peer: f64,
+    failed_planes: &[usize],
+) -> DegradedReport {
+    let locals = cluster.cfg.gpus_per_node;
+    let nodes = cluster.cfg.nodes;
+    assert!(nodes > 1, "failures only matter across nodes");
+    for &p in failed_planes {
+        assert!(p < locals, "plane {p} out of range");
+    }
+    let healthy = crate::alltoall::alltoall_pxn(cluster, bytes_per_peer);
+    let surviving: Vec<usize> = (0..locals).filter(|p| !failed_planes.contains(p)).collect();
+    assert!(!surviving.is_empty(), "all planes failed: fabric disconnected");
+
+    let mut sim = cluster.sim();
+    for a in 0..nodes {
+        for i in 0..locals {
+            for j in 0..locals {
+                if i != j {
+                    let (path, lat) = cluster.nvlink_path(cluster.gpu(a, i), cluster.gpu(a, j));
+                    // Intra-node exchange + PXN forwarding (slightly higher
+                    // than healthy: rerouted traffic adds NVLink hops).
+                    sim.add_flow(path, bytes_per_peer * nodes as f64, 0.0, lat);
+                }
+            }
+        }
+        for b in 0..nodes {
+            if a != b {
+                for q in 0..locals {
+                    // Plane q's node-pair flow, retargeted if q failed.
+                    let bytes = bytes_per_peer * locals as f64;
+                    if failed_planes.contains(&q) {
+                        for &s in &surviving {
+                            let (path, lat) = cluster.plane_path(a, b, s);
+                            sim.add_flow(path, bytes / surviving.len() as f64, 0.0, lat);
+                        }
+                    } else {
+                        let (path, lat) = cluster.plane_path(a, b, q);
+                        sim.add_flow(path, bytes, 0.0, lat);
+                    }
+                }
+            }
+        }
+    }
+    let r = sim.run();
+    let g = cluster.cfg.gpus();
+    let per_rank_buffer = bytes_per_peer * g as f64;
+    let algbw = per_rank_buffer / (r.makespan_us * 1000.0);
+    let degraded = CollectiveReport {
+        time_us: r.makespan_us,
+        algbw_gbps: algbw,
+        busbw_gbps: algbw * (g as f64 - 1.0) / g as f64,
+    };
+    DegradedReport {
+        healthy,
+        degraded,
+        bandwidth_retention: degraded.busbw_gbps / healthy.busbw_gbps,
+    }
+}
+
+/// Expected bandwidth retention when `failed` of `planes` planes are down
+/// and the NIC is the bottleneck: the survivors carry everything.
+#[must_use]
+pub fn expected_retention(planes: usize, failed: usize) -> f64 {
+    assert!(failed < planes, "must keep at least one plane");
+    (planes - failed) as f64 / planes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, FabricKind};
+
+    fn cluster(nodes: usize) -> Cluster {
+        Cluster::new(ClusterConfig::h800(nodes, FabricKind::MultiPlane))
+    }
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    #[test]
+    fn one_failed_plane_degrades_to_seven_eighths() {
+        let c = cluster(4);
+        let r = alltoall_with_failed_planes(&c, MB, &[3]);
+        let expect = expected_retention(8, 1);
+        assert!((r.bandwidth_retention - expect).abs() < 0.05, "{}", r.bandwidth_retention);
+        assert!(r.degraded.busbw_gbps > 0.0, "still connected");
+    }
+
+    #[test]
+    fn retention_scales_with_failures() {
+        let c = cluster(4);
+        let one = alltoall_with_failed_planes(&c, MB, &[0]);
+        let half = alltoall_with_failed_planes(&c, MB, &[0, 1, 2, 3]);
+        assert!(one.bandwidth_retention > half.bandwidth_retention);
+        assert!((half.bandwidth_retention - 0.5).abs() < 0.05, "{}", half.bandwidth_retention);
+    }
+
+    #[test]
+    fn no_failures_is_identity() {
+        let c = cluster(2);
+        let r = alltoall_with_failed_planes(&c, MB, &[]);
+        assert!((r.bandwidth_retention - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "all planes failed")]
+    fn total_failure_panics() {
+        let c = cluster(2);
+        let _ = alltoall_with_failed_planes(&c, MB, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn seven_failures_still_connected() {
+        // The extreme case: one surviving plane carries everything — slow
+        // but alive, which is the fault-isolation claim.
+        let c = cluster(2);
+        let r = alltoall_with_failed_planes(&c, MB, &[0, 1, 2, 3, 4, 5, 6]);
+        assert!(r.degraded.busbw_gbps > 0.0);
+        assert!((r.bandwidth_retention - 0.125).abs() < 0.05, "{}", r.bandwidth_retention);
+    }
+}

@@ -1,0 +1,164 @@
+//! In-network computation for EP (§6.5) and the SM-offload argument (§4.4).
+//!
+//! Dispatch is a small multicast: with switch-level packet replication a
+//! source NIC injects each token once per *plane* instead of once per
+//! destination node, shrinking egress traffic by the node fan-out. Combine
+//! is a small reduction: in-network aggregation delivers one reduced result
+//! instead of `M` partial ones, shrinking ingress. This module accounts for
+//! those per-link load changes, and models the §4.4 observation that today
+//! the forwarding/reduce work instead costs up to 20 of the H800's 132 SMs.
+
+use crate::deepep::EpTraffic;
+use crate::Cluster;
+use serde::{Deserialize, Serialize};
+
+/// Per-node link loads of one EP round (bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpLinkLoads {
+    /// NIC egress bytes per node.
+    pub egress: Vec<f64>,
+    /// NIC ingress bytes per node.
+    pub ingress: Vec<f64>,
+}
+
+impl EpLinkLoads {
+    /// The byte count of the most loaded NIC direction (the flow-level
+    /// bottleneck for bandwidth-bound rounds).
+    #[must_use]
+    pub fn bottleneck_bytes(&self) -> f64 {
+        self.egress
+            .iter()
+            .chain(self.ingress.iter())
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Baseline (endpoint-replicated) dispatch loads: every remote copy leaves
+/// the source and enters the destination.
+#[must_use]
+pub fn dispatch_loads(cluster: &Cluster, t: &EpTraffic, bytes_per_copy: f64) -> EpLinkLoads {
+    let n = cluster.cfg.nodes;
+    let mut egress = vec![0f64; n];
+    let mut ingress = vec![0f64; n];
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                let bytes = t.ib_copies[a][b] as f64 * bytes_per_copy;
+                egress[a] += bytes;
+                ingress[b] += bytes;
+            }
+        }
+    }
+    EpLinkLoads { egress, ingress }
+}
+
+/// Dispatch with in-network multicast: the source injects one copy per
+/// token toward the fabric (egress = distinct tokens with ≥1 remote
+/// destination); switches replicate, so ingress is unchanged.
+#[must_use]
+pub fn dispatch_loads_multicast(
+    cluster: &Cluster,
+    t: &EpTraffic,
+    bytes_per_copy: f64,
+    mean_remote_nodes: f64,
+) -> EpLinkLoads {
+    assert!(mean_remote_nodes >= 1.0, "multicast needs a fan-out");
+    let base = dispatch_loads(cluster, t, bytes_per_copy);
+    EpLinkLoads {
+        egress: base.egress.iter().map(|e| e / mean_remote_nodes).collect(),
+        ingress: base.ingress,
+    }
+}
+
+/// Combine with in-network reduction: partial results are aggregated in the
+/// fabric, so the home node's ingress shrinks by the fan-in while expert
+/// egress is unchanged.
+#[must_use]
+pub fn combine_loads_reduction(
+    cluster: &Cluster,
+    t: &EpTraffic,
+    bytes_per_copy: f64,
+    mean_remote_nodes: f64,
+) -> EpLinkLoads {
+    assert!(mean_remote_nodes >= 1.0, "reduction needs a fan-in");
+    // Combine reverses dispatch: expert nodes send partials home.
+    let d = dispatch_loads(cluster, t, bytes_per_copy);
+    EpLinkLoads {
+        egress: d.ingress, // experts' sends
+        ingress: d.egress.iter().map(|e| e / mean_remote_nodes).collect(),
+    }
+}
+
+/// §4.4: fraction of compute recovered by offloading communication from
+/// SMs to a dedicated co-processor (H800: up to 20 of 132 SMs are spent on
+/// EP communication during training).
+#[must_use]
+pub fn sm_offload_speedup(total_sms: usize, comm_sms: usize) -> f64 {
+    assert!(comm_sms < total_sms, "must keep compute SMs");
+    total_sms as f64 / (total_sms - comm_sms) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deepep::{generate_traffic, EpConfig};
+    use crate::{ClusterConfig, FabricKind};
+
+    fn setup() -> (Cluster, EpTraffic) {
+        let c = Cluster::new(ClusterConfig::h800(8, FabricKind::MultiPlane));
+        let cfg = EpConfig { tokens_per_gpu: 128, ..EpConfig::deepseek_v3() };
+        let t = generate_traffic(&c, &cfg);
+        (c, t)
+    }
+
+    #[test]
+    fn multicast_cuts_egress_only() {
+        let (c, t) = setup();
+        let base = dispatch_loads(&c, &t, 7168.0);
+        let mc = dispatch_loads_multicast(&c, &t, 7168.0, 3.5);
+        for (b, m) in base.egress.iter().zip(&mc.egress) {
+            assert!((m - b / 3.5).abs() < 1e-6);
+        }
+        assert_eq!(base.ingress, mc.ingress);
+    }
+
+    #[test]
+    fn symmetric_workload_bottleneck_stays_at_ingress() {
+        // §6.5's honest caveat in our accounting: for a uniform all-to-all
+        // the ingress equals the egress, so multicast alone moves the
+        // bottleneck to ingress rather than shrinking it…
+        let (c, t) = setup();
+        let base = dispatch_loads(&c, &t, 7168.0);
+        let mc = dispatch_loads_multicast(&c, &t, 7168.0, 3.5);
+        assert!(mc.bottleneck_bytes() >= base.bottleneck_bytes() * 0.95);
+        // …but combine-side reduction attacks the other direction, and the
+        // two together halve nothing less than each side's own load.
+        let red = combine_loads_reduction(&c, &t, 14336.0, 3.5);
+        let combine_base_ingress: f64 = base.egress.iter().copied().fold(0.0, f64::max) * 2.0;
+        assert!(red.ingress.iter().copied().fold(0.0, f64::max) < combine_base_ingress / 3.0);
+    }
+
+    #[test]
+    fn loads_are_conserved() {
+        let (c, t) = setup();
+        let d = dispatch_loads(&c, &t, 1.0);
+        let total_out: f64 = d.egress.iter().sum();
+        let total_in: f64 = d.ingress.iter().sum();
+        assert!((total_out - total_in).abs() < 1e-6, "bytes conserve");
+    }
+
+    #[test]
+    fn sm_offload_paper_numbers() {
+        // 20 of 132 SMs freed → ~18% more compute throughput.
+        let s = sm_offload_speedup(132, 20);
+        assert!((s - 1.1786).abs() < 0.001, "{s}");
+        assert!(sm_offload_speedup(132, 0) == 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep compute")]
+    fn all_sms_for_comm_panics() {
+        let _ = sm_offload_speedup(10, 10);
+    }
+}

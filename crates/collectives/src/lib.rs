@@ -1,0 +1,35 @@
+//! Collective communication over the flow-level network simulator.
+//!
+//! Reproduces the paper's communication experiments:
+//!
+//! * [`cluster`] — the H800 cluster model: nodes of 8 GPUs joined by
+//!   NVSwitch (§4.1's 160 GB/s effective NVLink) with one 400 Gbps NIC per
+//!   GPU, each NIC on its own network plane (Figure 3).
+//! * [`alltoall`] — NCCL-style all-to-all with PXN NVLink forwarding
+//!   (Figures 5 and 6: MPFT vs MRFT bandwidth and latency parity).
+//! * [`ring`] — ring AllGather / ReduceScatter on a leaf-spine fabric under
+//!   ECMP / adaptive / static routing (Figure 8).
+//! * [`deepep`] — EP dispatch & combine with node-limited routing and
+//!   NVLink deduplication (Figure 7 and the §4.3 traffic analysis).
+
+pub mod alltoall;
+pub mod cluster;
+pub mod deepep;
+pub mod failures;
+pub mod innetwork;
+pub mod ring;
+
+pub use cluster::{Cluster, ClusterConfig, FabricKind};
+
+use serde::{Deserialize, Serialize};
+
+/// Timing and bandwidth outcome of one collective operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveReport {
+    /// Completion time of the slowest participant (µs).
+    pub time_us: f64,
+    /// Algorithm bandwidth: bytes moved per rank / time (GB/s).
+    pub algbw_gbps: f64,
+    /// Bus bandwidth (nccl-tests convention), comparable across algorithms.
+    pub busbw_gbps: f64,
+}

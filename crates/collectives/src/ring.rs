@@ -1,0 +1,231 @@
+//! Ring AllGather / ReduceScatter on a leaf-spine fabric under different
+//! routing policies (Figure 8).
+//!
+//! Each of `groups` communicator groups of `size` ranks runs a ring
+//! collective; all groups run concurrently (the mixed-workload situation of
+//! §5.2.2). A ring step moves `total/size` bytes from every rank to its
+//! successor; ECMP can hash several of those flows onto one uplink while
+//! adaptive routing spreads them.
+
+use crate::CollectiveReport;
+use dsv3_netsim::{FlowSim, LatencyParams, Link};
+use dsv3_topology::fattree::LeafSpine;
+use dsv3_topology::routing::{assign_spines, FlowSpec, RoutePolicy};
+use serde::{Deserialize, Serialize};
+
+/// How communicator groups map onto hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Rank `j` of group `g` on host `g·size + j` (groups packed under
+    /// leaves; ring edges mostly stay intra-leaf).
+    Consecutive,
+    /// Rank `j` of group `g` on host `j·groups + g` (groups interleaved;
+    /// every ring edge crosses leaves — the congestion-prone layout).
+    Strided,
+}
+
+/// A leaf-spine network instance for ring collectives.
+#[derive(Debug, Clone)]
+pub struct RingNet {
+    /// Switch fabric shape.
+    pub fabric: LeafSpine,
+    /// Per-host NIC bandwidth (GB/s).
+    pub nic_gbps: f64,
+    /// Per-hop latency parameters (RoCE for Figure 8).
+    pub latency: LatencyParams,
+}
+
+impl RingNet {
+    /// A RoCE fabric of `leaves × hosts_per_leaf` hosts.
+    #[must_use]
+    pub fn roce(leaves: usize, hosts_per_leaf: usize, spines: usize) -> Self {
+        Self {
+            fabric: LeafSpine { leaves, spines, hosts_per_leaf },
+            nic_gbps: 46.0,
+            latency: LatencyParams::ROCE,
+        }
+    }
+
+    fn hosts(&self) -> usize {
+        self.fabric.endpoints()
+    }
+
+    // Link table: host up, host down, leaf up (leaf×spine), spine down.
+    fn host_up(&self, h: usize) -> usize {
+        h
+    }
+    fn host_down(&self, h: usize) -> usize {
+        self.hosts() + h
+    }
+    fn leaf_up(&self, leaf: usize, spine: usize) -> usize {
+        2 * self.hosts() + leaf * self.fabric.spines + spine
+    }
+    fn leaf_down(&self, leaf: usize, spine: usize) -> usize {
+        2 * self.hosts() + self.fabric.leaves * self.fabric.spines + leaf * self.fabric.spines + spine
+    }
+
+    fn links(&self) -> Vec<Link> {
+        let n = 2 * self.hosts() + 2 * self.fabric.leaves * self.fabric.spines;
+        vec![Link { capacity_gbps: self.nic_gbps }; n]
+    }
+
+    /// Time (µs) for one ring step where every listed flow moves `bytes`.
+    fn step_time(&self, flows: &[FlowSpec], spines: &[Option<usize>], bytes: f64) -> f64 {
+        let mut sim = FlowSim::new(self.links());
+        for (f, s) in flows.iter().zip(spines) {
+            let (path, lat) = match s {
+                None => (
+                    vec![self.host_up(f.src), self.host_down(f.dst)],
+                    self.latency.same_leaf_us(),
+                ),
+                Some(s) => (
+                    vec![
+                        self.host_up(f.src),
+                        self.leaf_up(self.fabric.leaf_of(f.src), *s),
+                        self.leaf_down(self.fabric.leaf_of(f.dst), *s),
+                        self.host_down(f.dst),
+                    ],
+                    self.latency.cross_leaf_us(),
+                ),
+            };
+            sim.add_flow(path, bytes, 0.0, lat);
+        }
+        sim.run().makespan_us
+    }
+}
+
+/// Host of rank `j` in group `g`.
+#[must_use]
+pub fn host_of(placement: Placement, group: usize, rank: usize, size: usize, groups: usize) -> usize {
+    match placement {
+        Placement::Consecutive => group * size + rank,
+        Placement::Strided => rank * groups + group,
+    }
+}
+
+/// Ring AllGather of `total_bytes` per rank-result across `groups`
+/// concurrent groups of `size` ranks each.
+///
+/// # Panics
+///
+/// Panics if the groups do not fit the fabric, or `size < 2`.
+#[must_use]
+pub fn allgather(
+    net: &RingNet,
+    size: usize,
+    groups: usize,
+    total_bytes: f64,
+    placement: Placement,
+    policy: RoutePolicy,
+) -> CollectiveReport {
+    assert!(size >= 2, "ring needs at least 2 ranks");
+    assert!(size * groups <= net.hosts(), "groups exceed fabric capacity");
+    // Ring edges: rank j -> j+1 within each group (fixed across all steps,
+    // so the spine assignment — one NCCL connection per edge — is fixed too).
+    let flows: Vec<FlowSpec> = (0..groups)
+        .flat_map(|g| {
+            (0..size).map(move |j| FlowSpec {
+                src: host_of(placement, g, j, size, groups),
+                dst: host_of(placement, g, (j + 1) % size, size, groups),
+            })
+        })
+        .collect();
+    let spines = assign_spines(&net.fabric, &flows, policy);
+    let chunk = total_bytes / size as f64;
+    let step = net.step_time(&flows, &spines, chunk);
+    let time_us = step * (size as f64 - 1.0);
+    let algbw = total_bytes / (time_us * 1000.0);
+    CollectiveReport {
+        time_us,
+        algbw_gbps: algbw,
+        busbw_gbps: algbw * (size as f64 - 1.0) / size as f64,
+    }
+}
+
+/// Ring ReduceScatter: identical traffic pattern to [`allgather`] (the
+/// reduction itself is free in this model).
+#[must_use]
+pub fn reduce_scatter(
+    net: &RingNet,
+    size: usize,
+    groups: usize,
+    total_bytes: f64,
+    placement: Placement,
+    policy: RoutePolicy,
+) -> CollectiveReport {
+    allgather(net, size, groups, total_bytes, placement, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> RingNet {
+        RingNet::roce(8, 8, 8)
+    }
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    #[test]
+    fn single_group_full_bandwidth() {
+        let n = net();
+        let r = allgather(&n, 8, 1, 64.0 * MB, Placement::Consecutive, RoutePolicy::Adaptive);
+        // One ring inside one leaf: each step is a clean shift permutation.
+        assert!(r.busbw_gbps > 0.85 * n.nic_gbps, "busbw {}", r.busbw_gbps);
+    }
+
+    #[test]
+    fn figure8_routing_ordering() {
+        // Strided groups force every ring edge across leaves; ECMP hash
+        // collisions then halve (or worse) the bandwidth while adaptive
+        // routing stays near line rate.
+        let n = net();
+        let run = |policy| allgather(&n, 8, 8, 64.0 * MB, Placement::Strided, policy).busbw_gbps;
+        let ecmp = run(RoutePolicy::Ecmp { seed: 1 });
+        let adaptive = run(RoutePolicy::Adaptive);
+        let stat = run(RoutePolicy::StaticBySource);
+        assert!(adaptive > 1.3 * ecmp, "adaptive {adaptive} vs ecmp {ecmp}");
+        assert!(stat >= ecmp, "static {stat} vs ecmp {ecmp}");
+        assert!(adaptive > 0.8 * n.nic_gbps, "adaptive near line rate: {adaptive}");
+    }
+
+    #[test]
+    fn reduce_scatter_matches_allgather() {
+        let n = net();
+        let a = allgather(&n, 4, 4, MB, Placement::Strided, RoutePolicy::Adaptive);
+        let r = reduce_scatter(&n, 4, 4, MB, Placement::Strided, RoutePolicy::Adaptive);
+        assert_eq!(a, r);
+    }
+
+    #[test]
+    fn ecmp_varies_with_seed() {
+        let n = net();
+        let bws: Vec<f64> = (0..5)
+            .map(|s| {
+                allgather(&n, 8, 8, 64.0 * MB, Placement::Strided, RoutePolicy::Ecmp { seed: s })
+                    .busbw_gbps
+            })
+            .collect();
+        let min = bws.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = bws.iter().copied().fold(0.0, f64::max);
+        assert!(max > min, "hash luck must vary: {bws:?}");
+    }
+
+    #[test]
+    fn consecutive_placement_mostly_avoids_spines() {
+        let n = net();
+        // Groups aligned with leaves: ECMP ≈ adaptive because almost no flow
+        // crosses a spine.
+        let e = allgather(&n, 8, 8, 64.0 * MB, Placement::Consecutive, RoutePolicy::Ecmp { seed: 3 });
+        let a = allgather(&n, 8, 8, 64.0 * MB, Placement::Consecutive, RoutePolicy::Adaptive);
+        let diff = (e.busbw_gbps - a.busbw_gbps).abs() / a.busbw_gbps;
+        assert!(diff < 0.05, "{} vs {}", e.busbw_gbps, a.busbw_gbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversubscribed_panics() {
+        let n = net();
+        let _ = allgather(&n, 16, 8, MB, Placement::Consecutive, RoutePolicy::Adaptive);
+    }
+}

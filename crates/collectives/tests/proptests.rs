@@ -1,0 +1,53 @@
+//! Property-based tests for the collectives layer.
+
+use dsv3_collectives::alltoall::alltoall_pxn;
+use dsv3_collectives::deepep::{generate_traffic, EpConfig};
+use dsv3_collectives::{Cluster, ClusterConfig, FabricKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All-to-all time scales linearly with message size once above the
+    /// latency floor, and busbw is monotone in message size.
+    #[test]
+    fn alltoall_scaling(nodes in 1usize..5, kb in 64usize..512) {
+        let c = Cluster::new(ClusterConfig::h800(nodes, FabricKind::MultiPlane));
+        let bytes = (kb * 1024) as f64;
+        let small = alltoall_pxn(&c, bytes);
+        let large = alltoall_pxn(&c, bytes * 4.0);
+        prop_assert!(large.time_us > small.time_us);
+        prop_assert!(large.busbw_gbps >= small.busbw_gbps * 0.99);
+        // 4× the bytes takes at most 4× the time (latency amortizes).
+        prop_assert!(large.time_us <= small.time_us * 4.0 + 1e-6);
+    }
+
+    /// MPFT and MRFT produce identical flow patterns under PXN for any
+    /// cluster size and message size.
+    #[test]
+    fn fabric_parity(nodes in 1usize..6, kb in 1usize..256) {
+        let bytes = (kb * 1024) as f64;
+        let mp = alltoall_pxn(&Cluster::new(ClusterConfig::h800(nodes, FabricKind::MultiPlane)), bytes);
+        let mr = alltoall_pxn(&Cluster::new(ClusterConfig::h800(nodes, FabricKind::MultiRail)), bytes);
+        prop_assert!((mp.time_us - mr.time_us).abs() < 1e-6 * mp.time_us.max(1.0));
+    }
+
+    /// EP traffic generation conserves assignments and respects the node
+    /// limit for every shape.
+    #[test]
+    fn ep_traffic_conservation(nodes in 2usize..6, tokens in 8usize..64, seed in 0u64..100) {
+        let c = Cluster::new(ClusterConfig::h800(nodes, FabricKind::MultiPlane));
+        let cfg = EpConfig { tokens_per_gpu: tokens, seed, ..EpConfig::deepseek_v3() };
+        let t = generate_traffic(&c, &cfg);
+        let total_tokens = (c.cfg.gpus() * tokens) as u64;
+        prop_assert_eq!(t.assignments, total_tokens * cfg.top_k as u64);
+        prop_assert!(t.mean_nodes_touched <= cfg.max_nodes.min(nodes) as f64 + 1e-9);
+        // No self-traffic on IB.
+        for (a, row) in t.ib_copies.iter().enumerate() {
+            prop_assert_eq!(row[a], 0);
+        }
+        // IB copies per token can never exceed the node limit.
+        let total_ib: u64 = t.ib_copies.iter().flatten().sum();
+        prop_assert!(total_ib <= total_tokens * cfg.max_nodes as u64);
+    }
+}

@@ -1,0 +1,41 @@
+//! One runner per table/figure of the paper plus the in-text analyses.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — KV cache per token |
+//! | [`table2`] | Table 2 — training GFLOPs per token |
+//! | [`table3`] | Table 3 — network topology cost comparison |
+//! | [`table4`] | Table 4 — MPFT vs MRFT training metrics |
+//! | [`table5`] | Table 5 — 64B end-to-end latency |
+//! | [`fig5`] | Figure 5 — all-to-all bandwidth, 32–128 GPUs |
+//! | [`fig6`] | Figure 6 — all-to-all latency vs message size |
+//! | [`fig7`] | Figure 7 — DeepEP dispatch/combine throughput |
+//! | [`fig8`] | Figure 8 — AllGather/ReduceScatter vs routing policy |
+//! | [`speed_limits`] | §2.3.2 — EP inference speed limits |
+//! | [`mtp`] | §2.3.3 — multi-token-prediction speedup |
+//! | [`fp8_gemm`] | §3.1 — FP8 accumulation / quantization error |
+//! | [`logfmt`] | §3.2 — LogFMT vs FP8/BF16 quality |
+//! | [`fp8_training`] | §2.4 — FP8 vs BF16 training accuracy |
+//! | [`node_limited`] | §4.3 — node-limited routing IB traffic |
+//! | [`local_deploy`] | §2.2.2 — local deployment TPS |
+//! | [`robustness`] | §5.1.1/§6.1 — plane failures & SDC detection |
+//! | [`future_hardware`] | §4.4/§4.5/§6.4/§6.5 — recommendation payoffs |
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fp8_gemm;
+pub mod future_hardware;
+pub mod fp8_training;
+pub mod local_deploy;
+pub mod logfmt;
+pub mod mtp;
+pub mod node_limited;
+pub mod robustness;
+pub mod speed_limits;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

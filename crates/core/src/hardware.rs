@@ -1,0 +1,100 @@
+//! Hardware profiles used across the experiments (§4.1 and §2.3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// An accelerator + interconnect profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Name.
+    pub name: String,
+    /// Dense BF16 peak, TFLOPS.
+    pub bf16_tflops: f64,
+    /// Dense FP8 peak, TFLOPS.
+    pub fp8_tflops: f64,
+    /// HBM capacity, GB.
+    pub hbm_gb: f64,
+    /// HBM bandwidth, GB/s.
+    pub hbm_gbps: f64,
+    /// Scale-up (NVLink) unidirectional bandwidth, GB/s.
+    pub scale_up_gbps: f64,
+    /// Effective scale-up bandwidth achievable, GB/s.
+    pub scale_up_effective_gbps: f64,
+    /// Scale-out per-NIC bandwidth, GB/s.
+    pub scale_out_gbps: f64,
+    /// Effective scale-out bandwidth, GB/s.
+    pub scale_out_effective_gbps: f64,
+}
+
+impl HardwareProfile {
+    /// NVIDIA H800 SXM as deployed for DeepSeek-V3 (§4.1): Hopper compute,
+    /// NVLink cut to 400 GB/s (200 per direction), 8 × 400 Gbps CX7 NICs.
+    #[must_use]
+    pub fn h800() -> Self {
+        Self {
+            name: "H800".into(),
+            bf16_tflops: 989.5,
+            fp8_tflops: 1979.0,
+            hbm_gb: 80.0,
+            hbm_gbps: 3350.0,
+            scale_up_gbps: 200.0,
+            scale_up_effective_gbps: 160.0,
+            scale_out_gbps: 50.0,
+            scale_out_effective_gbps: 40.0,
+        }
+    }
+
+    /// NVIDIA H100 SXM (the unrestricted sibling).
+    #[must_use]
+    pub fn h100() -> Self {
+        Self {
+            name: "H100".into(),
+            scale_up_gbps: 450.0,
+            scale_up_effective_gbps: 360.0,
+            ..Self::h800()
+        }
+    }
+
+    /// GB200 NVL72-class scale-up domain (§2.3.2's 900 GB/s example).
+    #[must_use]
+    pub fn gb200_nvl72() -> Self {
+        Self {
+            name: "GB200 NVL72".into(),
+            bf16_tflops: 2500.0,
+            fp8_tflops: 5000.0,
+            hbm_gb: 192.0,
+            hbm_gbps: 8000.0,
+            scale_up_gbps: 900.0,
+            scale_up_effective_gbps: 900.0,
+            scale_out_gbps: 50.0,
+            scale_out_effective_gbps: 40.0,
+        }
+    }
+
+    /// Scale-up to scale-out bandwidth disparity (§4.3 reports ≈4:1 for
+    /// H800).
+    #[must_use]
+    pub fn bandwidth_disparity(&self) -> f64 {
+        self.scale_up_effective_gbps / self.scale_out_effective_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h800_disparity_is_4_to_1() {
+        assert!((HardwareProfile::h800().bandwidth_disparity() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h800_nvlink_is_cut_relative_to_h100() {
+        assert!(HardwareProfile::h800().scale_up_gbps < HardwareProfile::h100().scale_up_gbps);
+    }
+
+    #[test]
+    fn fp8_doubles_bf16() {
+        let h = HardwareProfile::h800();
+        assert_eq!(h.fp8_tflops, 2.0 * h.bf16_tflops);
+    }
+}

@@ -1,0 +1,103 @@
+//! Plain-text table rendering for experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// A renderable result table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title (e.g. "Table 1: KV cache size comparison").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut std::fmt::Formatter<'_>| -> std::fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        line(f)?;
+        write!(f, "|")?;
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(f, " {h:w$} |")?;
+        }
+        writeln!(f)?;
+        line(f)?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for (c, w) in row.iter().zip(&widths) {
+                write!(f, " {c:w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        line(f)
+    }
+}
+
+/// Format a float with `digits` decimals.
+#[must_use]
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(&["x".into(), "1".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| a | long-header |"));
+        assert!(s.contains("| x | 1           |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(&["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn fmt_digits() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,122 @@
+//! NVLink/PCIe bandwidth contention (§4.5).
+//!
+//! During inference, KV-cache transfers from CPU memory can saturate PCIe
+//! while the GPU simultaneously drives EP traffic through a NIC behind the
+//! same PCIe complex; without traffic prioritization the EP all-to-all slows
+//! and TPOT spikes. This module models the shared PCIe segment with the flow
+//! simulator and quantifies the benefit of the paper's suggested dynamic
+//! traffic prioritization (exposing traffic classes to user code).
+
+use dsv3_netsim::{FlowSim, Link};
+use serde::{Deserialize, Serialize};
+
+/// Shared-IO configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoContentionConfig {
+    /// PCIe bandwidth of the GPU's root complex (GB/s; Gen5 x16 ≈ 64).
+    pub pcie_gbps: f64,
+    /// NIC bandwidth (GB/s).
+    pub nic_gbps: f64,
+    /// EP bytes the GPU must move this step.
+    pub ep_bytes: f64,
+    /// Concurrent KV-cache transfer bytes (CPU→GPU over PCIe).
+    pub kv_bytes: f64,
+}
+
+impl IoContentionConfig {
+    /// H800-flavoured defaults: one EP step of 32 tokens × 9 experts × 7K
+    /// hidden × 3 B against a multi-ten-GB/s KV prefetch burst.
+    #[must_use]
+    pub fn h800_decode_step() -> Self {
+        Self {
+            pcie_gbps: 64.0,
+            nic_gbps: 50.0,
+            ep_bytes: 3.0 * 32.0 * 9.0 * 7000.0,
+            kv_bytes: 12.0e6, // a 12 MB KV page-in burst
+        }
+    }
+}
+
+/// Outcome of one contended decode step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionOutcome {
+    /// EP transfer completion (µs).
+    pub ep_time_us: f64,
+    /// KV transfer completion (µs).
+    pub kv_time_us: f64,
+    /// EP slowdown vs an idle PCIe bus.
+    pub ep_slowdown: f64,
+}
+
+/// Simulate the step. With `prioritized`, EP traffic owns its NIC share of
+/// PCIe (the KV transfer yields, using only leftover bandwidth); without, the
+/// two flows share PCIe max-min fairly.
+///
+/// # Panics
+///
+/// Panics on non-positive bandwidths.
+#[must_use]
+pub fn decode_step(cfg: &IoContentionConfig, prioritized: bool) -> ContentionOutcome {
+    assert!(cfg.pcie_gbps > 0.0 && cfg.nic_gbps > 0.0, "bandwidth must be positive");
+    // Links: 0 = PCIe shared segment (or EP's reserved slice), 1 = NIC,
+    // 2 = KV's slice when prioritized.
+    let ideal_ep_us = cfg.ep_bytes / (cfg.nic_gbps.min(cfg.pcie_gbps) * 1000.0);
+    let (ep_time_us, kv_time_us) = if prioritized {
+        // Traffic classes: EP gets min(nic, pcie) reserved; KV gets the
+        // leftover PCIe bandwidth.
+        let ep_bw = cfg.nic_gbps.min(cfg.pcie_gbps);
+        let kv_bw = (cfg.pcie_gbps - ep_bw).max(0.05 * cfg.pcie_gbps);
+        (cfg.ep_bytes / (ep_bw * 1000.0), cfg.kv_bytes / (kv_bw * 1000.0))
+    } else {
+        let mut sim = FlowSim::new(vec![
+            Link { capacity_gbps: cfg.pcie_gbps },
+            Link { capacity_gbps: cfg.nic_gbps },
+        ]);
+        let ep = sim.add_flow(vec![0, 1], cfg.ep_bytes, 0.0, 0.0);
+        let kv = sim.add_flow(vec![0], cfg.kv_bytes, 0.0, 0.0);
+        let r = sim.run();
+        (r.finish_us[ep], r.finish_us[kv])
+    };
+    ContentionOutcome { ep_time_us, kv_time_us, ep_slowdown: ep_time_us / ideal_ep_us }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_slows_ep_without_priorities() {
+        let cfg = IoContentionConfig::h800_decode_step();
+        let shared = decode_step(&cfg, false);
+        let prio = decode_step(&cfg, true);
+        assert!(shared.ep_slowdown > 1.2, "visible spike: {}", shared.ep_slowdown);
+        assert!((prio.ep_slowdown - 1.0).abs() < 1e-9, "priority removes the spike");
+        assert!(prio.ep_time_us < shared.ep_time_us);
+    }
+
+    #[test]
+    fn kv_transfer_pays_for_priority() {
+        let cfg = IoContentionConfig::h800_decode_step();
+        let shared = decode_step(&cfg, false);
+        let prio = decode_step(&cfg, true);
+        // The KV burst is what slows down instead — the intended trade.
+        assert!(prio.kv_time_us >= shared.kv_time_us);
+    }
+
+    #[test]
+    fn no_kv_traffic_no_contention() {
+        let cfg = IoContentionConfig { kv_bytes: 0.0, ..IoContentionConfig::h800_decode_step() };
+        let shared = decode_step(&cfg, false);
+        assert!((shared.ep_slowdown - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wider_pcie_reduces_spike() {
+        let narrow = decode_step(&IoContentionConfig::h800_decode_step(), false);
+        let wide = decode_step(
+            &IoContentionConfig { pcie_gbps: 128.0, ..IoContentionConfig::h800_decode_step() },
+            false,
+        );
+        assert!(wide.ep_slowdown < narrow.ep_slowdown);
+    }
+}

@@ -1,0 +1,66 @@
+//! CPU-side bottleneck arithmetic (§6.2).
+//!
+//! Three checks from the paper: (1) saturating 160 PCIe 5.0 lanes demands
+//! >640 GB/s, implying ~1 TB/s of host memory bandwidth; (2) kernel-launch
+//! paths need high single-core frequency (the paper suggests >4 GHz);
+//! (3) enough CPU cores per GPU to avoid control-side stalls.
+
+
+/// PCIe 5.0 per-lane bandwidth, GB/s.
+pub const PCIE5_GBPS_PER_LANE: f64 = 4.0;
+
+/// Host memory bandwidth (GB/s) required to feed `lanes` PCIe 5.0 lanes,
+/// with `copy_amplification` ≥ 1 (a bounce through host DRAM reads and
+/// writes the data).
+#[must_use]
+pub fn required_host_memory_bw(lanes: usize, copy_amplification: f64) -> f64 {
+    assert!(copy_amplification >= 1.0, "amplification cannot shrink traffic");
+    lanes as f64 * PCIE5_GBPS_PER_LANE * copy_amplification
+}
+
+/// Kernel-launch budget: whether a CPU core at `cpu_ghz` can issue
+/// `launches` kernel launches (each `cycles_per_launch` cycles of driver
+/// work) within `budget_us`.
+#[must_use]
+pub fn launch_path_fits(cpu_ghz: f64, launches: usize, cycles_per_launch: f64, budget_us: f64) -> bool {
+    assert!(cpu_ghz > 0.0, "frequency must be positive");
+    let cost_us = launches as f64 * cycles_per_launch / (cpu_ghz * 1000.0);
+    cost_us <= budget_us
+}
+
+/// Minimum single-core frequency (GHz) for the launch path to fit.
+#[must_use]
+pub fn min_cpu_ghz(launches: usize, cycles_per_launch: f64, budget_us: f64) -> f64 {
+    assert!(budget_us > 0.0, "budget must be positive");
+    launches as f64 * cycles_per_launch / (budget_us * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pcie_arithmetic() {
+        // §6.2: "saturating 160 lanes of PCIe 5.0 demands over 640 GB/s …
+        // translating to a memory bandwidth requirement of approximately
+        // 1 TB/s per node".
+        assert!((required_host_memory_bw(160, 1.0) - 640.0).abs() < 1e-9);
+        let with_bounce = required_host_memory_bw(160, 1.6);
+        assert!((900.0..1100.0).contains(&with_bounce), "{with_bounce}");
+    }
+
+    #[test]
+    fn four_ghz_claim() {
+        // A decode step of ~250 µs with ~300 launches at ~3000 cycles of
+        // driver work each needs ≳3.6 GHz — the paper's "above 4 GHz" zone.
+        let need = min_cpu_ghz(300, 3000.0, 250.0);
+        assert!((3.0..5.0).contains(&need), "{need}");
+        assert!(launch_path_fits(4.5, 300, 3000.0, 250.0));
+        assert!(!launch_path_fits(2.0, 300, 3000.0, 250.0));
+    }
+
+    #[test]
+    fn budget_scales_linearly() {
+        assert_eq!(min_cpu_ghz(100, 1000.0, 100.0), min_cpu_ghz(200, 1000.0, 200.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! KV/latent-cache manager with memory accounting.
+//!
+//! Table 1's point becomes operational here: at a fixed HBM budget, the
+//! per-token cache size determines how many concurrent requests (and how
+//! much context) a serving GPU can hold. MLA's 70 KB/token lets one GPU
+//! serve ~7× the context of a GQA 405B-class model.
+
+use dsv3_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Errors from cache admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheError {
+    /// Not enough free bytes for the request.
+    OutOfMemory {
+        /// Bytes that were requested.
+        requested: usize,
+        /// Bytes currently free.
+        free: usize,
+    },
+    /// Request id already present.
+    DuplicateRequest,
+    /// Request id unknown.
+    UnknownRequest,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::OutOfMemory { requested, free } => {
+                write!(f, "out of cache memory: requested {requested} bytes, {free} free")
+            }
+            CacheError::DuplicateRequest => write!(f, "request id already admitted"),
+            CacheError::UnknownRequest => write!(f, "unknown request id"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// A fixed-budget KV-cache pool.
+///
+/// ```
+/// use dsv3_inference::kvcache::KvCacheManager;
+/// use dsv3_model::zoo;
+///
+/// let mut pool = KvCacheManager::new(&zoo::deepseek_v3(), 2, 1_000_000_000);
+/// pool.admit(1, 4096)?;
+/// assert_eq!(pool.live_requests(), 1);
+/// # Ok::<(), dsv3_inference::kvcache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvCacheManager {
+    bytes_per_token: usize,
+    capacity_bytes: usize,
+    used_tokens: usize,
+    requests: HashMap<u64, usize>,
+}
+
+impl KvCacheManager {
+    /// Pool for `model` at `bytes_per_elem` precision with a byte budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's per-token footprint is zero or exceeds the
+    /// budget.
+    #[must_use]
+    pub fn new(model: &ModelConfig, bytes_per_elem: usize, capacity_bytes: usize) -> Self {
+        let bytes_per_token = model.kv_cache_bytes_per_token(bytes_per_elem);
+        assert!(bytes_per_token > 0, "model caches nothing per token");
+        assert!(bytes_per_token <= capacity_bytes, "budget below one token");
+        Self { bytes_per_token, capacity_bytes, used_tokens: 0, requests: HashMap::new() }
+    }
+
+    /// Bytes one token occupies.
+    #[must_use]
+    pub fn bytes_per_token(&self) -> usize {
+        self.bytes_per_token
+    }
+
+    /// Total token capacity of the pool.
+    #[must_use]
+    pub fn capacity_tokens(&self) -> usize {
+        self.capacity_bytes / self.bytes_per_token
+    }
+
+    /// Free bytes.
+    #[must_use]
+    pub fn free_bytes(&self) -> usize {
+        self.capacity_bytes - self.used_tokens * self.bytes_per_token
+    }
+
+    /// Fraction of the budget in use.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        (self.used_tokens * self.bytes_per_token) as f64 / self.capacity_bytes as f64
+    }
+
+    /// Admit a request with `prompt_tokens` of context.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::OutOfMemory`] if the prompt does not fit,
+    /// [`CacheError::DuplicateRequest`] if the id is already admitted.
+    pub fn admit(&mut self, id: u64, prompt_tokens: usize) -> Result<(), CacheError> {
+        if self.requests.contains_key(&id) {
+            return Err(CacheError::DuplicateRequest);
+        }
+        let bytes = prompt_tokens * self.bytes_per_token;
+        if bytes > self.free_bytes() {
+            return Err(CacheError::OutOfMemory { requested: bytes, free: self.free_bytes() });
+        }
+        self.requests.insert(id, prompt_tokens);
+        self.used_tokens += prompt_tokens;
+        Ok(())
+    }
+
+    /// Extend a request by one decoded token.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownRequest`] or [`CacheError::OutOfMemory`].
+    pub fn append_token(&mut self, id: u64) -> Result<(), CacheError> {
+        if !self.requests.contains_key(&id) {
+            return Err(CacheError::UnknownRequest);
+        }
+        if self.bytes_per_token > self.free_bytes() {
+            return Err(CacheError::OutOfMemory {
+                requested: self.bytes_per_token,
+                free: self.free_bytes(),
+            });
+        }
+        *self.requests.get_mut(&id).expect("checked") += 1;
+        self.used_tokens += 1;
+        Ok(())
+    }
+
+    /// Release a request, freeing its tokens.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownRequest`] if the id is not admitted.
+    pub fn release(&mut self, id: u64) -> Result<usize, CacheError> {
+        match self.requests.remove(&id) {
+            Some(tokens) => {
+                self.used_tokens -= tokens;
+                Ok(tokens)
+            }
+            None => Err(CacheError::UnknownRequest),
+        }
+    }
+
+    /// Number of live requests.
+    #[must_use]
+    pub fn live_requests(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv3_model::zoo;
+
+    const GB40: usize = 40 * 1_000_000_000; // serving slice of an 80 GB GPU
+
+    #[test]
+    fn mla_holds_7x_the_context_of_llama() {
+        let v3 = KvCacheManager::new(&zoo::deepseek_v3(), 2, GB40);
+        let llama = KvCacheManager::new(&zoo::llama31_405b(), 2, GB40);
+        let ratio = v3.capacity_tokens() as f64 / llama.capacity_tokens() as f64;
+        assert!(ratio > 7.0 && ratio < 7.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn admission_and_release_account_correctly() {
+        let mut m = KvCacheManager::new(&zoo::deepseek_v3(), 2, GB40);
+        m.admit(1, 10_000).unwrap();
+        m.admit(2, 20_000).unwrap();
+        assert_eq!(m.live_requests(), 2);
+        let before = m.free_bytes();
+        m.append_token(1).unwrap();
+        assert_eq!(before - m.free_bytes(), m.bytes_per_token());
+        assert_eq!(m.release(1).unwrap(), 10_001);
+        assert_eq!(m.live_requests(), 1);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported_not_panicked() {
+        let mut m = KvCacheManager::new(&zoo::deepseek_v3(), 2, GB40);
+        let cap = m.capacity_tokens();
+        let err = m.admit(1, cap + 1).unwrap_err();
+        assert!(matches!(err, CacheError::OutOfMemory { .. }));
+        // Fill exactly, then the next token must fail.
+        m.admit(2, cap).unwrap();
+        assert!(matches!(m.append_token(2), Err(CacheError::OutOfMemory { .. })));
+        assert!(m.utilization() > 0.999);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids() {
+        let mut m = KvCacheManager::new(&zoo::deepseek_v3(), 2, GB40);
+        m.admit(7, 10).unwrap();
+        assert_eq!(m.admit(7, 10), Err(CacheError::DuplicateRequest));
+        assert_eq!(m.append_token(9), Err(CacheError::UnknownRequest));
+        assert_eq!(m.release(9), Err(CacheError::UnknownRequest));
+    }
+
+    #[test]
+    fn fp8_cache_doubles_tokens() {
+        let bf16 = KvCacheManager::new(&zoo::deepseek_v3(), 2, GB40);
+        let fp8 = KvCacheManager::new(&zoo::deepseek_v3(), 1, GB40);
+        // Equal up to the floor rounding of the token capacities.
+        let diff = fp8.capacity_tokens() as i64 - 2 * bf16.capacity_tokens() as i64;
+        assert!(diff.abs() <= 1, "diff {diff}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Inference-side models: the paper's §2.3 (inference speed) analyses.
+//!
+//! * [`tpot`] — the EP all-to-all speed-limit model of §2.3.2 (120.96 µs per
+//!   EP step on H800+IB ⇒ 14.76 ms TPOT ⇒ 67 tok/s; 0.82 ms ⇒ ~1200 tok/s
+//!   on a GB200-class scale-up fabric).
+//! * [`kvcache`] — a KV/latent-cache manager with memory accounting (the
+//!   operational side of Table 1).
+//! * [`overlap`] — dual micro-batch computation/communication overlap
+//!   (§2.3.1).
+//! * [`disagg`] — prefill/decode disaggregation vs a unified pool (§2.3.1).
+//! * [`local`] — memory-bandwidth-bound local deployment TPS (§2.2.2).
+//! * [`contention`] — PCIe contention between KV transfers and EP traffic
+//!   (§4.5) and the value of traffic prioritization.
+//! * [`host`] — CPU-side bottleneck arithmetic (§6.2).
+
+pub mod contention;
+pub mod disagg;
+pub mod host;
+pub mod kvcache;
+pub mod local;
+pub mod prefill;
+pub mod overlap;
+pub mod tpot;
+
+pub use tpot::{SpeedLimit, SpeedLimitConfig};

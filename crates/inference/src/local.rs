@@ -1,0 +1,94 @@
+//! Memory-bandwidth-bound local deployment (§2.2.2).
+//!
+//! Decoding a single request reads every activated parameter once per
+//! token, so on personal hardware TPS ≈ memory bandwidth / activated bytes.
+//! This is why a 236B-parameter MoE that activates 21B runs at ~20 TPS on
+//! an AI-SoC PC while a dense 70B model manages single digits.
+
+use dsv3_model::config::ModelConfig;
+use dsv3_model::flops::param_counts;
+use serde::{Deserialize, Serialize};
+
+/// A local deployment target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalHardware {
+    /// Label.
+    pub name: String,
+    /// Usable memory bandwidth for weights (bytes/s).
+    pub mem_bw_bytes_per_s: f64,
+    /// Weight bytes per parameter (0.5 = 4-bit quantized).
+    pub bytes_per_param: f64,
+}
+
+impl LocalHardware {
+    /// An AI-SoC mini-PC / laptop class device (≈210 GB/s usable, Q4
+    /// weights) — the §2.2.2 "PCs with AI SoC chips" scenario.
+    #[must_use]
+    pub fn ai_soc_pc() -> Self {
+        Self { name: "AI-SoC PC".into(), mem_bw_bytes_per_s: 210e9, bytes_per_param: 0.5 }
+    }
+
+    /// A KTransformers-style server: consumer GPU + high-bandwidth CPU
+    /// memory hybrid (effective ≈390 GB/s over the expert weights).
+    #[must_use]
+    pub fn ktransformers_server() -> Self {
+        Self { name: "KTransformers server".into(), mem_bw_bytes_per_s: 390e9, bytes_per_param: 0.5 }
+    }
+
+    /// Single-request decode TPS for `model` on this hardware.
+    #[must_use]
+    pub fn tps(&self, model: &ModelConfig) -> f64 {
+        let activated = param_counts(model).activated as f64;
+        self.mem_bw_bytes_per_s / (activated * self.bytes_per_param)
+    }
+}
+
+/// A dense-70B stand-in for the paper's comparison.
+#[must_use]
+pub fn dense_70b() -> ModelConfig {
+    use dsv3_model::attention::Attention;
+    use dsv3_model::config::Ffn;
+    ModelConfig {
+        name: "Dense-70B".into(),
+        layers: 80,
+        hidden: 8192,
+        vocab: 128_256,
+        attention: Attention::Gqa { heads: 64, kv_heads: 8, head_dim: 128 },
+        ffn: Ffn::Dense { intermediate: 28_672 },
+        leading_dense_layers: 0,
+        leading_dense_intermediate: 0,
+        mtp_modules: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv3_model::zoo;
+
+    #[test]
+    fn v2_hits_20_tps_on_ai_soc() {
+        let tps = LocalHardware::ai_soc_pc().tps(&zoo::deepseek_v2());
+        assert!((18.0..25.0).contains(&tps), "V2 on AI SoC: {tps}");
+    }
+
+    #[test]
+    fn dense_70b_single_digit() {
+        let tps = LocalHardware::ai_soc_pc().tps(&dense_70b());
+        assert!(tps < 10.0, "dense 70B: {tps}");
+    }
+
+    #[test]
+    fn v3_near_20_tps_on_ktransformers() {
+        let tps = LocalHardware::ktransformers_server().tps(&zoo::deepseek_v3());
+        assert!((17.0..25.0).contains(&tps), "V3 on KTransformers: {tps}");
+    }
+
+    #[test]
+    fn moe_advantage_is_order_of_magnitude_in_activation() {
+        let hw = LocalHardware::ai_soc_pc();
+        let moe = hw.tps(&zoo::deepseek_v2());
+        let dense = hw.tps(&dense_70b());
+        assert!(moe / dense > 3.0, "{moe} vs {dense}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Prefill latency and selective tensor parallelism (§4.2).
+//!
+//! Training avoids TP because of the H800's cut NVLink, but "during
+//! inference, TP can still be selectively used to reduce latency". Prefill
+//! is compute-bound, so sharding a layer across `tp` GPUs divides the GEMM
+//! time while adding two NVLink all-reduces per layer; this model finds the
+//! TTFT-optimal TP degree for a given prompt.
+
+use dsv3_model::config::ModelConfig;
+use dsv3_model::flops;
+use serde::{Deserialize, Serialize};
+
+/// Hardware constants for the prefill model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefillHardware {
+    /// Achievable GEMM throughput per GPU (FLOPS).
+    pub gpu_flops: f64,
+    /// Effective NVLink bandwidth per GPU (bytes/s).
+    pub nvlink_bytes_per_s: f64,
+    /// Fixed per-collective launch latency (µs).
+    pub collective_latency_us: f64,
+}
+
+impl PrefillHardware {
+    /// H800 at ~50% FP8 MFU with 160 GB/s NVLink.
+    #[must_use]
+    pub fn h800() -> Self {
+        Self { gpu_flops: 0.5 * 1979.0e12, nvlink_bytes_per_s: 160.0e9, collective_latency_us: 10.0 }
+    }
+}
+
+/// TTFT estimate (µs) for a `prompt_tokens` prefill at TP degree `tp`.
+///
+/// Compute: forward FLOPs divided across `tp` GPUs. Communication: two
+/// ring all-reduces per layer over the activations
+/// (`2 · 2(tp−1)/tp · prompt · hidden · 2 bytes` each).
+///
+/// # Panics
+///
+/// Panics if `tp == 0` or `prompt_tokens == 0`.
+#[must_use]
+pub fn ttft_us(cfg: &ModelConfig, hw: &PrefillHardware, prompt_tokens: usize, tp: usize) -> f64 {
+    assert!(tp > 0, "TP degree must be positive");
+    assert!(prompt_tokens > 0, "empty prompt");
+    // Forward pass ≈ 1/3 of the training FLOPs (2 of 6 per parameter).
+    let fwd_flops = flops::training_flops_per_token(cfg, prompt_tokens.max(2)) / 3.0
+        * prompt_tokens as f64;
+    let compute_us = fwd_flops / (tp as f64 * hw.gpu_flops) * 1e6;
+    let comm_us = if tp == 1 {
+        0.0
+    } else {
+        let bytes_per_allreduce =
+            2.0 * (tp as f64 - 1.0) / tp as f64 * prompt_tokens as f64 * cfg.hidden as f64 * 2.0;
+        let per_layer = 2.0 * (bytes_per_allreduce / hw.nvlink_bytes_per_s * 1e6
+            + hw.collective_latency_us);
+        per_layer * cfg.layers as f64
+    };
+    compute_us + comm_us
+}
+
+/// The TP degree (from `candidates`) minimizing TTFT.
+#[must_use]
+pub fn best_tp(cfg: &ModelConfig, hw: &PrefillHardware, prompt_tokens: usize, candidates: &[usize]) -> usize {
+    assert!(!candidates.is_empty(), "no candidates");
+    *candidates
+        .iter()
+        .min_by(|&&a, &&b| {
+            ttft_us(cfg, hw, prompt_tokens, a).total_cmp(&ttft_us(cfg, hw, prompt_tokens, b))
+        })
+        .expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv3_model::zoo;
+
+    #[test]
+    fn tp_reduces_prefill_latency_for_long_prompts() {
+        let cfg = zoo::deepseek_v3();
+        let hw = PrefillHardware::h800();
+        let t1 = ttft_us(&cfg, &hw, 8192, 1);
+        let t8 = ttft_us(&cfg, &hw, 8192, 8);
+        assert!(t8 < t1 / 3.0, "TP8 {t8} vs TP1 {t1}");
+    }
+
+    #[test]
+    fn tiny_prompts_prefer_low_tp() {
+        // With 8 tokens the all-reduce latency dominates any compute saving.
+        let cfg = zoo::deepseek_v3();
+        let hw = PrefillHardware::h800();
+        let best_small = best_tp(&cfg, &hw, 8, &[1, 2, 4, 8]);
+        let best_large = best_tp(&cfg, &hw, 16_384, &[1, 2, 4, 8]);
+        assert!(best_small < best_large, "{best_small} vs {best_large}");
+        assert_eq!(best_large, 8);
+    }
+
+    #[test]
+    fn ttft_monotone_in_prompt_length() {
+        let cfg = zoo::deepseek_v3();
+        let hw = PrefillHardware::h800();
+        assert!(ttft_us(&cfg, &hw, 4096, 4) > ttft_us(&cfg, &hw, 1024, 4));
+    }
+
+    #[test]
+    fn communication_fraction_grows_with_tp() {
+        let cfg = zoo::deepseek_v3();
+        let hw = PrefillHardware::h800();
+        // Doubling TP halves compute but grows comm: the marginal gain shrinks.
+        let t2 = ttft_us(&cfg, &hw, 4096, 2);
+        let t4 = ttft_us(&cfg, &hw, 4096, 4);
+        let t8 = ttft_us(&cfg, &hw, 4096, 8);
+        assert!(t2 / t4 > t4 / t8, "diminishing returns");
+    }
+}

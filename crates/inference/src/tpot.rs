@@ -1,0 +1,163 @@
+//! EP inference speed limits (§2.3.2).
+//!
+//! Each MoE layer performs two all-to-alls (dispatch in FP8, combine in
+//! BF16). With one expert per device and `tokens` tokens in flight, the
+//! communication time is
+//! `(dispatch_bytes + combine_bytes) · tokens · experts · hidden / bandwidth`,
+//! and under dual micro-batch overlap the per-layer time is
+//! `2 · max(comm, comp)`. The paper evaluates the comm-bound case for
+//! H800+CX7 (comp ≈ 0) and the balanced case (comp = comm) for GB200.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the speed-limit model.
+///
+/// ```
+/// use dsv3_inference::SpeedLimitConfig;
+///
+/// let limit = SpeedLimitConfig::h800_ib().evaluate();
+/// assert!((limit.tpot_ms - 14.76).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedLimitConfig {
+    /// Tokens resident per device per step (32 balances compute intensity
+    /// and latency in the paper's analysis).
+    pub tokens_per_device: usize,
+    /// Hidden size (the paper rounds to 7K = 7000 in its arithmetic).
+    pub hidden: usize,
+    /// Experts receiving each token (8 routed + 1 shared).
+    pub experts_per_token: usize,
+    /// Dispatch element size in bytes (FP8 = 1).
+    pub dispatch_bytes: f64,
+    /// Combine element size in bytes (BF16 = 2).
+    pub combine_bytes: f64,
+    /// Per-device interconnect bandwidth, bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+    /// Model depth.
+    pub layers: usize,
+    /// Computation time per layer per micro-batch, µs (0 = comm-bound
+    /// idealization).
+    pub compute_us: f64,
+}
+
+impl SpeedLimitConfig {
+    /// DeepSeek-V3 decoding on H800 + CX7 400 Gbps IB (50 GB/s), the
+    /// comm-bound idealization of §2.3.2.
+    #[must_use]
+    pub fn h800_ib() -> Self {
+        Self {
+            tokens_per_device: 32,
+            hidden: 7000,
+            experts_per_token: 9,
+            dispatch_bytes: 1.0,
+            combine_bytes: 2.0,
+            bandwidth_bytes_per_s: 50e9,
+            layers: 61,
+            compute_us: 0.0,
+        }
+    }
+
+    /// The GB200-NVL72-class scale-up fabric (900 GB/s), with compute
+    /// assumed equal to communication as in the paper.
+    #[must_use]
+    pub fn gb200_nvl72() -> Self {
+        let mut cfg = Self::h800_ib();
+        cfg.bandwidth_bytes_per_s = 900e9;
+        cfg.compute_us = cfg.ep_comm_time_us();
+        cfg
+    }
+
+    /// One EP all-to-all pair's communication time (µs): dispatch + combine.
+    #[must_use]
+    pub fn ep_comm_time_us(&self) -> f64 {
+        let bytes = (self.dispatch_bytes + self.combine_bytes)
+            * self.tokens_per_device as f64
+            * self.experts_per_token as f64
+            * self.hidden as f64;
+        bytes / self.bandwidth_bytes_per_s * 1e6
+    }
+
+    /// Evaluate the model.
+    #[must_use]
+    pub fn evaluate(&self) -> SpeedLimit {
+        let comm = self.ep_comm_time_us();
+        // Dual micro-batch overlap: each layer costs two phases, each the
+        // max of compute and communication.
+        let per_layer = 2.0 * comm.max(self.compute_us);
+        let total_ms = per_layer * self.layers as f64 / 1000.0;
+        SpeedLimit {
+            comm_time_us: comm,
+            per_layer_us: per_layer,
+            tpot_ms: total_ms,
+            tokens_per_second: 1000.0 / total_ms,
+        }
+    }
+}
+
+/// Evaluated speed limit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedLimit {
+    /// One EP dispatch+combine communication time (µs).
+    pub comm_time_us: f64,
+    /// Per-layer time under dual micro-batch overlap (µs).
+    pub per_layer_us: f64,
+    /// Time per output token (ms).
+    pub tpot_ms: f64,
+    /// Decode speed (tokens/s).
+    pub tokens_per_second: f64,
+}
+
+/// Memory-bandwidth bound on decode speed for comparison: reading the
+/// activated parameters once per token.
+#[must_use]
+pub fn memory_bound_tps(activated_params: f64, bytes_per_param: f64, mem_bw_bytes_per_s: f64) -> f64 {
+    mem_bw_bytes_per_s / (activated_params * bytes_per_param)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h800_matches_paper_arithmetic() {
+        let cfg = SpeedLimitConfig::h800_ib();
+        let s = cfg.evaluate();
+        assert!((s.comm_time_us - 120.96).abs() < 0.01, "comm {}", s.comm_time_us);
+        assert!((s.per_layer_us - 241.92).abs() < 0.01, "layer {}", s.per_layer_us);
+        assert!((s.tpot_ms - 14.76).abs() < 0.01, "tpot {}", s.tpot_ms);
+        assert!((s.tokens_per_second - 67.0).abs() < 1.0, "tps {}", s.tokens_per_second);
+    }
+
+    #[test]
+    fn gb200_matches_paper_arithmetic() {
+        let s = SpeedLimitConfig::gb200_nvl72().evaluate();
+        assert!((s.comm_time_us - 6.72).abs() < 0.01, "comm {}", s.comm_time_us);
+        assert!((s.tpot_ms - 0.82).abs() < 0.01, "tpot {}", s.tpot_ms);
+        assert!(s.tokens_per_second > 1190.0, "tps {}", s.tokens_per_second);
+    }
+
+    #[test]
+    fn bandwidth_scaling_is_linear_when_comm_bound() {
+        let mut cfg = SpeedLimitConfig::h800_ib();
+        let base = cfg.evaluate().tokens_per_second;
+        cfg.bandwidth_bytes_per_s *= 2.0;
+        let doubled = cfg.evaluate().tokens_per_second;
+        assert!((doubled / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_floor_binds_when_large() {
+        let mut cfg = SpeedLimitConfig::h800_ib();
+        cfg.compute_us = 500.0; // slower than the 120.96 µs comm
+        let s = cfg.evaluate();
+        assert!((s.per_layer_us - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_reference() {
+        // 37B activated at FP8 on 3.35 TB/s HBM ≈ 90 tok/s, same order as
+        // the 67 tok/s interconnect limit — both constraints are real.
+        let tps = memory_bound_tps(37e9, 1.0, 3.35e12);
+        assert!((tps - 90.5).abs() < 1.0, "{tps}");
+    }
+}

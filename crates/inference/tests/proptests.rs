@@ -1,0 +1,68 @@
+//! Property-based tests for the inference models.
+
+use dsv3_inference::kvcache::KvCacheManager;
+use dsv3_inference::overlap::{simulate, LayerPhases};
+use dsv3_inference::tpot::SpeedLimitConfig;
+use dsv3_model::zoo;
+use proptest::prelude::*;
+
+proptest! {
+    /// The speed limit is inversely linear in bandwidth (comm-bound) and
+    /// monotone in every traffic parameter.
+    #[test]
+    fn speed_limit_monotonicity(bw in 10.0f64..2000.0, tokens in 1usize..256, hidden in 1024usize..16384) {
+        let mut cfg = SpeedLimitConfig::h800_ib();
+        cfg.bandwidth_bytes_per_s = bw * 1e9;
+        cfg.tokens_per_device = tokens;
+        cfg.hidden = hidden;
+        let s = cfg.evaluate();
+        prop_assert!(s.tpot_ms > 0.0);
+        let mut faster = cfg;
+        faster.bandwidth_bytes_per_s *= 2.0;
+        prop_assert!((faster.evaluate().tpot_ms - s.tpot_ms / 2.0).abs() < 1e-9);
+        let mut bigger = cfg;
+        bigger.hidden *= 2;
+        prop_assert!(bigger.evaluate().tpot_ms > s.tpot_ms);
+    }
+
+    /// KV cache accounting: admit/append/release round-trips exactly for
+    /// any sequence of operations that fits.
+    #[test]
+    fn kvcache_accounting(ops in prop::collection::vec((0u64..8, 1usize..500), 1..40)) {
+        let mut m = KvCacheManager::new(&zoo::deepseek_v3(), 2, 10_000_000_000);
+        let free0 = m.free_bytes();
+        let mut live: std::collections::HashMap<u64, usize> = Default::default();
+        for (id, tokens) in ops {
+            if live.contains_key(&id) {
+                if m.append_token(id).is_ok() {
+                    *live.get_mut(&id).unwrap() += 1;
+                }
+            } else if m.admit(id, tokens).is_ok() {
+                live.insert(id, tokens);
+            }
+        }
+        let expected_used: usize = live.values().sum::<usize>() * m.bytes_per_token();
+        prop_assert_eq!(free0 - m.free_bytes(), expected_used);
+        let ids: Vec<u64> = live.keys().copied().collect();
+        for id in ids {
+            let released = m.release(id).unwrap();
+            prop_assert_eq!(released, live[&id]);
+        }
+        prop_assert_eq!(m.free_bytes(), free0);
+        prop_assert_eq!(m.live_requests(), 0);
+    }
+
+    /// Overlap speedup is always within [1, 2] and the overlapped makespan
+    /// never beats the busier resource's total demand.
+    #[test]
+    fn overlap_bounds(attn in 1.0f64..200.0, disp in 0.0f64..200.0, moe in 1.0f64..200.0, comb in 0.0f64..200.0, layers in 1usize..40) {
+        let p = LayerPhases { attn_us: attn, dispatch_us: disp, moe_us: moe, combine_us: comb };
+        let o = simulate(layers, p);
+        prop_assert!(o.speedup() >= 1.0 - 1e-9);
+        prop_assert!(o.speedup() <= 2.0 + 1e-9);
+        let gpu_demand = 2.0 * layers as f64 * (attn + moe);
+        let nic_demand = 2.0 * layers as f64 * (disp + comb);
+        prop_assert!(o.overlapped_us >= gpu_demand.max(nic_demand) - 1e-6);
+        prop_assert!(o.overlapped_us <= o.serial_us + 1e-9);
+    }
+}

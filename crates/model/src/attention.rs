@@ -1,0 +1,260 @@
+//! Attention-variant descriptors and exact per-token KV-cache sizes.
+//!
+//! §2.1.2 of the paper compares the per-token KV cache of MLA against
+//! GQA-based models (Table 1). The cache size is a pure function of the
+//! attention configuration:
+//!
+//! * MHA/GQA/MQA cache 2 (K and V) × `kv_heads` × `head_dim` elements per
+//!   layer per token.
+//! * MLA caches only the compressed latent (`kv_lora_rank`) plus the decoupled
+//!   RoPE key (`qk_rope_head_dim`) per layer per token.
+
+use serde::{Deserialize, Serialize};
+
+/// An attention mechanism, parameterized exactly as the public model configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Attention {
+    /// Classic multi-head attention (every head has its own K/V).
+    Mha {
+        /// Number of query (= key/value) heads.
+        heads: usize,
+        /// Per-head dimension.
+        head_dim: usize,
+    },
+    /// Grouped-query attention: `heads` query heads share `kv_heads` K/V heads.
+    Gqa {
+        /// Number of query heads.
+        heads: usize,
+        /// Number of key/value heads (`kv_heads ≤ heads`).
+        kv_heads: usize,
+        /// Per-head dimension.
+        head_dim: usize,
+    },
+    /// Multi-query attention (one K/V head).
+    Mqa {
+        /// Number of query heads.
+        heads: usize,
+        /// Per-head dimension.
+        head_dim: usize,
+    },
+    /// Multi-head latent attention (DeepSeek-V2/V3).
+    Mla {
+        /// Number of query heads.
+        heads: usize,
+        /// Query low-rank compression dimension (0 = no query compression).
+        q_lora_rank: usize,
+        /// KV low-rank latent dimension (the cached part).
+        kv_lora_rank: usize,
+        /// Per-head non-positional query/key dimension.
+        qk_nope_head_dim: usize,
+        /// Decoupled RoPE key dimension (cached once, shared by all heads).
+        qk_rope_head_dim: usize,
+        /// Per-head value dimension.
+        v_head_dim: usize,
+    },
+}
+
+impl Attention {
+    /// KV-cache elements stored per token per layer.
+    #[must_use]
+    pub fn kv_elems_per_token_layer(&self) -> usize {
+        match *self {
+            Attention::Mha { heads, head_dim } => 2 * heads * head_dim,
+            Attention::Gqa { kv_heads, head_dim, .. } => 2 * kv_heads * head_dim,
+            Attention::Mqa { head_dim, .. } => 2 * head_dim,
+            Attention::Mla { kv_lora_rank, qk_rope_head_dim, .. } => kv_lora_rank + qk_rope_head_dim,
+        }
+    }
+
+    /// KV-cache bytes per token per layer at `bytes_per_elem` precision.
+    #[must_use]
+    pub fn kv_bytes_per_token_layer(&self, bytes_per_elem: usize) -> usize {
+        self.kv_elems_per_token_layer() * bytes_per_elem
+    }
+
+    /// Number of query heads.
+    #[must_use]
+    pub fn num_heads(&self) -> usize {
+        match *self {
+            Attention::Mha { heads, .. }
+            | Attention::Gqa { heads, .. }
+            | Attention::Mqa { heads, .. }
+            | Attention::Mla { heads, .. } => heads,
+        }
+    }
+
+    /// Per-head query-key dot-product dimension (nope+rope for MLA).
+    #[must_use]
+    pub fn qk_dim(&self) -> usize {
+        match *self {
+            Attention::Mha { head_dim, .. }
+            | Attention::Gqa { head_dim, .. }
+            | Attention::Mqa { head_dim, .. } => head_dim,
+            Attention::Mla { qk_nope_head_dim, qk_rope_head_dim, .. } => {
+                qk_nope_head_dim + qk_rope_head_dim
+            }
+        }
+    }
+
+    /// Per-head value dimension.
+    #[must_use]
+    pub fn v_dim(&self) -> usize {
+        match *self {
+            Attention::Mha { head_dim, .. }
+            | Attention::Gqa { head_dim, .. }
+            | Attention::Mqa { head_dim, .. } => head_dim,
+            Attention::Mla { v_head_dim, .. } => v_head_dim,
+        }
+    }
+
+    /// Attention projection parameter count for one layer with model width
+    /// `hidden`.
+    #[must_use]
+    pub fn param_count(&self, hidden: usize) -> usize {
+        match *self {
+            Attention::Mha { heads, head_dim } => {
+                // Q, K, V, O each hidden × heads·head_dim.
+                4 * hidden * heads * head_dim
+            }
+            Attention::Gqa { heads, kv_heads, head_dim } => {
+                2 * hidden * heads * head_dim + 2 * hidden * kv_heads * head_dim
+            }
+            Attention::Mqa { heads, head_dim } => {
+                2 * hidden * heads * head_dim + 2 * hidden * head_dim
+            }
+            Attention::Mla {
+                heads,
+                q_lora_rank,
+                kv_lora_rank,
+                qk_nope_head_dim,
+                qk_rope_head_dim,
+                v_head_dim,
+            } => {
+                let qk = qk_nope_head_dim + qk_rope_head_dim;
+                let q = if q_lora_rank == 0 {
+                    hidden * heads * qk
+                } else {
+                    hidden * q_lora_rank + q_lora_rank * heads * qk
+                };
+                // Down-projection produces the latent + the shared RoPE key.
+                let kv_down = hidden * (kv_lora_rank + qk_rope_head_dim);
+                let k_up = kv_lora_rank * heads * qk_nope_head_dim;
+                let v_up = kv_lora_rank * heads * v_head_dim;
+                let o = heads * v_head_dim * hidden;
+                q + kv_down + k_up + v_up + o
+            }
+        }
+    }
+}
+
+/// KV retention policy (§2.1.2's survey: full cache vs sliding window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// Keep every token's KV.
+    Full,
+    /// Keep only the last `window` tokens (Longformer-style); cheaper but
+    /// "compromises long-context reasoning".
+    Windowed {
+        /// Sliding-window length.
+        window: usize,
+    },
+}
+
+impl CachePolicy {
+    /// Cached tokens for a context of `tokens`.
+    #[must_use]
+    pub fn cached_tokens(&self, tokens: usize) -> usize {
+        match *self {
+            CachePolicy::Full => tokens,
+            CachePolicy::Windowed { window } => tokens.min(window),
+        }
+    }
+}
+
+/// Total cache bytes for `tokens` of context under a policy.
+#[must_use]
+pub fn cache_bytes(attn: &Attention, policy: CachePolicy, tokens: usize, layers: usize, bytes_per_elem: usize) -> usize {
+    policy.cached_tokens(tokens) * attn.kv_bytes_per_token_layer(bytes_per_elem) * layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mla_cache_is_latent_plus_rope() {
+        let a = Attention::Mla {
+            heads: 128,
+            q_lora_rank: 1536,
+            kv_lora_rank: 512,
+            qk_nope_head_dim: 128,
+            qk_rope_head_dim: 64,
+            v_head_dim: 128,
+        };
+        assert_eq!(a.kv_elems_per_token_layer(), 576);
+        assert_eq!(a.kv_bytes_per_token_layer(2), 1152);
+    }
+
+    #[test]
+    fn gqa_cache() {
+        let a = Attention::Gqa { heads: 64, kv_heads: 8, head_dim: 128 };
+        assert_eq!(a.kv_elems_per_token_layer(), 2048);
+    }
+
+    #[test]
+    fn mqa_is_single_group_gqa() {
+        let mqa = Attention::Mqa { heads: 32, head_dim: 128 };
+        let gqa1 = Attention::Gqa { heads: 32, kv_heads: 1, head_dim: 128 };
+        assert_eq!(mqa.kv_elems_per_token_layer(), gqa1.kv_elems_per_token_layer());
+    }
+
+    #[test]
+    fn mha_dwarfs_mla() {
+        let mha = Attention::Mha { heads: 128, head_dim: 128 };
+        let mla = Attention::Mla {
+            heads: 128,
+            q_lora_rank: 1536,
+            kv_lora_rank: 512,
+            qk_nope_head_dim: 128,
+            qk_rope_head_dim: 64,
+            v_head_dim: 128,
+        };
+        assert!(mha.kv_elems_per_token_layer() > 50 * mla.kv_elems_per_token_layer());
+    }
+
+    #[test]
+    fn param_counts_positive_and_sane() {
+        let gqa = Attention::Gqa { heads: 64, kv_heads: 8, head_dim: 128 };
+        // Q/O dominate: 2*h*8192 vs KV 2*h*1024.
+        let p = gqa.param_count(8192);
+        assert_eq!(p, 2 * 8192 * 8192 + 2 * 8192 * 1024);
+    }
+
+    #[test]
+    fn windowed_cache_caps_memory() {
+        let gqa = Attention::Gqa { heads: 64, kv_heads: 8, head_dim: 128 };
+        let full = cache_bytes(&gqa, CachePolicy::Full, 100_000, 80, 2);
+        let win = cache_bytes(&gqa, CachePolicy::Windowed { window: 4096 }, 100_000, 80, 2);
+        assert!(win < full / 20);
+        // Short contexts are unaffected by the window.
+        assert_eq!(
+            cache_bytes(&gqa, CachePolicy::Windowed { window: 4096 }, 1000, 80, 2),
+            cache_bytes(&gqa, CachePolicy::Full, 1000, 80, 2)
+        );
+    }
+
+    #[test]
+    fn qk_v_dims() {
+        let a = Attention::Mla {
+            heads: 128,
+            q_lora_rank: 1536,
+            kv_lora_rank: 512,
+            qk_nope_head_dim: 128,
+            qk_rope_head_dim: 64,
+            v_head_dim: 128,
+        };
+        assert_eq!(a.qk_dim(), 192);
+        assert_eq!(a.v_dim(), 128);
+        assert_eq!(a.num_heads(), 128);
+    }
+}

@@ -1,0 +1,220 @@
+//! Model configurations and the zoo used by the paper's tables.
+//!
+//! Dimensions follow the published configuration files of each model
+//! (DeepSeek-V2/V3 technical reports, Qwen2.5 and Llama-3.1 model cards).
+
+use crate::attention::Attention;
+use serde::{Deserialize, Serialize};
+
+/// Feed-forward network of a layer: dense or DeepSeekMoE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ffn {
+    /// Dense (SwiGLU: gate/up/down) with the given intermediate size.
+    Dense {
+        /// Intermediate (hidden) size of the FFN.
+        intermediate: usize,
+    },
+    /// DeepSeekMoE: routed experts plus always-active shared experts.
+    Moe {
+        /// Total routed experts.
+        routed_experts: usize,
+        /// Routed experts activated per token.
+        active_experts: usize,
+        /// Shared experts (always active).
+        shared_experts: usize,
+        /// Per-expert intermediate size.
+        expert_intermediate: usize,
+    },
+}
+
+/// A transformer architecture, sufficient for the paper's analytical models.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name (as used in the paper's tables).
+    pub name: String,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Model width.
+    pub hidden: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Attention mechanism.
+    pub attention: Attention,
+    /// FFN used by most layers.
+    pub ffn: Ffn,
+    /// Leading layers that use a dense FFN instead of `ffn` (DeepSeek MoE
+    /// models replace the first k MoE layers with dense ones).
+    pub leading_dense_layers: usize,
+    /// Intermediate size of those leading dense layers.
+    pub leading_dense_intermediate: usize,
+    /// Number of Multi-Token Prediction modules (0 = none).
+    pub mtp_modules: usize,
+}
+
+impl ModelConfig {
+    /// KV-cache bytes per token across all layers at `bytes_per_elem`.
+    ///
+    /// This is exactly the quantity of Table 1 (with `bytes_per_elem = 2`
+    /// for BF16).
+    ///
+    /// ```
+    /// use dsv3_model::zoo;
+    ///
+    /// assert_eq!(zoo::deepseek_v3().kv_cache_bytes_per_token(2), 70_272);
+    /// ```
+    #[must_use]
+    pub fn kv_cache_bytes_per_token(&self, bytes_per_elem: usize) -> usize {
+        self.attention.kv_bytes_per_token_layer(bytes_per_elem) * self.layers
+    }
+
+    /// Convenience: KV cache per token in KB (decimal, as the paper reports).
+    #[must_use]
+    pub fn kv_cache_kb_per_token(&self, bytes_per_elem: usize) -> f64 {
+        self.kv_cache_bytes_per_token(bytes_per_elem) as f64 / 1000.0
+    }
+
+    /// Whether layer `l` (0-based) uses a dense FFN.
+    #[must_use]
+    pub fn layer_is_dense(&self, l: usize) -> bool {
+        l < self.leading_dense_layers || matches!(self.ffn, Ffn::Dense { .. })
+    }
+}
+
+/// The model zoo of the paper's tables.
+pub mod zoo {
+    use super::*;
+
+    /// DeepSeek-V3 (671B total / 37B activated, 61 layers, MLA + MoE).
+    #[must_use]
+    pub fn deepseek_v3() -> ModelConfig {
+        ModelConfig {
+            name: "DeepSeek-V3".into(),
+            layers: 61,
+            hidden: 7168,
+            vocab: 129_280,
+            attention: Attention::Mla {
+                heads: 128,
+                q_lora_rank: 1536,
+                kv_lora_rank: 512,
+                qk_nope_head_dim: 128,
+                qk_rope_head_dim: 64,
+                v_head_dim: 128,
+            },
+            ffn: Ffn::Moe {
+                routed_experts: 256,
+                active_experts: 8,
+                shared_experts: 1,
+                expert_intermediate: 2048,
+            },
+            leading_dense_layers: 3,
+            leading_dense_intermediate: 18_432,
+            mtp_modules: 1,
+        }
+    }
+
+    /// DeepSeek-V2 (236B total / 21B activated, 60 layers, MLA + MoE).
+    #[must_use]
+    pub fn deepseek_v2() -> ModelConfig {
+        ModelConfig {
+            name: "DeepSeek-V2".into(),
+            layers: 60,
+            hidden: 5120,
+            vocab: 102_400,
+            attention: Attention::Mla {
+                heads: 128,
+                q_lora_rank: 1536,
+                kv_lora_rank: 512,
+                qk_nope_head_dim: 128,
+                qk_rope_head_dim: 64,
+                v_head_dim: 128,
+            },
+            ffn: Ffn::Moe {
+                routed_experts: 160,
+                active_experts: 6,
+                shared_experts: 2,
+                expert_intermediate: 1536,
+            },
+            leading_dense_layers: 1,
+            leading_dense_intermediate: 12_288,
+            mtp_modules: 0,
+        }
+    }
+
+    /// Qwen2.5-72B (dense, GQA).
+    #[must_use]
+    pub fn qwen25_72b() -> ModelConfig {
+        ModelConfig {
+            name: "Qwen-2.5 72B".into(),
+            layers: 80,
+            hidden: 8192,
+            vocab: 152_064,
+            attention: Attention::Gqa { heads: 64, kv_heads: 8, head_dim: 128 },
+            ffn: Ffn::Dense { intermediate: 29_568 },
+            leading_dense_layers: 0,
+            leading_dense_intermediate: 0,
+            mtp_modules: 0,
+        }
+    }
+
+    /// LLaMA-3.1 405B (dense, GQA).
+    #[must_use]
+    pub fn llama31_405b() -> ModelConfig {
+        ModelConfig {
+            name: "LLaMA-3.1 405B".into(),
+            layers: 126,
+            hidden: 16_384,
+            vocab: 128_256,
+            attention: Attention::Gqa { heads: 128, kv_heads: 8, head_dim: 128 },
+            ffn: Ffn::Dense { intermediate: 53_248 },
+            leading_dense_layers: 0,
+            leading_dense_intermediate: 0,
+            mtp_modules: 0,
+        }
+    }
+
+    /// All four models of Tables 1–2, in the paper's order.
+    #[must_use]
+    pub fn table_models() -> Vec<ModelConfig> {
+        vec![deepseek_v2(), deepseek_v3(), qwen25_72b(), llama31_405b()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_kv_cache_exact() {
+        // Paper Table 1, BF16: 70.272 KB / 327.680 KB / 516.096 KB.
+        assert_eq!(zoo::deepseek_v3().kv_cache_bytes_per_token(2), 70_272);
+        assert_eq!(zoo::qwen25_72b().kv_cache_bytes_per_token(2), 327_680);
+        assert_eq!(zoo::llama31_405b().kv_cache_bytes_per_token(2), 516_096);
+    }
+
+    #[test]
+    fn table1_multipliers() {
+        let v3 = zoo::deepseek_v3().kv_cache_kb_per_token(2);
+        let qwen = zoo::qwen25_72b().kv_cache_kb_per_token(2);
+        let llama = zoo::llama31_405b().kv_cache_kb_per_token(2);
+        assert!((qwen / v3 - 4.66).abs() < 0.01);
+        // The exact ratio of the paper's own byte counts is 7.34; the table
+        // prints 7.28 (likely rounded differently), so allow that slack.
+        assert!((llama / v3 - 7.28).abs() < 0.1);
+    }
+
+    #[test]
+    fn fp8_halves_kv_cache() {
+        let v3 = zoo::deepseek_v3();
+        assert_eq!(v3.kv_cache_bytes_per_token(1) * 2, v3.kv_cache_bytes_per_token(2));
+    }
+
+    #[test]
+    fn dense_layer_flags() {
+        let v3 = zoo::deepseek_v3();
+        assert!(v3.layer_is_dense(0));
+        assert!(v3.layer_is_dense(2));
+        assert!(!v3.layer_is_dense(3));
+        let qwen = zoo::qwen25_72b();
+        assert!(qwen.layer_is_dense(50));
+    }
+}

@@ -1,0 +1,193 @@
+//! Parameter counting and FLOPs-per-token models (Table 2).
+//!
+//! The training-cost model follows the convention the paper's Table 2
+//! numbers are consistent with: `6 × activated parameters` for all matrix
+//! multiplies (2 forward + 4 backward FLOPs per parameter per token) plus
+//! `3 ×` the causal attention-core FLOPs (QKᵀ and attention×V, forward +
+//! 2× backward), evaluated at an average attended length of `seq / 2`.
+
+use crate::config::{Ffn, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// Parameter-count breakdown of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamCounts {
+    /// All parameters, including every routed expert and embeddings.
+    pub total: usize,
+    /// Parameters touched by one token (active experts only).
+    pub activated: usize,
+    /// Embedding + unembedding parameters (included in the two above).
+    pub embedding: usize,
+}
+
+impl ParamCounts {
+    /// Activated parameters that participate in matrix multiplies: the input
+    /// embedding is a table lookup, not a GEMM, so it contributes no FLOPs
+    /// (the unembedding head does and stays included).
+    #[must_use]
+    pub fn activated_matmul(&self) -> usize {
+        self.activated - self.embedding / 2
+    }
+}
+
+/// SwiGLU FFN parameter count (gate, up, down projections).
+fn ffn_params(hidden: usize, intermediate: usize) -> usize {
+    3 * hidden * intermediate
+}
+
+/// Count parameters of `cfg`.
+#[must_use]
+pub fn param_counts(cfg: &ModelConfig) -> ParamCounts {
+    let attn = cfg.attention.param_count(cfg.hidden) * cfg.layers;
+    let embedding = 2 * cfg.vocab * cfg.hidden;
+    let mut total_ffn = 0usize;
+    let mut active_ffn = 0usize;
+    for l in 0..cfg.layers {
+        if cfg.layer_is_dense(l) {
+            let inter = match cfg.ffn {
+                Ffn::Dense { intermediate } => intermediate,
+                Ffn::Moe { .. } => cfg.leading_dense_intermediate,
+            };
+            let p = ffn_params(cfg.hidden, inter);
+            total_ffn += p;
+            active_ffn += p;
+        } else if let Ffn::Moe {
+            routed_experts,
+            active_experts,
+            shared_experts,
+            expert_intermediate,
+        } = cfg.ffn
+        {
+            let per_expert = ffn_params(cfg.hidden, expert_intermediate);
+            total_ffn += (routed_experts + shared_experts) * per_expert;
+            active_ffn += (active_experts + shared_experts) * per_expert;
+            // Router weights.
+            total_ffn += cfg.hidden * routed_experts;
+            active_ffn += cfg.hidden * routed_experts;
+        }
+    }
+    ParamCounts {
+        total: attn + total_ffn + embedding,
+        activated: attn + active_ffn + embedding,
+        embedding,
+    }
+}
+
+/// Causal attention-core FLOPs per token for a *forward* pass over all
+/// layers, at sequence length `seq` (average attended length `seq/2`).
+#[must_use]
+pub fn attention_core_flops_per_token(cfg: &ModelConfig, seq: usize) -> f64 {
+    let heads = cfg.attention.num_heads() as f64;
+    let qk = cfg.attention.qk_dim() as f64;
+    let v = cfg.attention.v_dim() as f64;
+    let avg_len = seq as f64 / 2.0;
+    // QKᵀ: 2·len·qk per head; A·V: 2·len·v per head.
+    let per_layer = heads * (2.0 * avg_len * qk + 2.0 * avg_len * v);
+    per_layer * cfg.layers as f64
+}
+
+/// Training FLOPs per token at sequence length `seq` (Table 2's metric).
+#[must_use]
+pub fn training_flops_per_token(cfg: &ModelConfig, seq: usize) -> f64 {
+    let p = param_counts(cfg);
+    6.0 * p.activated_matmul() as f64 + 3.0 * attention_core_flops_per_token(cfg, seq)
+}
+
+/// Training GFLOPs per token at sequence length `seq`.
+#[must_use]
+pub fn training_gflops_per_token(cfg: &ModelConfig, seq: usize) -> f64 {
+    training_flops_per_token(cfg, seq) / 1e9
+}
+
+/// Inference (decode) FLOPs per token at context length `context`:
+/// `2 × activated params` plus the attention core over the full cached
+/// context.
+#[must_use]
+pub fn decode_flops_per_token(cfg: &ModelConfig, context: usize) -> f64 {
+    let p = param_counts(cfg);
+    let heads = cfg.attention.num_heads() as f64;
+    let qk = cfg.attention.qk_dim() as f64;
+    let v = cfg.attention.v_dim() as f64;
+    let core = heads * (2.0 * context as f64 * (qk + v)) * cfg.layers as f64;
+    2.0 * p.activated_matmul() as f64 + core
+}
+
+/// Bytes of weights read per decoded token (memory-bound decode model):
+/// activated parameters × bytes per parameter.
+#[must_use]
+pub fn decode_weight_bytes_per_token(cfg: &ModelConfig, bytes_per_param: f64) -> f64 {
+    param_counts(cfg).activated as f64 * bytes_per_param
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::zoo;
+
+    fn within(value: f64, target: f64, tol: f64) -> bool {
+        (value - target).abs() / target <= tol
+    }
+
+    #[test]
+    fn v3_param_counts_match_published() {
+        let p = param_counts(&zoo::deepseek_v3());
+        assert!(within(p.total as f64, 671e9, 0.03), "total {}", p.total);
+        assert!(within(p.activated as f64, 37e9, 0.03), "activated {}", p.activated);
+    }
+
+    #[test]
+    fn v2_param_counts_match_published() {
+        let p = param_counts(&zoo::deepseek_v2());
+        assert!(within(p.total as f64, 236e9, 0.03), "total {}", p.total);
+        assert!(within(p.activated as f64, 21e9, 0.05), "activated {}", p.activated);
+    }
+
+    #[test]
+    fn dense_param_counts_match_published() {
+        let q = param_counts(&zoo::qwen25_72b());
+        assert!(within(q.total as f64, 72.7e9, 0.03), "qwen {}", q.total);
+        let l = param_counts(&zoo::llama31_405b());
+        assert!(within(l.total as f64, 405e9, 0.03), "llama {}", l.total);
+    }
+
+    #[test]
+    fn table2_training_cost_shape() {
+        // Paper Table 2 (seq 4096): 155 / 250 / 394 / 2448 GFLOPs per token.
+        let g = |cfg| training_gflops_per_token(&cfg, 4096);
+        let v2 = g(zoo::deepseek_v2());
+        let v3 = g(zoo::deepseek_v3());
+        let qwen = g(zoo::qwen25_72b());
+        let llama = g(zoo::llama31_405b());
+        assert!(within(v2, 155.0, 0.05), "v2 {v2}");
+        assert!(within(v3, 250.0, 0.05), "v3 {v3}");
+        // Qwen2.5-72B is the one model where the paper's number (394) implies a
+        // smaller FFN than the published 29568 intermediate size; with the
+        // real config the cost comes out ~13% higher. See EXPERIMENTS.md.
+        assert!(within(qwen, 394.0, 0.15), "qwen {qwen}");
+        assert!(within(llama, 2448.0, 0.05), "llama {llama}");
+        // The headline claim: MoE models cost a fraction of comparable dense.
+        assert!(v3 < qwen, "671B MoE cheaper to train per token than 72B dense");
+        assert!(llama / v3 > 9.0, "405B dense ~an order of magnitude above V3");
+    }
+
+    #[test]
+    fn activated_much_smaller_than_total_for_moe() {
+        let p = param_counts(&zoo::deepseek_v3());
+        assert!(p.total / p.activated > 15);
+        let q = param_counts(&zoo::qwen25_72b());
+        assert_eq!(q.total, q.activated, "dense models activate everything");
+    }
+
+    #[test]
+    fn decode_flops_grow_with_context() {
+        let cfg = zoo::deepseek_v3();
+        assert!(decode_flops_per_token(&cfg, 8192) > decode_flops_per_token(&cfg, 1024));
+    }
+
+    #[test]
+    fn decode_weight_traffic() {
+        let cfg = zoo::deepseek_v3();
+        let b = decode_weight_bytes_per_token(&cfg, 1.0); // FP8
+        assert!(within(b, 37e9, 0.05), "{b}");
+    }
+}

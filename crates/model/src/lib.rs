@@ -1,0 +1,36 @@
+//! Model-architecture substrate for the DeepSeek-V3 reproduction.
+//!
+//! Everything in §2 of the paper that is a property of the *architecture* —
+//! KV-cache footprints (Table 1), training FLOPs per token (Table 2), the
+//! MLA latent-cache mechanism, the DeepSeekMoE node-limited gate (§4.3), and
+//! the Multi-Token Prediction statistics (§2.3.3) — is implemented here, both
+//! as analytical models over [`config::ModelConfig`] and as small functional
+//! reference implementations on real tensors.
+//!
+//! * [`config`] — architecture descriptions + the model zoo used by the
+//!   paper's tables (DeepSeek-V2/V3, Qwen2.5-72B, LLaMA-3.1-405B).
+//! * [`attention`] — MHA/GQA/MQA/MLA descriptors and exact per-token KV
+//!   cache sizes.
+//! * [`flops`] — parameter counting and training/inference FLOPs per token.
+//! * [`mla`] — a functional Multi-head Latent Attention layer with a latent
+//!   cache, checked against explicit-KV attention.
+//! * [`moe`] — the DeepSeekMoE sigmoid gate with node-limited (group-limited)
+//!   top-k routing and load statistics.
+//! * [`mtp`] — Multi-Token Prediction speculative-decoding statistics.
+//! * [`eplb`] — expert placement / redundant-replica load balancing for
+//!   EP inference (§2.3.2).
+//! * [`train`] — a tiny trainer with pluggable precision backends for the
+//!   FP8-vs-BF16 accuracy experiment (§2.4).
+
+pub mod attention;
+pub mod config;
+pub mod eplb;
+pub mod flops;
+pub mod mla;
+pub mod moe;
+pub mod mtp;
+pub mod train;
+pub mod transformer;
+
+pub use attention::Attention;
+pub use config::{zoo, ModelConfig};

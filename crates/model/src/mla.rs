@@ -1,0 +1,439 @@
+//! A functional Multi-head Latent Attention layer with a latent KV cache.
+//!
+//! §2.1.2: MLA "compresses the KV representations of all attention heads
+//! into a smaller latent vector using a projection matrix"; at inference time
+//! only the latent (plus the decoupled RoPE key) is cached. This module
+//! implements that computation on real tensors and verifies that attending
+//! through the latent cache produces *identical* outputs to an explicit-KV
+//! attention whose K/V are the up-projected latents — i.e. MLA trades cache
+//! memory for up-projection compute with no change in the attended result.
+//!
+//! Positional rotation (RoPE) is applied as identity here: the decoupled
+//! rope dimensions flow through the same cache path, which is what the
+//! memory accounting and the equivalence property depend on.
+
+use dsv3_numerics::minifloat::Format;
+use dsv3_numerics::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of an MLA layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlaDims {
+    /// Model width.
+    pub hidden: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Query low-rank dimension.
+    pub q_lora_rank: usize,
+    /// KV latent dimension (the cached part, excluding rope).
+    pub kv_lora_rank: usize,
+    /// Per-head non-positional QK dimension.
+    pub qk_nope_head_dim: usize,
+    /// Shared decoupled rope dimension.
+    pub qk_rope_head_dim: usize,
+    /// Per-head value dimension.
+    pub v_head_dim: usize,
+}
+
+impl MlaDims {
+    /// A small configuration for tests and examples.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            hidden: 64,
+            heads: 4,
+            q_lora_rank: 32,
+            kv_lora_rank: 16,
+            qk_nope_head_dim: 8,
+            qk_rope_head_dim: 4,
+            v_head_dim: 8,
+        }
+    }
+
+    /// Cached elements per token (latent + shared rope key).
+    #[must_use]
+    pub fn latent_elems_per_token(&self) -> usize {
+        self.kv_lora_rank + self.qk_rope_head_dim
+    }
+
+    /// Elements per token an explicit (MHA-style) cache would hold.
+    #[must_use]
+    pub fn explicit_elems_per_token(&self) -> usize {
+        self.heads * (self.qk_nope_head_dim + self.qk_rope_head_dim + self.v_head_dim)
+    }
+}
+
+/// One MLA layer: projection weights plus the growing latent cache.
+#[derive(Debug, Clone)]
+pub struct MlaLayer {
+    /// Dimensions.
+    pub dims: MlaDims,
+    w_dq: Matrix,
+    w_uq: Matrix,
+    w_dkv: Matrix,
+    w_uk: Matrix,
+    w_uv: Matrix,
+    w_o: Matrix,
+    /// Latent cache: one row of `kv_lora_rank + rope` per past token.
+    cache: Vec<Vec<f32>>,
+}
+
+impl MlaLayer {
+    /// Create a layer with deterministic random weights.
+    #[must_use]
+    pub fn new(dims: MlaDims, seed: u64) -> Self {
+        let qk = dims.qk_nope_head_dim + dims.qk_rope_head_dim;
+        let s = |i: u64| seed.wrapping_mul(1000).wrapping_add(i);
+        let init = |r: usize, c: usize, i: u64| Matrix::random(r, c, 1.0 / (r as f32).sqrt(), s(i));
+        Self {
+            w_dq: init(dims.hidden, dims.q_lora_rank, 1),
+            w_uq: init(dims.q_lora_rank, dims.heads * qk, 2),
+            w_dkv: init(dims.hidden, dims.kv_lora_rank + dims.qk_rope_head_dim, 3),
+            w_uk: init(dims.kv_lora_rank, dims.heads * dims.qk_nope_head_dim, 4),
+            w_uv: init(dims.kv_lora_rank, dims.heads * dims.v_head_dim, 5),
+            w_o: init(dims.heads * dims.v_head_dim, dims.hidden, 6),
+            dims,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Number of cached tokens.
+    #[must_use]
+    pub fn cached_tokens(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Bytes held by the latent cache at `bytes_per_elem` precision.
+    #[must_use]
+    pub fn cache_bytes(&self, bytes_per_elem: usize) -> usize {
+        self.cache.len() * self.dims.latent_elems_per_token() * bytes_per_elem
+    }
+
+    /// Clear the cache (new sequence).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Drop the last `n` cached tokens (speculative-decoding rollback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the cached length.
+    pub fn truncate_cache(&mut self, n: usize) {
+        assert!(n <= self.cache.len(), "cannot roll back {n} of {} tokens", self.cache.len());
+        self.cache.truncate(self.cache.len() - n);
+    }
+
+    /// Quantize every cached latent through `format` with a per-token scale
+    /// (§2.1.2's "Quantized Compression": low-bit KV storage on top of the
+    /// latent compression). Returns the storage bytes per element the format
+    /// implies (1 for FP8, 2 for BF16).
+    pub fn quantize_cache(&mut self, format: Format) -> usize {
+        for row in &mut self.cache {
+            let amax = row.iter().map(|v| v.abs() as f64).fold(0.0, f64::max);
+            let scale = if amax > 0.0 { amax / format.max_finite() } else { 1.0 };
+            for v in row.iter_mut() {
+                *v = (format.quantize(f64::from(*v) / scale) * scale) as f32;
+            }
+        }
+        format.total_bits().div_ceil(8) as usize
+    }
+
+    /// Project `x` (one token, `hidden` long) to its latent row.
+    fn latent_of(&self, x: &[f32]) -> Vec<f32> {
+        let x = Matrix::from_vec(1, self.dims.hidden, x.to_vec());
+        x.matmul(&self.w_dkv).data
+    }
+
+    /// Run one decode step: append `x`'s latent to the cache and return the
+    /// attention output (`hidden` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != hidden`.
+    pub fn decode_step(&mut self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dims.hidden, "input width mismatch");
+        self.cache.push(self.latent_of(x));
+        self.attend(x)
+    }
+
+    /// Attention for query token `x` over the current latent cache,
+    /// up-projecting K/V from latents on the fly (the MLA inference path).
+    fn attend(&self, x: &[f32]) -> Vec<f32> {
+        let d = &self.dims;
+        let qk = d.qk_nope_head_dim + d.qk_rope_head_dim;
+        let xq = Matrix::from_vec(1, d.hidden, x.to_vec());
+        let q = xq.matmul(&self.w_dq).matmul(&self.w_uq); // 1 × heads*qk
+        let t = self.cache.len();
+        let scale = 1.0 / (qk as f64).sqrt();
+        let mut heads_out = vec![0f32; d.heads * d.v_head_dim];
+        for h in 0..d.heads {
+            let q_nope = &q.data[h * qk..h * qk + d.qk_nope_head_dim];
+            let q_rope = &q.data[h * qk + d.qk_nope_head_dim..(h + 1) * qk];
+            // Scores over cached tokens.
+            let mut scores = Vec::with_capacity(t);
+            for c in &self.cache {
+                let latent = &c[..d.kv_lora_rank];
+                let k_rope = &c[d.kv_lora_rank..];
+                // k_nope = latent × W_UK[:, h-slice]
+                let mut dot = 0f64;
+                for (j, qn) in q_nope.iter().enumerate() {
+                    let mut k_j = 0f64;
+                    for (l, lat) in latent.iter().enumerate() {
+                        k_j += f64::from(*lat)
+                            * f64::from(self.w_uk.get(l, h * d.qk_nope_head_dim + j));
+                    }
+                    dot += f64::from(*qn) * k_j;
+                }
+                for (qr, kr) in q_rope.iter().zip(k_rope) {
+                    dot += f64::from(*qr) * f64::from(*kr);
+                }
+                scores.push(dot * scale);
+            }
+            let attn = softmax(&scores);
+            // Weighted sum of up-projected values.
+            for j in 0..d.v_head_dim {
+                let mut acc = 0f64;
+                for (a, c) in attn.iter().zip(&self.cache) {
+                    let latent = &c[..d.kv_lora_rank];
+                    let mut v_j = 0f64;
+                    for (l, lat) in latent.iter().enumerate() {
+                        v_j += f64::from(*lat) * f64::from(self.w_uv.get(l, h * d.v_head_dim + j));
+                    }
+                    acc += a * v_j;
+                }
+                heads_out[h * d.v_head_dim + j] = acc as f32;
+            }
+        }
+        Matrix::from_vec(1, d.heads * d.v_head_dim, heads_out).matmul(&self.w_o).data
+    }
+
+    /// Reference path: materialize the explicit K/V cache (as an MHA engine
+    /// would store it) and attend over it. Mathematically identical to
+    /// [`decode_step`](Self::decode_step)'s latent path.
+    ///
+    /// Returns `(output, explicit_cache_elems)`.
+    #[must_use]
+    pub fn attend_explicit(&self, x: &[f32]) -> (Vec<f32>, usize) {
+        let d = &self.dims;
+        let qk = d.qk_nope_head_dim + d.qk_rope_head_dim;
+        // Materialize K and V for every cached token.
+        let t = self.cache.len();
+        let mut k = vec![0f32; t * d.heads * qk];
+        let mut v = vec![0f32; t * d.heads * d.v_head_dim];
+        for (ti, c) in self.cache.iter().enumerate() {
+            let latent = Matrix::from_vec(1, d.kv_lora_rank, c[..d.kv_lora_rank].to_vec());
+            let k_nope = latent.matmul(&self.w_uk); // 1 × heads*nope
+            let vv = latent.matmul(&self.w_uv); // 1 × heads*v
+            for h in 0..d.heads {
+                for j in 0..d.qk_nope_head_dim {
+                    k[(ti * d.heads + h) * qk + j] = k_nope.data[h * d.qk_nope_head_dim + j];
+                }
+                for (j, kr) in c[d.kv_lora_rank..].iter().enumerate() {
+                    k[(ti * d.heads + h) * qk + d.qk_nope_head_dim + j] = *kr;
+                }
+                for j in 0..d.v_head_dim {
+                    v[(ti * d.heads + h) * d.v_head_dim + j] = vv.data[h * d.v_head_dim + j];
+                }
+            }
+        }
+        let xq = Matrix::from_vec(1, d.hidden, x.to_vec());
+        let q = xq.matmul(&self.w_dq).matmul(&self.w_uq);
+        let scale = 1.0 / (qk as f64).sqrt();
+        let mut heads_out = vec![0f32; d.heads * d.v_head_dim];
+        for h in 0..d.heads {
+            let qh = &q.data[h * qk..(h + 1) * qk];
+            let scores: Vec<f64> = (0..t)
+                .map(|ti| {
+                    let kh = &k[(ti * d.heads + h) * qk..(ti * d.heads + h + 1) * qk];
+                    qh.iter().zip(kh).map(|(a, b)| f64::from(*a) * f64::from(*b)).sum::<f64>()
+                        * scale
+                })
+                .collect();
+            let attn = softmax(&scores);
+            for j in 0..d.v_head_dim {
+                let acc: f64 = attn
+                    .iter()
+                    .enumerate()
+                    .map(|(ti, a)| a * f64::from(v[(ti * d.heads + h) * d.v_head_dim + j]))
+                    .sum();
+                heads_out[h * d.v_head_dim + j] = acc as f32;
+            }
+        }
+        let out = Matrix::from_vec(1, d.heads * d.v_head_dim, heads_out).matmul(&self.w_o).data;
+        (out, t * d.explicit_elems_per_token())
+    }
+}
+
+/// Numerically stable softmax.
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(i: u64, hidden: usize) -> Vec<f32> {
+        Matrix::random(1, hidden, 1.0, 777 + i).data
+    }
+
+    #[test]
+    fn latent_and_explicit_paths_agree() {
+        let mut layer = MlaLayer::new(MlaDims::tiny(), 1);
+        for i in 0..6 {
+            let x = token(i, layer.dims.hidden);
+            let _ = layer.decode_step(&x);
+        }
+        let x = token(99, layer.dims.hidden);
+        let via_latent = {
+            let mut l2 = layer.clone();
+            l2.decode_step(&x)
+        };
+        layer.cache.push(layer.latent_of(&x));
+        let (via_explicit, elems) = layer.attend_explicit(&x);
+        for (a, b) in via_latent.iter().zip(&via_explicit) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(elems, 7 * layer.dims.explicit_elems_per_token());
+    }
+
+    #[test]
+    fn cache_is_much_smaller_than_explicit() {
+        let d = MlaDims::tiny();
+        assert!(d.explicit_elems_per_token() > 3 * d.latent_elems_per_token());
+        // And for the real V3 dims, the ratio is what makes Table 1 work:
+        let v3 = MlaDims {
+            hidden: 7168,
+            heads: 128,
+            q_lora_rank: 1536,
+            kv_lora_rank: 512,
+            qk_nope_head_dim: 128,
+            qk_rope_head_dim: 64,
+            v_head_dim: 128,
+        };
+        assert_eq!(v3.latent_elems_per_token(), 576);
+        assert_eq!(v3.explicit_elems_per_token(), 128 * (128 + 64 + 128));
+        assert!(v3.explicit_elems_per_token() / v3.latent_elems_per_token() > 70);
+    }
+
+    #[test]
+    fn cache_grows_and_resets() {
+        let mut layer = MlaLayer::new(MlaDims::tiny(), 2);
+        for i in 0..5 {
+            let x = token(i, layer.dims.hidden);
+            let _ = layer.decode_step(&x);
+        }
+        assert_eq!(layer.cached_tokens(), 5);
+        assert_eq!(layer.cache_bytes(2), 5 * 20 * 2);
+        layer.reset();
+        assert_eq!(layer.cached_tokens(), 0);
+    }
+
+    #[test]
+    fn attention_weights_are_a_distribution() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn single_token_attends_to_itself() {
+        let mut layer = MlaLayer::new(MlaDims::tiny(), 3);
+        let x = token(0, layer.dims.hidden);
+        let out = layer.decode_step(&x);
+        assert_eq!(out.len(), layer.dims.hidden);
+        assert!(out.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut layer = MlaLayer::new(MlaDims::tiny(), 4);
+        let _ = layer.decode_step(&[0.0; 3]);
+    }
+
+    #[test]
+    fn quantized_cache_keeps_attention_accurate() {
+        // §2.1.2: KV pairs stored in low-bit representations achieve
+        // "significant compression with minimal impact". FP8-quantizing the
+        // latent cache perturbs the attention output only slightly, and
+        // wider formats perturb it less.
+        let dims = MlaDims::tiny();
+        let mut exact = MlaLayer::new(dims, 9);
+        for i in 0..16 {
+            let x = token(i, dims.hidden);
+            let _ = exact.decode_step(&x);
+        }
+        let q = token(99, dims.hidden);
+        let reference = {
+            let mut l = exact.clone();
+            l.decode_step(&q)
+        };
+        let err_for = |fmt: Format| -> f64 {
+            let mut l = exact.clone();
+            let _ = l.quantize_cache(fmt);
+            let out = l.decode_step(&q);
+            let num: f64 = reference
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            let den: f64 = reference.iter().map(|a| f64::from(*a).powi(2)).sum::<f64>().sqrt();
+            num / den
+        };
+        let e_fp8 = err_for(Format::E4M3);
+        let e_bf16 = err_for(Format::BF16);
+        assert!(e_fp8 < 0.05, "fp8 cache error {e_fp8}");
+        assert!(e_bf16 < e_fp8, "bf16 {e_bf16} vs fp8 {e_fp8}");
+    }
+
+    #[test]
+    fn quantized_cache_halves_bytes() {
+        let mut l = MlaLayer::new(MlaDims::tiny(), 10);
+        let x = token(0, l.dims.hidden);
+        let _ = l.decode_step(&x);
+        let bpe = l.quantize_cache(Format::E4M3);
+        assert_eq!(bpe, 1);
+        assert_eq!(l.cache_bytes(bpe) * 2, l.cache_bytes(2));
+    }
+
+    #[test]
+    fn truncate_rolls_back_speculation() {
+        let dims = MlaDims::tiny();
+        let mut a = MlaLayer::new(dims, 11);
+        let mut b = MlaLayer::new(dims, 11);
+        let toks: Vec<Vec<f32>> = (0..5).map(|i| token(i, dims.hidden)).collect();
+        for t in &toks[..4] {
+            let _ = a.decode_step(t);
+        }
+        for t in &toks[..3] {
+            let _ = b.decode_step(t);
+        }
+        // a speculated one extra token; rolling it back re-synchronizes.
+        a.truncate_cache(1);
+        assert_eq!(a.cached_tokens(), b.cached_tokens());
+        let out_a = a.decode_step(&toks[4]);
+        let out_b = b.decode_step(&toks[4]);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "roll back")]
+    fn truncate_too_far_panics() {
+        let mut l = MlaLayer::new(MlaDims::tiny(), 12);
+        l.truncate_cache(1);
+    }
+
+    #[test]
+    fn outputs_deterministic_for_seed() {
+        let mut a = MlaLayer::new(MlaDims::tiny(), 5);
+        let mut b = MlaLayer::new(MlaDims::tiny(), 5);
+        let x = token(1, a.dims.hidden);
+        assert_eq!(a.decode_step(&x), b.decode_step(&x));
+    }
+}

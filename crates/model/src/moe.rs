@@ -1,0 +1,540 @@
+//! The DeepSeekMoE gate with node-limited (group-limited) top-k routing.
+//!
+//! §4.3: the 256 routed experts are arranged into 8 groups of 32, one group
+//! per node; the router algorithmically guarantees each token touches at most
+//! `top_groups` (4) nodes, so the deduplicated inter-node (IB) traffic per
+//! token is `M·t` with `M ≤ 4` instead of `8·t`.
+//!
+//! The selection procedure follows DeepSeek-V3: sigmoid affinity scores, a
+//! per-group score equal to the sum of the group's top-2 expert affinities,
+//! top-`top_groups` group selection, then top-`top_k` experts within the
+//! surviving groups. Gate weights are the selected affinities normalized to
+//! sum to 1. An optional per-expert bias implements the auxiliary-loss-free
+//! load balancing (bias steers *selection* only, never the weights).
+
+use dsv3_numerics::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Routing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoeGateConfig {
+    /// Total routed experts.
+    pub experts: usize,
+    /// Expert groups (= nodes under the paper's deployment).
+    pub groups: usize,
+    /// Maximum groups (nodes) a token may touch.
+    pub top_groups: usize,
+    /// Routed experts selected per token.
+    pub top_k: usize,
+}
+
+impl MoeGateConfig {
+    /// DeepSeek-V3's production configuration: 256 experts, 8 groups,
+    /// ≤4 groups, top-8.
+    #[must_use]
+    pub fn deepseek_v3() -> Self {
+        Self { experts: 256, groups: 8, top_groups: 4, top_k: 8 }
+    }
+
+    /// Experts per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `experts` is not divisible by `groups`.
+    #[must_use]
+    pub fn experts_per_group(&self) -> usize {
+        assert_eq!(self.experts % self.groups, 0, "experts must divide evenly into groups");
+        self.experts / self.groups
+    }
+
+    /// Validity check used by constructors of dependent types.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.experts > 0
+            && self.groups > 0
+            && self.experts % self.groups == 0
+            && self.top_groups > 0
+            && self.top_groups <= self.groups
+            && self.top_k > 0
+            && self.top_k <= self.top_groups * (self.experts / self.groups)
+    }
+}
+
+/// Result of routing one token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Routing {
+    /// Selected routed expert indices (length `top_k`, unordered).
+    pub experts: Vec<usize>,
+    /// Normalized gate weights, aligned with `experts`.
+    pub weights: Vec<f32>,
+    /// Distinct groups (nodes) the token touches.
+    pub groups_used: Vec<usize>,
+}
+
+impl Routing {
+    /// Number of distinct nodes this token's experts live on (the `M` of
+    /// §4.3).
+    #[must_use]
+    pub fn nodes_touched(&self) -> usize {
+        self.groups_used.len()
+    }
+}
+
+/// Route one token given its per-expert affinity `scores` (sigmoid outputs)
+/// and optional selection `bias` (auxiliary-loss-free balancing).
+///
+/// ```
+/// use dsv3_model::moe::{route, MoeGateConfig};
+///
+/// let cfg = MoeGateConfig::deepseek_v3();
+/// let scores = vec![0.5f32; 256];
+/// let r = route(&scores, None, &cfg);
+/// assert_eq!(r.experts.len(), 8);
+/// assert!(r.nodes_touched() <= 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the config is invalid, `scores.len() != experts`, or a provided
+/// `bias` has the wrong length.
+#[must_use]
+pub fn route(scores: &[f32], bias: Option<&[f32]>, cfg: &MoeGateConfig) -> Routing {
+    assert!(cfg.is_valid(), "invalid gate config {cfg:?}");
+    assert_eq!(scores.len(), cfg.experts, "score vector length mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), cfg.experts, "bias length mismatch");
+    }
+    let epg = cfg.experts_per_group();
+    let biased = |e: usize| scores[e] + bias.map_or(0.0, |b| b[e]);
+
+    // Group score: sum of the top-2 biased affinities within the group.
+    let mut group_scores: Vec<(usize, f32)> = (0..cfg.groups)
+        .map(|g| {
+            let (mut best, mut second) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+            for e in g * epg..(g + 1) * epg {
+                let s = biased(e);
+                if s > best {
+                    second = best;
+                    best = s;
+                } else if s > second {
+                    second = s;
+                }
+            }
+            (g, best + if epg > 1 { second } else { 0.0 })
+        })
+        .collect();
+    group_scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let allowed: Vec<usize> = group_scores[..cfg.top_groups].iter().map(|(g, _)| *g).collect();
+
+    // Top-k experts within the allowed groups.
+    let mut candidates: Vec<usize> =
+        allowed.iter().flat_map(|g| g * epg..(g + 1) * epg).collect();
+    candidates.sort_by(|a, b| biased(*b).total_cmp(&biased(*a)).then(a.cmp(b)));
+    let experts: Vec<usize> = candidates[..cfg.top_k].to_vec();
+
+    // Gate weights: *unbiased* affinities of the selected experts, normalized.
+    let raw: Vec<f32> = experts.iter().map(|&e| scores[e]).collect();
+    let z: f32 = raw.iter().sum::<f32>().max(1e-20);
+    let weights: Vec<f32> = raw.iter().map(|r| r / z).collect();
+
+    let mut groups_used: Vec<usize> = experts.iter().map(|e| e / epg).collect();
+    groups_used.sort_unstable();
+    groups_used.dedup();
+    Routing { experts, weights, groups_used }
+}
+
+/// A full gate: affinity projection + balancing bias.
+#[derive(Debug, Clone)]
+pub struct MoeGate {
+    /// Routing configuration.
+    pub cfg: MoeGateConfig,
+    w: Matrix,
+    bias: Vec<f32>,
+}
+
+impl MoeGate {
+    /// New gate for inputs of width `hidden`, deterministic in `seed`.
+    #[must_use]
+    pub fn new(hidden: usize, cfg: MoeGateConfig, seed: u64) -> Self {
+        assert!(cfg.is_valid(), "invalid gate config {cfg:?}");
+        Self { w: Matrix::random(hidden, cfg.experts, 1.0, seed), bias: vec![0.0; cfg.experts], cfg }
+    }
+
+    /// Sigmoid affinity scores for one token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the gate's input width.
+    #[must_use]
+    pub fn scores(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.w.rows, "input width mismatch");
+        let logits = Matrix::from_vec(1, x.len(), x.to_vec()).matmul(&self.w);
+        logits.data.iter().map(|l| 1.0 / (1.0 + (-l).exp())).collect()
+    }
+
+    /// Route one token end to end.
+    #[must_use]
+    pub fn route_token(&self, x: &[f32]) -> Routing {
+        route(&self.scores(x), Some(&self.bias), &self.cfg)
+    }
+
+    /// Auxiliary-loss-free balancing update (§ of the V3 report): raise the
+    /// bias of underloaded experts and lower overloaded ones by `gamma`,
+    /// given observed per-expert token counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != experts`.
+    pub fn update_bias(&mut self, loads: &[usize], gamma: f32) {
+        assert_eq!(loads.len(), self.cfg.experts, "load vector length mismatch");
+        let mean = loads.iter().sum::<usize>() as f32 / loads.len() as f32;
+        for (b, &l) in self.bias.iter_mut().zip(loads) {
+            if (l as f32) > mean {
+                *b -= gamma;
+            } else if (l as f32) < mean {
+                *b += gamma;
+            }
+        }
+    }
+
+    /// Current balancing bias.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+}
+
+/// Aggregate routing statistics over a batch of tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// Tokens routed.
+    pub tokens: usize,
+    /// Per-expert assignment counts.
+    pub expert_loads: Vec<usize>,
+    /// Histogram of nodes touched per token (`hist[m]` = tokens touching
+    /// exactly `m` nodes; index 0 unused).
+    pub nodes_touched_hist: Vec<usize>,
+    /// Mean nodes touched per token (the `M` of §4.3).
+    pub mean_nodes_touched: f64,
+    /// Max expert load divided by the ideal balanced load.
+    pub load_imbalance: f64,
+}
+
+/// Compute [`RoutingStats`] for a set of per-token routings.
+///
+/// # Panics
+///
+/// Panics if `routings` is empty.
+#[must_use]
+pub fn routing_stats(routings: &[Routing], cfg: &MoeGateConfig) -> RoutingStats {
+    assert!(!routings.is_empty(), "need at least one routed token");
+    let mut expert_loads = vec![0usize; cfg.experts];
+    let mut hist = vec![0usize; cfg.groups + 1];
+    let mut total_nodes = 0usize;
+    for r in routings {
+        for &e in &r.experts {
+            expert_loads[e] += 1;
+        }
+        let m = r.nodes_touched();
+        hist[m] += 1;
+        total_nodes += m;
+    }
+    let tokens = routings.len();
+    let ideal = (tokens * cfg.top_k) as f64 / cfg.experts as f64;
+    let max_load = *expert_loads.iter().max().expect("nonempty") as f64;
+    RoutingStats {
+        tokens,
+        expert_loads,
+        nodes_touched_hist: hist,
+        mean_nodes_touched: total_nodes as f64 / tokens as f64,
+        load_imbalance: if ideal > 0.0 { max_load / ideal } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores_from_seed(n: usize, seed: u64) -> Vec<f32> {
+        Matrix::random(1, n, 1.0, seed).data.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect()
+    }
+
+    #[test]
+    fn routes_top_k_unique_experts() {
+        let cfg = MoeGateConfig::deepseek_v3();
+        let s = scores_from_seed(256, 1);
+        let r = route(&s, None, &cfg);
+        assert_eq!(r.experts.len(), 8);
+        let mut uniq = r.experts.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "experts must be distinct");
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let cfg = MoeGateConfig::deepseek_v3();
+        for seed in 0..200 {
+            let s = scores_from_seed(256, seed);
+            let r = route(&s, None, &cfg);
+            assert!(r.nodes_touched() <= cfg.top_groups, "token touched {} nodes", r.nodes_touched());
+        }
+    }
+
+    #[test]
+    fn weights_normalized_and_aligned() {
+        let cfg = MoeGateConfig::deepseek_v3();
+        let s = scores_from_seed(256, 7);
+        let r = route(&s, None, &cfg);
+        assert!((r.weights.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Weight ordering mirrors raw score ordering.
+        for w in &r.weights {
+            assert!(*w > 0.0);
+        }
+    }
+
+    #[test]
+    fn unconstrained_routing_can_touch_more_nodes() {
+        // With top_groups == groups the limiter is off; concentrated scores
+        // per node boundary show the difference.
+        let free = MoeGateConfig { experts: 64, groups: 8, top_groups: 8, top_k: 8 };
+        let limited = MoeGateConfig { experts: 64, groups: 8, top_groups: 4, top_k: 8 };
+        // One strong expert per group => free routing touches 8 nodes.
+        let mut s = vec![0.01f32; 64];
+        for g in 0..8 {
+            s[g * 8] = 0.9;
+        }
+        let rf = route(&s, None, &free);
+        let rl = route(&s, None, &limited);
+        assert_eq!(rf.nodes_touched(), 8);
+        assert!(rl.nodes_touched() <= 4);
+    }
+
+    #[test]
+    fn bias_steers_selection_not_weights() {
+        let cfg = MoeGateConfig { experts: 8, groups: 2, top_groups: 2, top_k: 2 };
+        let s = vec![0.5, 0.49, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
+        let no_bias = route(&s, None, &cfg);
+        assert_eq!({ let mut e = no_bias.experts.clone(); e.sort_unstable(); e }, vec![0, 1]);
+        // Bias expert 5 heavily: it gets selected, but its *weight* comes
+        // from the raw score.
+        let mut bias = vec![0.0f32; 8];
+        bias[5] = 10.0;
+        let b = route(&s, Some(&bias), &cfg);
+        assert!(b.experts.contains(&5));
+        let w5 = b.weights[b.experts.iter().position(|e| *e == 5).unwrap()];
+        let w0 = b.weights[b.experts.iter().position(|e| *e == 0).unwrap()];
+        assert!(w5 < w0, "biased expert keeps its small raw-score weight");
+    }
+
+    #[test]
+    fn gate_end_to_end_and_balancing() {
+        let cfg = MoeGateConfig { experts: 32, groups: 4, top_groups: 2, top_k: 4 };
+        let mut gate = MoeGate::new(16, cfg, 3);
+        let tokens: Vec<Vec<f32>> =
+            (0..400).map(|i| Matrix::random(1, 16, 1.0, 1000 + i).data).collect();
+        let run = |g: &MoeGate| -> RoutingStats {
+            let routings: Vec<Routing> = tokens.iter().map(|t| g.route_token(t)).collect();
+            routing_stats(&routings, &cfg)
+        };
+        let before = run(&gate);
+        // Several rounds of aux-free balancing must reduce imbalance.
+        let mut stats = before.clone();
+        for _ in 0..30 {
+            gate.update_bias(&stats.expert_loads, 0.01);
+            stats = run(&gate);
+        }
+        assert!(
+            stats.load_imbalance < before.load_imbalance,
+            "balancing {} -> {}",
+            before.load_imbalance,
+            stats.load_imbalance
+        );
+    }
+
+    #[test]
+    fn stats_conservation() {
+        let cfg = MoeGateConfig::deepseek_v3();
+        let routings: Vec<Routing> =
+            (0..100).map(|i| route(&scores_from_seed(256, 500 + i), None, &cfg)).collect();
+        let st = routing_stats(&routings, &cfg);
+        assert_eq!(st.expert_loads.iter().sum::<usize>(), 100 * 8);
+        assert_eq!(st.nodes_touched_hist.iter().sum::<usize>(), 100);
+        assert!(st.mean_nodes_touched <= 4.0);
+        assert!(st.mean_nodes_touched >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_score_len_panics() {
+        let cfg = MoeGateConfig::deepseek_v3();
+        let _ = route(&[0.5; 10], None, &cfg);
+    }
+
+    #[test]
+    fn single_group_config() {
+        let cfg = MoeGateConfig { experts: 4, groups: 1, top_groups: 1, top_k: 2 };
+        let r = route(&[0.1, 0.9, 0.5, 0.2], None, &cfg);
+        assert_eq!({ let mut e = r.experts.clone(); e.sort_unstable(); e }, vec![1, 2]);
+        assert_eq!(r.nodes_touched(), 1);
+    }
+}
+
+/// One expert: a SwiGLU feed-forward block.
+#[derive(Debug, Clone)]
+pub struct Expert {
+    w_gate: Matrix,
+    w_up: Matrix,
+    w_down: Matrix,
+}
+
+impl Expert {
+    /// New expert with deterministic random weights.
+    #[must_use]
+    pub fn new(hidden: usize, intermediate: usize, seed: u64) -> Self {
+        let s = 1.0 / (hidden as f32).sqrt();
+        Self {
+            w_gate: Matrix::random(hidden, intermediate, s, seed.wrapping_mul(3) + 1),
+            w_up: Matrix::random(hidden, intermediate, s, seed.wrapping_mul(3) + 2),
+            w_down: Matrix::random(intermediate, hidden, 1.0 / (intermediate as f32).sqrt(), seed.wrapping_mul(3) + 3),
+        }
+    }
+
+    /// SwiGLU forward for one token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the expert's hidden size.
+    #[must_use]
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.w_gate.rows, "input width mismatch");
+        let x = Matrix::from_vec(1, x.len(), x.to_vec());
+        let gate = x.matmul(&self.w_gate);
+        let up = x.matmul(&self.w_up);
+        let hidden: Vec<f32> = gate
+            .data
+            .iter()
+            .zip(&up.data)
+            .map(|(g, u)| silu(*g) * u)
+            .collect();
+        Matrix::from_vec(1, hidden.len(), hidden).matmul(&self.w_down).data
+    }
+}
+
+fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// A full DeepSeekMoE layer: gate + routed experts + shared experts.
+#[derive(Debug, Clone)]
+pub struct MoeLayer {
+    /// The router.
+    pub gate: MoeGate,
+    routed: Vec<Expert>,
+    shared: Vec<Expert>,
+}
+
+impl MoeLayer {
+    /// Build a layer with `cfg.experts` routed and `shared` shared experts.
+    #[must_use]
+    pub fn new(hidden: usize, intermediate: usize, cfg: MoeGateConfig, shared: usize, seed: u64) -> Self {
+        let routed = (0..cfg.experts)
+            .map(|e| Expert::new(hidden, intermediate, seed.wrapping_mul(1000) + e as u64))
+            .collect();
+        let shared = (0..shared)
+            .map(|e| Expert::new(hidden, intermediate, seed.wrapping_mul(1000) + 900_000 + e as u64))
+            .collect();
+        Self { gate: MoeGate::new(hidden, cfg, seed), routed, shared }
+    }
+
+    /// Forward one token: shared experts always fire; routed experts are
+    /// combined with the gate weights. Returns the output and the routing
+    /// (for traffic/load analysis).
+    #[must_use]
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Routing) {
+        let routing = self.gate.route_token(x);
+        let mut out = vec![0f32; x.len()];
+        for s in &self.shared {
+            for (o, v) in out.iter_mut().zip(s.forward(x)) {
+                *o += v;
+            }
+        }
+        for (&e, &w) in routing.experts.iter().zip(&routing.weights) {
+            for (o, v) in out.iter_mut().zip(self.routed[e].forward(x)) {
+                *o += w * v;
+            }
+        }
+        (out, routing)
+    }
+}
+
+#[cfg(test)]
+mod layer_tests {
+    use super::*;
+
+    fn tiny_cfg() -> MoeGateConfig {
+        MoeGateConfig { experts: 16, groups: 4, top_groups: 2, top_k: 4 }
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let layer = MoeLayer::new(32, 64, tiny_cfg(), 1, 5);
+        let x = Matrix::random(1, 32, 1.0, 77).data;
+        let (y1, r1) = layer.forward(&x);
+        let (y2, r2) = layer.forward(&x);
+        assert_eq!(y1, y2);
+        assert_eq!(r1, r2);
+        assert_eq!(y1.len(), 32);
+        assert_eq!(r1.experts.len(), 4);
+    }
+
+    #[test]
+    fn output_is_convex_in_gate_weights() {
+        // With weights summing to 1, scaling all routed expert outputs by a
+        // common factor scales the routed contribution linearly: check the
+        // routed part equals the weighted sum of individual expert outputs.
+        let layer = MoeLayer::new(16, 32, tiny_cfg(), 0, 6);
+        let x = Matrix::random(1, 16, 1.0, 88).data;
+        let (y, r) = layer.forward(&x);
+        let mut manual = vec![0f32; 16];
+        for (&e, &w) in r.experts.iter().zip(&r.weights) {
+            for (m, v) in manual.iter_mut().zip(layer.routed[e].forward(&x)) {
+                *m += w * v;
+            }
+        }
+        for (a, b) in y.iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shared_expert_always_contributes() {
+        let with_shared = MoeLayer::new(16, 32, tiny_cfg(), 1, 7);
+        let without = MoeLayer { shared: Vec::new(), ..with_shared.clone() };
+        let x = Matrix::random(1, 16, 1.0, 99).data;
+        let (a, _) = with_shared.forward(&x);
+        let (b, _) = without.forward(&x);
+        assert_ne!(a, b, "shared expert changes the output");
+    }
+
+    #[test]
+    fn different_tokens_use_different_experts() {
+        let layer = MoeLayer::new(32, 64, tiny_cfg(), 1, 8);
+        let mut expert_sets = std::collections::HashSet::new();
+        for i in 0..20 {
+            let x = Matrix::random(1, 32, 1.0, 2000 + i).data;
+            let (_, r) = layer.forward(&x);
+            let mut e = r.experts.clone();
+            e.sort_unstable();
+            expert_sets.insert(e);
+        }
+        assert!(expert_sets.len() > 5, "routing is input-dependent: {}", expert_sets.len());
+    }
+
+    #[test]
+    fn silu_properties() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(5.0) > 4.9);
+        assert!(silu(-5.0) > -0.05 && silu(-5.0) < 0.0);
+    }
+}

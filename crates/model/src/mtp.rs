@@ -1,0 +1,158 @@
+//! Multi-Token Prediction (MTP) speculative-decoding statistics (§2.3.3).
+//!
+//! Each MTP module drafts one additional token per decoding step; drafted
+//! tokens are verified in parallel by the full model. With a per-position
+//! acceptance rate `p` (the paper reports 80–90% for the second token), the
+//! expected tokens emitted per step is `1 + p + p² + … + p^modules` (a draft
+//! chain breaks at the first rejection), and the TPS speedup over plain
+//! autoregressive decoding is that expectation divided by the per-step
+//! overhead of running the (single-layer, lightweight) MTP modules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Analytical expected tokens emitted per decoding step.
+///
+/// # Panics
+///
+/// Panics if `acceptance` is outside `[0, 1]`.
+#[must_use]
+pub fn expected_tokens_per_step(acceptance: f64, modules: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&acceptance), "acceptance must be a probability");
+    let mut total = 1.0;
+    let mut chain = 1.0;
+    for _ in 0..modules {
+        chain *= acceptance;
+        total += chain;
+    }
+    total
+}
+
+/// TPS speedup from MTP: expected tokens per step divided by the relative
+/// per-step cost `1 + step_overhead` (each MTP module is a single extra
+/// layer, so the overhead is small but nonzero).
+///
+/// # Panics
+///
+/// Panics if `step_overhead < 0`.
+#[must_use]
+pub fn tps_speedup(acceptance: f64, modules: usize, step_overhead: f64) -> f64 {
+    assert!(step_overhead >= 0.0, "overhead cannot be negative");
+    expected_tokens_per_step(acceptance, modules) / (1.0 + step_overhead)
+}
+
+/// Result of a Monte-Carlo speculative-decoding simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MtpSimResult {
+    /// Decoding steps executed.
+    pub steps: usize,
+    /// Tokens emitted.
+    pub tokens: usize,
+    /// Empirical tokens per step.
+    pub tokens_per_step: f64,
+    /// Empirical acceptance rate of the first drafted token.
+    pub first_draft_acceptance: f64,
+}
+
+/// Simulate `target_tokens` of generation with `modules` MTP modules whose
+/// drafts are accepted independently with probability `acceptance`.
+///
+/// # Panics
+///
+/// Panics if `acceptance` is outside `[0, 1]` or `target_tokens == 0`.
+#[must_use]
+pub fn simulate(acceptance: f64, modules: usize, target_tokens: usize, seed: u64) -> MtpSimResult {
+    assert!((0.0..=1.0).contains(&acceptance), "acceptance must be a probability");
+    assert!(target_tokens > 0, "need a positive token budget");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tokens = 0usize;
+    let mut steps = 0usize;
+    let mut first_accepts = 0usize;
+    while tokens < target_tokens {
+        steps += 1;
+        tokens += 1; // the verified model token always lands
+        for m in 0..modules {
+            if rng.gen_bool(acceptance) {
+                tokens += 1;
+                if m == 0 {
+                    first_accepts += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+    MtpSimResult {
+        steps,
+        tokens,
+        tokens_per_step: tokens as f64 / steps as f64,
+        first_draft_acceptance: first_accepts as f64 / steps as f64,
+    }
+}
+
+/// Batch-size amplification: verifying `modules` drafted tokens alongside
+/// the real one multiplies the effective EP batch per step (§2.3.3 notes this
+/// boosts computational intensity).
+#[must_use]
+pub fn effective_batch_multiplier(modules: usize) -> usize {
+    1 + modules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_closed_form() {
+        assert_eq!(expected_tokens_per_step(0.0, 1), 1.0);
+        assert_eq!(expected_tokens_per_step(1.0, 1), 2.0);
+        assert!((expected_tokens_per_step(0.8, 1) - 1.8).abs() < 1e-12);
+        assert!((expected_tokens_per_step(0.5, 2) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_acceptance_band_gives_1_8x() {
+        // §2.3.3: 80–90% acceptance -> ~1.8× TPS with one MTP module.
+        for p in [0.8, 0.85, 0.9] {
+            let s = tps_speedup(p, 1, 0.02);
+            assert!((1.7..2.0).contains(&s), "p={p}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn simulation_matches_expectation() {
+        let p = 0.85;
+        let sim = simulate(p, 1, 200_000, 42);
+        let expect = expected_tokens_per_step(p, 1);
+        assert!((sim.tokens_per_step - expect).abs() < 0.01, "{} vs {expect}", sim.tokens_per_step);
+        assert!((sim.first_draft_acceptance - p).abs() < 0.01);
+    }
+
+    #[test]
+    fn more_modules_more_tokens_but_diminishing() {
+        let one = expected_tokens_per_step(0.8, 1);
+        let two = expected_tokens_per_step(0.8, 2);
+        let three = expected_tokens_per_step(0.8, 3);
+        assert!(two > one && three > two);
+        assert!(three - two < two - one, "diminishing returns");
+    }
+
+    #[test]
+    fn zero_modules_is_plain_decoding() {
+        assert_eq!(expected_tokens_per_step(0.9, 0), 1.0);
+        let sim = simulate(0.9, 0, 1000, 1);
+        assert_eq!(sim.tokens_per_step, 1.0);
+    }
+
+    #[test]
+    fn batch_multiplier() {
+        assert_eq!(effective_batch_multiplier(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_acceptance_panics() {
+        let _ = expected_tokens_per_step(1.5, 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! A functional miniature DeepSeek-V3: MLA attention + DeepSeekMoE blocks
+//! with a working speculative-decoding loop (Figure 1, §2.3.3).
+//!
+//! This is the architecture of Figure 1 at toy scale, end to end on real
+//! tensors: tied token embeddings, RMS-normed residual blocks of
+//! [`MlaLayer`] attention and [`MoeLayer`] FFNs, greedy decoding, and —
+//! crucially — the full MTP-style speculative-decoding control flow:
+//! draft, parallel verify, accept or roll the latent cache back. The draft
+//! source is pluggable; tests drive it with a controlled-accuracy oracle so
+//! the measured acceptance/TPS matches the closed forms of [`crate::mtp`].
+
+use crate::mla::{MlaDims, MlaLayer};
+use crate::moe::{MoeGateConfig, MoeLayer, Routing};
+use dsv3_numerics::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Toy model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TinyConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// MLA dimensions (defines the model width).
+    pub mla: MlaDims,
+    /// Gate configuration for the MoE FFN.
+    pub gate: MoeGateConfig,
+    /// Per-expert intermediate size.
+    pub expert_intermediate: usize,
+    /// Shared experts per MoE layer.
+    pub shared_experts: usize,
+}
+
+impl TinyConfig {
+    /// A small but structurally faithful configuration.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            vocab: 64,
+            blocks: 2,
+            mla: MlaDims::tiny(),
+            gate: MoeGateConfig { experts: 16, groups: 4, top_groups: 2, top_k: 4 },
+            expert_intermediate: 32,
+            shared_experts: 1,
+        }
+    }
+}
+
+struct Block {
+    attn: MlaLayer,
+    ffn: MoeLayer,
+}
+
+/// The miniature model with its decoding state (latent caches).
+///
+/// ```
+/// use dsv3_model::transformer::{TinyConfig, TinyDeepSeek};
+///
+/// let mut m = TinyDeepSeek::new(TinyConfig::tiny(), 42);
+/// let tokens = m.generate(&[1, 2, 3], 5);
+/// assert_eq!(tokens.len(), 5);
+/// ```
+pub struct TinyDeepSeek {
+    /// Configuration.
+    pub cfg: TinyConfig,
+    embed: Matrix,
+    blocks: Vec<Block>,
+    /// Routings observed for the most recent token (one per MoE block),
+    /// exposed for traffic analysis.
+    pub last_routings: Vec<Routing>,
+}
+
+impl TinyDeepSeek {
+    /// Build with deterministic random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid gate configuration.
+    #[must_use]
+    pub fn new(cfg: TinyConfig, seed: u64) -> Self {
+        let hidden = cfg.mla.hidden;
+        let blocks = (0..cfg.blocks)
+            .map(|i| Block {
+                attn: MlaLayer::new(cfg.mla, seed.wrapping_mul(97) + i as u64),
+                ffn: MoeLayer::new(
+                    hidden,
+                    cfg.expert_intermediate,
+                    cfg.gate,
+                    cfg.shared_experts,
+                    seed.wrapping_mul(131) + i as u64,
+                ),
+            })
+            .collect();
+        Self {
+            embed: Matrix::random(cfg.vocab, hidden, 1.0 / (hidden as f32).sqrt(), seed ^ 0xE),
+            blocks,
+            cfg,
+            last_routings: Vec::new(),
+        }
+    }
+
+    /// Number of tokens currently in the cache.
+    #[must_use]
+    pub fn cached_tokens(&self) -> usize {
+        self.blocks.first().map_or(0, |b| b.attn.cached_tokens())
+    }
+
+    /// Clear all caches (new sequence).
+    pub fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.attn.reset();
+        }
+    }
+
+    /// Roll back the last `n` cached tokens in every block.
+    pub fn truncate(&mut self, n: usize) {
+        for b in &mut self.blocks {
+            b.attn.truncate_cache(n);
+        }
+    }
+
+    /// Process one token and return the logits for the next position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token ≥ vocab`.
+    pub fn forward_token(&mut self, token: usize) -> Vec<f32> {
+        assert!(token < self.cfg.vocab, "token {token} out of vocabulary");
+        let mut h: Vec<f32> = self.embed.row(token).to_vec();
+        self.last_routings.clear();
+        for block in &mut self.blocks {
+            let normed = rms_norm(&h);
+            let attn = block.attn.decode_step(&normed);
+            for (a, b) in h.iter_mut().zip(&attn) {
+                *a += b;
+            }
+            let normed = rms_norm(&h);
+            let (ffn, routing) = block.ffn.forward(&normed);
+            self.last_routings.push(routing);
+            for (a, b) in h.iter_mut().zip(&ffn) {
+                *a += b;
+            }
+        }
+        let h = rms_norm(&h);
+        // Tied unembedding: logits = h · embedᵀ.
+        (0..self.cfg.vocab)
+            .map(|v| {
+                self.embed
+                    .row(v)
+                    .iter()
+                    .zip(&h)
+                    .map(|(w, x)| w * x)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Greedy autoregressive generation: feed `prompt`, then emit `n`
+    /// tokens.
+    pub fn generate(&mut self, prompt: &[usize], n: usize) -> Vec<usize> {
+        assert!(!prompt.is_empty(), "need a prompt token");
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.forward_token(t);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let next = argmax(&logits);
+            out.push(next);
+            if out.len() == n {
+                break;
+            }
+            logits = self.forward_token(next);
+        }
+        out
+    }
+}
+
+/// Statistics from a speculative generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeculativeStats {
+    /// Decoding steps executed.
+    pub steps: usize,
+    /// Tokens emitted.
+    pub emitted: usize,
+    /// Drafts accepted.
+    pub accepted: usize,
+    /// Drafts rejected (cache rolled back).
+    pub rejected: usize,
+}
+
+impl SpeculativeStats {
+    /// Empirical tokens per step.
+    #[must_use]
+    pub fn tokens_per_step(&self) -> f64 {
+        self.emitted as f64 / self.steps as f64
+    }
+
+    /// Empirical draft acceptance rate.
+    #[must_use]
+    pub fn acceptance(&self) -> f64 {
+        self.accepted as f64 / (self.accepted + self.rejected).max(1) as f64
+    }
+}
+
+/// Speculative generation with one draft token per step (the MTP shape).
+///
+/// `draft` receives the verified token about to be fed (`a`) and the true
+/// next token the verifier will compute (`b_true`) and returns the draft —
+/// tests use a controlled-accuracy oracle; a real system would call its MTP
+/// head. Rejected drafts trigger a one-token cache rollback in every block.
+///
+/// # Panics
+///
+/// Panics if the prompt is empty.
+pub fn generate_speculative(
+    model: &mut TinyDeepSeek,
+    prompt: &[usize],
+    n: usize,
+    mut draft: impl FnMut(usize, usize) -> usize,
+) -> (Vec<usize>, SpeculativeStats) {
+    assert!(!prompt.is_empty(), "need a prompt token");
+    let mut logits = Vec::new();
+    for &t in prompt {
+        logits = model.forward_token(t);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut stats = SpeculativeStats { steps: 0, emitted: 0, accepted: 0, rejected: 0 };
+    while out.len() < n {
+        stats.steps += 1;
+        // Emit the verified token for this position.
+        let a = argmax(&logits);
+        out.push(a);
+        stats.emitted += 1;
+        if out.len() >= n {
+            break;
+        }
+        // Verify forward for `a` (this is the "parallel" leg of the batch).
+        let logits_a = model.forward_token(a);
+        let b_true = argmax(&logits_a);
+        // Draft the following token and speculatively extend the cache.
+        let d = draft(a, b_true);
+        let logits_d = model.forward_token(d);
+        if d == b_true {
+            stats.accepted += 1;
+            out.push(d);
+            stats.emitted += 1;
+            logits = logits_d;
+        } else {
+            stats.rejected += 1;
+            model.truncate(1); // roll the speculative token back
+            logits = logits_a;
+        }
+    }
+    (out, stats)
+}
+
+fn rms_norm(x: &[f32]) -> Vec<f32> {
+    let ms: f64 = x.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>() / x.len() as f64;
+    let inv = 1.0 / (ms + 1e-6).sqrt();
+    x.iter().map(|v| (f64::from(*v) * inv) as f32).collect()
+}
+
+fn argmax(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty logits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mtp::expected_tokens_per_step;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn model(seed: u64) -> TinyDeepSeek {
+        TinyDeepSeek::new(TinyConfig::tiny(), seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = model(1);
+        let mut b = model(1);
+        assert_eq!(a.generate(&[3, 14], 12), b.generate(&[3, 14], 12));
+    }
+
+    #[test]
+    fn cache_consistency_incremental_vs_fresh() {
+        // Feeding t0..t3 incrementally leaves the model in the same state a
+        // fresh model reaches with the same tokens.
+        let mut a = model(2);
+        for t in [5usize, 9, 20, 33] {
+            let _ = a.forward_token(t);
+        }
+        let la = a.forward_token(40);
+        let mut b = model(2);
+        for t in [5usize, 9, 20, 33] {
+            let _ = b.forward_token(t);
+        }
+        let lb = b.forward_token(40);
+        assert_eq!(la, lb);
+        assert_eq!(a.cached_tokens(), 5);
+    }
+
+    #[test]
+    fn truncate_equals_never_having_fed() {
+        let mut a = model(3);
+        let _ = a.forward_token(1);
+        let _ = a.forward_token(2);
+        let _ = a.forward_token(60); // speculative
+        a.truncate(1);
+        let la = a.forward_token(7);
+        let mut b = model(3);
+        let _ = b.forward_token(1);
+        let _ = b.forward_token(2);
+        let lb = b.forward_token(7);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn perfect_drafts_give_two_tokens_per_step() {
+        let mut m = model(4);
+        let (out, stats) = generate_speculative(&mut m, &[1], 40, |_, b_true| b_true);
+        assert_eq!(out.len(), 40);
+        assert!((stats.tokens_per_step() - 2.0).abs() < 0.06, "{}", stats.tokens_per_step());
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn hopeless_drafts_give_one_token_per_step() {
+        let mut m = model(5);
+        let (out, stats) =
+            generate_speculative(&mut m, &[1], 30, |_, b_true| (b_true + 1) % 64);
+        assert_eq!(out.len(), 30);
+        assert!((stats.tokens_per_step() - 1.0).abs() < 0.06, "{}", stats.tokens_per_step());
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn controlled_acceptance_matches_mtp_statistics() {
+        let mut m = model(6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = 0.85;
+        let (out, stats) = generate_speculative(&mut m, &[2], 600, |_, b_true| {
+            if rng.gen_bool(p) {
+                b_true
+            } else {
+                (b_true + 7) % 64
+            }
+        });
+        assert_eq!(out.len(), 600);
+        assert!((stats.acceptance() - p).abs() < 0.06, "acceptance {}", stats.acceptance());
+        let expect = expected_tokens_per_step(p, 1);
+        assert!(
+            (stats.tokens_per_step() - expect).abs() < 0.1,
+            "{} vs {expect}",
+            stats.tokens_per_step()
+        );
+    }
+
+    #[test]
+    fn speculative_output_matches_plain_greedy() {
+        // Speculation must never change the emitted sequence — only speed.
+        let mut plain = model(7);
+        let reference = plain.generate(&[4, 8], 25);
+        let mut spec = model(7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (out, _) = generate_speculative(&mut spec, &[4, 8], 25, |_, b_true| {
+            if rng.gen_bool(0.5) {
+                b_true
+            } else {
+                rng.gen_range(0..64)
+            }
+        });
+        // generate() consumes the prompt then emits; align lengths.
+        assert_eq!(out[..reference.len().min(out.len())], reference[..reference.len().min(out.len())]);
+    }
+
+    #[test]
+    fn moe_routing_is_observable_per_block() {
+        let mut m = model(8);
+        let _ = m.forward_token(10);
+        assert_eq!(m.last_routings.len(), 2);
+        for r in &m.last_routings {
+            assert_eq!(r.experts.len(), 4);
+            assert!(r.nodes_touched() <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_panics() {
+        let mut m = model(9);
+        let _ = m.forward_token(64);
+    }
+}

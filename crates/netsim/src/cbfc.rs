@@ -1,0 +1,135 @@
+//! Credit-based flow control and head-of-line blocking (§6.3).
+//!
+//! A lossless fabric pauses an upstream link when a downstream buffer runs
+//! out of credits. With one shared credit pool per link, a single congested
+//! destination stalls *every* flow crossing that link — the pathological
+//! head-of-line blocking the paper warns "naively triggering flow control"
+//! causes. Per-virtual-channel credits (or endpoint-driven congestion
+//! control that slows only the hot flow) confine the stall.
+//!
+//! The model: an upstream link carries a hot flow (to a congested port
+//! draining at a fraction of line rate) and a victim flow (to an idle
+//! port) for a window of `duration_us`.
+
+use serde::{Deserialize, Serialize};
+
+/// Flow-control discipline on the shared upstream link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowControl {
+    /// One shared credit pool: when the hot destination backs up, the whole
+    /// upstream link pauses.
+    SharedCredits,
+    /// Per-virtual-channel credits: only the hot flow's VC pauses.
+    PerVcCredits,
+    /// Endpoint congestion control: the sender of the hot flow slows to the
+    /// drain rate before the buffer ever fills (no pause at all).
+    EndpointCc,
+}
+
+/// The congestion scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CbfcScenario {
+    /// Upstream link rate, GB/s.
+    pub link_gbps: f64,
+    /// Drain rate of the congested destination, GB/s.
+    pub hot_drain_gbps: f64,
+    /// Offered rate of the hot flow, GB/s.
+    pub hot_offered_gbps: f64,
+    /// Offered rate of the victim flow, GB/s.
+    pub victim_offered_gbps: f64,
+}
+
+impl CbfcScenario {
+    /// A typical incast-y mix: hot flow offered at line rate into a port
+    /// draining at 20%, victim offered at 40% of line rate.
+    #[must_use]
+    pub fn default_mix() -> Self {
+        Self { link_gbps: 50.0, hot_drain_gbps: 10.0, hot_offered_gbps: 50.0, victim_offered_gbps: 20.0 }
+    }
+
+    /// Steady-state victim throughput (GB/s) under a discipline.
+    #[must_use]
+    pub fn victim_throughput(&self, fc: FlowControl) -> f64 {
+        match fc {
+            FlowControl::SharedCredits => {
+                // The upstream link is paused whenever the hot buffer is
+                // full; in steady state it forwards at exactly the hot drain
+                // rate, and the victim gets only its time-share of the
+                // unpaused window.
+                let duty = (self.hot_drain_gbps / self.hot_offered_gbps).min(1.0);
+                (self.victim_offered_gbps * duty).min(self.link_gbps * duty)
+            }
+            FlowControl::PerVcCredits | FlowControl::EndpointCc => {
+                // The hot flow is throttled to its drain rate; link capacity
+                // is then shared max-min between the two flows.
+                let hot_cap = self.hot_drain_gbps.min(self.hot_offered_gbps);
+                let victim_cap = self.victim_offered_gbps;
+                if hot_cap + victim_cap <= self.link_gbps {
+                    victim_cap
+                } else {
+                    let fair = self.link_gbps / 2.0;
+                    if victim_cap <= fair {
+                        victim_cap
+                    } else if hot_cap <= fair {
+                        self.link_gbps - hot_cap
+                    } else {
+                        fair
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hot-flow steady-state throughput (identical across disciplines: the
+    /// drain is the bottleneck; flow control only decides who else suffers).
+    #[must_use]
+    pub fn hot_throughput(&self) -> f64 {
+        self.hot_drain_gbps.min(self.hot_offered_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_credits_starve_the_victim() {
+        let s = CbfcScenario::default_mix();
+        let shared = s.victim_throughput(FlowControl::SharedCredits);
+        let vc = s.victim_throughput(FlowControl::PerVcCredits);
+        assert!(shared < 0.25 * vc, "shared {shared} vs per-VC {vc}");
+        assert!((vc - 20.0).abs() < 1e-9, "victim unaffected with isolation");
+    }
+
+    #[test]
+    fn endpoint_cc_equals_per_vc_in_steady_state() {
+        let s = CbfcScenario::default_mix();
+        assert_eq!(
+            s.victim_throughput(FlowControl::PerVcCredits),
+            s.victim_throughput(FlowControl::EndpointCc)
+        );
+    }
+
+    #[test]
+    fn hot_flow_is_drain_limited_regardless() {
+        let s = CbfcScenario::default_mix();
+        assert_eq!(s.hot_throughput(), 10.0);
+    }
+
+    #[test]
+    fn no_congestion_no_difference() {
+        let s = CbfcScenario { hot_drain_gbps: 50.0, ..CbfcScenario::default_mix() };
+        let shared = s.victim_throughput(FlowControl::SharedCredits);
+        let vc = s.victim_throughput(FlowControl::PerVcCredits);
+        assert!((shared - vc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn victim_capped_by_leftover_capacity() {
+        let s = CbfcScenario {
+            victim_offered_gbps: 60.0,
+            ..CbfcScenario::default_mix()
+        };
+        assert_eq!(s.victim_throughput(FlowControl::PerVcCredits), 40.0);
+    }
+}

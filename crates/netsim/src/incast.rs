@@ -1,0 +1,89 @@
+//! Incast congestion and traffic isolation (§5.2.2).
+//!
+//! EP's all-to-all produces bursty many-to-one transfers; on a switch with
+//! shared output queues those bursts head-of-line-block unrelated traffic
+//! (DP all-reduce) sharing the same egress. Virtual output queuing (VOQ)
+//! gives each flow its own queue so the victim only shares *bandwidth*, not
+//! queue occupancy. This module models one egress port as a FIFO (shared
+//! queue) versus fair-shared service (VOQ) and reports the victim flow's
+//! latency.
+
+use serde::{Deserialize, Serialize};
+
+/// An incast scenario on one switch egress port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncastScenario {
+    /// Egress port bandwidth, GB/s.
+    pub port_gbps: f64,
+    /// Number of synchronized burst senders (the many-to-one).
+    pub burst_senders: usize,
+    /// Bytes per burst sender.
+    pub burst_bytes: f64,
+    /// The victim flow's bytes (latency-sensitive, e.g. an all-reduce chunk).
+    pub victim_bytes: f64,
+}
+
+impl IncastScenario {
+    /// A typical EP-burst-vs-allreduce mix.
+    #[must_use]
+    pub fn ep_burst_vs_allreduce() -> Self {
+        Self { port_gbps: 50.0, burst_senders: 16, burst_bytes: 1e6, victim_bytes: 0.25e6 }
+    }
+
+    /// Victim completion time (µs) with a shared FIFO queue: the burst
+    /// arrived first and the victim drains behind all of it.
+    #[must_use]
+    pub fn victim_time_shared_queue(&self) -> f64 {
+        let burst = self.burst_senders as f64 * self.burst_bytes;
+        (burst + self.victim_bytes) / (self.port_gbps * 1000.0)
+    }
+
+    /// Victim completion time (µs) with VOQ / per-QP queues: the victim
+    /// fair-shares the port with the burst aggregate (one queue vs many,
+    /// served round-robin ⇒ the victim gets `1/(senders+1)` of the port
+    /// until it finishes).
+    #[must_use]
+    pub fn victim_time_voq(&self) -> f64 {
+        let share = self.port_gbps / (self.burst_senders as f64 + 1.0);
+        self.victim_bytes / (share * 1000.0)
+    }
+
+    /// Head-of-line blocking penalty factor.
+    #[must_use]
+    pub fn hol_penalty(&self) -> f64 {
+        self.victim_time_shared_queue() / self.victim_time_voq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voq_protects_the_victim() {
+        let s = IncastScenario::ep_burst_vs_allreduce();
+        assert!(s.victim_time_voq() < s.victim_time_shared_queue());
+        // 16 MB of burst ahead of a 0.25 MB victim: ~4x penalty at least.
+        assert!(s.hol_penalty() > 3.0, "{}", s.hol_penalty());
+    }
+
+    #[test]
+    fn penalty_grows_with_burst_size() {
+        let base = IncastScenario::ep_burst_vs_allreduce();
+        let bigger = IncastScenario { burst_bytes: 4e6, ..base };
+        assert!(bigger.hol_penalty() > base.hol_penalty());
+    }
+
+    #[test]
+    fn no_burst_no_penalty() {
+        let s = IncastScenario { burst_senders: 0, ..IncastScenario::ep_burst_vs_allreduce() };
+        assert!((s.hol_penalty() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn times_scale_with_port_speed() {
+        let slow = IncastScenario::ep_burst_vs_allreduce();
+        let fast = IncastScenario { port_gbps: 100.0, ..slow };
+        assert!((slow.victim_time_voq() / fast.victim_time_voq() - 2.0).abs() < 1e-9);
+    }
+}

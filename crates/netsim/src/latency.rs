@@ -1,0 +1,135 @@
+//! Per-hop latency parameters, calibrated to Table 5.
+//!
+//! Table 5 reports CPU-side end-to-end latency for a 64 B transfer:
+//!
+//! | link layer | same leaf | cross leaf |
+//! |------------|-----------|------------|
+//! | RoCE       | 3.6 µs    | 5.6 µs     |
+//! | InfiniBand | 2.8 µs    | 3.7 µs     |
+//! | NVLink     | 3.33 µs   | —          |
+//!
+//! We decompose e2e latency as `endpoint_overhead + links·per_link +
+//! switches·per_switch`. A same-leaf path is 2 links + 1 switch; cross-leaf
+//! is 4 links + 3 switches. Solving the two IB (resp. RoCE) equations gives
+//! the presets below exactly; NVLink's single value pins its endpoint
+//! overhead given shared per-hop costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Additive latency components of one link layer.
+///
+/// ```
+/// use dsv3_netsim::LatencyParams;
+///
+/// assert!((LatencyParams::INFINIBAND.cross_leaf_us() - 3.7).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyParams {
+    /// Fixed send+receive software/NIC overhead (µs, both ends total).
+    pub endpoint_overhead_us: f64,
+    /// Per-cable propagation + serialization (µs).
+    pub per_link_us: f64,
+    /// Per-switch forwarding latency (µs).
+    pub per_switch_us: f64,
+}
+
+impl LatencyParams {
+    /// InfiniBand (CX7 NDR class): reproduces 2.8 / 3.7 µs.
+    pub const INFINIBAND: LatencyParams =
+        LatencyParams { endpoint_overhead_us: 2.2, per_link_us: 0.15, per_switch_us: 0.3 };
+    /// RoCE over generic Ethernet switches: reproduces 3.6 / 5.6 µs.
+    pub const ROCE: LatencyParams =
+        LatencyParams { endpoint_overhead_us: 2.45, per_link_us: 0.15, per_switch_us: 0.85 };
+    /// NVLink through one NVSwitch hop: reproduces 3.33 µs.
+    pub const NVLINK: LatencyParams =
+        LatencyParams { endpoint_overhead_us: 2.73, per_link_us: 0.15, per_switch_us: 0.3 };
+
+    /// End-to-end latency of a path with `links` cables and `switches` hops.
+    #[must_use]
+    pub fn path_us(&self, links: usize, switches: usize) -> f64 {
+        self.endpoint_overhead_us
+            + links as f64 * self.per_link_us
+            + switches as f64 * self.per_switch_us
+    }
+
+    /// Same-leaf path (host → leaf → host).
+    #[must_use]
+    pub fn same_leaf_us(&self) -> f64 {
+        self.path_us(2, 1)
+    }
+
+    /// Cross-leaf path (host → leaf → spine → leaf → host).
+    #[must_use]
+    pub fn cross_leaf_us(&self) -> f64 {
+        self.path_us(4, 3)
+    }
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Link layer name.
+    pub link_layer: String,
+    /// Same-leaf 64 B latency (µs).
+    pub same_leaf_us: f64,
+    /// Cross-leaf 64 B latency (µs); `None` for NVLink.
+    pub cross_leaf_us: Option<f64>,
+}
+
+/// Generate the three rows of Table 5 from the calibrated parameters.
+#[must_use]
+pub fn table5_rows() -> Vec<Table5Row> {
+    vec![
+        Table5Row {
+            link_layer: "RoCE".into(),
+            same_leaf_us: LatencyParams::ROCE.same_leaf_us(),
+            cross_leaf_us: Some(LatencyParams::ROCE.cross_leaf_us()),
+        },
+        Table5Row {
+            link_layer: "InfiniBand".into(),
+            same_leaf_us: LatencyParams::INFINIBAND.same_leaf_us(),
+            cross_leaf_us: Some(LatencyParams::INFINIBAND.cross_leaf_us()),
+        },
+        Table5Row {
+            link_layer: "NVLink".into(),
+            same_leaf_us: LatencyParams::NVLINK.same_leaf_us(),
+            cross_leaf_us: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_exact() {
+        assert!((LatencyParams::INFINIBAND.same_leaf_us() - 2.8).abs() < 1e-9);
+        assert!((LatencyParams::INFINIBAND.cross_leaf_us() - 3.7).abs() < 1e-9);
+        assert!((LatencyParams::ROCE.same_leaf_us() - 3.6).abs() < 1e-9);
+        assert!((LatencyParams::ROCE.cross_leaf_us() - 5.6).abs() < 1e-9);
+        assert!((LatencyParams::NVLINK.same_leaf_us() - 3.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ib_beats_roce_everywhere() {
+        let ib = LatencyParams::INFINIBAND;
+        let ro = LatencyParams::ROCE;
+        for (l, s) in [(2, 1), (4, 3), (6, 5)] {
+            assert!(ib.path_us(l, s) < ro.path_us(l, s));
+        }
+    }
+
+    #[test]
+    fn rows_complete() {
+        let rows = table5_rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().any(|r| r.link_layer == "NVLink" && r.cross_leaf_us.is_none()));
+    }
+
+    #[test]
+    fn longer_paths_cost_more() {
+        let ib = LatencyParams::INFINIBAND;
+        assert!(ib.cross_leaf_us() > ib.same_leaf_us());
+    }
+}

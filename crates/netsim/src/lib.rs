@@ -1,0 +1,28 @@
+//! Flow-level discrete-event network simulator.
+//!
+//! The paper's network results (Figures 5–8, Table 5, the §2.3.2 speed
+//! limits) are bandwidth-sharing and latency phenomena. This crate models
+//! them at flow granularity: links have capacity (GB/s) and per-hop latency;
+//! flows follow fixed link paths and share capacity max-min fairly
+//! (progressive filling); the simulation advances between flow arrival and
+//! completion events.
+//!
+//! * [`sim`] — the simulator core ([`sim::FlowSim`]).
+//! * [`latency`] — per-hop latency parameters calibrated so end-to-end 64B
+//!   latencies reproduce Table 5 (IB / RoCE / NVLink, same- and cross-leaf).
+//! * [`ordering`] — memory-semantic ordering: sender fences vs hardware
+//!   Region Acquire/Release (§6.4).
+//! * [`multiport`] — multi-port NICs with packet spraying and out-of-order
+//!   placement (Figure 4).
+//! * [`incast`] — many-to-one bursts vs a victim flow: shared queues vs
+//!   VOQ isolation (§5.2.2).
+
+pub mod cbfc;
+pub mod incast;
+pub mod latency;
+pub mod multiport;
+pub mod ordering;
+pub mod sim;
+
+pub use latency::LatencyParams;
+pub use sim::{FlowSim, Link, SimReport};

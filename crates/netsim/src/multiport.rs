@@ -1,0 +1,109 @@
+//! Multi-port NICs and packet spraying (Figure 4, §5.1).
+//!
+//! The ideal multi-plane network gives each NIC several physical ports, one
+//! per plane, bonded into a single logical interface: a queue pair sprays
+//! packets across all ports, which requires the receiving NIC to place
+//! packets out of order. Without out-of-order placement the QP must stay on
+//! one port (today's ConnectX-7 situation, which is why DeepSeek's deployed
+//! MPFT routes one QP per plane). This module models a message across a
+//! multi-port NIC under both capabilities, plus port-failure behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// A bonded multi-port NIC.
+///
+/// ```
+/// use dsv3_netsim::multiport::MultiPortNic;
+///
+/// let nic = MultiPortNic::cx8_four_plane();
+/// assert_eq!(nic.qp_bandwidth_gbps(true, 0), 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiPortNic {
+    /// Physical ports (planes).
+    pub ports: usize,
+    /// Per-port bandwidth, GB/s.
+    pub port_gbps: f64,
+    /// One-way latency per port, µs.
+    pub latency_us: f64,
+}
+
+impl MultiPortNic {
+    /// The ConnectX-8-style four-plane part the paper points to.
+    #[must_use]
+    pub fn cx8_four_plane() -> Self {
+        Self { ports: 4, port_gbps: 50.0, latency_us: 3.7 }
+    }
+
+    /// Message completion time (µs) for `bytes` on one QP.
+    ///
+    /// With out-of-order placement the QP sprays across every healthy port;
+    /// without, it is pinned to a single healthy port. `failed_ports` of the
+    /// ports are down (links re-converge transparently — the robustness
+    /// property of Figure 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all ports failed or the NIC is degenerate.
+    #[must_use]
+    pub fn message_time_us(&self, bytes: f64, out_of_order_placement: bool, failed_ports: usize) -> f64 {
+        assert!(self.ports > 0 && self.port_gbps > 0.0, "degenerate NIC");
+        assert!(failed_ports < self.ports, "no healthy port left");
+        let healthy = (self.ports - failed_ports) as f64;
+        let bw = if out_of_order_placement { healthy * self.port_gbps } else { self.port_gbps };
+        self.latency_us + bytes / (bw * 1000.0)
+    }
+
+    /// Effective single-QP bandwidth (GB/s).
+    #[must_use]
+    pub fn qp_bandwidth_gbps(&self, out_of_order_placement: bool, failed_ports: usize) -> f64 {
+        assert!(failed_ports < self.ports, "no healthy port left");
+        if out_of_order_placement {
+            (self.ports - failed_ports) as f64 * self.port_gbps
+        } else {
+            self.port_gbps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spraying_multiplies_single_qp_bandwidth() {
+        let nic = MultiPortNic::cx8_four_plane();
+        assert_eq!(nic.qp_bandwidth_gbps(true, 0), 200.0);
+        assert_eq!(nic.qp_bandwidth_gbps(false, 0), 50.0);
+        let bytes = 10e6;
+        let sprayed = nic.message_time_us(bytes, true, 0);
+        let pinned = nic.message_time_us(bytes, false, 0);
+        assert!(pinned > 3.5 * sprayed, "{pinned} vs {sprayed}");
+    }
+
+    #[test]
+    fn port_failure_is_graceful_degradation() {
+        let nic = MultiPortNic::cx8_four_plane();
+        let full = nic.qp_bandwidth_gbps(true, 0);
+        let degraded = nic.qp_bandwidth_gbps(true, 1);
+        assert_eq!(degraded, full * 0.75);
+        // A pinned QP survives a failure too (it fails over to a healthy
+        // port) at unchanged bandwidth.
+        assert_eq!(nic.qp_bandwidth_gbps(false, 3), 50.0);
+    }
+
+    #[test]
+    fn tiny_messages_are_latency_bound_either_way() {
+        let nic = MultiPortNic::cx8_four_plane();
+        let s = nic.message_time_us(64.0, true, 0);
+        let p = nic.message_time_us(64.0, false, 0);
+        assert!((s - p).abs() < 0.01, "{s} vs {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no healthy port")]
+    fn all_ports_down_panics() {
+        let nic = MultiPortNic::cx8_four_plane();
+        let _ = nic.qp_bandwidth_gbps(true, 4);
+    }
+}

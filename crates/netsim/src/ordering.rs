@@ -1,0 +1,151 @@
+//! Memory-semantic communication ordering (§6.4).
+//!
+//! After writing payload data, a sender using load/store semantics must
+//! issue a memory fence before setting the completion flag, stalling until
+//! every in-flight store is acknowledged — one extra RTT per notification
+//! that also blocks subsequent stores from issuing. The paper's proposed
+//! Region Acquire/Release (RAR) mechanism moves ordering to the receiver
+//! (a bitmap over the RNR region), letting the flag ride immediately behind
+//! the data. This module models both disciplines for a stream of
+//! payload+flag message groups and quantifies the throughput/latency gap.
+
+use serde::{Deserialize, Serialize};
+
+/// One notification group: a payload of stores followed by a flag write.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageGroup {
+    /// Time to inject the payload stores into the fabric (µs) — bytes over
+    /// bandwidth.
+    pub payload_us: f64,
+    /// One-way fabric latency (µs); an acknowledgement costs a full RTT.
+    pub one_way_us: f64,
+}
+
+/// Ordering discipline at the sender/receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingMode {
+    /// Software fence: the sender drains in-flight stores (waits one RTT
+    /// past the last store's injection) before issuing the flag, and the
+    /// next group cannot start injecting until the flag is out.
+    SenderFence,
+    /// Hardware Region Acquire/Release: the receiver orders delivery; the
+    /// flag is injected immediately after the payload and groups pipeline
+    /// back-to-back.
+    RegionAcquireRelease,
+}
+
+/// Timeline of a stream of groups under a discipline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderingOutcome {
+    /// Time the receiver observes each group's flag (µs).
+    pub flag_visible_us: Vec<f64>,
+    /// Total stream completion (last flag visible).
+    pub total_us: f64,
+    /// Sender-side injection utilization (payload time / sender busy span).
+    pub injection_utilization: f64,
+}
+
+/// Simulate `groups` identical message groups under `mode`.
+///
+/// # Panics
+///
+/// Panics if `groups` is empty or durations are negative.
+#[must_use]
+pub fn simulate(groups: &[MessageGroup], mode: OrderingMode) -> OrderingOutcome {
+    assert!(!groups.is_empty(), "need at least one group");
+    let mut sender_clock = 0f64;
+    let mut flags = Vec::with_capacity(groups.len());
+    let mut payload_total = 0f64;
+    for g in groups {
+        assert!(g.payload_us >= 0.0 && g.one_way_us >= 0.0, "negative duration");
+        payload_total += g.payload_us;
+        match mode {
+            OrderingMode::SenderFence => {
+                // Inject payload, wait for the ack of the last store (full
+                // RTT), then inject the flag.
+                let payload_done = sender_clock + g.payload_us;
+                let fence_done = payload_done + 2.0 * g.one_way_us;
+                let flag_injected = fence_done;
+                flags.push(flag_injected + g.one_way_us);
+                sender_clock = flag_injected;
+            }
+            OrderingMode::RegionAcquireRelease => {
+                // Flag rides right behind the payload; receiver hardware
+                // guarantees ordering.
+                let payload_done = sender_clock + g.payload_us;
+                flags.push(payload_done + g.one_way_us);
+                sender_clock = payload_done;
+            }
+        }
+    }
+    let total_us = *flags.last().expect("nonempty");
+    OrderingOutcome {
+        total_us,
+        injection_utilization: payload_total / sender_clock.max(f64::MIN_POSITIVE),
+        flag_visible_us: flags,
+    }
+}
+
+/// Closed-form per-group overhead of the fence discipline: one RTT of stall
+/// per notification.
+#[must_use]
+pub fn fence_overhead_per_group_us(one_way_us: f64) -> f64 {
+    2.0 * one_way_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> Vec<MessageGroup> {
+        vec![MessageGroup { payload_us: 10.0, one_way_us: 3.7 }; n]
+    }
+
+    #[test]
+    fn rar_pipelines_fence_stalls() {
+        let s = stream(100);
+        let fenced = simulate(&s, OrderingMode::SenderFence);
+        let rar = simulate(&s, OrderingMode::RegionAcquireRelease);
+        assert!(rar.total_us < fenced.total_us);
+        // The gap is exactly one RTT per group.
+        let gap = fenced.total_us - rar.total_us;
+        assert!((gap - 100.0 * fence_overhead_per_group_us(3.7)).abs() < 1e-9, "{gap}");
+    }
+
+    #[test]
+    fn rar_injection_is_fully_utilized() {
+        let s = stream(50);
+        let rar = simulate(&s, OrderingMode::RegionAcquireRelease);
+        assert!((rar.injection_utilization - 1.0).abs() < 1e-9);
+        let fenced = simulate(&s, OrderingMode::SenderFence);
+        assert!(fenced.injection_utilization < 0.6, "{}", fenced.injection_utilization);
+    }
+
+    #[test]
+    fn small_messages_suffer_most() {
+        // §6.4's pain case: many small packets — the RTT dominates payload.
+        let small = vec![MessageGroup { payload_us: 0.5, one_way_us: 3.7 }; 64];
+        let f = simulate(&small, OrderingMode::SenderFence);
+        let r = simulate(&small, OrderingMode::RegionAcquireRelease);
+        assert!(f.total_us / r.total_us > 5.0, "{}", f.total_us / r.total_us);
+    }
+
+    #[test]
+    fn flags_are_monotone() {
+        for mode in [OrderingMode::SenderFence, OrderingMode::RegionAcquireRelease] {
+            let o = simulate(&stream(10), mode);
+            for w in o.flag_visible_us.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_group_latency() {
+        let g = [MessageGroup { payload_us: 2.0, one_way_us: 3.0 }];
+        let f = simulate(&g, OrderingMode::SenderFence);
+        assert!((f.total_us - (2.0 + 6.0 + 3.0)).abs() < 1e-12);
+        let r = simulate(&g, OrderingMode::RegionAcquireRelease);
+        assert!((r.total_us - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,336 @@
+//! The flow-level simulator core.
+
+use serde::{Deserialize, Serialize};
+
+/// A unidirectional network link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Capacity in gigabytes per second.
+    pub capacity_gbps: f64,
+}
+
+/// Identifier of a link within a [`FlowSim`].
+pub type LinkId = usize;
+
+/// Identifier of a flow within a [`FlowSim`].
+pub type FlowId = usize;
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    path: Vec<LinkId>,
+    bytes_remaining: f64,
+    start_us: f64,
+    latency_us: f64,
+    finish_us: Option<f64>,
+}
+
+/// Completion report of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Finish time (µs) of each flow, indexed by [`FlowId`].
+    pub finish_us: Vec<f64>,
+    /// Time at which the last flow finished.
+    pub makespan_us: f64,
+}
+
+/// A max-min fair flow-level network simulation.
+///
+/// ```
+/// use dsv3_netsim::{FlowSim, Link};
+///
+/// let mut sim = FlowSim::new(vec![Link { capacity_gbps: 50.0 }]);
+/// // Two flows share the 50 GB/s link: 1 GB each takes 40 ms.
+/// sim.add_flow(vec![0], 1e9, 0.0, 2.0);
+/// sim.add_flow(vec![0], 1e9, 0.0, 2.0);
+/// let report = sim.run();
+/// assert!((report.makespan_us - 40_002.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowSim {
+    links: Vec<Link>,
+    flows: Vec<FlowState>,
+}
+
+impl FlowSim {
+    /// New simulator over the given links.
+    #[must_use]
+    pub fn new(links: Vec<Link>) -> Self {
+        Self { links, flows: Vec::new() }
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Capacity of link `l` (GB/s).
+    #[must_use]
+    pub fn capacity(&self, l: LinkId) -> f64 {
+        self.links[l].capacity_gbps
+    }
+
+    /// Path of flow `f`.
+    #[must_use]
+    pub fn path(&self, f: FlowId) -> &[LinkId] {
+        &self.flows[f].path
+    }
+
+    /// Add a flow of `bytes` over `path`, departing at `start_us` with fixed
+    /// path latency `latency_us` (per-hop latency + endpoint overhead, as
+    /// computed by [`crate::latency`]). A zero-byte flow models a bare
+    /// message whose cost is latency only. Returns the flow id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path references an unknown link, `bytes` is negative,
+    /// or a capacity is non-positive while bytes > 0.
+    pub fn add_flow(&mut self, path: Vec<LinkId>, bytes: f64, start_us: f64, latency_us: f64) -> FlowId {
+        assert!(bytes >= 0.0, "bytes must be non-negative");
+        for &l in &path {
+            assert!(l < self.links.len(), "unknown link {l}");
+            assert!(
+                bytes == 0.0 || self.links[l].capacity_gbps > 0.0,
+                "link {l} has no capacity"
+            );
+        }
+        self.flows.push(FlowState { path, bytes_remaining: bytes, start_us, latency_us, finish_us: None });
+        self.flows.len() - 1
+    }
+
+    /// Max-min fair rates (GB/s) for the given active flow ids.
+    ///
+    /// Exposed for analysis and property testing: the returned allocation
+    /// never oversubscribes a link, and every flow is bottlenecked by at
+    /// least one saturated link on its path.
+    #[must_use]
+    pub fn max_min_rates(&self, active: &[FlowId]) -> Vec<f64> {
+        let mut rates = vec![0f64; active.len()];
+        let mut remaining_cap: Vec<f64> = self.links.iter().map(|l| l.capacity_gbps).collect();
+        let mut unfrozen: Vec<bool> = active.iter().map(|&f| !self.flows[f].path.is_empty()).collect();
+        // Per-link index of crossing flows (positions into `active`), plus a
+        // live count of still-unfrozen flows per link.
+        let mut on_link: Vec<Vec<usize>> = vec![Vec::new(); self.links.len()];
+        let mut count = vec![0usize; self.links.len()];
+        for (i, &f) in active.iter().enumerate() {
+            for &l in &self.flows[f].path {
+                on_link[l].push(i);
+                count[l] += 1;
+            }
+        }
+        // Progressive filling: repeatedly saturate the link with the lowest
+        // fair share and freeze its flows. Flows with an empty path
+        // (pure-latency messages) are handled by the caller.
+        loop {
+            let mut bottleneck: Option<(LinkId, f64)> = None;
+            for (l, &c) in count.iter().enumerate() {
+                if c > 0 {
+                    let fair = remaining_cap[l] / c as f64;
+                    if bottleneck.is_none_or(|(_, bf)| fair < bf) {
+                        bottleneck = Some((l, fair));
+                    }
+                }
+            }
+            let Some((bl, fair)) = bottleneck else { break };
+            for idx in 0..on_link[bl].len() {
+                let i = on_link[bl][idx];
+                if unfrozen[i] {
+                    rates[i] = fair;
+                    unfrozen[i] = false;
+                    for &l in &self.flows[active[i]].path {
+                        remaining_cap[l] = (remaining_cap[l] - fair).max(0.0);
+                        count[l] -= 1;
+                    }
+                }
+            }
+        }
+        rates
+    }
+
+    /// Run to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flows were added.
+    pub fn run(&mut self) -> SimReport {
+        assert!(!self.flows.is_empty(), "no flows to simulate");
+        const EPS: f64 = 1e-9;
+        // Transfer-phase completion bookkeeping: a flow's data transfer runs
+        // in [start, t_done]; its reported finish adds the path latency.
+        let mut now = 0f64;
+        loop {
+            let active: Vec<FlowId> = (0..self.flows.len())
+                .filter(|&f| {
+                    self.flows[f].finish_us.is_none() && self.flows[f].start_us <= now + EPS
+                })
+                .collect();
+            let pending_arrival = self
+                .flows
+                .iter()
+                .filter(|f| f.finish_us.is_none() && f.start_us > now + EPS)
+                .map(|f| f.start_us)
+                .fold(f64::INFINITY, f64::min);
+            if active.is_empty() {
+                if pending_arrival.is_finite() {
+                    now = pending_arrival;
+                    continue;
+                }
+                break;
+            }
+            // Zero-byte or zero-work flows finish immediately.
+            let mut finished_any = false;
+            for &f in &active {
+                if self.flows[f].bytes_remaining <= EPS {
+                    let fl = &mut self.flows[f];
+                    fl.finish_us = Some(now + fl.latency_us);
+                    finished_any = true;
+                }
+            }
+            if finished_any {
+                continue;
+            }
+            let rates = self.max_min_rates(&active);
+            // Next event: earliest completion or next arrival.
+            let mut next_done = f64::INFINITY;
+            for (i, &f) in active.iter().enumerate() {
+                if rates[i] > 0.0 {
+                    // bytes / (GB/s) = ns·... capacity GB/s = bytes/ns·1e-?:
+                    // 1 GB/s = 1e9 B / 1e6 µs = 1000 B/µs.
+                    let us = self.flows[f].bytes_remaining / (rates[i] * 1000.0);
+                    next_done = next_done.min(now + us);
+                }
+            }
+            let horizon = next_done.min(pending_arrival);
+            assert!(horizon.is_finite(), "simulation cannot progress (all rates zero)");
+            let dt = horizon - now;
+            for (i, &f) in active.iter().enumerate() {
+                let moved = rates[i] * 1000.0 * dt;
+                let fl = &mut self.flows[f];
+                fl.bytes_remaining = (fl.bytes_remaining - moved).max(0.0);
+                if fl.bytes_remaining <= EPS.max(1e-6 * moved) {
+                    fl.bytes_remaining = 0.0;
+                    fl.finish_us = Some(horizon + fl.latency_us);
+                }
+            }
+            now = horizon;
+        }
+        let finish_us: Vec<f64> = self.flows.iter().map(|f| f.finish_us.expect("finished")).collect();
+        let makespan_us = finish_us.iter().copied().fold(0.0, f64::max);
+        SimReport { finish_us, makespan_us }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_link(cap: f64) -> FlowSim {
+        FlowSim::new(vec![Link { capacity_gbps: cap }])
+    }
+
+    #[test]
+    fn single_flow_time() {
+        let mut sim = one_link(50.0);
+        sim.add_flow(vec![0], 1e6, 0.0, 3.0); // 1 MB at 50 GB/s = 20 µs
+        let r = sim.run();
+        assert!((r.finish_us[0] - 23.0).abs() < 1e-6, "{}", r.finish_us[0]);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut sim = one_link(50.0);
+        sim.add_flow(vec![0], 1e6, 0.0, 0.0);
+        sim.add_flow(vec![0], 1e6, 0.0, 0.0);
+        let r = sim.run();
+        assert!((r.makespan_us - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_flow_releases_bandwidth() {
+        let mut sim = one_link(100.0);
+        sim.add_flow(vec![0], 1e6, 0.0, 0.0); // long
+        sim.add_flow(vec![0], 0.5e6, 0.0, 0.0); // short
+        let r = sim.run();
+        // Phase 1: both at 50 GB/s until short (0.5 MB) finishes at 10 µs.
+        // Long has 0.5 MB left, now at 100 GB/s: +5 µs.
+        assert!((r.finish_us[1] - 10.0).abs() < 1e-6, "{}", r.finish_us[1]);
+        assert!((r.finish_us[0] - 15.0).abs() < 1e-6, "{}", r.finish_us[0]);
+    }
+
+    #[test]
+    fn max_min_textbook_example() {
+        // Links A(10), B(20). Flow1 uses A+B, flow2 uses A, flow3 uses B.
+        // Max-min: A splits 5/5; flow3 gets B's remainder 15.
+        let mut sim = FlowSim::new(vec![
+            Link { capacity_gbps: 10.0 },
+            Link { capacity_gbps: 20.0 },
+        ]);
+        sim.add_flow(vec![0, 1], 1.0, 0.0, 0.0);
+        sim.add_flow(vec![0], 1.0, 0.0, 0.0);
+        sim.add_flow(vec![1], 1.0, 0.0, 0.0);
+        let rates = sim.max_min_rates(&[0, 1, 2]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+        assert!((rates[2] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_arrival() {
+        let mut sim = one_link(50.0);
+        sim.add_flow(vec![0], 1e6, 100.0, 0.0);
+        let r = sim.run();
+        assert!((r.finish_us[0] - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_flow_is_pure_latency() {
+        let mut sim = one_link(50.0);
+        sim.add_flow(vec![0], 0.0, 5.0, 2.8);
+        let r = sim.run();
+        assert!((r.finish_us[0] - 7.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_conserved_under_contention() {
+        // n flows of b bytes over one c GB/s link take exactly n*b/c.
+        let mut sim = one_link(40.0);
+        for _ in 0..7 {
+            sim.add_flow(vec![0], 2e6, 0.0, 0.0);
+        }
+        let r = sim.run();
+        let expect = 7.0 * 2e6 / (40.0 * 1000.0);
+        assert!((r.makespan_us - expect).abs() < 1e-6, "{} vs {expect}", r.makespan_us);
+    }
+
+    #[test]
+    fn disjoint_flows_run_in_parallel() {
+        let mut sim = FlowSim::new(vec![
+            Link { capacity_gbps: 10.0 },
+            Link { capacity_gbps: 10.0 },
+        ]);
+        sim.add_flow(vec![0], 1e6, 0.0, 0.0);
+        sim.add_flow(vec![1], 1e6, 0.0, 0.0);
+        let r = sim.run();
+        assert!((r.makespan_us - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn bad_path_panics() {
+        let mut sim = one_link(1.0);
+        sim.add_flow(vec![3], 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn staggered_arrivals_interleave() {
+        let mut sim = one_link(10.0);
+        sim.add_flow(vec![0], 1e6, 0.0, 0.0); // alone for 50 µs
+        sim.add_flow(vec![0], 1e6, 50.0, 0.0);
+        let r = sim.run();
+        // f0: 50 µs alone (0.5 MB) + shares 10 GB/s for remaining 0.5 MB at
+        // 5 GB/s = 100 µs -> finishes at 150. f1: 0.5 MB at 5 (100 µs), then
+        // 0.5 MB at 10 (50 µs) -> 200.
+        assert!((r.finish_us[0] - 150.0).abs() < 1e-6, "{}", r.finish_us[0]);
+        assert!((r.finish_us[1] - 200.0).abs() < 1e-6, "{}", r.finish_us[1]);
+    }
+}

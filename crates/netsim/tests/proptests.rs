@@ -1,0 +1,106 @@
+//! Property-based tests for the flow simulator: fairness invariants and
+//! conservation laws.
+
+use dsv3_netsim::{FlowSim, Link};
+use proptest::prelude::*;
+
+/// Random small network + flows.
+fn arb_net() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<usize>, f64)>)> {
+    (2usize..8).prop_flat_map(|n_links| {
+        let links = prop::collection::vec(1.0f64..100.0, n_links);
+        let flows = prop::collection::vec(
+            (
+                prop::collection::btree_set(0..n_links, 1..=n_links.min(4))
+                    .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+                1e3f64..1e7,
+            ),
+            1..12,
+        );
+        (links, flows)
+    })
+}
+
+proptest! {
+    /// Max-min allocation never oversubscribes a link, gives every flow a
+    /// positive rate, and saturates at least one link per flow (bottleneck
+    /// property).
+    #[test]
+    fn max_min_invariants((caps, flows) in arb_net()) {
+        let mut sim = FlowSim::new(caps.iter().map(|&c| Link { capacity_gbps: c }).collect());
+        for (path, bytes) in &flows {
+            sim.add_flow(path.clone(), *bytes, 0.0, 0.0);
+        }
+        let active: Vec<usize> = (0..flows.len()).collect();
+        let rates = sim.max_min_rates(&active);
+        // Per-link load ≤ capacity.
+        let mut load = vec![0f64; caps.len()];
+        for (i, (path, _)) in flows.iter().enumerate() {
+            prop_assert!(rates[i] > 0.0, "flow {i} starved");
+            for &l in path {
+                load[l] += rates[i];
+            }
+        }
+        for (l, (&used, &cap)) in load.iter().zip(&caps).enumerate() {
+            prop_assert!(used <= cap * (1.0 + 1e-9), "link {l} oversubscribed: {used} > {cap}");
+        }
+        // Bottleneck property: every flow crosses ≥1 link that is saturated.
+        for (path, _) in &flows {
+            let saturated = path.iter().any(|&l| load[l] >= caps[l] * (1.0 - 1e-6));
+            prop_assert!(saturated, "flow without a saturated bottleneck");
+        }
+    }
+
+    /// The simulation conserves bytes: makespan ≥ the lower bound implied by
+    /// the busiest link, and every flow finishes no earlier than its own
+    /// solo transfer time.
+    #[test]
+    fn completion_bounds((caps, flows) in arb_net()) {
+        let mut sim = FlowSim::new(caps.iter().map(|&c| Link { capacity_gbps: c }).collect());
+        for (path, bytes) in &flows {
+            sim.add_flow(path.clone(), *bytes, 0.0, 0.0);
+        }
+        let report = sim.run();
+        // Lower bound per link: total bytes crossing it / capacity.
+        let mut per_link = vec![0f64; caps.len()];
+        for (path, bytes) in &flows {
+            for &l in path {
+                per_link[l] += bytes;
+            }
+        }
+        let lb = per_link
+            .iter()
+            .zip(&caps)
+            .map(|(b, c)| b / (c * 1000.0))
+            .fold(0f64, f64::max);
+        prop_assert!(report.makespan_us >= lb - 1e-6, "{} < {lb}", report.makespan_us);
+        for (i, (path, bytes)) in flows.iter().enumerate() {
+            let solo = path
+                .iter()
+                .map(|&l| bytes / (caps[l] * 1000.0))
+                .fold(0f64, f64::max);
+            prop_assert!(report.finish_us[i] >= solo - 1e-6);
+        }
+    }
+
+    /// The dynamics are linear in time: scaling every flow's bytes by α
+    /// scales every finish time by exactly α.
+    ///
+    /// (Note: per-flow *monotonicity* under added contention is genuinely
+    /// false for max-min dynamics — an extra flow can re-shape bottlenecks
+    /// so that some existing flow finishes earlier — so we do not assert it.)
+    #[test]
+    fn scale_invariance((caps, flows) in arb_net(), alpha in 0.1f64..10.0) {
+        let build = |scale: f64| {
+            let mut sim = FlowSim::new(caps.iter().map(|&c| Link { capacity_gbps: c }).collect());
+            for (path, bytes) in &flows {
+                sim.add_flow(path.clone(), bytes * scale, 0.0, 0.0);
+            }
+            sim.run()
+        };
+        let base = build(1.0);
+        let scaled = build(alpha);
+        for (a, b) in base.finish_us.iter().zip(&scaled.finish_us) {
+            prop_assert!((b - a * alpha).abs() <= a * alpha * 1e-9 + 1e-9, "{b} vs {}", a * alpha);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The FP22 accumulation register format of Hopper tensor cores.
+//!
+//! §3.1 of the paper: "Addition results are accumulated to FP22 registers
+//! (1 sign bit, 8 exponent bits, and 13 mantissa bits)." FP22 therefore has
+//! the dynamic range of `f32` but only 13 fraction bits, which is the root
+//! cause of the accumulation-precision concern for large-K FP8 GEMMs.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of explicit fraction bits kept by an FP22 register.
+pub const FP22_MANTISSA_BITS: u32 = 13;
+
+/// A value stored in a Hopper-style FP22 accumulation register.
+///
+/// Internally kept as an `f64` that is always exactly representable with 13
+/// fraction bits (plus f32's 8-bit exponent range), so arithmetic can be
+/// performed in `f64` and re-canonicalized.
+///
+/// ```
+/// use dsv3_numerics::Fp22;
+///
+/// let a = Fp22::from_f64(1.0);
+/// // Adding an ulp-of-f32-sized value is lost at 13 mantissa bits:
+/// let b = a.add(2f64.powi(-15));
+/// assert_eq!(b.to_f64(), 1.0);
+/// // ...but a 2^-13-sized value survives.
+/// let c = a.add(2f64.powi(-13));
+/// assert!(c.to_f64() > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Fp22(f64);
+
+impl Fp22 {
+    /// Zero register.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0.0)
+    }
+
+    /// Round `x` into FP22 (round-to-nearest-even at 13 fraction bits,
+    /// f32-like exponent range with saturation to f32's max finite binade).
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        Self(round_to_mantissa_bits(x, FP22_MANTISSA_BITS))
+    }
+
+    /// The stored value.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.0
+    }
+
+    /// `self + x`, rounded back into FP22.
+    #[must_use]
+    pub fn add(self, x: f64) -> Self {
+        Self::from_f64(self.0 + x)
+    }
+}
+
+impl From<f64> for Fp22 {
+    fn from(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+}
+
+impl From<Fp22> for f64 {
+    fn from(x: Fp22) -> f64 {
+        x.to_f64()
+    }
+}
+
+impl std::fmt::Display for Fp22 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Round `x` to `bits` explicit fraction bits (round-to-nearest-even),
+/// preserving the exponent. Infinities, NaN and zero pass through.
+#[must_use]
+pub fn round_to_mantissa_bits(x: f64, bits: u32) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let e = exponent_of(x);
+    let scale = 2f64.powi(e - bits as i32);
+    let q = (x / scale).round_ties_even() * scale;
+    q
+}
+
+/// Truncate `x` toward zero at `bits` explicit fraction bits relative to the
+/// binade of `reference_exponent` (used by the tensor-core alignment step).
+#[must_use]
+pub fn truncate_at_exponent(x: f64, reference_exponent: i32, bits: u32) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let scale = 2f64.powi(reference_exponent - bits as i32);
+    (x / scale).trunc() * scale
+}
+
+/// Floor of log2(|x|) for finite nonzero `x`.
+#[must_use]
+pub fn exponent_of(x: f64) -> i32 {
+    let mut e = x.abs().log2().floor() as i32;
+    // Guard against log2 imprecision at binade edges.
+    let a = x.abs();
+    if 2f64.powi(e + 1) <= a {
+        e += 1;
+    } else if 2f64.powi(e) > a {
+        e -= 1;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp22_keeps_13_bits() {
+        let x = 1.0 + 2f64.powi(-13);
+        assert_eq!(Fp22::from_f64(x).to_f64(), x);
+        let y = 1.0 + 2f64.powi(-14);
+        // Ties to even: 1.0 + 2^-14 is halfway between 1.0 and 1.0+2^-13;
+        // even mantissa is 1.0.
+        assert_eq!(Fp22::from_f64(y).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn fp22_add_small_lost() {
+        let mut acc = Fp22::from_f64(4096.0);
+        for _ in 0..1000 {
+            acc = acc.add(0.2); // 0.2 < ulp(4096)@13bits = 0.5
+        }
+        assert_eq!(acc.to_f64(), 4096.0, "sub-ulp additions are lost entirely");
+    }
+
+    #[test]
+    fn fp32_would_not_lose_them() {
+        let mut acc = 4096.0f32;
+        for _ in 0..1000 {
+            acc += 0.2;
+        }
+        assert!((f64::from(acc) - 4296.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn exponent_of_edges() {
+        assert_eq!(exponent_of(1.0), 0);
+        assert_eq!(exponent_of(0.5), -1);
+        assert_eq!(exponent_of(2.0), 1);
+        assert_eq!(exponent_of(-3.0), 1);
+        assert_eq!(exponent_of(448.0), 8);
+    }
+
+    #[test]
+    fn truncate_is_toward_zero() {
+        // reference exponent 0, 4 bits: grid step 1/16
+        assert_eq!(truncate_at_exponent(0.99, 0, 4), 0.9375);
+        assert_eq!(truncate_at_exponent(-0.99, 0, 4), -0.9375);
+    }
+
+    #[test]
+    fn zero_and_specials_pass_through() {
+        assert_eq!(round_to_mantissa_bits(0.0, 13), 0.0);
+        assert!(round_to_mantissa_bits(f64::NAN, 13).is_nan());
+        assert_eq!(round_to_mantissa_bits(f64::INFINITY, 13), f64::INFINITY);
+    }
+}

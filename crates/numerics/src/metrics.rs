@@ -1,0 +1,173 @@
+//! Error metrics used by the quantization and GEMM experiments.
+
+/// Root-mean-square error between `reference` and `approx`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn rmse(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty input");
+    let s: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+        .sum();
+    (s / reference.len() as f64).sqrt()
+}
+
+/// ‖reference − approx‖_F / ‖reference‖_F.
+///
+/// Returns the absolute Frobenius norm of `approx` if the reference is all
+/// zeros.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn relative_frobenius_error(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    let num: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = reference.iter().map(|a| f64::from(*a).powi(2)).sum::<f64>().sqrt();
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10·log10(‖x‖² / ‖x−q‖²)`.
+///
+/// Returns `f64::INFINITY` for an exact reconstruction.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the signal is all zeros.
+#[must_use]
+pub fn sqnr_db(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    let signal: f64 = reference.iter().map(|a| f64::from(*a).powi(2)).sum();
+    assert!(signal > 0.0, "all-zero signal");
+    let noise: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Mean signed error (positive = approx overshoots); the unbiasedness probe
+/// for LogFMT.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+#[must_use]
+pub fn mean_bias(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty input");
+    reference
+        .iter()
+        .zip(approx)
+        .map(|(a, b)| f64::from(*b) - f64::from(*a))
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Root-mean-square *relative* error over nonzero reference elements:
+/// `sqrt(mean(((approx-ref)/ref)²))`. Captures precision across the whole
+/// magnitude distribution rather than being dominated by the largest
+/// elements.
+///
+/// # Panics
+///
+/// Panics if lengths differ or every reference element is zero.
+#[must_use]
+pub fn relative_rmse(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    let mut acc = 0f64;
+    let mut n = 0usize;
+    for (a, b) in reference.iter().zip(approx) {
+        if *a != 0.0 {
+            let r = (f64::from(*b) - f64::from(*a)) / f64::from(*a);
+            acc += r * r;
+            n += 1;
+        }
+    }
+    assert!(n > 0, "all-zero reference");
+    (acc / n as f64).sqrt()
+}
+
+/// Largest absolute element-wise error.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn max_abs_error(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    reference
+        .iter()
+        .zip(approx)
+        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_metrics() {
+        let x = [1.0f32, -2.0, 3.0];
+        assert_eq!(rmse(&x, &x), 0.0);
+        assert_eq!(relative_frobenius_error(&x, &x), 0.0);
+        assert_eq!(sqnr_db(&x, &x), f64::INFINITY);
+        assert_eq!(mean_bias(&x, &x), 0.0);
+        assert_eq!(max_abs_error(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert!((rmse(&a, &b) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(max_abs_error(&a, &b), 4.0);
+        assert_eq!(mean_bias(&a, &b), 3.5);
+    }
+
+    #[test]
+    fn sqnr_scales_as_expected() {
+        let x = [1.0f32; 100];
+        let noisy_small: Vec<f32> = x.iter().map(|v| v + 0.001).collect();
+        let noisy_big: Vec<f32> = x.iter().map(|v| v + 0.01).collect();
+        let s1 = sqnr_db(&x, &noisy_small);
+        let s2 = sqnr_db(&x, &noisy_big);
+        assert!((s1 - s2 - 20.0).abs() < 0.01, "10x noise = 20dB: {s1} {s2}");
+    }
+
+    #[test]
+    fn relative_rmse_known() {
+        let a = [1.0f32, 0.0, 2.0];
+        let b = [1.1f32, 5.0, 2.0]; // zero ref element excluded
+        let expect = ((0.1f64 / 1.0).powi(2) / 2.0).sqrt();
+        assert!((relative_rmse(&a, &b) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_reference_relative_error() {
+        let z = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(relative_frobenius_error(&z, &b), 5.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the numerics substrate.
+
+use dsv3_numerics::fp22::round_to_mantissa_bits;
+use dsv3_numerics::logfmt::LogFmtTile;
+use dsv3_numerics::minifloat::Format;
+use dsv3_numerics::quant::{BlockQuantized, TileQuantized};
+use dsv3_numerics::Matrix;
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1e30f32..1e30f32).prop_filter("finite", |v| v.is_finite())
+}
+
+proptest! {
+    /// Quantization is idempotent for every format.
+    #[test]
+    fn minifloat_idempotent(x in finite_f32()) {
+        for fmt in [Format::E4M3, Format::E5M2, Format::E5M6, Format::BF16] {
+            let q = fmt.quantize(f64::from(x));
+            prop_assert_eq!(fmt.quantize(q), q);
+        }
+    }
+
+    /// Quantized values never exceed the format's max finite magnitude and
+    /// keep the input's sign (or collapse to zero).
+    #[test]
+    fn minifloat_bounded_and_signed(x in finite_f32()) {
+        for fmt in [Format::E4M3, Format::E5M2, Format::BF16] {
+            let q = fmt.quantize(f64::from(x));
+            prop_assert!(q.abs() <= fmt.max_finite());
+            if q != 0.0 {
+                prop_assert_eq!(q.is_sign_negative(), x.is_sign_negative());
+            }
+        }
+    }
+
+    /// Round-to-nearest: the quantization error is at most half the local
+    /// grid step (for in-range magnitudes).
+    #[test]
+    fn minifloat_error_bound(x in -400.0f64..400.0) {
+        let fmt = Format::E4M3;
+        let q = fmt.quantize(x);
+        let step = if x.abs() < fmt.min_normal() {
+            fmt.min_subnormal()
+        } else {
+            // Grid step in x's binade.
+            let e = x.abs().log2().floor();
+            2f64.powf(e) / 8.0 // 3 mantissa bits
+        };
+        prop_assert!((q - x).abs() <= step * 0.5 + 1e-12, "x={x} q={q} step={step}");
+    }
+
+    /// Quantization is monotone non-decreasing.
+    #[test]
+    fn minifloat_monotone(a in -1e4f64..1e4, b in -1e4f64..1e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for fmt in [Format::E4M3, Format::E5M2, Format::BF16] {
+            prop_assert!(fmt.quantize(lo) <= fmt.quantize(hi));
+        }
+    }
+
+    /// FP22 rounding keeps 13 bits: relative error ≤ 2^-14 for normals.
+    #[test]
+    fn fp22_error_bound(x in prop::num::f64::NORMAL.prop_filter("range", |v| v.abs() > 1e-30 && v.abs() < 1e30)) {
+        let q = round_to_mantissa_bits(x, 13);
+        prop_assert!(((q - x) / x).abs() <= 2f64.powi(-14) + 1e-15, "x={x} q={q}");
+    }
+
+    /// Tile quantization: per-element error is bounded by half the grid step
+    /// at the tile's scale.
+    #[test]
+    fn tile_quant_error_bound(seed in 0u64..1000, cols in 1usize..300) {
+        let m = Matrix::random(2, cols, 1.0, seed);
+        let q = TileQuantized::quantize(&m, Format::E4M3, 128);
+        let d = q.dequantize();
+        for r in 0..m.rows {
+            for c in 0..m.cols {
+                let scale = q.scale_at(r, c);
+                let tol = scale * 448.0 / 16.0 + 1e-9; // ≤ binade step/2 at amax
+                prop_assert!((f64::from(m.get(r, c)) - f64::from(d.get(r, c))).abs() <= tol);
+            }
+        }
+    }
+
+    /// Block quantization round-trips shapes and respects bounds.
+    #[test]
+    fn block_quant_round_trip(seed in 0u64..200, rows in 1usize..80, cols in 1usize..80) {
+        let m = Matrix::random(rows, cols, 2.0, seed);
+        let q = BlockQuantized::quantize(&m, Format::E4M3, 32);
+        let d = q.dequantize();
+        prop_assert_eq!((d.rows, d.cols), (rows, cols));
+        let amax = m.data.iter().map(|v| v.abs()).fold(0f32, f32::max);
+        for (a, b) in m.data.iter().zip(&d.data) {
+            prop_assert!((a - b).abs() <= amax * 0.07 + 1e-6);
+        }
+    }
+
+    /// LogFMT: zeros round-trip exactly, signs survive, and decoded
+    /// magnitudes stay within the tile's [min, max] range.
+    #[test]
+    fn logfmt_structure(seed in 0u64..1000) {
+        let mut vals: Vec<f32> = Matrix::random(1, 96, 1.5, seed).data;
+        vals[7] = 0.0;
+        let tile = LogFmtTile::encode(&vals, 8);
+        let dec = tile.decode();
+        prop_assert_eq!(dec[7], 0.0);
+        let amax = vals.iter().map(|v| v.abs()).fold(0f32, f32::max);
+        for (v, d) in vals.iter().zip(&dec) {
+            if *v != 0.0 && *d != 0.0 {
+                prop_assert_eq!(v.signum(), d.signum());
+                prop_assert!(d.abs() <= amax * 1.0001);
+            }
+        }
+    }
+
+    /// LogFMT encode∘decode is idempotent (decoded values re-encode to the
+    /// same codes).
+    #[test]
+    fn logfmt_idempotent(seed in 0u64..300) {
+        let vals: Vec<f32> = Matrix::random(1, 64, 1.0, seed).data;
+        let tile = LogFmtTile::encode(&vals, 8);
+        let dec = tile.decode();
+        let tile2 = LogFmtTile::encode(&dec, 8);
+        let dec2 = tile2.decode();
+        for (a, b) in dec.iter().zip(&dec2) {
+            prop_assert!((a - b).abs() <= a.abs() * 1e-5 + 1e-12, "{a} vs {b}");
+        }
+    }
+
+    /// Matrix matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributive(seed in 0u64..200) {
+        let a = Matrix::random(3, 4, 1.0, seed);
+        let b = Matrix::random(3, 4, 1.0, seed + 1);
+        let c = Matrix::random(4, 2, 1.0, seed + 2);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data.iter().zip(&rhs.data) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Event-driven bidirectional DualPipe and zero-bubble (ZB1P) schedules.
+//!
+//! DualPipe (reference \[29\] of the paper) halves the pipeline bubble by (a) splitting the microbatch
+//! stream into two directions — rank `i` holds model stages `i` and
+//! `PP−1−i`, so one half of the microbatches enters at rank 0 and the other
+//! at rank `PP−1` — and (b) co-executing one forward chunk with one backward
+//! chunk on a rank ("F&B overlap": attention/MoE compute of one chunk hides
+//! the MoE communication of the other). ZB1P keeps the single direction but
+//! decouples the weight-gradient chunks (W) and drops them into bubbles.
+//!
+//! These simulators schedule individual chunks under real dependency
+//! constraints, complementing the closed-form bubbles in
+//! [`crate::schedule`].
+
+use crate::schedule::{ChunkTimes, PipelineOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a microbatch stream in DualPipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Enters at rank 0, traverses stages 0..PP-1 on ranks 0..PP-1.
+    Down,
+    /// Enters at rank PP-1, traverses stages 0..PP-1 on ranks PP-1..0.
+    Up,
+}
+
+/// Rank executing stage `v` of a direction.
+#[must_use]
+pub fn rank_of(stages: usize, dir: Direction, v: usize) -> usize {
+    match dir {
+        Direction::Down => v,
+        Direction::Up => stages - 1 - v,
+    }
+}
+
+/// Event-driven ZB1P: 1F1B order for F and B, with decoupled W chunks
+/// filling idle time (at most one W deferred per B, drained at the end).
+///
+/// # Panics
+///
+/// Panics on a degenerate pipeline or invalid chunk times.
+#[must_use]
+pub fn zb1p(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutcome {
+    assert!(stages > 0 && micro > 0, "degenerate pipeline");
+    assert!(times.is_valid(), "invalid chunk times");
+    let (f, b, w) = (times.f, times.b, times.w);
+    let mut f_done = vec![vec![f64::INFINITY; micro]; stages];
+    let mut b_done = vec![vec![f64::INFINITY; micro]; stages];
+    let mut stage_free = vec![0f64; stages];
+    let mut stage_busy = vec![0f64; stages];
+    let mut next_f = vec![0usize; stages];
+    let mut next_b = vec![0usize; stages];
+    let mut pending_w = vec![0usize; stages];
+    loop {
+        let mut progressed = false;
+        for s in 0..stages {
+            loop {
+                let warmup_target = (stages - s).min(micro);
+                let in_flight = next_f[s] - next_b[s];
+                let want_backward = next_b[s] < micro
+                    && (in_flight >= warmup_target || next_f[s] == micro)
+                    && in_flight > 0;
+                if want_backward {
+                    let m = next_b[s];
+                    let dep = if s + 1 < stages { b_done[s + 1][m] } else { f_done[s][m] };
+                    let dep = dep.max(f_done[s][m]);
+                    if dep.is_finite() {
+                        // Fill idle time before the dependency with pending W.
+                        let mut start = stage_free[s];
+                        while pending_w[s] > 0 && start + w <= dep {
+                            start += w;
+                            stage_busy[s] += w;
+                            pending_w[s] -= 1;
+                        }
+                        let start = dep.max(start);
+                        b_done[s][m] = start + b;
+                        stage_free[s] = start + b;
+                        stage_busy[s] += b;
+                        pending_w[s] += 1;
+                        next_b[s] += 1;
+                        progressed = true;
+                        continue;
+                    }
+                }
+                if next_f[s] < micro && !want_backward {
+                    let m = next_f[s];
+                    let dep = if s == 0 { 0.0 } else { f_done[s - 1][m] };
+                    if dep.is_finite() {
+                        let mut start = stage_free[s];
+                        while pending_w[s] > 0 && start + w <= dep {
+                            start += w;
+                            stage_busy[s] += w;
+                            pending_w[s] -= 1;
+                        }
+                        let start = dep.max(start);
+                        f_done[s][m] = start + f;
+                        stage_free[s] = start + f;
+                        stage_busy[s] += f;
+                        next_f[s] += 1;
+                        progressed = true;
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+        if next_b.iter().all(|&x| x == micro) {
+            break;
+        }
+        assert!(progressed, "schedule deadlocked");
+    }
+    // Drain the remaining W chunks.
+    for s in 0..stages {
+        stage_free[s] += pending_w[s] as f64 * w;
+        stage_busy[s] += pending_w[s] as f64 * w;
+    }
+    let total_time = stage_free.iter().copied().fold(0.0f64, f64::max);
+    let min_busy = stage_busy.iter().copied().fold(f64::INFINITY, f64::min);
+    PipelineOutcome { total_time, bubble_time: total_time - min_busy, stage_busy }
+}
+
+/// Event-driven DualPipe: bidirectional microbatch streams with F&B
+/// co-execution.
+///
+/// `micro` is the total microbatch count (split evenly between directions;
+/// must be even). A rank co-executes one F chunk and one B chunk in
+/// `max(f, b)` time when both are ready (perfect overlap — DualPipe's design
+/// point, where the paired chunk's EP communication hides under the other's
+/// compute). W chunks are decoupled and drain opportunistically as in ZB1P.
+///
+/// # Panics
+///
+/// Panics if `micro` is odd or smaller than `2 × stages`, or times are
+/// invalid.
+#[must_use]
+pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutcome {
+    assert!(stages > 0, "degenerate pipeline");
+    assert!(micro % 2 == 0 && micro >= 2 * stages, "need an even microbatch count ≥ 2·stages");
+    assert!(times.is_valid(), "invalid chunk times");
+    let (f, b, w) = (times.f, times.b, times.w);
+    let half = micro / 2;
+    let dirs = [Direction::Down, Direction::Up];
+    // done[dir][stage][m]
+    let inf = f64::INFINITY;
+    let mut f_done = [vec![vec![inf; half]; stages], vec![vec![inf; half]; stages]];
+    let mut b_done = [vec![vec![inf; half]; stages], vec![vec![inf; half]; stages]];
+    let mut rank_free = vec![0f64; stages];
+    let mut rank_busy = vec![0f64; stages];
+    let mut pending_w = vec![0usize; stages];
+    // Per (dir, rank): the stage this rank runs for that direction, and
+    // progress counters.
+    let mut next_f = [vec![0usize; stages], vec![0usize; stages]];
+    let mut next_b = [vec![0usize; stages], vec![0usize; stages]];
+
+    // Ready time of the next F (resp. B) of direction d on rank r, or None.
+    let f_ready = |d: usize, r: usize, next_f: &[Vec<usize>], f_done: &[Vec<Vec<f64>>; 2]| -> Option<f64> {
+        let v = match dirs[d] {
+            Direction::Down => r,
+            Direction::Up => stages - 1 - r,
+        };
+        let m = next_f[d][r];
+        if m >= half {
+            return None;
+        }
+        let dep = if v == 0 {
+            0.0
+        } else {
+            let prev_rank = rank_of(stages, dirs[d], v - 1);
+            f_done[d][prev_rank][m]
+        };
+        dep.is_finite().then_some(dep)
+    };
+    let b_ready = |d: usize,
+                   r: usize,
+                   next_b: &[Vec<usize>],
+                   f_done: &[Vec<Vec<f64>>; 2],
+                   b_done: &[Vec<Vec<f64>>; 2]|
+     -> Option<f64> {
+        let v = match dirs[d] {
+            Direction::Down => r,
+            Direction::Up => stages - 1 - r,
+        };
+        let m = next_b[d][r];
+        if m >= half {
+            return None;
+        }
+        let own_f = f_done[d][r][m];
+        let dep = if v + 1 == stages {
+            own_f
+        } else {
+            let nxt_rank = rank_of(stages, dirs[d], v + 1);
+            b_done[d][nxt_rank][m].max(own_f)
+        };
+        dep.is_finite().then_some(dep)
+    };
+
+    loop {
+        let mut progressed = false;
+        for r in 0..stages {
+            loop {
+                // Gather candidate F and B chunks from both directions.
+                let mut best_f: Option<(usize, f64)> = None;
+                let mut best_b: Option<(usize, f64)> = None;
+                for d in 0..2 {
+                    if let Some(t) = f_ready(d, r, &next_f, &f_done) {
+                        if best_f.is_none_or(|(_, bt)| t < bt) {
+                            best_f = Some((d, t));
+                        }
+                    }
+                    if let Some(t) = b_ready(d, r, &next_b, &f_done, &b_done) {
+                        if best_b.is_none_or(|(_, bt)| t < bt) {
+                            best_b = Some((d, t));
+                        }
+                    }
+                }
+                // Backward-pressure discipline: once any backward is ready,
+                // pair it (or run it alone); otherwise run a forward.
+                let start_floor = rank_free[r];
+                match (best_f, best_b) {
+                    (Some((df, tf)), Some((db, tb))) => {
+                        // Co-execute F and B: start when both deps and the
+                        // rank are ready; duration max(f, b).
+                        let start = start_floor.max(tf).max(tb);
+                        let dur = f.max(b);
+                        let end = start + dur;
+                        let mf = next_f[df][r];
+                        f_done[df][r][mf] = start + f.min(dur);
+                        next_f[df][r] += 1;
+                        let mb = next_b[db][r];
+                        b_done[db][r][mb] = end;
+                        next_b[db][r] += 1;
+                        pending_w[r] += 1;
+                        rank_free[r] = end;
+                        rank_busy[r] += dur;
+                        progressed = true;
+                    }
+                    (None, Some((db, tb))) => {
+                        let mut start = start_floor;
+                        while pending_w[r] > 0 && start + w <= tb {
+                            start += w;
+                            rank_busy[r] += w;
+                            pending_w[r] -= 1;
+                        }
+                        let start = start.max(tb);
+                        let mb = next_b[db][r];
+                        b_done[db][r][mb] = start + b;
+                        next_b[db][r] += 1;
+                        pending_w[r] += 1;
+                        rank_free[r] = start + b;
+                        rank_busy[r] += b;
+                        progressed = true;
+                    }
+                    (Some((df, tf)), None) => {
+                        let mut start = start_floor;
+                        while pending_w[r] > 0 && start + w <= tf {
+                            start += w;
+                            rank_busy[r] += w;
+                            pending_w[r] -= 1;
+                        }
+                        let start = start.max(tf);
+                        let mf = next_f[df][r];
+                        f_done[df][r][mf] = start + f;
+                        next_f[df][r] += 1;
+                        rank_free[r] = start + f;
+                        rank_busy[r] += f;
+                        progressed = true;
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        let done = (0..2).all(|d| (0..stages).all(|r| next_b[d][r] == half));
+        if done {
+            break;
+        }
+        assert!(progressed, "schedule deadlocked");
+    }
+    for r in 0..stages {
+        rank_free[r] += pending_w[r] as f64 * w;
+        rank_busy[r] += pending_w[r] as f64 * w;
+    }
+    let total_time = rank_free.iter().copied().fold(0.0f64, f64::max);
+    let min_busy = rank_busy.iter().copied().fold(f64::INFINITY, f64::min);
+    PipelineOutcome { total_time, bubble_time: total_time - min_busy, stage_busy: rank_busy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{bubble_1f1b, bubble_zb1p, one_f_one_b};
+
+    const T: ChunkTimes = ChunkTimes { f: 1.0, b: 1.0, w: 0.5 };
+
+    #[test]
+    fn rank_mapping() {
+        assert_eq!(rank_of(8, Direction::Down, 0), 0);
+        assert_eq!(rank_of(8, Direction::Down, 7), 7);
+        assert_eq!(rank_of(8, Direction::Up, 0), 7);
+        assert_eq!(rank_of(8, Direction::Up, 7), 0);
+    }
+
+    #[test]
+    fn zb1p_beats_1f1b() {
+        let (s, m) = (8, 32);
+        let zb = zb1p(s, m, T);
+        let classic = one_f_one_b(s, m, T);
+        assert!(zb.total_time < classic.total_time, "{} vs {}", zb.total_time, classic.total_time);
+    }
+
+    #[test]
+    fn zb1p_bubble_tracks_analytic() {
+        let (s, m) = (8, 64);
+        let zb = zb1p(s, m, T);
+        let analytic = bubble_zb1p(s, T);
+        // The event-driven schedule cannot beat the analytic bound and
+        // should land near it (within ~60%: the closed form is for the
+        // idealized W placement).
+        assert!(zb.bubble_time >= analytic * 0.4, "{} vs {analytic}", zb.bubble_time);
+        assert!(zb.bubble_time <= bubble_1f1b(s, T) + 1e-9);
+    }
+
+    #[test]
+    fn zb1p_work_conserved() {
+        let (s, m) = (4, 12);
+        let zb = zb1p(s, m, T);
+        for busy in &zb.stage_busy {
+            assert!((busy - m as f64 * (T.f + T.b + T.w)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dualpipe_beats_zb1p_and_1f1b() {
+        let (s, m) = (8, 32);
+        let dp = dualpipe(s, m, T);
+        let zb = zb1p(s, m, T);
+        let classic = one_f_one_b(s, m, T);
+        assert!(dp.total_time < zb.total_time, "dualpipe {} vs zb1p {}", dp.total_time, zb.total_time);
+        assert!(dp.total_time < classic.total_time);
+    }
+
+    #[test]
+    fn dualpipe_overlap_bound() {
+        // With perfect F&B overlap, each rank executes `micro` F and
+        // `micro` B in at least micro·max(f,b) + W time.
+        let (s, m) = (4, 16);
+        let dp = dualpipe(s, m, T);
+        let floor = m as f64 * T.f.max(T.b) + m as f64 * T.w;
+        assert!(dp.total_time >= floor - 1e-9, "{} < {floor}", dp.total_time);
+        // And it gets close to the floor (bubble is small).
+        assert!(dp.total_time <= floor * 1.5, "{} vs {floor}", dp.total_time);
+    }
+
+    #[test]
+    fn dualpipe_work_conserved_under_overlap() {
+        // Busy time counts co-executed pairs once (max(f,b)), so per rank:
+        // between micro·max(f,b)+micro·w (all paired) and
+        // micro·(f+b+w) (never paired).
+        let (s, m) = (4, 12);
+        let dp = dualpipe(s, m, T);
+        for busy in &dp.stage_busy {
+            assert!(*busy >= m as f64 * (T.f.max(T.b) + T.w) - 1e-9);
+            assert!(*busy <= m as f64 * (T.f + T.b + T.w) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dualpipe_scales_with_microbatches() {
+        let small = dualpipe(4, 8, T);
+        let large = dualpipe(4, 64, T);
+        assert!(large.bubble_fraction() < small.bubble_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "even microbatch")]
+    fn odd_micro_panics() {
+        let _ = dualpipe(4, 9, T);
+    }
+}

@@ -1,0 +1,23 @@
+//! Parallelism and training-step models.
+//!
+//! §4.2 of the paper describes DeepSeek-V3's hardware-aware parallelism: no
+//! tensor parallelism during training, DualPipe pipeline parallelism to
+//! overlap attention/MoE compute with MoE communication, and 64-way expert
+//! parallelism. Table 4 reports the per-step timing decomposition (1F,
+//! 1F1B, bubble, …) and the resulting MFU. This crate implements:
+//!
+//! * [`schedule`] — an event-driven 1F1B pipeline simulator plus the
+//!   analytic bubble formulas for 1F1B, ZB1P and DualPipe.
+//! * [`mfu`] — causal / non-causal TFLOPS and MFU accounting (FlashAttention
+//!   vs Megatron conventions).
+//! * [`trainstep`] — the Table 4 harness: compose chunk times, a schedule
+//!   and an optimizer step into the paper's training metrics.
+
+pub mod dualpipe;
+pub mod memory;
+pub mod mfu;
+pub mod schedule;
+pub mod trainstep;
+
+pub use schedule::{ChunkTimes, PipelineOutcome};
+pub use trainstep::{table4, Table4Metrics, TrainStepConfig};

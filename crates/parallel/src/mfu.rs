@@ -1,0 +1,100 @@
+//! TFLOPS and MFU accounting, causal and non-causal (Table 4's convention).
+//!
+//! Causal MFU counts only the lower triangle of the attention matrix (the
+//! FlashAttention convention); non-causal counts the full matrix (Megatron).
+//! Both are computed over BF16 peak.
+
+use dsv3_model::config::ModelConfig;
+use dsv3_model::flops;
+use serde::{Deserialize, Serialize};
+
+/// Attention-FLOPs counting convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttnConvention {
+    /// Lower-triangle only (FlashAttention).
+    Causal,
+    /// Full attention matrix (Megatron).
+    NonCausal,
+}
+
+/// Training FLOPs per token under the given convention.
+#[must_use]
+pub fn flops_per_token(cfg: &ModelConfig, seq: usize, conv: AttnConvention) -> f64 {
+    match conv {
+        AttnConvention::Causal => flops::training_flops_per_token(cfg, seq),
+        AttnConvention::NonCausal => {
+            // Non-causal counts the full seq attended length instead of seq/2:
+            // exactly double the causal attention-core term.
+            let causal_core = flops::attention_core_flops_per_token(cfg, seq);
+            flops::training_flops_per_token(cfg, seq) + 3.0 * causal_core
+        }
+    }
+}
+
+/// Achieved TFLOPS per GPU.
+#[must_use]
+pub fn achieved_tflops(
+    cfg: &ModelConfig,
+    seq: usize,
+    conv: AttnConvention,
+    tokens_per_step: f64,
+    step_seconds: f64,
+    gpus: usize,
+) -> f64 {
+    let total = flops_per_token(cfg, seq, conv) * tokens_per_step;
+    total / step_seconds / gpus as f64 / 1e12
+}
+
+/// Model FLOPs utilization against `peak_tflops` (BF16 dense peak; ~989.5
+/// for H800/H100 without sparsity).
+#[must_use]
+pub fn mfu(
+    cfg: &ModelConfig,
+    seq: usize,
+    conv: AttnConvention,
+    tokens_per_step: f64,
+    step_seconds: f64,
+    gpus: usize,
+    peak_tflops: f64,
+) -> f64 {
+    achieved_tflops(cfg, seq, conv, tokens_per_step, step_seconds, gpus) / peak_tflops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv3_model::zoo;
+
+    #[test]
+    fn noncausal_exceeds_causal() {
+        let cfg = zoo::deepseek_v3();
+        let c = flops_per_token(&cfg, 4096, AttnConvention::Causal);
+        let n = flops_per_token(&cfg, 4096, AttnConvention::NonCausal);
+        assert!(n > c);
+        // The difference is exactly the causal attention core ×3.
+        let core = flops::attention_core_flops_per_token(&cfg, 4096);
+        assert!((n - c - 3.0 * core).abs() < 1.0);
+    }
+
+    #[test]
+    fn table4_mfu_from_paper_timing() {
+        // Plugging Table 4's own numbers in (62.9M tokens/step from the V3
+        // report's 15360×4096 batch, 19.926 s/step, 2048 GPUs) must land on
+        // the printed MFU ≈ 43.7% / 38.9%.
+        let cfg = zoo::deepseek_v3();
+        let tokens = 15_360.0 * 4096.0;
+        let causal = mfu(&cfg, 4096, AttnConvention::Causal, tokens, 19.926, 2048, 989.5);
+        let noncausal = mfu(&cfg, 4096, AttnConvention::NonCausal, tokens, 19.926, 2048, 989.5);
+        assert!((causal - 0.3894).abs() < 0.01, "causal {causal}");
+        assert!((noncausal - 0.4373).abs() < 0.012, "noncausal {noncausal}");
+    }
+
+    #[test]
+    fn faster_steps_higher_mfu() {
+        let cfg = zoo::deepseek_v3();
+        let t = 15_360.0 * 4096.0;
+        let slow = mfu(&cfg, 4096, AttnConvention::Causal, t, 25.0, 2048, 989.5);
+        let fast = mfu(&cfg, 4096, AttnConvention::Causal, t, 19.0, 2048, 989.5);
+        assert!(fast > slow);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests for pipeline schedules.
+
+use dsv3_parallel::dualpipe::{dualpipe, zb1p};
+use dsv3_parallel::schedule::{analytic_step_time, bubble_dualpipe, one_f_one_b, ChunkTimes};
+use proptest::prelude::*;
+
+fn arb_times() -> impl Strategy<Value = ChunkTimes> {
+    (0.1f64..5.0, 0.1f64..5.0, 0.0f64..2.0).prop_map(|(f, b, w)| ChunkTimes { f, b, w: w.min(b * 0.9).max(0.01) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every schedule's makespan is bounded below by per-stage work and by
+    /// the one-microbatch critical path, and work is conserved.
+    #[test]
+    fn schedules_lower_bounds(stages in 1usize..8, micro_half in 4usize..16, t in arb_times()) {
+        let micro = 2 * micro_half.max(stages);
+        let work = micro as f64 * (t.f + t.b + t.w);
+        let critical = stages as f64 * (t.f + t.b) + t.w;
+        for outcome in [one_f_one_b(stages, micro, t), zb1p(stages, micro, t)] {
+            prop_assert!(outcome.total_time >= work - 1e-9);
+            prop_assert!(outcome.total_time >= critical - 1e-9);
+            for busy in &outcome.stage_busy {
+                prop_assert!((busy - work).abs() < 1e-6, "work conserved per stage");
+            }
+        }
+        let dp = dualpipe(stages, micro, t);
+        prop_assert!(dp.total_time >= micro as f64 * (t.f.max(t.b) + t.w) - 1e-9);
+    }
+
+    /// ZB1P never loses to classic 1F1B, and DualPipe never loses to ZB1P
+    /// when chunks overlap well (f ≈ b).
+    #[test]
+    fn schedule_ordering(stages in 2usize..8, micro_half in 8usize..24, base in 0.5f64..3.0, w in 0.05f64..0.5) {
+        let t = ChunkTimes { f: base, b: base, w: w.min(base * 0.9) };
+        let micro = 2 * micro_half.max(stages);
+        let classic = one_f_one_b(stages, micro, t);
+        let zb = zb1p(stages, micro, t);
+        let dp = dualpipe(stages, micro, t);
+        prop_assert!(zb.total_time <= classic.total_time + 1e-9);
+        prop_assert!(dp.total_time <= zb.total_time + 1e-9, "dp {} zb {}", dp.total_time, zb.total_time);
+    }
+
+    /// The analytic step-time helper is consistent: work + bubble.
+    #[test]
+    fn analytic_consistency(stages_half in 1usize..8, micro in 8usize..64, t in arb_times()) {
+        let stages = 2 * stages_half;
+        let bubble = bubble_dualpipe(stages, t, 1.0);
+        let total = analytic_step_time(micro, t, bubble);
+        prop_assert!((total - (micro as f64 * (t.f + t.b + t.w) + bubble)).abs() < 1e-9);
+        prop_assert!(bubble >= 0.0);
+    }
+}

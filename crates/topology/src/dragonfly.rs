@@ -1,0 +1,178 @@
+//! Canonical Dragonfly topology (groups of fully-connected switches joined
+//! by global links), the DF column of Table 3.
+
+use crate::cost::TopologySummary;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Dragonfly parameters: `p` endpoints per switch, `a` switches per group,
+/// `h` global links per switch, `groups` groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dragonfly {
+    /// Endpoints per switch.
+    pub p: usize,
+    /// Switches per group (intra-group is a full mesh).
+    pub a: usize,
+    /// Global links per switch.
+    pub h: usize,
+    /// Number of groups (`≤ a·h + 1`).
+    pub groups: usize,
+}
+
+impl Dragonfly {
+    /// Balanced canonical dragonfly from switch radix `r`: `a = r/2`,
+    /// `p = h = r/4`, maximum group count `a·h + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a multiple of 4.
+    #[must_use]
+    pub fn balanced_from_radix(r: usize) -> Self {
+        assert!(r >= 4 && r % 4 == 0, "radix must be a multiple of 4");
+        let p = r / 4;
+        let a = r / 2;
+        let h = r / 4;
+        Self { p, a, h, groups: a * h + 1 }
+    }
+
+    /// The parameterization whose counts match the paper's Table 3 DF
+    /// column: radix-64 balanced dragonfly at 511 groups (261,632 endpoints,
+    /// 16,352 switches, 384,272 links).
+    #[must_use]
+    pub fn table3() -> Self {
+        Self { p: 16, a: 32, h: 16, groups: 511 }
+    }
+
+    /// Total switches.
+    #[must_use]
+    pub fn switches(&self) -> usize {
+        self.groups * self.a
+    }
+
+    /// Total endpoints.
+    #[must_use]
+    pub fn endpoints(&self) -> usize {
+        self.switches() * self.p
+    }
+
+    /// Intra-group (electrical-class) links.
+    #[must_use]
+    pub fn intra_links(&self) -> usize {
+        self.groups * self.a * (self.a - 1) / 2
+    }
+
+    /// Global (optical-class) links.
+    #[must_use]
+    pub fn global_links(&self) -> usize {
+        self.groups * self.a * self.h / 2
+    }
+
+    /// All switch-switch links.
+    #[must_use]
+    pub fn switch_links(&self) -> usize {
+        self.intra_links() + self.global_links()
+    }
+
+    /// Table-3-style summary. Intra-group links are classed electrical-short
+    /// only when the paper's costing would; here we follow the calibrated
+    /// model and class all switch links optical (see `cost` module docs).
+    #[must_use]
+    pub fn summary(&self, name: &str) -> TopologySummary {
+        TopologySummary {
+            name: name.to_string(),
+            endpoints: self.endpoints(),
+            switches: self.switches(),
+            switch_links: self.switch_links(),
+            electrical_switch_links: 0,
+            radix: self.p + (self.a - 1) + self.h,
+        }
+    }
+
+    /// Build the switch graph. Requires the full canonical group count
+    /// (`groups == a·h + 1`) so every global port pairs exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups != a·h + 1`.
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        assert_eq!(
+            self.groups,
+            self.a * self.h + 1,
+            "graph construction implemented for the full canonical group count"
+        );
+        let mut graph = Graph::new(self.switches());
+        let sid = |g: usize, s: usize| g * self.a + s;
+        // Intra-group full mesh.
+        for g in 0..self.groups {
+            for s1 in 0..self.a {
+                for s2 in (s1 + 1)..self.a {
+                    graph.add_link(sid(g, s1), sid(g, s2));
+                }
+            }
+        }
+        // Global links: group g's channel d-1 (d = offset) pairs with group
+        // g+d's channel groups-1-d; channel c belongs to switch c / h.
+        for g1 in 0..self.groups {
+            for d in 1..self.groups {
+                let g2 = (g1 + d) % self.groups;
+                if g1 < g2 {
+                    let c1 = d - 1;
+                    let c2 = self.groups - 1 - d;
+                    graph.add_link(sid(g1, c1 / self.h), sid(g2, c2 / self.h));
+                }
+            }
+        }
+        for s in 0..self.switches() {
+            for _ in 0..self.p {
+                graph.attach_endpoint(s);
+            }
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_counts() {
+        let df = Dragonfly::table3();
+        assert_eq!(df.switches(), 16_352);
+        assert_eq!(df.endpoints(), 261_632);
+        assert_eq!(df.switch_links(), 384_272);
+        assert_eq!(df.intra_links(), 253_456);
+        assert_eq!(df.global_links(), 130_816);
+    }
+
+    #[test]
+    fn balanced_radix64() {
+        let df = Dragonfly::balanced_from_radix(64);
+        assert_eq!((df.p, df.a, df.h), (16, 32, 16));
+        assert_eq!(df.groups, 513);
+        // Table 3 uses two fewer groups than the canonical maximum.
+        assert_eq!(Dragonfly::table3().groups, 511);
+    }
+
+    #[test]
+    fn small_canonical_builds_and_is_tight() {
+        let df = Dragonfly { p: 1, a: 4, h: 2, groups: 9 };
+        let g = df.build();
+        assert_eq!(g.switches(), 36);
+        assert_eq!(g.switch_links(), df.switch_links());
+        // Dragonfly minimal routing is ≤ 3 switch hops (local, global,
+        // local); the graph diameter reflects that.
+        assert!(g.diameter() <= 3, "diameter {}", g.diameter());
+        // Every global port used exactly once: degree = (a-1) + h.
+        for s in 0..g.switches() {
+            assert_eq!(g.degree(s), 3 + 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical")]
+    fn non_canonical_build_panics() {
+        let _ = Dragonfly::table3().build();
+    }
+}

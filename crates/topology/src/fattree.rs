@@ -1,0 +1,302 @@
+//! Fat-tree builders: leaf-spine (FT2), multi-plane (MPFT), three-layer (FT3).
+//!
+//! All counts follow the paper's Table 3 conventions: "links" are
+//! switch-to-switch links (endpoint attachments are priced separately as
+//! NIC + host cable by the cost model).
+
+use crate::cost::TopologySummary;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A two-layer fat-tree (leaf-spine) built from `radix`-port switches.
+///
+/// With radix `r`: `r` leaves, `r/2` spines, `r/2` hosts per leaf, `r²/2`
+/// endpoints — the FT2 column of Table 3 at `r = 64` (2,048 endpoints, 96
+/// switches, 2,048 switch links).
+///
+/// ```
+/// use dsv3_topology::LeafSpine;
+///
+/// let ft2 = LeafSpine::from_radix(64);
+/// assert_eq!((ft2.endpoints(), ft2.switches()), (2048, 96));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeafSpine {
+    /// Number of leaf switches.
+    pub leaves: usize,
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Hosts attached per leaf.
+    pub hosts_per_leaf: usize,
+}
+
+impl LeafSpine {
+    /// Full-bisection leaf-spine from `radix`-port switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is odd or zero.
+    #[must_use]
+    pub fn from_radix(radix: usize) -> Self {
+        assert!(radix > 0 && radix % 2 == 0, "radix must be positive and even");
+        Self { leaves: radix, spines: radix / 2, hosts_per_leaf: radix / 2 }
+    }
+
+    /// Leaf-spine sized to hold at least `hosts` endpoints with `radix`-port
+    /// switches (fewer leaves than the full fabric if possible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` exceeds the `radix²/2` capacity.
+    #[must_use]
+    pub fn for_hosts(hosts: usize, radix: usize) -> Self {
+        let full = Self::from_radix(radix);
+        assert!(hosts <= full.endpoints(), "{hosts} hosts exceed radix {radix} capacity");
+        let leaves = hosts.div_ceil(full.hosts_per_leaf);
+        Self { leaves, spines: full.spines, hosts_per_leaf: full.hosts_per_leaf }
+    }
+
+    /// Total endpoints.
+    #[must_use]
+    pub fn endpoints(&self) -> usize {
+        self.leaves * self.hosts_per_leaf
+    }
+
+    /// Total switches.
+    #[must_use]
+    pub fn switches(&self) -> usize {
+        self.leaves + self.spines
+    }
+
+    /// Switch-to-switch links (every leaf connects to every spine).
+    #[must_use]
+    pub fn switch_links(&self) -> usize {
+        self.leaves * self.spines
+    }
+
+    /// Leaf switch of host `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[must_use]
+    pub fn leaf_of(&self, h: usize) -> usize {
+        assert!(h < self.endpoints(), "host out of range");
+        h / self.hosts_per_leaf
+    }
+
+    /// Whether two hosts share a leaf.
+    #[must_use]
+    pub fn same_leaf(&self, a: usize, b: usize) -> bool {
+        self.leaf_of(a) == self.leaf_of(b)
+    }
+
+    /// Materialize the switch graph (leaves `0..leaves`, spines after).
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.switches());
+        for l in 0..self.leaves {
+            for s in 0..self.spines {
+                g.add_link(l, self.leaves + s);
+            }
+        }
+        for h in 0..self.endpoints() {
+            g.attach_endpoint(self.leaf_of(h));
+        }
+        g
+    }
+
+    /// Table-3-style summary (all switch links optical).
+    #[must_use]
+    pub fn summary(&self, name: &str) -> TopologySummary {
+        TopologySummary {
+            name: name.to_string(),
+            endpoints: self.endpoints(),
+            switches: self.switches(),
+            switch_links: self.switch_links(),
+            electrical_switch_links: 0,
+            radix: self.hosts_per_leaf + self.spines,
+        }
+    }
+}
+
+/// A multi-plane fat-tree: `planes` independent leaf-spine fabrics; each
+/// node's i-th NIC joins plane i (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiPlane {
+    /// The per-plane leaf-spine fabric.
+    pub plane: LeafSpine,
+    /// Number of planes (8 in DeepSeek-V3's deployment).
+    pub planes: usize,
+}
+
+impl MultiPlane {
+    /// The paper's deployment shape: `planes` two-layer planes of 64-port
+    /// switches (8 planes → 16,384 endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes == 0`.
+    #[must_use]
+    pub fn from_radix(radix: usize, planes: usize) -> Self {
+        assert!(planes > 0, "need at least one plane");
+        Self { plane: LeafSpine::from_radix(radix), planes }
+    }
+
+    /// Endpoints across all planes (each GPU-NIC pair is one endpoint).
+    #[must_use]
+    pub fn endpoints(&self) -> usize {
+        self.plane.endpoints() * self.planes
+    }
+
+    /// Switches across all planes.
+    #[must_use]
+    pub fn switches(&self) -> usize {
+        self.plane.switches() * self.planes
+    }
+
+    /// Switch links across all planes.
+    #[must_use]
+    pub fn switch_links(&self) -> usize {
+        self.plane.switch_links() * self.planes
+    }
+
+    /// GPUs supported when each node contributes one GPU+NIC per plane.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        self.endpoints()
+    }
+
+    /// Table-3-style summary.
+    #[must_use]
+    pub fn summary(&self, name: &str) -> TopologySummary {
+        let s = self.plane.summary(name);
+        TopologySummary {
+            name: name.to_string(),
+            endpoints: s.endpoints * self.planes,
+            switches: s.switches * self.planes,
+            switch_links: s.switch_links * self.planes,
+            electrical_switch_links: 0,
+            radix: s.radix,
+        }
+    }
+}
+
+/// A three-layer fat-tree of `radix`-port switches (edge/aggregation/core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreeLayerFatTree {
+    /// Switch radix.
+    pub radix: usize,
+}
+
+impl ThreeLayerFatTree {
+    /// New FT3 from `radix`-port switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is odd or zero.
+    #[must_use]
+    pub fn new(radix: usize) -> Self {
+        assert!(radix > 0 && radix % 2 == 0, "radix must be positive and even");
+        Self { radix }
+    }
+
+    /// Endpoints: `radix³ / 4`.
+    #[must_use]
+    pub fn endpoints(&self) -> usize {
+        self.radix * self.radix * self.radix / 4
+    }
+
+    /// Switches: `radix` pods × `radix` (edge+agg) + `radix²/4` cores.
+    #[must_use]
+    pub fn switches(&self) -> usize {
+        self.radix * self.radix + self.radix * self.radix / 4
+    }
+
+    /// Switch links: edge→agg plus agg→core, `radix³ / 2` total.
+    #[must_use]
+    pub fn switch_links(&self) -> usize {
+        self.radix * self.radix * self.radix / 2
+    }
+
+    /// Table-3-style summary.
+    #[must_use]
+    pub fn summary(&self, name: &str) -> TopologySummary {
+        TopologySummary {
+            name: name.to_string(),
+            endpoints: self.endpoints(),
+            switches: self.switches(),
+            switch_links: self.switch_links(),
+            electrical_switch_links: 0,
+            radix: self.radix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ft2_table3_counts() {
+        let ft2 = LeafSpine::from_radix(64);
+        assert_eq!(ft2.endpoints(), 2048);
+        assert_eq!(ft2.switches(), 96);
+        assert_eq!(ft2.switch_links(), 2048);
+    }
+
+    #[test]
+    fn mpft_table3_counts() {
+        let mpft = MultiPlane::from_radix(64, 8);
+        assert_eq!(mpft.endpoints(), 16_384);
+        assert_eq!(mpft.switches(), 768);
+        assert_eq!(mpft.switch_links(), 16_384);
+    }
+
+    #[test]
+    fn ft3_table3_counts() {
+        let ft3 = ThreeLayerFatTree::new(64);
+        assert_eq!(ft3.endpoints(), 65_536);
+        assert_eq!(ft3.switches(), 5120);
+        assert_eq!(ft3.switch_links(), 131_072);
+    }
+
+    #[test]
+    fn graph_matches_counts() {
+        let ls = LeafSpine::from_radix(8);
+        let g = ls.to_graph();
+        assert_eq!(g.switches(), ls.switches());
+        assert_eq!(g.switch_links(), ls.switch_links());
+        assert_eq!(g.endpoints(), ls.endpoints());
+        assert_eq!(g.diameter(), 2, "leaf-spine switch graph has diameter 2");
+    }
+
+    #[test]
+    fn leaf_membership() {
+        let ls = LeafSpine::from_radix(8); // 4 hosts/leaf
+        assert!(ls.same_leaf(0, 3));
+        assert!(!ls.same_leaf(3, 4));
+        assert_eq!(ls.leaf_of(5), 1);
+    }
+
+    #[test]
+    fn for_hosts_rounds_up() {
+        let ls = LeafSpine::for_hosts(100, 64);
+        assert_eq!(ls.leaves, 4); // 100 / 32 -> 4 leaves
+        assert!(ls.endpoints() >= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_hosts_panics() {
+        let _ = LeafSpine::for_hosts(3000, 64);
+    }
+
+    #[test]
+    fn two_layer_scales_past_10k_only_with_planes() {
+        // §5.1: multi-plane keeps two-layer latency while exceeding 10k
+        // endpoints; a single plane cannot.
+        assert!(LeafSpine::from_radix(64).endpoints() < 10_000);
+        assert!(MultiPlane::from_radix(64, 8).endpoints() > 10_000);
+    }
+}

@@ -1,0 +1,182 @@
+//! A minimal switch-level network graph.
+//!
+//! Switches form the graph proper; endpoints attach to switches. This is
+//! enough to validate the structural identities the counting formulas rely
+//! on (degree handshake, diameter) for every topology in Table 3.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Switch-level graph with attached endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    endpoint_attach: Vec<usize>,
+}
+
+impl Graph {
+    /// Empty graph with `switches` unconnected switches.
+    #[must_use]
+    pub fn new(switches: usize) -> Self {
+        Self { adj: vec![Vec::new(); switches], endpoint_attach: Vec::new() }
+    }
+
+    /// Number of switches.
+    #[must_use]
+    pub fn switches(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of endpoints.
+    #[must_use]
+    pub fn endpoints(&self) -> usize {
+        self.endpoint_attach.len()
+    }
+
+    /// Add an undirected switch-switch link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either switch is out of range or `a == b`.
+    pub fn add_link(&mut self, a: usize, b: usize) {
+        assert!(a < self.adj.len() && b < self.adj.len(), "switch out of range");
+        assert_ne!(a, b, "self-links are not allowed");
+        self.adj[a].push(b);
+        self.adj[b].push(a);
+    }
+
+    /// Attach an endpoint to switch `s`, returning the endpoint id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn attach_endpoint(&mut self, s: usize) -> usize {
+        assert!(s < self.adj.len(), "switch out of range");
+        self.endpoint_attach.push(s);
+        self.endpoint_attach.len() - 1
+    }
+
+    /// Switch an endpoint is attached to.
+    #[must_use]
+    pub fn endpoint_switch(&self, e: usize) -> usize {
+        self.endpoint_attach[e]
+    }
+
+    /// Degree (network ports) of switch `s`.
+    #[must_use]
+    pub fn degree(&self, s: usize) -> usize {
+        self.adj[s].len()
+    }
+
+    /// Neighbors of switch `s`.
+    #[must_use]
+    pub fn neighbors(&self, s: usize) -> &[usize] {
+        &self.adj[s]
+    }
+
+    /// Total switch-switch links (each counted once).
+    #[must_use]
+    pub fn switch_links(&self) -> usize {
+        let deg_sum: usize = self.adj.iter().map(Vec::len).sum();
+        debug_assert_eq!(deg_sum % 2, 0, "handshake violated");
+        deg_sum / 2
+    }
+
+    /// Endpoints attached to switch `s`.
+    #[must_use]
+    pub fn endpoints_of(&self, s: usize) -> usize {
+        self.endpoint_attach.iter().filter(|&&x| x == s).count()
+    }
+
+    /// Hop distances from switch `src` to every switch (usize::MAX if
+    /// unreachable).
+    #[must_use]
+    pub fn bfs(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.adj.len()];
+        dist[src] = 0;
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Switch-graph diameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or disconnected.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        assert!(!self.adj.is_empty(), "empty graph");
+        let mut best = 0;
+        for s in 0..self.adj.len() {
+            let d = self.bfs(s);
+            let m = *d.iter().max().expect("nonempty");
+            assert_ne!(m, usize::MAX, "graph is disconnected");
+            best = best.max(m);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_link(0, 1);
+        g.add_link(1, 2);
+        g.add_link(2, 0);
+        g
+    }
+
+    #[test]
+    fn handshake() {
+        let g = triangle();
+        assert_eq!(g.switch_links(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        let mut g = Graph::new(4); // path 0-1-2-3
+        g.add_link(0, 1);
+        g.add_link(1, 2);
+        g.add_link(2, 3);
+        assert_eq!(g.bfs(0), vec![0, 1, 2, 3]);
+        assert_eq!(g.diameter(), 3);
+        assert_eq!(triangle().diameter(), 1);
+    }
+
+    #[test]
+    fn endpoints_attach() {
+        let mut g = triangle();
+        let e0 = g.attach_endpoint(1);
+        let e1 = g.attach_endpoint(1);
+        assert_eq!((e0, e1), (0, 1));
+        assert_eq!(g.endpoints(), 2);
+        assert_eq!(g.endpoints_of(1), 2);
+        assert_eq!(g.endpoint_switch(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_diameter_panics() {
+        let g = Graph::new(2);
+        let _ = g.diameter();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut g = Graph::new(2);
+        g.add_link(1, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Cluster network topologies for the DeepSeek-V3 reproduction.
+//!
+//! §5.1 of the paper compares the Multi-Plane two-layer Fat-Tree (MPFT)
+//! deployed for DeepSeek-V3 against two- and three-layer fat-trees, Slim Fly
+//! and Dragonfly (Table 3), and §5.2.2 studies routing policies (ECMP vs
+//! adaptive vs static) on leaf-spine fabrics (Figure 8). This crate builds
+//! those topologies, counts their hardware, prices them with a parametric
+//! cost model calibrated to the Slim Fly paper's methodology, and provides
+//! the spine-selection routing policies used by the collective experiments.
+//!
+//! * [`graph`] — a small switch-level graph with endpoints, degree/link
+//!   counting and BFS diameter.
+//! * [`fattree`] — leaf-spine (two-layer), multi-plane, and three-layer
+//!   fat-tree builders.
+//! * [`slimfly`] — McKay–Miller–Širáň Slim Fly construction (prime `q`)
+//!   plus the analytic counting used by Table 3.
+//! * [`dragonfly`] — canonical dragonfly construction and counts.
+//! * [`cost`] — the calibrated cost model and Table 3 row generation.
+//! * [`routing`] — ECMP / static / adaptive spine selection for leaf-spine
+//!   fabrics.
+
+pub mod cost;
+pub mod dragonfly;
+pub mod fattree;
+pub mod graph;
+pub mod routing;
+pub mod slimfly;
+
+pub use cost::{CostModel, TopologySummary};
+pub use fattree::{LeafSpine, MultiPlane};
+pub use graph::Graph;

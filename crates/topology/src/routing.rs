@@ -1,0 +1,303 @@
+//! Spine-selection routing policies for leaf-spine fabrics (§5.2.2).
+//!
+//! Figure 8 shows that RoCE's default ECMP hashing congests AllGather /
+//! ReduceScatter traffic, static (manually configured) routing avoids
+//! conflicts for specific patterns, and adaptive routing spreads load
+//! dynamically. The policies here choose an uplink spine per flow; the
+//! resulting per-link loads (and, through the flow simulator, per-flow
+//! throughput) reproduce that ordering.
+
+use crate::fattree::LeafSpine;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point flow between two hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: usize,
+    /// Destination host.
+    pub dst: usize,
+}
+
+/// Spine-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutePolicy {
+    /// Hash-based equal-cost multipath (the RoCE default): the spine is a
+    /// pseudo-random function of the flow's 5-tuple, so distinct flows can
+    /// collide on one uplink.
+    Ecmp {
+        /// Hash seed (models the switch's hash function choice).
+        seed: u64,
+    },
+    /// Manually configured static tables: spine fixed by source host index.
+    /// Collision-free for one-flow-per-host shift permutations, inflexible
+    /// otherwise.
+    StaticBySource,
+    /// Adaptive routing: each flow picks the spine minimizing the current
+    /// maximum of its uplink/downlink loads (greedy congestion awareness,
+    /// approximating per-packet spraying).
+    Adaptive,
+}
+
+/// Spine assignment for each flow (`None` = stays under one leaf).
+#[must_use]
+pub fn assign_spines(ls: &LeafSpine, flows: &[FlowSpec], policy: RoutePolicy) -> Vec<Option<usize>> {
+    let mut up = vec![0usize; ls.leaves * ls.spines]; // (leaf, spine) uplink load
+    let mut down = vec![0usize; ls.leaves * ls.spines];
+    flows
+        .iter()
+        .map(|f| {
+            if ls.same_leaf(f.src, f.dst) {
+                return None;
+            }
+            let sl = ls.leaf_of(f.src);
+            let dl = ls.leaf_of(f.dst);
+            let spine = match policy {
+                RoutePolicy::Ecmp { seed } => hash3(f.src as u64, f.dst as u64, seed) as usize % ls.spines,
+                RoutePolicy::StaticBySource => f.src % ls.spines,
+                RoutePolicy::Adaptive => (0..ls.spines)
+                    .min_by_key(|&s| (up[sl * ls.spines + s].max(down[dl * ls.spines + s]), s))
+                    .expect("at least one spine"),
+            };
+            up[sl * ls.spines + spine] += 1;
+            down[dl * ls.spines + spine] += 1;
+            Some(spine)
+        })
+        .collect()
+}
+
+/// Per-link load analysis of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Maximum flows sharing any single leaf↔spine link.
+    pub max_link_load: usize,
+    /// Flows that crossed spines (inter-leaf flows).
+    pub inter_leaf_flows: usize,
+}
+
+impl LoadReport {
+    /// Throughput fraction of ideal for uniform same-size flows: the whole
+    /// pattern finishes when the most-loaded link drains.
+    #[must_use]
+    pub fn throughput_fraction(&self) -> f64 {
+        if self.max_link_load == 0 {
+            1.0
+        } else {
+            1.0 / self.max_link_load as f64
+        }
+    }
+}
+
+/// Analyze the link loads induced by an assignment.
+#[must_use]
+pub fn load_report(ls: &LeafSpine, flows: &[FlowSpec], spines: &[Option<usize>]) -> LoadReport {
+    let mut up = vec![0usize; ls.leaves * ls.spines];
+    let mut down = vec![0usize; ls.leaves * ls.spines];
+    let mut inter = 0usize;
+    for (f, s) in flows.iter().zip(spines) {
+        if let Some(s) = s {
+            inter += 1;
+            up[ls.leaf_of(f.src) * ls.spines + s] += 1;
+            down[ls.leaf_of(f.dst) * ls.spines + s] += 1;
+        }
+    }
+    let max_link_load = up.iter().chain(down.iter()).copied().max().unwrap_or(0);
+    LoadReport { max_link_load, inter_leaf_flows: inter }
+}
+
+/// Spine assignment when `failed_spines` are out of service.
+///
+/// Adaptive routing treats failures natively (it simply never picks a dead
+/// spine). ECMP switches rehash over the survivors (standard consistent
+/// fallback). Static tables model the §6.3 pain point: entries pointing at
+/// a dead spine fail over to the numerically first healthy spine, piling
+/// flows onto it until an operator reconfigures the tables.
+///
+/// # Panics
+///
+/// Panics if every spine failed.
+#[must_use]
+pub fn assign_spines_with_failures(
+    ls: &LeafSpine,
+    flows: &[FlowSpec],
+    policy: RoutePolicy,
+    failed_spines: &[usize],
+) -> Vec<Option<usize>> {
+    let healthy: Vec<usize> = (0..ls.spines).filter(|s| !failed_spines.contains(s)).collect();
+    assert!(!healthy.is_empty(), "all spines failed");
+    let mut up = vec![0usize; ls.leaves * ls.spines];
+    let mut down = vec![0usize; ls.leaves * ls.spines];
+    flows
+        .iter()
+        .map(|f| {
+            if ls.same_leaf(f.src, f.dst) {
+                return None;
+            }
+            let sl = ls.leaf_of(f.src);
+            let dl = ls.leaf_of(f.dst);
+            let spine = match policy {
+                RoutePolicy::Ecmp { seed } => {
+                    healthy[hash3(f.src as u64, f.dst as u64, seed) as usize % healthy.len()]
+                }
+                RoutePolicy::StaticBySource => {
+                    let preferred = f.src % ls.spines;
+                    if failed_spines.contains(&preferred) {
+                        healthy[0]
+                    } else {
+                        preferred
+                    }
+                }
+                RoutePolicy::Adaptive => *healthy
+                    .iter()
+                    .min_by_key(|&&s| (up[sl * ls.spines + s].max(down[dl * ls.spines + s]), s))
+                    .expect("healthy spine exists"),
+            };
+            up[sl * ls.spines + spine] += 1;
+            down[dl * ls.spines + spine] += 1;
+            Some(spine)
+        })
+        .collect()
+}
+
+fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.rotate_left(31).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ c.wrapping_mul(0x1656_67B1_9E37_79F9);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 29;
+    x
+}
+
+/// The ring-shift traffic pattern of one collective step: host `i` sends to
+/// host `(i + shift) mod n` within each group of `group` consecutive hosts
+/// (one ring per tensor/data-parallel group).
+#[must_use]
+pub fn ring_shift_flows(hosts: usize, group: usize, shift: usize) -> Vec<FlowSpec> {
+    assert!(group > 0 && hosts % group == 0, "hosts must split into equal groups");
+    (0..hosts)
+        .map(|i| {
+            let g = i / group;
+            let j = (i % group + shift) % group;
+            FlowSpec { src: i, dst: g * group + j }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> LeafSpine {
+        LeafSpine { leaves: 8, spines: 8, hosts_per_leaf: 8 }
+    }
+
+    #[test]
+    fn same_leaf_flows_skip_spines() {
+        let ls = fabric();
+        let flows = vec![FlowSpec { src: 0, dst: 1 }];
+        let a = assign_spines(&ls, &flows, RoutePolicy::Adaptive);
+        assert_eq!(a, vec![None]);
+    }
+
+    #[test]
+    fn adaptive_is_conflict_free_for_permutations() {
+        let ls = fabric();
+        // Global shift by one leaf: every host sends cross-leaf.
+        let flows: Vec<FlowSpec> =
+            (0..64).map(|i| FlowSpec { src: i, dst: (i + 8) % 64 }).collect();
+        let a = assign_spines(&ls, &flows, RoutePolicy::Adaptive);
+        let r = load_report(&ls, &flows, &a);
+        assert_eq!(r.max_link_load, 1, "adaptive must avoid all collisions");
+        assert_eq!(r.throughput_fraction(), 1.0);
+    }
+
+    #[test]
+    fn static_is_conflict_free_for_shift() {
+        let ls = fabric();
+        let flows: Vec<FlowSpec> =
+            (0..64).map(|i| FlowSpec { src: i, dst: (i + 8) % 64 }).collect();
+        let a = assign_spines(&ls, &flows, RoutePolicy::StaticBySource);
+        let r = load_report(&ls, &flows, &a);
+        assert_eq!(r.max_link_load, 1);
+    }
+
+    #[test]
+    fn ecmp_collides_on_permutations() {
+        let ls = fabric();
+        let flows: Vec<FlowSpec> =
+            (0..64).map(|i| FlowSpec { src: i, dst: (i + 8) % 64 }).collect();
+        // With 8 flows hashing onto 8 spines per leaf, collisions are near
+        // certain; check over several hash seeds.
+        let mut collided = 0;
+        for seed in 0..10 {
+            let a = assign_spines(&ls, &flows, RoutePolicy::Ecmp { seed });
+            if load_report(&ls, &flows, &a).max_link_load > 1 {
+                collided += 1;
+            }
+        }
+        assert!(collided >= 9, "ECMP collided in only {collided}/10 seeds");
+    }
+
+    #[test]
+    fn ring_shift_pattern_shape() {
+        let flows = ring_shift_flows(16, 8, 1);
+        assert_eq!(flows.len(), 16);
+        assert_eq!(flows[7], FlowSpec { src: 7, dst: 0 });
+        assert_eq!(flows[8], FlowSpec { src: 8, dst: 9 });
+        // Each host receives exactly one flow.
+        let mut dsts: Vec<usize> = flows.iter().map(|f| f.dst).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 16);
+    }
+
+    #[test]
+    fn load_report_counts() {
+        let ls = fabric();
+        let flows = vec![FlowSpec { src: 0, dst: 8 }, FlowSpec { src: 1, dst: 9 }];
+        let a = vec![Some(0), Some(0)];
+        let r = load_report(&ls, &flows, &a);
+        assert_eq!(r.max_link_load, 2);
+        assert_eq!(r.inter_leaf_flows, 2);
+        assert_eq!(r.throughput_fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal groups")]
+    fn bad_group_panics() {
+        let _ = ring_shift_flows(10, 4, 1);
+    }
+
+    #[test]
+    fn adaptive_absorbs_spine_failures_static_does_not() {
+        let ls = fabric();
+        let flows: Vec<FlowSpec> =
+            (0..64).map(|i| FlowSpec { src: i, dst: (i + 8) % 64 }).collect();
+        let failed = [0usize, 1];
+        let adaptive = assign_spines_with_failures(&ls, &flows, RoutePolicy::Adaptive, &failed);
+        let stat = assign_spines_with_failures(&ls, &flows, RoutePolicy::StaticBySource, &failed);
+        for s in adaptive.iter().chain(stat.iter()).flatten() {
+            assert!(!failed.contains(s), "never routes through a dead spine");
+        }
+        let la = load_report(&ls, &flows, &adaptive).max_link_load;
+        let lst = load_report(&ls, &flows, &stat).max_link_load;
+        // 8 flows per leaf over 6 healthy spines: adaptive lands at 2;
+        // static's naive fallback piles both orphaned flows on spine 2.
+        assert!(la <= 2, "adaptive load {la}");
+        assert!(lst >= 3, "static naive failover congests: {lst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all spines failed")]
+    fn total_spine_failure_panics() {
+        let ls = fabric();
+        let flows = vec![FlowSpec { src: 0, dst: 8 }];
+        let _ = assign_spines_with_failures(
+            &ls,
+            &flows,
+            RoutePolicy::Adaptive,
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+        );
+    }
+}

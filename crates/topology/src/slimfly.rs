@@ -1,0 +1,242 @@
+//! Slim Fly (McKay–Miller–Širáň) topology: diameter-2, near-Moore-optimal.
+//!
+//! Table 3 prices a Slim Fly with `q = 28` (1,568 switches, 32,928
+//! endpoints) using the methodology of the NSDI'24 Slim Fly paper. The
+//! analytic counts work for any `q = 4w + δ`, `δ ∈ {−1, 0, 1}`; the actual
+//! MMS graph construction (used to verify the diameter-2 property) requires
+//! a prime `q`.
+
+use crate::cost::TopologySummary;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Analytic Slim Fly descriptor.
+///
+/// ```
+/// use dsv3_topology::slimfly::SlimFly;
+///
+/// // The q=5 MMS graph is the Hoffman–Singleton graph: diameter 2.
+/// assert_eq!(SlimFly::new(5).build().diameter(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlimFly {
+    /// MMS parameter `q` (`q = 4w + δ`).
+    pub q: usize,
+}
+
+impl SlimFly {
+    /// New Slim Fly descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q mod 4 ∈ {0, 1, 3}` and `q ≥ 4` (the MMS family
+    /// needs `δ ∈ {−1, 0, 1}`).
+    #[must_use]
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 4, "q too small");
+        assert!(q % 4 != 2, "q = 4w+δ requires δ ∈ {{-1,0,1}}");
+        Self { q }
+    }
+
+    /// δ such that `q = 4w + δ`.
+    #[must_use]
+    pub fn delta(&self) -> i64 {
+        match self.q % 4 {
+            0 => 0,
+            1 => 1,
+            3 => -1,
+            _ => unreachable!("validated in new"),
+        }
+    }
+
+    /// Network degree `k = (3q − δ) / 2`.
+    #[must_use]
+    pub fn network_degree(&self) -> usize {
+        ((3 * self.q as i64 - self.delta()) / 2) as usize
+    }
+
+    /// Switches: `2q²`.
+    #[must_use]
+    pub fn switches(&self) -> usize {
+        2 * self.q * self.q
+    }
+
+    /// Endpoints per switch: `⌈k/2⌉` (the SF paper's balanced choice).
+    #[must_use]
+    pub fn endpoints_per_switch(&self) -> usize {
+        self.network_degree().div_ceil(2)
+    }
+
+    /// Total endpoints.
+    #[must_use]
+    pub fn endpoints(&self) -> usize {
+        self.switches() * self.endpoints_per_switch()
+    }
+
+    /// Switch-switch links: `q² · k`.
+    #[must_use]
+    pub fn switch_links(&self) -> usize {
+        self.switches() * self.network_degree() / 2
+    }
+
+    /// Table-3-style summary.
+    #[must_use]
+    pub fn summary(&self, name: &str) -> TopologySummary {
+        TopologySummary {
+            name: name.to_string(),
+            endpoints: self.endpoints(),
+            switches: self.switches(),
+            switch_links: self.switch_links(),
+            electrical_switch_links: 0,
+            radix: self.network_degree() + self.endpoints_per_switch(),
+        }
+    }
+
+    /// Build the actual MMS graph. Only supported for prime `q ≡ 1 (mod 4)`
+    /// (the δ = 1 construction over GF(q), where the even-power generator
+    /// set is symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a prime with `q ≡ 1 (mod 4)`.
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        let q = self.q;
+        assert!(
+            is_prime(q) && q % 4 == 1,
+            "MMS construction implemented for prime q ≡ 1 (mod 4) only"
+        );
+        let xi = primitive_root(q);
+        // Generator sets X (even powers) and X' (odd powers).
+        let mut x_set = vec![false; q];
+        let mut xp_set = vec![false; q];
+        let mut p = 1usize;
+        for i in 0..(q - 1) {
+            if i % 2 == 0 {
+                x_set[p] = true;
+            } else {
+                xp_set[p] = true;
+            }
+            p = p * xi % q;
+        }
+        // Vertices: (part, x, y) -> part*q² + x*q + y.
+        let id = |part: usize, x: usize, y: usize| part * q * q + x * q + y;
+        let mut g = Graph::new(2 * q * q);
+        // Intra-part links.
+        for x in 0..q {
+            for y in 0..q {
+                for yp in (y + 1)..q {
+                    let d = (yp - y) % q;
+                    if x_set[d] || x_set[(q - d) % q] {
+                        g.add_link(id(0, x, y), id(0, x, yp));
+                    }
+                    if xp_set[d] || xp_set[(q - d) % q] {
+                        g.add_link(id(1, x, y), id(1, x, yp));
+                    }
+                }
+            }
+        }
+        // Cross links: (0, x, y) ~ (1, m, c) iff y = m·x + c (mod q).
+        for x in 0..q {
+            for m in 0..q {
+                for c in 0..q {
+                    let y = (m * x + c) % q;
+                    g.add_link(id(0, x, y), id(1, m, c));
+                }
+            }
+        }
+        for s in 0..g.switches() {
+            for _ in 0..self.endpoints_per_switch() {
+                g.attach_endpoint(s);
+            }
+        }
+        g
+    }
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Smallest primitive root of prime `q`.
+fn primitive_root(q: usize) -> usize {
+    'outer: for g in 2..q {
+        let mut seen = vec![false; q];
+        let mut p = 1usize;
+        for _ in 0..(q - 1) {
+            p = p * g % q;
+            if seen[p] {
+                continue 'outer;
+            }
+            seen[p] = true;
+        }
+        return g;
+    }
+    panic!("no primitive root found for {q}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_counts_q28() {
+        let sf = SlimFly::new(28);
+        assert_eq!(sf.switches(), 1568);
+        assert_eq!(sf.endpoints(), 32_928);
+        assert_eq!(sf.switch_links(), 32_928);
+        assert_eq!(sf.network_degree(), 42);
+    }
+
+    #[test]
+    fn q5_is_hoffman_singleton() {
+        // q=5 yields the Hoffman–Singleton graph: 50 vertices, degree 7,
+        // diameter 2, girth 5 — the Moore graph.
+        let sf = SlimFly::new(5);
+        let g = sf.build();
+        assert_eq!(g.switches(), 50);
+        assert_eq!(g.switch_links(), 175);
+        for s in 0..50 {
+            assert_eq!(g.degree(s), 7);
+        }
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn q13_diameter_2() {
+        let sf = SlimFly::new(13);
+        let g = sf.build();
+        assert_eq!(g.switches(), 2 * 13 * 13);
+        assert_eq!(g.diameter(), 2);
+        assert_eq!(g.degree(0), sf.network_degree());
+    }
+
+    #[test]
+    fn primitive_roots() {
+        assert_eq!(primitive_root(5), 2);
+        assert_eq!(primitive_root(13), 2);
+        assert_eq!(primitive_root(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn non_prime_build_panics() {
+        let _ = SlimFly::new(28).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "4w")]
+    fn bad_q_panics() {
+        let _ = SlimFly::new(6);
+    }
+}

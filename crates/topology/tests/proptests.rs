@@ -1,0 +1,98 @@
+//! Property-based tests for topology builders and routing policies.
+
+use dsv3_topology::dragonfly::Dragonfly;
+use dsv3_topology::fattree::{LeafSpine, ThreeLayerFatTree};
+use dsv3_topology::routing::{assign_spines, load_report, ring_shift_flows, FlowSpec, RoutePolicy};
+use dsv3_topology::slimfly::SlimFly;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every leaf-spine graph satisfies the structural identities its
+    /// counting formulas claim.
+    #[test]
+    fn leafspine_identities(half_radix in 1usize..16) {
+        let radix = 2 * half_radix;
+        let ls = LeafSpine::from_radix(radix);
+        let g = ls.to_graph();
+        prop_assert_eq!(g.switches(), ls.switches());
+        prop_assert_eq!(g.switch_links(), ls.switch_links());
+        prop_assert_eq!(g.endpoints(), ls.endpoints());
+        // Each leaf's degree = spines; each spine's degree = leaves.
+        for l in 0..ls.leaves {
+            prop_assert_eq!(g.degree(l), ls.spines);
+        }
+        for s in 0..ls.spines {
+            prop_assert_eq!(g.degree(ls.leaves + s), ls.leaves);
+        }
+        if ls.leaves > 1 {
+            prop_assert_eq!(g.diameter(), 2);
+        }
+    }
+
+    /// FT3 counting identities: endpoints = r³/4, links = r³/2 (i.e. exactly
+    /// 2 uplink tiers per endpoint), switches = 1.25·r².
+    #[test]
+    fn ft3_identities(quarter in 1usize..12) {
+        let r = 4 * quarter;
+        let ft3 = ThreeLayerFatTree::new(r);
+        prop_assert_eq!(ft3.switch_links(), 2 * ft3.endpoints());
+        prop_assert_eq!(4 * ft3.switches(), 5 * r * r);
+    }
+
+    /// Slim Fly counting: links = switches · degree / 2; endpoints/switch
+    /// within one of half the network degree.
+    #[test]
+    fn slimfly_identities(w in 1usize..12, delta in 0usize..3) {
+        let q = 4 * w + [0usize, 1, 3][delta];
+        let sf = SlimFly::new(q);
+        prop_assert_eq!(sf.switch_links() * 2, sf.switches() * sf.network_degree());
+        let p = sf.endpoints_per_switch();
+        prop_assert!(p * 2 >= sf.network_degree());
+        prop_assert!(p * 2 <= sf.network_degree() + 1);
+    }
+
+    /// Canonical dragonfly builds agree with the counting formulas and have
+    /// uniform degree a-1+h.
+    #[test]
+    fn dragonfly_identities(a_half in 1usize..4, h in 1usize..4) {
+        let a = 2 * a_half;
+        let df = Dragonfly { p: 1, a, h, groups: a * h + 1 };
+        let g = df.build();
+        prop_assert_eq!(g.switches(), df.switches());
+        prop_assert_eq!(g.switch_links(), df.switch_links());
+        for s in 0..g.switches() {
+            prop_assert_eq!(g.degree(s), a - 1 + h);
+        }
+        prop_assert!(g.diameter() <= 3);
+    }
+
+    /// Routing: adaptive assignment's max link load never exceeds ECMP's on
+    /// the same flow set, and every inter-leaf flow gets a spine.
+    #[test]
+    fn adaptive_beats_ecmp(seed in 0u64..500, shift in 1usize..32) {
+        let ls = LeafSpine { leaves: 8, spines: 8, hosts_per_leaf: 8 };
+        let flows: Vec<FlowSpec> = (0..64).map(|i| FlowSpec { src: i, dst: (i + shift) % 64 }).collect();
+        let ecmp = assign_spines(&ls, &flows, RoutePolicy::Ecmp { seed });
+        let adaptive = assign_spines(&ls, &flows, RoutePolicy::Adaptive);
+        for (f, s) in flows.iter().zip(&adaptive) {
+            prop_assert_eq!(ls.same_leaf(f.src, f.dst), s.is_none());
+        }
+        let le = load_report(&ls, &flows, &ecmp).max_link_load;
+        let la = load_report(&ls, &flows, &adaptive).max_link_load;
+        prop_assert!(la <= le, "adaptive {la} vs ecmp {le}");
+    }
+
+    /// Ring-shift flow generation covers each destination exactly once per
+    /// group and never crosses groups.
+    #[test]
+    fn ring_shift_is_permutation(groups in 1usize..8, size in 2usize..8, shift in 0usize..8) {
+        let hosts = groups * size;
+        let flows = ring_shift_flows(hosts, size, shift % size);
+        let mut seen = vec![0usize; hosts];
+        for f in &flows {
+            prop_assert_eq!(f.src / size, f.dst / size, "stays in group");
+            seen[f.dst] += 1;
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the DeepSeek-V3 insights reproduction.
+//!
+//! This root package hosts the workspace-level integration tests and runnable
+//! examples. The actual functionality lives in the `dsv3-*` crates; the most
+//! convenient entry point is [`dsv3_core`], which re-exports the substrates
+//! and provides one experiment runner per table/figure of the paper.
+
+pub use dsv3_core as core;

@@ -1,0 +1,55 @@
+//! Serde round-trip coverage (C-SERDE): the experiment result rows and the
+//! core data structures survive JSON serialization, so downstream tooling
+//! can consume `dsv3 --json` output reliably.
+
+use dsv3_core::experiments::*;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+    let json = serde_json::to_string(v).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, v);
+}
+
+#[test]
+fn experiment_rows_roundtrip() {
+    roundtrip(&table1::run());
+    roundtrip(&table2::run());
+    roundtrip(&table3::run());
+    roundtrip(&table5::run());
+    roundtrip(&speed_limits::run());
+    roundtrip(&mtp::run());
+    roundtrip(&node_limited::run(50));
+    roundtrip(&local_deploy::run());
+    roundtrip(&future_hardware::run());
+}
+
+#[test]
+fn substrate_types_roundtrip() {
+    use dsv3_core::model::moe::{route, MoeGateConfig};
+    use dsv3_core::model::zoo;
+    use dsv3_core::netsim::LatencyParams;
+    use dsv3_core::numerics::minifloat::Format;
+    use dsv3_core::topology::cost::CostModel;
+
+    roundtrip(&zoo::deepseek_v3());
+    roundtrip(&zoo::table_models());
+    roundtrip(&Format::E4M3);
+    roundtrip(&LatencyParams::INFINIBAND);
+    roundtrip(&CostModel::default());
+    roundtrip(&MoeGateConfig::deepseek_v3());
+    let scores = vec![0.5f32; 256];
+    roundtrip(&route(&scores, None, &MoeGateConfig::deepseek_v3()));
+    roundtrip(&dsv3_core::HardwareProfile::h800());
+    roundtrip(&dsv3_core::Table::new("t", &["a"]));
+}
+
+#[test]
+fn json_is_stable_for_known_values() {
+    // A spot-check that field names stay consumer-friendly.
+    let rows = table1::run();
+    let json = serde_json::to_string(&rows).expect("serialize");
+    assert!(json.contains("\"kv_cache_kb\":70.272"));
+    assert!(json.contains("\"multiplier\":1.0"));
+}
