@@ -16,11 +16,8 @@ use std::hint::black_box;
 fn ablation_node_limit(c: &mut Criterion) {
     // How expensive is routing as the node limit loosens?
     let mut g = c.benchmark_group("ablation_node_limit");
-    let scores: Vec<f32> = Matrix::random(1, 256, 1.0, 3)
-        .data
-        .iter()
-        .map(|v| 1.0 / (1.0 + (-v).exp()))
-        .collect();
+    let scores: Vec<f32> =
+        Matrix::random(1, 256, 1.0, 3).data.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect();
     for m in [1usize, 2, 4, 8] {
         let cfg = MoeGateConfig { experts: 256, groups: 8, top_groups: m, top_k: 8 };
         g.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {

@@ -24,7 +24,11 @@ fn bench_numerics(c: &mut Criterion) {
     ] {
         g.bench_function(name, |bench| {
             bench.iter(|| {
-                black_box(gemm_fp8(&a, &b, Fp8GemmConfig { main_acc: acc, ..Fp8GemmConfig::default() }))
+                black_box(gemm_fp8(
+                    &a,
+                    &b,
+                    Fp8GemmConfig { main_acc: acc, ..Fp8GemmConfig::default() },
+                ))
             })
         });
     }

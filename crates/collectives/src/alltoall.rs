@@ -74,11 +74,7 @@ pub fn alltoall_pxn(cluster: &Cluster, bytes_per_peer: f64) -> CollectiveReport 
     let time_us = report.makespan_us;
     let per_rank_buffer = bytes_per_peer * g as f64;
     let algbw = per_rank_buffer / (time_us * 1000.0); // bytes/µs/1000 = GB/s
-    CollectiveReport {
-        time_us,
-        algbw_gbps: algbw,
-        busbw_gbps: algbw * (g as f64 - 1.0) / g as f64,
-    }
+    CollectiveReport { time_us, algbw_gbps: algbw, busbw_gbps: algbw * (g as f64 - 1.0) / g as f64 }
 }
 
 #[cfg(test)]

@@ -137,7 +137,8 @@ impl Cluster {
     /// NIC ingress link of `(node, plane)`.
     #[must_use]
     pub fn nic_down(&self, node: usize, plane: usize) -> usize {
-        2 * self.cfg.gpus() + self.cfg.nodes * self.cfg.gpus_per_node
+        2 * self.cfg.gpus()
+            + self.cfg.nodes * self.cfg.gpus_per_node
             + node * self.cfg.gpus_per_node
             + plane
     }

@@ -62,6 +62,9 @@ pub struct EpTraffic {
 /// Panics if `top_k < max_nodes` would leave a chosen node without experts
 /// (we require `top_k ≥ max_nodes`) or the config is degenerate.
 #[must_use]
+// Indices are semantic node/GPU ids shared across several nested matrices;
+// iterator rewrites obscure which matrix each id addresses.
+#[allow(clippy::needless_range_loop)]
 pub fn generate_traffic(cluster: &Cluster, cfg: &EpConfig) -> EpTraffic {
     let nodes = cluster.cfg.nodes;
     let locals = cluster.cfg.gpus_per_node;
@@ -139,6 +142,7 @@ pub fn generate_traffic(cluster: &Cluster, cfg: &EpConfig) -> EpTraffic {
 ///
 /// Panics if a destination is out of range.
 #[must_use]
+#[allow(clippy::needless_range_loop)] // same id-addressing pattern as generate_traffic
 pub fn traffic_from_routings(cluster: &Cluster, tokens: &[Vec<Vec<(usize, usize)>>]) -> EpTraffic {
     let nodes = cluster.cfg.nodes;
     let locals = cluster.cfg.gpus_per_node;

@@ -26,11 +26,7 @@ impl EpLinkLoads {
     /// bottleneck for bandwidth-bound rounds).
     #[must_use]
     pub fn bottleneck_bytes(&self) -> f64 {
-        self.egress
-            .iter()
-            .chain(self.ingress.iter())
-            .copied()
-            .fold(0.0, f64::max)
+        self.egress.iter().chain(self.ingress.iter()).copied().fold(0.0, f64::max)
     }
 }
 
@@ -41,12 +37,12 @@ pub fn dispatch_loads(cluster: &Cluster, t: &EpTraffic, bytes_per_copy: f64) -> 
     let n = cluster.cfg.nodes;
     let mut egress = vec![0f64; n];
     let mut ingress = vec![0f64; n];
-    for a in 0..n {
-        for b in 0..n {
+    for (a, eg) in egress.iter_mut().enumerate() {
+        for (b, ing) in ingress.iter_mut().enumerate() {
             if a != b {
                 let bytes = t.ib_copies[a][b] as f64 * bytes_per_copy;
-                egress[a] += bytes;
-                ingress[b] += bytes;
+                *eg += bytes;
+                *ing += bytes;
             }
         }
     }

@@ -61,7 +61,10 @@ impl RingNet {
         2 * self.hosts() + leaf * self.fabric.spines + spine
     }
     fn leaf_down(&self, leaf: usize, spine: usize) -> usize {
-        2 * self.hosts() + self.fabric.leaves * self.fabric.spines + leaf * self.fabric.spines + spine
+        2 * self.hosts()
+            + self.fabric.leaves * self.fabric.spines
+            + leaf * self.fabric.spines
+            + spine
     }
 
     fn links(&self) -> Vec<Link> {
@@ -74,10 +77,9 @@ impl RingNet {
         let mut sim = FlowSim::new(self.links());
         for (f, s) in flows.iter().zip(spines) {
             let (path, lat) = match s {
-                None => (
-                    vec![self.host_up(f.src), self.host_down(f.dst)],
-                    self.latency.same_leaf_us(),
-                ),
+                None => {
+                    (vec![self.host_up(f.src), self.host_down(f.dst)], self.latency.same_leaf_us())
+                }
                 Some(s) => (
                     vec![
                         self.host_up(f.src),
@@ -96,7 +98,13 @@ impl RingNet {
 
 /// Host of rank `j` in group `g`.
 #[must_use]
-pub fn host_of(placement: Placement, group: usize, rank: usize, size: usize, groups: usize) -> usize {
+pub fn host_of(
+    placement: Placement,
+    group: usize,
+    rank: usize,
+    size: usize,
+    groups: usize,
+) -> usize {
     match placement {
         Placement::Consecutive => group * size + rank,
         Placement::Strided => rank * groups + group,
@@ -216,7 +224,8 @@ mod tests {
         let n = net();
         // Groups aligned with leaves: ECMP ≈ adaptive because almost no flow
         // crosses a spine.
-        let e = allgather(&n, 8, 8, 64.0 * MB, Placement::Consecutive, RoutePolicy::Ecmp { seed: 3 });
+        let e =
+            allgather(&n, 8, 8, 64.0 * MB, Placement::Consecutive, RoutePolicy::Ecmp { seed: 3 });
         let a = allgather(&n, 8, 8, 64.0 * MB, Placement::Consecutive, RoutePolicy::Adaptive);
         let diff = (e.busbw_gbps - a.busbw_gbps).abs() / a.busbw_gbps;
         assert!(diff < 0.05, "{} vs {}", e.busbw_gbps, a.busbw_gbps);

@@ -6,45 +6,12 @@
 //! dsv3 all                  # print everything
 //! dsv3 table3 --json        # machine-readable rows
 //! ```
+//!
+//! The experiment table itself lives in [`dsv3_core::registry`] so tests
+//! can drive the exact same entry points.
 
-use dsv3_core::experiments::*;
-use dsv3_core::report::Table;
+use dsv3_core::registry::{registry, Entry};
 use std::process::ExitCode;
-
-struct Entry {
-    name: &'static str,
-    about: &'static str,
-    render: fn() -> Table,
-    json: fn() -> String,
-}
-
-fn to_json<T: serde::Serialize>(v: &T) -> String {
-    serde_json::to_string_pretty(v).expect("experiment rows serialize")
-}
-
-fn registry() -> Vec<Entry> {
-    vec![
-        Entry { name: "table1", about: "KV cache per token (Table 1)", render: table1::render, json: || to_json(&table1::run()) },
-        Entry { name: "table2", about: "training GFLOPs per token (Table 2)", render: table2::render, json: || to_json(&table2::run()) },
-        Entry { name: "table3", about: "topology cost comparison (Table 3)", render: table3::render, json: || to_json(&table3::run()) },
-        Entry { name: "table4", about: "MPFT vs MRFT training metrics (Table 4)", render: table4::render, json: || to_json(&table4::run()) },
-        Entry { name: "table5", about: "64B end-to-end latency (Table 5)", render: table5::render, json: || to_json(&table5::run()) },
-        Entry { name: "fig5", about: "all-to-all bandwidth sweep (Figure 5)", render: fig5::render, json: || to_json(&fig5::run()) },
-        Entry { name: "fig6", about: "all-to-all latency sweep (Figure 6)", render: fig6::render, json: || to_json(&fig6::run()) },
-        Entry { name: "fig7", about: "DeepEP throughput (Figure 7)", render: || fig7::render(1024), json: || to_json(&fig7::run(1024)) },
-        Entry { name: "fig8", about: "RoCE routing-policy study (Figure 8)", render: fig8::render, json: || to_json(&fig8::run()) },
-        Entry { name: "speed-limits", about: "EP decode speed limits (§2.3.2)", render: speed_limits::render, json: || to_json(&speed_limits::run()) },
-        Entry { name: "combine-formats", about: "combine-stage compression (§6.5)", render: speed_limits::render_combine_formats, json: || to_json(&speed_limits::run_combine_formats()) },
-        Entry { name: "mtp", about: "MTP speculative decoding (§2.3.3)", render: mtp::render, json: || to_json(&mtp::run()) },
-        Entry { name: "fp8-gemm", about: "FP8 accumulation error (§3.1)", render: fp8_gemm::render, json: || to_json(&fp8_gemm::run(&fp8_gemm::default_ks())) },
-        Entry { name: "logfmt", about: "LogFMT quality (§3.2)", render: logfmt::render, json: || to_json(&logfmt::run()) },
-        Entry { name: "fp8-training", about: "FP8 vs BF16 training (§2.4)", render: fp8_training::render, json: || to_json(&fp8_training::run(dsv3_core::model::train::TrainConfig::default())) },
-        Entry { name: "node-limited", about: "node-limited routing traffic (§4.3)", render: node_limited::render, json: || to_json(&node_limited::run(2000)) },
-        Entry { name: "local-deploy", about: "local deployment TPS (§2.2.2)", render: local_deploy::render, json: || to_json(&local_deploy::run()) },
-        Entry { name: "robustness", about: "plane failures & SDC detection (§6.1)", render: robustness::render, json: || to_json(&robustness::plane_failures()) },
-        Entry { name: "future-hardware", about: "hardware-recommendation payoffs (§6)", render: future_hardware::render, json: || to_json(&future_hardware::run()) },
-    ]
-}
 
 fn usage(entries: &[Entry]) {
     println!("dsv3 — reproduce 'Insights into DeepSeek-V3' (ISCA '25)\n");

@@ -63,7 +63,8 @@ pub fn run(ks: &[usize]) -> Vec<Row> {
                     relative_frobenius_error(&tail(&ro), &tail(&coarse)),
                 )
             };
-            let out = |acc| gemm_fp8(&a, &b, Fp8GemmConfig { main_acc: acc, ..Fp8GemmConfig::default() });
+            let out =
+                |acc| gemm_fp8(&a, &b, Fp8GemmConfig { main_acc: acc, ..Fp8GemmConfig::default() });
             let exact_q = out(MainAccumulator::Exact);
             let fp22 = out(MainAccumulator::Fp22);
             let split = out(MainAccumulator::Fp32);

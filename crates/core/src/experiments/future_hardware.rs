@@ -78,7 +78,12 @@ pub fn render() -> Table {
         &["Section", "Recommendation", "Metric", "Gain"],
     );
     for r in run() {
-        t.row(&[r.section.clone(), r.recommendation.clone(), r.metric.clone(), format!("{}x", fmt(r.gain, 2))]);
+        t.row(&[
+            r.section.clone(),
+            r.recommendation.clone(),
+            r.metric.clone(),
+            format!("{}x", fmt(r.gain, 2)),
+        ]);
     }
     t
 }

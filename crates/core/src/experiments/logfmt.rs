@@ -54,8 +54,7 @@ fn minifloat_tiled(values: &[f32], format: Format) -> Vec<f32> {
 #[must_use]
 pub fn run() -> Vec<Row> {
     let x = activations(65_536, 9);
-    let mean_abs: f64 =
-        x.iter().map(|v| f64::from(v.abs())).sum::<f64>() / x.len() as f64;
+    let mean_abs: f64 = x.iter().map(|v| f64::from(v.abs())).sum::<f64>() / x.len() as f64;
     let eval = |name: &str, bits: u32, q: Vec<f32>| Row {
         format: name.to_string(),
         bits,

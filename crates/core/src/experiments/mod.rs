@@ -20,19 +20,21 @@
 //! | [`local_deploy`] | §2.2.2 — local deployment TPS |
 //! | [`robustness`] | §5.1.1/§6.1 — plane failures & SDC detection |
 //! | [`future_hardware`] | §4.4/§4.5/§6.4/§6.5 — recommendation payoffs |
+//! | [`serving`] | §2.3 — request-level serving simulation |
 
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fp8_gemm;
-pub mod future_hardware;
 pub mod fp8_training;
+pub mod future_hardware;
 pub mod local_deploy;
 pub mod logfmt;
 pub mod mtp;
 pub mod node_limited;
 pub mod robustness;
+pub mod serving;
 pub mod speed_limits;
 pub mod table1;
 pub mod table2;

@@ -39,7 +39,12 @@ pub fn render() -> Table {
         &["acceptance", "tokens/step", "simulated", "TPS speedup"],
     );
     for r in run() {
-        t.row(&[fmt(r.acceptance, 2), fmt(r.tokens_per_step, 3), fmt(r.simulated_tokens_per_step, 3), format!("{}x", fmt(r.speedup, 2))]);
+        t.row(&[
+            fmt(r.acceptance, 2),
+            fmt(r.tokens_per_step, 3),
+            fmt(r.simulated_tokens_per_step, 3),
+            format!("{}x", fmt(r.speedup, 2)),
+        ]);
     }
     t
 }

@@ -91,7 +91,11 @@ pub fn render() -> Table {
         t.row(&[
             "plane failure".into(),
             format!("{}/8 planes down", r.failed),
-            format!("{}% bandwidth (ideal {}%)", fmt(r.retention * 100.0, 1), fmt(r.ideal * 100.0, 1)),
+            format!(
+                "{}% bandwidth (ideal {}%)",
+                fmt(r.retention * 100.0, 1),
+                fmt(r.ideal * 100.0, 1)
+            ),
         ]);
     }
     for r in sdc_detection(24) {

@@ -17,8 +17,14 @@ pub struct Row {
 #[must_use]
 pub fn run() -> Vec<Row> {
     vec![
-        Row { system: "H800 + CX7 400Gbps IB".into(), limit: SpeedLimitConfig::h800_ib().evaluate() },
-        Row { system: "GB200 NVL72 (900GB/s)".into(), limit: SpeedLimitConfig::gb200_nvl72().evaluate() },
+        Row {
+            system: "H800 + CX7 400Gbps IB".into(),
+            limit: SpeedLimitConfig::h800_ib().evaluate(),
+        },
+        Row {
+            system: "GB200 NVL72 (900GB/s)".into(),
+            limit: SpeedLimitConfig::gb200_nvl72().evaluate(),
+        },
     ]
 }
 

@@ -41,7 +41,11 @@ pub fn render() -> Table {
         &["Model", "KV Cache Per Token", "Multiplier"],
     );
     for r in run() {
-        t.row(&[r.model.clone(), format!("{} KB", fmt(r.kv_cache_kb, 3)), format!("{}x", fmt(r.multiplier, 2))]);
+        t.row(&[
+            r.model.clone(),
+            format!("{} KB", fmt(r.kv_cache_kb, 3)),
+            format!("{}x", fmt(r.multiplier, 2)),
+        ]);
     }
     t
 }

@@ -1,8 +1,8 @@
 //! Table 5: 64 B end-to-end latency, IB vs RoCE vs NVLink.
 
 use crate::report::{fmt, Table};
-pub use dsv3_netsim::latency::Table5Row as Row;
 use dsv3_netsim::latency::table5_rows;
+pub use dsv3_netsim::latency::Table5Row as Row;
 
 /// Compute the table.
 #[must_use]
@@ -13,10 +13,8 @@ pub fn run() -> Vec<Row> {
 /// Render like the paper.
 #[must_use]
 pub fn render() -> Table {
-    let mut t = Table::new(
-        "Table 5: 64B end-to-end latency",
-        &["Link Layer", "Same Leaf", "Cross Leaf"],
-    );
+    let mut t =
+        Table::new("Table 5: 64B end-to-end latency", &["Link Layer", "Same Leaf", "Cross Leaf"]);
     for r in run() {
         t.row(&[
             r.link_layer.clone(),

@@ -15,7 +15,7 @@
 //!
 //! Substrates are re-exported for direct use:
 //! [`numerics`], [`model`], [`topology`], [`netsim`], [`collectives`],
-//! [`parallel`], [`inference`].
+//! [`parallel`], [`inference`], [`serving`].
 
 pub use dsv3_collectives as collectives;
 pub use dsv3_inference as inference;
@@ -23,11 +23,14 @@ pub use dsv3_model as model;
 pub use dsv3_netsim as netsim;
 pub use dsv3_numerics as numerics;
 pub use dsv3_parallel as parallel;
+pub use dsv3_serving as serving;
 pub use dsv3_topology as topology;
 
 pub mod experiments;
 pub mod hardware;
+pub mod registry;
 pub mod report;
 
 pub use hardware::HardwareProfile;
+pub use registry::{registry, Entry};
 pub use report::Table;

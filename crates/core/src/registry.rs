@@ -1,0 +1,168 @@
+//! The experiment registry: every runnable artifact of the reproduction,
+//! addressable by name.
+//!
+//! The `dsv3` binary is a thin shell over this table; keeping it in the
+//! library lets tests drive every experiment through the same entry
+//! points the CLI uses (render + JSON) without spawning processes.
+
+use crate::experiments::*;
+use crate::report::Table;
+
+/// One named experiment: how to render it as text and as JSON.
+pub struct Entry {
+    /// CLI name (e.g. `table1`, `serving`).
+    pub name: &'static str,
+    /// One-line description for `dsv3 list`.
+    pub about: &'static str,
+    /// Render the text table.
+    pub render: fn() -> Table,
+    /// Serialize the result rows to JSON.
+    pub json: fn() -> String,
+}
+
+fn to_json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string_pretty(v).expect("experiment rows serialize")
+}
+
+/// Every experiment, in presentation order.
+#[must_use]
+pub fn registry() -> Vec<Entry> {
+    vec![
+        Entry {
+            name: "table1",
+            about: "KV cache per token (Table 1)",
+            render: table1::render,
+            json: || to_json(&table1::run()),
+        },
+        Entry {
+            name: "table2",
+            about: "training GFLOPs per token (Table 2)",
+            render: table2::render,
+            json: || to_json(&table2::run()),
+        },
+        Entry {
+            name: "table3",
+            about: "topology cost comparison (Table 3)",
+            render: table3::render,
+            json: || to_json(&table3::run()),
+        },
+        Entry {
+            name: "table4",
+            about: "MPFT vs MRFT training metrics (Table 4)",
+            render: table4::render,
+            json: || to_json(&table4::run()),
+        },
+        Entry {
+            name: "table5",
+            about: "64B end-to-end latency (Table 5)",
+            render: table5::render,
+            json: || to_json(&table5::run()),
+        },
+        Entry {
+            name: "fig5",
+            about: "all-to-all bandwidth sweep (Figure 5)",
+            render: fig5::render,
+            json: || to_json(&fig5::run()),
+        },
+        Entry {
+            name: "fig6",
+            about: "all-to-all latency sweep (Figure 6)",
+            render: fig6::render,
+            json: || to_json(&fig6::run()),
+        },
+        Entry {
+            name: "fig7",
+            about: "DeepEP throughput (Figure 7)",
+            render: || fig7::render(1024),
+            json: || to_json(&fig7::run(1024)),
+        },
+        Entry {
+            name: "fig8",
+            about: "RoCE routing-policy study (Figure 8)",
+            render: fig8::render,
+            json: || to_json(&fig8::run()),
+        },
+        Entry {
+            name: "speed-limits",
+            about: "EP decode speed limits (§2.3.2)",
+            render: speed_limits::render,
+            json: || to_json(&speed_limits::run()),
+        },
+        Entry {
+            name: "combine-formats",
+            about: "combine-stage compression (§6.5)",
+            render: speed_limits::render_combine_formats,
+            json: || to_json(&speed_limits::run_combine_formats()),
+        },
+        Entry {
+            name: "mtp",
+            about: "MTP speculative decoding (§2.3.3)",
+            render: mtp::render,
+            json: || to_json(&mtp::run()),
+        },
+        Entry {
+            name: "fp8-gemm",
+            about: "FP8 accumulation error (§3.1)",
+            render: fp8_gemm::render,
+            json: || to_json(&fp8_gemm::run(&fp8_gemm::default_ks())),
+        },
+        Entry {
+            name: "logfmt",
+            about: "LogFMT quality (§3.2)",
+            render: logfmt::render,
+            json: || to_json(&logfmt::run()),
+        },
+        Entry {
+            name: "fp8-training",
+            about: "FP8 vs BF16 training (§2.4)",
+            render: fp8_training::render,
+            json: || to_json(&fp8_training::run(crate::model::train::TrainConfig::default())),
+        },
+        Entry {
+            name: "node-limited",
+            about: "node-limited routing traffic (§4.3)",
+            render: node_limited::render,
+            json: || to_json(&node_limited::run(2000)),
+        },
+        Entry {
+            name: "local-deploy",
+            about: "local deployment TPS (§2.2.2)",
+            render: local_deploy::render,
+            json: || to_json(&local_deploy::run()),
+        },
+        Entry {
+            name: "robustness",
+            about: "plane failures & SDC detection (§6.1)",
+            render: robustness::render,
+            json: || to_json(&robustness::plane_failures()),
+        },
+        Entry {
+            name: "future-hardware",
+            about: "hardware-recommendation payoffs (§6)",
+            render: future_hardware::render,
+            json: || to_json(&future_hardware::run()),
+        },
+        Entry {
+            name: "serving",
+            about: "request-level serving simulation (§2.3)",
+            render: serving::render,
+            json: || to_json(&serving::run()),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let entries = registry();
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate experiment names");
+        assert!(entries.iter().all(|e| !e.name.is_empty() && !e.about.is_empty()));
+    }
+}

@@ -1,6 +1,12 @@
-//! Plain-text table rendering for experiment results.
+//! Plain-text table rendering for experiment results, plus the
+//! workspace's shared summary-statistics types.
 
 use serde::{Deserialize, Serialize};
+
+// The one canonical percentile/summary implementation lives in
+// `dsv3_serving::metrics`; experiment code should use this re-export
+// instead of hand-rolling percentile math.
+pub use dsv3_serving::metrics::{percentile, Summary};
 
 /// A renderable result table.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -1,0 +1,61 @@
+//! Registry-driven smoke test: every experiment the `dsv3` binary can
+//! name must render a non-trivial table AND emit parseable JSON.
+//!
+//! This is the test the CLI leans on: `dsv3 <name>` and
+//! `dsv3 <name> --json` call exactly these function pointers.
+
+use dsv3_core::registry::registry;
+
+#[test]
+fn every_entry_renders_a_table() {
+    for e in registry() {
+        let table = (e.render)();
+        assert!(!table.title.is_empty(), "{}: empty title", e.name);
+        assert!(!table.headers.is_empty(), "{}: no headers", e.name);
+        assert!(!table.rows.is_empty(), "{}: no rows", e.name);
+        let text = table.to_string();
+        assert!(text.lines().count() >= 4, "{}: degenerate render:\n{text}", e.name);
+    }
+}
+
+#[test]
+fn every_entry_emits_parseable_json() {
+    for e in registry() {
+        let json = (e.json)();
+        let value = serde_json::parse(&json)
+            .unwrap_or_else(|err| panic!("{}: JSON does not parse: {err}\n{json}", e.name));
+        // Every experiment serializes to an array of rows or an object of
+        // named results — never a bare scalar.
+        assert!(
+            value.as_array().is_some() || value.as_object().is_some(),
+            "{}: unexpected JSON shape",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn serving_entry_reports_slo_percentiles() {
+    let entry = registry().into_iter().find(|e| e.name == "serving").expect("serving registered");
+    let json = (entry.json)();
+    let value = serde_json::parse(&json).expect("serving JSON parses");
+    let top = value.as_object().expect("serving emits an object");
+    for policy in ["unified", "disaggregated"] {
+        let report = serde::field(top, policy)
+            .unwrap_or_else(|_| panic!("missing {policy} report"))
+            .as_object()
+            .expect("report is an object");
+        for metric in ["ttft_ms", "tpot_ms"] {
+            let summary =
+                serde::field(report, metric).expect("metric present").as_object().expect("summary");
+            for p in ["p50", "p95", "p99"] {
+                let v = serde::field(summary, p).expect("percentile present");
+                assert!(v.as_f64().is_some(), "{policy}.{metric}.{p} not a number");
+            }
+        }
+        assert!(
+            serde::field(report, "goodput_rps").expect("goodput present").as_f64().is_some(),
+            "{policy}: goodput missing"
+        );
+    }
+}

@@ -1,10 +1,9 @@
 //! CPU-side bottleneck arithmetic (§6.2).
 //!
 //! Three checks from the paper: (1) saturating 160 PCIe 5.0 lanes demands
-//! >640 GB/s, implying ~1 TB/s of host memory bandwidth; (2) kernel-launch
-//! paths need high single-core frequency (the paper suggests >4 GHz);
+//! over 640 GB/s, implying ~1 TB/s of host memory bandwidth; (2) kernel-launch
+//! paths need high single-core frequency (the paper suggests over 4 GHz);
 //! (3) enough CPU cores per GPU to avoid control-side stalls.
-
 
 /// PCIe 5.0 per-lane bandwidth, GB/s.
 pub const PCIE5_GBPS_PER_LANE: f64 = 4.0;
@@ -22,7 +21,12 @@ pub fn required_host_memory_bw(lanes: usize, copy_amplification: f64) -> f64 {
 /// `launches` kernel launches (each `cycles_per_launch` cycles of driver
 /// work) within `budget_us`.
 #[must_use]
-pub fn launch_path_fits(cpu_ghz: f64, launches: usize, cycles_per_launch: f64, budget_us: f64) -> bool {
+pub fn launch_path_fits(
+    cpu_ghz: f64,
+    launches: usize,
+    cycles_per_launch: f64,
+    budget_us: f64,
+) -> bool {
     assert!(cpu_ghz > 0.0, "frequency must be positive");
     let cost_us = launches as f64 * cycles_per_launch / (cpu_ghz * 1000.0);
     cost_us <= budget_us

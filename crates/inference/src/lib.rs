@@ -18,8 +18,8 @@ pub mod disagg;
 pub mod host;
 pub mod kvcache;
 pub mod local;
-pub mod prefill;
 pub mod overlap;
+pub mod prefill;
 pub mod tpot;
 
 pub use tpot::{SpeedLimit, SpeedLimitConfig};

@@ -32,7 +32,11 @@ impl LocalHardware {
     /// memory hybrid (effective ≈390 GB/s over the expert weights).
     #[must_use]
     pub fn ktransformers_server() -> Self {
-        Self { name: "KTransformers server".into(), mem_bw_bytes_per_s: 390e9, bytes_per_param: 0.5 }
+        Self {
+            name: "KTransformers server".into(),
+            mem_bw_bytes_per_s: 390e9,
+            bytes_per_param: 0.5,
+        }
     }
 
     /// Single-request decode TPS for `model` on this hardware.

@@ -52,12 +52,7 @@ pub fn simulate(layers: usize, p: LayerPhases) -> OverlapOutcome {
     // Phase list per micro-batch: (duration, uses_gpu).
     let phases: Vec<(f64, bool)> = (0..layers)
         .flat_map(|_| {
-            [
-                (p.attn_us, true),
-                (p.dispatch_us, false),
-                (p.moe_us, true),
-                (p.combine_us, false),
-            ]
+            [(p.attn_us, true), (p.dispatch_us, false), (p.moe_us, true), (p.combine_us, false)]
         })
         .collect();
     // Resource-constrained list simulation for two micro-batches. Batch 1

@@ -25,7 +25,11 @@ impl PrefillHardware {
     /// H800 at ~50% FP8 MFU with 160 GB/s NVLink.
     #[must_use]
     pub fn h800() -> Self {
-        Self { gpu_flops: 0.5 * 1979.0e12, nvlink_bytes_per_s: 160.0e9, collective_latency_us: 10.0 }
+        Self {
+            gpu_flops: 0.5 * 1979.0e12,
+            nvlink_bytes_per_s: 160.0e9,
+            collective_latency_us: 10.0,
+        }
     }
 }
 
@@ -43,16 +47,16 @@ pub fn ttft_us(cfg: &ModelConfig, hw: &PrefillHardware, prompt_tokens: usize, tp
     assert!(tp > 0, "TP degree must be positive");
     assert!(prompt_tokens > 0, "empty prompt");
     // Forward pass ≈ 1/3 of the training FLOPs (2 of 6 per parameter).
-    let fwd_flops = flops::training_flops_per_token(cfg, prompt_tokens.max(2)) / 3.0
-        * prompt_tokens as f64;
+    let fwd_flops =
+        flops::training_flops_per_token(cfg, prompt_tokens.max(2)) / 3.0 * prompt_tokens as f64;
     let compute_us = fwd_flops / (tp as f64 * hw.gpu_flops) * 1e6;
     let comm_us = if tp == 1 {
         0.0
     } else {
         let bytes_per_allreduce =
             2.0 * (tp as f64 - 1.0) / tp as f64 * prompt_tokens as f64 * cfg.hidden as f64 * 2.0;
-        let per_layer = 2.0 * (bytes_per_allreduce / hw.nvlink_bytes_per_s * 1e6
-            + hw.collective_latency_us);
+        let per_layer =
+            2.0 * (bytes_per_allreduce / hw.nvlink_bytes_per_s * 1e6 + hw.collective_latency_us);
         per_layer * cfg.layers as f64
     };
     compute_us + comm_us
@@ -60,7 +64,12 @@ pub fn ttft_us(cfg: &ModelConfig, hw: &PrefillHardware, prompt_tokens: usize, tp
 
 /// The TP degree (from `candidates`) minimizing TTFT.
 #[must_use]
-pub fn best_tp(cfg: &ModelConfig, hw: &PrefillHardware, prompt_tokens: usize, candidates: &[usize]) -> usize {
+pub fn best_tp(
+    cfg: &ModelConfig,
+    hw: &PrefillHardware,
+    prompt_tokens: usize,
+    candidates: &[usize],
+) -> usize {
     assert!(!candidates.is_empty(), "no candidates");
     *candidates
         .iter()

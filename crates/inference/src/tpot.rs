@@ -110,7 +110,11 @@ pub struct SpeedLimit {
 /// Memory-bandwidth bound on decode speed for comparison: reading the
 /// activated parameters once per token.
 #[must_use]
-pub fn memory_bound_tps(activated_params: f64, bytes_per_param: f64, mem_bw_bytes_per_s: f64) -> f64 {
+pub fn memory_bound_tps(
+    activated_params: f64,
+    bytes_per_param: f64,
+    mem_bw_bytes_per_s: f64,
+) -> f64 {
     mem_bw_bytes_per_s / (activated_params * bytes_per_param)
 }
 

@@ -33,9 +33,9 @@ proptest! {
         let free0 = m.free_bytes();
         let mut live: std::collections::HashMap<u64, usize> = Default::default();
         for (id, tokens) in ops {
-            if live.contains_key(&id) {
+            if let Some(count) = live.get_mut(&id) {
                 if m.append_token(id).is_ok() {
-                    *live.get_mut(&id).unwrap() += 1;
+                    *count += 1;
                 }
             } else if m.admit(id, tokens).is_ok() {
                 live.insert(id, tokens);

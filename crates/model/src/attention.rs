@@ -62,7 +62,9 @@ impl Attention {
             Attention::Mha { heads, head_dim } => 2 * heads * head_dim,
             Attention::Gqa { kv_heads, head_dim, .. } => 2 * kv_heads * head_dim,
             Attention::Mqa { head_dim, .. } => 2 * head_dim,
-            Attention::Mla { kv_lora_rank, qk_rope_head_dim, .. } => kv_lora_rank + qk_rope_head_dim,
+            Attention::Mla { kv_lora_rank, qk_rope_head_dim, .. } => {
+                kv_lora_rank + qk_rope_head_dim
+            }
         }
     }
 
@@ -173,7 +175,13 @@ impl CachePolicy {
 
 /// Total cache bytes for `tokens` of context under a policy.
 #[must_use]
-pub fn cache_bytes(attn: &Attention, policy: CachePolicy, tokens: usize, layers: usize, bytes_per_elem: usize) -> usize {
+pub fn cache_bytes(
+    attn: &Attention,
+    policy: CachePolicy,
+    tokens: usize,
+    layers: usize,
+    bytes_per_elem: usize,
+) -> usize {
     policy.cached_tokens(tokens) * attn.kv_bytes_per_token_layer(bytes_per_elem) * layers
 }
 

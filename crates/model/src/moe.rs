@@ -52,7 +52,7 @@ impl MoeGateConfig {
     pub fn is_valid(&self) -> bool {
         self.experts > 0
             && self.groups > 0
-            && self.experts % self.groups == 0
+            && self.experts.is_multiple_of(self.groups)
             && self.top_groups > 0
             && self.top_groups <= self.groups
             && self.top_k > 0
@@ -127,8 +127,7 @@ pub fn route(scores: &[f32], bias: Option<&[f32]>, cfg: &MoeGateConfig) -> Routi
     let allowed: Vec<usize> = group_scores[..cfg.top_groups].iter().map(|(g, _)| *g).collect();
 
     // Top-k experts within the allowed groups.
-    let mut candidates: Vec<usize> =
-        allowed.iter().flat_map(|g| g * epg..(g + 1) * epg).collect();
+    let mut candidates: Vec<usize> = allowed.iter().flat_map(|g| g * epg..(g + 1) * epg).collect();
     candidates.sort_by(|a, b| biased(*b).total_cmp(&biased(*a)).then(a.cmp(b)));
     let experts: Vec<usize> = candidates[..cfg.top_k].to_vec();
 
@@ -157,7 +156,11 @@ impl MoeGate {
     #[must_use]
     pub fn new(hidden: usize, cfg: MoeGateConfig, seed: u64) -> Self {
         assert!(cfg.is_valid(), "invalid gate config {cfg:?}");
-        Self { w: Matrix::random(hidden, cfg.experts, 1.0, seed), bias: vec![0.0; cfg.experts], cfg }
+        Self {
+            w: Matrix::random(hidden, cfg.experts, 1.0, seed),
+            bias: vec![0.0; cfg.experts],
+            cfg,
+        }
     }
 
     /// Sigmoid affinity scores for one token.
@@ -277,7 +280,11 @@ mod tests {
         for seed in 0..200 {
             let s = scores_from_seed(256, seed);
             let r = route(&s, None, &cfg);
-            assert!(r.nodes_touched() <= cfg.top_groups, "token touched {} nodes", r.nodes_touched());
+            assert!(
+                r.nodes_touched() <= cfg.top_groups,
+                "token touched {} nodes",
+                r.nodes_touched()
+            );
         }
     }
 
@@ -315,7 +322,14 @@ mod tests {
         let cfg = MoeGateConfig { experts: 8, groups: 2, top_groups: 2, top_k: 2 };
         let s = vec![0.5, 0.49, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
         let no_bias = route(&s, None, &cfg);
-        assert_eq!({ let mut e = no_bias.experts.clone(); e.sort_unstable(); e }, vec![0, 1]);
+        assert_eq!(
+            {
+                let mut e = no_bias.experts.clone();
+                e.sort_unstable();
+                e
+            },
+            vec![0, 1]
+        );
         // Bias expert 5 heavily: it gets selected, but its *weight* comes
         // from the raw score.
         let mut bias = vec![0.0f32; 8];
@@ -375,7 +389,14 @@ mod tests {
     fn single_group_config() {
         let cfg = MoeGateConfig { experts: 4, groups: 1, top_groups: 1, top_k: 2 };
         let r = route(&[0.1, 0.9, 0.5, 0.2], None, &cfg);
-        assert_eq!({ let mut e = r.experts.clone(); e.sort_unstable(); e }, vec![1, 2]);
+        assert_eq!(
+            {
+                let mut e = r.experts.clone();
+                e.sort_unstable();
+                e
+            },
+            vec![1, 2]
+        );
         assert_eq!(r.nodes_touched(), 1);
     }
 }
@@ -396,7 +417,12 @@ impl Expert {
         Self {
             w_gate: Matrix::random(hidden, intermediate, s, seed.wrapping_mul(3) + 1),
             w_up: Matrix::random(hidden, intermediate, s, seed.wrapping_mul(3) + 2),
-            w_down: Matrix::random(intermediate, hidden, 1.0 / (intermediate as f32).sqrt(), seed.wrapping_mul(3) + 3),
+            w_down: Matrix::random(
+                intermediate,
+                hidden,
+                1.0 / (intermediate as f32).sqrt(),
+                seed.wrapping_mul(3) + 3,
+            ),
         }
     }
 
@@ -411,12 +437,7 @@ impl Expert {
         let x = Matrix::from_vec(1, x.len(), x.to_vec());
         let gate = x.matmul(&self.w_gate);
         let up = x.matmul(&self.w_up);
-        let hidden: Vec<f32> = gate
-            .data
-            .iter()
-            .zip(&up.data)
-            .map(|(g, u)| silu(*g) * u)
-            .collect();
+        let hidden: Vec<f32> = gate.data.iter().zip(&up.data).map(|(g, u)| silu(*g) * u).collect();
         Matrix::from_vec(1, hidden.len(), hidden).matmul(&self.w_down).data
     }
 }
@@ -437,12 +458,20 @@ pub struct MoeLayer {
 impl MoeLayer {
     /// Build a layer with `cfg.experts` routed and `shared` shared experts.
     #[must_use]
-    pub fn new(hidden: usize, intermediate: usize, cfg: MoeGateConfig, shared: usize, seed: u64) -> Self {
+    pub fn new(
+        hidden: usize,
+        intermediate: usize,
+        cfg: MoeGateConfig,
+        shared: usize,
+        seed: u64,
+    ) -> Self {
         let routed = (0..cfg.experts)
             .map(|e| Expert::new(hidden, intermediate, seed.wrapping_mul(1000) + e as u64))
             .collect();
         let shared = (0..shared)
-            .map(|e| Expert::new(hidden, intermediate, seed.wrapping_mul(1000) + 900_000 + e as u64))
+            .map(|e| {
+                Expert::new(hidden, intermediate, seed.wrapping_mul(1000) + 900_000 + e as u64)
+            })
             .collect();
         Self { gate: MoeGate::new(hidden, cfg, seed), routed, shared }
     }

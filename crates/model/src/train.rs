@@ -41,7 +41,8 @@ pub fn gemm(a: &Matrix, b: &Matrix, p: Precision) -> Matrix {
         Precision::F32 => a.matmul(b),
         Precision::Bf16 => {
             let q = |m: &Matrix| {
-                let data = m.data.iter().map(|v| Format::BF16.quantize(f64::from(*v)) as f32).collect();
+                let data =
+                    m.data.iter().map(|v| Format::BF16.quantize(f64::from(*v)) as f32).collect();
                 Matrix::from_vec(m.rows, m.cols, data)
             };
             q(a).matmul(&q(b))
@@ -113,7 +114,12 @@ impl Task {
     }
 
     fn batch(&self, index: u64) -> (Matrix, Matrix) {
-        let mut x = Matrix::random(self.cfg.batch, self.cfg.input_dim, 1.0, self.cfg.seed ^ (index * 2 + 1));
+        let mut x = Matrix::random(
+            self.cfg.batch,
+            self.cfg.input_dim,
+            1.0,
+            self.cfg.seed ^ (index * 2 + 1),
+        );
         for r in 0..x.rows {
             for c in 0..x.cols {
                 let v = x.get(r, c) * self.feature_scale[c];
@@ -178,8 +184,18 @@ impl Adam {
 #[must_use]
 pub fn train(precision: Precision, cfg: TrainConfig) -> TrainReport {
     let task = Task::new(cfg);
-    let mut w1 = Matrix::random(cfg.input_dim, cfg.hidden_dim, 1.0 / (cfg.input_dim as f32).sqrt(), cfg.seed ^ 0x1);
-    let mut w2 = Matrix::random(cfg.hidden_dim, cfg.output_dim, 1.0 / (cfg.hidden_dim as f32).sqrt(), cfg.seed ^ 0x2);
+    let mut w1 = Matrix::random(
+        cfg.input_dim,
+        cfg.hidden_dim,
+        1.0 / (cfg.input_dim as f32).sqrt(),
+        cfg.seed ^ 0x1,
+    );
+    let mut w2 = Matrix::random(
+        cfg.hidden_dim,
+        cfg.output_dim,
+        1.0 / (cfg.hidden_dim as f32).sqrt(),
+        cfg.seed ^ 0x2,
+    );
     let mut opt1 = Adam::new(w1.data.len());
     let mut opt2 = Adam::new(w2.data.len());
     let (eval_x, eval_y) = task.batch(u64::MAX / 2);
@@ -291,7 +307,11 @@ mod tests {
     #[test]
     fn f32_training_converges() {
         let r = train(Precision::F32, quick_cfg());
-        assert!(r.losses[0] > r.final_loss * 3.0, "loss must drop: {:?}", (r.losses[0], r.final_loss));
+        assert!(
+            r.losses[0] > r.final_loss * 3.0,
+            "loss must drop: {:?}",
+            (r.losses[0], r.final_loss)
+        );
     }
 
     #[test]

@@ -144,14 +144,7 @@ impl TinyDeepSeek {
         let h = rms_norm(&h);
         // Tied unembedding: logits = h · embedᵀ.
         (0..self.cfg.vocab)
-            .map(|v| {
-                self.embed
-                    .row(v)
-                    .iter()
-                    .zip(&h)
-                    .map(|(w, x)| w * x)
-                    .sum()
-            })
+            .map(|v| self.embed.row(v).iter().zip(&h).map(|(w, x)| w * x).sum())
             .collect()
     }
 
@@ -333,8 +326,7 @@ mod tests {
     #[test]
     fn hopeless_drafts_give_one_token_per_step() {
         let mut m = model(5);
-        let (out, stats) =
-            generate_speculative(&mut m, &[1], 30, |_, b_true| (b_true + 1) % 64);
+        let (out, stats) = generate_speculative(&mut m, &[1], 30, |_, b_true| (b_true + 1) % 64);
         assert_eq!(out.len(), 30);
         assert!((stats.tokens_per_step() - 1.0).abs() < 0.06, "{}", stats.tokens_per_step());
         assert_eq!(stats.accepted, 0);
@@ -377,7 +369,10 @@ mod tests {
             }
         });
         // generate() consumes the prompt then emits; align lengths.
-        assert_eq!(out[..reference.len().min(out.len())], reference[..reference.len().min(out.len())]);
+        assert_eq!(
+            out[..reference.len().min(out.len())],
+            reference[..reference.len().min(out.len())]
+        );
     }
 
     #[test]

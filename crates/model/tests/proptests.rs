@@ -8,13 +8,14 @@ use proptest::prelude::*;
 fn arb_gate() -> impl Strategy<Value = MoeGateConfig> {
     (1usize..6, 1usize..9, 1usize..9).prop_flat_map(|(epg, groups, _)| {
         let experts = epg * 8 * groups;
-        (Just(experts), Just(groups), 1..=groups, 1usize..=(epg * 8))
-            .prop_map(|(experts, groups, top_groups, k_per_group)| MoeGateConfig {
+        (Just(experts), Just(groups), 1..=groups, 1usize..=(epg * 8)).prop_map(
+            |(experts, groups, top_groups, k_per_group)| MoeGateConfig {
                 experts,
                 groups,
                 top_groups,
                 top_k: (k_per_group * top_groups).min(top_groups * (experts / groups)).max(1),
-            })
+            },
+        )
     })
 }
 

@@ -44,7 +44,12 @@ impl CbfcScenario {
     /// draining at 20%, victim offered at 40% of line rate.
     #[must_use]
     pub fn default_mix() -> Self {
-        Self { link_gbps: 50.0, hot_drain_gbps: 10.0, hot_offered_gbps: 50.0, victim_offered_gbps: 20.0 }
+        Self {
+            link_gbps: 50.0,
+            hot_drain_gbps: 10.0,
+            hot_offered_gbps: 50.0,
+            victim_offered_gbps: 20.0,
+        }
     }
 
     /// Steady-state victim throughput (GB/s) under a discipline.
@@ -126,10 +131,7 @@ mod tests {
 
     #[test]
     fn victim_capped_by_leftover_capacity() {
-        let s = CbfcScenario {
-            victim_offered_gbps: 60.0,
-            ..CbfcScenario::default_mix()
-        };
+        let s = CbfcScenario { victim_offered_gbps: 60.0, ..CbfcScenario::default_mix() };
         assert_eq!(s.victim_throughput(FlowControl::PerVcCredits), 40.0);
     }
 }

@@ -46,7 +46,12 @@ impl MultiPortNic {
     ///
     /// Panics if all ports failed or the NIC is degenerate.
     #[must_use]
-    pub fn message_time_us(&self, bytes: f64, out_of_order_placement: bool, failed_ports: usize) -> f64 {
+    pub fn message_time_us(
+        &self,
+        bytes: f64,
+        out_of_order_placement: bool,
+        failed_ports: usize,
+    ) -> f64 {
         assert!(self.ports > 0 && self.port_gbps > 0.0, "degenerate NIC");
         assert!(failed_ports < self.ports, "no healthy port left");
         let healthy = (self.ports - failed_ports) as f64;

@@ -85,16 +85,25 @@ impl FlowSim {
     ///
     /// Panics if the path references an unknown link, `bytes` is negative,
     /// or a capacity is non-positive while bytes > 0.
-    pub fn add_flow(&mut self, path: Vec<LinkId>, bytes: f64, start_us: f64, latency_us: f64) -> FlowId {
+    pub fn add_flow(
+        &mut self,
+        path: Vec<LinkId>,
+        bytes: f64,
+        start_us: f64,
+        latency_us: f64,
+    ) -> FlowId {
         assert!(bytes >= 0.0, "bytes must be non-negative");
         for &l in &path {
             assert!(l < self.links.len(), "unknown link {l}");
-            assert!(
-                bytes == 0.0 || self.links[l].capacity_gbps > 0.0,
-                "link {l} has no capacity"
-            );
+            assert!(bytes == 0.0 || self.links[l].capacity_gbps > 0.0, "link {l} has no capacity");
         }
-        self.flows.push(FlowState { path, bytes_remaining: bytes, start_us, latency_us, finish_us: None });
+        self.flows.push(FlowState {
+            path,
+            bytes_remaining: bytes,
+            start_us,
+            latency_us,
+            finish_us: None,
+        });
         self.flows.len() - 1
     }
 
@@ -107,7 +116,8 @@ impl FlowSim {
     pub fn max_min_rates(&self, active: &[FlowId]) -> Vec<f64> {
         let mut rates = vec![0f64; active.len()];
         let mut remaining_cap: Vec<f64> = self.links.iter().map(|l| l.capacity_gbps).collect();
-        let mut unfrozen: Vec<bool> = active.iter().map(|&f| !self.flows[f].path.is_empty()).collect();
+        let mut unfrozen: Vec<bool> =
+            active.iter().map(|&f| !self.flows[f].path.is_empty()).collect();
         // Per-link index of crossing flows (positions into `active`), plus a
         // live count of still-unfrozen flows per link.
         let mut on_link: Vec<Vec<usize>> = vec![Vec::new(); self.links.len()];
@@ -132,8 +142,7 @@ impl FlowSim {
                 }
             }
             let Some((bl, fair)) = bottleneck else { break };
-            for idx in 0..on_link[bl].len() {
-                let i = on_link[bl][idx];
+            for &i in &on_link[bl] {
                 if unfrozen[i] {
                     rates[i] = fair;
                     unfrozen[i] = false;
@@ -214,7 +223,8 @@ impl FlowSim {
             }
             now = horizon;
         }
-        let finish_us: Vec<f64> = self.flows.iter().map(|f| f.finish_us.expect("finished")).collect();
+        let finish_us: Vec<f64> =
+            self.flows.iter().map(|f| f.finish_us.expect("finished")).collect();
         let makespan_us = finish_us.iter().copied().fold(0.0, f64::max);
         SimReport { finish_us, makespan_us }
     }
@@ -261,10 +271,8 @@ mod tests {
     fn max_min_textbook_example() {
         // Links A(10), B(20). Flow1 uses A+B, flow2 uses A, flow3 uses B.
         // Max-min: A splits 5/5; flow3 gets B's remainder 15.
-        let mut sim = FlowSim::new(vec![
-            Link { capacity_gbps: 10.0 },
-            Link { capacity_gbps: 20.0 },
-        ]);
+        let mut sim =
+            FlowSim::new(vec![Link { capacity_gbps: 10.0 }, Link { capacity_gbps: 20.0 }]);
         sim.add_flow(vec![0, 1], 1.0, 0.0, 0.0);
         sim.add_flow(vec![0], 1.0, 0.0, 0.0);
         sim.add_flow(vec![1], 1.0, 0.0, 0.0);
@@ -304,10 +312,8 @@ mod tests {
 
     #[test]
     fn disjoint_flows_run_in_parallel() {
-        let mut sim = FlowSim::new(vec![
-            Link { capacity_gbps: 10.0 },
-            Link { capacity_gbps: 10.0 },
-        ]);
+        let mut sim =
+            FlowSim::new(vec![Link { capacity_gbps: 10.0 }, Link { capacity_gbps: 10.0 }]);
         sim.add_flow(vec![0], 1e6, 0.0, 0.0);
         sim.add_flow(vec![1], 1e6, 0.0, 0.0);
         let r = sim.run();

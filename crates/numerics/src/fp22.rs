@@ -21,10 +21,10 @@ pub const FP22_MANTISSA_BITS: u32 = 13;
 ///
 /// let a = Fp22::from_f64(1.0);
 /// // Adding an ulp-of-f32-sized value is lost at 13 mantissa bits:
-/// let b = a.add(2f64.powi(-15));
+/// let b = a + 2f64.powi(-15);
 /// assert_eq!(b.to_f64(), 1.0);
 /// // ...but a 2^-13-sized value survives.
-/// let c = a.add(2f64.powi(-13));
+/// let c = a + 2f64.powi(-13);
 /// assert!(c.to_f64() > 1.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
@@ -49,10 +49,13 @@ impl Fp22 {
     pub fn to_f64(self) -> f64 {
         self.0
     }
+}
+
+impl std::ops::Add<f64> for Fp22 {
+    type Output = Self;
 
     /// `self + x`, rounded back into FP22.
-    #[must_use]
-    pub fn add(self, x: f64) -> Self {
+    fn add(self, x: f64) -> Self {
         Self::from_f64(self.0 + x)
     }
 }
@@ -84,8 +87,7 @@ pub fn round_to_mantissa_bits(x: f64, bits: u32) -> f64 {
     }
     let e = exponent_of(x);
     let scale = 2f64.powi(e - bits as i32);
-    let q = (x / scale).round_ties_even() * scale;
-    q
+    (x / scale).round_ties_even() * scale
 }
 
 /// Truncate `x` toward zero at `bits` explicit fraction bits relative to the
@@ -131,7 +133,7 @@ mod tests {
     fn fp22_add_small_lost() {
         let mut acc = Fp22::from_f64(4096.0);
         for _ in 0..1000 {
-            acc = acc.add(0.2); // 0.2 < ulp(4096)@13bits = 0.5
+            acc = acc + 0.2; // 0.2 < ulp(4096)@13bits = 0.5
         }
         assert_eq!(acc.to_f64(), 4096.0, "sub-ulp additions are lost entirely");
     }

@@ -11,7 +11,7 @@
 
 use crate::matrix::Matrix;
 use crate::minifloat::Format;
-use crate::quant::{BlockQuantized, TileQuantized, quantize_per_tensor};
+use crate::quant::{quantize_per_tensor, BlockQuantized, TileQuantized};
 use crate::tensorcore::{align_truncate_sum, MMA_K};
 use crate::Fp22;
 use serde::{Deserialize, Serialize};
@@ -65,7 +65,10 @@ impl Fp8Gemm {
     #[must_use]
     pub fn prepare(a: &Matrix, b: &Matrix, cfg: Fp8GemmConfig) -> Self {
         assert_eq!(a.cols, b.rows, "inner dimensions must agree");
-        assert!(cfg.chunk > 0 && cfg.chunk % MMA_K == 0, "chunk must be a positive multiple of {MMA_K}");
+        assert!(
+            cfg.chunk > 0 && cfg.chunk.is_multiple_of(MMA_K),
+            "chunk must be a positive multiple of {MMA_K}"
+        );
         let qa = TileQuantized::quantize(a, cfg.format, cfg.chunk);
         let qb = BlockQuantized::quantize(b, cfg.format, cfg.chunk);
         Self { a: qa, b: qb, cfg }
@@ -93,14 +96,14 @@ impl Fp8Gemm {
                         *p = self.a.codes[i * k + kk] * self.b.codes[kk * n + j];
                     }
                     for sub in prod[..c1 - c0].chunks(MMA_K) {
-                        partial = partial.add(align_truncate_sum(sub));
+                        partial = partial + align_truncate_sum(sub);
                     }
                     // CUDA-core portion: dequantize and promote.
                     let scale = self.a.scale_at(i, c0) * self.b.scale_at(c0, j);
                     let scaled = partial.to_f64() * scale;
                     match self.cfg.main_acc {
                         MainAccumulator::Fp32 => acc_f32 += scaled as f32,
-                        MainAccumulator::Fp22 => acc_fp22 = acc_fp22.add(scaled),
+                        MainAccumulator::Fp22 => acc_fp22 = acc_fp22 + scaled,
                         MainAccumulator::Exact => acc_exact += scaled,
                     }
                     c0 = c1;

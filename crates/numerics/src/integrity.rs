@@ -79,8 +79,8 @@ pub fn checksums_for(a: &Matrix, b: &Matrix) -> GemmChecksums {
     // 1ᵀA (length K), then (1ᵀA)·B (length N).
     let mut a_colsum = vec![0f64; a.cols];
     for r in 0..a.rows {
-        for k in 0..a.cols {
-            a_colsum[k] += f64::from(a.get(r, k));
+        for (k, sum) in a_colsum.iter_mut().enumerate() {
+            *sum += f64::from(a.get(r, k));
         }
     }
     let col_sums: Vec<f64> = (0..b.cols)
@@ -88,9 +88,9 @@ pub fn checksums_for(a: &Matrix, b: &Matrix) -> GemmChecksums {
         .collect();
     // B·1 (length K), then A·(B·1) (length M).
     let mut b_rowsum = vec![0f64; b.rows];
-    for k in 0..b.rows {
+    for (k, sum) in b_rowsum.iter_mut().enumerate() {
         for j in 0..b.cols {
-            b_rowsum[k] += f64::from(b.get(k, j));
+            *sum += f64::from(b.get(k, j));
         }
     }
     let row_sums: Vec<f64> = (0..a.rows)
@@ -109,19 +109,19 @@ pub fn checksums_for(a: &Matrix, b: &Matrix) -> GemmChecksums {
 #[must_use]
 pub fn audit(c: &Matrix, sums: &GemmChecksums) -> IntegrityReport {
     // NB: a residual can be NaN (e.g. an exponent flip turning an element
-    // into NaN/Inf); `!(|res| <= threshold)` keeps those flagged.
+    // into NaN/Inf); the explicit NaN arm keeps those flagged.
     let bad_cols: Vec<(usize, f64)> = (0..c.cols)
         .filter_map(|j| {
             let actual: f64 = (0..c.rows).map(|i| f64::from(c.get(i, j))).sum();
             let res = actual - sums.col_sums[j];
-            (!(res.abs() <= sums.threshold)).then_some((j, res))
+            (res.is_nan() || res.abs() > sums.threshold).then_some((j, res))
         })
         .collect();
     let bad_rows: Vec<(usize, f64)> = (0..c.rows)
         .filter_map(|i| {
             let actual: f64 = (0..c.cols).map(|j| f64::from(c.get(i, j))).sum();
             let res = actual - sums.row_sums[i];
-            (!(res.abs() <= sums.threshold)).then_some((i, res))
+            (res.is_nan() || res.abs() > sums.threshold).then_some((i, res))
         })
         .collect();
     match (bad_rows.as_slice(), bad_cols.as_slice()) {
@@ -129,9 +129,15 @@ pub fn audit(c: &Matrix, sums: &GemmChecksums) -> IntegrityReport {
         ([(row, rres)], [(col, cres)])
             if !rres.is_finite()
                 || !cres.is_finite()
-                || (rres - cres).abs() <= 4.0 * sums.threshold + 1e-6 * rres.abs().max(cres.abs()) =>
+                || (rres - cres).abs()
+                    <= 4.0 * sums.threshold + 1e-6 * rres.abs().max(cres.abs()) =>
         {
-            IntegrityReport::Corrupted { row: *row, col: *col, col_residual: *cres, row_residual: *rres }
+            IntegrityReport::Corrupted {
+                row: *row,
+                col: *col,
+                col_residual: *cres,
+                row_residual: *rres,
+            }
         }
         _ => IntegrityReport::MultipleOrUnlocatable {
             bad_cols: bad_cols.into_iter().map(|(j, _)| j).collect(),

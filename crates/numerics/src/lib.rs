@@ -35,10 +35,10 @@
 //! ```
 
 pub mod fp22;
-pub mod matrix;
 pub mod gemm;
 pub mod integrity;
 pub mod logfmt;
+pub mod matrix;
 pub mod metrics;
 pub mod minifloat;
 pub mod quant;
@@ -46,4 +46,4 @@ pub mod tensorcore;
 
 pub use fp22::Fp22;
 pub use matrix::Matrix;
-pub use minifloat::{Bf16, F8E4M3, F8E5M2, E5M6};
+pub use minifloat::{Bf16, E5M6, F8E4M3, F8E5M2};

@@ -56,7 +56,12 @@ impl LogFmtTile {
         }
         if !max_log.is_finite() {
             // All-zero tile.
-            return Self { n_bits, min_log: 0.0, step: 0.0, codes: values.iter().map(|_| (false, 0)).collect() };
+            return Self {
+                n_bits,
+                min_log: 0.0,
+                step: 0.0,
+                codes: values.iter().map(|_| (false, 0)).collect(),
+            };
         }
         // Constrain the range to ~E5 dynamic range: min ≥ max − ln(2^32).
         let range_cap = 32.0 * std::f64::consts::LN_2;
@@ -164,7 +169,8 @@ mod tests {
                 state ^= state >> 12;
                 state ^= state << 25;
                 state ^= state >> 27;
-                let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                let u =
+                    (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
                 let v = (u * 6.0 - 3.0).exp(); // magnitudes across ~e^±3
                 let sign = if state & 2 == 0 { 1.0 } else { -1.0 };
                 (sign * v) as f32

@@ -9,11 +9,8 @@
 pub fn rmse(reference: &[f32], approx: &[f32]) -> f64 {
     assert_eq!(reference.len(), approx.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty input");
-    let s: f64 = reference
-        .iter()
-        .zip(approx)
-        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
-        .sum();
+    let s: f64 =
+        reference.iter().zip(approx).map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2)).sum();
     (s / reference.len() as f64).sqrt()
 }
 
@@ -54,11 +51,8 @@ pub fn sqnr_db(reference: &[f32], approx: &[f32]) -> f64 {
     assert_eq!(reference.len(), approx.len(), "length mismatch");
     let signal: f64 = reference.iter().map(|a| f64::from(*a).powi(2)).sum();
     assert!(signal > 0.0, "all-zero signal");
-    let noise: f64 = reference
-        .iter()
-        .zip(approx)
-        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
-        .sum();
+    let noise: f64 =
+        reference.iter().zip(approx).map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2)).sum();
     if noise == 0.0 {
         f64::INFINITY
     } else {
@@ -76,11 +70,7 @@ pub fn sqnr_db(reference: &[f32], approx: &[f32]) -> f64 {
 pub fn mean_bias(reference: &[f32], approx: &[f32]) -> f64 {
     assert_eq!(reference.len(), approx.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty input");
-    reference
-        .iter()
-        .zip(approx)
-        .map(|(a, b)| f64::from(*b) - f64::from(*a))
-        .sum::<f64>()
+    reference.iter().zip(approx).map(|(a, b)| f64::from(*b) - f64::from(*a)).sum::<f64>()
         / reference.len() as f64
 }
 

@@ -230,11 +230,7 @@ impl Format {
     #[must_use]
     pub fn finite_count(&self) -> u64 {
         let per_sign = ((self.max_biased_exp() as u64) << self.man_bits)
-            + if self.finite_only {
-                (1u64 << self.man_bits) - 1
-            } else {
-                1u64 << self.man_bits
-            };
+            + if self.finite_only { (1u64 << self.man_bits) - 1 } else { 1u64 << self.man_bits };
         // `per_sign` counts every finite pattern of one sign including zero;
         // +0 and -0 collapse to a single logical value.
         2 * per_sign - 1
@@ -246,14 +242,10 @@ fn round_ties_even(x: f64) -> u64 {
     let floor = x.floor();
     let diff = x - floor;
     let f = floor as u64;
-    if diff > 0.5 {
+    if diff > 0.5 || (diff == 0.5 && !f.is_multiple_of(2)) {
         f + 1
-    } else if diff < 0.5 {
-        f
-    } else if f % 2 == 0 {
-        f
     } else {
-        f + 1
+        f
     }
 }
 

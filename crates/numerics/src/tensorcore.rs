@@ -54,18 +54,12 @@ impl Accumulation {
 #[must_use]
 pub fn align_truncate_sum(products: &[f64]) -> f64 {
     debug_assert!(products.len() <= MMA_K);
-    let max_e = products
-        .iter()
-        .filter(|p| **p != 0.0 && p.is_finite())
-        .map(|p| exponent_of(*p))
-        .max();
+    let max_e =
+        products.iter().filter(|p| **p != 0.0 && p.is_finite()).map(|p| exponent_of(*p)).max();
     let Some(max_e) = max_e else {
         return products.iter().sum(); // all zero (or non-finite propagates)
     };
-    products
-        .iter()
-        .map(|&p| truncate_at_exponent(p, max_e, FP22_MANTISSA_BITS))
-        .sum()
+    products.iter().map(|&p| truncate_at_exponent(p, max_e, FP22_MANTISSA_BITS)).sum()
 }
 
 /// Emulated FP8 dot product of `a · b` with the given accumulation strategy.
@@ -101,7 +95,7 @@ pub fn dot_products(products: &[f64], strategy: Accumulation) -> f64 {
         Accumulation::Fp22 => {
             let mut acc = Fp22::new();
             for chunk in products.chunks(MMA_K) {
-                acc = acc.add(align_truncate_sum(chunk));
+                acc = acc + align_truncate_sum(chunk);
             }
             acc.to_f64()
         }
@@ -111,7 +105,7 @@ pub fn dot_products(products: &[f64], strategy: Accumulation) -> f64 {
             let mut partial = Fp22::new();
             let mut macs_in_partial = 0usize;
             for chunk in products.chunks(MMA_K) {
-                partial = partial.add(align_truncate_sum(chunk));
+                partial = partial + align_truncate_sum(chunk);
                 macs_in_partial += chunk.len();
                 if macs_in_partial >= interval {
                     main += partial.to_f64() as f32;

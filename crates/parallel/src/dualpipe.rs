@@ -135,7 +135,10 @@ pub fn zb1p(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutcome {
 #[must_use]
 pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutcome {
     assert!(stages > 0, "degenerate pipeline");
-    assert!(micro % 2 == 0 && micro >= 2 * stages, "need an even microbatch count ≥ 2·stages");
+    assert!(
+        micro.is_multiple_of(2) && micro >= 2 * stages,
+        "need an even microbatch count ≥ 2·stages"
+    );
     assert!(times.is_valid(), "invalid chunk times");
     let (f, b, w) = (times.f, times.b, times.w);
     let half = micro / 2;
@@ -153,23 +156,24 @@ pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutco
     let mut next_b = [vec![0usize; stages], vec![0usize; stages]];
 
     // Ready time of the next F (resp. B) of direction d on rank r, or None.
-    let f_ready = |d: usize, r: usize, next_f: &[Vec<usize>], f_done: &[Vec<Vec<f64>>; 2]| -> Option<f64> {
-        let v = match dirs[d] {
-            Direction::Down => r,
-            Direction::Up => stages - 1 - r,
+    let f_ready =
+        |d: usize, r: usize, next_f: &[Vec<usize>], f_done: &[Vec<Vec<f64>>; 2]| -> Option<f64> {
+            let v = match dirs[d] {
+                Direction::Down => r,
+                Direction::Up => stages - 1 - r,
+            };
+            let m = next_f[d][r];
+            if m >= half {
+                return None;
+            }
+            let dep = if v == 0 {
+                0.0
+            } else {
+                let prev_rank = rank_of(stages, dirs[d], v - 1);
+                f_done[d][prev_rank][m]
+            };
+            dep.is_finite().then_some(dep)
         };
-        let m = next_f[d][r];
-        if m >= half {
-            return None;
-        }
-        let dep = if v == 0 {
-            0.0
-        } else {
-            let prev_rank = rank_of(stages, dirs[d], v - 1);
-            f_done[d][prev_rank][m]
-        };
-        dep.is_finite().then_some(dep)
-    };
     let b_ready = |d: usize,
                    r: usize,
                    next_b: &[Vec<usize>],
@@ -334,7 +338,12 @@ mod tests {
         let dp = dualpipe(s, m, T);
         let zb = zb1p(s, m, T);
         let classic = one_f_one_b(s, m, T);
-        assert!(dp.total_time < zb.total_time, "dualpipe {} vs zb1p {}", dp.total_time, zb.total_time);
+        assert!(
+            dp.total_time < zb.total_time,
+            "dualpipe {} vs zb1p {}",
+            dp.total_time,
+            zb.total_time
+        );
         assert!(dp.total_time < classic.total_time);
     }
 

@@ -160,6 +160,11 @@ mod tests {
         // bytes per GPU than V3 despite being "smaller" — EP only helps MoE.
         let v3 = breakdown(&zoo::deepseek_v3(), &MemoryPlan::deepseek_v3_production());
         let llama = breakdown(&zoo::llama31_405b(), &MemoryPlan::deepseek_v3_production());
-        assert!(llama.weights_gb > 3.0 * v3.weights_gb, "{} vs {}", llama.weights_gb, v3.weights_gb);
+        assert!(
+            llama.weights_gb > 3.0 * v3.weights_gb,
+            "{} vs {}",
+            llama.weights_gb,
+            v3.weights_gb
+        );
     }
 }

@@ -59,7 +59,7 @@ pub fn one_f_one_b(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOu
     assert!(times.is_valid(), "invalid chunk times");
     let f = times.f;
     let bw = times.b + times.w; // classic 1F1B runs B and W together
-    // f_done[s][m] / b_done[s][m] completion times.
+                                // f_done[s][m] / b_done[s][m] completion times.
     let mut f_done = vec![vec![f64::INFINITY; micro]; stages];
     let mut b_done = vec![vec![f64::INFINITY; micro]; stages];
     let mut stage_free = vec![0f64; stages];
@@ -120,11 +120,7 @@ pub fn one_f_one_b(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOu
         }
         assert!(progressed, "schedule deadlocked");
     }
-    let total_time = b_done
-        .iter()
-        .flat_map(|v| v.iter())
-        .copied()
-        .fold(0.0f64, f64::max);
+    let total_time = b_done.iter().flat_map(|v| v.iter()).copied().fold(0.0f64, f64::max);
     let min_busy = stage_busy.iter().copied().fold(f64::INFINITY, f64::min);
     PipelineOutcome { total_time, bubble_time: total_time - min_busy, stage_busy }
 }

@@ -5,7 +5,11 @@ use dsv3_parallel::schedule::{analytic_step_time, bubble_dualpipe, one_f_one_b, 
 use proptest::prelude::*;
 
 fn arb_times() -> impl Strategy<Value = ChunkTimes> {
-    (0.1f64..5.0, 0.1f64..5.0, 0.0f64..2.0).prop_map(|(f, b, w)| ChunkTimes { f, b, w: w.min(b * 0.9).max(0.01) })
+    (0.1f64..5.0, 0.1f64..5.0, 0.0f64..2.0).prop_map(|(f, b, w)| ChunkTimes {
+        f,
+        b,
+        w: w.min(b * 0.9).max(0.01),
+    })
 }
 
 proptest! {

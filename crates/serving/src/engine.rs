@@ -1,0 +1,562 @@
+//! Continuous-batching decode engine: a request-level discrete-event
+//! simulator composing the repo's analytical substrates.
+//!
+//! Time advances in decode steps. Each step's duration comes from the EP
+//! speed-limit model (`dsv3_inference::tpot`) evaluated at the *current*
+//! batch size, so latency degrades as the batch grows exactly as §2.3.2's
+//! arithmetic says it must. Admission is gated by the KV-cache manager
+//! (`dsv3_inference::kvcache`): requests wait in a FIFO when the cache is
+//! full, and mid-flight out-of-memory preempts the youngest request back
+//! to the queue. Prefill placement follows the router policy
+//! ([`crate::router::RouterPolicy`]), calibrated against
+//! `dsv3_inference::disagg`. Optional MTP speculative decoding drains
+//! several tokens per request per step with the acceptance-chain
+//! statistics of `dsv3_model::mtp` (draft-verification compute is folded
+//! into `step_overhead`, matching `mtp::tps_speedup`'s cost model).
+//!
+//! Everything is driven by seeded RNG and ordered containers, so equal
+//! configs produce byte-identical reports.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dsv3_inference::kvcache::{CacheError, KvCacheManager};
+use dsv3_inference::SpeedLimitConfig;
+use dsv3_model::zoo;
+
+use crate::metrics::Summary;
+use crate::router::RouterPolicy;
+use crate::workload::{self, ArrivalProcess, LengthDistribution, Request, WorkloadConfig};
+
+/// MTP speculative-decoding parameters (§2.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MtpSpec {
+    /// Draft modules chained per step.
+    pub modules: usize,
+    /// Per-position draft acceptance probability.
+    pub acceptance: f64,
+    /// Relative per-step cost of running the draft modules (the `1 + x`
+    /// denominator of `dsv3_model::mtp::tps_speedup`).
+    pub step_overhead: f64,
+}
+
+/// Decode-engine parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// EP speed-limit model; `tokens_per_device` is overridden each step
+    /// with the live batch size.
+    pub speed: SpeedLimitConfig,
+    /// KV-cache byte budget of the decode pool.
+    pub kv_capacity_bytes: usize,
+    /// Cache element width (2 = BF16, 1 = FP8).
+    pub kv_bytes_per_elem: usize,
+    /// Hard cap on concurrently decoding requests.
+    pub max_batch: usize,
+    /// Full-pool prefill throughput, tokens per millisecond. The router
+    /// policy decides how much of it prefill actually gets.
+    pub prefill_tokens_per_ms: f64,
+    /// Speculative decoding; `None` = plain autoregressive.
+    pub mtp: Option<MtpSpec>,
+    /// Safety cap on simulated decode steps (overload runs terminate with
+    /// the un-served tail counted against SLO attainment).
+    pub max_steps: usize,
+}
+
+/// Latency targets a request must meet to count toward goodput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Time-to-first-token bound, ms.
+    pub ttft_ms: f64,
+    /// Per-token decode latency bound, ms.
+    pub tpot_ms: f64,
+}
+
+/// Complete simulator input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSimConfig {
+    /// Request stream.
+    pub workload: WorkloadConfig,
+    /// Decode engine.
+    pub engine: EngineConfig,
+    /// Prefill placement.
+    pub router: RouterPolicy,
+    /// Goodput targets.
+    pub slo: SloConfig,
+}
+
+impl ServingSimConfig {
+    /// H800-calibrated baseline: DeepSeek-V3 KV footprint, the §2.3.2
+    /// speed limit with a compute floor at the paper's 32-token operating
+    /// point, and a 4 GB KV slice so cache pressure is part of the story.
+    #[must_use]
+    pub fn h800_baseline(arrival: ArrivalProcess, requests: usize, router: RouterPolicy) -> Self {
+        let mut speed = SpeedLimitConfig::h800_ib();
+        // comp ≈ comm at 32 tokens/device: small batches hit a compute
+        // floor instead of scaling comm time all the way to zero.
+        speed.compute_us = 120.0;
+        Self {
+            workload: WorkloadConfig {
+                arrival,
+                requests,
+                prompt: LengthDistribution {
+                    mean_tokens: 512.0,
+                    cv: 1.0,
+                    min_tokens: 16,
+                    max_tokens: 4096,
+                },
+                output: LengthDistribution {
+                    mean_tokens: 128.0,
+                    cv: 0.5,
+                    min_tokens: 8,
+                    max_tokens: 1024,
+                },
+                seed: 20250805,
+            },
+            engine: EngineConfig {
+                speed,
+                kv_capacity_bytes: 4_000_000_000,
+                kv_bytes_per_elem: 2,
+                max_batch: 128,
+                prefill_tokens_per_ms: 16.0,
+                mtp: None,
+                max_steps: 2_000_000,
+            },
+            router,
+            slo: SloConfig { ttft_ms: 2000.0, tpot_ms: 50.0 },
+        }
+    }
+}
+
+/// Simulator output: SLO metrics plus engine health counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests in the workload.
+    pub requests: usize,
+    /// Requests fully decoded.
+    pub completed: usize,
+    /// Requests dropped as infeasible (could never fit in the cache).
+    pub dropped: usize,
+    /// Mid-flight evictions back to the ready queue.
+    pub preemptions: usize,
+    /// Decode steps executed.
+    pub decode_steps: usize,
+    /// Simulated wall-clock, ms.
+    pub sim_duration_ms: f64,
+    /// Time to first token, per completed request.
+    pub ttft_ms: Summary,
+    /// Per-token decode latency, per completed request with > 1 output.
+    pub tpot_ms: Summary,
+    /// End-to-end latency, per completed request.
+    pub e2e_ms: Summary,
+    /// Decode-ready queue depth, sampled each step.
+    pub queue_depth: Summary,
+    /// KV-cache utilization, sampled each step.
+    pub kv_utilization: Summary,
+    /// Decoded tokens per second of simulated time.
+    pub throughput_tokens_per_s: f64,
+    /// Requests per second that met both SLOs.
+    pub goodput_rps: f64,
+    /// Fraction of all requests that met both SLOs.
+    pub slo_attainment: f64,
+}
+
+/// A request flowing through the engine, with its resume state.
+#[derive(Debug, Clone)]
+struct Job {
+    req: Request,
+    /// KV tokens this job needs on (re-)admission.
+    resident_tokens: usize,
+    /// Output tokens decoded so far (survives preemption).
+    generated: usize,
+    /// Absolute time the first output token landed.
+    first_token_ms: Option<f64>,
+    /// Earliest time the job may be admitted to the decode batch.
+    ready_ms: f64,
+}
+
+impl Job {
+    fn new(req: Request) -> Self {
+        let resident = req.prompt_tokens;
+        Self {
+            req,
+            resident_tokens: resident,
+            generated: 0,
+            first_token_ms: None,
+            ready_ms: f64::INFINITY,
+        }
+    }
+}
+
+/// Prefill station state, by router policy.
+enum Prefill {
+    /// Dedicated FIFO station running at a fixed rate.
+    Disaggregated { station_free_ms: f64, rate: f64 },
+    /// Backlog drained by stolen decode time (or at the full-pool rate
+    /// while decode is idle).
+    Unified { backlog: VecDeque<(Job, f64)>, rate: f64 },
+}
+
+/// Run the simulation to completion (or the step cap) and report.
+///
+/// # Panics
+///
+/// Panics on degenerate configs (zero batch cap, non-positive prefill
+/// rate) — the same contract as the underlying analytical models.
+#[must_use]
+pub fn run(cfg: &ServingSimConfig) -> ServingReport {
+    assert!(cfg.engine.max_batch > 0, "batch cap must be positive");
+    assert!(cfg.engine.prefill_tokens_per_ms > 0.0, "prefill rate must be positive");
+
+    let total_requests = cfg.workload.requests;
+    let mut arrivals = workload::generate(&cfg.workload).into_iter().peekable();
+    let model = zoo::deepseek_v3();
+    let mut kv =
+        KvCacheManager::new(&model, cfg.engine.kv_bytes_per_elem, cfg.engine.kv_capacity_bytes);
+    // Independent stream from the workload's so adding MTP never perturbs
+    // the generated requests.
+    let mut rng = StdRng::seed_from_u64(cfg.workload.seed ^ 0x6d74_7000);
+
+    let mut prefill = match cfg.router {
+        RouterPolicy::Unified => Prefill::Unified {
+            backlog: VecDeque::new(),
+            rate: cfg.router.prefill_rate(cfg.engine.prefill_tokens_per_ms),
+        },
+        RouterPolicy::Disaggregated { .. } => Prefill::Disaggregated {
+            station_free_ms: 0.0,
+            rate: cfg.router.prefill_rate(cfg.engine.prefill_tokens_per_ms),
+        },
+    };
+    let decode_slowdown = cfg.router.decode_slowdown();
+
+    let mut ready: VecDeque<Job> = VecDeque::new();
+    let mut active: Vec<Job> = Vec::new();
+    let mut clock_ms = 0.0f64;
+
+    let mut completed = 0usize;
+    let mut dropped = 0usize;
+    let mut preemptions = 0usize;
+    let mut steps = 0usize;
+    let mut good = 0usize;
+    let mut tokens_emitted = 0u64;
+    let mut ttft_samples = Vec::new();
+    let mut tpot_samples = Vec::new();
+    let mut e2e_samples = Vec::new();
+    let mut qdepth_samples = Vec::new();
+    let mut kvutil_samples = Vec::new();
+
+    while completed + dropped < total_requests && steps < cfg.engine.max_steps {
+        // Hand arrived requests to the prefill stage.
+        while arrivals.peek().is_some_and(|r| r.arrival_ms <= clock_ms) {
+            let req = arrivals.next().expect("peeked");
+            let job = Job::new(req);
+            match &mut prefill {
+                Prefill::Disaggregated { station_free_ms, rate } => {
+                    let start = job.req.arrival_ms.max(*station_free_ms);
+                    let done = start + job.req.prompt_tokens as f64 / *rate;
+                    *station_free_ms = done;
+                    let mut job = job;
+                    job.ready_ms = done;
+                    ready.push_back(job);
+                }
+                Prefill::Unified { backlog, .. } => {
+                    let tokens = job.req.prompt_tokens as f64;
+                    backlog.push_back((job, tokens));
+                }
+            }
+        }
+
+        // Admit ready jobs FIFO while the batch and the cache have room.
+        while active.len() < cfg.engine.max_batch {
+            let Some(front) = ready.front() else { break };
+            if front.ready_ms > clock_ms {
+                break;
+            }
+            if front.resident_tokens + 1 > kv.capacity_tokens() {
+                // Could never hold this context even alone: infeasible.
+                ready.pop_front();
+                dropped += 1;
+                continue;
+            }
+            match kv.admit(front.req.id, front.resident_tokens) {
+                Ok(()) => active.push(ready.pop_front().expect("checked")),
+                Err(CacheError::OutOfMemory { .. }) => break,
+                Err(e) => unreachable!("admission invariant: {e}"),
+            }
+        }
+
+        if active.is_empty() {
+            // Idle decode pool: jump to the next event.
+            let mut next = f64::INFINITY;
+            if let Some(r) = arrivals.peek() {
+                next = next.min(r.arrival_ms);
+            }
+            if let Some(front) = ready.front() {
+                next = next.min(front.ready_ms);
+            }
+            if let Prefill::Unified { backlog, rate } = &prefill {
+                if let Some((_, remaining)) = backlog.front() {
+                    next = next.min(clock_ms + remaining / rate);
+                }
+            }
+            if !next.is_finite() {
+                break; // nothing can ever make progress again
+            }
+            // While decode idles, a unified pool prefills at full rate.
+            // The epsilon absorbs float residue so a near-finished head is
+            // popped rather than left as an un-drainable sliver that would
+            // stall the clock.
+            if let Prefill::Unified { backlog, rate } = &mut prefill {
+                let mut budget = (next - clock_ms) * *rate;
+                let mut t = clock_ms;
+                while let Some((_, remaining)) = backlog.front_mut() {
+                    if *remaining > budget + 1e-9 {
+                        *remaining -= budget;
+                        break;
+                    }
+                    budget = (budget - *remaining).max(0.0);
+                    t = (t + *remaining / *rate).min(next);
+                    let (mut job, _) = backlog.pop_front().expect("checked");
+                    job.ready_ms = t;
+                    ready.push_back(job);
+                }
+            }
+            clock_ms = next;
+            continue;
+        }
+
+        // One decode step at the live batch size.
+        steps += 1;
+        let mut speed = cfg.engine.speed;
+        speed.tokens_per_device = active.len();
+        let mut dt = speed.evaluate().tpot_ms * decode_slowdown;
+        if let Some(mtp) = &cfg.engine.mtp {
+            dt *= 1.0 + mtp.step_overhead;
+        }
+        if let Prefill::Unified { backlog, rate } = &mut prefill {
+            // Calibrated to disagg::unified_tpot: half the outstanding
+            // prefill backlog competes with this decode step.
+            let backlog_ms: f64 = backlog.iter().map(|(_, t)| t / *rate).sum();
+            let stolen_ms = 0.5 * backlog_ms;
+            dt += stolen_ms;
+            let mut budget = stolen_ms * *rate;
+            let done_at = clock_ms + dt;
+            while let Some((_, remaining)) = backlog.front_mut() {
+                if *remaining > budget + 1e-9 {
+                    *remaining -= budget;
+                    break;
+                }
+                budget = (budget - *remaining).max(0.0);
+                let (mut job, _) = backlog.pop_front().expect("checked");
+                job.ready_ms = done_at;
+                ready.push_back(job);
+            }
+        }
+        clock_ms += dt;
+
+        // Drain tokens into each active request, oldest first.
+        let mut idx = 0;
+        while idx < active.len() {
+            let want = match &cfg.engine.mtp {
+                None => 1,
+                Some(mtp) => {
+                    // The verified token always lands; the draft chain
+                    // breaks at the first rejection (§2.3.3).
+                    let mut k = 1;
+                    for _ in 0..mtp.modules {
+                        if rng.gen_bool(mtp.acceptance) {
+                            k += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    k
+                }
+            };
+            let id = active[idx].req.id;
+            let need = (active[idx].req.output_tokens - active[idx].generated).min(want);
+            let mut emitted = 0;
+            let mut dropped_self = false;
+            while emitted < need {
+                match kv.append_token(id) {
+                    Ok(()) => emitted += 1,
+                    Err(CacheError::OutOfMemory { .. }) => {
+                        if active.len() - 1 > idx {
+                            // Preempt the youngest request back to the
+                            // queue head; it re-admits with its full
+                            // accumulated context.
+                            let mut victim = active.pop().expect("len > idx + 1");
+                            let held = kv.release(victim.req.id).expect("victim was admitted");
+                            victim.resident_tokens = held;
+                            victim.ready_ms = clock_ms;
+                            ready.push_front(victim);
+                            preemptions += 1;
+                        } else if active.len() == 1 {
+                            // Alone and still out of memory: this context
+                            // can never finish. Drop it.
+                            let job = active.remove(idx);
+                            let _ = kv.release(job.req.id);
+                            dropped += 1;
+                            dropped_self = true;
+                            break;
+                        } else {
+                            // This request IS the youngest: stall it this
+                            // step; an older request will preempt it on
+                            // the next pass if pressure persists.
+                            break;
+                        }
+                    }
+                    Err(e) => unreachable!("append invariant: {e}"),
+                }
+            }
+            if dropped_self {
+                continue; // active[idx] is now the next job
+            }
+            if emitted > 0 {
+                tokens_emitted += emitted as u64;
+                active[idx].generated += emitted;
+                if active[idx].first_token_ms.is_none() {
+                    active[idx].first_token_ms = Some(clock_ms);
+                    ttft_samples.push(clock_ms - active[idx].req.arrival_ms);
+                }
+            }
+            if active[idx].generated >= active[idx].req.output_tokens {
+                let job = active.remove(idx);
+                let _ = kv.release(job.req.id);
+                let first = job.first_token_ms.expect("completed implies first token");
+                let ttft = first - job.req.arrival_ms;
+                let e2e = clock_ms - job.req.arrival_ms;
+                let tpot = if job.req.output_tokens > 1 {
+                    let tpot = (clock_ms - first) / (job.req.output_tokens - 1) as f64;
+                    tpot_samples.push(tpot);
+                    tpot
+                } else {
+                    0.0
+                };
+                e2e_samples.push(e2e);
+                if ttft <= cfg.slo.ttft_ms && tpot <= cfg.slo.tpot_ms {
+                    good += 1;
+                }
+                completed += 1;
+            } else {
+                idx += 1;
+            }
+        }
+
+        qdepth_samples.push(ready.len() as f64);
+        kvutil_samples.push(kv.utilization());
+    }
+
+    let sim_s = (clock_ms / 1000.0).max(f64::MIN_POSITIVE);
+    ServingReport {
+        requests: total_requests,
+        completed,
+        dropped,
+        preemptions,
+        decode_steps: steps,
+        sim_duration_ms: clock_ms,
+        ttft_ms: Summary::of(&mut ttft_samples),
+        tpot_ms: Summary::of(&mut tpot_samples),
+        e2e_ms: Summary::of(&mut e2e_samples),
+        queue_depth: Summary::of(&mut qdepth_samples),
+        kv_utilization: Summary::of(&mut kvutil_samples),
+        throughput_tokens_per_s: tokens_emitted as f64 / sim_s,
+        goodput_rps: good as f64 / sim_s,
+        slo_attainment: good as f64 / total_requests.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_cfg(rate: f64, requests: usize, router: RouterPolicy) -> ServingSimConfig {
+        ServingSimConfig::h800_baseline(
+            ArrivalProcess::Poisson { rate_per_s: rate },
+            requests,
+            router,
+        )
+    }
+
+    #[test]
+    fn completes_all_requests_below_saturation() {
+        let report = run(&poisson_cfg(6.0, 400, RouterPolicy::Unified));
+        assert_eq!(report.completed, 400);
+        assert_eq!(report.dropped, 0);
+        assert!(report.slo_attainment > 0.9, "attainment {}", report.slo_attainment);
+        assert!(report.tpot_ms.p50 > 0.0);
+        assert!(report.ttft_ms.p50 > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = poisson_cfg(10.0, 300, RouterPolicy::Unified);
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn overload_degrades_tail_latency() {
+        let calm = run(&poisson_cfg(4.0, 400, RouterPolicy::Unified));
+        let slammed = run(&poisson_cfg(40.0, 400, RouterPolicy::Unified));
+        assert!(
+            slammed.tpot_ms.p99 > 1.5 * calm.tpot_ms.p99,
+            "overload p99 {} vs calm {}",
+            slammed.tpot_ms.p99,
+            calm.tpot_ms.p99
+        );
+        assert!(slammed.e2e_ms.p99 > calm.e2e_ms.p99);
+        assert!(slammed.slo_attainment < calm.slo_attainment);
+    }
+
+    #[test]
+    fn kv_pressure_forces_preemption_or_queueing() {
+        let mut cfg = poisson_cfg(30.0, 300, RouterPolicy::Unified);
+        // Starve the cache: ~5.7k tokens ≈ a handful of requests.
+        cfg.engine.kv_capacity_bytes = 400_000_000;
+        let report = run(&cfg);
+        assert!(report.kv_utilization.max > 0.8, "util {:?}", report.kv_utilization);
+        assert!(
+            report.preemptions > 0 || report.queue_depth.max > 0.0,
+            "cache pressure must surface somewhere"
+        );
+        assert_eq!(report.completed + report.dropped, 300);
+    }
+
+    #[test]
+    fn infeasible_requests_are_dropped_not_wedged() {
+        let mut cfg = poisson_cfg(10.0, 50, RouterPolicy::Unified);
+        cfg.engine.kv_capacity_bytes = 80_000_000; // ~1.1k tokens
+        cfg.workload.prompt = LengthDistribution::fixed(2048); // never fits
+        let report = run(&cfg);
+        assert_eq!(report.dropped, 50);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn mtp_raises_throughput() {
+        // Past the saturation knee the engine is service-limited, so the
+        // ~1.8x token rate of one MTP module shows up in throughput.
+        let base = poisson_cfg(40.0, 400, RouterPolicy::Unified);
+        let mut with_mtp = base.clone();
+        with_mtp.engine.mtp = Some(MtpSpec { modules: 1, acceptance: 0.85, step_overhead: 0.02 });
+        let plain = run(&base);
+        let spec = run(&with_mtp);
+        assert!(
+            spec.throughput_tokens_per_s > 1.3 * plain.throughput_tokens_per_s,
+            "mtp {} vs plain {}",
+            spec.throughput_tokens_per_s,
+            plain.throughput_tokens_per_s
+        );
+    }
+
+    #[test]
+    fn step_cap_terminates_overload() {
+        let mut cfg = poisson_cfg(500.0, 2000, RouterPolicy::Unified);
+        cfg.engine.max_steps = 200;
+        let report = run(&cfg);
+        assert!(report.decode_steps <= 200);
+        assert!(report.completed < 2000);
+    }
+}

@@ -1,0 +1,37 @@
+//! Request-level serving simulator for the DeepSeek-V3 system model.
+//!
+//! Where `dsv3-inference` answers *per-step* questions analytically (EP
+//! speed limits, KV footprints, prefill/decode pool trade-offs), this
+//! crate runs whole *requests* through a continuous-batching decode
+//! engine and measures what an operator would: TTFT, TPOT, end-to-end
+//! latency percentiles, goodput under an SLO, queue depths, and KV-cache
+//! utilization.
+//!
+//! Pipeline: [`workload`] generates seeded request streams (Poisson,
+//! bursty, trace replay) → [`router`] places prefill (unified pool vs
+//! disaggregated, §2.3.1) → [`engine`] decodes with batch-size-dependent
+//! step times (§2.3.2), KV-cache admission/preemption, and optional MTP
+//! speculative decoding (§2.3.3) → [`metrics`] summarizes.
+//!
+//! ```
+//! use dsv3_serving::{run, ArrivalProcess, RouterPolicy, ServingSimConfig};
+//!
+//! let cfg = ServingSimConfig::h800_baseline(
+//!     ArrivalProcess::Poisson { rate_per_s: 8.0 },
+//!     200,
+//!     RouterPolicy::Unified,
+//! );
+//! let report = run(&cfg);
+//! assert_eq!(report.completed + report.dropped, 200);
+//! assert!(report.tpot_ms.p99 >= report.tpot_ms.p50);
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod router;
+pub mod workload;
+
+pub use engine::{run, EngineConfig, MtpSpec, ServingReport, ServingSimConfig, SloConfig};
+pub use metrics::{percentile, Summary};
+pub use router::RouterPolicy;
+pub use workload::{ArrivalProcess, LengthDistribution, Request, WorkloadConfig};

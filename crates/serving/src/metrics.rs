@@ -1,0 +1,99 @@
+//! SLO metrics: percentile/summary statistics shared by the serving
+//! simulator and the experiment layer.
+//!
+//! This module is the workspace's one home for percentile math — the
+//! experiment runners and report layers use [`Summary`] instead of
+//! growing ad-hoc copies (it is re-exported from `dsv3_core::report`).
+
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile of an ascending-sorted slice, `p` in `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of no samples");
+    assert!((0.0..=100.0).contains(&p), "p={p} out of range");
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Mean plus the latency percentiles the serving SLOs are written against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, nearest rank).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize `samples` (unsorted; sorted in place).
+    ///
+    /// Returns an all-zero summary for an empty set so reports stay
+    /// serializable even when no request completed.
+    #[must_use]
+    pub fn of(samples: &mut [f64]) -> Self {
+        if samples.is_empty() {
+            return Self { count: 0, mean: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+        }
+        samples.sort_by(f64::total_cmp);
+        Self {
+            count: samples.len(),
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50: percentile(samples, 50.0),
+            p95: percentile(samples, 95.0),
+            p99: percentile(samples, 99.0),
+            max: *samples.last().expect("nonempty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let mut v = vec![3.0, 1.0, 2.0, 4.0];
+        let s = Summary::of(&mut v);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(&mut []);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Workload generation: arrival processes and request-length
+//! distributions, fully determined by a seed so simulator reports are
+//! byte-reproducible.
+//!
+//! Three arrival processes cover the serving scenarios in the paper's
+//! §5 discussion: steady Poisson traffic, bursty traffic (Gamma
+//! interarrivals with a squared coefficient of variation > 1, the regime
+//! where prefill interference hurts unified pools), and replayable traces
+//! for calibration against recorded workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Interarrival-time process for request admission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential interarrivals at `rate_per_s`.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_per_s: f64,
+    },
+    /// Bursty arrivals: Gamma-distributed interarrivals with the same
+    /// mean rate but squared coefficient of variation `burstiness`
+    /// (`burstiness = 1` degenerates to Poisson; larger values cluster
+    /// arrivals into bursts separated by lulls).
+    Bursty {
+        /// Mean arrival rate in requests per second.
+        rate_per_s: f64,
+        /// Squared coefficient of variation of interarrival times (>= 1).
+        burstiness: f64,
+    },
+    /// Replay explicit interarrival gaps (milliseconds). Cycled if the
+    /// request count exceeds the trace length.
+    Trace {
+        /// Interarrival gaps in milliseconds, replayed in order.
+        interarrival_ms: Vec<f64>,
+    },
+}
+
+/// Discretized lognormal token-length distribution, clamped to
+/// `[min_tokens, max_tokens]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LengthDistribution {
+    /// Target mean token count (of the unclamped lognormal).
+    pub mean_tokens: f64,
+    /// Coefficient of variation (std dev / mean) of the lognormal.
+    pub cv: f64,
+    /// Lower clamp, tokens.
+    pub min_tokens: usize,
+    /// Upper clamp, tokens.
+    pub max_tokens: usize,
+}
+
+impl LengthDistribution {
+    /// Fixed-length distribution (cv = 0).
+    #[must_use]
+    pub fn fixed(tokens: usize) -> Self {
+        Self { mean_tokens: tokens as f64, cv: 0.0, min_tokens: tokens, max_tokens: tokens }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let raw = if self.cv <= 0.0 {
+            self.mean_tokens
+        } else {
+            // Lognormal with matching mean and CV:
+            // sigma^2 = ln(1 + cv^2), mu = ln(mean) - sigma^2 / 2.
+            let sigma2 = (1.0 + self.cv * self.cv).ln();
+            let mu = self.mean_tokens.ln() - sigma2 / 2.0;
+            (mu + sigma2.sqrt() * standard_normal(rng)).exp()
+        };
+        (raw.round() as usize).clamp(self.min_tokens, self.max_tokens)
+    }
+}
+
+/// Full workload specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Prompt (prefill) length distribution.
+    pub prompt: LengthDistribution,
+    /// Output (decode) length distribution.
+    pub output: LengthDistribution,
+    /// RNG seed; equal seeds produce identical workloads.
+    pub seed: u64,
+}
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Stable id, assigned in arrival order.
+    pub id: u64,
+    /// Absolute arrival time in milliseconds.
+    pub arrival_ms: f64,
+    /// Prompt tokens to prefill before the first output token.
+    pub prompt_tokens: usize,
+    /// Output tokens to decode.
+    pub output_tokens: usize,
+}
+
+/// Generate the workload: requests sorted by arrival time.
+#[must_use]
+pub fn generate(cfg: &WorkloadConfig) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut clock_ms = 0.0;
+    let mut out = Vec::with_capacity(cfg.requests);
+    for id in 0..cfg.requests as u64 {
+        clock_ms += interarrival_ms(&cfg.arrival, id as usize, &mut rng);
+        out.push(Request {
+            id,
+            arrival_ms: clock_ms,
+            prompt_tokens: cfg.prompt.sample(&mut rng).max(1),
+            output_tokens: cfg.output.sample(&mut rng).max(1),
+        });
+    }
+    out
+}
+
+fn interarrival_ms(arrival: &ArrivalProcess, index: usize, rng: &mut StdRng) -> f64 {
+    match arrival {
+        ArrivalProcess::Poisson { rate_per_s } => {
+            assert!(*rate_per_s > 0.0, "arrival rate must be positive");
+            exponential(rng) / rate_per_s * 1000.0
+        }
+        ArrivalProcess::Bursty { rate_per_s, burstiness } => {
+            assert!(*rate_per_s > 0.0, "arrival rate must be positive");
+            assert!(*burstiness >= 1.0, "burstiness is a squared CV >= 1");
+            // Gamma(shape k = 1/burstiness, mean 1/rate): CV^2 = 1/k.
+            let shape = 1.0 / burstiness;
+            let scale = burstiness / rate_per_s;
+            gamma(rng, shape) * scale * 1000.0
+        }
+        ArrivalProcess::Trace { interarrival_ms } => {
+            assert!(!interarrival_ms.is_empty(), "empty trace");
+            interarrival_ms[index % interarrival_ms.len()]
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (one deviate per call; the pair's
+/// sibling is discarded to keep the sampling stream simple).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Unit-mean exponential deviate.
+fn exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+/// Gamma(shape, scale = 1) via Marsaglia–Tsang, with the standard
+/// shape-boosting transform for shape < 1.
+fn gamma(rng: &mut StdRng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: X_k = X_{k+1} * U^{1/k}.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config(arrival: ArrivalProcess) -> WorkloadConfig {
+        WorkloadConfig {
+            arrival,
+            requests: 2000,
+            prompt: LengthDistribution {
+                mean_tokens: 512.0,
+                cv: 1.0,
+                min_tokens: 16,
+                max_tokens: 8192,
+            },
+            output: LengthDistribution {
+                mean_tokens: 128.0,
+                cv: 0.5,
+                min_tokens: 8,
+                max_tokens: 2048,
+            },
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let cfg = base_config(ArrivalProcess::Poisson { rate_per_s: 20.0 });
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let mut other = cfg.clone();
+        other.seed = 12;
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let cfg = base_config(ArrivalProcess::Poisson { rate_per_s: 50.0 });
+        let reqs = generate(&cfg);
+        let span_s = reqs.last().unwrap().arrival_ms / 1000.0;
+        let rate = reqs.len() as f64 / span_s;
+        assert!((rate - 50.0).abs() / 50.0 < 0.1, "observed rate {rate}");
+    }
+
+    #[test]
+    fn bursty_has_higher_interarrival_variance_than_poisson() {
+        let cv2 = |reqs: &[Request]| {
+            let gaps: Vec<f64> =
+                reqs.windows(2).map(|w| w[1].arrival_ms - w[0].arrival_ms).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = generate(&base_config(ArrivalProcess::Poisson { rate_per_s: 20.0 }));
+        let bursty =
+            generate(&base_config(ArrivalProcess::Bursty { rate_per_s: 20.0, burstiness: 8.0 }));
+        let (p, b) = (cv2(&poisson), cv2(&bursty));
+        assert!((p - 1.0).abs() < 0.35, "poisson CV^2 {p}");
+        assert!(b > 3.0 * p, "bursty CV^2 {b} vs poisson {p}");
+    }
+
+    #[test]
+    fn trace_replays_exact_gaps() {
+        let mut cfg =
+            base_config(ArrivalProcess::Trace { interarrival_ms: vec![10.0, 20.0, 30.0] });
+        cfg.requests = 5;
+        let reqs = generate(&cfg);
+        let times: Vec<f64> = reqs.iter().map(|r| r.arrival_ms).collect();
+        assert_eq!(times, vec![10.0, 30.0, 60.0, 70.0, 90.0]);
+    }
+
+    #[test]
+    fn lengths_are_clamped_and_near_mean() {
+        let cfg = base_config(ArrivalProcess::Poisson { rate_per_s: 20.0 });
+        let reqs = generate(&cfg);
+        let mean_prompt =
+            reqs.iter().map(|r| r.prompt_tokens as f64).sum::<f64>() / reqs.len() as f64;
+        for r in &reqs {
+            assert!((16..=8192).contains(&r.prompt_tokens));
+            assert!((8..=2048).contains(&r.output_tokens));
+        }
+        assert!((mean_prompt - 512.0).abs() / 512.0 < 0.2, "mean prompt {mean_prompt}");
+    }
+}

@@ -28,7 +28,7 @@ impl Dragonfly {
     /// Panics if `r` is not a multiple of 4.
     #[must_use]
     pub fn balanced_from_radix(r: usize) -> Self {
-        assert!(r >= 4 && r % 4 == 0, "radix must be a multiple of 4");
+        assert!(r >= 4 && r.is_multiple_of(4), "radix must be a multiple of 4");
         let p = r / 4;
         let a = r / 2;
         let h = r / 4;

@@ -38,7 +38,7 @@ impl LeafSpine {
     /// Panics if `radix` is odd or zero.
     #[must_use]
     pub fn from_radix(radix: usize) -> Self {
-        assert!(radix > 0 && radix % 2 == 0, "radix must be positive and even");
+        assert!(radix > 0 && radix.is_multiple_of(2), "radix must be positive and even");
         Self { leaves: radix, spines: radix / 2, hosts_per_leaf: radix / 2 }
     }
 
@@ -197,7 +197,7 @@ impl ThreeLayerFatTree {
     /// Panics if `radix` is odd or zero.
     #[must_use]
     pub fn new(radix: usize) -> Self {
-        assert!(radix > 0 && radix % 2 == 0, "radix must be positive and even");
+        assert!(radix > 0 && radix.is_multiple_of(2), "radix must be positive and even");
         Self { radix }
     }
 

@@ -41,7 +41,11 @@ pub enum RoutePolicy {
 
 /// Spine assignment for each flow (`None` = stays under one leaf).
 #[must_use]
-pub fn assign_spines(ls: &LeafSpine, flows: &[FlowSpec], policy: RoutePolicy) -> Vec<Option<usize>> {
+pub fn assign_spines(
+    ls: &LeafSpine,
+    flows: &[FlowSpec],
+    policy: RoutePolicy,
+) -> Vec<Option<usize>> {
     let mut up = vec![0usize; ls.leaves * ls.spines]; // (leaf, spine) uplink load
     let mut down = vec![0usize; ls.leaves * ls.spines];
     flows
@@ -53,7 +57,9 @@ pub fn assign_spines(ls: &LeafSpine, flows: &[FlowSpec], policy: RoutePolicy) ->
             let sl = ls.leaf_of(f.src);
             let dl = ls.leaf_of(f.dst);
             let spine = match policy {
-                RoutePolicy::Ecmp { seed } => hash3(f.src as u64, f.dst as u64, seed) as usize % ls.spines,
+                RoutePolicy::Ecmp { seed } => {
+                    hash3(f.src as u64, f.dst as u64, seed) as usize % ls.spines
+                }
                 RoutePolicy::StaticBySource => f.src % ls.spines,
                 RoutePolicy::Adaptive => (0..ls.spines)
                     .min_by_key(|&s| (up[sl * ls.spines + s].max(down[dl * ls.spines + s]), s))
@@ -174,7 +180,7 @@ fn hash3(a: u64, b: u64, c: u64) -> u64 {
 /// (one ring per tensor/data-parallel group).
 #[must_use]
 pub fn ring_shift_flows(hosts: usize, group: usize, shift: usize) -> Vec<FlowSpec> {
-    assert!(group > 0 && hosts % group == 0, "hosts must split into equal groups");
+    assert!(group > 0 && hosts.is_multiple_of(group), "hosts must split into equal groups");
     (0..hosts)
         .map(|i| {
             let g = i / group;

@@ -30,7 +30,8 @@ fn main() {
     // Aux-loss-free balancing in action.
     let cfg = MoeGateConfig { experts: 64, groups: 8, top_groups: 4, top_k: 8 };
     let mut gate = MoeGate::new(32, cfg, 42);
-    let tokens: Vec<Vec<f32>> = (0..512).map(|i| Matrix::random(1, 32, 1.0, 9000 + i).data).collect();
+    let tokens: Vec<Vec<f32>> =
+        (0..512).map(|i| Matrix::random(1, 32, 1.0, 9000 + i).data).collect();
     for round in 0..20 {
         let routings: Vec<_> = tokens.iter().map(|t| gate.route_token(t)).collect();
         let st = routing_stats(&routings, &cfg);
@@ -60,6 +61,10 @@ fn main() {
     // Serving capacity at 40 GB of KV budget (Table 1 operationalized).
     for model in [zoo::deepseek_v3(), zoo::qwen25_72b(), zoo::llama31_405b()] {
         let mgr = KvCacheManager::new(&model, 2, 40_000_000_000);
-        println!("  {:<16} holds {:>9} tokens of context in 40 GB", model.name, mgr.capacity_tokens());
+        println!(
+            "  {:<16} holds {:>9} tokens of context in 40 GB",
+            model.name,
+            mgr.capacity_tokens()
+        );
     }
 }

@@ -8,10 +8,14 @@
 use dsv3_core::collectives::failures::alltoall_with_failed_planes;
 use dsv3_core::collectives::{Cluster, ClusterConfig, FabricKind};
 use dsv3_core::experiments::robustness;
-use dsv3_core::numerics::integrity::{audit, correct, inject_bit_flip, protected_matmul, IntegrityReport};
+use dsv3_core::numerics::integrity::{
+    audit, correct, inject_bit_flip, protected_matmul, IntegrityReport,
+};
 use dsv3_core::numerics::Matrix;
 use dsv3_core::topology::fattree::LeafSpine;
-use dsv3_core::topology::routing::{assign_spines_with_failures, load_report, FlowSpec, RoutePolicy};
+use dsv3_core::topology::routing::{
+    assign_spines_with_failures, load_report, FlowSpec, RoutePolicy,
+};
 
 fn main() {
     println!("{}", robustness::render());

@@ -12,7 +12,12 @@ use dsv3_core::numerics::minifloat::Format;
 fn main() {
     // Where the FP8 formats sit.
     println!("FP8 format landscape:");
-    for (name, f) in [("E4M3", Format::E4M3), ("E5M2", Format::E5M2), ("E5M6", Format::E5M6), ("BF16", Format::BF16)] {
+    for (name, f) in [
+        ("E4M3", Format::E4M3),
+        ("E5M2", Format::E5M2),
+        ("E5M6", Format::E5M6),
+        ("BF16", Format::BF16),
+    ] {
         println!(
             "  {name:<5} max {:>9.1}, min normal {:.2e}, min subnormal {:.2e}",
             f.max_finite(),

@@ -19,7 +19,10 @@ fn main() {
         let mut cfg = SpeedLimitConfig::h800_ib();
         cfg.bandwidth_bytes_per_s = bw_gbps * 1e9;
         let s = cfg.evaluate();
-        println!("  {bw_gbps:>5.0} GB/s -> TPOT {:>6.2} ms, {:>6.0} tok/s", s.tpot_ms, s.tokens_per_second);
+        println!(
+            "  {bw_gbps:>5.0} GB/s -> TPOT {:>6.2} ms, {:>6.0} tok/s",
+            s.tpot_ms, s.tokens_per_second
+        );
     }
     println!();
 
@@ -40,6 +43,12 @@ fn main() {
     let uni = unified_tpot(&cfg);
     let dis = disaggregated_tpot(&cfg);
     println!("Prefill/decode pools (bursty prefill, 40% load):");
-    println!("  unified pool:       TPOT mean {:>6.0} µs, p95 {:>6.0} µs, max {:>6.0} µs", uni.mean_us, uni.p95_us, uni.max_us);
-    println!("  disaggregated pool: TPOT mean {:>6.0} µs, p95 {:>6.0} µs, max {:>6.0} µs", dis.mean_us, dis.p95_us, dis.max_us);
+    println!(
+        "  unified pool:       TPOT mean {:>6.0} µs, p95 {:>6.0} µs, max {:>6.0} µs",
+        uni.mean_us, uni.p95_us, uni.max_us
+    );
+    println!(
+        "  disaggregated pool: TPOT mean {:>6.0} µs, p95 {:>6.0} µs, max {:>6.0} µs",
+        dis.mean_us, dis.p95_us, dis.max_us
+    );
 }

@@ -18,7 +18,11 @@ fn main() {
     for planes in [1usize, 2, 4, 8] {
         let mp = MultiPlane::from_radix(64, planes);
         let cost = CostModel::default().cost(&mp.summary("MPFT")) / 1e6;
-        println!("  {planes} plane(s): {:>6} endpoints, {:>4} switches, ${cost:>5.0}M", mp.endpoints(), mp.switches());
+        println!(
+            "  {planes} plane(s): {:>6} endpoints, {:>4} switches, ${cost:>5.0}M",
+            mp.endpoints(),
+            mp.switches()
+        );
     }
     println!();
 

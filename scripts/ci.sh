@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: formatting, lints, tier-1 build + tests.
+#
+# Everything runs --offline: all third-party dependencies are vendored
+# under vendor/ (see DESIGN.md), so CI needs no network and no registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "==> full workspace tests"
+cargo test -q --workspace --offline
+
+echo "CI green."

@@ -78,7 +78,10 @@ fn deepep_full_scale_when_optimized() {
     // Keep the token count adaptive so debug runs stay fast.
     let tokens = if cfg!(debug_assertions) { 256 } else { 4096 };
     let c = Cluster::new(ClusterConfig::h800(16, FabricKind::MultiPlane));
-    let cfg = dsv3_core::collectives::deepep::EpConfig { tokens_per_gpu: tokens, ..dsv3_core::collectives::deepep::EpConfig::deepseek_v3() };
+    let cfg = dsv3_core::collectives::deepep::EpConfig {
+        tokens_per_gpu: tokens,
+        ..dsv3_core::collectives::deepep::EpConfig::deepseek_v3()
+    };
     let p = dsv3_core::collectives::deepep::deepep_point(&c, &cfg);
     assert!(p.dispatch_gbps > 40.0, "{}", p.dispatch_gbps);
     assert!(p.combine_gbps > 40.0, "{}", p.combine_gbps);

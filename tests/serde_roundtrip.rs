@@ -46,6 +46,44 @@ fn substrate_types_roundtrip() {
 }
 
 #[test]
+fn serving_types_roundtrip() {
+    use dsv3_core::inference::kvcache::CacheError;
+    use dsv3_core::serving::{
+        run, ArrivalProcess, LengthDistribution, MtpSpec, RouterPolicy, ServingSimConfig,
+        SloConfig, Summary,
+    };
+
+    // Configs: every arrival process and router policy variant.
+    let mut cfg = ServingSimConfig::h800_baseline(
+        ArrivalProcess::Bursty { rate_per_s: 9.0, burstiness: 4.0 },
+        64,
+        RouterPolicy::Disaggregated { prefill_fraction: 0.4 },
+    );
+    cfg.engine.mtp = Some(MtpSpec { modules: 1, acceptance: 0.85, step_overhead: 0.02 });
+    roundtrip(&cfg);
+    roundtrip(&ArrivalProcess::Poisson { rate_per_s: 5.0 });
+    roundtrip(&ArrivalProcess::Trace { interarrival_ms: vec![5.0, 10.0, 0.5] });
+    roundtrip(&RouterPolicy::Unified);
+    roundtrip(&LengthDistribution::fixed(256));
+    roundtrip(&SloConfig { ttft_ms: 1500.0, tpot_ms: 40.0 });
+    roundtrip(&Summary::of(&mut [3.0, 1.0, 2.0]));
+
+    // The full report (and, transitively, every Summary inside it).
+    let report = run(&ServingSimConfig::h800_baseline(
+        ArrivalProcess::Poisson { rate_per_s: 10.0 },
+        64,
+        RouterPolicy::Unified,
+    ));
+    roundtrip(&report);
+    roundtrip(&dsv3_core::experiments::serving::run());
+
+    // KvCacheManager-adjacent error type, all variants.
+    roundtrip(&CacheError::OutOfMemory { requested: 4096, free: 128 });
+    roundtrip(&CacheError::DuplicateRequest);
+    roundtrip(&CacheError::UnknownRequest);
+}
+
+#[test]
 fn json_is_stable_for_known_values() {
     // A spot-check that field names stay consumer-friendly.
     let rows = table1::run();

@@ -1,0 +1,516 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), range/tuple/[`Just`] strategies,
+//! `prop_map` / `prop_flat_map` / `prop_filter` combinators,
+//! `prop::collection::{vec, btree_set}`, `prop::num::f64::NORMAL`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed per-test
+//! seed (hash of the test name), so runs are deterministic, and there is
+//! **no shrinking** — a failing case reports the assertion message only.
+//! For a reproduction harness whose properties are closed-form
+//! invariants, deterministic coverage matters more than minimal
+//! counterexamples.
+
+// Vendored stub: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a generated case did not run to completion.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was filtered out (`prop_filter` / `prop_assume!`).
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Upstream-compatible module path for [`Config`].
+pub mod test_runner {
+    pub use crate::Config;
+}
+
+/// A generator of random values, combinable like upstream strategies.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value, or signal a filter rejection.
+    ///
+    /// # Errors
+    ///
+    /// [`TestCaseError::Reject`] when a filter refuses the draw.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then a second strategy from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `keep`; rejections are retried by the
+    /// runner.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        keep: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, reason, keep }
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S2::Value, TestCaseError> {
+        (self.f)(self.inner.new_value(rng)?).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    keep: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        let v = self.inner.new_value(rng)?;
+        if (self.keep)(&v) {
+            Ok(v)
+        } else {
+            Err(TestCaseError::Reject)
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Strategy modules, reachable as `prop::...` from the prelude.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestCaseError, TestRng};
+        use rand::Rng;
+
+        /// Element-count specification: a fixed count or a range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self { lo: r.start, hi: r.end - 1 }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                Self { lo: *r.start(), hi: *r.end() }
+            }
+        }
+
+        impl SizeRange {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.lo..=self.hi)
+            }
+        }
+
+        /// `Vec` strategy; see [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// Generate a `Vec` whose length is drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+
+        /// `BTreeSet` strategy; see [`btree_set`].
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// Generate a `BTreeSet` with a number of distinct elements drawn
+        /// from `size`. Rejects the case when the element space cannot
+        /// produce enough distinct values.
+        pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { elem, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                let target = self.size.pick(rng);
+                let mut set = std::collections::BTreeSet::new();
+                let mut attempts = 0usize;
+                while set.len() < target {
+                    set.insert(self.elem.new_value(rng)?);
+                    attempts += 1;
+                    if attempts > 100 * (target + 1) {
+                        return Err(TestCaseError::Reject);
+                    }
+                }
+                Ok(set)
+            }
+        }
+    }
+
+    /// Numeric strategies.
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            use crate::{Strategy, TestCaseError, TestRng};
+            use rand::RngCore;
+
+            /// Strategy over all *normal* `f64` values (no zero, subnormal,
+            /// infinity, or NaN), drawn uniformly over the bit patterns.
+            #[derive(Debug, Clone, Copy)]
+            pub struct NormalF64;
+
+            /// Upstream-compatible name.
+            pub const NORMAL: NormalF64 = NormalF64;
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+                fn new_value(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+                    loop {
+                        let f = f64::from_bits(rng.next_u64());
+                        if f.is_normal() {
+                            return Ok(f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything the workspace's `use proptest::prelude::*;` expects.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Strategy, TestCaseError};
+}
+
+/// Drive one property test: generate cases until `cfg.cases` succeed,
+/// retrying rejected draws, panicking on the first failure.
+///
+/// # Panics
+///
+/// Panics when an assertion fails or when rejection dominates (the filter
+/// or assumption is unsatisfiable in practice).
+pub fn run_cases(
+    name: &str,
+    cfg: &Config,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // FNV-1a over the test name: per-test deterministic seed.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut done = 0u32;
+    let mut rejects = 0u32;
+    while done < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => {
+                done += 1;
+                rejects = 0;
+            }
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= 50_000,
+                    "property `{name}`: too many consecutive rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed after {done} passing case(s): {msg}")
+            }
+        }
+    }
+}
+
+/// Define deterministic property tests (see module docs for differences
+/// from upstream).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($crate::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($args:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), &$cfg, |rng| {
+                $(
+                    let $args = match $crate::Strategy::new_value(&($strat), rng) {
+                        Ok(v) => v,
+                        Err(_) => return Err($crate::TestCaseError::Reject),
+                    };
+                )*
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} at {}:{}",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Reject the current case unless `cond` holds (the runner draws a new
+/// case instead of failing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut first: Vec<usize> = Vec::new();
+        crate::run_cases("det", &ProptestConfig::with_cases(10), |rng| {
+            first.push(crate::Strategy::new_value(&(0usize..100), rng).unwrap());
+            Ok(())
+        });
+        let mut second: Vec<usize> = Vec::new();
+        crate::run_cases("det", &ProptestConfig::with_cases(10), |rng| {
+            second.push(crate::Strategy::new_value(&(0usize..100), rng).unwrap());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Composite strategies honour their constraints.
+        #[test]
+        fn combinators_work(
+            (a, b) in (1usize..10, 10usize..20).prop_map(|(x, y)| (x, y)),
+            v in prop::collection::vec(0u64..5, 1..8),
+            s in prop::collection::btree_set(0usize..10, 1..=4usize),
+            f in prop::num::f64::NORMAL.prop_filter("small", |x| x.abs() < 1e100),
+        ) {
+            prop_assert!(a < 10 && b >= 10);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(f.is_normal() && f.abs() < 1e100);
+        }
+
+        /// Flat-mapped strategies see the outer draw.
+        #[test]
+        fn flat_map_dependent(pair in (2usize..6).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, i) = pair;
+            prop_assert!(i < n, "i={} n={}", i, n);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde implementation (see `vendor/serde`). Its data
+//! model is a JSON-like [`Value`] tree: `Serialize` lowers a type to a
+//! `Value` and `Deserialize` rebuilds it from one. These derives generate
+//! those two impls for the shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * enums whose variants are units or carry named fields
+//!   (externally tagged, exactly like upstream serde's default).
+//!
+//! There is deliberately no support for `#[serde(...)]` attributes,
+//! generics, tuple variants, or newtype structs — the repo does not use
+//! them, and an unsupported shape fails the build with a clear panic
+//! rather than silently misbehaving.
+//!
+//! The implementation parses the raw `TokenStream` by hand (no `syn` /
+//! `quote`, which are equally unfetchable) and emits the impl as a source
+//! string parsed back into a `TokenStream`.
+
+// Vendored stub: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ...);` — arity 1 serializes as the inner value
+    /// (upstream's newtype behaviour), larger arities as an array.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { Variant, Variant { field, ... }, ... }`
+    Enum { name: String, variants: Vec<(String, Vec<String>)> },
+}
+
+/// Count the comma-separated fields of a tuple-struct paren group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    fields += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+/// Skip any `#[...]` attribute groups (doc comments arrive as these).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a `pub` / `pub(crate)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse `name: Type, name: Type, ...` inside a brace group, returning the
+/// field names. Types are skipped by tracking `<...>` depth so commas inside
+/// generic arguments do not split fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde_derive stub: expected field name, found `{t}`"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive stub: expected `:` after field `{name}`"),
+        }
+        // Skip the type up to a top-level comma.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parse the enum body: `Variant, Variant { .. }, ...`.
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Vec<String>)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde_derive stub: expected variant name, found `{t}`"),
+        };
+        i += 1;
+        let mut fields = Vec::new();
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = parse_named_fields(g);
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive stub: tuple variant `{name}` is unsupported");
+            }
+            _ => {}
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(t) => panic!("serde_derive stub: expected `,` after variant, found `{t}`"),
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stub: expected `struct` or `enum`, found {t:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stub: expected type name, found {t:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is unsupported");
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => match kind.as_str() {
+            "struct" => Shape::Struct { name, fields: parse_named_fields(g) },
+            "enum" => Shape::Enum { name, variants: parse_variants(g) },
+            k => panic!("serde_derive stub: cannot derive for `{k}`"),
+        },
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Shape::TupleStruct { name, arity: count_tuple_fields(g) }
+        }
+        t => panic!("serde_derive stub: expected `{{...}}` body for `{name}`, found {t:?}"),
+    }
+}
+
+/// `#[derive(Serialize)]`: lower the type to a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    } else {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{v}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive stub: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]`: rebuild the type from a `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let obj_bind = if fields.is_empty() { "_obj" } else { "obj" };
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(obj, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let {obj_bind} = value.as_object().ok_or_else(|| ::serde::Error::expected(\"object for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+            } else {
+                let inits: String = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "let items = value.as_array().ok_or_else(|| ::serde::Error::expected(\"array for {name}\"))?;\n\
+                     if items.len() != {arity} {{\n\
+                         return Err(::serde::Error::expected(\"{arity} elements for {name}\"));\n\
+                     }}\n\
+                     Ok({name}({inits}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_empty())
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, f)| !f.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::field(obj, \"{f}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let obj = _inner.as_object().ok_or_else(|| ::serde::Error::expected(\"fields of {name}::{v}\"))?;\n\
+                             Ok({name}::{v} {{ {inits} }})\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::expected(&format!(\"variant of {name}, got {{other}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, _inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::Error::expected(&format!(\"variant of {name}, got {{other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::expected(\"string or single-key object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive stub: generated impl parses")
+}
