@@ -8,6 +8,7 @@
 
 use crate::{Cluster, CollectiveReport};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Outcome of running an all-to-all with failed planes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -37,7 +38,9 @@ pub fn alltoall_with_failed_planes(
     let locals = cluster.cfg.gpus_per_node;
     let nodes = cluster.cfg.nodes;
     assert!(nodes > 1, "failures only matter across nodes");
-    for &p in failed_planes {
+    // Dedupe: a plane listed twice is still one failed plane.
+    let failed_planes: BTreeSet<usize> = failed_planes.iter().copied().collect();
+    for &p in &failed_planes {
         assert!(p < locals, "plane {p} out of range");
     }
     let healthy = crate::alltoall::alltoall_pxn(cluster, bytes_per_peer);
@@ -98,6 +101,83 @@ pub fn expected_retention(planes: usize, failed: usize) -> f64 {
     (planes - failed) as f64 / planes as f64
 }
 
+/// One plane-down interval in a time-varying flap schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaneFlap {
+    /// Which plane goes down.
+    pub plane: usize,
+    /// When it goes down, milliseconds.
+    pub down_at_ms: f64,
+    /// Downtime before repair completes.
+    pub repair_ms: f64,
+}
+
+impl PlaneFlap {
+    /// When the plane comes back, milliseconds.
+    #[must_use]
+    pub fn up_at_ms(&self) -> f64 {
+        self.down_at_ms + self.repair_ms
+    }
+
+    /// Whether the plane is down at `t_ms` (down-inclusive, up-exclusive).
+    #[must_use]
+    pub fn is_down_at(&self, t_ms: f64) -> bool {
+        t_ms >= self.down_at_ms && t_ms < self.up_at_ms()
+    }
+}
+
+/// A time-varying plane-flap schedule: planes drop out and return as
+/// repairs complete, so bandwidth retention is a step function of time
+/// rather than a single offline count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlapSchedule {
+    /// Total planes in the fabric.
+    pub planes: usize,
+    /// Down intervals; overlapping flaps of the same plane count once.
+    pub flaps: Vec<PlaneFlap>,
+}
+
+impl FlapSchedule {
+    /// A schedule with no flaps: full bandwidth forever.
+    #[must_use]
+    pub fn healthy(planes: usize) -> Self {
+        Self { planes, flaps: Vec::new() }
+    }
+
+    /// The sorted, deduplicated set of planes down at `t_ms`.
+    #[must_use]
+    pub fn failed_planes_at(&self, t_ms: f64) -> Vec<usize> {
+        let set: BTreeSet<usize> =
+            self.flaps.iter().filter(|f| f.is_down_at(t_ms)).map(|f| f.plane).collect();
+        set.into_iter().collect()
+    }
+
+    /// Bandwidth retention at `t_ms`, clamped so at least one plane
+    /// survives — degradation, not disconnection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule has zero planes.
+    #[must_use]
+    pub fn retention_at(&self, t_ms: f64) -> f64 {
+        assert!(self.planes > 0, "schedule needs at least one plane");
+        let failed = self.failed_planes_at(t_ms).len().min(self.planes - 1);
+        expected_retention(self.planes, failed)
+    }
+
+    /// Times at which the failed-plane set can change (every down and up
+    /// edge), sorted and deduplicated — the sample points a study needs
+    /// to capture the full retention step function.
+    #[must_use]
+    pub fn change_points_ms(&self) -> Vec<f64> {
+        let mut ts: Vec<f64> =
+            self.flaps.iter().flat_map(|f| [f.down_at_ms, f.up_at_ms()]).collect();
+        ts.sort_by(f64::total_cmp);
+        ts.dedup();
+        ts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +219,49 @@ mod tests {
     fn total_failure_panics() {
         let c = cluster(2);
         let _ = alltoall_with_failed_planes(&c, MB, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn duplicate_plane_ids_count_once() {
+        // Regression: `[3, 3, 3]` is one failed plane, not three.
+        let c = cluster(4);
+        let once = alltoall_with_failed_planes(&c, MB, &[3]);
+        let dup = alltoall_with_failed_planes(&c, MB, &[3, 3, 3]);
+        assert_eq!(once, dup);
+        let expect = expected_retention(8, 1);
+        assert!((dup.bandwidth_retention - expect).abs() < 0.05, "{}", dup.bandwidth_retention);
+    }
+
+    #[test]
+    fn flap_schedule_steps_through_time() {
+        let sched = FlapSchedule {
+            planes: 8,
+            flaps: vec![
+                PlaneFlap { plane: 0, down_at_ms: 10.0, repair_ms: 20.0 },
+                PlaneFlap { plane: 1, down_at_ms: 15.0, repair_ms: 10.0 },
+                // Overlapping flap of an already-down plane: counts once.
+                PlaneFlap { plane: 0, down_at_ms: 12.0, repair_ms: 5.0 },
+            ],
+        };
+        assert_eq!(sched.failed_planes_at(5.0), Vec::<usize>::new());
+        assert_eq!(sched.failed_planes_at(11.0), vec![0]);
+        assert_eq!(sched.failed_planes_at(16.0), vec![0, 1]);
+        assert_eq!(sched.failed_planes_at(26.0), vec![0], "plane 1 repaired at 25");
+        assert_eq!(sched.failed_planes_at(31.0), Vec::<usize>::new());
+        assert!((sched.retention_at(5.0) - 1.0).abs() < 1e-12);
+        assert!((sched.retention_at(16.0) - 6.0 / 8.0).abs() < 1e-12);
+        let pts = sched.change_points_ms();
+        assert!(pts.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        assert!(pts.contains(&10.0) && pts.contains(&30.0) && pts.contains(&25.0));
+    }
+
+    #[test]
+    fn flap_retention_clamps_to_one_survivor() {
+        let flaps =
+            (0..8).map(|p| PlaneFlap { plane: p, down_at_ms: 0.0, repair_ms: 100.0 }).collect();
+        let sched = FlapSchedule { planes: 8, flaps };
+        assert!((sched.retention_at(50.0) - 1.0 / 8.0).abs() < 1e-12);
+        assert!((FlapSchedule::healthy(8).retention_at(50.0) - 1.0).abs() < 1e-12);
     }
 
     #[test]

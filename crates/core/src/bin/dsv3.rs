@@ -42,20 +42,24 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some(name) => match entries.iter().find(|e| e.name == name) {
-            Some(e) => {
-                if json {
-                    println!("{}", (e.json)());
-                } else {
-                    println!("{}", (e.render)());
+        // Accept `fault_drill` for `fault-drill` etc.: experiment names
+        // use hyphens, but underscores are a natural thing to type.
+        Some(name) => {
+            match entries.iter().find(|e| e.name.replace('-', "_") == name.replace('-', "_")) {
+                Some(e) => {
+                    if json {
+                        println!("{}", (e.json)());
+                    } else {
+                        println!("{}", (e.render)());
+                    }
+                    ExitCode::SUCCESS
                 }
-                ExitCode::SUCCESS
+                None => {
+                    eprintln!("unknown experiment '{name}'\n");
+                    usage(&entries);
+                    ExitCode::FAILURE
+                }
             }
-            None => {
-                eprintln!("unknown experiment '{name}'\n");
-                usage(&entries);
-                ExitCode::FAILURE
-            }
-        },
+        }
     }
 }

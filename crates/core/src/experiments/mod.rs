@@ -19,9 +19,11 @@
 //! | [`node_limited`] | §4.3 — node-limited routing IB traffic |
 //! | [`local_deploy`] | §2.2.2 — local deployment TPS |
 //! | [`robustness`] | §5.1.1/§6.1 — plane failures & SDC detection |
+//! | [`fault_drill`] | §5.1.1/§6.1 — seeded fault-injection drill |
 //! | [`future_hardware`] | §4.4/§4.5/§6.4/§6.5 — recommendation payoffs |
 //! | [`serving`] | §2.3 — request-level serving simulation |
 
+pub mod fault_drill;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -15,9 +15,10 @@
 //!
 //! Substrates are re-exported for direct use:
 //! [`numerics`], [`model`], [`topology`], [`netsim`], [`collectives`],
-//! [`parallel`], [`inference`], [`serving`].
+//! [`parallel`], [`inference`], [`faults`], [`serving`].
 
 pub use dsv3_collectives as collectives;
+pub use dsv3_faults as faults;
 pub use dsv3_inference as inference;
 pub use dsv3_model as model;
 pub use dsv3_netsim as netsim;

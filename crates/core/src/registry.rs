@@ -137,6 +137,12 @@ pub fn registry() -> Vec<Entry> {
             json: || to_json(&robustness::plane_failures()),
         },
         Entry {
+            name: "fault-drill",
+            about: "seeded fault-injection drill (§5.1.1/§6.1)",
+            render: fault_drill::render,
+            json: || to_json(&fault_drill::run()),
+        },
+        Entry {
             name: "future-hardware",
             about: "hardware-recommendation payoffs (§6)",
             render: future_hardware::render,

@@ -1,0 +1,33 @@
+//! # dsv3-faults — seeded fault injection and recovery
+//!
+//! The paper's robustness story (§5.1.1 multi-plane failover, §6.1 SDC
+//! and interconnect faults) demands *degradation, not disconnection*
+//! when faults arrive **during** a run. This crate supplies the shared
+//! machinery:
+//!
+//! - [`plan`] — deterministic [`FaultPlan`] timelines (replica crashes,
+//!   plane flaps, stragglers, SDC), the [`Injectable`] hook trait, and
+//!   the [`FaultDriver`] that walks a timeline as a consumer's clock
+//!   advances. Plans are fully materialized up front, so consumers stay
+//!   byte-reproducible per seed.
+//! - [`recovery`] — jitter-free exponential [`Backoff`] and the
+//!   [`RecoveryPolicy`] (retry budget, optional hedging) consumers apply
+//!   when a fault takes down their work.
+//! - [`training`] — checkpoint/restart goodput simulation
+//!   ([`simulate_goodput`]) validated against the Young/Daly analytic
+//!   model in `dsv3_model::availability`.
+//!
+//! The serving engine (`dsv3-serving`) implements [`Injectable`] and
+//! exposes `run_with_faults`; an empty plan reproduces the healthy
+//! report byte-for-byte, making the fault layer a strict superset of the
+//! healthy simulator.
+
+pub mod plan;
+pub mod recovery;
+pub mod training;
+
+pub use plan::{
+    bandwidth_retention, FaultDriver, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, Injectable,
+};
+pub use recovery::{Backoff, RecoveryPolicy};
+pub use training::{simulate_goodput, TrainingGoodput};

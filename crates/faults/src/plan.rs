@@ -1,0 +1,531 @@
+//! Deterministic fault timelines and the injection hook protocol.
+//!
+//! A [`FaultPlan`] is a fully materialized list of [`FaultEvent`]s — no
+//! randomness survives into the consumer, so any simulator driven by a
+//! plan stays byte-reproducible. Plans are either written by hand (tests,
+//! drills) or generated from seeded Poisson processes via
+//! [`FaultPlan::generate`], the dynamic-fault methodology of MAST-style
+//! cluster studies: faults *arrive during* a run instead of being fixed
+//! offline counts.
+//!
+//! Consumers implement [`Injectable`] and let a [`FaultDriver`] walk the
+//! timeline as their clock advances: `inject` fires when a fault begins,
+//! `heal` when its repair completes. Delivery order is total and
+//! deterministic (time, then event sequence number).
+
+use dsv3_collectives::failures::{expected_retention, FlapSchedule, PlaneFlap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One kind of fault striking the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A decode replica crashes, losing all in-flight KV state. The
+    /// replica's batch slots return after `repair_ms`.
+    ReplicaCrash {
+        /// Which replica (of [`FaultPlan::replicas`]) dies.
+        replica: usize,
+        /// Downtime before the replica rejoins.
+        repair_ms: f64,
+    },
+    /// A network plane flaps: its scale-out bandwidth is lost until the
+    /// repair completes; survivors carry the rerouted traffic (§5.1.1).
+    PlaneFlap {
+        /// Which plane (of [`FaultPlan::planes`]) goes down.
+        plane: usize,
+        /// Downtime before the plane returns.
+        repair_ms: f64,
+    },
+    /// A slow node gates collective steps by `slowdown` for the duration.
+    Straggler {
+        /// Multiplier on step time while active (> 1).
+        slowdown: f64,
+        /// How long the straggler persists.
+        duration_ms: f64,
+    },
+    /// A silent data corruption strikes one in-flight computation (§6.1).
+    Sdc {
+        /// Whether the checksum audit catches it (forcing a recompute)
+        /// or it silently corrupts a result.
+        detected: bool,
+    },
+}
+
+impl FaultKind {
+    /// Downtime of this fault, if it has one (SDC is instantaneous).
+    #[must_use]
+    pub fn duration_ms(&self) -> Option<f64> {
+        match *self {
+            FaultKind::ReplicaCrash { repair_ms, .. } | FaultKind::PlaneFlap { repair_ms, .. } => {
+                Some(repair_ms)
+            }
+            FaultKind::Straggler { duration_ms, .. } => Some(duration_ms),
+            FaultKind::Sdc { .. } => None,
+        }
+    }
+}
+
+/// A fault arriving at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute injection time, milliseconds.
+    pub at_ms: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic timeline of faults over a fixed resource shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Decode replicas the consumer partitions work across (≥ 1).
+    pub replicas: usize,
+    /// Network planes carrying scale-out traffic (≥ 1).
+    pub planes: usize,
+    /// The timeline; [`FaultDriver`] sorts it, so order is free.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy cluster. Driving any simulator with this
+    /// plan must reproduce its fault-free output byte-for-byte.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self { replicas: 1, planes: 8, events: Vec::new() }
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate resource bounds and event sanity.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replicas == 0 {
+            return Err("plan needs at least one replica".into());
+        }
+        if self.planes == 0 {
+            return Err("plan needs at least one plane".into());
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.at_ms.is_finite() || e.at_ms < 0.0 {
+                return Err(format!("event {i}: at_ms {} is not a finite time", e.at_ms));
+            }
+            match e.kind {
+                FaultKind::ReplicaCrash { replica, repair_ms } => {
+                    if replica >= self.replicas {
+                        return Err(format!("event {i}: replica {replica} out of range"));
+                    }
+                    if repair_ms.is_nan() || repair_ms < 0.0 {
+                        return Err(format!("event {i}: bad repair_ms {repair_ms}"));
+                    }
+                }
+                FaultKind::PlaneFlap { plane, repair_ms } => {
+                    if plane >= self.planes {
+                        return Err(format!("event {i}: plane {plane} out of range"));
+                    }
+                    if repair_ms.is_nan() || repair_ms < 0.0 {
+                        return Err(format!("event {i}: bad repair_ms {repair_ms}"));
+                    }
+                }
+                FaultKind::Straggler { slowdown, duration_ms } => {
+                    if slowdown.is_nan() || slowdown < 1.0 {
+                        return Err(format!("event {i}: straggler slowdown {slowdown} < 1"));
+                    }
+                    if duration_ms.is_nan() || duration_ms < 0.0 {
+                        return Err(format!("event {i}: bad duration_ms {duration_ms}"));
+                    }
+                }
+                FaultKind::Sdc { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize a plan from seeded Poisson processes, one per fault
+    /// class. Equal configs produce identical plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive horizon or resource counts of zero.
+    #[must_use]
+    pub fn generate(cfg: &FaultPlanConfig) -> Self {
+        assert!(cfg.horizon_ms > 0.0, "horizon must be positive");
+        assert!(cfg.replicas > 0 && cfg.planes > 0, "need at least one replica and plane");
+        let mut events = Vec::new();
+
+        let mut arrivals =
+            |salt: u64, mtbf_ms: f64, make: &mut dyn FnMut(&mut StdRng) -> FaultKind| {
+                if !(mtbf_ms.is_finite() && mtbf_ms > 0.0) {
+                    return; // class disabled
+                }
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ salt);
+                let mut t = 0.0f64;
+                loop {
+                    t += exponential(&mut rng) * mtbf_ms;
+                    if t > cfg.horizon_ms {
+                        break;
+                    }
+                    let kind = make(&mut rng);
+                    events.push(FaultEvent { at_ms: t, kind });
+                }
+            };
+
+        arrivals(0x63_7261_7368u64, cfg.crash_mtbf_ms, &mut |rng| FaultKind::ReplicaCrash {
+            replica: rng.gen_range(0..cfg.replicas),
+            repair_ms: cfg.crash_repair_ms,
+        });
+        arrivals(0x666c_6170u64, cfg.flap_mtbf_ms, &mut |rng| FaultKind::PlaneFlap {
+            plane: rng.gen_range(0..cfg.planes),
+            repair_ms: cfg.flap_repair_ms,
+        });
+        arrivals(0x736c_6f77u64, cfg.straggler_mtbf_ms, &mut |_| FaultKind::Straggler {
+            slowdown: cfg.straggler_slowdown,
+            duration_ms: cfg.straggler_duration_ms,
+        });
+        arrivals(0x73_6463u64, cfg.sdc_mtbf_ms, &mut |rng| FaultKind::Sdc {
+            detected: rng.gen_bool(cfg.sdc_detection_rate),
+        });
+
+        events.sort_by(|a, b| {
+            a.at_ms.total_cmp(&b.at_ms).then(kind_rank(&a.kind).cmp(&kind_rank(&b.kind)))
+        });
+        Self { replicas: cfg.replicas, planes: cfg.planes, events }
+    }
+
+    /// Project the plan's plane flaps onto a
+    /// [`dsv3_collectives::failures::FlapSchedule`] for time-varying
+    /// bandwidth studies.
+    #[must_use]
+    pub fn flap_schedule(&self) -> FlapSchedule {
+        let flaps = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::PlaneFlap { plane, repair_ms } => {
+                    Some(PlaneFlap { plane, down_at_ms: e.at_ms, repair_ms })
+                }
+                _ => None,
+            })
+            .collect();
+        FlapSchedule { planes: self.planes, flaps }
+    }
+
+    /// Crash (failure) arrival times in seconds, for feeding the training
+    /// availability simulation.
+    #[must_use]
+    pub fn crash_times_s(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::ReplicaCrash { .. }))
+            .map(|e| e.at_ms / 1000.0)
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times
+    }
+}
+
+fn kind_rank(k: &FaultKind) -> u8 {
+    match k {
+        FaultKind::ReplicaCrash { .. } => 0,
+        FaultKind::PlaneFlap { .. } => 1,
+        FaultKind::Straggler { .. } => 2,
+        FaultKind::Sdc { .. } => 3,
+    }
+}
+
+/// Unit-mean exponential deviate.
+fn exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+/// Seeded Poisson generator parameters for [`FaultPlan::generate`].
+///
+/// A class is disabled by setting its MTBF to `f64::INFINITY` (the
+/// default for every class), so configs opt *in* to each fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Seed; equal seeds produce identical plans.
+    pub seed: u64,
+    /// Generate events in `(0, horizon_ms]`.
+    pub horizon_ms: f64,
+    /// Decode replicas.
+    pub replicas: usize,
+    /// Network planes.
+    pub planes: usize,
+    /// Mean time between replica crashes (ms).
+    pub crash_mtbf_ms: f64,
+    /// Replica downtime per crash (ms).
+    pub crash_repair_ms: f64,
+    /// Mean time between plane flaps (ms).
+    pub flap_mtbf_ms: f64,
+    /// Plane downtime per flap (ms).
+    pub flap_repair_ms: f64,
+    /// Mean time between straggler episodes (ms).
+    pub straggler_mtbf_ms: f64,
+    /// Step-time multiplier while a straggler is active.
+    pub straggler_slowdown: f64,
+    /// Straggler episode length (ms).
+    pub straggler_duration_ms: f64,
+    /// Mean time between silent-data-corruption strikes (ms).
+    pub sdc_mtbf_ms: f64,
+    /// Probability a strike is caught by the checksum audit.
+    pub sdc_detection_rate: f64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            horizon_ms: 60_000.0,
+            replicas: 4,
+            planes: 8,
+            crash_mtbf_ms: f64::INFINITY,
+            crash_repair_ms: 5_000.0,
+            flap_mtbf_ms: f64::INFINITY,
+            flap_repair_ms: 5_000.0,
+            straggler_mtbf_ms: f64::INFINITY,
+            straggler_slowdown: 1.5,
+            straggler_duration_ms: 2_000.0,
+            sdc_mtbf_ms: f64::INFINITY,
+            sdc_detection_rate: 0.9,
+        }
+    }
+}
+
+/// Surviving bandwidth fraction with `failed` of `planes` planes down,
+/// clamped so at least one plane survives — the multi-plane fabric's
+/// "degradation, not disconnection" contract (§5.1.1).
+#[must_use]
+pub fn bandwidth_retention(planes: usize, failed: usize) -> f64 {
+    expected_retention(planes, failed.min(planes.saturating_sub(1)))
+}
+
+/// A system accepting fault injection from a [`FaultDriver`].
+///
+/// `seq` is the event's stable index in the driver's sorted timeline; a
+/// fault with a duration delivers `heal` with the same `seq` it was
+/// injected under, so implementors can pair the two without bookkeeping
+/// of their own.
+pub trait Injectable {
+    /// A fault begins.
+    fn inject(&mut self, seq: usize, event: &FaultEvent);
+    /// The fault injected under `seq` finishes repairing.
+    fn heal(&mut self, seq: usize, event: &FaultEvent);
+}
+
+/// Walks a [`FaultPlan`] as the consumer's clock advances, delivering
+/// `inject`/`heal` callbacks in deterministic time order.
+#[derive(Debug, Clone)]
+pub struct FaultDriver {
+    events: Vec<FaultEvent>,
+    next: usize,
+    /// Pending repairs: `(repair_at_ms, seq)`, kept sorted ascending.
+    repairs: Vec<(f64, usize)>,
+}
+
+impl FaultDriver {
+    /// Build a driver over `plan` (events are copied and time-sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        let mut events = plan.events.clone();
+        events.sort_by(|a, b| {
+            a.at_ms.total_cmp(&b.at_ms).then(kind_rank(&a.kind).cmp(&kind_rank(&b.kind)))
+        });
+        Self { events, next: 0, repairs: Vec::new() }
+    }
+
+    /// Whether the driver will never deliver anything again.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.next >= self.events.len() && self.repairs.is_empty()
+    }
+
+    /// The next time anything (injection or repair) is due, if any —
+    /// consumers fold this into their idle-advance so repairs are not
+    /// slept through.
+    #[must_use]
+    pub fn next_wake_ms(&self) -> Option<f64> {
+        let inject = self.events.get(self.next).map(|e| e.at_ms);
+        let repair = self.repairs.first().map(|&(t, _)| t);
+        match (inject, repair) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Deliver every injection and repair due at or before `now_ms`, in
+    /// time order (repairs win ties so a resource heals before a new
+    /// fault lands on it).
+    pub fn poll(&mut self, now_ms: f64, sink: &mut dyn Injectable) {
+        loop {
+            let inject_at = self.events.get(self.next).map(|e| e.at_ms);
+            let repair_at = self.repairs.first().map(|&(t, _)| t);
+            let do_repair = match (inject_at, repair_at) {
+                (_, None) => false,
+                (None, Some(r)) => r <= now_ms,
+                (Some(i), Some(r)) => r <= now_ms && r <= i,
+            };
+            if do_repair {
+                let (_, seq) = self.repairs.remove(0);
+                let event = self.events[seq];
+                sink.heal(seq, &event);
+                continue;
+            }
+            match inject_at {
+                Some(t) if t <= now_ms => {
+                    let seq = self.next;
+                    let event = self.events[seq];
+                    self.next += 1;
+                    if let Some(d) = event.kind.duration_ms() {
+                        let at = event.at_ms + d;
+                        let pos =
+                            self.repairs.partition_point(|&(r, s)| r < at || (r == at && s < seq));
+                        self.repairs.insert(pos, (at, seq));
+                    }
+                    sink.inject(seq, &event);
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(String, usize, f64)>,
+    }
+
+    impl Injectable for Recorder {
+        fn inject(&mut self, seq: usize, event: &FaultEvent) {
+            self.log.push(("inject".into(), seq, event.at_ms));
+        }
+        fn heal(&mut self, seq: usize, event: &FaultEvent) {
+            self.log.push(("heal".into(), seq, event.at_ms));
+        }
+    }
+
+    fn crash(at_ms: f64, repair_ms: f64) -> FaultEvent {
+        FaultEvent { at_ms, kind: FaultKind::ReplicaCrash { replica: 0, repair_ms } }
+    }
+
+    #[test]
+    fn driver_delivers_in_time_order_with_repairs() {
+        let plan = FaultPlan {
+            replicas: 2,
+            planes: 8,
+            events: vec![crash(10.0, 5.0), crash(12.0, 100.0)],
+        };
+        let mut d = FaultDriver::new(&plan);
+        let mut r = Recorder::default();
+        d.poll(9.0, &mut r);
+        assert!(r.log.is_empty());
+        assert_eq!(d.next_wake_ms(), Some(10.0));
+        d.poll(20.0, &mut r);
+        // inject@10, inject@12, heal@15 — both injections precede the heal.
+        let ops: Vec<&str> = r.log.iter().map(|(op, _, _)| op.as_str()).collect();
+        assert_eq!(ops, ["inject", "inject", "heal"]);
+        assert_eq!(d.next_wake_ms(), Some(112.0));
+        d.poll(500.0, &mut r);
+        assert!(d.is_idle());
+        assert_eq!(r.log.len(), 4);
+    }
+
+    #[test]
+    fn heal_carries_the_matching_seq() {
+        let plan = FaultPlan { replicas: 1, planes: 8, events: vec![crash(1.0, 2.0)] };
+        let mut d = FaultDriver::new(&plan);
+        let mut r = Recorder::default();
+        d.poll(10.0, &mut r);
+        assert_eq!(r.log[0].1, r.log[1].1, "heal pairs with its inject");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        let cfg = FaultPlanConfig {
+            seed: 42,
+            horizon_ms: 100_000.0,
+            crash_mtbf_ms: 9_000.0,
+            flap_mtbf_ms: 12_000.0,
+            straggler_mtbf_ms: 30_000.0,
+            sdc_mtbf_ms: 25_000.0,
+            ..FaultPlanConfig::default()
+        };
+        let a = FaultPlan::generate(&cfg);
+        let b = FaultPlan::generate(&cfg);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(a.validate().is_ok());
+        let other = FaultPlan::generate(&FaultPlanConfig { seed: 43, ..cfg });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn disabled_classes_generate_nothing() {
+        let plan = FaultPlan::generate(&FaultPlanConfig::default());
+        assert!(plan.is_empty(), "all classes default to disabled");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_resources() {
+        let bad = FaultPlan {
+            replicas: 2,
+            planes: 8,
+            events: vec![FaultEvent {
+                at_ms: 1.0,
+                kind: FaultKind::ReplicaCrash { replica: 5, repair_ms: 1.0 },
+            }],
+        };
+        assert!(bad.validate().is_err());
+        assert!(FaultPlan::healthy().validate().is_ok());
+    }
+
+    #[test]
+    fn retention_clamps_to_one_survivor() {
+        assert!((bandwidth_retention(8, 1) - 7.0 / 8.0).abs() < 1e-12);
+        assert!(
+            (bandwidth_retention(8, 8) - 1.0 / 8.0).abs() < 1e-12,
+            "degradation, not disconnection"
+        );
+        assert!((bandwidth_retention(8, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flap_schedule_projects_only_flaps() {
+        let cfg = FaultPlanConfig {
+            seed: 7,
+            horizon_ms: 50_000.0,
+            crash_mtbf_ms: 10_000.0,
+            flap_mtbf_ms: 8_000.0,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg);
+        let sched = plan.flap_schedule();
+        let flap_count =
+            plan.events.iter().filter(|e| matches!(e.kind, FaultKind::PlaneFlap { .. })).count();
+        assert_eq!(sched.flaps.len(), flap_count);
+        assert!(flap_count > 0);
+        let crashes = plan.crash_times_s();
+        assert!(!crashes.is_empty());
+        assert!(crashes.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

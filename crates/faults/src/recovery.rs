@@ -1,0 +1,95 @@
+//! Recovery policies: deterministic exponential backoff and hedging.
+//!
+//! Recovery must not perturb byte-reproducibility, so the backoff is
+//! jitter-free — the delay is a pure function of the attempt number.
+//! Retry storms are instead broken up by the engine's deterministic
+//! release ordering (release time, then submission order).
+
+use serde::{Deserialize, Serialize};
+
+/// Jitter-free exponential backoff: attempt `k` (1-based) waits
+/// `min(base_ms · factor^(k−1), max_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// First-retry delay, milliseconds.
+    pub base_ms: f64,
+    /// Multiplier between consecutive attempts.
+    pub factor: f64,
+    /// Ceiling on any single delay, milliseconds.
+    pub max_ms: f64,
+}
+
+impl Backoff {
+    /// Delay before retry `attempt` (1-based; attempt 0 returns 0).
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        (self.base_ms * self.factor.powi(attempt as i32 - 1)).min(self.max_ms)
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self { base_ms: 50.0, factor: 2.0, max_ms: 5_000.0 }
+    }
+}
+
+/// How a consumer reacts to faults striking its in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Delay schedule between a crash and the requeued re-prefill.
+    pub backoff: Backoff,
+    /// Crashes a single request survives before being rejected. With
+    /// `max_retries = 3`, the fourth crash of the same request rejects it.
+    pub max_retries: u32,
+    /// Spawn a redundant clone of a request the first time a crash takes
+    /// it down; first copy to finish wins, the loser is cancelled.
+    pub hedge: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { backoff: Backoff::default(), max_retries: 3, hedge: false }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The default policy with hedging switched on.
+    #[must_use]
+    pub fn hedged() -> Self {
+        Self { hedge: true, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let b = Backoff::default();
+        assert!((b.delay_ms(0) - 0.0).abs() < 1e-12);
+        assert!((b.delay_ms(1) - 50.0).abs() < 1e-12);
+        assert!((b.delay_ms(2) - 100.0).abs() < 1e-12);
+        assert!((b.delay_ms(3) - 200.0).abs() < 1e-12);
+        assert!((b.delay_ms(20) - 5_000.0).abs() < 1e-12, "capped at max_ms");
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let b = Backoff { base_ms: 10.0, factor: 3.0, max_ms: 1_000.0 };
+        assert_eq!(b.delay_ms(4), b.delay_ms(4));
+        assert!((b.delay_ms(4) - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hedged_policy_flips_only_the_hedge_bit() {
+        let h = RecoveryPolicy::hedged();
+        let d = RecoveryPolicy::default();
+        assert!(h.hedge && !d.hedge);
+        assert_eq!(h.backoff, d.backoff);
+        assert_eq!(h.max_retries, d.max_retries);
+    }
+}

@@ -21,8 +21,11 @@
 //!   EP inference (§2.3.2).
 //! * [`train`] — a tiny trainer with pluggable precision backends for the
 //!   FP8-vs-BF16 accuracy experiment (§2.4).
+//! * [`availability`] — MTBF-driven Young/Daly checkpoint-interval and
+//!   training-goodput model (§6.1 reliability).
 
 pub mod attention;
+pub mod availability;
 pub mod config;
 pub mod eplb;
 pub mod flops;

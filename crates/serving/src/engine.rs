@@ -14,15 +14,26 @@
 //! statistics of `dsv3_model::mtp` (draft-verification compute is folded
 //! into `step_overhead`, matching `mtp::tps_speedup`'s cost model).
 //!
+//! Faults arrive during a run through [`run_with_faults`]: a
+//! `dsv3_faults::FaultPlan` timeline drives replica crashes (in-flight KV
+//! lost, requeue-and-re-prefill with exponential backoff, optional
+//! hedging), plane flaps (steps run at the degraded speed limit given by
+//! `collectives::failures` retention), stragglers, and SDC strikes. The
+//! fault path is strictly additive: with an empty plan every fault branch
+//! is dead and [`run`] produces its report byte-for-byte.
+//!
 //! Everything is driven by seeded RNG and ordered containers, so equal
 //! configs produce byte-identical reports.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use dsv3_faults::{
+    bandwidth_retention, FaultDriver, FaultEvent, FaultKind, FaultPlan, Injectable, RecoveryPolicy,
+};
 use dsv3_inference::kvcache::{CacheError, KvCacheManager};
 use dsv3_inference::SpeedLimitConfig;
 use dsv3_model::zoo;
@@ -163,10 +174,83 @@ pub struct ServingReport {
     pub slo_attainment: f64,
 }
 
+/// Fault-path counters accumulated by [`run_with_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Replica-crash events delivered.
+    pub crash_events: usize,
+    /// In-flight jobs evicted (KV lost) by crashes.
+    pub jobs_lost_to_crashes: usize,
+    /// Requeue-and-re-prefill retries scheduled.
+    pub retries: usize,
+    /// Requests abandoned after exhausting the retry budget.
+    pub rejected: usize,
+    /// Hedge clones spawned.
+    pub hedges_spawned: usize,
+    /// Completions won by the hedge clone rather than the original.
+    pub hedge_wins: usize,
+    /// Plane-flap events delivered.
+    pub plane_flap_events: usize,
+    /// Decode steps run at degraded bandwidth.
+    pub degraded_steps: usize,
+    /// Worst bandwidth retention any step ran at (1.0 = never degraded).
+    pub min_bandwidth_retention: f64,
+    /// Straggler episodes delivered.
+    pub straggler_events: usize,
+    /// Decode steps gated by a straggler.
+    pub straggler_steps: usize,
+    /// SDC strikes delivered.
+    pub sdc_events: usize,
+    /// SDC strikes caught by the checksum audit.
+    pub sdc_detected: usize,
+    /// Wall clock spent recomputing audited-bad steps, ms.
+    pub sdc_recompute_ms: f64,
+    /// Completions whose output an undetected SDC corrupted.
+    pub corrupted_completions: usize,
+    /// Requests still in flight when the run terminated (step cap or an
+    /// unrepairable outage).
+    pub unfinished: usize,
+}
+
+impl Default for FaultStats {
+    fn default() -> Self {
+        Self {
+            crash_events: 0,
+            jobs_lost_to_crashes: 0,
+            retries: 0,
+            rejected: 0,
+            hedges_spawned: 0,
+            hedge_wins: 0,
+            plane_flap_events: 0,
+            degraded_steps: 0,
+            min_bandwidth_retention: 1.0,
+            straggler_events: 0,
+            straggler_steps: 0,
+            sdc_events: 0,
+            sdc_detected: 0,
+            sdc_recompute_ms: 0.0,
+            corrupted_completions: 0,
+            unfinished: 0,
+        }
+    }
+}
+
+/// Output of [`run_with_faults`]: the serving report plus fault counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyServingReport {
+    /// The usual serving metrics (identical to [`run`]'s under an empty
+    /// plan).
+    pub serving: ServingReport,
+    /// What the fault layer did.
+    pub faults: FaultStats,
+}
+
 /// A request flowing through the engine, with its resume state.
 #[derive(Debug, Clone)]
 struct Job {
     req: Request,
+    /// 0 = original, 1 = hedge clone.
+    clone_tag: u8,
     /// KV tokens this job needs on (re-)admission.
     resident_tokens: usize,
     /// Output tokens decoded so far (survives preemption).
@@ -182,11 +266,22 @@ impl Job {
         let resident = req.prompt_tokens;
         Self {
             req,
+            clone_tag: 0,
             resident_tokens: resident,
             generated: 0,
             first_token_ms: None,
             ready_ms: f64::INFINITY,
         }
+    }
+
+    /// KV-cache key: clones of one request need distinct cache entries.
+    fn cache_id(&self) -> u64 {
+        self.req.id * 2 + u64::from(self.clone_tag)
+    }
+
+    /// Bookkeeping index of this job's request.
+    fn rid(&self) -> usize {
+        self.req.id as usize
     }
 }
 
@@ -199,7 +294,126 @@ enum Prefill {
     Unified { backlog: VecDeque<(Job, f64)>, rate: f64 },
 }
 
+/// Hand a job (fresh arrival or crash requeue) to the prefill stage.
+/// `at_ms` is when it enters the station — the true arrival time for new
+/// requests, the retry-release time for requeues — and `tokens` is the
+/// context to prefill.
+fn enqueue_prefill(
+    prefill: &mut Prefill,
+    ready: &mut VecDeque<Job>,
+    mut job: Job,
+    at_ms: f64,
+    tokens: f64,
+) {
+    match prefill {
+        Prefill::Disaggregated { station_free_ms, rate } => {
+            let start = at_ms.max(*station_free_ms);
+            let done = start + tokens / *rate;
+            *station_free_ms = done;
+            job.ready_ms = done;
+            ready.push_back(job);
+        }
+        Prefill::Unified { backlog, .. } => {
+            backlog.push_back((job, tokens));
+        }
+    }
+}
+
+/// Live fault state: which resources are down right now, plus the
+/// consequences queued for the engine to apply at the next step boundary.
+struct FaultState {
+    replicas: usize,
+    planes: usize,
+    /// Refcounted outage sets (overlapping faults of one resource stack).
+    replica_down: BTreeMap<usize, u32>,
+    plane_down: BTreeMap<usize, u32>,
+    /// Active straggler episodes by event seq; the worst one gates steps.
+    stragglers: BTreeMap<usize, f64>,
+    /// Crashes since the engine last drained them (replica ids).
+    pending_crashes: Vec<usize>,
+    /// SDC strikes since the engine last drained them (detected flags).
+    pending_sdc: Vec<bool>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn new(plan: &FaultPlan) -> Self {
+        Self {
+            replicas: plan.replicas,
+            planes: plan.planes,
+            replica_down: BTreeMap::new(),
+            plane_down: BTreeMap::new(),
+            stragglers: BTreeMap::new(),
+            pending_crashes: Vec::new(),
+            pending_sdc: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn healthy_replicas(&self) -> usize {
+        self.replicas - self.replica_down.len()
+    }
+
+    fn slowdown(&self) -> f64 {
+        self.stragglers.values().fold(1.0, |a, &b| a.max(b))
+    }
+}
+
+impl Injectable for FaultState {
+    fn inject(&mut self, seq: usize, event: &FaultEvent) {
+        match event.kind {
+            FaultKind::ReplicaCrash { replica, .. } => {
+                *self.replica_down.entry(replica).or_insert(0) += 1;
+                self.pending_crashes.push(replica);
+                self.stats.crash_events += 1;
+            }
+            FaultKind::PlaneFlap { plane, .. } => {
+                *self.plane_down.entry(plane).or_insert(0) += 1;
+                self.stats.plane_flap_events += 1;
+            }
+            FaultKind::Straggler { slowdown, .. } => {
+                self.stragglers.insert(seq, slowdown);
+                self.stats.straggler_events += 1;
+            }
+            FaultKind::Sdc { detected } => {
+                self.pending_sdc.push(detected);
+                self.stats.sdc_events += 1;
+                if detected {
+                    self.stats.sdc_detected += 1;
+                }
+            }
+        }
+    }
+
+    fn heal(&mut self, seq: usize, event: &FaultEvent) {
+        match event.kind {
+            FaultKind::ReplicaCrash { replica, .. } => {
+                if let Some(c) = self.replica_down.get_mut(&replica) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.replica_down.remove(&replica);
+                    }
+                }
+            }
+            FaultKind::PlaneFlap { plane, .. } => {
+                if let Some(c) = self.plane_down.get_mut(&plane) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.plane_down.remove(&plane);
+                    }
+                }
+            }
+            FaultKind::Straggler { .. } => {
+                self.stragglers.remove(&seq);
+            }
+            FaultKind::Sdc { .. } => {}
+        }
+    }
+}
+
 /// Run the simulation to completion (or the step cap) and report.
+///
+/// Equivalent to [`run_with_faults`] with an empty plan — byte-for-byte.
 ///
 /// # Panics
 ///
@@ -207,6 +421,33 @@ enum Prefill {
 /// rate) — the same contract as the underlying analytical models.
 #[must_use]
 pub fn run(cfg: &ServingSimConfig) -> ServingReport {
+    run_with_faults(cfg, &FaultPlan::healthy(), &RecoveryPolicy::default()).serving
+}
+
+/// Run the simulation under a deterministic fault timeline.
+///
+/// Recovery follows `policy`: a crash evicts the replica's in-flight jobs
+/// (their KV is lost), each victim re-prefills its full accumulated
+/// context after an exponential-backoff delay, a request is rejected once
+/// it has crashed more than `max_retries` times, and (optionally) the
+/// first crash of a request spawns a hedge clone — first copy to finish
+/// wins, the loser is cancelled wherever it happens to be. Plane flaps
+/// re-evaluate the speed limit at the degraded bandwidth retention;
+/// stragglers gate steps by their slowdown; detected SDC strikes pay a
+/// recompute, undetected ones corrupt the youngest active request's
+/// output (completions still count, goodput does not).
+///
+/// # Panics
+///
+/// Panics on degenerate configs or an invalid `plan`
+/// (see [`FaultPlan::validate`]).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_with_faults(
+    cfg: &ServingSimConfig,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> FaultyServingReport {
     assert!(cfg.engine.max_batch > 0, "batch cap must be positive");
     assert!(cfg.engine.prefill_tokens_per_ms > 0.0, "prefill rate must be positive");
 
@@ -218,6 +459,9 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
     // Independent stream from the workload's so adding MTP never perturbs
     // the generated requests.
     let mut rng = StdRng::seed_from_u64(cfg.workload.seed ^ 0x6d74_7000);
+
+    let mut driver = FaultDriver::new(plan);
+    let mut fstate = FaultState::new(plan);
 
     let mut prefill = match cfg.router {
         RouterPolicy::Unified => Prefill::Unified {
@@ -233,7 +477,21 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
 
     let mut ready: VecDeque<Job> = VecDeque::new();
     let mut active: Vec<Job> = Vec::new();
+    // Crash victims waiting out their backoff: (release_ms, seq, job),
+    // kept sorted so releases are deterministic.
+    let mut delayed: Vec<(f64, u64, Job)> = Vec::new();
+    let mut delayed_seq = 0u64;
     let mut clock_ms = 0.0f64;
+
+    // Per-request bookkeeping (indexed by request id). `live` counts
+    // clones anywhere in the system; `done` flips exactly once, when the
+    // request completes, drops, or is rejected.
+    let mut done = vec![false; total_requests];
+    let mut live = vec![0u8; total_requests];
+    let mut hedged = vec![false; total_requests];
+    let mut crash_count = vec![0u32; total_requests];
+    let mut corrupted = vec![false; total_requests];
+    let mut ttft_recorded = vec![false; total_requests];
 
     let mut completed = 0usize;
     let mut dropped = 0usize;
@@ -247,40 +505,101 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
     let mut qdepth_samples = Vec::new();
     let mut kvutil_samples = Vec::new();
 
-    while completed + dropped < total_requests && steps < cfg.engine.max_steps {
-        // Hand arrived requests to the prefill stage.
-        while arrivals.peek().is_some_and(|r| r.arrival_ms <= clock_ms) {
-            let req = arrivals.next().expect("peeked");
-            let job = Job::new(req);
-            match &mut prefill {
-                Prefill::Disaggregated { station_free_ms, rate } => {
-                    let start = job.req.arrival_ms.max(*station_free_ms);
-                    let done = start + job.req.prompt_tokens as f64 / *rate;
-                    *station_free_ms = done;
-                    let mut job = job;
-                    job.ready_ms = done;
-                    ready.push_back(job);
+    while completed + dropped + fstate.stats.rejected < total_requests
+        && steps < cfg.engine.max_steps
+    {
+        // Deliver fault events due by now, then apply crash consequences:
+        // every job on a crashed replica (position i runs on replica
+        // i mod R) loses its KV and is requeued, rejected, or hedged.
+        driver.poll(clock_ms, &mut fstate);
+        for replica in std::mem::take(&mut fstate.pending_crashes) {
+            let mut i = active.len();
+            while i > 0 {
+                i -= 1;
+                if i % fstate.replicas != replica {
+                    continue;
                 }
-                Prefill::Unified { backlog, .. } => {
-                    let tokens = job.req.prompt_tokens as f64;
-                    backlog.push_back((job, tokens));
+                let mut victim = active.remove(i);
+                let held = kv.release(victim.cache_id()).expect("active jobs hold cache");
+                victim.resident_tokens = held;
+                let id = victim.rid();
+                let req = victim.req.clone();
+                fstate.stats.jobs_lost_to_crashes += 1;
+                crash_count[id] += 1;
+                if crash_count[id] > policy.max_retries {
+                    live[id] -= 1;
+                    if live[id] == 0 && !done[id] {
+                        done[id] = true;
+                        fstate.stats.rejected += 1;
+                    }
+                } else {
+                    fstate.stats.retries += 1;
+                    let at = clock_ms + policy.backoff.delay_ms(crash_count[id]);
+                    victim.ready_ms = f64::INFINITY;
+                    let pos = delayed
+                        .partition_point(|(t, s, _)| *t < at || (*t == at && *s < delayed_seq));
+                    delayed.insert(pos, (at, delayed_seq, victim));
+                    delayed_seq += 1;
+                }
+                if policy.hedge && !hedged[id] && !done[id] {
+                    hedged[id] = true;
+                    live[id] += 1;
+                    fstate.stats.hedges_spawned += 1;
+                    let mut clone = Job::new(req);
+                    clone.clone_tag = 1;
+                    let tokens = clone.req.prompt_tokens as f64;
+                    enqueue_prefill(&mut prefill, &mut ready, clone, clock_ms, tokens);
                 }
             }
         }
 
-        // Admit ready jobs FIFO while the batch and the cache have room.
-        while active.len() < cfg.engine.max_batch {
+        // Release crash victims whose backoff has elapsed: they re-enter
+        // prefill with their full accumulated context.
+        while delayed.first().is_some_and(|(t, _, _)| *t <= clock_ms) {
+            let (_, _, job) = delayed.remove(0);
+            if done[job.rid()] {
+                live[job.rid()] -= 1; // sibling already settled it
+                continue;
+            }
+            let tokens = job.resident_tokens as f64;
+            enqueue_prefill(&mut prefill, &mut ready, job, clock_ms, tokens);
+        }
+
+        // Hand arrived requests to the prefill stage.
+        while arrivals.peek().is_some_and(|r| r.arrival_ms <= clock_ms) {
+            let req = arrivals.next().expect("peeked");
+            live[req.id as usize] = 1;
+            let at = req.arrival_ms;
+            let tokens = req.prompt_tokens as f64;
+            enqueue_prefill(&mut prefill, &mut ready, Job::new(req), at, tokens);
+        }
+
+        // Admit ready jobs FIFO while the batch and the cache have room;
+        // crashed replicas shrink the batch cap proportionally.
+        let healthy = fstate.healthy_replicas();
+        let effective_max_batch = (cfg.engine.max_batch * healthy).div_ceil(fstate.replicas);
+        while active.len() < effective_max_batch {
             let Some(front) = ready.front() else { break };
+            if done[front.rid()] {
+                // A sibling clone already settled this request: cancel.
+                let job = ready.pop_front().expect("checked");
+                live[job.rid()] -= 1;
+                continue;
+            }
             if front.ready_ms > clock_ms {
                 break;
             }
             if front.resident_tokens + 1 > kv.capacity_tokens() {
                 // Could never hold this context even alone: infeasible.
-                ready.pop_front();
-                dropped += 1;
+                let job = ready.pop_front().expect("checked");
+                live[job.rid()] -= 1;
+                if live[job.rid()] == 0 {
+                    done[job.rid()] = true;
+                    dropped += 1;
+                }
                 continue;
             }
-            match kv.admit(front.req.id, front.resident_tokens) {
+            match kv.admit(front.cache_id(), front.resident_tokens) {
                 Ok(()) => active.push(ready.pop_front().expect("checked")),
                 Err(CacheError::OutOfMemory { .. }) => break,
                 Err(e) => unreachable!("admission invariant: {e}"),
@@ -293,8 +612,18 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
             if let Some(r) = arrivals.peek() {
                 next = next.min(r.arrival_ms);
             }
-            if let Some(front) = ready.front() {
-                next = next.min(front.ready_ms);
+            if healthy > 0 {
+                // With every replica down, a ready job is not an event:
+                // nothing can admit it until a repair (below) lands.
+                if let Some(front) = ready.front() {
+                    next = next.min(front.ready_ms);
+                }
+            }
+            if let Some(&(t, _, _)) = delayed.first() {
+                next = next.min(t);
+            }
+            if let Some(t) = driver.next_wake_ms() {
+                next = next.min(t);
             }
             if let Prefill::Unified { backlog, rate } = &prefill {
                 if let Some((_, remaining)) = backlog.front() {
@@ -331,9 +660,33 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
         steps += 1;
         let mut speed = cfg.engine.speed;
         speed.tokens_per_device = active.len();
+        if !fstate.plane_down.is_empty() {
+            // Flapped planes shrink scale-out bandwidth; the step runs at
+            // the degraded speed limit (§5.1.1 retention).
+            let retention = bandwidth_retention(fstate.planes, fstate.plane_down.len());
+            speed.bandwidth_bytes_per_s *= retention;
+            fstate.stats.degraded_steps += 1;
+            fstate.stats.min_bandwidth_retention =
+                fstate.stats.min_bandwidth_retention.min(retention);
+        }
         let mut dt = speed.evaluate().tpot_ms * decode_slowdown;
         if let Some(mtp) = &cfg.engine.mtp {
             dt *= 1.0 + mtp.step_overhead;
+        }
+        let straggle = fstate.slowdown();
+        if straggle > 1.0 {
+            dt *= straggle;
+            fstate.stats.straggler_steps += 1;
+        }
+        for detected in std::mem::take(&mut fstate.pending_sdc) {
+            if detected {
+                // Checksum audit caught it: redo the step (§6.1).
+                fstate.stats.sdc_recompute_ms += dt;
+                dt += dt;
+            } else if let Some(last) = active.last() {
+                // Silent: the youngest request's output is now wrong.
+                corrupted[last.rid()] = true;
+            }
         }
         if let Prefill::Unified { backlog, rate } = &mut prefill {
             // Calibrated to disagg::unified_tpot: half the outstanding
@@ -359,6 +712,13 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
         // Drain tokens into each active request, oldest first.
         let mut idx = 0;
         while idx < active.len() {
+            if done[active[idx].rid()] {
+                // A sibling clone finished first: cancel this one.
+                let job = active.remove(idx);
+                let _ = kv.release(job.cache_id());
+                live[job.rid()] -= 1;
+                continue;
+            }
             let want = match &cfg.engine.mtp {
                 None => 1,
                 Some(mtp) => {
@@ -375,7 +735,7 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
                     k
                 }
             };
-            let id = active[idx].req.id;
+            let id = active[idx].cache_id();
             let need = (active[idx].req.output_tokens - active[idx].generated).min(want);
             let mut emitted = 0;
             let mut dropped_self = false;
@@ -388,7 +748,7 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
                             // queue head; it re-admits with its full
                             // accumulated context.
                             let mut victim = active.pop().expect("len > idx + 1");
-                            let held = kv.release(victim.req.id).expect("victim was admitted");
+                            let held = kv.release(victim.cache_id()).expect("victim was admitted");
                             victim.resident_tokens = held;
                             victim.ready_ms = clock_ms;
                             ready.push_front(victim);
@@ -397,8 +757,12 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
                             // Alone and still out of memory: this context
                             // can never finish. Drop it.
                             let job = active.remove(idx);
-                            let _ = kv.release(job.req.id);
-                            dropped += 1;
+                            let _ = kv.release(job.cache_id());
+                            live[job.rid()] -= 1;
+                            if live[job.rid()] == 0 {
+                                done[job.rid()] = true;
+                                dropped += 1;
+                            }
                             dropped_self = true;
                             break;
                         } else {
@@ -419,12 +783,24 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
                 active[idx].generated += emitted;
                 if active[idx].first_token_ms.is_none() {
                     active[idx].first_token_ms = Some(clock_ms);
-                    ttft_samples.push(clock_ms - active[idx].req.arrival_ms);
+                    if !ttft_recorded[active[idx].rid()] {
+                        ttft_recorded[active[idx].rid()] = true;
+                        ttft_samples.push(clock_ms - active[idx].req.arrival_ms);
+                    }
                 }
             }
             if active[idx].generated >= active[idx].req.output_tokens {
                 let job = active.remove(idx);
-                let _ = kv.release(job.req.id);
+                let _ = kv.release(job.cache_id());
+                live[job.rid()] -= 1;
+                done[job.rid()] = true;
+                if job.clone_tag == 1 {
+                    fstate.stats.hedge_wins += 1;
+                }
+                let is_corrupt = corrupted[job.rid()];
+                if is_corrupt {
+                    fstate.stats.corrupted_completions += 1;
+                }
                 let first = job.first_token_ms.expect("completed implies first token");
                 let ttft = first - job.req.arrival_ms;
                 let e2e = clock_ms - job.req.arrival_ms;
@@ -436,7 +812,7 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
                     0.0
                 };
                 e2e_samples.push(e2e);
-                if ttft <= cfg.slo.ttft_ms && tpot <= cfg.slo.tpot_ms {
+                if ttft <= cfg.slo.ttft_ms && tpot <= cfg.slo.tpot_ms && !is_corrupt {
                     good += 1;
                 }
                 completed += 1;
@@ -449,8 +825,10 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
         kvutil_samples.push(kv.utilization());
     }
 
+    let mut stats = fstate.stats;
+    stats.unfinished = total_requests - completed - dropped - stats.rejected;
     let sim_s = (clock_ms / 1000.0).max(f64::MIN_POSITIVE);
-    ServingReport {
+    let serving = ServingReport {
         requests: total_requests,
         completed,
         dropped,
@@ -465,7 +843,8 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
         throughput_tokens_per_s: tokens_emitted as f64 / sim_s,
         goodput_rps: good as f64 / sim_s,
         slo_attainment: good as f64 / total_requests.max(1) as f64,
-    }
+    };
+    FaultyServingReport { serving, faults: stats }
 }
 
 #[cfg(test)]
@@ -478,6 +857,13 @@ mod tests {
             requests,
             router,
         )
+    }
+
+    fn crash(at_ms: f64, replica: usize, repair_ms: f64) -> dsv3_faults::FaultEvent {
+        dsv3_faults::FaultEvent {
+            at_ms,
+            kind: dsv3_faults::FaultKind::ReplicaCrash { replica, repair_ms },
+        }
     }
 
     #[test]
@@ -558,5 +944,160 @@ mod tests {
         let report = run(&cfg);
         assert!(report.decode_steps <= 200);
         assert!(report.completed < 2000);
+    }
+
+    #[test]
+    fn empty_plan_is_byte_identical_to_healthy_run() {
+        for router in
+            [RouterPolicy::Unified, RouterPolicy::Disaggregated { prefill_fraction: 0.25 }]
+        {
+            let mut cfg = poisson_cfg(12.0, 300, router);
+            cfg.engine.mtp = Some(MtpSpec { modules: 1, acceptance: 0.8, step_overhead: 0.03 });
+            let healthy = run(&cfg);
+            let faulty = run_with_faults(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::hedged());
+            assert_eq!(
+                serde_json::to_string(&healthy).unwrap(),
+                serde_json::to_string(&faulty.serving).unwrap(),
+                "empty plan must be a byte-for-byte no-op"
+            );
+            assert_eq!(faulty.faults.crash_events, 0);
+            assert_eq!(faulty.faults.hedges_spawned, 0);
+        }
+    }
+
+    #[test]
+    fn crashes_requeue_and_still_complete_everything() {
+        let cfg = poisson_cfg(8.0, 200, RouterPolicy::Unified);
+        let plan = FaultPlan {
+            replicas: 4,
+            planes: 8,
+            events: vec![crash(2_000.0, 1, 3_000.0), crash(9_000.0, 2, 3_000.0)],
+        };
+        let r = run_with_faults(&cfg, &plan, &RecoveryPolicy::default());
+        assert_eq!(r.faults.crash_events, 2);
+        assert!(r.faults.jobs_lost_to_crashes > 0, "crashes must hit in-flight work");
+        assert_eq!(r.faults.retries, r.faults.jobs_lost_to_crashes);
+        assert_eq!(r.faults.rejected, 0);
+        assert_eq!(r.faults.unfinished, 0);
+        assert_eq!(r.serving.completed + r.serving.dropped, 200, "no request lost");
+        let healthy = run(&cfg);
+        assert!(
+            r.serving.e2e_ms.max >= healthy.e2e_ms.max,
+            "re-prefill after a crash cannot shorten the tail"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let cfg = poisson_cfg(10.0, 250, RouterPolicy::Unified);
+        let plan = FaultPlan::generate(&dsv3_faults::FaultPlanConfig {
+            seed: 11,
+            horizon_ms: 30_000.0,
+            crash_mtbf_ms: 8_000.0,
+            flap_mtbf_ms: 10_000.0,
+            straggler_mtbf_ms: 12_000.0,
+            sdc_mtbf_ms: 15_000.0,
+            ..dsv3_faults::FaultPlanConfig::default()
+        });
+        let a = run_with_faults(&cfg, &plan, &RecoveryPolicy::hedged());
+        let b = run_with_faults(&cfg, &plan, &RecoveryPolicy::hedged());
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_rejects() {
+        let cfg = poisson_cfg(8.0, 60, RouterPolicy::Unified);
+        // One replica, hammered: every active job dies on each crash.
+        let events = (1..=40).map(|i| crash(500.0 * i as f64, 0, 100.0)).collect();
+        let plan = FaultPlan { replicas: 1, planes: 8, events };
+        let policy = RecoveryPolicy { max_retries: 1, ..RecoveryPolicy::default() };
+        let r = run_with_faults(&cfg, &plan, &policy);
+        assert!(r.faults.rejected > 0, "retry budget must bite: {:?}", r.faults);
+        assert_eq!(
+            r.serving.completed + r.serving.dropped + r.faults.rejected + r.faults.unfinished,
+            60,
+            "conservation"
+        );
+    }
+
+    #[test]
+    fn hedging_spawns_clones_and_can_win() {
+        let cfg = poisson_cfg(8.0, 150, RouterPolicy::Unified);
+        let events = (1..=10).map(|i| crash(1_500.0 * i as f64, 0, 2_000.0)).collect();
+        let plan = FaultPlan { replicas: 2, planes: 8, events };
+        let r = run_with_faults(&cfg, &plan, &RecoveryPolicy::hedged());
+        assert!(r.faults.hedges_spawned > 0);
+        assert!(r.faults.hedge_wins <= r.faults.hedges_spawned);
+        assert_eq!(r.faults.unfinished, 0);
+        assert_eq!(r.serving.completed + r.serving.dropped + r.faults.rejected, 150);
+    }
+
+    #[test]
+    fn plane_flaps_slow_decode_steps() {
+        let cfg = poisson_cfg(10.0, 200, RouterPolicy::Unified);
+        let plan = FaultPlan {
+            replicas: 1,
+            planes: 8,
+            events: vec![
+                FaultEvent {
+                    at_ms: 1_000.0,
+                    kind: FaultKind::PlaneFlap { plane: 2, repair_ms: 15_000.0 },
+                },
+                FaultEvent {
+                    at_ms: 3_000.0,
+                    kind: FaultKind::PlaneFlap { plane: 5, repair_ms: 15_000.0 },
+                },
+            ],
+        };
+        let r = run_with_faults(&cfg, &plan, &RecoveryPolicy::default());
+        assert_eq!(r.faults.plane_flap_events, 2);
+        assert!(r.faults.degraded_steps > 0);
+        assert!((r.faults.min_bandwidth_retention - 6.0 / 8.0).abs() < 1e-12);
+        let healthy = run(&cfg);
+        assert!(
+            r.serving.sim_duration_ms > healthy.sim_duration_ms,
+            "degraded bandwidth must stretch the run: {} vs {}",
+            r.serving.sim_duration_ms,
+            healthy.sim_duration_ms
+        );
+    }
+
+    #[test]
+    fn stragglers_and_sdc_are_accounted() {
+        let cfg = poisson_cfg(10.0, 150, RouterPolicy::Unified);
+        let plan = FaultPlan {
+            replicas: 1,
+            planes: 8,
+            events: vec![
+                FaultEvent {
+                    at_ms: 1_000.0,
+                    kind: FaultKind::Straggler { slowdown: 2.0, duration_ms: 5_000.0 },
+                },
+                FaultEvent { at_ms: 2_000.0, kind: FaultKind::Sdc { detected: true } },
+                FaultEvent { at_ms: 2_500.0, kind: FaultKind::Sdc { detected: false } },
+            ],
+        };
+        let r = run_with_faults(&cfg, &plan, &RecoveryPolicy::default());
+        assert_eq!(r.faults.straggler_events, 1);
+        assert!(r.faults.straggler_steps > 0);
+        assert_eq!(r.faults.sdc_events, 2);
+        assert_eq!(r.faults.sdc_detected, 1);
+        assert!(r.faults.sdc_recompute_ms > 0.0);
+        assert_eq!(r.faults.corrupted_completions, 1, "the silent strike corrupts one output");
+        assert_eq!(r.serving.completed + r.serving.dropped, 150);
+    }
+
+    #[test]
+    fn unrepaired_total_outage_terminates_with_unfinished() {
+        let cfg = poisson_cfg(10.0, 80, RouterPolicy::Unified);
+        let plan =
+            FaultPlan { replicas: 1, planes: 8, events: vec![crash(1_000.0, 0, f64::INFINITY)] };
+        let policy = RecoveryPolicy { max_retries: 100, ..RecoveryPolicy::default() };
+        let r = run_with_faults(&cfg, &plan, &policy);
+        assert!(r.faults.unfinished > 0, "outage strands the tail: {:?}", r.faults);
+        assert_eq!(
+            r.serving.completed + r.serving.dropped + r.faults.rejected + r.faults.unfinished,
+            80
+        );
     }
 }

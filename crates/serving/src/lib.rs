@@ -13,6 +13,11 @@
 //! step times (§2.3.2), KV-cache admission/preemption, and optional MTP
 //! speculative decoding (§2.3.3) → [`metrics`] summarizes.
 //!
+//! Faults: [`engine::run_with_faults`] drives the same engine under a
+//! deterministic `dsv3_faults::FaultPlan` (replica crashes, plane flaps,
+//! stragglers, SDC) with recovery policies — an empty plan reproduces
+//! [`run`]'s report byte-for-byte.
+//!
 //! ```
 //! use dsv3_serving::{run, ArrivalProcess, RouterPolicy, ServingSimConfig};
 //!
@@ -31,7 +36,10 @@ pub mod metrics;
 pub mod router;
 pub mod workload;
 
-pub use engine::{run, EngineConfig, MtpSpec, ServingReport, ServingSimConfig, SloConfig};
+pub use engine::{
+    run, run_with_faults, EngineConfig, FaultStats, FaultyServingReport, MtpSpec, ServingReport,
+    ServingSimConfig, SloConfig,
+};
 pub use metrics::{percentile, Summary};
 pub use router::RouterPolicy;
 pub use workload::{ArrivalProcess, LengthDistribution, Request, WorkloadConfig};

@@ -1,0 +1,101 @@
+//! Property-based tests for the serving engine under seeded fault
+//! schedules (the ISSUE's conservation invariant): no request is ever
+//! lost or double-completed, whatever the fault plan throws at the run.
+
+use dsv3_faults::{FaultPlan, FaultPlanConfig, RecoveryPolicy};
+use dsv3_serving::{run, run_with_faults, ArrivalProcess, RouterPolicy, ServingSimConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Request conservation: every submitted request ends in exactly one
+    /// terminal bucket — completed, dropped-as-infeasible, rejected after
+    /// exhausting retries, or still in flight at termination. Holds for
+    /// arbitrary seeded fault mixes, workload seeds, and both recovery
+    /// policies; nothing is lost and nothing is double-counted.
+    #[test]
+    fn no_request_lost_or_double_completed(
+        plan_seed in 0u64..1_000,
+        workload_seed in 0u64..1_000,
+        rate in 4.0f64..20.0,
+        crash_mtbf_s in 2.0f64..40.0,
+        flap_mtbf_s in 5.0f64..60.0,
+        straggler_mtbf_s in 5.0f64..60.0,
+        sdc_mtbf_s in 5.0f64..60.0,
+        repair_s in 0.5f64..10.0,
+        hedge in 0u8..2,
+    ) {
+        let mut cfg = ServingSimConfig::h800_baseline(
+            ArrivalProcess::Poisson { rate_per_s: rate },
+            120,
+            RouterPolicy::Unified,
+        );
+        cfg.workload.seed = workload_seed;
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            seed: plan_seed,
+            horizon_ms: 45_000.0,
+            replicas: 4,
+            planes: 8,
+            crash_mtbf_ms: crash_mtbf_s * 1_000.0,
+            crash_repair_ms: repair_s * 1_000.0,
+            flap_mtbf_ms: flap_mtbf_s * 1_000.0,
+            flap_repair_ms: repair_s * 1_000.0,
+            straggler_mtbf_ms: straggler_mtbf_s * 1_000.0,
+            sdc_mtbf_ms: sdc_mtbf_s * 1_000.0,
+            ..FaultPlanConfig::default()
+        });
+        let policy =
+            if hedge == 1 { RecoveryPolicy::hedged() } else { RecoveryPolicy::default() };
+        let r = run_with_faults(&cfg, &plan, &policy);
+
+        // completed + rejected + in-flight (+ infeasible drops) == submitted.
+        prop_assert_eq!(
+            r.serving.completed + r.serving.dropped + r.faults.rejected
+                + r.faults.unfinished,
+            r.serving.requests,
+            "conservation violated: {:?} / {:?}",
+            r.serving,
+            r.faults
+        );
+        // No double-completion: completions can never exceed submissions,
+        // and hedge wins are a subset of completions.
+        prop_assert!(r.serving.completed <= r.serving.requests);
+        prop_assert!(r.faults.hedge_wins <= r.serving.completed);
+        prop_assert!(r.faults.corrupted_completions <= r.serving.completed);
+        // Every retry traces back to a crash-evicted job.
+        prop_assert!(r.faults.retries <= r.faults.jobs_lost_to_crashes);
+        // Determinism: the same seeds reproduce the same report.
+        let again = run_with_faults(&cfg, &plan, &policy);
+        prop_assert_eq!(&again, &r);
+    }
+
+    /// The empty plan is inert for any workload: `run_with_faults` with
+    /// `FaultPlan::healthy()` must reproduce the plain `run` report
+    /// exactly, fault counters all zero.
+    #[test]
+    fn empty_plan_is_transparent(
+        workload_seed in 0u64..1_000,
+        rate in 4.0f64..20.0,
+        disaggregated in 0u8..2,
+    ) {
+        let router = if disaggregated == 1 {
+            RouterPolicy::Disaggregated { prefill_fraction: 0.4 }
+        } else {
+            RouterPolicy::Unified
+        };
+        let mut cfg = ServingSimConfig::h800_baseline(
+            ArrivalProcess::Poisson { rate_per_s: rate },
+            80,
+            router,
+        );
+        cfg.workload.seed = workload_seed;
+        let healthy = run(&cfg);
+        let faulty = run_with_faults(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::hedged());
+        prop_assert_eq!(&faulty.serving, &healthy);
+        prop_assert_eq!(faulty.faults.crash_events, 0);
+        prop_assert_eq!(faulty.faults.retries, 0);
+        prop_assert_eq!(faulty.faults.unfinished, 0);
+        prop_assert!((faulty.faults.min_bandwidth_retention - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fault-plan sweep: dial the crash rate up and watch serving degrade
+//! gracefully — and the Young/Daly checkpoint math track MTBF.
+//!
+//! Two sweeps:
+//! 1. **Serving**: the same Poisson workload under fault plans whose
+//!    crash MTBF shrinks from "never" to every 2 seconds, with and
+//!    without hedging. Completion stays high (degradation, not
+//!    disconnection) while SLO attainment pays for every re-prefill.
+//! 2. **Training**: MTBF from 30 min to 48 h; the optimal checkpoint
+//!    interval and the simulated-vs-analytic goodput at each point.
+//!
+//! ```sh
+//! cargo run --release --example fault_plan_sweep
+//! ```
+
+use dsv3_core::faults::{simulate_goodput, FaultPlan, FaultPlanConfig, RecoveryPolicy};
+use dsv3_core::model::availability::AvailabilityModel;
+use dsv3_core::serving::{run_with_faults, ArrivalProcess, RouterPolicy, ServingSimConfig};
+
+fn main() {
+    let cfg = ServingSimConfig::h800_baseline(
+        ArrivalProcess::Poisson { rate_per_s: 10.0 },
+        400,
+        RouterPolicy::Unified,
+    );
+
+    println!("Crash-rate sweep (400 requests, 4 replicas, 4 s repairs, seed 1):\n");
+    println!(
+        "{:>10}  {:>7} {:>7} {:>8} {:>8}  {:>9} | {:>9} {:>7}",
+        "crash MTBF", "crashes", "lost", "complete", "rejected", "attain", "+hedging", "wins"
+    );
+    for mtbf_ms in [f64::INFINITY, 30_000.0, 15_000.0, 8_000.0, 4_000.0, 2_000.0] {
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            seed: 1,
+            horizon_ms: 60_000.0,
+            replicas: 4,
+            planes: 8,
+            crash_mtbf_ms: mtbf_ms,
+            crash_repair_ms: 4_000.0,
+            ..FaultPlanConfig::default()
+        });
+        let plain = run_with_faults(&cfg, &plan, &RecoveryPolicy::default());
+        let hedged = run_with_faults(&cfg, &plan, &RecoveryPolicy::hedged());
+        let label = if mtbf_ms.is_finite() {
+            format!("{:.0} s", mtbf_ms / 1000.0)
+        } else {
+            "never".to_string()
+        };
+        println!(
+            "{label:>10}  {:>7} {:>7} {:>8} {:>8}  {:>8.1}% | {:>8.1}% {:>7}",
+            plain.faults.crash_events,
+            plain.faults.jobs_lost_to_crashes,
+            plain.serving.completed,
+            plain.faults.rejected,
+            plain.serving.slo_attainment * 100.0,
+            hedged.serving.slo_attainment * 100.0,
+            hedged.faults.hedge_wins,
+        );
+    }
+
+    println!("\nCheckpoint/restart sweep (60 s checkpoint writes, 180 s restarts):\n");
+    println!(
+        "{:>8}  {:>8}  {:>10} {:>10} {:>9}",
+        "MTBF", "τ* (Y/D)", "analytic", "simulated", "rel err"
+    );
+    for mtbf_h in [0.5, 1.0, 3.0, 6.0, 12.0, 24.0, 48.0] {
+        let av = AvailabilityModel {
+            mtbf_s: mtbf_h * 3_600.0,
+            checkpoint_write_s: 60.0,
+            restart_s: 180.0,
+        };
+        let tau = av.young_daly_interval_s();
+        let horizon_s = av.mtbf_s * 1_000.0;
+        let timeline = FaultPlan::generate(&FaultPlanConfig {
+            seed: 9,
+            horizon_ms: horizon_s * 4.0 * 1_000.0,
+            replicas: 1,
+            planes: 1,
+            crash_mtbf_ms: av.mtbf_s * 1_000.0,
+            crash_repair_ms: 0.0,
+            ..FaultPlanConfig::default()
+        });
+        let g = simulate_goodput(&av, tau, &timeline.crash_times_s(), horizon_s);
+        println!(
+            "{mtbf_h:>7.1}h  {tau:>7.0}s  {:>9.2}% {:>9.2}% {:>8.2}%",
+            g.analytic_goodput * 100.0,
+            g.goodput * 100.0,
+            (g.goodput - g.analytic_goodput).abs() / g.analytic_goodput * 100.0
+        );
+    }
+    println!("\nShorter MTBF pulls the optimal interval down (τ* = sqrt(2·C·MTBF))");
+    println!("and goodput with it; the seeded simulation tracks the analytic curve.");
+}

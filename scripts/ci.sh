@@ -16,6 +16,9 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> examples build"
+cargo build --release --offline --examples
+
 echo "==> full workspace tests"
 cargo test -q --workspace --offline
 

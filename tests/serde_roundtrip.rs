@@ -84,6 +84,69 @@ fn serving_types_roundtrip() {
 }
 
 #[test]
+fn fault_types_roundtrip() {
+    use dsv3_core::collectives::failures::{FlapSchedule, PlaneFlap};
+    use dsv3_core::faults::{
+        simulate_goodput, Backoff, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig,
+        RecoveryPolicy,
+    };
+    use dsv3_core::model::availability::AvailabilityModel;
+    use dsv3_core::serving::{run_with_faults, ArrivalProcess, RouterPolicy, ServingSimConfig};
+
+    // Plans: empty, generated, and every event-kind variant explicitly.
+    roundtrip(&FaultPlan::healthy());
+    let cfg = FaultPlanConfig {
+        seed: 11,
+        horizon_ms: 30_000.0,
+        crash_mtbf_ms: 8_000.0,
+        flap_mtbf_ms: 10_000.0,
+        straggler_mtbf_ms: 12_000.0,
+        sdc_mtbf_ms: 15_000.0,
+        ..FaultPlanConfig::default()
+    };
+    roundtrip(&cfg);
+    roundtrip(&FaultPlan::generate(&cfg));
+    for kind in [
+        FaultKind::ReplicaCrash { replica: 2, repair_ms: 4_000.0 },
+        FaultKind::PlaneFlap { plane: 5, repair_ms: 2_500.0 },
+        FaultKind::Straggler { slowdown: 1.8, duration_ms: 3_000.0 },
+        FaultKind::Sdc { detected: false },
+    ] {
+        roundtrip(&FaultEvent { at_ms: 123.5, kind });
+    }
+
+    // Recovery and availability knobs.
+    roundtrip(&Backoff::default());
+    roundtrip(&RecoveryPolicy::hedged());
+    let av = AvailabilityModel { mtbf_s: 3_600.0, checkpoint_write_s: 60.0, restart_s: 180.0 };
+    roundtrip(&av);
+    roundtrip(&simulate_goodput(&av, av.young_daly_interval_s(), &[500.0, 4_000.0], 10_000.0));
+
+    // Flap schedules from collectives::failures.
+    let flap = PlaneFlap { plane: 3, down_at_ms: 100.0, repair_ms: 50.0 };
+    roundtrip(&flap);
+    roundtrip(&FlapSchedule { planes: 8, flaps: vec![flap] });
+
+    // The full fault-aware serving report and the fault_drill rows.
+    let sim = ServingSimConfig::h800_baseline(
+        ArrivalProcess::Poisson { rate_per_s: 10.0 },
+        64,
+        RouterPolicy::Unified,
+    );
+    let plan = FaultPlan::generate(&FaultPlanConfig {
+        seed: 3,
+        horizon_ms: 20_000.0,
+        crash_mtbf_ms: 6_000.0,
+        crash_repair_ms: 2_000.0,
+        ..FaultPlanConfig::default()
+    });
+    let report = run_with_faults(&sim, &plan, &RecoveryPolicy::hedged());
+    roundtrip(&report.faults);
+    roundtrip(&report);
+    roundtrip(&fault_drill::run());
+}
+
+#[test]
 fn json_is_stable_for_known_values() {
     // A spot-check that field names stay consumer-friendly.
     let rows = table1::run();
