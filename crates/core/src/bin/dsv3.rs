@@ -1,40 +1,163 @@
 //! `dsv3` — command-line driver for every experiment in the reproduction.
 //!
 //! ```sh
-//! dsv3 list                 # enumerate experiments
-//! dsv3 table1               # print one table
-//! dsv3 all                  # print everything
-//! dsv3 table3 --json        # machine-readable rows
+//! dsv3 list                         # enumerate experiments
+//! dsv3 table1                       # print one table
+//! dsv3 all                          # print everything
+//! dsv3 table3 --json                # machine-readable rows
+//! dsv3 serving --trace-out t.json   # Chrome-trace of the simulation
+//! dsv3 serving --metrics-out m.json # counters/gauges/histograms + manifest
+//! dsv3 check-trace t.json           # validate an emitted trace file
 //! ```
 //!
 //! The experiment table itself lives in [`dsv3_core::registry`] so tests
-//! can drive the exact same entry points.
+//! can drive the exact same entry points. Telemetry flags route through
+//! each entry's `instrumented` hook; without them the plain path runs and
+//! output is byte-identical to pre-telemetry builds.
 
 use dsv3_core::registry::{registry, Entry};
+use dsv3_core::telemetry::{validate_chrome_trace, MetricsDocument, Recorder, RunManifest};
 use std::process::ExitCode;
 
 fn usage(entries: &[Entry]) {
     println!("dsv3 — reproduce 'Insights into DeepSeek-V3' (ISCA '25)\n");
-    println!("usage: dsv3 <experiment> [--json] | dsv3 all | dsv3 list\n");
+    println!("usage: dsv3 <experiment> [--json] [--trace-out <path>] [--metrics-out <path>]");
+    println!("       dsv3 all [--json] | dsv3 list | dsv3 check-trace <path>\n");
     println!("experiments:");
     for e in entries {
-        println!("  {:<16} {}", e.name, e.about);
+        let tag = if e.instrumented.is_some() { " [traceable]" } else { "" };
+        println!("  {:<16} {}{}", e.name, e.about, tag);
     }
+}
+
+/// Parsed command line: positional words plus the recognized flags.
+struct Cli {
+    positional: Vec<String>,
+    json: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli { positional: Vec::new(), json: false, trace_out: None, metrics_out: None };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => cli.json = true,
+            "--trace-out" | "--metrics-out" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return Err(format!("{flag} requires a path argument"));
+                };
+                if flag == "--trace-out" {
+                    cli.trace_out = Some(path.clone());
+                } else {
+                    cli.metrics_out = Some(path.clone());
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            word => cli.positional.push(word.to_string()),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn check_trace(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("check-trace: cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_chrome_trace(&json) {
+        Ok(stats) => {
+            println!(
+                "{path}: valid Chrome trace — {} events ({} spans, {} instants, {} counter samples, {} metadata)",
+                stats.events, stats.spans, stats.instants, stats.counters, stats.metadata
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check-trace: '{path}' is not a valid Chrome trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Run one entry with telemetry and honor `--trace-out`/`--metrics-out`.
+fn run_instrumented(e: &Entry, cli: &Cli) -> ExitCode {
+    let mut rec = Recorder::new();
+    let (table, json, seed, config_json) = match e.instrumented {
+        Some(run) => {
+            let r = run(&mut rec);
+            (r.table.to_string(), r.json, r.seed, r.config_json)
+        }
+        None => {
+            eprintln!(
+                "note: '{}' is analytic (no simulation loop); the trace will only carry metadata",
+                e.name
+            );
+            ((e.render)().to_string(), (e.json)(), 0, String::from("null"))
+        }
+    };
+    let manifest = RunManifest::capture(e.name, seed, &config_json, &rec);
+    if let Some(path) = &cli.trace_out {
+        let trace = rec.export_trace().to_json();
+        if let Err(err) = std::fs::write(path, trace) {
+            eprintln!("cannot write trace to '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &cli.metrics_out {
+        let doc = MetricsDocument { manifest: manifest.clone(), metrics: rec.snapshot() };
+        let body = serde_json::to_string_pretty(&doc).expect("metrics document serializes");
+        if let Err(err) = std::fs::write(path, body) {
+            eprintln!("cannot write metrics to '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cli.json {
+        println!("{}", dsv3_core::telemetry::manifest_wrap(&manifest, &json));
+    } else {
+        println!("{table}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let entries = registry();
-    let json = args.iter().any(|a| a == "--json");
-    let cmd = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
-    match cmd {
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n");
+            usage(&entries);
+            return ExitCode::FAILURE;
+        }
+    };
+    let telemetry = cli.trace_out.is_some() || cli.metrics_out.is_some();
+    match cli.positional.first().map(String::as_str) {
         None | Some("list") | Some("help") => {
             usage(&entries);
             ExitCode::SUCCESS
         }
+        Some("check-trace") => match cli.positional.get(1) {
+            Some(path) => check_trace(path),
+            None => {
+                eprintln!("check-trace requires a path argument");
+                ExitCode::FAILURE
+            }
+        },
         Some("all") => {
+            if telemetry {
+                eprintln!("--trace-out/--metrics-out need a single experiment, not 'all'");
+                return ExitCode::FAILURE;
+            }
             for e in &entries {
-                if json {
+                if cli.json {
                     println!("{}", (e.json)());
                 } else {
                     println!("{}", (e.render)());
@@ -46,8 +169,9 @@ fn main() -> ExitCode {
         // use hyphens, but underscores are a natural thing to type.
         Some(name) => {
             match entries.iter().find(|e| e.name.replace('-', "_") == name.replace('-', "_")) {
+                Some(e) if telemetry => run_instrumented(e, &cli),
                 Some(e) => {
-                    if json {
+                    if cli.json {
                         println!("{}", (e.json)());
                     } else {
                         println!("{}", (e.render)());

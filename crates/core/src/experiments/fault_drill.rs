@@ -21,9 +21,10 @@ use crate::report::{fmt, Table};
 use dsv3_faults::{simulate_goodput, FaultPlan, FaultPlanConfig, RecoveryPolicy};
 use dsv3_model::availability::AvailabilityModel;
 use dsv3_serving::{
-    run as simulate, run_with_faults, ArrivalProcess, FaultyServingReport, RouterPolicy,
+    run_with_faults, run_with_faults_traced, ArrivalProcess, FaultyServingReport, RouterPolicy,
     ServingReport, ServingSimConfig,
 };
+use dsv3_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// One MTBF point of the training-availability validation.
@@ -110,18 +111,58 @@ pub fn run() -> FaultDrillReport {
     run_seeded(20_250_805)
 }
 
+/// The drill's default seed.
+#[must_use]
+pub fn seed() -> u64 {
+    20_250_805
+}
+
+/// Serialized configuration of the drill, for the run manifest.
+///
+/// # Panics
+///
+/// Panics if config serialization fails (a workspace bug).
+#[must_use]
+pub fn config_json() -> String {
+    let cfg = serde_json::to_string(&scenario()).expect("serializes");
+    let plan = serde_json::to_string(&plan_config(seed())).expect("serializes");
+    format!("[{cfg},{plan}]")
+}
+
+/// [`run`] with telemetry: the healthy, faulty, and hedged serving arms
+/// trace into `rec` under matching scopes (the empty-plan identity arm
+/// stays untraced — its whole point is byte-identity with [`run`]'s
+/// path). Returns the same report as [`run`], enforced by test.
+#[must_use]
+pub fn run_instrumented(rec: &mut Recorder) -> FaultDrillReport {
+    run_seeded_traced(seed(), rec)
+}
+
 /// Run the drill at an explicit seed (equal seeds → identical reports).
 #[must_use]
 pub fn run_seeded(seed: u64) -> FaultDrillReport {
+    run_seeded_traced(seed, &mut Recorder::disabled())
+}
+
+/// [`run_seeded`] with telemetry into `rec`.
+#[must_use]
+pub fn run_seeded_traced(seed: u64, rec: &mut Recorder) -> FaultDrillReport {
     let cfg = scenario();
-    let healthy = simulate(&cfg);
+    let healthy = run_with_faults_traced(
+        &cfg,
+        &FaultPlan::healthy(),
+        &RecoveryPolicy::default(),
+        rec,
+        "healthy",
+    )
+    .serving;
     let empty = run_with_faults(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default());
     let empty_plan_identical = serde_json::to_string(&healthy).expect("report serializes")
         == serde_json::to_string(&empty.serving).expect("report serializes");
 
     let plan = FaultPlan::generate(&plan_config(seed));
-    let faulty = run_with_faults(&cfg, &plan, &RecoveryPolicy::default());
-    let hedged = run_with_faults(&cfg, &plan, &RecoveryPolicy::hedged());
+    let faulty = run_with_faults_traced(&cfg, &plan, &RecoveryPolicy::default(), rec, "faulty");
+    let hedged = run_with_faults_traced(&cfg, &plan, &RecoveryPolicy::hedged(), rec, "hedged");
 
     let availability = [1.0, 6.0, 24.0]
         .iter()
@@ -183,7 +224,13 @@ fn availability_point(seed: u64, mtbf_h: f64) -> AvailabilityRow {
 /// Render.
 #[must_use]
 pub fn render() -> Table {
-    let r = run();
+    render_report(&run())
+}
+
+/// Render an already-computed drill report (the instrumented CLI path
+/// reuses the run instead of drilling twice).
+#[must_use]
+pub fn render_report(r: &FaultDrillReport) -> Table {
     let mut t = Table::new(
         "§5.1.1/§6.1: seeded fault drill — crashes, flaps, stragglers, SDC during a run",
         &["study", "setting", "outcome"],
@@ -338,5 +385,24 @@ mod tests {
         assert!(t.rows.len() >= 8, "rows: {}", t.rows.len());
         assert!(t.rows.iter().any(|r| r[0] == "empty-plan identity"));
         assert!(t.rows.iter().any(|r| r[0] == "training goodput"));
+    }
+
+    #[test]
+    fn instrumented_drill_reproduces_plain_report_with_fault_instants() {
+        let mut rec = Recorder::new();
+        let instrumented = run_instrumented(&mut rec);
+        assert_eq!(
+            serde_json::to_string(&instrumented).unwrap(),
+            serde_json::to_string(&run()).unwrap(),
+            "telemetry must not perturb the drill"
+        );
+        let events = rec.events();
+        assert!(
+            events.iter().any(|e| e.ph == "i" && e.name.starts_with("inject")),
+            "drill trace must contain fault injections"
+        );
+        assert!(events.iter().any(|e| e.ph == "X" && e.name == "decode"));
+        assert!(rec.counters().keys().any(|k| k.starts_with("faulty.faults.inject.")));
+        assert!(rec.counters().contains_key("healthy.completed"));
     }
 }

@@ -9,9 +9,12 @@
 //! up while the disaggregated pool holds steady.
 
 use crate::report::{fmt, Table};
+use dsv3_faults::{FaultPlan, FaultPlanConfig, RecoveryPolicy};
 use dsv3_serving::{
-    run as simulate, ArrivalProcess, RouterPolicy, ServingReport, ServingSimConfig,
+    run as simulate, run_traced, run_with_faults_traced, ArrivalProcess, RouterPolicy,
+    ServingReport, ServingSimConfig,
 };
+use dsv3_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// Both policies' full reports under the same bursty workload.
@@ -52,10 +55,70 @@ pub fn run() -> ServingComparison {
     }
 }
 
+/// The seed driving this experiment's workload.
+#[must_use]
+pub fn seed() -> u64 {
+    scenario(RouterPolicy::Unified).workload.seed
+}
+
+/// Serialized configuration of both arms, for the run manifest.
+///
+/// # Panics
+///
+/// Panics if config serialization fails (a workspace bug).
+#[must_use]
+pub fn config_json() -> String {
+    let unified = serde_json::to_string(&scenario(RouterPolicy::Unified));
+    let disagg =
+        serde_json::to_string(&scenario(RouterPolicy::Disaggregated { prefill_fraction: 0.7 }));
+    format!("[{},{}]", unified.expect("serializes"), disagg.expect("serializes"))
+}
+
+/// [`run`] with telemetry: both arms trace into `rec` under the
+/// `unified`/`disaggregated` scopes, plus a telemetry-only
+/// `fault-overlay` arm — the same unified bursty scenario under a
+/// seeded fault climate — whose report is discarded but whose inject and
+/// heal instants land in the trace. The returned comparison is identical
+/// to [`run`]'s (the overlay never touches it), enforced by test.
+#[must_use]
+pub fn run_instrumented(rec: &mut Recorder) -> ServingComparison {
+    let unified = run_traced(&scenario(RouterPolicy::Unified), rec, "unified");
+    let disaggregated = run_traced(
+        &scenario(RouterPolicy::Disaggregated { prefill_fraction: 0.7 }),
+        rec,
+        "disaggregated",
+    );
+    let overlay_plan = FaultPlan::generate(&FaultPlanConfig {
+        seed: seed(),
+        horizon_ms: 60_000.0,
+        replicas: 4,
+        planes: 8,
+        crash_mtbf_ms: 15_000.0,
+        crash_repair_ms: 4_000.0,
+        flap_mtbf_ms: 20_000.0,
+        flap_repair_ms: 5_000.0,
+        ..FaultPlanConfig::default()
+    });
+    let _ = run_with_faults_traced(
+        &scenario(RouterPolicy::Unified),
+        &overlay_plan,
+        &RecoveryPolicy::default(),
+        rec,
+        "fault-overlay",
+    );
+    ServingComparison { arrival_rps: 8.0, burstiness: 32.0, unified, disaggregated }
+}
+
 /// Render.
 #[must_use]
 pub fn render() -> Table {
-    let c = run();
+    render_report(&run())
+}
+
+/// Render an already-computed comparison (the instrumented CLI path
+/// reuses the run instead of simulating twice).
+#[must_use]
+pub fn render_report(c: &ServingComparison) -> Table {
     let mut t = Table::new(
         "§2.3: serving simulation, bursty prefill-heavy load (8 req/s, CV²=32, 1K prompts)",
         &[
@@ -117,5 +180,30 @@ mod tests {
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.rows[0][0], "unified");
         assert_eq!(t.rows[1][0], "disaggregated");
+    }
+
+    #[test]
+    fn instrumented_run_reproduces_plain_report() {
+        let mut rec = Recorder::new();
+        let instrumented = run_instrumented(&mut rec);
+        assert_eq!(instrumented, run(), "telemetry and the overlay arm must not perturb");
+        let events = rec.events();
+        assert!(events.iter().any(|e| e.ph == "X" && e.name == "decode"));
+        assert!(
+            events.iter().any(|e| e.ph == "i" && e.name.starts_with("inject")),
+            "the fault-overlay arm must contribute fault instants"
+        );
+        assert!(rec.counters().contains_key("unified.completed"));
+        assert!(rec.counters().contains_key("disaggregated.completed"));
+    }
+
+    #[test]
+    fn instrumented_traces_are_deterministic() {
+        let trace = |()| {
+            let mut rec = Recorder::new();
+            let _ = run_instrumented(&mut rec);
+            rec.export_trace().to_json()
+        };
+        assert_eq!(trace(()), trace(()));
     }
 }

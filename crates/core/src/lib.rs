@@ -15,7 +15,7 @@
 //!
 //! Substrates are re-exported for direct use:
 //! [`numerics`], [`model`], [`topology`], [`netsim`], [`collectives`],
-//! [`parallel`], [`inference`], [`faults`], [`serving`].
+//! [`parallel`], [`inference`], [`faults`], [`serving`], [`telemetry`].
 
 pub use dsv3_collectives as collectives;
 pub use dsv3_faults as faults;
@@ -25,6 +25,7 @@ pub use dsv3_netsim as netsim;
 pub use dsv3_numerics as numerics;
 pub use dsv3_parallel as parallel;
 pub use dsv3_serving as serving;
+pub use dsv3_telemetry as telemetry;
 pub use dsv3_topology as topology;
 
 pub mod experiments;
@@ -33,5 +34,5 @@ pub mod registry;
 pub mod report;
 
 pub use hardware::HardwareProfile;
-pub use registry::{registry, Entry};
+pub use registry::{registry, Entry, InstrumentedRun};
 pub use report::Table;

@@ -7,6 +7,21 @@
 
 use crate::experiments::*;
 use crate::report::Table;
+use dsv3_telemetry::Recorder;
+
+/// The result of one telemetry-instrumented experiment run: the rendered
+/// outputs (computed once from a single simulation) plus the provenance
+/// the run manifest needs.
+pub struct InstrumentedRun {
+    /// The text table, identical to the entry's plain `render`.
+    pub table: Table,
+    /// The JSON report, identical to the entry's plain `json`.
+    pub json: String,
+    /// Seed the experiment ran under.
+    pub seed: u64,
+    /// Serialized configuration (hashed into the manifest).
+    pub config_json: String,
+}
 
 /// One named experiment: how to render it as text and as JSON.
 pub struct Entry {
@@ -18,141 +33,122 @@ pub struct Entry {
     pub render: fn() -> Table,
     /// Serialize the result rows to JSON.
     pub json: fn() -> String,
+    /// Run once with telemetry into the recorder (`--trace-out` /
+    /// `--metrics-out`). `None` for analytic experiments with no
+    /// simulation loop worth tracing.
+    pub instrumented: Option<fn(&mut Recorder) -> InstrumentedRun>,
 }
 
 fn to_json<T: serde::Serialize>(v: &T) -> String {
     serde_json::to_string_pretty(v).expect("experiment rows serialize")
 }
 
+/// A plain (un-instrumented) entry.
+fn plain(
+    name: &'static str,
+    about: &'static str,
+    render: fn() -> Table,
+    json: fn() -> String,
+) -> Entry {
+    Entry { name, about, render, json, instrumented: None }
+}
+
 /// Every experiment, in presentation order.
 #[must_use]
 pub fn registry() -> Vec<Entry> {
     vec![
-        Entry {
-            name: "table1",
-            about: "KV cache per token (Table 1)",
-            render: table1::render,
-            json: || to_json(&table1::run()),
-        },
-        Entry {
-            name: "table2",
-            about: "training GFLOPs per token (Table 2)",
-            render: table2::render,
-            json: || to_json(&table2::run()),
-        },
-        Entry {
-            name: "table3",
-            about: "topology cost comparison (Table 3)",
-            render: table3::render,
-            json: || to_json(&table3::run()),
-        },
-        Entry {
-            name: "table4",
-            about: "MPFT vs MRFT training metrics (Table 4)",
-            render: table4::render,
-            json: || to_json(&table4::run()),
-        },
-        Entry {
-            name: "table5",
-            about: "64B end-to-end latency (Table 5)",
-            render: table5::render,
-            json: || to_json(&table5::run()),
-        },
-        Entry {
-            name: "fig5",
-            about: "all-to-all bandwidth sweep (Figure 5)",
-            render: fig5::render,
-            json: || to_json(&fig5::run()),
-        },
-        Entry {
-            name: "fig6",
-            about: "all-to-all latency sweep (Figure 6)",
-            render: fig6::render,
-            json: || to_json(&fig6::run()),
-        },
-        Entry {
-            name: "fig7",
-            about: "DeepEP throughput (Figure 7)",
-            render: || fig7::render(1024),
-            json: || to_json(&fig7::run(1024)),
-        },
-        Entry {
-            name: "fig8",
-            about: "RoCE routing-policy study (Figure 8)",
-            render: fig8::render,
-            json: || to_json(&fig8::run()),
-        },
-        Entry {
-            name: "speed-limits",
-            about: "EP decode speed limits (§2.3.2)",
-            render: speed_limits::render,
-            json: || to_json(&speed_limits::run()),
-        },
-        Entry {
-            name: "combine-formats",
-            about: "combine-stage compression (§6.5)",
-            render: speed_limits::render_combine_formats,
-            json: || to_json(&speed_limits::run_combine_formats()),
-        },
-        Entry {
-            name: "mtp",
-            about: "MTP speculative decoding (§2.3.3)",
-            render: mtp::render,
-            json: || to_json(&mtp::run()),
-        },
-        Entry {
-            name: "fp8-gemm",
-            about: "FP8 accumulation error (§3.1)",
-            render: fp8_gemm::render,
-            json: || to_json(&fp8_gemm::run(&fp8_gemm::default_ks())),
-        },
-        Entry {
-            name: "logfmt",
-            about: "LogFMT quality (§3.2)",
-            render: logfmt::render,
-            json: || to_json(&logfmt::run()),
-        },
-        Entry {
-            name: "fp8-training",
-            about: "FP8 vs BF16 training (§2.4)",
-            render: fp8_training::render,
-            json: || to_json(&fp8_training::run(crate::model::train::TrainConfig::default())),
-        },
-        Entry {
-            name: "node-limited",
-            about: "node-limited routing traffic (§4.3)",
-            render: node_limited::render,
-            json: || to_json(&node_limited::run(2000)),
-        },
-        Entry {
-            name: "local-deploy",
-            about: "local deployment TPS (§2.2.2)",
-            render: local_deploy::render,
-            json: || to_json(&local_deploy::run()),
-        },
-        Entry {
-            name: "robustness",
-            about: "plane failures & SDC detection (§6.1)",
-            render: robustness::render,
-            json: || to_json(&robustness::plane_failures()),
-        },
+        plain("table1", "KV cache per token (Table 1)", table1::render, || to_json(&table1::run())),
+        plain("table2", "training GFLOPs per token (Table 2)", table2::render, || {
+            to_json(&table2::run())
+        }),
+        plain("table3", "topology cost comparison (Table 3)", table3::render, || {
+            to_json(&table3::run())
+        }),
+        plain("table4", "MPFT vs MRFT training metrics (Table 4)", table4::render, || {
+            to_json(&table4::run())
+        }),
+        plain("table5", "64B end-to-end latency (Table 5)", table5::render, || {
+            to_json(&table5::run())
+        }),
+        plain("fig5", "all-to-all bandwidth sweep (Figure 5)", fig5::render, || {
+            to_json(&fig5::run())
+        }),
+        plain(
+            "fig6",
+            "all-to-all latency sweep (Figure 6)",
+            fig6::render,
+            || to_json(&fig6::run()),
+        ),
+        plain(
+            "fig7",
+            "DeepEP throughput (Figure 7)",
+            || fig7::render(1024),
+            || to_json(&fig7::run(1024)),
+        ),
+        plain("fig8", "RoCE routing-policy study (Figure 8)", fig8::render, || {
+            to_json(&fig8::run())
+        }),
+        plain("speed-limits", "EP decode speed limits (§2.3.2)", speed_limits::render, || {
+            to_json(&speed_limits::run())
+        }),
+        plain(
+            "combine-formats",
+            "combine-stage compression (§6.5)",
+            speed_limits::render_combine_formats,
+            || to_json(&speed_limits::run_combine_formats()),
+        ),
+        plain("mtp", "MTP speculative decoding (§2.3.3)", mtp::render, || to_json(&mtp::run())),
+        plain("fp8-gemm", "FP8 accumulation error (§3.1)", fp8_gemm::render, || {
+            to_json(&fp8_gemm::run(&fp8_gemm::default_ks()))
+        }),
+        plain("logfmt", "LogFMT quality (§3.2)", logfmt::render, || to_json(&logfmt::run())),
+        plain("fp8-training", "FP8 vs BF16 training (§2.4)", fp8_training::render, || {
+            to_json(&fp8_training::run(crate::model::train::TrainConfig::default()))
+        }),
+        plain("node-limited", "node-limited routing traffic (§4.3)", node_limited::render, || {
+            to_json(&node_limited::run(2000))
+        }),
+        plain("local-deploy", "local deployment TPS (§2.2.2)", local_deploy::render, || {
+            to_json(&local_deploy::run())
+        }),
+        plain("robustness", "plane failures & SDC detection (§6.1)", robustness::render, || {
+            to_json(&robustness::plane_failures())
+        }),
         Entry {
             name: "fault-drill",
             about: "seeded fault-injection drill (§5.1.1/§6.1)",
             render: fault_drill::render,
             json: || to_json(&fault_drill::run()),
+            instrumented: Some(|rec| {
+                let report = fault_drill::run_instrumented(rec);
+                InstrumentedRun {
+                    table: fault_drill::render_report(&report),
+                    json: to_json(&report),
+                    seed: fault_drill::seed(),
+                    config_json: fault_drill::config_json(),
+                }
+            }),
         },
-        Entry {
-            name: "future-hardware",
-            about: "hardware-recommendation payoffs (§6)",
-            render: future_hardware::render,
-            json: || to_json(&future_hardware::run()),
-        },
+        plain(
+            "future-hardware",
+            "hardware-recommendation payoffs (§6)",
+            future_hardware::render,
+            || to_json(&future_hardware::run()),
+        ),
         Entry {
             name: "serving",
             about: "request-level serving simulation (§2.3)",
             render: serving::render,
             json: || to_json(&serving::run()),
+            instrumented: Some(|rec| {
+                let report = serving::run_instrumented(rec);
+                InstrumentedRun {
+                    table: serving::render_report(&report),
+                    json: to_json(&report),
+                    seed: serving::seed(),
+                    config_json: serving::config_json(),
+                }
+            }),
         },
     ]
 }

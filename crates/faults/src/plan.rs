@@ -14,6 +14,7 @@
 //! deterministic (time, then event sequence number).
 
 use dsv3_collectives::failures::{expected_retention, FlapSchedule, PlaneFlap};
+use dsv3_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -62,6 +63,17 @@ impl FaultKind {
             }
             FaultKind::Straggler { duration_ms, .. } => Some(duration_ms),
             FaultKind::Sdc { .. } => None,
+        }
+    }
+
+    /// Stable short label for telemetry track names and counters.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::ReplicaCrash { .. } => "replica-crash",
+            FaultKind::PlaneFlap { .. } => "plane-flap",
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::Sdc { .. } => "sdc",
         }
     }
 }
@@ -201,6 +213,13 @@ impl FaultPlan {
     /// Project the plan's plane flaps onto a
     /// [`dsv3_collectives::failures::FlapSchedule`] for time-varying
     /// bandwidth studies.
+    ///
+    /// `FlapSchedule` is the **canonical** definition of which planes are
+    /// down when: its `is_down_at` treats an interval as down-inclusive
+    /// at the flap instant and up-exclusive at the repair instant, and
+    /// [`FaultDriver`] matches that convention by delivering repairs
+    /// before injections on ties. The cross-crate parity test
+    /// (`tests/cross_crate.rs`) pins the two views together.
     #[must_use]
     pub fn flap_schedule(&self) -> FlapSchedule {
         let flaps = self
@@ -372,6 +391,35 @@ impl FaultDriver {
     /// time order (repairs win ties so a resource heals before a new
     /// fault lands on it).
     pub fn poll(&mut self, now_ms: f64, sink: &mut dyn Injectable) {
+        self.poll_impl(now_ms, sink, None);
+    }
+
+    /// [`FaultDriver::poll`] plus telemetry: every delivery also lands in
+    /// `rec` as an instant event on the `pid` process track (one named
+    /// thread per fault class), stamped with the fault's own sim-time
+    /// (injections at `at_ms`, heals at the actual repair instant), and
+    /// bumps the `{scope}.faults.{inject|heal}.{label}` counters.
+    pub fn poll_traced(
+        &mut self,
+        now_ms: f64,
+        sink: &mut dyn Injectable,
+        rec: &mut Recorder,
+        pid: u64,
+        scope: &str,
+    ) {
+        if rec.is_enabled() {
+            self.poll_impl(now_ms, sink, Some((rec, pid, scope)));
+        } else {
+            self.poll_impl(now_ms, sink, None);
+        }
+    }
+
+    fn poll_impl(
+        &mut self,
+        now_ms: f64,
+        sink: &mut dyn Injectable,
+        mut tel: Option<(&mut Recorder, u64, &str)>,
+    ) {
         loop {
             let inject_at = self.events.get(self.next).map(|e| e.at_ms);
             let repair_at = self.repairs.first().map(|&(t, _)| t);
@@ -381,8 +429,14 @@ impl FaultDriver {
                 (Some(i), Some(r)) => r <= now_ms && r <= i,
             };
             if do_repair {
-                let (_, seq) = self.repairs.remove(0);
+                let (at, seq) = self.repairs.remove(0);
                 let event = self.events[seq];
+                if let Some((rec, pid, scope)) = tel.as_mut() {
+                    let label = event.kind.label();
+                    let tid = rec.thread(*pid, label);
+                    rec.instant(*pid, tid, "fault", &format!("heal {label} #{seq}"), at * 1000.0);
+                    rec.counter_add(&format!("{scope}.faults.heal.{label}"), 1);
+                }
                 sink.heal(seq, &event);
                 continue;
             }
@@ -396,6 +450,18 @@ impl FaultDriver {
                         let pos =
                             self.repairs.partition_point(|&(r, s)| r < at || (r == at && s < seq));
                         self.repairs.insert(pos, (at, seq));
+                    }
+                    if let Some((rec, pid, scope)) = tel.as_mut() {
+                        let label = event.kind.label();
+                        let tid = rec.thread(*pid, label);
+                        rec.instant(
+                            *pid,
+                            tid,
+                            "fault",
+                            &format!("inject {label} #{seq}"),
+                            event.at_ms * 1000.0,
+                        );
+                        rec.counter_add(&format!("{scope}.faults.inject.{label}"), 1);
                     }
                     sink.inject(seq, &event);
                 }
@@ -507,6 +573,39 @@ mod tests {
             "degradation, not disconnection"
         );
         assert!((bandwidth_retention(8, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poll_traced_emits_instants_and_counters() {
+        let plan = FaultPlan { replicas: 2, planes: 8, events: vec![crash(10.0, 5.0)] };
+        let mut d = FaultDriver::new(&plan);
+        let mut sink = Recorder::default();
+        let mut rec = dsv3_telemetry::Recorder::new();
+        let pid = rec.process("drill/faults");
+        d.poll_traced(100.0, &mut sink, &mut rec, pid, "drill");
+        assert_eq!(sink.log.len(), 2, "inject + heal delivered");
+        assert_eq!(rec.counters()["drill.faults.inject.replica-crash"], 1);
+        assert_eq!(rec.counters()["drill.faults.heal.replica-crash"], 1);
+        let instants: Vec<_> = rec.events().iter().filter(|e| e.ph == "i").collect();
+        assert_eq!(instants.len(), 2);
+        assert!((instants[0].ts - 10_000.0).abs() < 1e-9, "inject at at_ms in µs");
+        assert!((instants[1].ts - 15_000.0).abs() < 1e-9, "heal at repair instant in µs");
+    }
+
+    #[test]
+    fn poll_traced_with_disabled_recorder_matches_poll() {
+        let plan = FaultPlan {
+            replicas: 2,
+            planes: 8,
+            events: vec![crash(10.0, 5.0), crash(12.0, 100.0)],
+        };
+        let mut plain = Recorder::default();
+        FaultDriver::new(&plan).poll(500.0, &mut plain);
+        let mut traced = Recorder::default();
+        let mut rec = dsv3_telemetry::Recorder::disabled();
+        FaultDriver::new(&plan).poll_traced(500.0, &mut traced, &mut rec, 0, "x");
+        assert_eq!(plain.log, traced.log);
+        assert!(rec.events().is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The flow-level simulator core.
 
+use dsv3_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// A unidirectional network link.
@@ -162,8 +163,36 @@ impl FlowSim {
     ///
     /// Panics if no flows were added.
     pub fn run(&mut self) -> SimReport {
+        self.run_impl(None)
+    }
+
+    /// [`FlowSim::run`] plus telemetry: one span per flow (named thread
+    /// tracks under the `{scope}/netsim` process, transfer start to
+    /// reported finish), per-link utilization counter samples at every
+    /// rate-change horizon, a `{scope}.flow_us` completion-time
+    /// histogram, and `{scope}.link{l}.utilization` time-average gauges.
+    /// All timestamps are the simulation's native microseconds. With a
+    /// disabled recorder this is exactly [`FlowSim::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flows were added.
+    pub fn run_traced(&mut self, rec: &mut Recorder, scope: &str) -> SimReport {
+        if rec.is_enabled() {
+            self.run_impl(Some((rec, scope)))
+        } else {
+            self.run_impl(None)
+        }
+    }
+
+    fn run_impl(&mut self, mut tel: Option<(&mut Recorder, &str)>) -> SimReport {
         assert!(!self.flows.is_empty(), "no flows to simulate");
         const EPS: f64 = 1e-9;
+        let pid = match tel.as_mut() {
+            Some((rec, scope)) => rec.process(&format!("{scope}/netsim")),
+            None => 0,
+        };
+        let mut link_bytes = vec![0f64; self.links.len()];
         // Transfer-phase completion bookkeeping: a flow's data transfer runs
         // in [start, t_done]; its reported finish adds the path latency.
         let mut now = 0f64;
@@ -212,6 +241,20 @@ impl FlowSim {
             let horizon = next_done.min(pending_arrival);
             assert!(horizon.is_finite(), "simulation cannot progress (all rates zero)");
             let dt = horizon - now;
+            if let Some((rec, scope)) = tel.as_mut() {
+                let mut link_rate = vec![0f64; self.links.len()];
+                for (i, &f) in active.iter().enumerate() {
+                    for &l in &self.flows[f].path {
+                        link_rate[l] += rates[i];
+                        link_bytes[l] += rates[i] * 1000.0 * dt;
+                    }
+                }
+                for (l, &rate) in link_rate.iter().enumerate() {
+                    let cap = self.links[l].capacity_gbps;
+                    let util = if cap > 0.0 { rate / cap } else { 0.0 };
+                    rec.counter_sample(pid, &format!("{scope}.link{l}.utilization"), now, util);
+                }
+            }
             for (i, &f) in active.iter().enumerate() {
                 let moved = rates[i] * 1000.0 * dt;
                 let fl = &mut self.flows[f];
@@ -226,6 +269,26 @@ impl FlowSim {
         let finish_us: Vec<f64> =
             self.flows.iter().map(|f| f.finish_us.expect("finished")).collect();
         let makespan_us = finish_us.iter().copied().fold(0.0, f64::max);
+        if let Some((rec, scope)) = tel.as_mut() {
+            for (f, fl) in self.flows.iter().enumerate() {
+                let done = fl.finish_us.expect("finished");
+                let tid = rec.thread(pid, &format!("flow{f}"));
+                rec.span(pid, tid, "flow", &format!("flow{f}"), fl.start_us, done);
+                rec.observe(&format!("{scope}.flow_us"), done - fl.start_us);
+            }
+            rec.counter_add(&format!("{scope}.flows"), self.flows.len() as u64);
+            if makespan_us > 0.0 {
+                for (l, &bytes) in link_bytes.iter().enumerate() {
+                    let cap = self.links[l].capacity_gbps;
+                    if cap > 0.0 {
+                        rec.gauge_set(
+                            &format!("{scope}.link{l}.utilization"),
+                            bytes / (cap * 1000.0 * makespan_us),
+                        );
+                    }
+                }
+            }
+        }
         SimReport { finish_us, makespan_us }
     }
 }
@@ -325,6 +388,43 @@ mod tests {
     fn bad_path_panics() {
         let mut sim = one_link(1.0);
         sim.add_flow(vec![3], 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_emits_flow_spans() {
+        let build = || {
+            let mut sim = one_link(100.0);
+            sim.add_flow(vec![0], 1e6, 0.0, 0.0);
+            sim.add_flow(vec![0], 0.5e6, 0.0, 0.0);
+            sim
+        };
+        let plain = build().run();
+        let mut rec = Recorder::new();
+        let traced = build().run_traced(&mut rec, "net");
+        assert_eq!(plain, traced);
+        let spans: Vec<_> = rec.events().iter().filter(|e| e.ph == "X").collect();
+        assert_eq!(spans.len(), 2, "one span per flow");
+        assert_eq!(spans[0].name, "flow0");
+        assert!((spans[0].dur - 15.0).abs() < 1e-6);
+        assert_eq!(rec.counters()["net.flows"], 2);
+        // Time-average utilization on the single saturated link is 1.0.
+        let util = rec.snapshot().gauges["net.link0.utilization"];
+        assert!((util - 1.0).abs() < 1e-6, "{util}");
+        assert!(rec.histogram("net.flow_us").is_some());
+        // Rate-change horizons: [0, 10) both flows, [10, 15) one — two samples.
+        let samples = rec.events().iter().filter(|e| e.ph == "C").count();
+        assert_eq!(samples, 2);
+    }
+
+    #[test]
+    fn run_traced_disabled_records_nothing() {
+        let mut sim = one_link(50.0);
+        sim.add_flow(vec![0], 1e6, 0.0, 3.0);
+        let mut rec = Recorder::disabled();
+        let r = sim.run_traced(&mut rec, "net");
+        assert!((r.finish_us[0] - 23.0).abs() < 1e-6);
+        assert!(rec.events().is_empty());
+        assert!(rec.counters().is_empty());
     }
 
     #[test]

@@ -37,6 +37,7 @@ use dsv3_faults::{
 use dsv3_inference::kvcache::{CacheError, KvCacheManager};
 use dsv3_inference::SpeedLimitConfig;
 use dsv3_model::zoo;
+use dsv3_telemetry::Recorder;
 
 use crate::metrics::Summary;
 use crate::router::RouterPolicy;
@@ -259,6 +260,11 @@ struct Job {
     first_token_ms: Option<f64>,
     /// Earliest time the job may be admitted to the decode batch.
     ready_ms: f64,
+    /// When this job entered the prefill stage (NaN when its next
+    /// admission needs no prefill span, e.g. after a preemption).
+    prefill_enter_ms: f64,
+    /// When this job last joined the decode batch (NaN before).
+    admitted_ms: f64,
 }
 
 impl Job {
@@ -271,6 +277,8 @@ impl Job {
             generated: 0,
             first_token_ms: None,
             ready_ms: f64::INFINITY,
+            prefill_enter_ms: f64::NAN,
+            admitted_ms: f64::NAN,
         }
     }
 
@@ -305,6 +313,7 @@ fn enqueue_prefill(
     at_ms: f64,
     tokens: f64,
 ) {
+    job.prefill_enter_ms = at_ms;
     match prefill {
         Prefill::Disaggregated { station_free_ms, rate } => {
             let start = at_ms.max(*station_free_ms);
@@ -316,6 +325,15 @@ fn enqueue_prefill(
         Prefill::Unified { backlog, .. } => {
             backlog.push_back((job, tokens));
         }
+    }
+}
+
+/// Trace-track label for a job ("req{id}", hedge clones suffixed).
+fn req_label(job: &Job) -> String {
+    if job.clone_tag == 1 {
+        format!("req{}.hedge", job.rid())
+    } else {
+        format!("req{}", job.rid())
     }
 }
 
@@ -424,6 +442,17 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
     run_with_faults(cfg, &FaultPlan::healthy(), &RecoveryPolicy::default()).serving
 }
 
+/// [`run`] plus telemetry into `rec` (see [`run_with_faults_traced`]).
+///
+/// # Panics
+///
+/// Same contract as [`run`].
+#[must_use]
+pub fn run_traced(cfg: &ServingSimConfig, rec: &mut Recorder, scope: &str) -> ServingReport {
+    run_with_faults_traced(cfg, &FaultPlan::healthy(), &RecoveryPolicy::default(), rec, scope)
+        .serving
+}
+
 /// Run the simulation under a deterministic fault timeline.
 ///
 /// Recovery follows `policy`: a crash evicts the replica's in-flight jobs
@@ -442,11 +471,36 @@ pub fn run(cfg: &ServingSimConfig) -> ServingReport {
 /// Panics on degenerate configs or an invalid `plan`
 /// (see [`FaultPlan::validate`]).
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_with_faults(
     cfg: &ServingSimConfig,
     plan: &FaultPlan,
     policy: &RecoveryPolicy,
+) -> FaultyServingReport {
+    run_with_faults_traced(cfg, plan, policy, &mut Recorder::disabled(), "")
+}
+
+/// [`run_with_faults`] plus telemetry: every request gets a
+/// prefill→queued→decode span chain (with preempt/retry/cancel/complete
+/// instants) on a `{scope}/requests` track, every delivered fault an
+/// instant on `{scope}/faults`, and the engine samples batch size, queue
+/// depth, and KV occupancy each decode step on `{scope}/engine`. Latency
+/// samples also land in `{scope}.ttft_ms`/`.tpot_ms`/`.e2e_ms`
+/// histograms, and lifecycle counts in `{scope}.*` counters. Timestamps
+/// are simulation milliseconds scaled to trace microseconds. With a
+/// disabled recorder every telemetry branch is dead and the report is
+/// byte-identical to [`run_with_faults`] — enforced by test.
+///
+/// # Panics
+///
+/// Same contract as [`run_with_faults`].
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_with_faults_traced(
+    cfg: &ServingSimConfig,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    rec: &mut Recorder,
+    scope: &str,
 ) -> FaultyServingReport {
     assert!(cfg.engine.max_batch > 0, "batch cap must be positive");
     assert!(cfg.engine.prefill_tokens_per_ms > 0.0, "prefill rate must be positive");
@@ -462,6 +516,26 @@ pub fn run_with_faults(
 
     let mut driver = FaultDriver::new(plan);
     let mut fstate = FaultState::new(plan);
+
+    // Telemetry tracks and metric names. `on` guards every emission so a
+    // disabled recorder costs one branch per site and these few one-time
+    // allocations per run.
+    let on = rec.is_enabled();
+    let (pid_engine, pid_req, pid_faults) = if on {
+        (
+            rec.process(&format!("{scope}/engine")),
+            rec.process(&format!("{scope}/requests")),
+            rec.process(&format!("{scope}/faults")),
+        )
+    } else {
+        (0, 0, 0)
+    };
+    let m_batch = format!("{scope}.batch_size");
+    let m_queue = format!("{scope}.queue_depth");
+    let m_kv = format!("{scope}.kv_utilization");
+    let m_ttft = format!("{scope}.ttft_ms");
+    let m_tpot = format!("{scope}.tpot_ms");
+    let m_e2e = format!("{scope}.e2e_ms");
 
     let mut prefill = match cfg.router {
         RouterPolicy::Unified => Prefill::Unified {
@@ -511,7 +585,7 @@ pub fn run_with_faults(
         // Deliver fault events due by now, then apply crash consequences:
         // every job on a crashed replica (position i runs on replica
         // i mod R) loses its KV and is requeued, rejected, or hedged.
-        driver.poll(clock_ms, &mut fstate);
+        driver.poll_traced(clock_ms, &mut fstate, rec, pid_faults, scope);
         for replica in std::mem::take(&mut fstate.pending_crashes) {
             let mut i = active.len();
             while i > 0 {
@@ -526,11 +600,30 @@ pub fn run_with_faults(
                 let req = victim.req.clone();
                 fstate.stats.jobs_lost_to_crashes += 1;
                 crash_count[id] += 1;
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&victim));
+                    if victim.admitted_ms.is_finite() {
+                        rec.span(
+                            pid_req,
+                            tid,
+                            "request",
+                            "decode",
+                            victim.admitted_ms * 1000.0,
+                            clock_ms * 1000.0,
+                        );
+                    }
+                    rec.instant(pid_req, tid, "request", "crash-evict", clock_ms * 1000.0);
+                }
+                victim.admitted_ms = f64::NAN;
                 if crash_count[id] > policy.max_retries {
                     live[id] -= 1;
                     if live[id] == 0 && !done[id] {
                         done[id] = true;
                         fstate.stats.rejected += 1;
+                        if on {
+                            let tid = rec.thread(pid_req, &req_label(&victim));
+                            rec.instant(pid_req, tid, "request", "reject", clock_ms * 1000.0);
+                        }
                     }
                 } else {
                     fstate.stats.retries += 1;
@@ -547,6 +640,10 @@ pub fn run_with_faults(
                     fstate.stats.hedges_spawned += 1;
                     let mut clone = Job::new(req);
                     clone.clone_tag = 1;
+                    if on {
+                        let tid = rec.thread(pid_req, &req_label(&clone));
+                        rec.instant(pid_req, tid, "request", "hedge-spawn", clock_ms * 1000.0);
+                    }
                     let tokens = clone.req.prompt_tokens as f64;
                     enqueue_prefill(&mut prefill, &mut ready, clone, clock_ms, tokens);
                 }
@@ -560,6 +657,10 @@ pub fn run_with_faults(
             if done[job.rid()] {
                 live[job.rid()] -= 1; // sibling already settled it
                 continue;
+            }
+            if on {
+                let tid = rec.thread(pid_req, &req_label(&job));
+                rec.instant(pid_req, tid, "request", "retry-release", clock_ms * 1000.0);
             }
             let tokens = job.resident_tokens as f64;
             enqueue_prefill(&mut prefill, &mut ready, job, clock_ms, tokens);
@@ -584,6 +685,10 @@ pub fn run_with_faults(
                 // A sibling clone already settled this request: cancel.
                 let job = ready.pop_front().expect("checked");
                 live[job.rid()] -= 1;
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&job));
+                    rec.instant(pid_req, tid, "request", "cancel", clock_ms * 1000.0);
+                }
                 continue;
             }
             if front.ready_ms > clock_ms {
@@ -597,10 +702,40 @@ pub fn run_with_faults(
                     done[job.rid()] = true;
                     dropped += 1;
                 }
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&job));
+                    rec.instant(pid_req, tid, "request", "drop-infeasible", clock_ms * 1000.0);
+                }
                 continue;
             }
             match kv.admit(front.cache_id(), front.resident_tokens) {
-                Ok(()) => active.push(ready.pop_front().expect("checked")),
+                Ok(()) => {
+                    let mut job = ready.pop_front().expect("checked");
+                    if on {
+                        let tid = rec.thread(pid_req, &req_label(&job));
+                        if job.prefill_enter_ms.is_finite() {
+                            rec.span(
+                                pid_req,
+                                tid,
+                                "request",
+                                "prefill",
+                                job.prefill_enter_ms * 1000.0,
+                                job.ready_ms * 1000.0,
+                            );
+                        }
+                        rec.span(
+                            pid_req,
+                            tid,
+                            "request",
+                            "queued",
+                            job.ready_ms * 1000.0,
+                            clock_ms * 1000.0,
+                        );
+                    }
+                    job.prefill_enter_ms = f64::NAN;
+                    job.admitted_ms = clock_ms;
+                    active.push(job);
+                }
                 Err(CacheError::OutOfMemory { .. }) => break,
                 Err(e) => unreachable!("admission invariant: {e}"),
             }
@@ -658,8 +793,9 @@ pub fn run_with_faults(
 
         // One decode step at the live batch size.
         steps += 1;
+        let step_batch = active.len();
         let mut speed = cfg.engine.speed;
-        speed.tokens_per_device = active.len();
+        speed.tokens_per_device = step_batch;
         if !fstate.plane_down.is_empty() {
             // Flapped planes shrink scale-out bandwidth; the step runs at
             // the degraded speed limit (§5.1.1 retention).
@@ -717,6 +853,20 @@ pub fn run_with_faults(
                 let job = active.remove(idx);
                 let _ = kv.release(job.cache_id());
                 live[job.rid()] -= 1;
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&job));
+                    if job.admitted_ms.is_finite() {
+                        rec.span(
+                            pid_req,
+                            tid,
+                            "request",
+                            "decode",
+                            job.admitted_ms * 1000.0,
+                            clock_ms * 1000.0,
+                        );
+                    }
+                    rec.instant(pid_req, tid, "request", "cancel", clock_ms * 1000.0);
+                }
                 continue;
             }
             let want = match &cfg.engine.mtp {
@@ -751,6 +901,21 @@ pub fn run_with_faults(
                             let held = kv.release(victim.cache_id()).expect("victim was admitted");
                             victim.resident_tokens = held;
                             victim.ready_ms = clock_ms;
+                            if on {
+                                let tid = rec.thread(pid_req, &req_label(&victim));
+                                if victim.admitted_ms.is_finite() {
+                                    rec.span(
+                                        pid_req,
+                                        tid,
+                                        "request",
+                                        "decode",
+                                        victim.admitted_ms * 1000.0,
+                                        clock_ms * 1000.0,
+                                    );
+                                }
+                                rec.instant(pid_req, tid, "request", "preempt", clock_ms * 1000.0);
+                            }
+                            victim.admitted_ms = f64::NAN;
                             ready.push_front(victim);
                             preemptions += 1;
                         } else if active.len() == 1 {
@@ -762,6 +927,20 @@ pub fn run_with_faults(
                             if live[job.rid()] == 0 {
                                 done[job.rid()] = true;
                                 dropped += 1;
+                            }
+                            if on {
+                                let tid = rec.thread(pid_req, &req_label(&job));
+                                if job.admitted_ms.is_finite() {
+                                    rec.span(
+                                        pid_req,
+                                        tid,
+                                        "request",
+                                        "decode",
+                                        job.admitted_ms * 1000.0,
+                                        clock_ms * 1000.0,
+                                    );
+                                }
+                                rec.instant(pid_req, tid, "request", "drop-oom", clock_ms * 1000.0);
                             }
                             dropped_self = true;
                             break;
@@ -816,6 +995,25 @@ pub fn run_with_faults(
                     good += 1;
                 }
                 completed += 1;
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&job));
+                    if job.admitted_ms.is_finite() {
+                        rec.span(
+                            pid_req,
+                            tid,
+                            "request",
+                            "decode",
+                            job.admitted_ms * 1000.0,
+                            clock_ms * 1000.0,
+                        );
+                    }
+                    rec.instant(pid_req, tid, "request", "complete", clock_ms * 1000.0);
+                    rec.observe(&m_ttft, ttft);
+                    if job.req.output_tokens > 1 {
+                        rec.observe(&m_tpot, tpot);
+                    }
+                    rec.observe(&m_e2e, e2e);
+                }
             } else {
                 idx += 1;
             }
@@ -823,6 +1021,12 @@ pub fn run_with_faults(
 
         qdepth_samples.push(ready.len() as f64);
         kvutil_samples.push(kv.utilization());
+        if on {
+            let ts = clock_ms * 1000.0;
+            rec.counter_sample(pid_engine, &m_batch, ts, step_batch as f64);
+            rec.counter_sample(pid_engine, &m_queue, ts, ready.len() as f64);
+            rec.counter_sample(pid_engine, &m_kv, ts, kv.utilization());
+        }
     }
 
     let mut stats = fstate.stats;
@@ -844,6 +1048,20 @@ pub fn run_with_faults(
         goodput_rps: good as f64 / sim_s,
         slo_attainment: good as f64 / total_requests.max(1) as f64,
     };
+    if on {
+        rec.counter_add(&format!("{scope}.requests"), total_requests as u64);
+        rec.counter_add(&format!("{scope}.completed"), completed as u64);
+        rec.counter_add(&format!("{scope}.dropped"), dropped as u64);
+        rec.counter_add(&format!("{scope}.preemptions"), preemptions as u64);
+        rec.counter_add(&format!("{scope}.decode_steps"), steps as u64);
+        rec.counter_add(&format!("{scope}.tokens"), tokens_emitted);
+        rec.counter_add(&format!("{scope}.retries"), stats.retries as u64);
+        rec.counter_add(&format!("{scope}.rejected"), stats.rejected as u64);
+        rec.counter_add(&format!("{scope}.hedge_wins"), stats.hedge_wins as u64);
+        rec.gauge_set(&format!("{scope}.slo_attainment"), serving.slo_attainment);
+        rec.gauge_set(&format!("{scope}.throughput_tokens_per_s"), serving.throughput_tokens_per_s);
+        rec.gauge_set(&format!("{scope}.sim_duration_ms"), serving.sim_duration_ms);
+    }
     FaultyServingReport { serving, faults: stats }
 }
 
@@ -1085,6 +1303,70 @@ mod tests {
         assert!(r.faults.sdc_recompute_ms > 0.0);
         assert_eq!(r.faults.corrupted_completions, 1, "the silent strike corrupts one output");
         assert_eq!(r.serving.completed + r.serving.dropped, 150);
+    }
+
+    #[test]
+    fn traced_run_report_is_identical_to_plain_run() {
+        let cfg = poisson_cfg(10.0, 200, RouterPolicy::Unified);
+        let plain = run(&cfg);
+        let mut rec = Recorder::new();
+        let traced = run_traced(&cfg, &mut rec, "serving");
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "telemetry must never perturb the simulation"
+        );
+        assert!(!rec.events().is_empty());
+        assert_eq!(rec.counters()["serving.completed"], traced.completed as u64);
+        assert_eq!(rec.histogram("serving.ttft_ms").unwrap().count(), traced.completed as u64);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let cfg = poisson_cfg(10.0, 200, RouterPolicy::Disaggregated { prefill_fraction: 0.5 });
+        let mut rec = Recorder::disabled();
+        let traced = run_traced(&cfg, &mut rec, "serving");
+        assert_eq!(
+            serde_json::to_string(&run(&cfg)).unwrap(),
+            serde_json::to_string(&traced).unwrap()
+        );
+        assert!(rec.events().is_empty());
+        assert!(rec.counters().is_empty());
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let cfg = poisson_cfg(10.0, 150, RouterPolicy::Unified);
+        let plan = FaultPlan { replicas: 2, planes: 8, events: vec![crash(2_000.0, 0, 3_000.0)] };
+        let trace = |()| {
+            let mut rec = Recorder::new();
+            let _ = run_with_faults_traced(&cfg, &plan, &RecoveryPolicy::hedged(), &mut rec, "s");
+            rec.export_trace().to_json()
+        };
+        assert_eq!(trace(()), trace(()), "same seed, byte-identical trace");
+    }
+
+    #[test]
+    fn trace_contains_lifecycle_spans_and_fault_instants() {
+        let cfg = poisson_cfg(10.0, 150, RouterPolicy::Unified);
+        let plan = FaultPlan { replicas: 2, planes: 8, events: vec![crash(2_000.0, 0, 3_000.0)] };
+        let mut rec = Recorder::new();
+        let r = run_with_faults_traced(&cfg, &plan, &RecoveryPolicy::default(), &mut rec, "s");
+        assert!(r.faults.jobs_lost_to_crashes > 0, "crash must land mid-flight");
+        let events = rec.events();
+        let spans = |name: &str| events.iter().filter(|e| e.ph == "X" && e.name == name).count();
+        assert!(spans("prefill") > 0);
+        assert!(spans("queued") > 0);
+        assert!(spans("decode") >= r.serving.completed, "every completion closes a decode span");
+        let instants = |name: &str| events.iter().filter(|e| e.ph == "i" && e.name == name).count();
+        assert_eq!(instants("complete"), r.serving.completed);
+        assert!(
+            events.iter().any(|e| e.ph == "i" && e.name.starts_with("inject replica-crash")),
+            "fault injection must appear in the serving trace"
+        );
+        assert!(events.iter().any(|e| e.ph == "C" && e.name == "s.batch_size"));
+        // Spans never have negative extent and all timestamps are finite.
+        assert!(events.iter().all(|e| e.ts.is_finite() && e.dur >= 0.0));
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod router;
 pub mod workload;
 
 pub use engine::{
-    run, run_with_faults, EngineConfig, FaultStats, FaultyServingReport, MtpSpec, ServingReport,
-    ServingSimConfig, SloConfig,
+    run, run_traced, run_with_faults, run_with_faults_traced, EngineConfig, FaultStats,
+    FaultyServingReport, MtpSpec, ServingReport, ServingSimConfig, SloConfig,
 };
 pub use metrics::{percentile, Summary};
 pub use router::RouterPolicy;

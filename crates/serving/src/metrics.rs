@@ -9,6 +9,12 @@ use serde::{Deserialize, Serialize};
 
 /// Nearest-rank percentile of an ascending-sorted slice, `p` in `[0, 100]`.
 ///
+/// `p = 0` is defined as the minimum (the nearest-rank formula's
+/// `ceil(0) = 0` has no rank to name), `p = 100` as the maximum;
+/// interior values select rank `ceil(p/100 · n)`. The telemetry
+/// histogram (`dsv3_telemetry::Histogram::quantile`) follows the same
+/// convention.
+///
 /// # Panics
 ///
 /// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
@@ -16,8 +22,11 @@ use serde::{Deserialize, Serialize};
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of no samples");
     assert!((0.0..=100.0).contains(&p), "p={p} out of range");
+    if p == 0.0 {
+        return sorted[0];
+    }
     let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    sorted[(rank - 1).min(sorted.len() - 1)]
 }
 
 /// Mean plus the latency percentiles the serving SLOs are written against.
@@ -72,6 +81,22 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), 100.0);
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_min_and_max() {
+        let v = [2.5, 3.5, 9.0];
+        assert_eq!(percentile(&v, 0.0), 2.5, "p=0 is the explicit minimum");
+        assert_eq!(percentile(&v, 100.0), 9.0, "p=100 is the maximum");
+        // Tiny positive p rounds up to rank 1, agreeing with p=0.
+        assert_eq!(percentile(&v, 0.001), 2.5);
+    }
+
+    #[test]
+    fn percentile_of_one_sample_is_that_sample() {
+        for p in [0.0, 0.5, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
     }
 
     #[test]

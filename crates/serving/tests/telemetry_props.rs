@@ -1,0 +1,48 @@
+//! Cross-crate property: the telemetry histogram's log-bucketed
+//! `quantile(p)` agrees with the exact nearest-rank
+//! `serving::metrics::percentile` over the same samples to within one
+//! bucket width (a factor of `growth()` ≈ 2^(1/8)), and the endpoints
+//! (p = 0 and p = 100) are exact.
+
+use dsv3_serving::percentile;
+use dsv3_telemetry::{growth, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_brackets_exact_percentile(
+        samples in prop::collection::vec(0.001f64..1e6, 1..400),
+        p in 0.0f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = percentile(&sorted, p);
+        let q = h.quantile(p);
+        // The bucketed estimate can only round a sample *up* to its
+        // bucket's upper bound (clamped to [min, max]), so it brackets
+        // the exact value within one multiplicative bucket width.
+        prop_assert!(q >= exact - 1e-9, "p={p}: quantile {q} below exact {exact}");
+        prop_assert!(
+            q <= exact * growth() * (1.0 + 1e-9),
+            "p={p}: quantile {q} more than one bucket above exact {exact}"
+        );
+    }
+
+    #[test]
+    fn endpoints_match_exactly(samples in prop::collection::vec(0.001f64..1e6, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(h.quantile(0.0), percentile(&sorted, 0.0));
+        prop_assert_eq!(h.quantile(100.0), percentile(&sorted, 100.0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Log-bucketed histograms with a nearest-rank `quantile()`.
+//!
+//! Buckets grow geometrically by `2^(1/8)` (≈ 9% relative width), so a
+//! histogram of millions of latency samples costs a few hundred bucket
+//! counters while `quantile(p)` stays within one bucket width of the
+//! exact nearest-rank percentile (`dsv3_serving::metrics::percentile`)
+//! over the same samples — the property the telemetry proptests pin
+//! down.
+
+use std::collections::BTreeMap;
+
+/// Natural log of the bucket growth factor: buckets grow by `2^(1/8)`.
+const LN_GROWTH: f64 = std::f64::consts::LN_2 / 8.0;
+
+/// The multiplicative bucket width (`2^(1/8)` ≈ 1.0905): bucket `b`
+/// covers `[growth^b, growth^(b+1))`.
+#[must_use]
+pub fn growth() -> f64 {
+    LN_GROWTH.exp()
+}
+
+/// A log-bucketed histogram over positive samples (non-positive samples
+/// land in a dedicated underflow bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket index → count; bucket `b` covers `[growth^b, growth^(b+1))`.
+    counts: BTreeMap<i32, u64>,
+    /// Samples `<= 0` (latencies can legitimately be exactly zero).
+    zero_count: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. Non-finite samples are ignored (they carry no
+    /// rank information and would poison `sum`).
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if v > 0.0 {
+            let b = (v.ln() / LN_GROWTH).floor() as i32;
+            *self.counts.entry(b).or_insert(0) += 1;
+        } else {
+            self.zero_count += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (exact, not bucketed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of an empty histogram");
+        self.min
+    }
+
+    /// Largest sample (exact, not bucketed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of an empty histogram");
+        self.max
+    }
+
+    /// Arithmetic mean (exact, not bucketed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        assert!(self.count > 0, "mean of an empty histogram");
+        self.sum / self.count as f64
+    }
+
+    /// Nearest-rank quantile, `p` in `[0, 100]` — the same convention as
+    /// `dsv3_serving::metrics::percentile`. `p = 0` returns the exact
+    /// minimum and `p = 100` the exact maximum; interior quantiles
+    /// return the upper bound of the bucket holding the rank-selected
+    /// sample (clamped to `[min, max]`), so the result is within one
+    /// bucket width (a factor of [`growth`]) of the exact percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(self.count > 0, "quantile of an empty histogram");
+        assert!((0.0..=100.0).contains(&p), "p={p} out of range");
+        if p == 0.0 {
+            return self.min;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = self.zero_count;
+        if rank <= cum {
+            // The rank falls among the non-positive samples; min is the
+            // tightest value we kept for that bucket.
+            return self.min;
+        }
+        for (&b, &c) in &self.counts {
+            cum += c;
+            if cum >= rank {
+                let hi = (f64::from(b + 1) * LN_GROWTH).exp();
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_brackets_exact_percentile() {
+        let mut h = Histogram::new();
+        let samples: Vec<f64> = (1..=1000).map(|i| f64::from(i) * 0.37).collect();
+        for &s in &samples {
+            h.observe(s);
+        }
+        for p in [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let rank = ((p / 100.0 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let q = h.quantile(p);
+            assert!(q >= exact - 1e-12, "p={p}: q {q} < exact {exact}");
+            assert!(q <= exact * growth() * (1.0 + 1e-9), "p={p}: q {q} >> exact {exact}");
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.5, 1.25, 9.0, 2.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 1.25);
+        assert_eq!(h.quantile(100.0), 9.0);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 3.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_negative_samples_use_the_underflow_bucket() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-2.0);
+        h.observe(5.0);
+        assert_eq!(h.quantile(0.0), -2.0);
+        assert_eq!(h.quantile(100.0), 5.0);
+        // Rank 2 of 3 is still in the underflow bucket.
+        assert_eq!(h.quantile(50.0), -2.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(50.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn quantile_rejects_empty() {
+        let _ = Histogram::new().quantile(50.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.observe(7.5);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(h.quantile(p), 7.5);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # dsv3-telemetry — deterministic sim-time observability
+//!
+//! The simulators in this workspace (`dsv3-serving`, `dsv3-netsim`, the
+//! fault drill) emit end-of-run aggregates; decomposing a surprising
+//! TPOT number or a retention dip needs *where the time went*. This
+//! crate is the observability substrate:
+//!
+//! - [`Recorder`] — labeled counters, gauges, and log-bucketed
+//!   [`Histogram`]s, plus span/instant/counter-sample trace events. Every
+//!   timestamp is **simulation time** supplied by the instrumented code
+//!   (never a wall clock), so traces are byte-reproducible per seed.
+//! - [`ChromeTrace`] — export in the Chrome trace-event JSON format,
+//!   loadable in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`.
+//! - [`RunManifest`] — experiment name, seed, config hash, crate
+//!   version, and a counter snapshot, attached to instrumented reports
+//!   so any artifact can be traced back to the exact run that made it.
+//!
+//! A **disabled** recorder ([`Recorder::disabled`]) is a strict no-op:
+//! every method early-returns without allocating, formatting, or
+//! branching on recorded state, so instrumented simulators produce
+//! byte-identical reports with telemetry off.
+//!
+//! ```
+//! use dsv3_telemetry::Recorder;
+//!
+//! let mut rec = Recorder::new();
+//! let pid = rec.process("engine");
+//! rec.span(pid, 7, "request", "decode", 1_000.0, 3_500.0);
+//! rec.counter_add("completed", 1);
+//! rec.observe("ttft_ms", 41.5);
+//! let trace = rec.export_trace();
+//! assert_eq!(trace.traceEvents.len(), 2); // process_name metadata + span
+//! ```
+
+pub mod hist;
+pub mod manifest;
+pub mod recorder;
+pub mod trace;
+
+pub use hist::{growth, Histogram};
+pub use manifest::{config_hash, manifest_wrap, MetricsDocument, RunManifest};
+pub use recorder::{HistogramSummary, MetricsSnapshot, Recorder};
+pub use trace::{validate_chrome_trace, ChromeTrace, TraceEvent, TraceStats};

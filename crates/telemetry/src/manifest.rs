@@ -1,0 +1,137 @@
+//! Run manifests: enough provenance to trace any emitted artifact back
+//! to the run that produced it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::{MetricsSnapshot, Recorder};
+
+/// Provenance of one instrumented run, attached as the `manifest`
+/// section of instrumented JSON reports and metrics documents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Experiment name (the registry entry).
+    pub experiment: String,
+    /// Seed the run was driven by (0 when the experiment is seedless).
+    pub seed: u64,
+    /// FNV-1a hash of the serialized configuration ([`config_hash`]).
+    pub config_hash: String,
+    /// Workspace crate version the run was built from.
+    pub crate_version: String,
+    /// Counter snapshot at export time.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunManifest {
+    /// Build a manifest from a finished run's recorder.
+    #[must_use]
+    pub fn capture(experiment: &str, seed: u64, config_json: &str, rec: &Recorder) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            seed,
+            config_hash: config_hash(config_json),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            counters: rec.counters().clone(),
+        }
+    }
+}
+
+/// The `--metrics-out` document: manifest + full metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsDocument {
+    /// Provenance of the run.
+    pub manifest: RunManifest,
+    /// Every labeled counter, gauge, and histogram summary.
+    pub metrics: MetricsSnapshot,
+}
+
+/// 64-bit FNV-1a over the serialized configuration, rendered as
+/// `fnv1a64:<16 hex digits>`. Equal configs hash equal; the hash is part
+/// of the manifest so config drift between runs is detectable.
+#[must_use]
+pub fn config_hash(config_json: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in config_json.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a64:{h:016x}")
+}
+
+/// Wrap an experiment's JSON report in a `{"manifest": ..., "report":
+/// ...}` document. The report is re-parsed (not string-spliced) so the
+/// result is structurally valid whatever the report contains.
+///
+/// # Panics
+///
+/// Panics if `report_json` is not valid JSON or the manifest fails to
+/// serialize — both would be workspace bugs, not user errors.
+#[must_use]
+pub fn manifest_wrap(manifest: &RunManifest, report_json: &str) -> String {
+    let report: serde_json::Value =
+        serde_json::from_str(report_json).expect("experiment reports are valid JSON");
+    let manifest_value: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(manifest).expect("manifest serializes"))
+            .expect("manifest JSON parses back");
+    let doc = serde_json::Value::Object(vec![
+        ("manifest".to_string(), manifest_value),
+        ("report".to_string(), report),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("wrapped document serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(config_hash(""), "fnv1a64:cbf29ce484222325");
+        assert_eq!(config_hash("a"), "fnv1a64:af63dc4c8601ec8c");
+        assert_eq!(config_hash("foobar"), "fnv1a64:85944171f73967e8");
+    }
+
+    #[test]
+    fn capture_reads_counters() {
+        let mut rec = Recorder::new();
+        rec.counter_add("unified.completed", 600);
+        let m = RunManifest::capture("serving", 42, "{\"a\":1}", &rec);
+        assert_eq!(m.experiment, "serving");
+        assert_eq!(m.seed, 42);
+        assert_eq!(m.counters["unified.completed"], 600);
+        assert!(m.config_hash.starts_with("fnv1a64:"));
+        assert!(!m.crate_version.is_empty());
+    }
+
+    #[test]
+    fn wrap_produces_manifest_and_report_sections() {
+        let m = RunManifest::capture("serving", 1, "{}", &Recorder::new());
+        let doc = manifest_wrap(&m, "{\"rows\": [1, 2]}");
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("valid");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj[0].0, "manifest");
+        assert_eq!(obj[1].0, "report");
+        let back: RunManifest =
+            serde_json::from_str(&serde_json::to_string(&m).expect("serializes"))
+                .expect("round-trips");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_is_deterministic() {
+        let mut r1 = Recorder::new();
+        let mut r2 = Recorder::new();
+        for r in [&mut r1, &mut r2] {
+            r.counter_add("x", 3);
+            r.counter_add("y", 1);
+        }
+        let a = RunManifest::capture("e", 9, "cfg", &r1);
+        let b = RunManifest::capture("e", 9, "cfg", &r2);
+        assert_eq!(
+            serde_json::to_string(&a).expect("serializes"),
+            serde_json::to_string(&b).expect("serializes")
+        );
+    }
+}

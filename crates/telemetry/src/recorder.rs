@@ -1,0 +1,360 @@
+//! The [`Recorder`]: where instrumented simulators deposit metrics and
+//! trace events.
+//!
+//! All storage is ordered (`BTreeMap` + append-order `Vec`), and all
+//! timestamps come from the caller's simulation clock, so a recorder
+//! filled by a deterministic simulation exports byte-identical JSON on
+//! every run. A disabled recorder early-returns from every method: the
+//! instrumented hot loops pay one branch and nothing else.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::Histogram;
+use crate::trace::{ChromeTrace, TraceEvent};
+
+/// Bucketless summary of one histogram, for metrics snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest rank, within one bucket width).
+    pub p50: f64,
+    /// 95th percentile (within one bucket width).
+    pub p95: f64,
+    /// 99th percentile (within one bucket width).
+    pub p99: f64,
+}
+
+/// Every labeled metric a [`Recorder`] accumulated, in serializable form
+/// (`--metrics-out`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins point-in-time values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Distribution summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Sim-time telemetry sink: counters, gauges, histograms, and Chrome
+/// trace events. See the crate docs for the determinism and disabled
+/// no-op contracts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Recorder {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<TraceEvent>,
+    /// Process label → pid, in registration order.
+    pids: BTreeMap<String, u64>,
+    /// (pid, thread label) → tid, in registration order per pid.
+    tids: BTreeMap<(u64, String), u64>,
+    next_pid: u64,
+    next_tid: BTreeMap<u64, u64>,
+}
+
+impl Recorder {
+    /// An enabled recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { enabled: true, ..Self::disabled() }
+    }
+
+    /// A disabled recorder: every method is a no-op. This is what the
+    /// un-instrumented `run()` entry points pass through their traced
+    /// internals, keeping the default path byte-identical.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            events: Vec::new(),
+            pids: BTreeMap::new(),
+            tids: BTreeMap::new(),
+            next_pid: 1,
+            next_tid: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this recorder records anything. Instrumentation sites
+    /// check this before formatting labels so the disabled path never
+    /// allocates.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or look up) a trace process track named `label`,
+    /// emitting the `process_name` metadata event on first use. Returns
+    /// 0 when disabled.
+    pub fn process(&mut self, label: &str) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        if let Some(&pid) = self.pids.get(label) {
+            return pid;
+        }
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.pids.insert(label.to_string(), pid);
+        self.events.push(meta_event("process_name", label, pid, 0));
+        pid
+    }
+
+    /// Register (or look up) a named thread track under `pid`, emitting
+    /// the `thread_name` metadata event on first use. Returns 0 when
+    /// disabled.
+    pub fn thread(&mut self, pid: u64, label: &str) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let key = (pid, label.to_string());
+        if let Some(&tid) = self.tids.get(&key) {
+            return tid;
+        }
+        let next = self.next_tid.entry(pid).or_insert(1);
+        let tid = *next;
+        *next += 1;
+        self.tids.insert(key, tid);
+        self.events.push(meta_event("thread_name", label, pid, tid));
+        tid
+    }
+
+    /// Record a complete span (`"X"`): `[start_us, end_us]` on track
+    /// `(pid, tid)`. Negative extents are clamped to zero duration.
+    pub fn span(&mut self, pid: u64, tid: u64, cat: &str, name: &str, start_us: f64, end_us: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: "X".to_string(),
+            ts: start_us,
+            dur: (end_us - start_us).max(0.0),
+            pid,
+            tid,
+            args: BTreeMap::new(),
+        });
+    }
+
+    /// Record an instant event (`"i"`) at `ts_us`.
+    pub fn instant(&mut self, pid: u64, tid: u64, cat: &str, name: &str, ts_us: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: "i".to_string(),
+            ts: ts_us,
+            dur: 0.0,
+            pid,
+            tid,
+            args: BTreeMap::new(),
+        });
+    }
+
+    /// Record a counter sample (`"C"`): viewers render these as a
+    /// stacked area chart per `(pid, name)`.
+    pub fn counter_sample(&mut self, pid: u64, name: &str, ts_us: f64, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut args = BTreeMap::new();
+        args.insert("value".to_string(), serde_json::Value::Float(value));
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: "counter".to_string(),
+            ph: "C".to_string(),
+            ts: ts_us,
+            dur: 0.0,
+            pid,
+            tid: 0,
+            args,
+        });
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the gauge `name` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record `value` into the histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// The accumulated counters (empty when disabled).
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Read back one histogram, if it exists.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Trace events recorded so far.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Summarize every labeled metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramSummary {
+                        count: h.count(),
+                        sum: h.sum(),
+                        mean: h.mean(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50: h.quantile(50.0),
+                        p95: h.quantile(95.0),
+                        p99: h.quantile(99.0),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot { counters: self.counters.clone(), gauges: self.gauges.clone(), histograms }
+    }
+
+    /// Export everything recorded as a Chrome trace document.
+    #[must_use]
+    pub fn export_trace(&self) -> ChromeTrace {
+        ChromeTrace { traceEvents: self.events.clone(), displayTimeUnit: "ms".to_string() }
+    }
+}
+
+fn meta_event(kind: &str, label: &str, pid: u64, tid: u64) -> TraceEvent {
+    let mut args = BTreeMap::new();
+    args.insert("name".to_string(), serde_json::Value::Str(label.to_string()));
+    TraceEvent {
+        name: kind.to_string(),
+        cat: "__metadata".to_string(),
+        ph: "M".to_string(),
+        ts: 0.0,
+        dur: 0.0,
+        pid,
+        tid,
+        args,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::validate_chrome_trace;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let pid = rec.process("engine");
+        let tid = rec.thread(pid, "t");
+        rec.span(pid, tid, "c", "s", 0.0, 5.0);
+        rec.instant(pid, tid, "c", "i", 1.0);
+        rec.counter_sample(pid, "batch", 2.0, 3.0);
+        rec.counter_add("completed", 1);
+        rec.gauge_set("g", 1.0);
+        rec.observe("h", 2.0);
+        assert_eq!(pid, 0);
+        assert_eq!(tid, 0);
+        assert!(rec.events().is_empty());
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+        assert!(rec.export_trace().traceEvents.is_empty());
+    }
+
+    #[test]
+    fn process_and_thread_ids_are_stable() {
+        let mut rec = Recorder::new();
+        let a = rec.process("engine");
+        let b = rec.process("requests");
+        assert_ne!(a, b);
+        assert_eq!(rec.process("engine"), a);
+        let t1 = rec.thread(a, "crash");
+        assert_eq!(rec.thread(a, "crash"), t1);
+        assert_ne!(rec.thread(a, "flap"), t1);
+        // Metadata events: 2 processes + 2 threads.
+        assert_eq!(rec.events().len(), 4);
+    }
+
+    #[test]
+    fn export_is_valid_chrome_trace() {
+        let mut rec = Recorder::new();
+        let pid = rec.process("netsim");
+        rec.span(pid, 3, "flow", "flow3", 10.0, 40.0);
+        rec.instant(pid, 0, "fault", "inject sdc", 12.0);
+        rec.counter_sample(pid, "link0_util", 10.0, 0.75);
+        let stats = validate_chrome_trace(&rec.export_trace().to_json()).expect("valid");
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.metadata, 1);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut rec = Recorder::new();
+        rec.counter_add("done", 2);
+        rec.counter_add("done", 3);
+        rec.gauge_set("util", 0.5);
+        rec.gauge_set("util", 0.9);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            rec.observe("lat", v);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["done"], 5);
+        assert!((snap.gauges["util"] - 0.9).abs() < 1e-12);
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 4.0);
+        assert!(h.p50 >= 2.0 && h.p50 <= 2.0 * crate::hist::growth() * 1.000_001);
+    }
+
+    #[test]
+    fn negative_span_extent_clamps_to_zero_duration() {
+        let mut rec = Recorder::new();
+        rec.span(1, 1, "c", "s", 5.0, 3.0);
+        assert_eq!(rec.events()[0].dur, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Chrome trace-event JSON: the export format and a validator.
+//!
+//! The emitted document is the "JSON Object Format" of the Trace Event
+//! spec: `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing` both load it
+//! directly. Timestamps (`ts`) and durations (`dur`) are microseconds of
+//! **simulation time**; `pid`/`tid` are synthetic track ids named via
+//! `"M"` (metadata) events.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One trace event. Phases used by this workspace:
+///
+/// * `"X"` — complete event (span): `ts` + `dur`
+/// * `"i"` — instant event
+/// * `"C"` — counter sample (`args["value"]`)
+/// * `"M"` — metadata (`process_name` / `thread_name`, `args["name"]`)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name (span label, counter name, or metadata kind).
+    pub name: String,
+    /// Category, used by trace viewers for filtering.
+    pub cat: String,
+    /// Phase code (see above).
+    pub ph: String,
+    /// Timestamp, microseconds of simulation time.
+    pub ts: f64,
+    /// Duration, microseconds (zero for non-span events).
+    pub dur: f64,
+    /// Synthetic process id (one per instrumented component).
+    pub pid: u64,
+    /// Synthetic thread id (request id, flow id, fault class, ...).
+    pub tid: u64,
+    /// Event arguments (counter values, metadata names).
+    pub args: BTreeMap<String, serde_json::Value>,
+}
+
+/// The exported document, shaped exactly like the Trace Event spec's
+/// JSON Object Format (hence the non-snake-case field names).
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// All events, in recording order.
+    pub traceEvents: Vec<TraceEvent>,
+    /// Display unit hint for viewers (`"ms"`).
+    pub displayTimeUnit: String,
+}
+
+impl ChromeTrace {
+    /// Serialize to a compact JSON string (traces get large).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which would be a bug in the
+    /// vendored serde stand-ins.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+}
+
+/// What [`validate_chrome_trace`] counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// `"X"` complete events (spans).
+    pub spans: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// `"C"` counter samples.
+    pub counters: usize,
+    /// `"M"` metadata events.
+    pub metadata: usize,
+}
+
+/// Parse `json` as a Chrome trace-event document and sanity-check every
+/// event (string `name`/`ph`, numeric `ts`/`pid`/`tid`). Used by the CI
+/// smoke test (`dsv3 check-trace`).
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let Some(entries) = doc.as_object() else {
+        return Err("top level is not a JSON object".into());
+    };
+    let Some(events) = entries.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v) else {
+        return Err("missing \"traceEvents\" key".into());
+    };
+    let Some(events) = events.as_array() else {
+        return Err("\"traceEvents\" is not an array".into());
+    };
+    let mut stats =
+        TraceStats { events: events.len(), spans: 0, instants: 0, counters: 0, metadata: 0 };
+    for (i, ev) in events.iter().enumerate() {
+        let Some(fields) = ev.as_object() else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let Some(serde_json::Value::Str(ph)) = get("ph") else {
+            return Err(format!("event {i}: missing string \"ph\""));
+        };
+        if !matches!(get("name"), Some(serde_json::Value::Str(_))) {
+            return Err(format!("event {i}: missing string \"name\""));
+        }
+        for key in ["ts", "pid", "tid"] {
+            if get(key).and_then(serde_json::Value::as_f64).is_none() {
+                return Err(format!("event {i}: missing numeric \"{key}\""));
+            }
+        }
+        match ph.as_str() {
+            "X" => stats.spans += 1,
+            "i" => stats.instants += 1,
+            "C" => stats.counters += 1,
+            "M" => stats.metadata += 1,
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ph: &str) -> TraceEvent {
+        TraceEvent {
+            name: "e".into(),
+            cat: "test".into(),
+            ph: ph.into(),
+            ts: 1.5,
+            dur: if ph == "X" { 2.0 } else { 0.0 },
+            pid: 1,
+            tid: 2,
+            args: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn export_validates() {
+        let trace = ChromeTrace {
+            traceEvents: vec![event("X"), event("i"), event("C"), event("M")],
+            displayTimeUnit: "ms".into(),
+        };
+        let stats = validate_chrome_trace(&trace.to_json()).expect("valid");
+        assert_eq!(
+            stats,
+            TraceStats { events: 4, spans: 1, instants: 1, counters: 1, metadata: 1 }
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": []}").is_ok());
+    }
+
+    #[test]
+    fn events_round_trip_through_serde_json() {
+        let mut e = event("C");
+        e.args.insert("value".into(), serde_json::Value::Float(3.25));
+        let json = serde_json::to_string(&e).expect("serializes");
+        let back: TraceEvent = serde_json::from_str(&json).expect("parses");
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,56 @@
+//! Properties of the trace export: recorded spans survive a round trip
+//! through `serde_json` unchanged, and every export the recorder can
+//! produce passes its own validator.
+
+use dsv3_telemetry::{validate_chrome_trace, ChromeTrace, Recorder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recorded_spans_round_trip_through_serde_json(
+        spans in prop::collection::vec(
+            (0.0f64..1e9, 0.0f64..1e6, 1u64..64, 0u64..64),
+            0..32,
+        ),
+    ) {
+        let mut rec = Recorder::new();
+        let pid = rec.process("engine");
+        for (i, &(start, dur, _, tid)) in spans.iter().enumerate() {
+            rec.span(pid, tid, "request", &format!("span{i}"), start, start + dur);
+        }
+        let trace = rec.export_trace();
+        let json = trace.to_json();
+        let back: ChromeTrace = serde_json::from_str(&json).expect("export parses");
+        prop_assert_eq!(&back, &trace, "round trip must be lossless");
+        let stats = validate_chrome_trace(&json).expect("export validates");
+        prop_assert_eq!(stats.spans, spans.len());
+        prop_assert_eq!(stats.metadata, 1);
+    }
+
+    #[test]
+    fn mixed_event_exports_always_validate(
+        n_spans in 0usize..16,
+        n_instants in 0usize..16,
+        n_counters in 0usize..16,
+    ) {
+        let mut rec = Recorder::new();
+        let pid = rec.process("p");
+        let tid = rec.thread(pid, "t");
+        for i in 0..n_spans {
+            rec.span(pid, tid, "c", "s", i as f64, i as f64 + 1.0);
+        }
+        for i in 0..n_instants {
+            rec.instant(pid, tid, "c", "i", i as f64);
+        }
+        for i in 0..n_counters {
+            rec.counter_sample(pid, "v", i as f64, i as f64 * 0.5);
+        }
+        let stats = validate_chrome_trace(&rec.export_trace().to_json()).expect("valid");
+        prop_assert_eq!(stats.spans, n_spans);
+        prop_assert_eq!(stats.instants, n_instants);
+        prop_assert_eq!(stats.counters, n_counters);
+        prop_assert_eq!(stats.events, n_spans + n_instants + n_counters + 2);
+    }
+}

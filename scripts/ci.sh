@@ -16,6 +16,12 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> telemetry smoke: dsv3 serving --trace-out emits a valid Chrome trace"
+trace_tmp="$(mktemp /tmp/dsv3_trace.XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+./target/release/dsv3 serving --trace-out "$trace_tmp" > /dev/null
+./target/release/dsv3 check-trace "$trace_tmp"
+
 echo "==> examples build"
 cargo build --release --offline --examples
 

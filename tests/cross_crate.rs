@@ -87,6 +87,81 @@ fn deepep_full_scale_when_optimized() {
     assert!(p.combine_gbps > 40.0, "{}", p.combine_gbps);
 }
 
+/// The two views of plane health must agree at every instant: the
+/// event-driven [`FaultDriver`] (what the serving/training loops consume)
+/// and the analytic [`FlapSchedule`] (what the collectives' degradation
+/// study samples). `FlapSchedule` is the **canonical** semantics — a
+/// plane is down from its flap instant (inclusive) until its repair
+/// instant (exclusive) — and the driver matches it by delivering repairs
+/// before new injections on ties.
+#[test]
+fn fault_driver_plane_state_matches_flap_schedule() {
+    use dsv3_core::faults::{
+        bandwidth_retention, FaultDriver, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig,
+        Injectable,
+    };
+    use std::collections::BTreeMap;
+
+    /// Refcounted view of which planes the driver currently holds down
+    /// (overlapping flaps of one plane must not "heal early").
+    #[derive(Default)]
+    struct PlaneTracker {
+        down: BTreeMap<usize, usize>,
+    }
+    impl PlaneTracker {
+        fn failed_planes(&self) -> Vec<usize> {
+            self.down.iter().filter(|&(_, &n)| n > 0).map(|(&p, _)| p).collect()
+        }
+    }
+    impl Injectable for PlaneTracker {
+        fn inject(&mut self, _seq: usize, event: &FaultEvent) {
+            if let FaultKind::PlaneFlap { plane, .. } = event.kind {
+                *self.down.entry(plane).or_insert(0) += 1;
+            }
+        }
+        fn heal(&mut self, _seq: usize, event: &FaultEvent) {
+            if let FaultKind::PlaneFlap { plane, .. } = event.kind {
+                let n = self.down.get_mut(&plane).expect("heal pairs with inject");
+                *n -= 1;
+            }
+        }
+    }
+
+    // Long repairs relative to the MTBF so overlapping flaps (including
+    // repeat flaps of the same plane) actually occur.
+    let plan = FaultPlan::generate(&FaultPlanConfig {
+        seed: 7,
+        horizon_ms: 120_000.0,
+        planes: 8,
+        flap_mtbf_ms: 5_000.0,
+        flap_repair_ms: 9_000.0,
+        ..FaultPlanConfig::default()
+    });
+    let sched = plan.flap_schedule();
+    assert!(sched.flaps.len() >= 4, "need a non-trivial schedule, got {}", sched.flaps.len());
+
+    // Probe every edge of the step function plus the interior of every
+    // interval (and one point past the end), in ascending order.
+    let edges = sched.change_points_ms();
+    let mut probes = vec![0.0];
+    for (i, &t) in edges.iter().enumerate() {
+        probes.push(t);
+        let next = edges.get(i + 1).copied().unwrap_or(t + 2_000.0);
+        probes.push((t + next) / 2.0);
+    }
+
+    let mut driver = FaultDriver::new(&plan);
+    let mut tracker = PlaneTracker::default();
+    for &t in &probes {
+        driver.poll(t, &mut tracker);
+        let driver_view = tracker.failed_planes();
+        let canonical = sched.failed_planes_at(t);
+        assert_eq!(driver_view, canonical, "plane sets diverge at t={t}ms");
+        let retention = bandwidth_retention(sched.planes, driver_view.len());
+        assert!((retention - sched.retention_at(t)).abs() < 1e-12, "retention diverges at t={t}ms");
+    }
+}
+
 /// FP8 GEMM emulation composes with the model's MLA layer dims: quantized
 /// projection of a batch through W_DKV-like weights keeps small error.
 #[test]

@@ -1,0 +1,61 @@
+//! Golden-output tests: with telemetry off, the `serving` and
+//! `fault-drill` reports are byte-identical to the pre-telemetry
+//! captures under `tests/golden/` — instrumenting the simulators must
+//! not perturb a single byte of the default output.
+
+use dsv3_core::registry;
+use dsv3_core::telemetry::Recorder;
+
+fn entry(name: &str) -> dsv3_core::Entry {
+    registry().into_iter().find(|e| e.name == name).expect("registered")
+}
+
+/// A golden file is exactly what `dsv3 <name>` prints: the rendered
+/// table plus the trailing newline `println!` appends.
+fn rendered(name: &str) -> String {
+    format!("{}\n", (entry(name).render)())
+}
+
+fn json(name: &str) -> String {
+    format!("{}\n", (entry(name).json)())
+}
+
+#[test]
+fn serving_text_report_matches_golden() {
+    assert_eq!(rendered("serving"), include_str!("golden/serving.txt"));
+}
+
+#[test]
+fn serving_json_report_matches_golden() {
+    assert_eq!(json("serving"), include_str!("golden/serving.json"));
+}
+
+#[test]
+fn fault_drill_text_report_matches_golden() {
+    assert_eq!(rendered("fault-drill"), include_str!("golden/fault_drill.txt"));
+}
+
+#[test]
+fn fault_drill_json_report_matches_golden() {
+    assert_eq!(json("fault-drill"), include_str!("golden/fault_drill.json"));
+}
+
+/// The instrumented path computes the same report the plain path does —
+/// the trace is a pure side channel.
+#[test]
+fn instrumented_reports_match_goldens_too() {
+    for (name, txt, js) in [
+        ("serving", include_str!("golden/serving.txt"), include_str!("golden/serving.json")),
+        (
+            "fault-drill",
+            include_str!("golden/fault_drill.txt"),
+            include_str!("golden/fault_drill.json"),
+        ),
+    ] {
+        let mut rec = Recorder::new();
+        let run = (entry(name).instrumented.expect("traceable"))(&mut rec);
+        assert_eq!(format!("{}\n", run.table), txt, "{name} instrumented table drifted");
+        assert_eq!(format!("{}\n", run.json), js, "{name} instrumented JSON drifted");
+        assert!(!rec.events().is_empty(), "{name} instrumented run must actually trace");
+    }
+}
