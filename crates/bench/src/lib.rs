@@ -11,3 +11,5 @@
 //!   interval, schedule families, plane failures, EPLB redundancy.
 //!
 //! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

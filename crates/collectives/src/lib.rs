@@ -12,6 +12,8 @@
 //! * [`deepep`] — EP dispatch & combine with node-limited routing and
 //!   NVLink deduplication (Figure 7 and the §4.3 traffic analysis).
 
+#![forbid(unsafe_code)]
+
 pub mod alltoall;
 pub mod cluster;
 pub mod deepep;

@@ -8,6 +8,7 @@
 //! dsv3 serving --trace-out t.json   # Chrome-trace of the simulation
 //! dsv3 serving --metrics-out m.json # counters/gauges/histograms + manifest
 //! dsv3 check-trace t.json           # validate an emitted trace file
+//! dsv3 lint                         # invariant lint; nonzero exit on errors
 //! ```
 //!
 //! The experiment table itself lives in [`dsv3_core::registry`] so tests
@@ -151,6 +152,49 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        // `lint` is special: unlike the experiments it has a pass/fail
+        // verdict, so a clean CI gate needs the exit code to carry it.
+        Some("lint") => {
+            let report = dsv3_core::experiments::lint::run();
+            let rec = Recorder::new();
+            let manifest =
+                RunManifest::capture("lint", 0, &dsv3_core::experiments::lint::config_json(), &rec);
+            if telemetry {
+                eprintln!(
+                    "note: 'lint' is analytic (no simulation loop); the trace will only carry \
+                     metadata"
+                );
+            }
+            if let Some(path) = &cli.trace_out {
+                if let Err(err) = std::fs::write(path, rec.export_trace().to_json()) {
+                    eprintln!("cannot write trace to '{path}': {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(path) = &cli.metrics_out {
+                let doc = MetricsDocument { manifest: manifest.clone(), metrics: rec.snapshot() };
+                let body = serde_json::to_string_pretty(&doc).expect("metrics document serializes");
+                if let Err(err) = std::fs::write(path, body) {
+                    eprintln!("cannot write metrics to '{path}': {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if cli.json {
+                let body =
+                    serde_json::to_string_pretty(&report).unwrap_or_else(|_| String::from("null"));
+                println!("{}", dsv3_core::telemetry::manifest_wrap(&manifest, &body));
+            } else {
+                for f in &report.findings {
+                    println!("{}:{}: {}[{}]: {}", f.path, f.line, f.severity, f.rule, f.message);
+                }
+                println!("{}", dsv3_core::experiments::lint::render_report(&report));
+            }
+            if report.errors > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         Some("all") => {
             if telemetry {
                 eprintln!("--trace-out/--metrics-out need a single experiment, not 'all'");

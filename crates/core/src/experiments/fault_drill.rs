@@ -118,14 +118,10 @@ pub fn seed() -> u64 {
 }
 
 /// Serialized configuration of the drill, for the run manifest.
-///
-/// # Panics
-///
-/// Panics if config serialization fails (a workspace bug).
 #[must_use]
 pub fn config_json() -> String {
-    let cfg = serde_json::to_string(&scenario()).expect("serializes");
-    let plan = serde_json::to_string(&plan_config(seed())).expect("serializes");
+    let cfg = crate::report::json_or_null(&scenario());
+    let plan = crate::report::json_or_null(&plan_config(seed()));
     format!("[{cfg},{plan}]")
 }
 
@@ -157,8 +153,8 @@ pub fn run_seeded_traced(seed: u64, rec: &mut Recorder) -> FaultDrillReport {
     )
     .serving;
     let empty = run_with_faults(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default());
-    let empty_plan_identical = serde_json::to_string(&healthy).expect("report serializes")
-        == serde_json::to_string(&empty.serving).expect("report serializes");
+    let empty_plan_identical =
+        crate::report::json_or_null(&healthy) == crate::report::json_or_null(&empty.serving);
 
     let plan = FaultPlan::generate(&plan_config(seed));
     let faulty = run_with_faults_traced(&cfg, &plan, &RecoveryPolicy::default(), rec, "faulty");

@@ -67,8 +67,7 @@ pub fn render() -> Table {
             let get = |policy: &str| {
                 pts.iter()
                     .find(|p| p.collective == coll && p.tp == tp && p.policy == policy)
-                    .map(|p| fmt(p.busbw_gbps, 1))
-                    .expect("point present")
+                    .map_or_else(|| String::from("-"), |p| fmt(p.busbw_gbps, 1))
             };
             t.row(&[coll.to_string(), tp.to_string(), get("ECMP"), get("AR"), get("Static")]);
         }

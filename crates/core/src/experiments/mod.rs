@@ -22,6 +22,7 @@
 //! | [`fault_drill`] | §5.1.1/§6.1 — seeded fault-injection drill |
 //! | [`future_hardware`] | §4.4/§4.5/§6.4/§6.5 — recommendation payoffs |
 //! | [`serving`] | §2.3 — request-level serving simulation |
+//! | [`lint`] | repo invariants — determinism / panic-freedom / vendor policy |
 
 pub mod fault_drill;
 pub mod fig5;
@@ -31,6 +32,7 @@ pub mod fig8;
 pub mod fp8_gemm;
 pub mod fp8_training;
 pub mod future_hardware;
+pub mod lint;
 pub mod local_deploy;
 pub mod logfmt;
 pub mod mtp;

@@ -62,16 +62,13 @@ pub fn seed() -> u64 {
 }
 
 /// Serialized configuration of both arms, for the run manifest.
-///
-/// # Panics
-///
-/// Panics if config serialization fails (a workspace bug).
 #[must_use]
 pub fn config_json() -> String {
-    let unified = serde_json::to_string(&scenario(RouterPolicy::Unified));
-    let disagg =
-        serde_json::to_string(&scenario(RouterPolicy::Disaggregated { prefill_fraction: 0.7 }));
-    format!("[{},{}]", unified.expect("serializes"), disagg.expect("serializes"))
+    let unified = crate::report::json_or_null(&scenario(RouterPolicy::Unified));
+    let disagg = crate::report::json_or_null(&scenario(RouterPolicy::Disaggregated {
+        prefill_fraction: 0.7,
+    }));
+    format!("[{unified},{disagg}]")
 }
 
 /// [`run`] with telemetry: both arms trace into `rec` under the

@@ -17,6 +17,8 @@
 //! [`numerics`], [`model`], [`topology`], [`netsim`], [`collectives`],
 //! [`parallel`], [`inference`], [`faults`], [`serving`], [`telemetry`].
 
+#![forbid(unsafe_code)]
+
 pub use dsv3_collectives as collectives;
 pub use dsv3_faults as faults;
 pub use dsv3_inference as inference;

@@ -40,7 +40,7 @@ pub struct Entry {
 }
 
 fn to_json<T: serde::Serialize>(v: &T) -> String {
-    serde_json::to_string_pretty(v).expect("experiment rows serialize")
+    serde_json::to_string_pretty(v).unwrap_or_else(|_| String::from("null"))
 }
 
 /// A plain (un-instrumented) entry.
@@ -129,6 +129,9 @@ pub fn registry() -> Vec<Entry> {
                 }
             }),
         },
+        plain("lint", "workspace invariant lint (determinism/panic/vendor)", lint::render, || {
+            to_json(&lint::run())
+        }),
         plain(
             "future-hardware",
             "hardware-recommendation payoffs (§6)",

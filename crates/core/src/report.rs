@@ -42,6 +42,15 @@ impl Table {
     }
 }
 
+/// Serialize to JSON, degrading to `"null"` instead of panicking.
+/// Experiment rows are plain data that always serializes; the fallback
+/// exists so library code stays panic-free (lint rule P1) even if a
+/// future row type gains a fallible `Serialize`.
+#[must_use]
+pub fn json_or_null<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| String::from("null"))
+}
+
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();

@@ -22,6 +22,8 @@
 //! report byte-for-byte, making the fault layer a strict superset of the
 //! healthy simulator.
 
+#![forbid(unsafe_code)]
+
 pub mod plan;
 pub mod recovery;
 pub mod training;

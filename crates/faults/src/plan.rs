@@ -359,6 +359,7 @@ impl FaultDriver {
     #[must_use]
     pub fn new(plan: &FaultPlan) -> Self {
         if let Err(e) = plan.validate() {
+            // lint:allow(P1) — documented constructor contract (see `# Panics`): running a drill against an invalid plan would produce meaningless recovery metrics
             panic!("invalid fault plan: {e}");
         }
         let mut events = plan.events.clone();

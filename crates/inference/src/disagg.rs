@@ -54,7 +54,7 @@ fn stats(samples: &mut [f64]) -> TpotStats {
     samples.sort_by(f64::total_cmp);
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let p95 = samples[((samples.len() as f64 * 0.95) as usize).min(samples.len() - 1)];
-    TpotStats { mean_us: mean, p95_us: p95, max_us: *samples.last().expect("nonempty") }
+    TpotStats { mean_us: mean, p95_us: p95, max_us: samples[samples.len() - 1] }
 }
 
 /// Simulate the unified pool: prefill bursts preempt decode compute, so the

@@ -7,7 +7,7 @@
 
 use dsv3_model::config::ModelConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors from cache admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,7 +55,9 @@ pub struct KvCacheManager {
     bytes_per_token: usize,
     capacity_bytes: usize,
     used_tokens: usize,
-    requests: HashMap<u64, usize>,
+    // BTreeMap, not HashMap: anything that ever iterates live requests
+    // (eviction sweeps, reporting) must see a deterministic id order.
+    requests: BTreeMap<u64, usize>,
 }
 
 impl KvCacheManager {
@@ -70,7 +72,7 @@ impl KvCacheManager {
         let bytes_per_token = model.kv_cache_bytes_per_token(bytes_per_elem);
         assert!(bytes_per_token > 0, "model caches nothing per token");
         assert!(bytes_per_token <= capacity_bytes, "budget below one token");
-        Self { bytes_per_token, capacity_bytes, used_tokens: 0, requests: HashMap::new() }
+        Self { bytes_per_token, capacity_bytes, used_tokens: 0, requests: BTreeMap::new() }
     }
 
     /// Bytes one token occupies.
@@ -131,7 +133,10 @@ impl KvCacheManager {
                 free: self.free_bytes(),
             });
         }
-        *self.requests.get_mut(&id).expect("checked") += 1;
+        let Some(tokens) = self.requests.get_mut(&id) else {
+            return Err(CacheError::UnknownRequest);
+        };
+        *tokens += 1;
         self.used_tokens += 1;
         Ok(())
     }

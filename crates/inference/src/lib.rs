@@ -13,6 +13,8 @@
 //!   (§4.5) and the value of traffic prioritization.
 //! * [`host`] — CPU-side bottleneck arithmetic (§6.2).
 
+#![forbid(unsafe_code)]
+
 pub mod contention;
 pub mod disagg;
 pub mod host;

@@ -82,7 +82,7 @@ pub fn simulate(layers: usize, p: LayerPhases) -> OverlapOutcome {
                 best = Some((mb, start));
             }
         }
-        let (mb, start) = best.expect("some phase runnable");
+        let Some((mb, start)) = best else { break };
         let (dur, gpu) = phases[idx[mb]];
         let end = start + dur;
         if gpu {

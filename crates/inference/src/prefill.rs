@@ -76,7 +76,7 @@ pub fn best_tp(
         .min_by(|&&a, &&b| {
             ttft_us(cfg, hw, prompt_tokens, a).total_cmp(&ttft_us(cfg, hw, prompt_tokens, b))
         })
-        .expect("nonempty")
+        .unwrap_or(&candidates[0])
 }
 
 #[cfg(test)]

@@ -31,7 +31,9 @@ proptest! {
     fn kvcache_accounting(ops in prop::collection::vec((0u64..8, 1usize..500), 1..40)) {
         let mut m = KvCacheManager::new(&zoo::deepseek_v3(), 2, 10_000_000_000);
         let free0 = m.free_bytes();
-        let mut live: std::collections::HashMap<u64, usize> = Default::default();
+        // BTreeMap mirrors the manager's own map: the release loop below
+        // iterates the keys, and the order should not depend on hashing.
+        let mut live: std::collections::BTreeMap<u64, usize> = Default::default();
         for (id, tokens) in ops {
             if let Some(count) = live.get_mut(&id) {
                 if m.append_token(id).is_ok() {

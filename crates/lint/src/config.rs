@@ -1,0 +1,73 @@
+//! Lint configuration: which rules run, and where each rule simply does
+//! not apply (path allowlists). Allowlists are substring matches over
+//! the workspace-relative, `/`-separated path — coarse on purpose, so
+//! the policy stays readable in one screen.
+
+use crate::rules::RuleId;
+
+/// One rule's scope: enabled + path fragments where it is exempt.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// The rule.
+    pub rule: RuleId,
+    /// Path fragments (substring match) where the rule does not apply.
+    pub allow_paths: Vec<&'static str>,
+}
+
+/// The whole linter configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Per-rule scopes, one entry per source rule (W1/W2 are waiver
+    /// hygiene and always on).
+    pub rules: Vec<RuleConfig>,
+}
+
+/// Paths where printing, panicking, and hash collections are fine:
+/// binaries own stdout, examples and tests are not library code, and
+/// benches are driven by criterion.
+const BIN_EXAMPLES_TESTS: [&str; 4] = ["src/bin/", "examples/", "tests/", "/benches/"];
+
+impl LintConfig {
+    /// The repository policy. D1 exempts benches (criterion measures
+    /// wall time by design); D3 exempts nothing — unseeded entropy is
+    /// never acceptable, not even in tests.
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self {
+            rules: vec![
+                RuleConfig { rule: RuleId::D1, allow_paths: vec!["/benches/"] },
+                RuleConfig { rule: RuleId::D2, allow_paths: BIN_EXAMPLES_TESTS.to_vec() },
+                RuleConfig { rule: RuleId::D3, allow_paths: vec![] },
+                RuleConfig { rule: RuleId::D4, allow_paths: BIN_EXAMPLES_TESTS.to_vec() },
+                RuleConfig { rule: RuleId::P1, allow_paths: BIN_EXAMPLES_TESTS.to_vec() },
+                RuleConfig { rule: RuleId::U1, allow_paths: vec![] },
+                RuleConfig { rule: RuleId::V1, allow_paths: vec![] },
+            ],
+        }
+    }
+
+    /// Does `rule` apply to the file at `rel_path`?
+    #[must_use]
+    pub fn applies(&self, rule: RuleId, rel_path: &str) -> bool {
+        match self.rules.iter().find(|r| r.rule == rule) {
+            Some(rc) => !rc.allow_paths.iter().any(|frag| rel_path.contains(frag)),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlists_scope_rules_by_path() {
+        let c = LintConfig::default_config();
+        assert!(c.applies(RuleId::P1, "crates/serving/src/engine.rs"));
+        assert!(!c.applies(RuleId::P1, "crates/serving/tests/goldens.rs"));
+        assert!(!c.applies(RuleId::D4, "crates/core/src/bin/dsv3.rs"));
+        assert!(!c.applies(RuleId::D1, "crates/bench/benches/telemetry.rs"));
+        assert!(c.applies(RuleId::D1, "crates/core/src/telemetry/recorder.rs"));
+        assert!(c.applies(RuleId::D3, "crates/model/tests/proptests.rs"), "D3 has no exemptions");
+    }
+}

@@ -1,0 +1,220 @@
+//! Diagnostics: the finding type, deterministic ordering, and the text
+//! and JSON renderings. JSON is emitted by hand — this crate has no
+//! dependencies, and the format is small enough that a correct escaper
+//! is ~20 lines.
+
+use crate::rules::RuleId;
+
+/// How bad a finding is. Errors fail CI; warnings do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Violates an enforced invariant.
+    Error,
+    /// Hygiene problem worth seeing, not worth failing the build.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase name used in renderings.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One finding, located and explained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// Severity the rule carries.
+    pub severity: Severity,
+    /// What and why.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line: severity[rule]: message` — the one-line text form the
+    /// fixture goldens pin byte-exactly.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}]: {}",
+            self.path,
+            self.line,
+            self.severity.as_str(),
+            self.rule.as_str(),
+            self.message
+        )
+    }
+}
+
+/// Everything one scan produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Rust source files scanned.
+    pub files_scanned: usize,
+    /// `Cargo.toml` manifests scanned.
+    pub manifests_scanned: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_honored: usize,
+}
+
+impl Report {
+    /// Canonical order: path, then line, then rule. Stable across
+    /// platforms because paths are normalized to `/`.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+    }
+
+    /// Error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// The full text rendering: one line per diagnostic plus a summary
+    /// tail line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s) across {} source files and {} manifests \
+             ({} waiver(s) honored)\n",
+            self.errors(),
+            self.warnings(),
+            self.files_scanned,
+            self.manifests_scanned,
+            self.waivers_honored
+        ));
+        out
+    }
+
+    /// Deterministic machine-readable JSON.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"manifests_scanned\": {},\n", self.manifests_scanned));
+        out.push_str(&format!("  \"waivers_honored\": {},\n", self.waivers_honored));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \
+                 \"message\": {}}}",
+                json_string(&d.path),
+                d.line,
+                json_string(d.rule.as_str()),
+                json_string(d.severity.as_str()),
+                json_string(&d.message)
+            ));
+        }
+        out.push_str(if self.diagnostics.is_empty() { "]\n}" } else { "\n  ]\n}" });
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(path: &str, line: u32, rule: RuleId) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            severity: rule.severity(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_path_line_rule() {
+        let mut r = Report {
+            diagnostics: vec![
+                d("b.rs", 1, RuleId::D1),
+                d("a.rs", 9, RuleId::P1),
+                d("a.rs", 9, RuleId::D2),
+                d("a.rs", 2, RuleId::P1),
+            ],
+            ..Report::default()
+        };
+        r.sort();
+        let key: Vec<(String, u32)> =
+            r.diagnostics.iter().map(|x| (x.path.clone(), x.line)).collect();
+        assert_eq!(
+            key,
+            vec![
+                ("a.rs".to_string(), 2),
+                ("a.rs".to_string(), 9),
+                ("a.rs".to_string(), 9),
+                ("b.rs".to_string(), 1)
+            ]
+        );
+        assert_eq!(r.diagnostics[1].rule, RuleId::D2, "rule breaks the line tie");
+    }
+
+    #[test]
+    fn json_escapes_and_is_stable() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let mut r = Report { diagnostics: vec![d("x.rs", 1, RuleId::V1)], ..Report::default() };
+        r.sort();
+        assert_eq!(r.render_json(), r.render_json());
+        assert!(r.render_json().contains("\"rule\": \"V1\""));
+    }
+
+    #[test]
+    fn empty_report_renders_summary_only() {
+        let r = Report::default();
+        assert_eq!(
+            r.render_text(),
+            "0 error(s), 0 warning(s) across 0 source files and 0 manifests (0 waiver(s) \
+             honored)\n"
+        );
+        assert!(r.render_json().contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,359 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The linter's rules only need identifier and punctuation tokens with
+//! line numbers — but producing *those* correctly requires skipping
+//! everything that can contain look-alike text: line comments, nested
+//! block comments, string literals (with escapes), raw strings with an
+//! arbitrary number of `#` guards, byte strings, char literals, and raw
+//! identifiers. Lifetimes (`'a`) must not be confused with char
+//! literals (`'a'`). Comments are not discarded: they are collected on a
+//! side channel so the waiver parser can read `lint:allow(...)` markers
+//! — and *only* from comments, never from string literals.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+}
+
+/// One significant token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Identifier or punctuation.
+    pub kind: TokKind,
+    /// Token text (one char for punctuation).
+    pub text: String,
+}
+
+impl Tok {
+    /// Is this punctuation `c`?
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this the identifier `s`?
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A comment, kept for waiver parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+    /// Full text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: tokens, comments, and the total line count.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Identifier/punctuation tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Number of lines in the file.
+    pub lines: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// constructs simply run to end of file, which is the right behavior for
+/// a linter (the compiler will reject the file anyway).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let n = cs.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    // Advance past a string literal body; `i` is at the opening quote.
+    fn skip_string(cs: &[char], mut i: usize, line: &mut u32) -> usize {
+        i += 1; // opening "
+        while i < cs.len() {
+            match cs[i] {
+                '\\' => i += 2,
+                '"' => return i + 1,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    // Advance past a char literal body; `i` is at the opening quote.
+    fn skip_char_lit(cs: &[char], mut i: usize, line: &mut u32) -> usize {
+        i += 1; // opening '
+        if i < cs.len() && cs[i] == '\\' {
+            i += 2; // the escape and its payload head (`\n`, `\u`, …)
+        }
+        while i < cs.len() && cs[i] != '\'' {
+            if cs[i] == '\n' {
+                *line += 1;
+            }
+            i += 1;
+        }
+        i + 1
+    }
+
+    // Advance past a raw-string body; `i` is at the opening quote and
+    // the literal closes at `"` followed by `hashes` `#`s.
+    fn skip_raw_string(cs: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+        i += 1; // opening "
+        while i < cs.len() {
+            if cs[i] == '\n' {
+                *line += 1;
+                i += 1;
+                continue;
+            }
+            if cs[i] == '"' {
+                let mut k = i + 1;
+                let mut h = 0;
+                while k < cs.len() && cs[k] == '#' && h < hashes {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    return k;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    while i < n {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && cs[i + 1] == '/' {
+            let start = i;
+            while i < n && cs[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment { line, text: cs[start..i].iter().collect() });
+            continue;
+        }
+        // Block comment, which Rust nests.
+        if c == '/' && i + 1 < n && cs[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if cs[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if cs[i] == '/' && i + 1 < n && cs[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if cs[i] == '*' && i + 1 < n && cs[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment { line: start_line, text: cs[start..i].iter().collect() });
+            continue;
+        }
+        // `r"…"`, `r#"…"#`, `br#"…"#` raw strings and `r#ident` raw
+        // identifiers share a prefix; disambiguate by what follows the
+        // hashes: a quote means raw string, an identifier means raw ident.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let is_br = c == 'b' && j < n && cs[j] == 'r';
+            if is_br {
+                j += 1;
+            }
+            if c == 'r' || is_br {
+                let mut hashes = 0usize;
+                while j < n && cs[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && cs[j] == '"' {
+                    i = skip_raw_string(&cs, j, hashes, &mut line);
+                    continue;
+                }
+                if c == 'r' && hashes == 1 && j < n && is_ident_start(cs[j]) {
+                    // Raw identifier `r#match`: emit the bare name.
+                    let s = j;
+                    while j < n && is_ident_continue(cs[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident,
+                        text: cs[s..j].iter().collect(),
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            // `b"…"` byte string / `b'…'` byte char.
+            if c == 'b' && i + 1 < n && cs[i + 1] == '"' {
+                i = skip_string(&cs, i + 1, &mut line);
+                continue;
+            }
+            if c == 'b' && i + 1 < n && cs[i + 1] == '\'' {
+                i = skip_char_lit(&cs, i + 1, &mut line);
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+        if c == '"' {
+            i = skip_string(&cs, i, &mut line);
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime (`'a`, `'static`, `'_`) iff an identifier follows
+            // and the char after *that first identifier char* is not a
+            // closing quote (`'a'` is a char literal, `'a,` a lifetime).
+            if i + 1 < n && is_ident_start(cs[i + 1]) && !(i + 2 < n && cs[i + 2] == '\'') {
+                i += 1;
+                while i < n && is_ident_continue(cs[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+            i = skip_char_lit(&cs, i, &mut line);
+            continue;
+        }
+        if is_ident_start(c) {
+            let s = i;
+            while i < n && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok { line, kind: TokKind::Ident, text: cs[s..i].iter().collect() });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Numeric literal: digits, `_`, type suffixes, hex/bin
+            // alphabetics, and a decimal point only when a digit follows
+            // (`1..10` must leave the range dots alone).
+            i += 1;
+            while i < n {
+                if is_ident_continue(cs[i]) {
+                    i += 1;
+                } else if cs[i] == '.' && i + 1 < n && cs[i + 1].is_ascii_digit() {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            continue;
+        }
+        out.toks.push(Tok { line, kind: TokKind::Punct, text: c.to_string() });
+        i += 1;
+    }
+    out.lines = line;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_tokens() {
+        let src = "let x = \"HashMap thread_rng\"; // HashMap here too\n/* and\nHashMap */";
+        assert!(!idents(src).contains(&"HashMap".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still outer */ HashMap";
+        assert_eq!(idents(src), vec!["HashMap"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let src = r####"let s = r#"unwrap() " quote "# ; let t = r##"panic!"## ; after"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_opaque() {
+        let src = "let a = b\"unwrap()\"; let b2 = br#\"panic!\"#; tail";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A naive lexer treats `'a` as an unterminated char and swallows
+        // the rest of the file; everything after must still tokenize.
+        let src = "fn f<'a>(x: &'a str, c: char) { let y = 'z'; let nl = '\\n'; visible() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"visible".to_string()));
+        assert!(!ids.contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape_does_not_derail() {
+        let src = "let q = '\\''; let p = '\"'; after";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_emit_bare_names() {
+        assert_eq!(idents("r#match r#fn plain"), vec!["match", "fn", "plain"]);
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_swallow_idents() {
+        // `0..mtp` must produce the `mtp` identifier, not absorb it into
+        // a malformed float literal.
+        assert_eq!(idents("for i in 0..mtp.modules {}"), vec!["for", "i", "in", "mtp", "modules"]);
+        assert_eq!(idents("let x = 1.5e3 + 0x6d74_7000;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb */\nlet s = \"x\ny\";\nfound";
+        let lexed = lex(src);
+        let f = lexed.toks.iter().find(|t| t.is_ident("found")).expect("found");
+        assert_eq!(f.line, 5);
+        assert_eq!(lexed.lines, 5);
+    }
+}

@@ -1,0 +1,203 @@
+//! `dsv3-lint`: a from-scratch invariant linter for this workspace.
+//!
+//! The simulator's results are only trustworthy if the code obeys a
+//! handful of invariants that `rustc` cannot check: simulated time never
+//! reads the wall clock (D1), nothing iterates in hash order (D2), every
+//! RNG descends from an explicit seed (D3), libraries return data
+//! instead of printing (D4), library code propagates errors instead of
+//! panicking (P1), every crate forbids `unsafe` (U1), and every
+//! dependency resolves offline to `vendor/` or a workspace crate (V1).
+//! This crate machine-checks all seven, with inline waivers
+//! (`// lint:allow(<rule>) — <reason>`, reason mandatory) as the only
+//! escape hatch — so every exception is visible, justified, and
+//! greppable.
+//!
+//! Deliberately dependency-free: the linter is the tool that enforces
+//! the vendor policy, so it must not itself be a reason to vendor more.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use config::LintConfig;
+use diag::{Diagnostic, Report};
+use rules::RuleId;
+use source::SourceModel;
+
+/// The outcome of linting one source file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Findings that survived waiver application, plus W1/W2 findings
+    /// about the waivers themselves.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_honored: usize,
+}
+
+/// Lint one file's source text. `rel` is the workspace-relative path
+/// with `/` separators; it drives the per-rule allowlists, the U1
+/// crate-root check, and the paths in the resulting diagnostics.
+#[must_use]
+pub fn scan_source(rel: &str, src: &str, cfg: &LintConfig) -> FileScan {
+    let model = SourceModel::parse(src);
+    let mut raw = rules::scan_tokens(&model, &|r| cfg.applies(r, rel));
+    if walk::is_lib_root(rel) && cfg.applies(RuleId::U1, rel) {
+        if let Some(f) = rules::check_forbid_unsafe(&model) {
+            raw.push(f);
+        }
+    }
+
+    let mut out = FileScan::default();
+    let mut used = vec![0usize; model.waivers.len()];
+    for finding in raw {
+        let suppressed = model.waivers.iter().enumerate().any(|(wi, w)| {
+            let valid = w.malformed.is_none() && w.reason.is_some();
+            let covers = w.target_line == Some(finding.line) && w.rules.contains(&finding.rule);
+            if valid && covers {
+                used[wi] += 1;
+                true
+            } else {
+                false
+            }
+        });
+        if !suppressed {
+            out.diagnostics.push(finding.into_diag(rel));
+        }
+    }
+    for (wi, w) in model.waivers.iter().enumerate() {
+        if let Some(why) = &w.malformed {
+            out.diagnostics.push(
+                rules::RawFinding {
+                    rule: RuleId::W1,
+                    line: w.line,
+                    message: format!("malformed waiver: {why}"),
+                }
+                .into_diag(rel),
+            );
+        } else if w.reason.is_none() {
+            out.diagnostics.push(
+                rules::RawFinding {
+                    rule: RuleId::W1,
+                    line: w.line,
+                    message: "waiver has no written reason (reasons are mandatory; the waived \
+                              finding still stands)"
+                        .to_string(),
+                }
+                .into_diag(rel),
+            );
+        } else if used[wi] == 0 {
+            out.diagnostics.push(
+                rules::RawFinding {
+                    rule: RuleId::W2,
+                    line: w.line,
+                    message: "waiver suppresses nothing (stale — remove it)".to_string(),
+                }
+                .into_diag(rel),
+            );
+        } else {
+            out.waivers_honored += 1;
+        }
+    }
+    out
+}
+
+/// Lint a whole workspace rooted at `root` with an explicit config.
+pub fn scan_with_config(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
+    let work = walk::collect(root)?;
+    let mut report = Report::default();
+    for (rel, abs) in &work.sources {
+        let src = fs::read_to_string(abs)?;
+        let scan = scan_source(rel, &src, cfg);
+        report.diagnostics.extend(scan.diagnostics);
+        report.waivers_honored += scan.waivers_honored;
+        report.files_scanned += 1;
+    }
+    for (rel, abs) in &work.manifests {
+        if !cfg.applies(RuleId::V1, rel) {
+            continue;
+        }
+        let src = fs::read_to_string(abs)?;
+        report.diagnostics.extend(manifest::scan_manifest(rel, &src));
+        report.manifests_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Lint a whole workspace with the repository's default policy.
+pub fn scan(root: &Path) -> io::Result<Report> {
+    scan_with_config(root, &LintConfig::default_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> FileScan {
+        scan_source("crates/x/src/m.rs", src, &LintConfig::default_config())
+    }
+
+    #[test]
+    fn waiver_suppresses_matching_rule_on_target_line() {
+        let s = lib("#![forbid(unsafe_code)]\nfn f() { x.unwrap(); } // lint:allow(P1) — seeded \
+                     above\n");
+        assert!(s.diagnostics.is_empty(), "{:?}", s.diagnostics);
+        assert_eq!(s.waivers_honored, 1);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_suppresses_nothing() {
+        let s = lib("fn f() { x.unwrap(); } // lint:allow(D2) — wrong rule\n");
+        let rules: Vec<RuleId> = s.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RuleId::P1), "finding stands");
+        assert!(rules.contains(&RuleId::W2), "waiver reported stale");
+    }
+
+    #[test]
+    fn reasonless_waiver_leaves_finding_and_adds_w1() {
+        let s = lib("fn f() { x.unwrap(); } // lint:allow(P1)\n");
+        let rules: Vec<RuleId> = s.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RuleId::P1));
+        assert!(rules.contains(&RuleId::W1));
+    }
+
+    #[test]
+    fn own_line_waiver_covers_next_code_line() {
+        let s = lib("// lint:allow(D2) — bounded map, order never iterated\nuse std::collections\
+                     ::HashMap;\nfn f() -> HashMap<u8, u8> { HashMap::new() }\n");
+        // Only line 2 is covered; the uses on line 3 still fire.
+        let d2: Vec<u32> =
+            s.diagnostics.iter().filter(|d| d.rule == RuleId::D2).map(|d| d.line).collect();
+        assert_eq!(d2, vec![3, 3]);
+        assert_eq!(s.waivers_honored, 1);
+    }
+
+    #[test]
+    fn u1_fires_only_on_lib_roots() {
+        let cfg = LintConfig::default_config();
+        let missing = "pub fn f() {}\n";
+        assert!(scan_source("crates/x/src/lib.rs", missing, &cfg)
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == RuleId::U1));
+        assert!(scan_source("crates/x/src/util.rs", missing, &cfg).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn one_waiver_may_suppress_several_findings_on_its_line() {
+        let s = lib("fn f() { a.unwrap(); b.unwrap(); } // lint:allow(P1) — both checked by \
+                     caller\n");
+        assert!(s.diagnostics.is_empty());
+        assert_eq!(s.waivers_honored, 1);
+    }
+}

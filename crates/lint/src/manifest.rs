@@ -1,0 +1,302 @@
+//! Rule V1: the offline vendor policy, checked at the manifest level.
+//!
+//! Every entry in a `[dependencies]`-family table must resolve to a
+//! `vendor/` path or a workspace crate under `crates/` — never the
+//! crates.io registry (a bare version string), never git. A tiny
+//! line-oriented TOML-subset reader is enough: Cargo manifests in this
+//! workspace (and the fixtures) only use section headers, `key = value`
+//! lines, dotted keys, and inline tables.
+
+use crate::diag::Diagnostic;
+use crate::rules::RuleId;
+
+/// Does `section` declare dependencies?
+fn is_dep_section(section: &str) -> bool {
+    matches!(section, "dependencies" | "dev-dependencies" | "build-dependencies")
+        || section == "workspace.dependencies"
+        || (section.starts_with("target.") && section.ends_with(".dependencies"))
+}
+
+/// `[dependencies.foo]`-style header: the table *is* one dependency.
+fn dep_table_entry(section: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(name) = section.strip_prefix(prefix) {
+            if !name.contains('.') {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Strip a `#` comment, respecting basic (`"`) and literal (`'`) strings.
+fn strip_comment(line: &str) -> &str {
+    let (mut in_basic, mut in_literal, mut escaped) = (false, false, false);
+    for (idx, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Pull the first `"…"` quoted value out of `s`.
+fn first_quoted(s: &str) -> Option<&str> {
+    let start = s.find('"')? + 1;
+    let len = s[start..].find('"')?;
+    Some(&s[start..start + len])
+}
+
+/// Normalize `dir/“path”` relative-path joins: resolve `.` and `..`
+/// lexically against the manifest's directory (itself root-relative).
+/// Returns `None` when the path escapes the workspace root.
+fn resolve(manifest_dir: &str, path: &str) -> Option<String> {
+    let mut parts: Vec<&str> =
+        manifest_dir.split('/').filter(|p| !p.is_empty() && *p != ".").collect();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop()?;
+            }
+            s => parts.push(s),
+        }
+    }
+    Some(parts.join("/"))
+}
+
+/// How one dependency entry is declared.
+#[derive(Debug, Default)]
+struct DepDecl {
+    name: String,
+    line: u32,
+    has_workspace_true: bool,
+    path: Option<String>,
+    has_version: bool,
+    has_git: bool,
+    bare_version: bool,
+}
+
+impl DepDecl {
+    /// Evaluate against the vendor policy, given the manifest's
+    /// root-relative directory.
+    fn verdict(&self, manifest_dir: &str) -> Option<String> {
+        if self.has_workspace_true {
+            return None; // resolved by [workspace.dependencies], checked there
+        }
+        if let Some(p) = &self.path {
+            let Some(resolved) = resolve(manifest_dir, p) else {
+                return Some(format!(
+                    "dependency `{}` path `{p}` escapes the workspace root",
+                    self.name
+                ));
+            };
+            if resolved.starts_with("vendor/") || resolved.starts_with("crates/") {
+                return None;
+            }
+            return Some(format!(
+                "dependency `{}` path `{p}` resolves to `{resolved}`, outside vendor/ and crates/",
+                self.name
+            ));
+        }
+        if self.has_git {
+            return Some(format!(
+                "dependency `{}` is a git dependency (offline policy: vendor it)",
+                self.name
+            ));
+        }
+        if self.bare_version || self.has_version {
+            return Some(format!(
+                "dependency `{}` resolves to the crates.io registry (offline policy: use a \
+                 vendor/ path or a workspace crate)",
+                self.name
+            ));
+        }
+        Some(format!("dependency `{}` declares neither a path nor workspace = true", self.name))
+    }
+}
+
+/// Parse an inline table `{ k = v, … }` into a [`DepDecl`].
+fn parse_inline_table(name: &str, line_no: u32, body: &str) -> DepDecl {
+    let mut d = DepDecl { name: name.to_string(), line: line_no, ..DepDecl::default() };
+    let inner = body.trim().trim_start_matches('{').trim_end_matches('}');
+    // Split on top-level commas (none of our values nest tables).
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut parts = Vec::new();
+    for (idx, c) in inner.char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&inner[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    for part in parts {
+        let Some((k, v)) = part.split_once('=') else { continue };
+        apply_key(&mut d, k.trim(), v.trim());
+    }
+    d
+}
+
+/// Fold one `key = value` pair into the declaration.
+fn apply_key(d: &mut DepDecl, key: &str, value: &str) {
+    match key {
+        "workspace" => d.has_workspace_true = value == "true",
+        "path" => d.path = first_quoted(value).map(str::to_string),
+        "version" => d.has_version = true,
+        "git" | "branch" | "rev" | "tag" => d.has_git = true,
+        _ => {} // features, optional, default-features, package, …
+    }
+}
+
+/// Scan one manifest. `rel` is the workspace-relative path of the
+/// `Cargo.toml` (used both for diagnostics and to resolve path deps).
+#[must_use]
+pub fn scan_manifest(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let manifest_dir = rel.rsplit_once('/').map_or("", |(d, _)| d);
+    let mut out = Vec::new();
+    let mut section = String::new();
+    // A `[dependencies.foo]` table accumulates until the next header.
+    let mut pending: Option<DepDecl> = None;
+    let mut emit = |d: DepDecl| {
+        if let Some(msg) = d.verdict(manifest_dir) {
+            out.push(
+                crate::rules::RawFinding { rule: RuleId::V1, line: d.line, message: msg }
+                    .into_diag(rel),
+            );
+        }
+    };
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(d) = pending.take() {
+                emit(d);
+            }
+            section = line.trim_start_matches('[').trim_end_matches(']').trim().to_string();
+            if let Some(name) = dep_table_entry(&section) {
+                pending =
+                    Some(DepDecl { name: name.to_string(), line: line_no, ..DepDecl::default() });
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let (key, value) = (key.trim(), value.trim());
+        if let Some(d) = pending.as_mut() {
+            apply_key(d, key, value);
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        // `name.workspace = true` / `name.path = "…"` dotted keys.
+        if let Some((name, attr)) = key.split_once('.') {
+            let mut d = DepDecl { name: name.to_string(), line: line_no, ..DepDecl::default() };
+            apply_key(&mut d, attr, value);
+            // A dotted declaration is complete on its line: only flag the
+            // forms that positively pin a source (workspace/path/version/git);
+            // `name.features = […]` alone says nothing about the source.
+            if d.has_workspace_true || d.path.is_some() || d.has_version || d.has_git {
+                emit(d);
+            }
+            continue;
+        }
+        if value.starts_with('{') {
+            emit(parse_inline_table(key, line_no, value));
+        } else if value.starts_with('"') {
+            emit(DepDecl {
+                name: key.to_string(),
+                line: line_no,
+                bare_version: true,
+                ..DepDecl::default()
+            });
+        }
+    }
+    if let Some(d) = pending.take() {
+        emit(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<(u32, bool)> {
+        scan_manifest(rel, src).into_iter().map(|d| (d.line, true)).collect()
+    }
+
+    #[test]
+    fn registry_and_git_deps_are_flagged() {
+        let src = "[package]\nname = \"x\"\n\n[dependencies]\nrand = \"0.8\"\n\
+                   serde = { version = \"1\", features = [\"derive\"] }\n\
+                   foo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(rules("crates/x/Cargo.toml", src), vec![(5, true), (6, true), (7, true)]);
+    }
+
+    #[test]
+    fn vendor_and_workspace_paths_pass() {
+        let src = "[dependencies]\nrand = { path = \"../../vendor/rand\" }\n\
+                   dsv3-core.workspace = true\nserde = { workspace = true }\n";
+        assert!(scan_manifest("crates/x/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_table_is_checked() {
+        let src = "[workspace.dependencies]\nrand = { path = \"vendor/rand\" }\nbad = \"1.0\"\n";
+        let hits = scan_manifest("Cargo.toml", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].message.contains("registry"));
+    }
+
+    #[test]
+    fn relative_paths_resolve_through_the_manifest_dir() {
+        // vendor/proptest depends on ../rand → vendor/rand: fine.
+        assert!(scan_manifest(
+            "vendor/proptest/Cargo.toml",
+            "[dependencies]\nrand = { path = \"../rand\" }\n"
+        )
+        .is_empty());
+        // ../../elsewhere escapes vendor/ and crates/: flagged.
+        let hits = scan_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nq = { path = \"../../elsewhere/q\" }\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("outside vendor/ and crates/"));
+    }
+
+    #[test]
+    fn dep_table_sections_are_one_entry() {
+        let good = "[dependencies.rand]\npath = \"../../vendor/rand\"\n";
+        assert!(scan_manifest("crates/x/Cargo.toml", good).is_empty());
+        let bad = "[dependencies.rand]\nversion = \"0.8\"\nfeatures = [\"std\"]\n";
+        let hits = scan_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1, "reported at the table header");
+    }
+
+    #[test]
+    fn comments_and_non_dep_sections_are_ignored() {
+        let src = "[package]\nversion = \"1.0\" # not a dep\n[features]\ndefault = []\n\
+                   [dependencies]\n# rand = \"0.8\"\n";
+        assert!(scan_manifest("Cargo.toml", src).is_empty());
+    }
+}

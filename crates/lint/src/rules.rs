@@ -1,0 +1,303 @@
+//! The rule set: what each invariant is, how it is detected in the
+//! token stream, and at what severity it reports.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceModel;
+
+/// Every rule the linter knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No wall-clock sources (`Instant`, `SystemTime`) in simulation code.
+    D1,
+    /// No `HashMap`/`HashSet` in non-test library code.
+    D2,
+    /// No unseeded randomness (`thread_rng`, `from_entropy`, `OsRng`).
+    D3,
+    /// No `println!`/`eprintln!` outside binaries, examples, and tests.
+    D4,
+    /// No `unwrap()`/`expect()`/`panic!`-family in non-test library code.
+    P1,
+    /// Every library crate root carries `#![forbid(unsafe_code)]`.
+    U1,
+    /// Every manifest dependency resolves to `vendor/` or a workspace
+    /// crate — never the registry.
+    V1,
+    /// A `lint:allow` waiver must be well-formed and carry a reason.
+    W1,
+    /// A well-formed waiver must actually suppress something.
+    W2,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 9] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::P1,
+        RuleId::U1,
+        RuleId::V1,
+        RuleId::W1,
+        RuleId::W2,
+    ];
+
+    /// Stable identifier used in output and in waivers.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::P1 => "P1",
+            RuleId::U1 => "U1",
+            RuleId::V1 => "V1",
+            RuleId::W1 => "W1",
+            RuleId::W2 => "W2",
+        }
+    }
+
+    /// Parse a rule name as written in a waiver.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// The invariant the rule encodes, one line.
+    #[must_use]
+    pub fn invariant(self) -> &'static str {
+        match self {
+            RuleId::D1 => "no wall-clock time sources in simulation code",
+            RuleId::D2 => "no hash-ordered collections in non-test library code",
+            RuleId::D3 => "no unseeded randomness anywhere",
+            RuleId::D4 => "no console printing outside bin/examples/tests",
+            RuleId::P1 => "no panicking calls in non-test library code",
+            RuleId::U1 => "library crates forbid unsafe code",
+            RuleId::V1 => "dependencies resolve to vendor/ or workspace paths only",
+            RuleId::W1 => "waivers are well-formed and carry a written reason",
+            RuleId::W2 => "waivers suppress at least one finding",
+        }
+    }
+
+    /// Default severity. Everything that can silently break determinism,
+    /// panic-freedom, or the vendor policy is an error; only waiver
+    /// hygiene (`W2`) warns.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::W2 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A raw finding before waivers are applied.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+impl RawFinding {
+    /// Attach a path and the rule's severity to make a [`Diagnostic`].
+    #[must_use]
+    pub fn into_diag(self, path: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line: self.line,
+            rule: self.rule,
+            severity: self.rule.severity(),
+            message: self.message,
+        }
+    }
+}
+
+fn prev_is(toks: &[Tok], i: usize, c: char) -> bool {
+    i > 0 && toks[i - 1].is_punct(c)
+}
+
+fn next_is(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(c))
+}
+
+/// Run the token-stream rules over one source file.
+///
+/// `rule_applies` has already folded in the per-rule path allowlists, so
+/// this function only has to know which rules exempt `#[cfg(test)]`
+/// regions (D2, D4, P1 — test code may print, panic, and hash-iterate).
+#[must_use]
+pub fn scan_tokens(model: &SourceModel, rule_applies: &dyn Fn(RuleId) -> bool) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let toks = &model.toks;
+    let mut push = |rule: RuleId, line: u32, message: String| {
+        out.push(RawFinding { rule, line, message });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let in_test = model.in_test(t.line);
+        let name = t.text.as_str();
+        match name {
+            // D1 — wall clocks. Applies even in test regions: a test that
+            // reads the clock is a flaky test.
+            "Instant" | "SystemTime" if rule_applies(RuleId::D1) => {
+                push(
+                    RuleId::D1,
+                    t.line,
+                    format!("wall-clock source `{name}` (simulation time must come from the sim)"),
+                );
+            }
+            // D3 — entropy. Applies everywhere for the same reason.
+            "thread_rng" | "from_entropy" | "OsRng" if rule_applies(RuleId::D3) => {
+                push(
+                    RuleId::D3,
+                    t.line,
+                    format!(
+                        "unseeded randomness `{name}` (derive every RNG from an explicit seed)"
+                    ),
+                );
+            }
+            // D2 — hash-ordered collections, library code only.
+            "HashMap" | "HashSet" if rule_applies(RuleId::D2) && !in_test => {
+                push(
+                    RuleId::D2,
+                    t.line,
+                    format!(
+                        "hash-ordered `{name}` in library code (use BTreeMap/BTreeSet or waive \
+                         with a reason iteration order cannot leak)"
+                    ),
+                );
+            }
+            // D4 — console printing, library code only.
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+                if rule_applies(RuleId::D4) && !in_test && next_is(toks, i, '!') =>
+            {
+                push(
+                    RuleId::D4,
+                    t.line,
+                    format!("`{name}!` in library code (return data; printing belongs in bin/)"),
+                );
+            }
+            // P1 — panicking calls, library code only.
+            "unwrap" | "expect"
+                if rule_applies(RuleId::P1)
+                    && !in_test
+                    && prev_is(toks, i, '.')
+                    && next_is(toks, i, '(') =>
+            {
+                push(
+                    RuleId::P1,
+                    t.line,
+                    format!(
+                        "`.{name}()` in library code (propagate the error or document the \
+                             invariant and waive)"
+                    ),
+                );
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if rule_applies(RuleId::P1) && !in_test && next_is(toks, i, '!') =>
+            {
+                push(
+                    RuleId::P1,
+                    t.line,
+                    format!(
+                        "`{name}!` in library code (propagate the error or document the \
+                             invariant and waive)"
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// U1: does the file open with `#![forbid(unsafe_code)]`? Called only
+/// for library crate roots.
+#[must_use]
+pub fn check_forbid_unsafe(model: &SourceModel) -> Option<RawFinding> {
+    let toks = &model.toks;
+    let found = toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if found {
+        None
+    } else {
+        Some(RawFinding {
+            rule: RuleId::U1,
+            line: 1,
+            message: "library crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_all(src: &str) -> Vec<RawFinding> {
+        scan_tokens(&SourceModel::parse(src), &|_| true)
+    }
+
+    #[test]
+    fn p1_matches_only_method_calls() {
+        let hits = scan_all("fn f() { x.unwrap(); y.expect(\"m\"); }\n");
+        assert_eq!(hits.len(), 2);
+        // `unwrap_or`, a field named expect, a fn def — all clean.
+        assert!(
+            scan_all("fn f() { x.unwrap_or(0); s.expect_tok; }\nfn expect(a: u8) {}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn p1_macros_match() {
+        let hits = scan_all("fn f() { panic!(\"x\"); unreachable!(); todo!(); }\n");
+        assert_eq!(hits.len(), 3);
+        assert!(scan_all("fn f(p: Panic) { should_panic(); }\n").is_empty());
+    }
+
+    #[test]
+    fn test_regions_exempt_p1_d2_d4_but_not_d1_d3() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        x.unwrap();\n        \
+                   println!(\"ok\");\n        let m = HashMap::new();\n        \
+                   let r = thread_rng();\n        let i = Instant::now();\n    }\n}\n";
+        let hits = scan_all(src);
+        let rules: Vec<RuleId> = hits.iter().map(|h| h.rule).collect();
+        assert_eq!(rules, vec![RuleId::D3, RuleId::D1]);
+    }
+
+    #[test]
+    fn u1_detects_presence_and_absence() {
+        let ok = SourceModel::parse("//! docs\n#![forbid(unsafe_code)]\nfn f() {}\n");
+        assert!(check_forbid_unsafe(&ok).is_none());
+        let missing = SourceModel::parse("//! docs\nfn f() {}\n");
+        let hit = check_forbid_unsafe(&missing).expect("must fire");
+        assert_eq!(hit.rule, RuleId::U1);
+    }
+
+    #[test]
+    fn d4_requires_the_bang() {
+        assert!(scan_all("fn f(println: u8) { g(println); }\n").is_empty());
+        assert_eq!(scan_all("fn f() { println!(\"x\"); }\n").len(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-file source model: the lexed token stream annotated with test
+//! regions (`#[cfg(test)]` items, `mod tests` blocks) and parsed
+//! `lint:allow` waivers.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use crate::rules::RuleId;
+
+/// An inline waiver: `// lint:allow(P1) — reason`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Line whose findings it suppresses: its own line if that line has
+    /// code, else the next line that does.
+    pub target_line: Option<u32>,
+    /// Rules the waiver names (unknown names leave this empty and
+    /// `malformed` set).
+    pub rules: Vec<RuleId>,
+    /// A written reason is mandatory; `None` means the waiver is
+    /// rejected (it suppresses nothing and is itself reported).
+    pub reason: Option<String>,
+    /// Why the waiver is malformed, if it is.
+    pub malformed: Option<String>,
+}
+
+/// A lexed file plus the structure the rules need.
+#[derive(Debug)]
+pub struct SourceModel {
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// True for 1-based lines inside a test region.
+    pub test_line: Vec<bool>,
+    /// Parsed waivers in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceModel {
+    /// Build the model for one file's source text.
+    #[must_use]
+    pub fn parse(src: &str) -> Self {
+        let lexed = lex(src);
+        let test_line = test_mask(&lexed);
+        let waivers = parse_waivers(&lexed);
+        Self { toks: lexed.toks, test_line, waivers }
+    }
+
+    /// Is 1-based `line` inside a `#[cfg(test)]` / `mod tests` region?
+    #[must_use]
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_line.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+fn ident_at(toks: &[Tok], i: usize, s: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.is_ident(s))
+}
+
+/// Skip a bracketed attribute body; `i` is just past `#[`. Returns the
+/// index past the matching `]` and whether the attribute marks test
+/// code: `#[cfg(test)]` / `#[cfg(all(test, …))]`, or a bare `#[test]`.
+fn skip_attr(toks: &[Tok], mut i: usize) -> (usize, bool) {
+    let mut depth = 1usize;
+    let (mut has_cfg, mut has_test) = (false, false);
+    let mut idents = 0usize;
+    while i < toks.len() && depth > 0 {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        } else if t.kind == TokKind::Ident {
+            idents += 1;
+            if t.is_ident("cfg") {
+                has_cfg = true;
+            } else if t.is_ident("test") {
+                has_test = true;
+            }
+        }
+        i += 1;
+    }
+    let bare_test = has_test && idents == 1;
+    (i, (has_cfg && has_test) || bare_test)
+}
+
+/// Consume one item starting at `i` (after its attributes): everything
+/// up to a `;` at brace depth zero or through a balanced `{…}` block.
+/// Returns (index past the item, last line of the item).
+fn skip_item(toks: &[Tok], mut i: usize, fallback_line: u32) -> (usize, u32) {
+    let mut brace_depth = 0usize;
+    let mut last_line = fallback_line;
+    while i < toks.len() {
+        let t = &toks[i];
+        last_line = t.line;
+        if t.is_punct('{') {
+            brace_depth += 1;
+        } else if t.is_punct('}') {
+            brace_depth = brace_depth.saturating_sub(1);
+            if brace_depth == 0 {
+                return (i + 1, t.line);
+            }
+        } else if t.is_punct(';') && brace_depth == 0 {
+            return (i + 1, t.line);
+        }
+        i += 1;
+    }
+    (i, last_line)
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item or a `mod tests`
+/// block. Conservative in the right direction: a marked line exempts
+/// code from the non-test-only rules, so false *negatives* (missing a
+/// test region) surface as lint errors a human will immediately see,
+/// while the tracker never marks code that precedes the attribute.
+fn test_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.toks;
+    let mut mask = vec![false; lexed.lines as usize + 2];
+    let mut mark = |from: u32, to: u32| {
+        for l in from..=to {
+            if let Some(slot) = mask.get_mut(l as usize) {
+                *slot = true;
+            }
+        }
+    };
+    let mut i = 0usize;
+    while i < toks.len() {
+        if punct_at(toks, i, '#') && punct_at(toks, i + 1, '[') {
+            let start_line = toks[i].line;
+            let (mut j, is_cfg_test) = skip_attr(toks, i + 2);
+            if is_cfg_test {
+                // Skip any further attributes, then the item itself.
+                while punct_at(toks, j, '#') && punct_at(toks, j + 1, '[') {
+                    j = skip_attr(toks, j + 2).0;
+                }
+                let (end, end_line) = skip_item(toks, j, start_line);
+                mark(start_line, end_line);
+                i = end;
+            } else {
+                i = j;
+            }
+            continue;
+        }
+        if ident_at(toks, i, "mod") && ident_at(toks, i + 1, "tests") && punct_at(toks, i + 2, '{')
+        {
+            let start_line = toks[i].line;
+            let (end, end_line) = skip_item(toks, i + 2, start_line);
+            mark(start_line, end_line);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Parse waiver markers out of comments. A waiver must *lead* its
+/// comment (after the `//`/`/*`/doc markers): prose that merely
+/// mentions the marker syntax mid-sentence is inert, and so is the
+/// marker inside a string literal — the lexer never surfaces string
+/// contents here.
+fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let code_lines: std::collections::BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    let mut out = Vec::new();
+    for Comment { line, text } in &lexed.comments {
+        let content = text.trim_start_matches(['/', '*', '!']).trim_start();
+        if !content.starts_with("lint:allow") {
+            continue;
+        }
+        let rest = &content["lint:allow".len()..];
+        let mut waiver = Waiver {
+            line: *line,
+            target_line: None,
+            rules: Vec::new(),
+            reason: None,
+            malformed: None,
+        };
+        // The comment's own line if it trails code, else the next code line.
+        waiver.target_line = if code_lines.contains(line) {
+            Some(*line)
+        } else {
+            code_lines.range(line + 1..).next().copied()
+        };
+        let parsed = (|| -> Result<(Vec<RuleId>, Option<String>), String> {
+            let rest = rest.trim_start();
+            let inner = rest
+                .strip_prefix('(')
+                .ok_or_else(|| "expected '(' after lint:allow".to_string())?;
+            let close = inner.find(')').ok_or_else(|| "missing ')'".to_string())?;
+            let mut rules = Vec::new();
+            for name in inner[..close].split(',') {
+                let name = name.trim();
+                let rule = RuleId::parse(name)
+                    .ok_or_else(|| format!("unknown rule '{name}' in waiver"))?;
+                rules.push(rule);
+            }
+            if rules.is_empty() {
+                return Err("waiver names no rules".to_string());
+            }
+            let tail = inner[close + 1..]
+                .trim_start_matches(|c: char| {
+                    c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | ',')
+                })
+                .trim_end_matches(['*', '/'].as_slice()) // block-comment close
+                .trim();
+            let reason =
+                if tail.chars().any(char::is_alphanumeric) { Some(tail.to_string()) } else { None };
+            Ok((rules, reason))
+        })();
+        match parsed {
+            Ok((rules, reason)) => {
+                waiver.rules = rules;
+                waiver.reason = reason;
+            }
+            Err(why) => waiver.malformed = Some(why),
+        }
+        out.push(waiver);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_region_is_masked() {
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let m = SourceModel::parse(src);
+        assert!(!m.in_test(1));
+        assert!(m.in_test(3), "attribute line is in the region");
+        assert!(m.in_test(4) && m.in_test(5) && m.in_test(6));
+        assert!(!m.in_test(7), "code after the closing brace is live again");
+    }
+
+    #[test]
+    fn bare_mod_tests_block_is_masked() {
+        let src = "fn lib() {}\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let m = SourceModel::parse(src);
+        assert!(m.in_test(2) && m.in_test(3) && m.in_test(4));
+        assert!(!m.in_test(1) && !m.in_test(5));
+    }
+
+    #[test]
+    fn cfg_test_single_item_extends_only_over_that_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {\n}\n";
+        let m = SourceModel::parse(src);
+        assert!(m.in_test(1) && m.in_test(2));
+        assert!(!m.in_test(3) && !m.in_test(4));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_other_cfgs_do_not() {
+        let a = SourceModel::parse("#[cfg(all(test, unix))]\nfn t() {\n}\nfn live() {}\n");
+        assert!(a.in_test(2) && a.in_test(3));
+        assert!(!a.in_test(4));
+        let b = SourceModel::parse("#[cfg(unix)]\nfn u() {\n}\n");
+        assert!(!b.in_test(2));
+    }
+
+    #[test]
+    fn bare_test_attribute_masks_its_fn() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn live() {}\n";
+        let m = SourceModel::parse(src);
+        assert!(m.in_test(2) && m.in_test(3) && m.in_test(4));
+        assert!(!m.in_test(5));
+    }
+
+    #[test]
+    fn stacked_attributes_before_the_item_are_covered() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() {\n}\nfn live() {}\n";
+        let m = SourceModel::parse(src);
+        assert!(m.in_test(3) && m.in_test(4));
+        assert!(!m.in_test(5));
+    }
+
+    #[test]
+    fn waiver_parses_rules_and_reason() {
+        let src = "let x = m.get(&k); // lint:allow(P1, D2) — invariant: key inserted above\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.waivers.len(), 1);
+        let w = &m.waivers[0];
+        assert_eq!(w.rules, vec![RuleId::P1, RuleId::D2]);
+        assert_eq!(w.target_line, Some(1));
+        assert!(w.reason.as_deref().is_some_and(|r| r.contains("invariant")));
+        assert!(w.malformed.is_none());
+    }
+
+    #[test]
+    fn own_line_waiver_targets_next_code_line() {
+        let src = "// lint:allow(D2) — order never observed\n// more prose\nuse std::x;\n";
+        let m = SourceModel::parse(src);
+        assert_eq!(m.waivers[0].target_line, Some(3));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_rejected() {
+        let m = SourceModel::parse("foo(); // lint:allow(P1)\n");
+        assert!(m.waivers[0].reason.is_none());
+        assert!(m.waivers[0].malformed.is_none(), "syntactically fine, just reasonless");
+        let m2 = SourceModel::parse("foo(); // lint:allow(P1) —   \n");
+        assert!(m2.waivers[0].reason.is_none());
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_malformed() {
+        let m = SourceModel::parse("foo(); // lint:allow(Z9) — whatever\n");
+        assert!(m.waivers[0].malformed.is_some());
+    }
+
+    #[test]
+    fn prose_mentioning_the_marker_is_inert() {
+        // Docs explaining the waiver syntax must not themselves waive:
+        // only a comment that *starts* with the marker counts.
+        let m =
+            SourceModel::parse("//! Inline waivers look like `lint:allow(P1) — why`.\nfoo();\n");
+        assert!(m.waivers.is_empty());
+    }
+
+    #[test]
+    fn waiver_inside_string_literal_is_inert() {
+        let m = SourceModel::parse("let s = \"lint:allow(P1) — nope\";\n");
+        assert!(m.waivers.is_empty(), "strings must never waive");
+    }
+
+    #[test]
+    fn block_comment_waiver_works() {
+        let m = SourceModel::parse("bar(); /* lint:allow(D4) — demo binary */\n");
+        let w = &m.waivers[0];
+        assert_eq!(w.rules, vec![RuleId::D4]);
+        assert!(w.reason.as_deref().is_some_and(|r| r.contains("demo")));
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic workspace walker: which files get scanned, in what
+//! order, and which crate roots must carry `#![forbid(unsafe_code)]`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything the scan will look at, in sorted order.
+#[derive(Debug, Default)]
+pub struct Worklist {
+    /// (workspace-relative path, absolute path) of `.rs` sources.
+    pub sources: Vec<(String, PathBuf)>,
+    /// (workspace-relative path, absolute path) of `Cargo.toml` files.
+    pub manifests: Vec<(String, PathBuf)>,
+}
+
+/// Directories never scanned for sources. `vendor/` is third-party code
+/// under its own upstream policies; the lint fixture corpus is
+/// deliberately full of violations.
+fn skip_dir(rel: &str) -> bool {
+    let last = rel.rsplit('/').next().unwrap_or(rel);
+    matches!(last, "target" | ".git") || rel == "vendor" || rel == "crates/lint/tests/fixtures"
+}
+
+fn rel_of(root: &Path, p: &Path) -> String {
+    let r = p.strip_prefix(root).unwrap_or(p);
+    // Normalize to `/` so reports and allowlists are platform-stable.
+    r.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Worklist) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = rel_of(root, &path);
+        if path.is_dir() {
+            if !skip_dir(&rel) {
+                visit(root, &path, out)?;
+            }
+        } else if rel.ends_with(".rs") {
+            out.sources.push((rel, path));
+        } else if rel.ends_with("/Cargo.toml") || rel == "Cargo.toml" {
+            out.manifests.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Walk the workspace at `root`. Sources come from everywhere except
+/// the skip list; manifests additionally include `vendor/*/Cargo.toml`,
+/// because the vendor policy (V1) must hold transitively — a vendored
+/// crate that itself pulls from the registry would defeat the point.
+pub fn collect(root: &Path) -> io::Result<Worklist> {
+    let mut out = Worklist::default();
+    visit(root, root, &mut out)?;
+    let vendor = root.join("vendor");
+    if vendor.is_dir() {
+        let mut dirs: Vec<PathBuf> =
+            fs::read_dir(&vendor)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        dirs.sort();
+        for d in dirs {
+            let m = d.join("Cargo.toml");
+            if m.is_file() {
+                out.manifests.push((rel_of(root, &m), m));
+            }
+        }
+    }
+    out.sources.sort();
+    out.manifests.sort();
+    out.manifests.dedup();
+    Ok(out)
+}
+
+/// Is `rel` a library crate root that rule U1 applies to? Covers
+/// `crates/*/src/lib.rs` and the repo-root `src/lib.rs`.
+#[must_use]
+pub fn is_lib_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || (rel.starts_with("crates/")
+            && rel.ends_with("/src/lib.rs")
+            && rel.matches('/').count() == 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_list_covers_the_right_dirs() {
+        assert!(skip_dir("target"));
+        assert!(skip_dir("crates/core/target"));
+        assert!(skip_dir(".git"));
+        assert!(skip_dir("vendor"));
+        assert!(skip_dir("crates/lint/tests/fixtures"));
+        assert!(!skip_dir("crates/lint/tests"));
+        assert!(!skip_dir("crates"));
+    }
+
+    #[test]
+    fn lib_root_detection() {
+        assert!(is_lib_root("crates/core/src/lib.rs"));
+        assert!(is_lib_root("src/lib.rs"));
+        assert!(!is_lib_root("crates/core/src/report.rs"));
+        assert!(!is_lib_root("crates/core/src/bin/dsv3.rs"));
+        assert!(!is_lib_root("vendor/rand/src/lib.rs"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Golden-diagnostic tests: every fixture under `tests/fixtures/` has a
+//! `.expected` twin holding the byte-exact rendered findings.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dsv3_lint::config::LintConfig;
+use dsv3_lint::diag::Report;
+use dsv3_lint::{manifest, scan_source};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+/// Fixtures are linted as if they lived at a workspace-relative path;
+/// the `u1_*` pair must map to crate roots for U1 to be in scope.
+fn pretend_rel(stem: &str, is_manifest: bool) -> String {
+    if is_manifest {
+        return "crates/fixture/Cargo.toml".to_string();
+    }
+    match stem {
+        "u1_missing_forbid" | "u1_ok" => format!("crates/{stem}/src/lib.rs"),
+        _ => format!("crates/fixture/src/{stem}.rs"),
+    }
+}
+
+fn rendered(diags: Vec<dsv3_lint::diag::Diagnostic>) -> String {
+    let mut report = Report { diagnostics: diags, ..Report::default() };
+    report.sort();
+    report.diagnostics.iter().map(|d| format!("{}\n", d.render())).collect()
+}
+
+#[test]
+fn every_fixture_matches_its_golden_diagnostics() {
+    let dir = fixtures_dir();
+    let cfg = LintConfig::default_config();
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(&dir).expect("fixtures dir").map(|e| e.expect("dir entry").path()).collect();
+    entries.sort();
+
+    let mut checked = 0usize;
+    for path in entries {
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        if ext != "rs" && ext != "toml" {
+            continue;
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).expect("utf8 stem");
+        let src = fs::read_to_string(&path).expect("read fixture");
+        let expected_path = path.with_extension("expected");
+        let expected = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("missing golden {}", expected_path.display()));
+
+        let rel = pretend_rel(stem, ext == "toml");
+        let diags = if ext == "toml" {
+            manifest::scan_manifest(&rel, &src)
+        } else {
+            scan_source(&rel, &src, &cfg).diagnostics
+        };
+        let got = rendered(diags);
+        assert_eq!(got, expected, "fixture {stem}: rendered diagnostics diverge from golden");
+        checked += 1;
+    }
+    assert!(checked >= 13, "expected at least 13 fixtures, found {checked}");
+}
+
+#[test]
+fn waiver_ok_fixture_honors_every_waiver() {
+    let dir = fixtures_dir();
+    let src = fs::read_to_string(dir.join("waiver_ok.rs")).expect("read fixture");
+    let scan = scan_source("crates/fixture/src/waiver_ok.rs", &src, &LintConfig::default_config());
+    assert!(scan.diagnostics.is_empty(), "{:?}", scan.diagnostics);
+    assert_eq!(scan.waivers_honored, 3, "all three waivers must suppress something");
+}

@@ -1,0 +1,16 @@
+//! Fixture: D1 — wall-clock sources are banned even in tests.
+
+use std::time::{Duration, Instant};
+
+pub fn elapsed() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timed() {
+        let _ = std::time::SystemTime::now();
+    }
+}

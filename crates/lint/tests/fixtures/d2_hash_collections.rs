@@ -1,0 +1,18 @@
+//! Fixture: D2 — hash-ordered collections in library code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn count(xs: &[u32]) -> usize {
+    let set: HashSet<u32> = xs.iter().copied().collect();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_side_maps_are_fine() {
+        let m: std::collections::HashMap<u8, u8> = Default::default();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: D3 — unseeded randomness is banned everywhere.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeded_from_entropy() {
+        use rand::SeedableRng;
+        let _ = rand::rngs::StdRng::from_entropy();
+        let _ = rand::rngs::OsRng;
+    }
+}

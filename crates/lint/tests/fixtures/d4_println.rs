@@ -1,0 +1,15 @@
+//! Fixture: D4 — console printing in library code.
+
+pub fn report(x: u32) {
+    println!("x = {x}");
+    eprintln!("warn");
+    let _ = dbg!(x);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_in_tests_is_fine() {
+        println!("debugging a test is allowed");
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: lexer stress — nothing may fire except the last function.
+
+pub fn tricky<'a>(s: &'a str) -> usize {
+    let raw = r#"HashMap::new() and x.unwrap() and panic!("no")"#;
+    let b = b"println!(no)";
+    let c = 'x';
+    let q = '\'';
+    /* nested /* HashMap */ still comment */
+    let range: Vec<usize> = (0..s.len()).collect();
+    let r#match = raw.len() + b.len() + c as usize + q as usize + range.len();
+    r#match
+}
+
+pub fn one_real_finding() {
+    Option::<u32>::None.unwrap(); // the lexer recovered: this must be seen
+}

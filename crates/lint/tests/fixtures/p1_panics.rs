@@ -1,0 +1,25 @@
+//! Fixture: P1 — panicking calls in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("nonempty");
+    head + tail
+}
+
+pub fn modes(x: u32) -> u32 {
+    match x {
+        0 => panic!("zero"),
+        1 => unreachable!(),
+        2 => todo!(),
+        n => n.checked_mul(2).unwrap_or(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        super::modes(3);
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: U1 — a library crate root without `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

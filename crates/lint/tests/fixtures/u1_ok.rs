@@ -1,0 +1,5 @@
+//! Fixture: U1 satisfied by the crate-root attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

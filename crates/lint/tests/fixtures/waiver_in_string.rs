@@ -1,0 +1,6 @@
+//! Fixture: the waiver marker inside a string must not waive anything.
+
+pub fn marker() -> (&'static str, u32) {
+    let text = "lint:allow(P1) — not a real waiver";
+    (text, Some(1).unwrap())
+}

@@ -1,0 +1,5 @@
+//! Fixture: a waiver without a reason is rejected and reported.
+
+pub fn boom() {
+    panic!("kaboom"); // lint:allow(P1)
+}

@@ -1,0 +1,8 @@
+//! Fixture: waivers with reasons suppress findings.
+
+use std::collections::HashMap; // lint:allow(D2) — fixture demonstrates a justified hash map
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> u32 { // lint:allow(D2) — same demonstration, second site
+    // lint:allow(P1) — fixture: the key is guaranteed present by construction
+    *m.get(&k).unwrap()
+}

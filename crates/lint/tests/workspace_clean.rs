@@ -1,0 +1,23 @@
+//! The repository itself must be lint-clean: zero unwaived findings,
+//! and every waiver in the tree earns its keep.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_findings_and_no_stale_waivers() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = dsv3_lint::scan(&root).expect("scan workspace");
+
+    let lines: Vec<String> =
+        report.diagnostics.iter().map(dsv3_lint::diag::Diagnostic::render).collect();
+    assert!(lines.is_empty(), "workspace must be lint-clean, got:\n{}", lines.join("\n"));
+    assert_eq!(report.errors(), 0);
+    assert_eq!(report.warnings(), 0);
+    assert!(report.files_scanned >= 100, "only {} source files scanned", report.files_scanned);
+    assert!(report.manifests_scanned >= 15, "only {} manifests scanned", report.manifests_scanned);
+    assert!(report.waivers_honored >= 5, "only {} waivers honored", report.waivers_honored);
+}

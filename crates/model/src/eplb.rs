@@ -58,11 +58,11 @@ pub fn place(loads: &[f64], gpus: usize, redundant: usize) -> Placement {
     // go to the experts with the highest per-replica load, iteratively.
     let mut replicas = vec![1usize; loads.len()];
     for _ in 0..redundant {
-        let hottest = (0..loads.len())
-            .max_by(|&a, &b| {
-                (loads[a] / replicas[a] as f64).total_cmp(&(loads[b] / replicas[b] as f64))
-            })
-            .expect("nonempty");
+        let Some(hottest) = (0..loads.len()).max_by(|&a, &b| {
+            (loads[a] / replicas[a] as f64).total_cmp(&(loads[b] / replicas[b] as f64))
+        }) else {
+            break;
+        };
         replicas[hottest] += 1;
     }
     let total_replicas: usize = replicas.iter().sum();
@@ -80,9 +80,11 @@ pub fn place(loads: &[f64], gpus: usize, redundant: usize) -> Placement {
     let mut gpu_of = Vec::with_capacity(total_replicas);
     let mut expert_of = Vec::with_capacity(total_replicas);
     for (e, l) in replica_list {
-        let g = (0..gpus)
-            .min_by(|&a, &b| gpu_load[a].total_cmp(&gpu_load[b]).then(a.cmp(&b)))
-            .expect("gpus > 0");
+        let Some(g) =
+            (0..gpus).min_by(|&a, &b| gpu_load[a].total_cmp(&gpu_load[b]).then(a.cmp(&b)))
+        else {
+            break;
+        };
         gpu_load[g] += l;
         gpu_of.push(g);
         expert_of.push(e);

@@ -24,6 +24,8 @@
 //! * [`availability`] — MTBF-driven Young/Daly checkpoint-interval and
 //!   training-goodput model (§6.1 reliability).
 
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod availability;
 pub mod config;

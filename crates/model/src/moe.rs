@@ -244,7 +244,7 @@ pub fn routing_stats(routings: &[Routing], cfg: &MoeGateConfig) -> RoutingStats 
     }
     let tokens = routings.len();
     let ideal = (tokens * cfg.top_k) as f64 / cfg.experts as f64;
-    let max_load = *expert_loads.iter().max().expect("nonempty") as f64;
+    let max_load = expert_loads.iter().copied().max().unwrap_or(0) as f64;
     RoutingStats {
         tokens,
         expert_loads,

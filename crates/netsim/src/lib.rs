@@ -17,6 +17,8 @@
 //! * [`incast`] — many-to-one bursts vs a victim flow: shared queues vs
 //!   VOQ isolation (§5.2.2).
 
+#![forbid(unsafe_code)]
+
 pub mod cbfc;
 pub mod incast;
 pub mod latency;

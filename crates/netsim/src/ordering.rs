@@ -78,7 +78,7 @@ pub fn simulate(groups: &[MessageGroup], mode: OrderingMode) -> OrderingOutcome 
             }
         }
     }
-    let total_us = *flags.last().expect("nonempty");
+    let total_us = flags.last().copied().unwrap_or(0.0);
     OrderingOutcome {
         total_us,
         injection_utilization: payload_total / sender_clock.max(f64::MIN_POSITIVE),

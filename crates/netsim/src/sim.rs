@@ -267,11 +267,12 @@ impl FlowSim {
             now = horizon;
         }
         let finish_us: Vec<f64> =
+            // lint:allow(P1) — the progress loop above cannot exit until every flow's finish_us is set; a silent default would fabricate a makespan
             self.flows.iter().map(|f| f.finish_us.expect("finished")).collect();
         let makespan_us = finish_us.iter().copied().fold(0.0, f64::max);
         if let Some((rec, scope)) = tel.as_mut() {
             for (f, fl) in self.flows.iter().enumerate() {
-                let done = fl.finish_us.expect("finished");
+                let done = fl.finish_us.unwrap_or(makespan_us);
                 let tid = rec.thread(pid, &format!("flow{f}"));
                 rec.span(pid, tid, "flow", &format!("flow{f}"), fl.start_us, done);
                 rec.observe(&format!("{scope}.flow_us"), done - fl.start_us);

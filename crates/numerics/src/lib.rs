@@ -34,6 +34,8 @@
 //! assert_eq!(x.to_bits(), y.to_bits());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod fp22;
 pub mod gemm;
 pub mod integrity;

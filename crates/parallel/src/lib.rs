@@ -13,6 +13,8 @@
 //! * [`trainstep`] — the Table 4 harness: compose chunk times, a schedule
 //!   and an optimizer step into the paper's training metrics.
 
+#![forbid(unsafe_code)]
+
 pub mod dualpipe;
 pub mod memory;
 pub mod mfu;

@@ -31,6 +31,8 @@
 //! assert!(report.tpot_ms.p99 >= report.tpot_ms.p50);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod metrics;
 pub mod router;

@@ -63,7 +63,7 @@ impl Summary {
             p50: percentile(samples, 50.0),
             p95: percentile(samples, 95.0),
             p99: percentile(samples, 99.0),
-            max: *samples.last().expect("nonempty"),
+            max: samples[samples.len() - 1],
         }
     }
 }

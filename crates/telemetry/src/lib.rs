@@ -33,6 +33,8 @@
 //! assert_eq!(trace.traceEvents.len(), 2); // process_name metadata + span
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod manifest;
 pub mod recorder;

@@ -63,22 +63,21 @@ pub fn config_hash(config_json: &str) -> String {
 /// ...}` document. The report is re-parsed (not string-spliced) so the
 /// result is structurally valid whatever the report contains.
 ///
-/// # Panics
-///
-/// Panics if `report_json` is not valid JSON or the manifest fails to
-/// serialize — both would be workspace bugs, not user errors.
+/// Malformed report JSON (a workspace bug, not a user error) degrades
+/// to a `null` report rather than tearing down the run.
 #[must_use]
 pub fn manifest_wrap(manifest: &RunManifest, report_json: &str) -> String {
     let report: serde_json::Value =
-        serde_json::from_str(report_json).expect("experiment reports are valid JSON");
-    let manifest_value: serde_json::Value =
-        serde_json::from_str(&serde_json::to_string(manifest).expect("manifest serializes"))
-            .expect("manifest JSON parses back");
+        serde_json::from_str(report_json).unwrap_or(serde_json::Value::Null);
+    let manifest_value: serde_json::Value = serde_json::to_string(manifest)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or(serde_json::Value::Null);
     let doc = serde_json::Value::Object(vec![
         ("manifest".to_string(), manifest_value),
         ("report".to_string(), report),
     ]);
-    serde_json::to_string_pretty(&doc).expect("wrapped document serializes")
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("null"))
 }
 
 #[cfg(test)]

@@ -49,15 +49,12 @@ pub struct ChromeTrace {
 }
 
 impl ChromeTrace {
-    /// Serialize to a compact JSON string (traces get large).
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialization fails, which would be a bug in the
-    /// vendored serde stand-ins.
+    /// Serialize to a compact JSON string (traces get large). A
+    /// serialization failure (a bug in the vendored serde stand-ins)
+    /// degrades to `null` rather than panicking mid-run.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serializes")
+        serde_json::to_string(self).unwrap_or_else(|_| String::from("null"))
     }
 }
 

@@ -117,7 +117,7 @@ impl Graph {
         let mut best = 0;
         for s in 0..self.adj.len() {
             let d = self.bfs(s);
-            let m = *d.iter().max().expect("nonempty");
+            let m = d.iter().copied().max().unwrap_or(0);
             assert_ne!(m, usize::MAX, "graph is disconnected");
             best = best.max(m);
         }

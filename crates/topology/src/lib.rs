@@ -19,6 +19,8 @@
 //! * [`routing`] — ECMP / static / adaptive spine selection for leaf-spine
 //!   fabrics.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod dragonfly;
 pub mod fattree;

@@ -63,7 +63,7 @@ pub fn assign_spines(
                 RoutePolicy::StaticBySource => f.src % ls.spines,
                 RoutePolicy::Adaptive => (0..ls.spines)
                     .min_by_key(|&s| (up[sl * ls.spines + s].max(down[dl * ls.spines + s]), s))
-                    .expect("at least one spine"),
+                    .unwrap_or(0),
             };
             up[sl * ls.spines + spine] += 1;
             down[dl * ls.spines + spine] += 1;
@@ -156,7 +156,7 @@ pub fn assign_spines_with_failures(
                 RoutePolicy::Adaptive => *healthy
                     .iter()
                     .min_by_key(|&&s| (up[sl * ls.spines + s].max(down[dl * ls.spines + s]), s))
-                    .expect("healthy spine exists"),
+                    .unwrap_or(&0),
             };
             up[sl * ls.spines + spine] += 1;
             down[dl * ls.spines + spine] += 1;

@@ -45,6 +45,7 @@ impl SlimFly {
             0 => 0,
             1 => 1,
             3 => -1,
+            // lint:allow(P1) — q % 4 == 2 is rejected by `new`'s validation (q is an odd prime power); a fallback δ would silently build the wrong graph
             _ => unreachable!("validated in new"),
         }
     }
@@ -182,6 +183,7 @@ fn primitive_root(q: usize) -> usize {
         }
         return g;
     }
+    // lint:allow(P1) — every prime field has a primitive root (number theory, not an input condition); any fallback generator would corrupt the MMS construction
     panic!("no primitive root found for {q}");
 }
 

@@ -16,6 +16,12 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> invariant lints: dsv3 lint"
+# -p dsv3-core: building the root package alone links dsv3-core as a
+# library and can leave target/release/dsv3 stale.
+cargo build --release --offline -p dsv3-core
+./target/release/dsv3 lint
+
 echo "==> telemetry smoke: dsv3 serving --trace-out emits a valid Chrome trace"
 trace_tmp="$(mktemp /tmp/dsv3_trace.XXXXXX.json)"
 trap 'rm -f "$trace_tmp"' EXIT

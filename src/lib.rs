@@ -5,4 +5,6 @@
 //! convenient entry point is [`dsv3_core`], which re-exports the substrates
 //! and provides one experiment runner per table/figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use dsv3_core as core;
