@@ -9,6 +9,8 @@
 //! multi-rail one: the flow patterns coincide.
 
 use crate::{Cluster, CollectiveReport};
+use dsv3_netsim::chaos::ChaosConfig;
+use serde::{Deserialize, Serialize};
 
 /// Run an all-to-all where every GPU sends `bytes_per_peer` to every other
 /// GPU. Returns nccl-tests-style bandwidths (`algbw = per-rank buffer /
@@ -75,6 +77,115 @@ pub fn alltoall_pxn(cluster: &Cluster, bytes_per_peer: f64) -> CollectiveReport 
     let per_rank_buffer = bytes_per_peer * g as f64;
     let algbw = per_rank_buffer / (time_us * 1000.0); // bytes/µs/1000 = GB/s
     CollectiveReport { time_us, algbw_gbps: algbw, busbw_gbps: algbw * (g as f64 - 1.0) / g as f64 }
+}
+
+/// Outcome of an all-to-all over a failing fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosAllToAllReport {
+    /// Fault-free baseline (same cluster, same bytes).
+    pub healthy: CollectiveReport,
+    /// Completion time over the failing fabric (makespan of completed
+    /// flows, µs).
+    pub chaos_time_us: f64,
+    /// `chaos_time_us / healthy.time_us`.
+    pub slowdown: f64,
+    /// Total simulated flows (NVLink exchange + PXN forwarding + chunked
+    /// inter-node).
+    pub total_flows: usize,
+    /// Flows stranded by retry exhaustion or deadline.
+    pub stranded_flows: usize,
+    /// Bytes lost on failed links and re-sent.
+    pub retransmitted_bytes: f64,
+    /// Path changes across all flows.
+    pub reroutes: u64,
+    /// Failed attempts across all flows.
+    pub retries: u64,
+    /// Per-flow byte-conservation check (`sent ≈ delivered + lost`).
+    pub bytes_balanced: bool,
+}
+
+/// [`alltoall_pxn`] over a failing fabric: the same PXN flow pattern, with
+/// every inter-node flow split into `chunks` independent sub-flows (the
+/// chunked retry granularity — a failure loses and re-sends at most one
+/// chunk's window) and given the full per-plane ECMP path set so the
+/// [`ChaosConfig`]'s reroute policy can retarget a surviving plane.
+///
+/// With `chunks == 1`, an empty schedule, and the `Stall` policy the
+/// simulation is bit-identical to [`alltoall_pxn`]'s.
+///
+/// # Panics
+///
+/// Panics if the cluster has fewer than 2 GPUs, `bytes_per_peer < 0`, or
+/// `chunks == 0`.
+#[must_use]
+pub fn alltoall_pxn_chaos(
+    cluster: &Cluster,
+    bytes_per_peer: f64,
+    chunks: usize,
+    cfg: &ChaosConfig,
+) -> ChaosAllToAllReport {
+    let g = cluster.cfg.gpus();
+    assert!(g >= 2, "all-to-all needs at least two GPUs");
+    assert!(bytes_per_peer >= 0.0, "negative message size");
+    assert!(chunks > 0, "need at least one chunk");
+    let healthy = alltoall_pxn(cluster, bytes_per_peer);
+    let nodes = cluster.cfg.nodes;
+    let locals = cluster.cfg.gpus_per_node;
+    let mut sim = cluster.chaos_sim();
+    let mut expected = Vec::new();
+
+    // Same flow order as `alltoall_pxn`; NVLink legs keep their single
+    // path (a GPU cannot swap NVSwitch ports), inter-node legs are chunked
+    // and carry the per-plane path set.
+    for a in 0..nodes {
+        for i in 0..locals {
+            for j in 0..locals {
+                if i != j {
+                    let (path, lat) = cluster.nvlink_path(cluster.gpu(a, i), cluster.gpu(a, j));
+                    sim.add_flow(vec![path], bytes_per_peer, 0.0, lat);
+                    expected.push(bytes_per_peer);
+                }
+            }
+        }
+        if nodes == 1 {
+            continue;
+        }
+        for i in 0..locals {
+            for q in 0..locals {
+                if i != q {
+                    let (path, lat) = cluster.nvlink_path(cluster.gpu(a, i), cluster.gpu(a, q));
+                    let bytes = bytes_per_peer * (nodes - 1) as f64;
+                    sim.add_flow(vec![path], bytes, 0.0, lat);
+                    expected.push(bytes);
+                }
+            }
+        }
+        for b in 0..nodes {
+            if a != b {
+                for q in 0..locals {
+                    let (paths, lat) = cluster.plane_path_set(a, b, q);
+                    let bytes = bytes_per_peer * locals as f64 / chunks as f64;
+                    for _ in 0..chunks {
+                        sim.add_flow(paths.clone(), bytes, 0.0, lat);
+                        expected.push(bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    let r = sim.run(cfg);
+    ChaosAllToAllReport {
+        healthy,
+        chaos_time_us: r.makespan_us,
+        slowdown: r.makespan_us / healthy.time_us,
+        total_flows: r.flows.len(),
+        stranded_flows: r.stranded,
+        retransmitted_bytes: r.retransmitted_bytes,
+        reroutes: r.total_reroutes,
+        retries: r.total_retries,
+        bytes_balanced: r.bytes_balanced(&expected, 1e-5),
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +257,88 @@ mod tests {
         let r = alltoall_pxn(&c, 0.0);
         assert!(r.time_us > 0.0);
         assert_eq!(r.algbw_gbps, 0.0);
+    }
+
+    mod chaos {
+        use super::*;
+        use dsv3_netsim::chaos::{ChaosConfig, LinkSchedule, ReroutePolicy, RetransmitConfig};
+
+        const MB: f64 = 1024.0 * 1024.0;
+
+        fn retransmit() -> RetransmitConfig {
+            RetransmitConfig {
+                detect_timeout_us: 5.0,
+                backoff_base_us: 5.0,
+                backoff_factor: 2.0,
+                backoff_max_us: 100.0,
+                max_retries: 6,
+                inflight_window_bytes: 0.25 * MB,
+            }
+        }
+
+        #[test]
+        fn fault_free_chaos_matches_healthy_bitwise() {
+            let c = cluster(2, FabricKind::MultiPlane);
+            let r = alltoall_pxn_chaos(
+                &c,
+                MB,
+                1,
+                &ChaosConfig { policy: ReroutePolicy::Stall, ..ChaosConfig::default() },
+            );
+            assert_eq!(r.chaos_time_us.to_bits(), r.healthy.time_us.to_bits());
+            assert_eq!(r.slowdown, 1.0);
+            assert_eq!(r.stranded_flows, 0);
+            assert_eq!(r.reroutes, 0);
+            assert_eq!(r.retransmitted_bytes, 0.0);
+            assert!(r.bytes_balanced);
+        }
+
+        #[test]
+        fn chunking_does_not_change_fault_free_time() {
+            let c = cluster(2, FabricKind::MultiPlane);
+            let one = alltoall_pxn_chaos(&c, MB, 1, &ChaosConfig::default());
+            let four = alltoall_pxn_chaos(&c, MB, 4, &ChaosConfig::default());
+            let diff = (one.chaos_time_us - four.chaos_time_us).abs() / one.chaos_time_us;
+            assert!(diff < 1e-6, "chunks share the same links fairly: {diff}");
+            assert_eq!(four.total_flows, one.total_flows + 2 * 8 * 3);
+        }
+
+        #[test]
+        fn adaptive_survives_a_plane_outage_with_bounded_slowdown() {
+            // Plane 5 dies mid-transfer and never heals within the run:
+            // adaptive reroute retargets the survivors. The paper's claim —
+            // degradation ~ failed fraction (8/7), not collapse.
+            let c = cluster(2, FabricKind::MultiPlane);
+            let sched = LinkSchedule::fail_links(&c.plane_links(5), 50.0, 1e9);
+            let cfg = ChaosConfig {
+                schedule: sched,
+                policy: ReroutePolicy::Adaptive,
+                retransmit: retransmit(),
+                deadline_us: None,
+            };
+            let r = alltoall_pxn_chaos(&c, MB, 4, &cfg);
+            assert_eq!(r.stranded_flows, 0, "adaptive strands nothing");
+            assert!(r.reroutes > 0, "failed-plane flows must retarget");
+            assert!(r.retransmitted_bytes > 0.0, "mid-transfer loss costs bytes");
+            assert!(r.bytes_balanced);
+            assert!(r.slowdown > 1.0, "{}", r.slowdown);
+            assert!(r.slowdown < 1.6, "bounded degradation, got {}", r.slowdown);
+        }
+
+        #[test]
+        fn stall_on_dead_plane_strands_at_deadline() {
+            let c = cluster(2, FabricKind::MultiPlane);
+            let sched = LinkSchedule::fail_links(&c.plane_links(5), 50.0, 1e9);
+            let cfg = ChaosConfig {
+                schedule: sched,
+                policy: ReroutePolicy::Stall,
+                retransmit: retransmit(),
+                deadline_us: Some(2_000.0),
+            };
+            let r = alltoall_pxn_chaos(&c, MB, 2, &cfg);
+            // Both directions of plane 5's node-pair flow, both chunks.
+            assert_eq!(r.stranded_flows, 4, "stall cannot leave the dead plane");
+            assert!(r.bytes_balanced);
+        }
     }
 }

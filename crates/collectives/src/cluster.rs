@@ -1,6 +1,6 @@
 //! The H800 cluster model: nodes, GPUs, NVLink and network planes.
 
-use dsv3_netsim::{FlowSim, LatencyParams, Link};
+use dsv3_netsim::{ChaosSim, FlowSim, LatencyParams, Link};
 use serde::{Deserialize, Serialize};
 
 /// Scale-out fabric arrangement.
@@ -215,10 +215,55 @@ impl Cluster {
         }
     }
 
+    /// All scale-out link ids of `plane`: every node's NIC pair plus the
+    /// plane's leaf↔spine links. This is the blast radius of a plane
+    /// failure — the set a plane-level flap takes down at once.
+    #[must_use]
+    pub fn plane_links(&self, plane: usize) -> Vec<usize> {
+        assert!(plane < self.cfg.gpus_per_node, "plane {plane} out of range");
+        let mut ids = Vec::new();
+        for n in 0..self.cfg.nodes {
+            ids.push(self.nic_up(n, plane));
+            ids.push(self.nic_down(n, plane));
+        }
+        for l in 0..self.leaves {
+            for s in 0..self.cfg.spines {
+                ids.push(self.leaf_up(plane, l, s));
+                ids.push(self.leaf_down(plane, l, s));
+            }
+        }
+        ids
+    }
+
+    /// Candidate inter-node ECMP path set from node `a` to node `b` for
+    /// the chaos engine: the `home_plane` path first (the healthy-fabric
+    /// choice), then the same node-pair path on every other plane — the
+    /// NVLink forwarding step can retarget a surviving plane's NIC.
+    /// Returns the paths and the (plane-independent) latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or `home_plane` is out of range.
+    #[must_use]
+    pub fn plane_path_set(&self, a: usize, b: usize, home_plane: usize) -> (Vec<Vec<usize>>, f64) {
+        let planes = self.cfg.gpus_per_node;
+        assert!(home_plane < planes, "plane {home_plane} out of range");
+        let (_, lat) = self.plane_path(a, b, home_plane);
+        let paths =
+            (0..planes).map(|k| self.plane_path(a, b, (home_plane + k) % planes).0).collect();
+        (paths, lat)
+    }
+
     /// Fresh simulator over this cluster's links.
     #[must_use]
     pub fn sim(&self) -> FlowSim {
         FlowSim::new(self.links.clone())
+    }
+
+    /// Fresh fault-tolerant simulator over this cluster's links.
+    #[must_use]
+    pub fn chaos_sim(&self) -> ChaosSim {
+        ChaosSim::new(self.links.clone())
     }
 }
 

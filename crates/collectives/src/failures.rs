@@ -7,6 +7,7 @@
 //! fallback: its NIC failure severs the GPU from the fabric.
 
 use crate::{Cluster, CollectiveReport};
+use dsv3_netsim::chaos::{LinkFlap, LinkSchedule};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -95,9 +96,17 @@ pub fn alltoall_with_failed_planes(
 
 /// Expected bandwidth retention when `failed` of `planes` planes are down
 /// and the NIC is the bottleneck: the survivors carry everything.
+///
+/// Convention: `failed >= planes` (including `planes == 0`) returns `0.0`
+/// — the fabric is fully disconnected and retains nothing. Simulation
+/// entry points like [`alltoall_with_failed_planes`] still treat total
+/// failure as an error (there is no traffic to route), but the analytic
+/// curve is total, so sweeps over failure counts never panic.
 #[must_use]
 pub fn expected_retention(planes: usize, failed: usize) -> f64 {
-    assert!(failed < planes, "must keep at least one plane");
+    if failed >= planes {
+        return 0.0;
+    }
     (planes - failed) as f64 / planes as f64
 }
 
@@ -178,6 +187,32 @@ impl FlapSchedule {
     }
 }
 
+/// Project a plane-level [`FlapSchedule`] (milliseconds) onto the
+/// individual links of `cluster` (microseconds): every scale-out link of a
+/// flapping plane — the per-node NIC pair plus the plane's leaf↔spine
+/// links — goes down and heals together. This is how the plane-granular
+/// model of this module drives the link-granular chaos engine
+/// ([`dsv3_netsim::chaos::ChaosSim`]).
+///
+/// # Panics
+///
+/// Panics if a flap references a plane the cluster does not have.
+#[must_use]
+pub fn link_schedule(cluster: &Cluster, sched: &FlapSchedule) -> LinkSchedule {
+    assert!(sched.planes <= cluster.cfg.gpus_per_node, "schedule has more planes than the cluster");
+    let mut flaps = Vec::new();
+    for f in &sched.flaps {
+        for link in cluster.plane_links(f.plane) {
+            flaps.push(LinkFlap {
+                link,
+                down_at_us: f.down_at_ms * 1000.0,
+                repair_us: f.repair_ms * 1000.0,
+            });
+        }
+    }
+    LinkSchedule { flaps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +288,60 @@ mod tests {
         let pts = sched.change_points_ms();
         assert!(pts.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
         assert!(pts.contains(&10.0) && pts.contains(&30.0) && pts.contains(&25.0));
+    }
+
+    #[test]
+    fn expected_retention_is_total() {
+        // Convention: failed >= planes retains nothing instead of
+        // panicking, so analytic sweeps can run to the disconnected end.
+        assert_eq!(expected_retention(8, 8), 0.0);
+        assert_eq!(expected_retention(8, 100), 0.0);
+        assert_eq!(expected_retention(0, 0), 0.0);
+        assert!((expected_retention(8, 7) - 0.125).abs() < 1e-12);
+        assert!((expected_retention(8, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_flaps_of_same_plane_count_once() {
+        // Regression (schedule-layer twin of `duplicate_plane_ids_count_once`):
+        // three overlapping down intervals of plane 2 are one failed plane.
+        let sched = FlapSchedule {
+            planes: 8,
+            flaps: vec![
+                PlaneFlap { plane: 2, down_at_ms: 0.0, repair_ms: 30.0 },
+                PlaneFlap { plane: 2, down_at_ms: 5.0, repair_ms: 10.0 },
+                PlaneFlap { plane: 2, down_at_ms: 10.0, repair_ms: 40.0 },
+            ],
+        };
+        assert_eq!(sched.failed_planes_at(12.0), vec![2], "deduped to one entry");
+        assert_eq!(sched.failed_planes_at(12.0).len(), 1);
+        assert!((sched.retention_at(12.0) - 7.0 / 8.0).abs() < 1e-12);
+        // After the longest flap repairs (t = 50), the plane is healthy.
+        assert_eq!(sched.failed_planes_at(50.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn link_schedule_projects_planes_onto_links() {
+        let c = cluster(2);
+        let sched = FlapSchedule {
+            planes: 8,
+            flaps: vec![PlaneFlap { plane: 3, down_at_ms: 2.0, repair_ms: 5.0 }],
+        };
+        let ls = link_schedule(&c, &sched);
+        let expect_links = c.plane_links(3);
+        assert_eq!(ls.flaps.len(), expect_links.len());
+        for (flap, &link) in ls.flaps.iter().zip(&expect_links) {
+            assert_eq!(flap.link, link);
+            assert_eq!(flap.down_at_us, 2000.0, "ms -> µs");
+            assert_eq!(flap.repair_us, 5000.0);
+        }
+        // Every projected link is down mid-flap and up after repair.
+        for &l in &expect_links {
+            assert!(ls.is_down(l, 3000.0));
+            assert!(!ls.is_down(l, 7000.0));
+        }
+        // Links of other planes are untouched.
+        assert!(!ls.is_down(c.nic_up(0, 0), 3000.0));
     }
 
     #[test]

@@ -102,6 +102,8 @@ fn plan_config(seed: u64) -> FaultPlanConfig {
         straggler_duration_ms: 3_000.0,
         sdc_mtbf_ms: 20_000.0,
         sdc_detection_rate: 0.7,
+        // Link-granular faults stay disabled here; `net_chaos` owns them.
+        ..FaultPlanConfig::default()
     }
 }
 

@@ -129,6 +129,21 @@ pub fn registry() -> Vec<Entry> {
                 }
             }),
         },
+        Entry {
+            name: "net-chaos",
+            about: "link chaos: reroute policies vs failed fraction (§5.1.1)",
+            render: net_chaos::render,
+            json: || to_json(&net_chaos::run()),
+            instrumented: Some(|rec| {
+                let report = net_chaos::run_instrumented(rec);
+                InstrumentedRun {
+                    table: net_chaos::render_report(&report),
+                    json: to_json(&report),
+                    seed: net_chaos::seed(),
+                    config_json: net_chaos::config_json(),
+                }
+            }),
+        },
         plain("lint", "workspace invariant lint (determinism/panic/vendor)", lint::render, || {
             to_json(&lint::run())
         }),

@@ -14,6 +14,7 @@
 //! deterministic (time, then event sequence number).
 
 use dsv3_collectives::failures::{expected_retention, FlapSchedule, PlaneFlap};
+use dsv3_netsim::chaos::{LinkFlap, LinkSchedule};
 use dsv3_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +52,16 @@ pub enum FaultKind {
         /// or it silently corrupts a result.
         detected: bool,
     },
+    /// An individual network link fails — finer-grained than a whole
+    /// [`FaultKind::PlaneFlap`]: one cable/port of
+    /// [`FaultPlan::links`] goes dark until repaired. Projected onto the
+    /// chaos engine via [`FaultPlan::link_schedule`].
+    LinkFail {
+        /// Which link (of [`FaultPlan::links`]) fails.
+        link: usize,
+        /// Downtime before the link returns.
+        repair_ms: f64,
+    },
 }
 
 impl FaultKind {
@@ -58,9 +69,9 @@ impl FaultKind {
     #[must_use]
     pub fn duration_ms(&self) -> Option<f64> {
         match *self {
-            FaultKind::ReplicaCrash { repair_ms, .. } | FaultKind::PlaneFlap { repair_ms, .. } => {
-                Some(repair_ms)
-            }
+            FaultKind::ReplicaCrash { repair_ms, .. }
+            | FaultKind::PlaneFlap { repair_ms, .. }
+            | FaultKind::LinkFail { repair_ms, .. } => Some(repair_ms),
             FaultKind::Straggler { duration_ms, .. } => Some(duration_ms),
             FaultKind::Sdc { .. } => None,
         }
@@ -74,6 +85,7 @@ impl FaultKind {
             FaultKind::PlaneFlap { .. } => "plane-flap",
             FaultKind::Straggler { .. } => "straggler",
             FaultKind::Sdc { .. } => "sdc",
+            FaultKind::LinkFail { .. } => "link-fail",
         }
     }
 }
@@ -94,6 +106,10 @@ pub struct FaultPlan {
     pub replicas: usize,
     /// Network planes carrying scale-out traffic (≥ 1).
     pub planes: usize,
+    /// Individual network links addressable by [`FaultKind::LinkFail`]
+    /// events (0 when the plan has no link-granular faults — the
+    /// consumer's link table defines the id space).
+    pub links: usize,
     /// The timeline; [`FaultDriver`] sorts it, so order is free.
     pub events: Vec<FaultEvent>,
 }
@@ -103,7 +119,7 @@ impl FaultPlan {
     /// plan must reproduce its fault-free output byte-for-byte.
     #[must_use]
     pub fn healthy() -> Self {
-        Self { replicas: 1, planes: 8, events: Vec::new() }
+        Self { replicas: 1, planes: 8, links: 0, events: Vec::new() }
     }
 
     /// Whether the plan injects nothing.
@@ -154,6 +170,14 @@ impl FaultPlan {
                     }
                 }
                 FaultKind::Sdc { .. } => {}
+                FaultKind::LinkFail { link, repair_ms } => {
+                    if link >= self.links {
+                        return Err(format!("event {i}: link {link} out of range"));
+                    }
+                    if repair_ms.is_nan() || repair_ms < 0.0 {
+                        return Err(format!("event {i}: bad repair_ms {repair_ms}"));
+                    }
+                }
             }
         }
         Ok(())
@@ -203,11 +227,18 @@ impl FaultPlan {
         arrivals(0x73_6463u64, cfg.sdc_mtbf_ms, &mut |rng| FaultKind::Sdc {
             detected: rng.gen_bool(cfg.sdc_detection_rate),
         });
+        if cfg.link_mtbf_ms.is_finite() && cfg.link_mtbf_ms > 0.0 {
+            assert!(cfg.links > 0, "link faults enabled but links == 0");
+            arrivals(0x6c69_6e6b_u64, cfg.link_mtbf_ms, &mut |rng| FaultKind::LinkFail {
+                link: rng.gen_range(0..cfg.links),
+                repair_ms: cfg.link_repair_ms,
+            });
+        }
 
         events.sort_by(|a, b| {
             a.at_ms.total_cmp(&b.at_ms).then(kind_rank(&a.kind).cmp(&kind_rank(&b.kind)))
         });
-        Self { replicas: cfg.replicas, planes: cfg.planes, events }
+        Self { replicas: cfg.replicas, planes: cfg.planes, links: cfg.links, events }
     }
 
     /// Project the plan's plane flaps onto a
@@ -235,6 +266,31 @@ impl FaultPlan {
         FlapSchedule { planes: self.planes, flaps }
     }
 
+    /// Project the plan's individual link failures onto a
+    /// [`dsv3_netsim::chaos::LinkSchedule`] for the chaos flow simulator.
+    ///
+    /// Plan timestamps are milliseconds; the flow simulator runs in
+    /// microseconds, so instants scale by 1000. The down-inclusive /
+    /// up-exclusive interval convention carries over unchanged
+    /// (`LinkFlap::is_down_at` matches `FlapSchedule` and the driver's
+    /// repairs-before-injections tie order).
+    #[must_use]
+    pub fn link_schedule(&self) -> LinkSchedule {
+        let flaps = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkFail { link, repair_ms } => Some(LinkFlap {
+                    link,
+                    down_at_us: e.at_ms * 1000.0,
+                    repair_us: repair_ms * 1000.0,
+                }),
+                _ => None,
+            })
+            .collect();
+        LinkSchedule { flaps }
+    }
+
     /// Crash (failure) arrival times in seconds, for feeding the training
     /// availability simulation.
     #[must_use]
@@ -256,6 +312,7 @@ fn kind_rank(k: &FaultKind) -> u8 {
         FaultKind::PlaneFlap { .. } => 1,
         FaultKind::Straggler { .. } => 2,
         FaultKind::Sdc { .. } => 3,
+        FaultKind::LinkFail { .. } => 4,
     }
 }
 
@@ -297,6 +354,12 @@ pub struct FaultPlanConfig {
     pub sdc_mtbf_ms: f64,
     /// Probability a strike is caught by the checksum audit.
     pub sdc_detection_rate: f64,
+    /// Individually failable network links (0 disables link faults).
+    pub links: usize,
+    /// Mean time between single-link failures (ms).
+    pub link_mtbf_ms: f64,
+    /// Link downtime per failure (ms).
+    pub link_repair_ms: f64,
 }
 
 impl Default for FaultPlanConfig {
@@ -315,6 +378,9 @@ impl Default for FaultPlanConfig {
             straggler_duration_ms: 2_000.0,
             sdc_mtbf_ms: f64::INFINITY,
             sdc_detection_rate: 0.9,
+            links: 0,
+            link_mtbf_ms: f64::INFINITY,
+            link_repair_ms: 2_000.0,
         }
     }
 }
@@ -499,6 +565,7 @@ mod tests {
         let plan = FaultPlan {
             replicas: 2,
             planes: 8,
+            links: 0,
             events: vec![crash(10.0, 5.0), crash(12.0, 100.0)],
         };
         let mut d = FaultDriver::new(&plan);
@@ -518,7 +585,7 @@ mod tests {
 
     #[test]
     fn heal_carries_the_matching_seq() {
-        let plan = FaultPlan { replicas: 1, planes: 8, events: vec![crash(1.0, 2.0)] };
+        let plan = FaultPlan { replicas: 1, planes: 8, links: 0, events: vec![crash(1.0, 2.0)] };
         let mut d = FaultDriver::new(&plan);
         let mut r = Recorder::default();
         d.poll(10.0, &mut r);
@@ -557,6 +624,7 @@ mod tests {
         let bad = FaultPlan {
             replicas: 2,
             planes: 8,
+            links: 0,
             events: vec![FaultEvent {
                 at_ms: 1.0,
                 kind: FaultKind::ReplicaCrash { replica: 5, repair_ms: 1.0 },
@@ -578,7 +646,7 @@ mod tests {
 
     #[test]
     fn poll_traced_emits_instants_and_counters() {
-        let plan = FaultPlan { replicas: 2, planes: 8, events: vec![crash(10.0, 5.0)] };
+        let plan = FaultPlan { replicas: 2, planes: 8, links: 0, events: vec![crash(10.0, 5.0)] };
         let mut d = FaultDriver::new(&plan);
         let mut sink = Recorder::default();
         let mut rec = dsv3_telemetry::Recorder::new();
@@ -598,6 +666,7 @@ mod tests {
         let plan = FaultPlan {
             replicas: 2,
             planes: 8,
+            links: 0,
             events: vec![crash(10.0, 5.0), crash(12.0, 100.0)],
         };
         let mut plain = Recorder::default();
@@ -627,5 +696,88 @@ mod tests {
         let crashes = plan.crash_times_s();
         assert!(!crashes.is_empty());
         assert!(crashes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn link_fail_generation_projects_onto_link_schedule() {
+        let cfg = FaultPlanConfig {
+            seed: 11,
+            horizon_ms: 50_000.0,
+            links: 16,
+            link_mtbf_ms: 5_000.0,
+            link_repair_ms: 1_500.0,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg);
+        assert_eq!(plan, FaultPlan::generate(&cfg), "seeded generation is deterministic");
+        assert!(plan.validate().is_ok());
+        let fails: Vec<_> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkFail { link, repair_ms } => Some((e.at_ms, link, repair_ms)),
+                _ => None,
+            })
+            .collect();
+        assert!(!fails.is_empty(), "finite MTBF generates link failures");
+        assert!(fails.iter().all(|&(_, l, _)| l < 16));
+        let sched = plan.link_schedule();
+        assert_eq!(sched.flaps.len(), fails.len());
+        for (flap, &(at_ms, link, repair_ms)) in sched.flaps.iter().zip(&fails) {
+            assert_eq!(flap.link, link);
+            assert!((flap.down_at_us - at_ms * 1000.0).abs() < 1e-9, "ms scales to µs");
+            assert!((flap.repair_us - repair_ms * 1000.0).abs() < 1e-9);
+            // Down-inclusive / up-exclusive convention survives projection.
+            assert!(sched.is_down(link, flap.down_at_us));
+            assert!(!sched.is_down(link, flap.down_at_us + flap.repair_us));
+        }
+    }
+
+    #[test]
+    fn link_fail_validation_checks_range() {
+        let mut plan = FaultPlan::healthy();
+        plan.links = 4;
+        plan.events
+            .push(FaultEvent { at_ms: 1.0, kind: FaultKind::LinkFail { link: 3, repair_ms: 2.0 } });
+        assert!(plan.validate().is_ok());
+        plan.events[0].kind = FaultKind::LinkFail { link: 4, repair_ms: 2.0 };
+        assert!(plan.validate().is_err(), "link id must be below FaultPlan::links");
+        plan.events[0].kind = FaultKind::LinkFail { link: 0, repair_ms: -1.0 };
+        assert!(plan.validate().is_err(), "negative repair is rejected");
+    }
+
+    #[test]
+    fn link_class_defaults_to_disabled_and_leaves_existing_plans_unchanged() {
+        // The pre-link config fields produce the identical event stream
+        // whether or not link faults exist as a class — golden safety for
+        // every consumer that generates plans without opting in.
+        let cfg = FaultPlanConfig {
+            seed: 42,
+            horizon_ms: 100_000.0,
+            crash_mtbf_ms: 9_000.0,
+            flap_mtbf_ms: 12_000.0,
+            straggler_mtbf_ms: 30_000.0,
+            sdc_mtbf_ms: 25_000.0,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(&cfg);
+        assert!(plan.events.iter().all(|e| !matches!(e.kind, FaultKind::LinkFail { .. })));
+        assert!(plan.link_schedule().is_empty());
+    }
+
+    #[test]
+    fn every_fault_kind_roundtrips_through_json() {
+        let kinds = [
+            FaultKind::ReplicaCrash { replica: 1, repair_ms: 500.0 },
+            FaultKind::PlaneFlap { plane: 0, repair_ms: 250.0 },
+            FaultKind::Straggler { slowdown: 3.0, duration_ms: 1_000.0 },
+            FaultKind::Sdc { detected: true },
+            FaultKind::LinkFail { link: 2, repair_ms: 2_000.0 },
+        ];
+        for kind in kinds {
+            let json = serde_json::to_string(&kind).expect("serializes");
+            let back: FaultKind = serde_json::from_str(&json).expect("parses");
+            assert_eq!(kind, back, "{json}");
+        }
     }
 }

@@ -8,6 +8,9 @@
 //! completion events.
 //!
 //! * [`sim`] — the simulator core ([`sim::FlowSim`]).
+//! * [`chaos`] — the fault-tolerant layer ([`chaos::ChaosSim`]): seeded
+//!   link up/down schedules, reroute policies (stall / static rehash /
+//!   adaptive), and timeout + backoff retransmission (§5, Figures 5–8).
 //! * [`latency`] — per-hop latency parameters calibrated so end-to-end 64B
 //!   latencies reproduce Table 5 (IB / RoCE / NVLink, same- and cross-leaf).
 //! * [`ordering`] — memory-semantic ordering: sender fences vs hardware
@@ -20,11 +23,13 @@
 #![forbid(unsafe_code)]
 
 pub mod cbfc;
+pub mod chaos;
 pub mod incast;
 pub mod latency;
 pub mod multiport;
 pub mod ordering;
 pub mod sim;
 
+pub use chaos::{ChaosConfig, ChaosReport, ChaosSim, LinkSchedule, ReroutePolicy};
 pub use latency::LatencyParams;
 pub use sim::{FlowSim, Link, SimReport};

@@ -82,10 +82,16 @@ impl FlowSim {
     /// computed by [`crate::latency`]). A zero-byte flow models a bare
     /// message whose cost is latency only. Returns the flow id.
     ///
+    /// A zero-capacity link is legal: it models a *failed* (down) link, and
+    /// flows crossing it are allocated rate 0 by [`FlowSim::max_min_rates`].
+    /// Note that [`FlowSim::run`] itself never revives a link, so a nonzero
+    /// flow whose path stays down forever cannot make progress (`run`
+    /// panics); dynamic fail/heal behavior lives in [`crate::chaos`].
+    ///
     /// # Panics
     ///
     /// Panics if the path references an unknown link, `bytes` is negative,
-    /// or a capacity is non-positive while bytes > 0.
+    /// or a link capacity is negative.
     pub fn add_flow(
         &mut self,
         path: Vec<LinkId>,
@@ -96,7 +102,7 @@ impl FlowSim {
         assert!(bytes >= 0.0, "bytes must be non-negative");
         for &l in &path {
             assert!(l < self.links.len(), "unknown link {l}");
-            assert!(bytes == 0.0 || self.links[l].capacity_gbps > 0.0, "link {l} has no capacity");
+            assert!(self.links[l].capacity_gbps >= 0.0, "link {l} has negative capacity");
         }
         self.flows.push(FlowState {
             path,
@@ -115,46 +121,8 @@ impl FlowSim {
     /// least one saturated link on its path.
     #[must_use]
     pub fn max_min_rates(&self, active: &[FlowId]) -> Vec<f64> {
-        let mut rates = vec![0f64; active.len()];
-        let mut remaining_cap: Vec<f64> = self.links.iter().map(|l| l.capacity_gbps).collect();
-        let mut unfrozen: Vec<bool> =
-            active.iter().map(|&f| !self.flows[f].path.is_empty()).collect();
-        // Per-link index of crossing flows (positions into `active`), plus a
-        // live count of still-unfrozen flows per link.
-        let mut on_link: Vec<Vec<usize>> = vec![Vec::new(); self.links.len()];
-        let mut count = vec![0usize; self.links.len()];
-        for (i, &f) in active.iter().enumerate() {
-            for &l in &self.flows[f].path {
-                on_link[l].push(i);
-                count[l] += 1;
-            }
-        }
-        // Progressive filling: repeatedly saturate the link with the lowest
-        // fair share and freeze its flows. Flows with an empty path
-        // (pure-latency messages) are handled by the caller.
-        loop {
-            let mut bottleneck: Option<(LinkId, f64)> = None;
-            for (l, &c) in count.iter().enumerate() {
-                if c > 0 {
-                    let fair = remaining_cap[l] / c as f64;
-                    if bottleneck.is_none_or(|(_, bf)| fair < bf) {
-                        bottleneck = Some((l, fair));
-                    }
-                }
-            }
-            let Some((bl, fair)) = bottleneck else { break };
-            for &i in &on_link[bl] {
-                if unfrozen[i] {
-                    rates[i] = fair;
-                    unfrozen[i] = false;
-                    for &l in &self.flows[active[i]].path {
-                        remaining_cap[l] = (remaining_cap[l] - fair).max(0.0);
-                        count[l] -= 1;
-                    }
-                }
-            }
-        }
-        rates
+        let paths: Vec<&[LinkId]> = active.iter().map(|&f| self.flows[f].path.as_slice()).collect();
+        max_min_rates_for(&self.links, &paths)
     }
 
     /// Run to completion.
@@ -292,6 +260,56 @@ impl FlowSim {
         }
         SimReport { finish_us, makespan_us }
     }
+}
+
+/// Progressive-filling max-min allocation over `links` for flows following
+/// `paths`. Shared by [`FlowSim::max_min_rates`] and the chaos engine
+/// ([`crate::chaos::ChaosSim`]) so the two cannot drift: identical inputs
+/// produce bit-identical rates, which is what makes the empty-`LinkSchedule`
+/// chaos run byte-identical to [`FlowSim::run`].
+///
+/// A link with zero remaining capacity (e.g. a failed link) becomes the
+/// bottleneck for every flow crossing it, freezing those flows at rate 0.
+pub(crate) fn max_min_rates_for(links: &[Link], paths: &[&[LinkId]]) -> Vec<f64> {
+    let mut rates = vec![0f64; paths.len()];
+    let mut remaining_cap: Vec<f64> = links.iter().map(|l| l.capacity_gbps).collect();
+    let mut unfrozen: Vec<bool> = paths.iter().map(|p| !p.is_empty()).collect();
+    // Per-link index of crossing flows (positions into `paths`), plus a
+    // live count of still-unfrozen flows per link.
+    let mut on_link: Vec<Vec<usize>> = vec![Vec::new(); links.len()];
+    let mut count = vec![0usize; links.len()];
+    for (i, path) in paths.iter().enumerate() {
+        for &l in *path {
+            on_link[l].push(i);
+            count[l] += 1;
+        }
+    }
+    // Progressive filling: repeatedly saturate the link with the lowest
+    // fair share and freeze its flows. Flows with an empty path
+    // (pure-latency messages) are handled by the caller.
+    loop {
+        let mut bottleneck: Option<(LinkId, f64)> = None;
+        for (l, &c) in count.iter().enumerate() {
+            if c > 0 {
+                let fair = remaining_cap[l] / c as f64;
+                if bottleneck.is_none_or(|(_, bf)| fair < bf) {
+                    bottleneck = Some((l, fair));
+                }
+            }
+        }
+        let Some((bl, fair)) = bottleneck else { break };
+        for &i in &on_link[bl] {
+            if unfrozen[i] {
+                rates[i] = fair;
+                unfrozen[i] = false;
+                for &l in paths[i] {
+                    remaining_cap[l] = (remaining_cap[l] - fair).max(0.0);
+                    count[l] -= 1;
+                }
+            }
+        }
+    }
+    rates
 }
 
 #[cfg(test)]

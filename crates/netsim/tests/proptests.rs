@@ -1,7 +1,8 @@
 //! Property-based tests for the flow simulator: fairness invariants and
-//! conservation laws.
+//! conservation laws, with and without failed (zero-capacity) links.
 
-use dsv3_netsim::{FlowSim, Link};
+use dsv3_netsim::chaos::{ChaosConfig, LinkFlap, LinkSchedule, ReroutePolicy, RetransmitConfig};
+use dsv3_netsim::{ChaosSim, FlowSim, Link};
 use proptest::prelude::*;
 
 /// Random small network + flows.
@@ -79,6 +80,116 @@ proptest! {
                 .map(|&l| bytes / (caps[l] * 1000.0))
                 .fold(0f64, f64::max);
             prop_assert!(report.finish_us[i] >= solo - 1e-6);
+        }
+    }
+
+    /// Max-min fairness with *failed* links in the fabric: links whose
+    /// capacity is forced to zero behave as dead wires. `add_flow` accepts
+    /// paths crossing them (no capacity assert), the allocation gives such
+    /// flows exactly rate 0 instead of starving others, no live link is
+    /// oversubscribed, and every flow that did get bandwidth still has a
+    /// saturated bottleneck on its path.
+    #[test]
+    fn max_min_with_dead_links(
+        (caps, flows) in arb_net(),
+        dead_mask in prop::collection::vec(0u8..2, 8),
+    ) {
+        let effective: Vec<f64> = caps
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| if dead_mask[l % dead_mask.len()] == 1 { 0.0 } else { c })
+            .collect();
+        let mut sim =
+            FlowSim::new(effective.iter().map(|&c| Link { capacity_gbps: c }).collect());
+        for (path, bytes) in &flows {
+            // Must not panic even when the path crosses a dead link.
+            sim.add_flow(path.clone(), *bytes, 0.0, 0.0);
+        }
+        let active: Vec<usize> = (0..flows.len()).collect();
+        let rates = sim.max_min_rates(&active);
+        let mut load = vec![0f64; effective.len()];
+        for (i, (path, _)) in flows.iter().enumerate() {
+            let crosses_dead = path.iter().any(|&l| effective[l] == 0.0);
+            if crosses_dead {
+                prop_assert!(rates[i] == 0.0, "flow {i} crosses a dead link but got {}", rates[i]);
+            } else {
+                prop_assert!(rates[i] > 0.0, "flow {i} starved on an all-live path");
+            }
+            for &l in path {
+                load[l] += rates[i];
+            }
+        }
+        for (l, (&used, &cap)) in load.iter().zip(&effective).enumerate() {
+            prop_assert!(used <= cap * (1.0 + 1e-9) + 1e-12, "link {l}: {used} > {cap}");
+        }
+        for (i, (path, _)) in flows.iter().enumerate() {
+            if rates[i] > 0.0 {
+                let saturated =
+                    path.iter().any(|&l| load[l] >= effective[l] * (1.0 - 1e-6));
+                prop_assert!(saturated, "flow {i} got rate without a saturated bottleneck");
+            }
+        }
+    }
+
+    /// The chaos engine conserves bytes under arbitrary failure schedules:
+    /// for every flow `sent ≈ delivered + lost-and-resent`, every flow
+    /// either completes or strands, and completed flows deliver their full
+    /// byte count (the retransmit + backoff loop neither loses nor invents
+    /// data).
+    #[test]
+    fn chaos_conserves_bytes_under_arbitrary_schedules(
+        (caps, flows) in arb_net(),
+        flaps in prop::collection::vec(
+            (0usize..8, 0.0f64..500.0, 10.0f64..2_000.0),
+            0..5,
+        ),
+        policy_pick in 0u8..3,
+        max_retries in 1u32..5,
+    ) {
+        let mut sim =
+            ChaosSim::new(caps.iter().map(|&c| Link { capacity_gbps: c }).collect());
+        let expected: Vec<f64> = flows.iter().map(|(_, b)| *b).collect();
+        for (i, (path, bytes)) in flows.iter().enumerate() {
+            // Give alternating flows a two-path ECMP set (path + reversed
+            // path) so every policy's re-pick logic gets exercised.
+            let mut paths = vec![path.clone()];
+            if i % 2 == 1 && path.len() > 1 {
+                let mut alt = path.clone();
+                alt.reverse();
+                paths.push(alt);
+            }
+            sim.add_flow(paths, *bytes, 0.0, 0.0);
+        }
+        let schedule = LinkSchedule {
+            flaps: flaps
+                .iter()
+                .map(|&(l, down_at_us, repair_us)| LinkFlap {
+                    link: l % caps.len(),
+                    down_at_us,
+                    repair_us,
+                })
+                .collect(),
+        };
+        let policy = match policy_pick {
+            0 => ReroutePolicy::Stall,
+            1 => ReroutePolicy::StaticRehash { seed: 7 },
+            _ => ReroutePolicy::Adaptive,
+        };
+        let cfg = ChaosConfig {
+            schedule,
+            policy,
+            retransmit: RetransmitConfig { max_retries, ..RetransmitConfig::default() },
+            deadline_us: None,
+        };
+        let report = sim.run(&cfg);
+        prop_assert!(report.bytes_balanced(&expected, 1e-5));
+        prop_assert_eq!(report.completed + report.stranded, flows.len());
+        for (f, &bytes) in report.flows.iter().zip(&expected) {
+            prop_assert!(f.finish_us.is_some() != f.stranded_us.is_some());
+            prop_assert!(f.delivered_bytes <= bytes * (1.0 + 1e-6) + 1e-9);
+            // The engine snaps `remaining` to zero when within 1e-6 of a
+            // chunk, so delivered may nominally exceed sent by that slack.
+            prop_assert!(f.sent_bytes + 1e-5 * bytes.max(1.0) >= f.delivered_bytes);
         }
     }
 

@@ -400,6 +400,10 @@ impl Injectable for FaultState {
                     self.stats.sdc_detected += 1;
                 }
             }
+            // Link-granular failures are a flow-simulator concern
+            // (`dsv3_netsim::chaos`); the serving engine's network model is
+            // plane-granular, so a single cable loss is absorbed by ECMP.
+            FaultKind::LinkFail { .. } => {}
         }
     }
 
@@ -424,7 +428,7 @@ impl Injectable for FaultState {
             FaultKind::Straggler { .. } => {
                 self.stragglers.remove(&seq);
             }
-            FaultKind::Sdc { .. } => {}
+            FaultKind::Sdc { .. } | FaultKind::LinkFail { .. } => {}
         }
     }
 }
@@ -1193,6 +1197,7 @@ mod tests {
         let plan = FaultPlan {
             replicas: 4,
             planes: 8,
+            links: 0,
             events: vec![crash(2_000.0, 1, 3_000.0), crash(9_000.0, 2, 3_000.0)],
         };
         let r = run_with_faults(&cfg, &plan, &RecoveryPolicy::default());
@@ -1231,7 +1236,7 @@ mod tests {
         let cfg = poisson_cfg(8.0, 60, RouterPolicy::Unified);
         // One replica, hammered: every active job dies on each crash.
         let events = (1..=40).map(|i| crash(500.0 * i as f64, 0, 100.0)).collect();
-        let plan = FaultPlan { replicas: 1, planes: 8, events };
+        let plan = FaultPlan { replicas: 1, planes: 8, links: 0, events };
         let policy = RecoveryPolicy { max_retries: 1, ..RecoveryPolicy::default() };
         let r = run_with_faults(&cfg, &plan, &policy);
         assert!(r.faults.rejected > 0, "retry budget must bite: {:?}", r.faults);
@@ -1246,7 +1251,7 @@ mod tests {
     fn hedging_spawns_clones_and_can_win() {
         let cfg = poisson_cfg(8.0, 150, RouterPolicy::Unified);
         let events = (1..=10).map(|i| crash(1_500.0 * i as f64, 0, 2_000.0)).collect();
-        let plan = FaultPlan { replicas: 2, planes: 8, events };
+        let plan = FaultPlan { replicas: 2, planes: 8, links: 0, events };
         let r = run_with_faults(&cfg, &plan, &RecoveryPolicy::hedged());
         assert!(r.faults.hedges_spawned > 0);
         assert!(r.faults.hedge_wins <= r.faults.hedges_spawned);
@@ -1260,6 +1265,7 @@ mod tests {
         let plan = FaultPlan {
             replicas: 1,
             planes: 8,
+            links: 0,
             events: vec![
                 FaultEvent {
                     at_ms: 1_000.0,
@@ -1290,6 +1296,7 @@ mod tests {
         let plan = FaultPlan {
             replicas: 1,
             planes: 8,
+            links: 0,
             events: vec![
                 FaultEvent {
                     at_ms: 1_000.0,
@@ -1341,7 +1348,12 @@ mod tests {
     #[test]
     fn traces_are_deterministic_per_seed() {
         let cfg = poisson_cfg(10.0, 150, RouterPolicy::Unified);
-        let plan = FaultPlan { replicas: 2, planes: 8, events: vec![crash(2_000.0, 0, 3_000.0)] };
+        let plan = FaultPlan {
+            replicas: 2,
+            planes: 8,
+            links: 0,
+            events: vec![crash(2_000.0, 0, 3_000.0)],
+        };
         let trace = |()| {
             let mut rec = Recorder::new();
             let _ = run_with_faults_traced(&cfg, &plan, &RecoveryPolicy::hedged(), &mut rec, "s");
@@ -1353,7 +1365,12 @@ mod tests {
     #[test]
     fn trace_contains_lifecycle_spans_and_fault_instants() {
         let cfg = poisson_cfg(10.0, 150, RouterPolicy::Unified);
-        let plan = FaultPlan { replicas: 2, planes: 8, events: vec![crash(2_000.0, 0, 3_000.0)] };
+        let plan = FaultPlan {
+            replicas: 2,
+            planes: 8,
+            links: 0,
+            events: vec![crash(2_000.0, 0, 3_000.0)],
+        };
         let mut rec = Recorder::new();
         let r = run_with_faults_traced(&cfg, &plan, &RecoveryPolicy::default(), &mut rec, "s");
         assert!(r.faults.jobs_lost_to_crashes > 0, "crash must land mid-flight");
@@ -1376,8 +1393,12 @@ mod tests {
     #[test]
     fn unrepaired_total_outage_terminates_with_unfinished() {
         let cfg = poisson_cfg(10.0, 80, RouterPolicy::Unified);
-        let plan =
-            FaultPlan { replicas: 1, planes: 8, events: vec![crash(1_000.0, 0, f64::INFINITY)] };
+        let plan = FaultPlan {
+            replicas: 1,
+            planes: 8,
+            links: 0,
+            events: vec![crash(1_000.0, 0, f64::INFINITY)],
+        };
         let policy = RecoveryPolicy { max_retries: 100, ..RecoveryPolicy::default() };
         let r = run_with_faults(&cfg, &plan, &policy);
         assert!(r.faults.unfinished > 0, "outage strands the tail: {:?}", r.faults);

@@ -219,6 +219,44 @@ impl ThreeLayerFatTree {
         self.radix * self.radix * self.radix / 2
     }
 
+    /// Materialize the switch graph.
+    ///
+    /// Layout with radix `r`: pod `p` owns edge switches
+    /// `p·r .. p·r + r/2` and aggregation switches `p·r + r/2 .. (p+1)·r`;
+    /// cores occupy `r² ..`. Within a pod, edge↔agg is full bipartite;
+    /// aggregation switch `j` of every pod connects to core group `j`
+    /// (cores `j·r/2 .. (j+1)·r/2`), the standard k-ary fat-tree wiring.
+    /// Hosts attach `r/2` per edge switch, so host `h` sits under edge
+    /// switch `h / (r/2)` pod-major — cross-pod host pairs see the full
+    /// 4-hop diameter with `(r/2)²` equal-cost core routes.
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let r = self.radix;
+        let half = r / 2;
+        let cores_base = r * r;
+        let mut g = Graph::new(self.switches());
+        for p in 0..r {
+            for e in 0..half {
+                let edge = p * r + e;
+                for a in 0..half {
+                    g.add_link(edge, p * r + half + a);
+                }
+            }
+            for a in 0..half {
+                let agg = p * r + half + a;
+                for c in 0..half {
+                    g.add_link(agg, cores_base + a * half + c);
+                }
+            }
+        }
+        for h in 0..self.endpoints() {
+            let pod = h / (half * half);
+            let edge = (h / half) % half;
+            g.attach_endpoint(pod * r + edge);
+        }
+        g
+    }
+
     /// Table-3-style summary.
     #[must_use]
     pub fn summary(&self, name: &str) -> TopologySummary {
@@ -269,6 +307,28 @@ mod tests {
         assert_eq!(g.switch_links(), ls.switch_links());
         assert_eq!(g.endpoints(), ls.endpoints());
         assert_eq!(g.diameter(), 2, "leaf-spine switch graph has diameter 2");
+    }
+
+    #[test]
+    fn ft3_graph_matches_counts_and_diameter() {
+        let ft3 = ThreeLayerFatTree::new(4);
+        let g = ft3.to_graph();
+        assert_eq!(g.switches(), ft3.switches()); // 20
+        assert_eq!(g.switch_links(), ft3.switch_links()); // 32
+        assert_eq!(g.endpoints(), ft3.endpoints()); // 16
+        assert_eq!(g.diameter(), 4, "edge→agg→core→agg→edge");
+        // Every switch uses at most `radix` ports (edge: half hosts + half
+        // aggs; agg: half edges + half cores; core: one agg per pod).
+        for s in 0..g.switches() {
+            assert!(g.degree(s) + g.endpoints_of(s) <= ft3.radix);
+        }
+        // Cross-pod pairs enjoy (r/2)² equal-cost core routes.
+        let (e0, e1) = (g.endpoint_switch(0), g.endpoint_switch(15));
+        assert_eq!(g.shortest_paths(e0, e1, 64).len(), 4);
+        // Same-pod, different-edge pairs route over the pod's aggs only.
+        let (a, b) = (g.endpoint_switch(0), g.endpoint_switch(2));
+        assert_ne!(a, b);
+        assert_eq!(g.shortest_paths(a, b, 64).len(), 2);
     }
 
     #[test]

@@ -106,6 +106,62 @@ impl Graph {
         dist
     }
 
+    /// Enumerate up to `max_paths` shortest paths from switch `src` to
+    /// switch `dst`, each as the full switch sequence (inclusive of both
+    /// ends).
+    ///
+    /// Enumeration is deterministic: a DFS from `src` that only steps to
+    /// neighbors strictly closer to `dst` (per BFS distances), visiting
+    /// neighbors in adjacency-list order. Equal graphs therefore yield the
+    /// identical path list — the property ECMP-style hashing in the flow
+    /// simulators relies on. Returns an empty list when `dst` is
+    /// unreachable, and the trivial single-switch path when `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range or `max_paths == 0`.
+    #[must_use]
+    pub fn shortest_paths(&self, src: usize, dst: usize, max_paths: usize) -> Vec<Vec<usize>> {
+        assert!(src < self.adj.len() && dst < self.adj.len(), "switch out of range");
+        assert!(max_paths > 0, "max_paths must be positive");
+        let dist = self.bfs(dst);
+        if dist[src] == usize::MAX {
+            return Vec::new();
+        }
+        let mut paths = Vec::new();
+        let mut stack = vec![src];
+        self.descend(dst, &dist, &mut stack, &mut paths, max_paths);
+        paths
+    }
+
+    fn descend(
+        &self,
+        dst: usize,
+        dist: &[usize],
+        stack: &mut Vec<usize>,
+        paths: &mut Vec<Vec<usize>>,
+        max_paths: usize,
+    ) {
+        if paths.len() >= max_paths {
+            return;
+        }
+        let u = *stack.last().unwrap(); // lint:allow(P1) — stack starts non-empty and only grows here
+        if u == dst {
+            paths.push(stack.clone());
+            return;
+        }
+        for &v in &self.adj[u] {
+            if dist[v] != usize::MAX && dist[v] + 1 == dist[u] {
+                stack.push(v);
+                self.descend(dst, dist, stack, paths, max_paths);
+                stack.pop();
+                if paths.len() >= max_paths {
+                    return;
+                }
+            }
+        }
+    }
+
     /// Switch-graph diameter.
     ///
     /// # Panics
@@ -164,6 +220,35 @@ mod tests {
         assert_eq!(g.endpoints(), 2);
         assert_eq!(g.endpoints_of(1), 2);
         assert_eq!(g.endpoint_switch(0), 1);
+    }
+
+    #[test]
+    fn shortest_paths_enumerates_all_equal_cost_routes() {
+        // Diamond: 0-1-3 and 0-2-3 are the two shortest routes.
+        let mut g = Graph::new(4);
+        g.add_link(0, 1);
+        g.add_link(0, 2);
+        g.add_link(1, 3);
+        g.add_link(2, 3);
+        let paths = g.shortest_paths(0, 3, 8);
+        assert_eq!(paths, vec![vec![0, 1, 3], vec![0, 2, 3]]);
+        assert_eq!(g.shortest_paths(0, 3, 1).len(), 1, "max_paths caps enumeration");
+        assert_eq!(g.shortest_paths(2, 2, 4), vec![vec![2]], "trivial self path");
+        assert_eq!(paths, g.shortest_paths(0, 3, 8), "enumeration is deterministic");
+    }
+
+    #[test]
+    fn shortest_paths_skips_longer_routes_and_unreachable() {
+        let mut g = Graph::new(5); // 0-1-2 plus detour 0-3-4-2
+        g.add_link(0, 1);
+        g.add_link(1, 2);
+        g.add_link(0, 3);
+        g.add_link(3, 4);
+        g.add_link(4, 2);
+        assert_eq!(g.shortest_paths(0, 2, 8), vec![vec![0, 1, 2]]);
+        let mut h = Graph::new(3);
+        h.add_link(0, 1);
+        assert!(h.shortest_paths(0, 2, 4).is_empty(), "unreachable yields no paths");
     }
 
     #[test]

@@ -42,6 +42,8 @@ fn main() {
         straggler_duration_ms: 3_000.0,
         sdc_mtbf_ms: 20_000.0,
         sdc_detection_rate: 0.7,
+        // Link-granular chaos stays off here; `dsv3 net-chaos` owns it.
+        ..FaultPlanConfig::default()
     });
     println!("Fault plan: {} events over 60 s (seed 42):", plan.events.len());
     for e in &plan.events {
@@ -57,6 +59,9 @@ fn main() {
             }
             FaultKind::Sdc { detected } => {
                 format!("SDC strike ({})", if detected { "caught by audit" } else { "silent" })
+            }
+            FaultKind::LinkFail { link, repair_ms } => {
+                format!("link {link} fails ({repair_ms:.0} ms repair)")
             }
         };
         println!("  t={:>7.0} ms  {what}", e.at_ms);

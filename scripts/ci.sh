@@ -24,9 +24,15 @@ cargo build --release --offline -p dsv3-core
 
 echo "==> telemetry smoke: dsv3 serving --trace-out emits a valid Chrome trace"
 trace_tmp="$(mktemp /tmp/dsv3_trace.XXXXXX.json)"
-trap 'rm -f "$trace_tmp"' EXIT
+chaos_tmp="$(mktemp /tmp/dsv3_chaos.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$chaos_tmp"' EXIT
 ./target/release/dsv3 serving --trace-out "$trace_tmp" > /dev/null
 ./target/release/dsv3 check-trace "$trace_tmp"
+
+echo "==> chaos smoke: dsv3 net-chaos --json + --trace-out round-trip"
+./target/release/dsv3 net-chaos --json > /dev/null
+./target/release/dsv3 net-chaos --trace-out "$chaos_tmp" > /dev/null
+./target/release/dsv3 check-trace "$chaos_tmp"
 
 echo "==> examples build"
 cargo build --release --offline --examples

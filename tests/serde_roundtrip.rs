@@ -95,6 +95,8 @@ fn fault_types_roundtrip() {
 
     // Plans: empty, generated, and every event-kind variant explicitly.
     roundtrip(&FaultPlan::healthy());
+    // Every MTBF must be finite here: JSON has no Infinity, so a config
+    // with a disabled (INFINITY) class is not JSON-representable.
     let cfg = FaultPlanConfig {
         seed: 11,
         horizon_ms: 30_000.0,
@@ -102,6 +104,8 @@ fn fault_types_roundtrip() {
         flap_mtbf_ms: 10_000.0,
         straggler_mtbf_ms: 12_000.0,
         sdc_mtbf_ms: 15_000.0,
+        links: 16,
+        link_mtbf_ms: 9_000.0,
         ..FaultPlanConfig::default()
     };
     roundtrip(&cfg);
@@ -111,6 +115,7 @@ fn fault_types_roundtrip() {
         FaultKind::PlaneFlap { plane: 5, repair_ms: 2_500.0 },
         FaultKind::Straggler { slowdown: 1.8, duration_ms: 3_000.0 },
         FaultKind::Sdc { detected: false },
+        FaultKind::LinkFail { link: 2, repair_ms: 2_000.0 },
     ] {
         roundtrip(&FaultEvent { at_ms: 123.5, kind });
     }
@@ -126,6 +131,26 @@ fn fault_types_roundtrip() {
     let flap = PlaneFlap { plane: 3, down_at_ms: 100.0, repair_ms: 50.0 };
     roundtrip(&flap);
     roundtrip(&FlapSchedule { planes: 8, flaps: vec![flap] });
+
+    // Link-granular chaos: the schedule bridge and the chaos engine's
+    // config/report types, plus the net-chaos experiment report.
+    use dsv3_core::netsim::chaos::{ChaosConfig, ReroutePolicy};
+    use dsv3_core::netsim::{ChaosSim, Link};
+    let sched = FaultPlan::generate(&cfg).link_schedule();
+    assert!(!sched.is_empty(), "roundtrip config should generate link faults");
+    roundtrip(&sched);
+    let chaos_cfg = ChaosConfig {
+        schedule: sched,
+        policy: ReroutePolicy::StaticRehash { seed: 9 },
+        ..ChaosConfig::default()
+    };
+    roundtrip(&chaos_cfg);
+    // One link per schedule-addressable id (`cfg.links`), so the run
+    // accepts the schedule; the flow only uses the first two.
+    let mut sim = ChaosSim::new(vec![Link { capacity_gbps: 40.0 }; 16]);
+    sim.add_flow(vec![vec![0], vec![1]], 1e6, 0.0, 2.0);
+    roundtrip(&sim.run(&chaos_cfg));
+    roundtrip(&net_chaos::run());
 
     // The full fault-aware serving report and the fault_drill rows.
     let sim = ServingSimConfig::h800_baseline(
