@@ -21,6 +21,7 @@
 //! | [`robustness`] | §5.1.1/§6.1 — plane failures & SDC detection |
 //! | [`fault_drill`] | §5.1.1/§6.1 — seeded fault-injection drill |
 //! | [`net_chaos`] | §5.1.1 — link chaos: reroute policies per fabric |
+//! | [`mem_timeline`] | §2.1 — training memory timeline & fit frontier |
 //! | [`future_hardware`] | §4.4/§4.5/§6.4/§6.5 — recommendation payoffs |
 //! | [`serving`] | §2.3 — request-level serving simulation |
 //! | [`lint`] | repo invariants — determinism / panic-freedom / vendor policy |
@@ -36,6 +37,7 @@ pub mod future_hardware;
 pub mod lint;
 pub mod local_deploy;
 pub mod logfmt;
+pub mod mem_timeline;
 pub mod mtp;
 pub mod net_chaos;
 pub mod node_limited;

@@ -22,6 +22,7 @@
 pub use dsv3_collectives as collectives;
 pub use dsv3_faults as faults;
 pub use dsv3_inference as inference;
+pub use dsv3_memtl as memtl;
 pub use dsv3_model as model;
 pub use dsv3_netsim as netsim;
 pub use dsv3_numerics as numerics;

@@ -144,6 +144,21 @@ pub fn registry() -> Vec<Entry> {
                 }
             }),
         },
+        Entry {
+            name: "mem-timeline",
+            about: "training memory timeline & fit frontier (§2.1)",
+            render: mem_timeline::render,
+            json: || to_json(&mem_timeline::run()),
+            instrumented: Some(|rec| {
+                let report = mem_timeline::run_instrumented(rec);
+                InstrumentedRun {
+                    table: mem_timeline::render_report(&report),
+                    json: to_json(&report),
+                    seed: mem_timeline::seed(),
+                    config_json: mem_timeline::config_json(),
+                }
+            }),
+        },
         plain("lint", "workspace invariant lint (determinism/panic/vendor)", lint::render, || {
             to_json(&lint::run())
         }),

@@ -1,0 +1,220 @@
+//! Closed-form per-category curves, for validating the event walker.
+//!
+//! *Memory Analysis on the Training Course of DeepSeek Models* (arXiv
+//! 2502.07846) decomposes training memory into analytic per-category
+//! terms: parameter bytes `P·w`, gradient bytes `P·g` (ZeRO-2+ divides by
+//! DP), optimizer bytes `12·P/DP`, and an activation term proportional to
+//! the in-flight microbatch count of the schedule. For 1F1B the in-flight
+//! count at stage `s` is exactly `min(PP − s, M)`, so every category has a
+//! closed form and the event-driven timeline must land on it — the same
+//! sim-vs-formula contract `faults` has with Young/Daly.
+
+use crate::footprint::stage_footprint;
+use crate::plan::{MemPlan, Offload, ScheduleKind, ZeroStage};
+use crate::timeline::TimelineReport;
+use dsv3_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Analytic per-rank, per-category memory (GB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticRank {
+    /// Pipeline rank.
+    pub rank: usize,
+    /// Resident weights.
+    pub weights_gb: f64,
+    /// Persistent gradients.
+    pub grads_gb: f64,
+    /// HBM optimizer shard.
+    pub optimizer_gb: f64,
+    /// Peak activation stash: in-flight microbatches × per-micro stash.
+    pub activation_peak_gb: f64,
+    /// Transient workspace live at the peak (recompute buffer + ZeRO
+    /// gathers during a backward chunk).
+    pub workspace_gb: f64,
+    /// Total peak.
+    pub peak_gb: f64,
+}
+
+fn shard_bytes(params: f64, plan: &MemPlan) -> (f64, f64, f64) {
+    let dp = plan.zero_dp as f64;
+    let w_shard = if matches!(plan.zero_stage, ZeroStage::Z3) { dp } else { 1.0 };
+    let g_shard = if matches!(plan.zero_stage, ZeroStage::Z2 | ZeroStage::Z3) { dp } else { 1.0 };
+    let opt = match plan.offload {
+        Offload::OptimizerCpu { .. } => 0.0,
+        Offload::None => params * plan.optimizer_bytes / dp,
+    };
+    (params * plan.weight_bytes / w_shard, params * plan.grad_bytes / g_shard, opt)
+}
+
+/// The analytic curves for a 1F1B plan, rank by rank.
+///
+/// # Panics
+///
+/// Panics if the plan does not use [`ScheduleKind::OneFOneB`] (DualPipe's
+/// greedy event schedule has no exact closed form; see
+/// [`analytic_dualpipe_bound`]).
+#[must_use]
+pub fn analytic_1f1b(cfg: &ModelConfig, plan: &MemPlan) -> Vec<AnalyticRank> {
+    assert!(plan.schedule == ScheduleKind::OneFOneB, "closed form is exact for 1F1B only");
+    let tokens = plan.tokens_per_micro as f64;
+    (0..plan.pp)
+        .map(|r| {
+            let sf = stage_footprint(cfg, plan, r);
+            let (w, g, o) = shard_bytes(sf.params, plan);
+            let in_flight = (plan.pp - r).min(plan.microbatches) as f64;
+            let act = in_flight * sf.stored_bytes_per_token * tokens;
+            // At the stash peak a backward chunk is running: its one-layer
+            // recompute buffer, ZeRO-3 weight gather and (W being folded
+            // into B) ZeRO-2 full-gradient buffer are live.
+            let z3 = if matches!(plan.zero_stage, ZeroStage::Z3) {
+                sf.max_layer_params * plan.weight_bytes
+            } else {
+                0.0
+            };
+            let z2 = if matches!(plan.zero_stage, ZeroStage::Z2 | ZeroStage::Z3) {
+                sf.max_layer_params * plan.grad_bytes
+            } else {
+                0.0
+            };
+            let ws = sf.dropped_max_layer_bytes * tokens + z3 + z2;
+            AnalyticRank {
+                rank: r,
+                weights_gb: w / 1e9,
+                grads_gb: g / 1e9,
+                optimizer_gb: o / 1e9,
+                activation_peak_gb: act / 1e9,
+                workspace_gb: ws / 1e9,
+                peak_gb: (w + g + o + act + ws) / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// Upper bound on a throttled-DualPipe rank's peak: the per-direction
+/// in-flight caps (`PP − v + 1` for the stage it runs Down, `r + 2` for
+/// Up) times the per-micro stash of each held stage, plus the floor and
+/// the worst co-executed workspace.
+#[must_use]
+pub fn analytic_dualpipe_bound(cfg: &ModelConfig, plan: &MemPlan, rank: usize) -> f64 {
+    let tokens = plan.tokens_per_micro as f64;
+    let down = stage_footprint(cfg, plan, rank);
+    let mirror = plan.pp - 1 - rank;
+    let up = stage_footprint(cfg, plan, mirror);
+    let params = if mirror == rank { down.params } else { down.params + up.params };
+    let (w, g, o) = shard_bytes(params, plan);
+    let half = plan.microbatches / 2;
+    let cap_down = (plan.pp - rank + 1).min(half) as f64;
+    let cap_up = (rank + 2).min(half) as f64;
+    // Per direction: up to `cap` microbatches hold a full stash (forwarded,
+    // backward pending); the throttled scheduler additionally retains at
+    // most `W_BACKLOG_CAP` backwarded microbatches' weight-gradient
+    // operands until their W chunks retire.
+    let retained = dsv3_parallel::dualpipe::W_BACKLOG_CAP as f64
+        * down.wgrad_bytes_per_token.max(up.wgrad_bytes_per_token);
+    let act =
+        (cap_down * down.stored_bytes_per_token + cap_up * up.stored_bytes_per_token + retained)
+            * tokens;
+    let z3 = if matches!(plan.zero_stage, ZeroStage::Z3) { plan.weight_bytes } else { 0.0 };
+    let z2 = if matches!(plan.zero_stage, ZeroStage::Z2 | ZeroStage::Z3) {
+        plan.grad_bytes
+    } else {
+        0.0
+    };
+    // A co-executed F&B pair can hold both stages' ZeRO-3 gathers plus one
+    // recompute buffer; a W chunk holds one ZeRO-2 gradient buffer.
+    let ws = down.dropped_max_layer_bytes.max(up.dropped_max_layer_bytes) * tokens
+        + (down.max_layer_params + up.max_layer_params) * z3
+        + down.max_layer_params.max(up.max_layer_params) * z2;
+    (w + g + o + act + ws) / 1e9
+}
+
+/// Largest relative error between the walked timeline and the analytic
+/// curves, across every rank and category (weights, grads, optimizer,
+/// activation peak, total peak). Categories that are zero in both are
+/// skipped.
+#[must_use]
+pub fn max_rel_err(sim: &TimelineReport, analytic: &[AnalyticRank]) -> f64 {
+    let mut worst = 0f64;
+    let mut push = |a: f64, b: f64| {
+        if a.abs() < 1e-12 && b.abs() < 1e-12 {
+            return;
+        }
+        worst = worst.max((a - b).abs() / b.abs().max(1e-12));
+    };
+    for (s, a) in sim.ranks.iter().zip(analytic) {
+        push(s.weights_gb, a.weights_gb);
+        push(s.grads_gb, a.grads_gb);
+        push(s.optimizer_gb, a.optimizer_gb);
+        push(s.peak_activation_gb, a.activation_peak_gb);
+        push(s.peak_gb, a.peak_gb);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{MemPlan, Recompute};
+    use crate::timeline::simulate;
+    use dsv3_model::zoo;
+
+    fn production_1f1b() -> MemPlan {
+        MemPlan { schedule: ScheduleKind::OneFOneB, ..MemPlan::deepseek_v3_production() }
+    }
+
+    #[test]
+    fn timeline_reproduces_analytic_curves_within_5pct() {
+        // The ISSUE acceptance criterion, at the production plan: every
+        // per-category curve within 5% (the walker actually lands within
+        // rounding error of the closed forms).
+        let cfg = zoo::deepseek_v3();
+        let plan = production_1f1b();
+        let sim = simulate(&cfg, &plan);
+        let ana = analytic_1f1b(&cfg, &plan);
+        let err = max_rel_err(&sim, &ana);
+        assert!(err < 0.05, "max relative error {err}");
+        assert!(err < 1e-6, "and in fact the walk is exact up to rounding: {err}");
+    }
+
+    #[test]
+    fn analytic_match_holds_across_policies() {
+        let cfg = zoo::deepseek_v3();
+        for recompute in [Recompute::None, Recompute::Selective, Recompute::Full] {
+            for zero in [ZeroStage::Z1, ZeroStage::Z2, ZeroStage::Z3] {
+                let plan = MemPlan { recompute, zero_stage: zero, ..production_1f1b() };
+                let sim = simulate(&cfg, &plan);
+                let ana = analytic_1f1b(&cfg, &plan);
+                let err = max_rel_err(&sim, &ana);
+                assert!(err < 0.05, "{recompute:?}/{zero:?}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_flight_cap_shapes_the_activation_curve() {
+        // Stage 0 holds PP in-flight microbatches, the last stage one: the
+        // analytic activation curve must fall monotonically across ranks
+        // (layer-count jitter aside, stage 0 vs last is a ~PP× ratio).
+        let cfg = zoo::deepseek_v3();
+        let ana = analytic_1f1b(&cfg, &production_1f1b());
+        let first = ana[0].activation_peak_gb;
+        let last = ana[15].activation_peak_gb;
+        assert!(first > 10.0 * last, "{first} vs {last}");
+    }
+
+    #[test]
+    fn dualpipe_peaks_stay_under_the_bound() {
+        let cfg = zoo::deepseek_v3();
+        let plan = MemPlan::deepseek_v3_production();
+        let sim = simulate(&cfg, &plan);
+        for r in &sim.ranks {
+            let bound = analytic_dualpipe_bound(&cfg, &plan, r.rank);
+            assert!(
+                r.peak_gb <= bound * 1.0 + 1e-9,
+                "rank {}: {} > bound {bound}",
+                r.rank,
+                r.peak_gb
+            );
+        }
+    }
+}

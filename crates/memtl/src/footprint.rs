@@ -1,0 +1,318 @@
+//! Per-layer byte footprints: what one token leaves behind in one layer.
+//!
+//! The activation model follows the tensor inventory of *Memory Analysis
+//! on the Training Course of DeepSeek Models* (arXiv 2502.07846): walk the
+//! layer's dataflow, count the elements each op must keep for backward,
+//! and let the recomputation policy decide which of them are stashed
+//! versus recomputed. Three policies:
+//!
+//! * [`Recompute::None`] — everything: norm inputs, (for MLA) compression
+//!   latents, expanded Q/K/V, the attention core output, the FFN gate/up
+//!   expansions and activation product, and the residual boundaries.
+//! * [`Recompute::Selective`] — V3's practice: recompute the norms and the
+//!   Q/K/V + FFN up expansions (from the latents where MLA provides them),
+//!   stash only boundaries, latents, the attention core output and the FFN
+//!   activation product.
+//! * [`Recompute::Full`] — stash only the layer input.
+//!
+//! All counts are *per token per layer*; tensor parallelism divides the
+//! wide (per-head / per-intermediate) tensors, while the residual-stream
+//! boundaries and latents are replicated.
+
+use crate::plan::{MemPlan, Recompute};
+use dsv3_model::attention::Attention;
+use dsv3_model::config::{Ffn, ModelConfig};
+
+/// Byte footprint of one layer under a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerFootprint {
+    /// Bytes per token stored for backward with no recomputation.
+    pub full_bytes: f64,
+    /// Bytes per token stored under the plan's policy.
+    pub stored_bytes: f64,
+    /// Bytes per token recomputed during backward (`full − stored`).
+    pub dropped_bytes: f64,
+    /// Bytes per token that must outlive the input-gradient backward and
+    /// survive until the weight-gradient chunk (the GEMM left operands:
+    /// layer input, attention core output, FFN activation product). Always
+    /// ≤ `stored_bytes`.
+    pub wgrad_bytes: f64,
+    /// Parameters resident for this layer on one GPU of its stage (EP and
+    /// TP applied; embeddings are counted separately).
+    pub params: f64,
+}
+
+/// Element counts for one layer, before precision/TP are applied.
+struct LayerElems {
+    /// Residual-stream boundaries + norm inputs (replicated under TP).
+    narrow: f64,
+    /// MLA compression latents (replicated under TP).
+    latents: f64,
+    /// Wide tensors that selective recomputation drops: expanded Q/K/V and
+    /// FFN gate/up expansions (sharded under TP).
+    wide_dropped: f64,
+    /// Wide tensors selective recomputation keeps: attention core output
+    /// and the FFN activation product (sharded under TP).
+    wide_kept: f64,
+    /// Wide weight-gradient GEMM operands (core output + FFN product).
+    wide_wgrad: f64,
+}
+
+fn layer_elems(cfg: &ModelConfig, l: usize) -> LayerElems {
+    let h = cfg.hidden as f64;
+    let attn = &cfg.attention;
+    let heads = attn.num_heads() as f64;
+    let qk = attn.qk_dim() as f64;
+    let vd = attn.v_dim() as f64;
+    // Expanded K/V rows stored for the attention backward.
+    let (k_elems, v_elems) = match *attn {
+        Attention::Mha { heads, head_dim } => {
+            (heads as f64 * head_dim as f64, heads as f64 * head_dim as f64)
+        }
+        Attention::Gqa { kv_heads, head_dim, .. } => {
+            (kv_heads as f64 * head_dim as f64, kv_heads as f64 * head_dim as f64)
+        }
+        Attention::Mqa { head_dim, .. } => (head_dim as f64, head_dim as f64),
+        Attention::Mla { .. } => (heads * qk, heads * vd),
+    };
+    let latents = match *attn {
+        Attention::Mla { q_lora_rank, kv_lora_rank, qk_rope_head_dim, .. } => {
+            (q_lora_rank + kv_lora_rank + qk_rope_head_dim) as f64
+        }
+        _ => 0.0,
+    };
+    let q_elems = heads * qk;
+    let core_out = heads * vd;
+    // FFN shape of this layer.
+    let (ffn_expand, ffn_prod, router) = ffn_elems(cfg, l);
+    LayerElems {
+        // norm input, attention output, second norm input, FFN output,
+        // router scores (narrow: O(h) per token).
+        narrow: h + h + h + h + router,
+        latents,
+        wide_dropped: q_elems + k_elems + v_elems + ffn_expand,
+        wide_kept: core_out + ffn_prod,
+        wide_wgrad: core_out + ffn_prod,
+    }
+}
+
+/// Gate/up expansion elems, activation-product elems, and router scores
+/// for layer `l`.
+fn ffn_elems(cfg: &ModelConfig, l: usize) -> (f64, f64, f64) {
+    if cfg.layer_is_dense(l) {
+        let inter = match cfg.ffn {
+            Ffn::Dense { intermediate } => intermediate,
+            Ffn::Moe { .. } => cfg.leading_dense_intermediate,
+        } as f64;
+        (2.0 * inter, inter, 0.0)
+    } else if let Ffn::Moe { routed_experts, active_experts, shared_experts, expert_intermediate } =
+        cfg.ffn
+    {
+        let e = (active_experts + shared_experts) as f64 * expert_intermediate as f64;
+        (2.0 * e, e, routed_experts as f64)
+    } else {
+        (0.0, 0.0, 0.0)
+    }
+}
+
+/// Parameters of layer `l` resident on one GPU of its stage: routed
+/// experts divide across EP, everything divides across TP.
+#[must_use]
+pub fn layer_params_resident(cfg: &ModelConfig, plan: &MemPlan, l: usize) -> f64 {
+    let h = cfg.hidden;
+    let attn = cfg.attention.param_count(h) as f64;
+    let ffn = if cfg.layer_is_dense(l) {
+        let inter = match cfg.ffn {
+            Ffn::Dense { intermediate } => intermediate,
+            Ffn::Moe { .. } => cfg.leading_dense_intermediate,
+        };
+        (3 * h * inter) as f64
+    } else if let Ffn::Moe { routed_experts, shared_experts, expert_intermediate, .. } = cfg.ffn {
+        let per_expert = (3 * h * expert_intermediate) as f64;
+        let resident = routed_experts as f64 / plan.ep as f64 + shared_experts as f64;
+        resident * per_expert + (h * routed_experts) as f64
+    } else {
+        0.0
+    };
+    (attn + ffn) / plan.tp as f64
+}
+
+/// Embedding (or unembedding) parameters resident on an edge stage.
+#[must_use]
+pub fn embedding_params_resident(cfg: &ModelConfig, plan: &MemPlan) -> f64 {
+    (cfg.vocab * cfg.hidden) as f64 / plan.tp as f64
+}
+
+/// The byte footprint of layer `l` under `plan`.
+#[must_use]
+pub fn layer_footprint(cfg: &ModelConfig, plan: &MemPlan, l: usize) -> LayerFootprint {
+    let e = layer_elems(cfg, l);
+    let tp = plan.tp as f64;
+    let narrow = e.narrow + e.latents;
+    let full_elems = narrow + (e.wide_dropped + e.wide_kept) / tp;
+    let stored_elems = match plan.recompute {
+        Recompute::None => full_elems,
+        Recompute::Selective => narrow + e.wide_kept / tp,
+        Recompute::Full => cfg.hidden as f64,
+    };
+    // GEMM left operands for dW: the layer input plus the wide kept
+    // tensors — capped by what is actually stashed.
+    let wgrad_elems = (cfg.hidden as f64 + e.wide_wgrad / tp).min(stored_elems);
+    LayerFootprint {
+        full_bytes: full_elems * plan.act_bytes,
+        stored_bytes: stored_elems * plan.act_bytes,
+        dropped_bytes: (full_elems - stored_elems) * plan.act_bytes,
+        wgrad_bytes: wgrad_elems * plan.act_bytes,
+        params: layer_params_resident(cfg, plan, l),
+    }
+}
+
+/// Contiguous layer range of pipeline stage `s` (remainder layers go to
+/// the leading stages, matching Megatron's default split).
+#[must_use]
+pub fn stage_layers(layers: usize, pp: usize, s: usize) -> std::ops::Range<usize> {
+    let base = layers / pp;
+    let rem = layers % pp;
+    let extra = s.min(rem);
+    let start = s * base + extra;
+    let len = base + usize::from(s < rem);
+    start..(start + len)
+}
+
+/// Aggregated footprint of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageFootprint {
+    /// Bytes stashed per token of one microbatch traversing the stage.
+    pub stored_bytes_per_token: f64,
+    /// Bytes per token with no recomputation (for the ρ overhead proxy).
+    pub full_bytes_per_token: f64,
+    /// Largest single-layer recompute buffer (backward re-materializes
+    /// dropped tensors one layer at a time).
+    pub dropped_max_layer_bytes: f64,
+    /// Bytes per token retained until the weight-gradient chunk.
+    pub wgrad_bytes_per_token: f64,
+    /// Parameters resident on one GPU of this stage, embeddings included.
+    pub params: f64,
+    /// Largest single-layer resident parameter count (ZeRO-3 gathers and
+    /// ZeRO-2 full-gradient workspaces are one layer at a time).
+    pub max_layer_params: f64,
+}
+
+/// Aggregate the per-layer footprints of stage `s`.
+#[must_use]
+pub fn stage_footprint(cfg: &ModelConfig, plan: &MemPlan, s: usize) -> StageFootprint {
+    let mut out = StageFootprint::default();
+    for l in stage_layers(cfg.layers, plan.pp, s) {
+        let f = layer_footprint(cfg, plan, l);
+        out.stored_bytes_per_token += f.stored_bytes;
+        out.full_bytes_per_token += f.full_bytes;
+        out.dropped_max_layer_bytes = out.dropped_max_layer_bytes.max(f.dropped_bytes);
+        out.wgrad_bytes_per_token += f.wgrad_bytes;
+        out.params += f.params;
+        out.max_layer_params = out.max_layer_params.max(f.params);
+    }
+    if s == 0 {
+        out.params += embedding_params_resident(cfg, plan);
+    }
+    if s + 1 == plan.pp {
+        out.params += embedding_params_resident(cfg, plan);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::MemPlan;
+    use dsv3_model::zoo;
+
+    fn v3_plan() -> MemPlan {
+        MemPlan::deepseek_v3_production()
+    }
+
+    #[test]
+    fn stage_layers_partition_the_model() {
+        // 61 layers over 16 stages: 13 stages of 4, 3 stages of 3.
+        let mut total = 0;
+        for s in 0..16 {
+            let r = stage_layers(61, 16, s);
+            assert!(r.len() == 3 || r.len() == 4);
+            total += r.len();
+        }
+        assert_eq!(total, 61);
+        assert_eq!(stage_layers(61, 16, 0), 0..4);
+        assert_eq!(stage_layers(61, 16, 15), 58..61);
+    }
+
+    #[test]
+    fn per_stage_params_sum_to_param_counts_total() {
+        // The per-layer parameter model must agree exactly with the flops
+        // crate's count at EP = TP = 1 (embeddings included).
+        let cfg = zoo::deepseek_v3();
+        let plan = MemPlan { ep: 1, ..v3_plan() };
+        let total: f64 = (0..plan.pp).map(|s| stage_footprint(&cfg, &plan, s).params).sum();
+        let expect = dsv3_model::flops::param_counts(&cfg).total as f64;
+        assert!((total / expect - 1.0).abs() < 1e-12, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn recompute_strictly_shrinks_the_stash() {
+        let cfg = zoo::deepseek_v3();
+        let none = MemPlan { recompute: Recompute::None, ..v3_plan() };
+        let sel = MemPlan { recompute: Recompute::Selective, ..v3_plan() };
+        let full = MemPlan { recompute: Recompute::Full, ..v3_plan() };
+        for l in [0, 3, 60] {
+            let a = layer_footprint(&cfg, &none, l).stored_bytes;
+            let b = layer_footprint(&cfg, &sel, l).stored_bytes;
+            let c = layer_footprint(&cfg, &full, l).stored_bytes;
+            assert!(a > b && b > c, "layer {l}: {a} {b} {c}");
+            assert!((c - 2.0 * 7168.0).abs() < 1e-9, "full recompute keeps the input only");
+        }
+    }
+
+    #[test]
+    fn selective_stash_lands_near_the_production_constant() {
+        // The steady-state calculator assumes 20·hidden bytes per token
+        // per layer under selective recomputation; the tensor-inventory
+        // model must land within 10% of it for a V3 MoE layer.
+        let cfg = zoo::deepseek_v3();
+        let f = layer_footprint(&cfg, &v3_plan(), 30);
+        let assumed = dsv3_parallel::memory::SELECTIVE_ACTIVATION_BYTES_PER_HIDDEN * 7168.0;
+        assert!((f.stored_bytes / assumed - 1.0).abs() < 0.10, "{} vs {assumed}", f.stored_bytes);
+    }
+
+    #[test]
+    fn wgrad_retention_is_a_subset_of_the_stash() {
+        let cfg = zoo::deepseek_v3();
+        for rc in [Recompute::None, Recompute::Selective, Recompute::Full] {
+            let plan = MemPlan { recompute: rc, ..v3_plan() };
+            for l in [0, 10, 60] {
+                let f = layer_footprint(&cfg, &plan, l);
+                assert!(f.wgrad_bytes <= f.stored_bytes + 1e-9);
+                assert!(f.wgrad_bytes > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_parallelism_divides_only_wide_tensors() {
+        let cfg = zoo::qwen25_72b();
+        let tp1 = layer_footprint(&cfg, &MemPlan { tp: 1, ..v3_plan() }, 10);
+        let tp8 = layer_footprint(&cfg, &MemPlan { tp: 8, ..v3_plan() }, 10);
+        assert!(tp8.full_bytes < tp1.full_bytes);
+        // Boundaries are replicated, so the reduction is less than 8×.
+        assert!(tp8.full_bytes > tp1.full_bytes / 8.0);
+        assert!((tp8.params - tp1.params / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mla_latents_are_tiny_next_to_expanded_kv() {
+        // Table 1's point, in stash terms: what MLA must keep to
+        // re-expand K/V (the latents) is a small fraction of the expanded
+        // K/V a non-latent architecture would have to stash outright.
+        let cfg = zoo::deepseek_v3();
+        let sel = layer_footprint(&cfg, &v3_plan(), 30);
+        let none = layer_footprint(&cfg, &MemPlan { recompute: Recompute::None, ..v3_plan() }, 30);
+        assert!(sel.stored_bytes < 0.45 * none.stored_bytes);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fit-frontier search: the deepest variant of a model that still fits.
+//!
+//! The paper motivates DeepSeek-V3's memory choices by what 2048 × 80 GB
+//! can hold. The frontier search inverts the timeline: for a GPU count it
+//! scales the candidate model's depth (the cheapest axis that leaves the
+//! per-layer shapes — and therefore the footprint model — intact), walks
+//! the timeline for each candidate, and binary-searches the largest layer
+//! count whose peak rank fits the HBM budget.
+
+use crate::plan::{GpuSpec, MemPlan};
+use crate::timeline::simulate;
+use dsv3_model::config::ModelConfig;
+use dsv3_model::flops::param_counts;
+use serde::{Deserialize, Serialize};
+
+/// One fleet size to probe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierQuery {
+    /// Total GPUs in the fleet.
+    pub gpus: usize,
+    /// The GPU each rank must fit.
+    pub spec: GpuSpec,
+}
+
+/// The frontier at one fleet size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierRow {
+    /// Fleet size probed.
+    pub gpus: usize,
+    /// Largest layer count that fits (0 = even one layer per stage does
+    /// not fit, or the fleet cannot host the plan's PP × TP grid).
+    pub max_layers: usize,
+    /// Total parameters of that largest model (billions).
+    pub params_b: f64,
+    /// Peak-rank memory of that largest model (GB).
+    pub peak_gb: f64,
+    /// ZeRO data-parallel width the fleet affords (`gpus / (pp·tp)`).
+    pub zero_dp: usize,
+}
+
+/// Scale `cfg` to `layers` layers, keeping every per-layer shape.
+fn scaled(cfg: &ModelConfig, layers: usize) -> ModelConfig {
+    ModelConfig {
+        layers,
+        leading_dense_layers: cfg.leading_dense_layers.min(layers),
+        ..cfg.clone()
+    }
+}
+
+/// Specialize the plan template to a fleet of `gpus` GPUs: the PP × TP
+/// grid is kept and the remaining factor becomes the ZeRO width (EP is
+/// clamped into it). Microbatch count drops to the smallest steady-state
+/// schedule (`2·pp`) — the in-flight caps saturate there, so the peak
+/// matches the full-step peak at a fraction of the walk cost.
+fn specialize(plan: &MemPlan, gpus: usize) -> Option<MemPlan> {
+    let grid = plan.pp * plan.tp;
+    if gpus < grid {
+        return None;
+    }
+    let zero_dp = gpus / grid;
+    // 2·pp microbatches saturate both schedules' in-flight caps (and is
+    // the DualPipe minimum), so the peak equals the full-step peak.
+    let micro = 2 * plan.pp;
+    Some(MemPlan { zero_dp, ep: plan.ep.min(zero_dp.max(1)), microbatches: micro, ..*plan })
+}
+
+fn peak_at(cfg: &ModelConfig, plan: &MemPlan, layers: usize) -> f64 {
+    simulate(&scaled(cfg, layers), plan).peak_gb
+}
+
+/// The largest `cfg` variant (by depth) whose timeline fits `q`.
+///
+/// Doubles from one layer per stage until the peak overflows, then binary
+/// searches the boundary. The plan's `pp`/`tp`/policy knobs are kept; the
+/// ZeRO width is derived from the fleet.
+#[must_use]
+pub fn largest_fitting(cfg: &ModelConfig, plan: &MemPlan, q: &FrontierQuery) -> FrontierRow {
+    let budget = q.spec.budget_gb();
+    let empty =
+        |zero_dp| FrontierRow { gpus: q.gpus, max_layers: 0, params_b: 0.0, peak_gb: 0.0, zero_dp };
+    let Some(plan) = specialize(plan, q.gpus) else {
+        return empty(0);
+    };
+    let floor_layers = plan.pp;
+    if peak_at(cfg, &plan, floor_layers) > budget {
+        return empty(plan.zero_dp);
+    }
+    // Exponential probe: find an overflowing depth.
+    let mut lo = floor_layers;
+    let mut hi = floor_layers;
+    while peak_at(cfg, &plan, hi) <= budget {
+        lo = hi;
+        hi *= 2;
+        if hi > 4096 {
+            break;
+        }
+    }
+    // Invariant: lo fits, hi does not (or the 4096-layer backstop fits).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if peak_at(cfg, &plan, mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let best = scaled(cfg, lo);
+    FrontierRow {
+        gpus: q.gpus,
+        max_layers: lo,
+        params_b: param_counts(&best).total as f64 / 1e9,
+        peak_gb: simulate(&best, &plan).peak_gb,
+        zero_dp: plan.zero_dp,
+    }
+}
+
+/// Sweep the frontier across fleet sizes.
+#[must_use]
+pub fn frontier_sweep(
+    cfg: &ModelConfig,
+    plan: &MemPlan,
+    queries: &[FrontierQuery],
+) -> Vec<FrontierRow> {
+    queries.iter().map(|q| largest_fitting(cfg, plan, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv3_model::zoo;
+
+    fn query(gpus: usize) -> FrontierQuery {
+        FrontierQuery { gpus, spec: GpuSpec::h800() }
+    }
+
+    #[test]
+    fn production_fleet_holds_the_production_depth() {
+        // 2048 H800s must fit at least the 61-layer V3 under the
+        // production plan — the model did, after all, train.
+        let cfg = zoo::deepseek_v3();
+        let plan = MemPlan::deepseek_v3_production();
+        let row = largest_fitting(&cfg, &plan, &query(2048));
+        assert_eq!(row.zero_dp, 128);
+        assert!(row.max_layers >= 61, "frontier {} < 61", row.max_layers);
+        assert!(row.peak_gb <= GpuSpec::h800().budget_gb());
+    }
+
+    #[test]
+    fn frontier_grows_with_fleet_size() {
+        // More GPUs → wider ZeRO shards → deeper models fit (weakly).
+        let cfg = zoo::deepseek_v3();
+        let plan = MemPlan::deepseek_v3_production();
+        let rows = frontier_sweep(&cfg, &plan, &[query(16), query(64), query(256), query(2048)]);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].max_layers >= w[0].max_layers,
+                "{} gpus: {} layers, then {} gpus: {} layers",
+                w[0].gpus,
+                w[0].max_layers,
+                w[1].gpus,
+                w[1].max_layers
+            );
+        }
+    }
+
+    #[test]
+    fn too_small_fleet_reports_zero() {
+        let cfg = zoo::deepseek_v3();
+        let plan = MemPlan::deepseek_v3_production();
+        let row = largest_fitting(&cfg, &plan, &query(8));
+        assert_eq!(row.max_layers, 0, "8 GPUs cannot host a PP16 grid");
+        assert_eq!(row.zero_dp, 0);
+    }
+
+    #[test]
+    fn naive_frontier_sits_below_the_production_frontier() {
+        let cfg = zoo::deepseek_v3();
+        let prod = largest_fitting(&cfg, &MemPlan::deepseek_v3_production(), &query(2048));
+        let naive = largest_fitting(&cfg, &MemPlan::naive(), &query(2048));
+        assert!(
+            naive.max_layers < prod.max_layers,
+            "naive {} vs production {}",
+            naive.max_layers,
+            prod.max_layers
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Training memory timeline simulator.
+//!
+//! The steady-state calculator in `dsv3_parallel::memory` answers "how
+//! many bytes, on average" — this crate answers "how many bytes, *when*".
+//! It replays a pipeline schedule's chunk events (1F1B or throttled
+//! DualPipe, from `dsv3_parallel`) and walks every rank's live bytes per
+//! category: resident weights, persistent gradients, optimizer shard,
+//! per-microbatch activation stash and transient workspace. On top of the
+//! walker sit the knobs the paper's §Memory discussion turns — activation
+//! recomputation ([`Recompute`]), ZeRO sharding ([`ZeroStage`]),
+//! optimizer-state CPU offload with its PCIe step-time penalty
+//! ([`Offload`]) — plus a closed-form cross-check ([`analytic_1f1b`])
+//! against the curves of *Memory Analysis on the Training Course of
+//! DeepSeek Models* (arXiv 2502.07846), and a fit-frontier search
+//! ([`largest_fitting`]) for the deepest model a fleet of 80 GB parts can
+//! train.
+//!
+//! Modules:
+//!
+//! - [`plan`]: [`MemPlan`] (parallelism × precision × policy) and
+//!   [`GpuSpec`] budgets.
+//! - [`footprint`]: per-token, per-layer stash/workspace byte model for
+//!   any [`dsv3_model::config::ModelConfig`] (MLA latents vs MHA K/V).
+//! - [`timeline`]: the event walker — [`simulate`] and the
+//!   telemetry-traced [`simulate_traced`].
+//! - [`analytic`]: closed 1F1B forms and the DualPipe peak bound.
+//! - [`frontier`]: "largest model that fits N × 80 GB" search.
+
+#![forbid(unsafe_code)]
+
+pub mod analytic;
+pub mod footprint;
+pub mod frontier;
+pub mod plan;
+pub mod timeline;
+
+pub use analytic::{analytic_1f1b, analytic_dualpipe_bound, max_rel_err, AnalyticRank};
+pub use footprint::{
+    layer_footprint, stage_footprint, stage_layers, LayerFootprint, StageFootprint,
+};
+pub use frontier::{frontier_sweep, largest_fitting, FrontierQuery, FrontierRow};
+pub use plan::{GpuSpec, MemPlan, Offload, Recompute, ScheduleKind, ZeroStage};
+pub use timeline::{simulate, simulate_traced, RankTimeline, TimelineReport};

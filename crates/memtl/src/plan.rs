@@ -1,0 +1,215 @@
+//! Memory plans: the knobs that move bytes around the step.
+//!
+//! A [`MemPlan`] extends [`dsv3_parallel::memory::MemoryPlan`]'s
+//! steady-state view with everything that changes *when* bytes are live:
+//! the pipeline schedule, the activation recomputation policy, the ZeRO
+//! stage, and optimizer-state offload. The production constructor mirrors
+//! DeepSeek-V3's training deployment (PP16 × EP64, 128-way ZeRO-1 DP,
+//! selective recomputation, DualPipe).
+
+use dsv3_parallel::trainstep::{chunk_times, TrainStepConfig};
+use dsv3_parallel::ChunkTimes;
+use serde::{Deserialize, Serialize};
+
+/// ZeRO partitioning stage (Rajbhandari et al.): what is sharded across
+/// the `zero_dp` data-parallel replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ZeroStage {
+    /// Optimizer state sharded; weights and gradients replicated.
+    Z1,
+    /// Z1 plus persistent gradients sharded (a transient one-layer full
+    /// gradient exists while the weight-gradient chunk runs).
+    Z2,
+    /// Z2 plus weights sharded (a transient one-layer weight gather exists
+    /// while any forward/backward chunk runs).
+    Z3,
+}
+
+/// Activation recomputation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recompute {
+    /// Stash every intermediate needed by backward.
+    None,
+    /// Recompute norms and the QKV / FFN up-projection expansions from the
+    /// residual stream (and, for MLA, from the compression latents); stash
+    /// only layer boundaries, latents and the FFN activation product.
+    Selective,
+    /// Stash only each layer's input; recompute the whole layer in
+    /// backward.
+    Full,
+}
+
+/// Optimizer-state placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Offload {
+    /// Optimizer state lives in HBM.
+    None,
+    /// Optimizer state lives in host DRAM; each step pays the PCIe round
+    /// trip of the gradient shard down and the updated weight shard up.
+    OptimizerCpu {
+        /// Effective host-link bandwidth (GB/s).
+        pcie_gbps: f64,
+    },
+}
+
+/// Pipeline schedule driving the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// Classic 1F1B (W folded into B); rank `r` holds stage `r`.
+    OneFOneB,
+    /// Bidirectional DualPipe with in-flight throttling; rank `r` holds
+    /// stages `r` and `PP−1−r` (double weights, decoupled W chunks).
+    DualPipe,
+}
+
+/// A full training memory plan: parallelism, precision, schedule and the
+/// memory/time trade-off knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemPlan {
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Expert-parallel group size (routed experts divided across it).
+    pub ep: usize,
+    /// Tensor-parallel group size (wide activations and all parameters
+    /// divided across it; V3 trains with TP = 1).
+    pub tp: usize,
+    /// Data-parallel replicas sharing ZeRO shards.
+    pub zero_dp: usize,
+    /// What ZeRO shards.
+    pub zero_stage: ZeroStage,
+    /// Activation recomputation policy.
+    pub recompute: Recompute,
+    /// Optimizer-state placement.
+    pub offload: Offload,
+    /// Pipeline schedule.
+    pub schedule: ScheduleKind,
+    /// Microbatches per step (DualPipe needs an even count ≥ 2·pp).
+    pub microbatches: usize,
+    /// Tokens per microbatch per pipeline.
+    pub tokens_per_micro: usize,
+    /// Bytes per weight element (1 = FP8).
+    pub weight_bytes: f64,
+    /// Bytes per gradient element (2 = BF16).
+    pub grad_bytes: f64,
+    /// Optimizer bytes per parameter (FP32 master + two Adam moments = 12).
+    pub optimizer_bytes: f64,
+    /// Bytes per stashed activation element (2 = BF16).
+    pub act_bytes: f64,
+    /// Per-microbatch chunk durations.
+    pub times: ChunkTimes,
+    /// Optimizer step seconds (before any offload penalty).
+    pub optimizer_seconds: f64,
+}
+
+impl MemPlan {
+    /// DeepSeek-V3's production training plan: PP16 × EP64, TP1, 128-way
+    /// ZeRO-1, selective recomputation, no offload, DualPipe, 120
+    /// microbatches of 4096 tokens, FP8 weights / BF16 grads and
+    /// activations. Chunk times come from the Table 4 harness so the
+    /// timeline shares the trainstep model's clock.
+    #[must_use]
+    pub fn deepseek_v3_production() -> Self {
+        let ts = TrainStepConfig::deepseek_v3(1.0);
+        Self {
+            pp: 16,
+            ep: 64,
+            tp: 1,
+            zero_dp: 128,
+            zero_stage: ZeroStage::Z1,
+            recompute: Recompute::Selective,
+            offload: Offload::None,
+            schedule: ScheduleKind::DualPipe,
+            microbatches: 120,
+            tokens_per_micro: 4096,
+            weight_bytes: 1.0,
+            grad_bytes: 2.0,
+            optimizer_bytes: 12.0,
+            act_bytes: 2.0,
+            times: chunk_times(&ts),
+            optimizer_seconds: ts.optimizer_seconds,
+        }
+    }
+
+    /// The naive foil: same parallelism and precision, but no
+    /// recomputation, plain 1F1B, ZeRO-1, everything in HBM. This is the
+    /// plan the acceptance test shows does *not* fit 80 GB.
+    #[must_use]
+    pub fn naive() -> Self {
+        Self {
+            recompute: Recompute::None,
+            schedule: ScheduleKind::OneFOneB,
+            ..Self::deepseek_v3_production()
+        }
+    }
+
+    /// Basic sanity of the degrees of freedom.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.pp > 0
+            && self.ep > 0
+            && self.tp > 0
+            && self.zero_dp > 0
+            && self.microbatches > 0
+            && self.tokens_per_micro > 0
+            && self.weight_bytes > 0.0
+            && self.grad_bytes > 0.0
+            && self.optimizer_bytes > 0.0
+            && self.act_bytes > 0.0
+            && self.optimizer_seconds >= 0.0
+            && self.times.is_valid()
+            && (self.schedule != ScheduleKind::DualPipe
+                || (self.microbatches.is_multiple_of(2) && self.microbatches >= 2 * self.pp))
+    }
+}
+
+/// The GPU the plan must fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// HBM capacity (GB).
+    pub hbm_gb: f64,
+    /// Runtime reserve (fragmentation, NCCL buffers, CUDA context).
+    pub reserve_gb: f64,
+}
+
+impl GpuSpec {
+    /// An 80 GB H800 with a 10 GB runtime reserve, matching the
+    /// steady-state calculator's fit test.
+    #[must_use]
+    pub fn h800() -> Self {
+        Self { hbm_gb: 80.0, reserve_gb: 10.0 }
+    }
+
+    /// Usable capacity.
+    #[must_use]
+    pub fn budget_gb(&self) -> f64 {
+        self.hbm_gb - self.reserve_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_plan_is_valid() {
+        assert!(MemPlan::deepseek_v3_production().is_valid());
+        assert!(MemPlan::naive().is_valid());
+    }
+
+    #[test]
+    fn dualpipe_needs_enough_even_microbatches() {
+        let mut p = MemPlan::deepseek_v3_production();
+        p.microbatches = 31;
+        assert!(!p.is_valid());
+        p.microbatches = 30;
+        assert!(!p.is_valid(), "30 < 2·16");
+        p.schedule = ScheduleKind::OneFOneB;
+        assert!(p.is_valid(), "1F1B takes any count");
+    }
+
+    #[test]
+    fn h800_budget() {
+        let g = GpuSpec::h800();
+        assert!((g.budget_gb() - 70.0).abs() < 1e-12);
+    }
+}

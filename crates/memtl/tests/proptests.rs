@@ -1,0 +1,120 @@
+//! Property-based tests for the memory timeline walker.
+
+use dsv3_memtl::{simulate, MemPlan, Offload, Recompute, ScheduleKind, ZeroStage};
+use dsv3_model::config::ModelConfig;
+use dsv3_model::zoo;
+use dsv3_parallel::ChunkTimes;
+use proptest::prelude::*;
+
+fn arb_schedule() -> impl Strategy<Value = ScheduleKind> {
+    (0usize..2).prop_map(|i| [ScheduleKind::OneFOneB, ScheduleKind::DualPipe][i])
+}
+
+fn arb_recompute() -> impl Strategy<Value = Recompute> {
+    (0usize..3).prop_map(|i| [Recompute::None, Recompute::Selective, Recompute::Full][i])
+}
+
+fn arb_zero() -> impl Strategy<Value = ZeroStage> {
+    (0usize..3).prop_map(|i| [ZeroStage::Z1, ZeroStage::Z2, ZeroStage::Z3][i])
+}
+
+/// A small but non-degenerate plan space: every stage holds ≥ 2 layers of
+/// the scaled model and the DP width leaves ZeRO room to matter.
+fn arb_plan() -> impl Strategy<Value = MemPlan> {
+    (
+        (2usize..=6, 1usize..=4, 4usize..=32, 1usize..=4),
+        (arb_schedule(), arb_recompute(), arb_zero()),
+    )
+        .prop_map(
+            |((pp, micro_scale, zero_dp, tokens_k), (schedule, recompute, zero_stage))| MemPlan {
+                pp,
+                ep: 4,
+                tp: 1,
+                zero_dp,
+                zero_stage,
+                recompute,
+                offload: Offload::None,
+                schedule,
+                microbatches: 2 * pp * micro_scale,
+                tokens_per_micro: 1024 * tokens_k,
+                times: ChunkTimes { f: 1.0, b: 2.0, w: 1.0 },
+                ..MemPlan::deepseek_v3_production()
+            },
+        )
+}
+
+/// A model deep enough for any generated `pp` (2 layers per stage at
+/// `pp = 6`), with V3's per-layer shapes.
+fn model(layers: usize) -> ModelConfig {
+    ModelConfig {
+        layers,
+        leading_dense_layers: zoo::deepseek_v3().leading_dense_layers.min(layers),
+        ..zoo::deepseek_v3()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every timeline drains: after the last chunk no activation bytes
+    /// remain on any rank — the walker's alloc/free pairing is exact.
+    #[test]
+    fn timelines_drain_to_zero(plan in arb_plan(), extra_layers in 0usize..8) {
+        let cfg = model(2 * plan.pp + extra_layers);
+        let rep = simulate(&cfg, &plan);
+        for r in &rep.ranks {
+            prop_assert_eq!(r.end_activation_bytes, 0, "rank {} leaked", r.rank);
+        }
+        prop_assert!(rep.peak_gb > 0.0);
+    }
+
+    /// More recomputation never raises the peak: None ≥ Selective ≥ Full,
+    /// rank by rank (the stash shrinks; floors and schedules are equal).
+    #[test]
+    fn recompute_is_monotone(plan in arb_plan(), extra_layers in 0usize..8) {
+        let cfg = model(2 * plan.pp + extra_layers);
+        let order = [Recompute::None, Recompute::Selective, Recompute::Full];
+        let peaks: Vec<f64> = order
+            .iter()
+            .map(|&recompute| simulate(&cfg, &MemPlan { recompute, ..plan }).peak_gb)
+            .collect();
+        for w in peaks.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "{peaks:?}");
+        }
+    }
+
+    /// A higher ZeRO stage never raises the peak when the sharded shards
+    /// outweigh the transient gather buffers (guaranteed here: every stage
+    /// holds at least two layers, and one-layer gathers divide by nothing).
+    #[test]
+    fn zero_stage_is_monotone(plan in arb_plan(), extra_layers in 0usize..8) {
+        prop_assume!(plan.zero_dp >= 4);
+        let cfg = model(2 * plan.pp + extra_layers);
+        let order = [ZeroStage::Z1, ZeroStage::Z2, ZeroStage::Z3];
+        let peaks: Vec<f64> = order
+            .iter()
+            .map(|&zero_stage| simulate(&cfg, &MemPlan { zero_stage, ..plan }).peak_gb)
+            .collect();
+        for w in peaks.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "{peaks:?}");
+        }
+    }
+
+    /// Offload empties the HBM optimizer term and only ever adds step
+    /// time; the memory peak never grows.
+    #[test]
+    fn offload_trades_time_for_memory(plan in arb_plan(), pcie in 8f64..128.0) {
+        let cfg = model(2 * plan.pp);
+        let kept = simulate(&cfg, &plan);
+        let off = simulate(
+            &cfg,
+            &MemPlan { offload: Offload::OptimizerCpu { pcie_gbps: pcie }, ..plan },
+        );
+        prop_assert!(off.peak_gb <= kept.peak_gb + 1e-9);
+        prop_assert!(off.step_time_s >= kept.step_time_s - 1e-9);
+        prop_assert!(off.offload_penalty_s > 0.0);
+        for r in &off.ranks {
+            prop_assert!(r.optimizer_gb.abs() < 1e-12);
+        }
+    }
+}

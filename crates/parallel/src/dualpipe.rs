@@ -12,8 +12,9 @@
 //! constraints, complementing the closed-form bubbles in
 //! [`crate::schedule`].
 
-use crate::schedule::{ChunkTimes, PipelineOutcome};
+use crate::schedule::{sort_events, ChunkEvent, ChunkKind, ChunkTimes, PipelineOutcome};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Direction of a microbatch stream in DualPipe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +31,18 @@ pub fn rank_of(stages: usize, dir: Direction, v: usize) -> usize {
     match dir {
         Direction::Down => v,
         Direction::Up => stages - 1 - v,
+    }
+}
+
+/// Model stage rank `r` executes for global microbatch `g` (of `micro`
+/// total): the Down stream (`g < micro/2`) runs stage `r`, the Up stream
+/// runs the mirror stage `stages − 1 − r`.
+#[must_use]
+pub fn stage_of_global(stages: usize, rank: usize, g: usize, micro: usize) -> usize {
+    if g < micro / 2 {
+        rank
+    } else {
+        stages - 1 - rank
     }
 }
 
@@ -134,6 +147,46 @@ pub fn zb1p(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutcome {
 /// invalid.
 #[must_use]
 pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutcome {
+    dualpipe_events(stages, micro, times, false).0
+}
+
+/// [`dualpipe`], additionally returning every scheduled chunk as a
+/// [`ChunkEvent`] (sorted by start time).
+///
+/// Microbatch ids are global: `0..micro/2` for the Down stream (rank `r`
+/// runs stage `r`), `micro/2..micro` for the Up stream (rank `r` runs stage
+/// `stages − 1 − r`). W chunks carry the microbatch whose deferred
+/// weight-gradient work they retire, in B-completion order.
+///
+/// With `throttle`, a rank defers the next forward of direction `d` while
+/// it already holds `stages − v + 1` forwards of that direction whose
+/// backward has not run (`v` = the stage it executes for `d`), and retires
+/// a deferred W chunk whenever the backlog reaches
+/// [`W_BACKLOG_CAP`] instead of letting all weight-gradient work slide to
+/// the end of the step. The greedy unthrottled schedule lets rank 0 race
+/// through all of its half of the microbatches before the first backward
+/// returns — latency-optimal, but it implies an unbounded activation
+/// stash, and deferring every W chunk retains every microbatch's
+/// weight-gradient operands; the throttle reproduces DualPipe's published
+/// memory profile (≈ PP + 1 microbatches in flight per rank across both
+/// directions, O(1) retained W operands) at a small step-time cost.
+///
+/// # Panics
+///
+/// Panics if `micro` is odd or smaller than `2 × stages`, or times are
+/// invalid.
+/// Largest deferred-W backlog a throttled rank tolerates before it must
+/// retire one (zero-bubble schedules keep this O(1): each B's
+/// weight-gradient operands stay live until its W runs).
+pub const W_BACKLOG_CAP: usize = 2;
+
+#[must_use]
+pub fn dualpipe_events(
+    stages: usize,
+    micro: usize,
+    times: ChunkTimes,
+    throttle: bool,
+) -> (PipelineOutcome, Vec<ChunkEvent>) {
     assert!(stages > 0, "degenerate pipeline");
     assert!(
         micro.is_multiple_of(2) && micro >= 2 * stages,
@@ -149,31 +202,43 @@ pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutco
     let mut b_done = [vec![vec![inf; half]; stages], vec![vec![inf; half]; stages]];
     let mut rank_free = vec![0f64; stages];
     let mut rank_busy = vec![0f64; stages];
-    let mut pending_w = vec![0usize; stages];
+    // Deferred weight-gradient work per rank: global microbatch ids in
+    // B-completion order.
+    let mut pending_w: Vec<VecDeque<usize>> = vec![VecDeque::new(); stages];
+    let mut events: Vec<ChunkEvent> = Vec::with_capacity(3 * stages * micro);
     // Per (dir, rank): the stage this rank runs for that direction, and
     // progress counters.
     let mut next_f = [vec![0usize; stages], vec![0usize; stages]];
     let mut next_b = [vec![0usize; stages], vec![0usize; stages]];
+    // Global microbatch id of direction-local microbatch `m` of stream `d`.
+    let global_m = |d: usize, m: usize| if d == 0 { m } else { half + m };
 
     // Ready time of the next F (resp. B) of direction d on rank r, or None.
-    let f_ready =
-        |d: usize, r: usize, next_f: &[Vec<usize>], f_done: &[Vec<Vec<f64>>; 2]| -> Option<f64> {
-            let v = match dirs[d] {
-                Direction::Down => r,
-                Direction::Up => stages - 1 - r,
-            };
-            let m = next_f[d][r];
-            if m >= half {
-                return None;
-            }
-            let dep = if v == 0 {
-                0.0
-            } else {
-                let prev_rank = rank_of(stages, dirs[d], v - 1);
-                f_done[d][prev_rank][m]
-            };
-            dep.is_finite().then_some(dep)
+    let f_ready = |d: usize,
+                   r: usize,
+                   next_f: &[Vec<usize>],
+                   next_b: &[Vec<usize>],
+                   f_done: &[Vec<Vec<f64>>; 2]|
+     -> Option<f64> {
+        let v = match dirs[d] {
+            Direction::Down => r,
+            Direction::Up => stages - 1 - r,
         };
+        let m = next_f[d][r];
+        if m >= half {
+            return None;
+        }
+        if throttle && next_f[d][r] - next_b[d][r] > stages - v {
+            return None;
+        }
+        let dep = if v == 0 {
+            0.0
+        } else {
+            let prev_rank = rank_of(stages, dirs[d], v - 1);
+            f_done[d][prev_rank][m]
+        };
+        dep.is_finite().then_some(dep)
+    };
     let b_ready = |d: usize,
                    r: usize,
                    next_b: &[Vec<usize>],
@@ -202,11 +267,29 @@ pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutco
         let mut progressed = false;
         for r in 0..stages {
             loop {
+                // Memory discipline: retire a deferred W before its backlog
+                // (and the per-micro operands it retains) can grow past the
+                // zero-bubble bound.
+                if throttle && pending_w[r].len() >= W_BACKLOG_CAP {
+                    let mw = pending_w[r].pop_front().unwrap_or_default();
+                    let start = rank_free[r];
+                    events.push(ChunkEvent {
+                        rank: r,
+                        micro: mw,
+                        kind: ChunkKind::WeightGrad,
+                        start,
+                        end: start + w,
+                    });
+                    rank_free[r] = start + w;
+                    rank_busy[r] += w;
+                    progressed = true;
+                    continue;
+                }
                 // Gather candidate F and B chunks from both directions.
                 let mut best_f: Option<(usize, f64)> = None;
                 let mut best_b: Option<(usize, f64)> = None;
                 for d in 0..2 {
-                    if let Some(t) = f_ready(d, r, &next_f, &f_done) {
+                    if let Some(t) = f_ready(d, r, &next_f, &next_b, &f_done) {
                         if best_f.is_none_or(|(_, bt)| t < bt) {
                             best_f = Some((d, t));
                         }
@@ -229,41 +312,83 @@ pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutco
                         let end = start + dur;
                         let mf = next_f[df][r];
                         f_done[df][r][mf] = start + f.min(dur);
+                        events.push(ChunkEvent {
+                            rank: r,
+                            micro: global_m(df, mf),
+                            kind: ChunkKind::Forward,
+                            start,
+                            end: start + f.min(dur),
+                        });
                         next_f[df][r] += 1;
                         let mb = next_b[db][r];
                         b_done[db][r][mb] = end;
+                        events.push(ChunkEvent {
+                            rank: r,
+                            micro: global_m(db, mb),
+                            kind: ChunkKind::Backward,
+                            start,
+                            end,
+                        });
                         next_b[db][r] += 1;
-                        pending_w[r] += 1;
+                        pending_w[r].push_back(global_m(db, mb));
                         rank_free[r] = end;
                         rank_busy[r] += dur;
                         progressed = true;
                     }
                     (None, Some((db, tb))) => {
                         let mut start = start_floor;
-                        while pending_w[r] > 0 && start + w <= tb {
+                        while !pending_w[r].is_empty() && start + w <= tb {
+                            let mw = pending_w[r].pop_front().unwrap_or_default();
+                            events.push(ChunkEvent {
+                                rank: r,
+                                micro: mw,
+                                kind: ChunkKind::WeightGrad,
+                                start,
+                                end: start + w,
+                            });
                             start += w;
                             rank_busy[r] += w;
-                            pending_w[r] -= 1;
                         }
                         let start = start.max(tb);
                         let mb = next_b[db][r];
                         b_done[db][r][mb] = start + b;
+                        events.push(ChunkEvent {
+                            rank: r,
+                            micro: global_m(db, mb),
+                            kind: ChunkKind::Backward,
+                            start,
+                            end: start + b,
+                        });
                         next_b[db][r] += 1;
-                        pending_w[r] += 1;
+                        pending_w[r].push_back(global_m(db, mb));
                         rank_free[r] = start + b;
                         rank_busy[r] += b;
                         progressed = true;
                     }
                     (Some((df, tf)), None) => {
                         let mut start = start_floor;
-                        while pending_w[r] > 0 && start + w <= tf {
+                        while !pending_w[r].is_empty() && start + w <= tf {
+                            let mw = pending_w[r].pop_front().unwrap_or_default();
+                            events.push(ChunkEvent {
+                                rank: r,
+                                micro: mw,
+                                kind: ChunkKind::WeightGrad,
+                                start,
+                                end: start + w,
+                            });
                             start += w;
                             rank_busy[r] += w;
-                            pending_w[r] -= 1;
                         }
                         let start = start.max(tf);
                         let mf = next_f[df][r];
                         f_done[df][r][mf] = start + f;
+                        events.push(ChunkEvent {
+                            rank: r,
+                            micro: global_m(df, mf),
+                            kind: ChunkKind::Forward,
+                            start,
+                            end: start + f,
+                        });
                         next_f[df][r] += 1;
                         rank_free[r] = start + f;
                         rank_busy[r] += f;
@@ -279,13 +404,27 @@ pub fn dualpipe(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutco
         }
         assert!(progressed, "schedule deadlocked");
     }
+    // Drain the remaining W chunks back-to-back on each rank.
     for r in 0..stages {
-        rank_free[r] += pending_w[r] as f64 * w;
-        rank_busy[r] += pending_w[r] as f64 * w;
+        while let Some(mw) = pending_w[r].pop_front() {
+            events.push(ChunkEvent {
+                rank: r,
+                micro: mw,
+                kind: ChunkKind::WeightGrad,
+                start: rank_free[r],
+                end: rank_free[r] + w,
+            });
+            rank_free[r] += w;
+            rank_busy[r] += w;
+        }
     }
     let total_time = rank_free.iter().copied().fold(0.0f64, f64::max);
     let min_busy = rank_busy.iter().copied().fold(f64::INFINITY, f64::min);
-    PipelineOutcome { total_time, bubble_time: total_time - min_busy, stage_busy: rank_busy }
+    sort_events(&mut events);
+    (
+        PipelineOutcome { total_time, bubble_time: total_time - min_busy, stage_busy: rank_busy },
+        events,
+    )
 }
 
 #[cfg(test)]
@@ -383,5 +522,111 @@ mod tests {
     #[should_panic(expected = "even microbatch")]
     fn odd_micro_panics() {
         let _ = dualpipe(4, 9, T);
+    }
+
+    #[test]
+    fn events_wrapper_is_byte_identical_to_plain() {
+        let (s, m) = (8, 32);
+        let plain = dualpipe(s, m, T);
+        let (viaev, _) = dualpipe_events(s, m, T, false);
+        assert_eq!(plain, viaev);
+    }
+
+    #[test]
+    fn events_cover_every_chunk_exactly_once() {
+        let (s, m) = (4, 16);
+        for throttle in [false, true] {
+            let (o, ev) = dualpipe_events(s, m, T, throttle);
+            // Each microbatch traverses all stages: s·m chunks of each kind.
+            for kind in [ChunkKind::Forward, ChunkKind::Backward, ChunkKind::WeightGrad] {
+                assert_eq!(ev.iter().filter(|e| e.kind == kind).count(), s * m);
+            }
+            // Each rank runs exactly `m` of each kind (half per direction).
+            for r in 0..s {
+                for kind in [ChunkKind::Forward, ChunkKind::Backward, ChunkKind::WeightGrad] {
+                    assert_eq!(ev.iter().filter(|e| e.rank == r && e.kind == kind).count(), m);
+                }
+            }
+            for e in &ev {
+                assert!(e.end <= o.total_time + 1e-9);
+                assert!(e.micro < m);
+            }
+        }
+    }
+
+    #[test]
+    fn throttle_caps_per_direction_in_flight() {
+        let (s, m) = (4, 24);
+        let (_, ev) = dualpipe_events(s, m, T, true);
+        // Walk events in start order; per (rank, direction) the number of
+        // forwards without a matching backward must stay ≤ stages − v + 1.
+        let mut in_flight = vec![[0i64; 2]; s];
+        for e in &ev {
+            let d = usize::from(e.micro >= m / 2);
+            match e.kind {
+                ChunkKind::Forward => in_flight[e.rank][d] += 1,
+                ChunkKind::Backward => in_flight[e.rank][d] -= 1,
+                ChunkKind::WeightGrad => continue,
+            }
+            let v = stage_of_global(s, e.rank, e.micro, m);
+            let cap = (s - v + 1) as i64;
+            assert!(
+                in_flight[e.rank][d] <= cap,
+                "rank {} dir {d}: {} > cap {cap}",
+                e.rank,
+                in_flight[e.rank][d]
+            );
+        }
+    }
+
+    #[test]
+    fn throttle_bounds_the_w_backlog() {
+        let (s, m) = (4, 24);
+        let (_, ev) = dualpipe_events(s, m, T, true);
+        // Walk events in start order; per rank the number of backwards
+        // without a retired W must stay ≤ W_BACKLOG_CAP.
+        let mut backlog = vec![0i64; s];
+        for e in &ev {
+            match e.kind {
+                ChunkKind::Backward => backlog[e.rank] += 1,
+                ChunkKind::WeightGrad => backlog[e.rank] -= 1,
+                ChunkKind::Forward => continue,
+            }
+            assert!(
+                backlog[e.rank] <= W_BACKLOG_CAP as i64,
+                "rank {}: backlog {}",
+                e.rank,
+                backlog[e.rank]
+            );
+            assert!(backlog[e.rank] >= 0, "W retired before its B");
+        }
+    }
+
+    #[test]
+    fn throttled_schedule_still_completes_all_work() {
+        let (s, m) = (8, 32);
+        let (o, _) = dualpipe_events(s, m, T, true);
+        for busy in &o.stage_busy {
+            // Work conservation: same bounds as the unthrottled variant.
+            assert!(*busy >= m as f64 * (T.f.max(T.b) + T.w) - 1e-9);
+            assert!(*busy <= m as f64 * (T.f + T.b + T.w) + 1e-9);
+        }
+        // Throttling trades step time for memory; it must stay in the same
+        // ballpark as the greedy schedule.
+        let greedy = dualpipe(s, m, T);
+        assert!(
+            o.total_time <= greedy.total_time * 1.5,
+            "{} vs {}",
+            o.total_time,
+            greedy.total_time
+        );
+    }
+
+    #[test]
+    fn stage_of_global_mirrors_directions() {
+        assert_eq!(stage_of_global(8, 0, 0, 16), 0);
+        assert_eq!(stage_of_global(8, 0, 8, 16), 7);
+        assert_eq!(stage_of_global(8, 7, 0, 16), 7);
+        assert_eq!(stage_of_global(8, 7, 8, 16), 0);
     }
 }

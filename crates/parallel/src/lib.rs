@@ -21,5 +21,5 @@ pub mod mfu;
 pub mod schedule;
 pub mod trainstep;
 
-pub use schedule::{ChunkTimes, PipelineOutcome};
-pub use trainstep::{table4, Table4Metrics, TrainStepConfig};
+pub use schedule::{ChunkEvent, ChunkKind, ChunkTimes, PipelineOutcome};
+pub use trainstep::{chunk_times, table4, Table4Metrics, TrainStepConfig};

@@ -31,12 +31,20 @@ pub struct MemoryPlan {
     pub activation_bytes_per_token_layer: f64,
 }
 
+/// Activation bytes held for backward per token per layer under selective
+/// recomputation, as a multiple of the model's hidden size (BF16 residual
+/// stream, attention output, FFN activation product; norms and QKV/FFN
+/// expansions recomputed).
+pub const SELECTIVE_ACTIVATION_BYTES_PER_HIDDEN: f64 = 20.0;
+
 impl MemoryPlan {
     /// The DeepSeek-V3 production plan: PP16, EP64, FP8 weights, BF16
     /// grads, ZeRO-sharded FP32 optimizer over 128-way DP, selective
-    /// recomputation.
+    /// recomputation. The activation term derives from the config's hidden
+    /// size so the plan tracks [`dsv3_model::zoo::deepseek_v3`].
     #[must_use]
     pub fn deepseek_v3_production() -> Self {
+        let hidden = dsv3_model::zoo::deepseek_v3().hidden as f64;
         Self {
             pp: 16,
             ep: 64,
@@ -45,7 +53,7 @@ impl MemoryPlan {
             grad_bytes: 2.0,
             optimizer_bytes: 12.0,
             tokens_in_flight: 16 * 4096,
-            activation_bytes_per_token_layer: 20.0 * 7168.0,
+            activation_bytes_per_token_layer: SELECTIVE_ACTIVATION_BYTES_PER_HIDDEN * hidden,
         }
     }
 }
@@ -79,7 +87,8 @@ impl MemoryBreakdown {
 
 /// Parameters resident per GPU under a plan: experts divide across EP, the
 /// rest divides across PP only.
-fn params_per_gpu(cfg: &ModelConfig, plan: &MemoryPlan) -> f64 {
+#[must_use]
+pub fn params_per_gpu(cfg: &ModelConfig, plan: &MemoryPlan) -> f64 {
     let p = dsv3_model::flops::param_counts(cfg);
     // Expert parameters = total - activated-path dense part; approximate by
     // separating the MoE FFN mass.

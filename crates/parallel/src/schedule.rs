@@ -46,6 +46,51 @@ impl PipelineOutcome {
     }
 }
 
+/// Kind of a scheduled pipeline chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChunkKind {
+    /// Forward pass of one microbatch through one stage.
+    Forward,
+    /// Input-gradient backward (includes the weight-gradient work when the
+    /// schedule folds W into B, as classic 1F1B does).
+    Backward,
+    /// Decoupled weight-gradient chunk (ZB1P / DualPipe only).
+    WeightGrad,
+}
+
+/// One scheduled chunk: microbatch `micro` runs its `kind` chunk on
+/// `rank` over `[start, end]` seconds.
+///
+/// For bidirectional schedules the microbatch id is global across both
+/// directions (`0..half` = Down, `half..micro` = Up), so `(micro, kind)`
+/// uniquely identifies a chunk and a memory simulator can key per-microbatch
+/// state off it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkEvent {
+    /// Executing rank (= stage for unidirectional schedules).
+    pub rank: usize,
+    /// Global microbatch id.
+    pub micro: usize,
+    /// Chunk kind.
+    pub kind: ChunkKind,
+    /// Start time (seconds).
+    pub start: f64,
+    /// End time (seconds).
+    pub end: f64,
+}
+
+/// Sort events by start time (rank, then micro, then kind as tiebreak) so
+/// an event walker sees a deterministic global order.
+pub fn sort_events(events: &mut [ChunkEvent]) {
+    events.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then_with(|| a.rank.cmp(&b.rank))
+            .then_with(|| a.micro.cmp(&b.micro))
+            .then_with(|| a.kind.cmp(&b.kind))
+    });
+}
+
 /// Event-driven 1F1B schedule: `stages` pipeline stages, `micro`
 /// microbatches. Weight-gradient chunks are folded into the backward pass
 /// (classic 1F1B does not split them).
@@ -55,6 +100,22 @@ impl PipelineOutcome {
 /// Panics if `stages == 0`, `micro == 0`, or `times` is invalid.
 #[must_use]
 pub fn one_f_one_b(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOutcome {
+    one_f_one_b_events(stages, micro, times).0
+}
+
+/// [`one_f_one_b`], additionally returning every scheduled chunk as a
+/// [`ChunkEvent`] (sorted by start time). The backward events carry the
+/// combined `b + w` duration because classic 1F1B folds W into B.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`, `micro == 0`, or `times` is invalid.
+#[must_use]
+pub fn one_f_one_b_events(
+    stages: usize,
+    micro: usize,
+    times: ChunkTimes,
+) -> (PipelineOutcome, Vec<ChunkEvent>) {
     assert!(stages > 0 && micro > 0, "degenerate pipeline");
     assert!(times.is_valid(), "invalid chunk times");
     let f = times.f;
@@ -71,6 +132,7 @@ pub fn one_f_one_b(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOu
     // action if dependencies are met; repeat until all backwards are done.
     let mut next_f = vec![0usize; stages]; // next microbatch to forward
     let mut next_b = vec![0usize; stages]; // next microbatch to backward
+    let mut events = Vec::with_capacity(2 * stages * micro);
     loop {
         let mut progressed = false;
         for s in 0..stages {
@@ -93,6 +155,13 @@ pub fn one_f_one_b(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOu
                         b_done[s][m] = end;
                         stage_free[s] = end;
                         stage_busy[s] += bw;
+                        events.push(ChunkEvent {
+                            rank: s,
+                            micro: m,
+                            kind: ChunkKind::Backward,
+                            start,
+                            end,
+                        });
                         next_b[s] += 1;
                         progressed = true;
                         continue;
@@ -107,6 +176,13 @@ pub fn one_f_one_b(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOu
                         f_done[s][m] = end;
                         stage_free[s] = end;
                         stage_busy[s] += f;
+                        events.push(ChunkEvent {
+                            rank: s,
+                            micro: m,
+                            kind: ChunkKind::Forward,
+                            start,
+                            end,
+                        });
                         next_f[s] += 1;
                         progressed = true;
                         continue;
@@ -122,7 +198,8 @@ pub fn one_f_one_b(stages: usize, micro: usize, times: ChunkTimes) -> PipelineOu
     }
     let total_time = b_done.iter().flat_map(|v| v.iter()).copied().fold(0.0f64, f64::max);
     let min_busy = stage_busy.iter().copied().fold(f64::INFINITY, f64::min);
-    PipelineOutcome { total_time, bubble_time: total_time - min_busy, stage_busy }
+    sort_events(&mut events);
+    (PipelineOutcome { total_time, bubble_time: total_time - min_busy, stage_busy }, events)
 }
 
 /// Analytic 1F1B bubble: `(PP − 1) · (F + B)` where B includes W.
@@ -232,5 +309,81 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_stages_panics() {
         let _ = one_f_one_b(0, 1, T);
+    }
+
+    #[test]
+    fn events_cover_every_chunk_exactly_once() {
+        let (s, m) = (4, 10);
+        let (o, ev) = one_f_one_b_events(s, m, T);
+        // One F and one B event per (stage, micro); W is folded into B.
+        assert_eq!(ev.len(), 2 * s * m);
+        for stage in 0..s {
+            for kind in [ChunkKind::Forward, ChunkKind::Backward] {
+                let of_kind: Vec<_> =
+                    ev.iter().filter(|e| e.rank == stage && e.kind == kind).collect();
+                assert_eq!(of_kind.len(), m);
+                let mut micros: Vec<_> = of_kind.iter().map(|e| e.micro).collect();
+                micros.sort_unstable();
+                assert_eq!(micros, (0..m).collect::<Vec<_>>());
+            }
+        }
+        // Durations match the chunk times and nothing runs past the end.
+        for e in &ev {
+            let dur = match e.kind {
+                ChunkKind::Forward => T.f,
+                ChunkKind::Backward => T.b + T.w,
+                ChunkKind::WeightGrad => T.w,
+            };
+            assert!((e.end - e.start - dur).abs() < 1e-9);
+            assert!(e.end <= o.total_time + 1e-9);
+        }
+        // Sorted by start time.
+        for w in ev.windows(2) {
+            assert!(w[0].start <= w[1].start + 1e-12);
+        }
+    }
+
+    #[test]
+    fn events_respect_per_stage_serialization() {
+        // No two chunks on one stage may overlap in time.
+        let (_, ev) = one_f_one_b_events(6, 12, T);
+        for s in 0..6 {
+            let mut mine: Vec<_> = ev.iter().filter(|e| e.rank == s).collect();
+            mine.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for w in mine.windows(2) {
+                assert!(w[1].start >= w[0].end - 1e-9, "overlap on stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn events_wrapper_is_byte_identical_to_plain() {
+        let (s, m) = (8, 24);
+        let plain = one_f_one_b(s, m, T);
+        let (viaev, _) = one_f_one_b_events(s, m, T);
+        assert_eq!(plain, viaev);
+    }
+
+    #[test]
+    fn one_f_one_b_in_flight_matches_warmup_cap() {
+        // The defining 1F1B property (and what bounds activation memory):
+        // stage s never holds more than min(stages - s, micro) forwards
+        // whose backward has not yet run.
+        let (s, m) = (6, 16);
+        let (_, mut ev) = one_f_one_b_events(s, m, T);
+        sort_events(&mut ev);
+        let mut in_flight = vec![0i64; s];
+        let mut peak = vec![0i64; s];
+        for e in &ev {
+            match e.kind {
+                ChunkKind::Forward => in_flight[e.rank] += 1,
+                ChunkKind::Backward => in_flight[e.rank] -= 1,
+                ChunkKind::WeightGrad => {}
+            }
+            peak[e.rank] = peak[e.rank].max(in_flight[e.rank]);
+        }
+        for (stage, &p) in peak.iter().enumerate() {
+            assert_eq!(p, (s - stage).min(m) as i64, "stage {stage}");
+        }
     }
 }

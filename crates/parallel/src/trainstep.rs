@@ -108,8 +108,16 @@ pub struct Table4Metrics {
 /// # Panics
 ///
 /// Panics on degenerate configs (zero sizes, non-positive efficiency).
+/// Per-microbatch chunk times implied by `cfg`: the per-GPU compute seconds
+/// at kernel efficiency, split by the measured F:B:W shape. This is the raw
+/// material of the Table 4 decomposition, exposed so other simulators (e.g.
+/// the memory timeline) can schedule the same chunks.
+///
+/// # Panics
+///
+/// Panics on degenerate configs (zero sizes, non-positive efficiency).
 #[must_use]
-pub fn table4(fabric: &str, cfg: &TrainStepConfig) -> Table4Metrics {
+pub fn chunk_times(cfg: &TrainStepConfig) -> ChunkTimes {
     assert!(cfg.gpus > 0 && cfg.pp > 0 && cfg.microbatches > 0, "degenerate cluster");
     assert!(cfg.kernel_efficiency > 0.0 && cfg.comm_efficiency > 0.0, "bad efficiency");
     // Total compute time per step if every GPU ran its causal-FLOPs share at
@@ -123,11 +131,16 @@ pub fn table4(fabric: &str, cfg: &TrainStepConfig) -> Table4Metrics {
     let (rf, rb, rw) = cfg.fbw_ratio;
     let rsum = rf + rb + rw;
     let m = cfg.microbatches as f64;
-    let times = ChunkTimes {
+    ChunkTimes {
         f: per_gpu_seconds * rf / rsum / m,
         b: per_gpu_seconds * rb / rsum / m,
         w: per_gpu_seconds * rw / rsum / m,
-    };
+    }
+}
+
+#[must_use]
+pub fn table4(fabric: &str, cfg: &TrainStepConfig) -> Table4Metrics {
+    let times = chunk_times(cfg);
     let bubble = bubble_dualpipe(cfg.pp, times, 1.0);
     let pipeline_s = analytic_step_time(cfg.microbatches, times, bubble);
     let step_s = pipeline_s + cfg.optimizer_seconds;

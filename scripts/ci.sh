@@ -34,6 +34,13 @@ echo "==> chaos smoke: dsv3 net-chaos --json + --trace-out round-trip"
 ./target/release/dsv3 net-chaos --trace-out "$chaos_tmp" > /dev/null
 ./target/release/dsv3 check-trace "$chaos_tmp"
 
+echo "==> memory-timeline smoke: dsv3 mem-timeline --json + --trace-out round-trip"
+memtl_tmp="$(mktemp /tmp/dsv3_memtl.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp"' EXIT
+./target/release/dsv3 mem-timeline --json > /dev/null
+./target/release/dsv3 mem-timeline --trace-out "$memtl_tmp" > /dev/null
+./target/release/dsv3 check-trace "$memtl_tmp"
+
 echo "==> examples build"
 cargo build --release --offline --examples
 

@@ -172,6 +172,41 @@ fn fault_types_roundtrip() {
 }
 
 #[test]
+fn memtl_types_roundtrip() {
+    use dsv3_core::memtl::{
+        analytic_1f1b, largest_fitting, simulate, FrontierQuery, GpuSpec, MemPlan, Offload,
+        Recompute, ScheduleKind, ZeroStage,
+    };
+    use dsv3_core::model::zoo;
+
+    // Plans: the production constructor, the naive foil, and a plan with
+    // every non-default knob turned (Z3, full recompute, offload, 1F1B).
+    roundtrip(&MemPlan::deepseek_v3_production());
+    roundtrip(&MemPlan::naive());
+    let turned = MemPlan {
+        zero_stage: ZeroStage::Z3,
+        recompute: Recompute::Full,
+        offload: Offload::OptimizerCpu { pcie_gbps: 32.0 },
+        schedule: ScheduleKind::OneFOneB,
+        ..MemPlan::deepseek_v3_production()
+    };
+    roundtrip(&turned);
+    roundtrip(&GpuSpec::h800());
+
+    // Reports: the walked timeline (per-rank rows inside), the analytic
+    // curves, and a frontier row.
+    let cfg = zoo::deepseek_v3();
+    roundtrip(&simulate(&cfg, &turned));
+    roundtrip(&analytic_1f1b(&cfg, &turned));
+    let q = FrontierQuery { gpus: 128, spec: GpuSpec::h800() };
+    roundtrip(&q);
+    roundtrip(&largest_fitting(&cfg, &MemPlan::deepseek_v3_production(), &q));
+
+    // The registry experiment's full report.
+    roundtrip(&mem_timeline::run());
+}
+
+#[test]
 fn json_is_stable_for_known_values() {
     // A spot-check that field names stay consumer-friendly.
     let rows = table1::run();
