@@ -22,6 +22,7 @@
 //! | [`fault_drill`] | §5.1.1/§6.1 — seeded fault-injection drill |
 //! | [`net_chaos`] | §5.1.1 — link chaos: reroute policies per fabric |
 //! | [`mem_timeline`] | §2.1 — training memory timeline & fit frontier |
+//! | [`overload`] | §2.3 — overload-robust serving: admission, ladder, autoscale |
 //! | [`future_hardware`] | §4.4/§4.5/§6.4/§6.5 — recommendation payoffs |
 //! | [`serving`] | §2.3 — request-level serving simulation |
 //! | [`lint`] | repo invariants — determinism / panic-freedom / vendor policy |
@@ -41,6 +42,7 @@ pub mod mem_timeline;
 pub mod mtp;
 pub mod net_chaos;
 pub mod node_limited;
+pub mod overload;
 pub mod robustness;
 pub mod serving;
 pub mod speed_limits;

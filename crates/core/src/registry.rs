@@ -183,6 +183,21 @@ pub fn registry() -> Vec<Entry> {
                 }
             }),
         },
+        Entry {
+            name: "overload",
+            about: "overload-robust serving: admission, ladder, autoscale (§2.3)",
+            render: overload::render,
+            json: || to_json(&overload::run()),
+            instrumented: Some(|rec| {
+                let report = overload::run_instrumented(rec);
+                InstrumentedRun {
+                    table: overload::render_report(&report),
+                    json: to_json(&report),
+                    seed: overload::seed(),
+                    config_json: overload::config_json(),
+                }
+            }),
+        },
     ]
 }
 

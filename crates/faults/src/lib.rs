@@ -10,9 +10,10 @@
 //!   the [`FaultDriver`] that walks a timeline as a consumer's clock
 //!   advances. Plans are fully materialized up front, so consumers stay
 //!   byte-reproducible per seed.
-//! - [`recovery`] — jitter-free exponential [`Backoff`] and the
-//!   [`RecoveryPolicy`] (retry budget, optional hedging) consumers apply
-//!   when a fault takes down their work.
+//! - [`recovery`] — exponential [`Backoff`] (jitter-free by default,
+//!   with opt-in seeded decorrelated jitter for retry-storm defense) and
+//!   the [`RecoveryPolicy`] (retry budget, optional hedging) consumers
+//!   apply when a fault takes down their work.
 //! - [`training`] — checkpoint/restart goodput simulation
 //!   ([`simulate_goodput`]) validated against the Young/Daly analytic
 //!   model in `dsv3_model::availability`.

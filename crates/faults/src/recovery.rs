@@ -1,14 +1,21 @@
 //! Recovery policies: deterministic exponential backoff and hedging.
 //!
-//! Recovery must not perturb byte-reproducibility, so the backoff is
-//! jitter-free — the delay is a pure function of the attempt number.
-//! Retry storms are instead broken up by the engine's deterministic
-//! release ordering (release time, then submission order).
+//! Recovery must not perturb byte-reproducibility, so the default backoff
+//! is jitter-free — the delay is a pure function of the attempt number.
+//! For overload experiments that is exactly wrong: synchronized clients
+//! retry in waves and re-create the spike that shed them. [`Backoff`] can
+//! therefore opt into *decorrelated jitter* ([`Backoff::delay_ms_jittered`]),
+//! which spreads retries over a seeded random interval while staying fully
+//! deterministic per seed. With `jitter` disabled the jittered entry point
+//! degrades to [`Backoff::delay_ms`] without touching the RNG, so the
+//! default path stays byte-identical.
 
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Jitter-free exponential backoff: attempt `k` (1-based) waits
-/// `min(base_ms · factor^(k−1), max_ms)`.
+/// Exponential backoff: attempt `k` (1-based) waits
+/// `min(base_ms · factor^(k−1), max_ms)`, or a decorrelated-jitter draw
+/// when [`jitter`](Self::jitter) is on.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Backoff {
     /// First-retry delay, milliseconds.
@@ -17,6 +24,12 @@ pub struct Backoff {
     pub factor: f64,
     /// Ceiling on any single delay, milliseconds.
     pub max_ms: f64,
+    /// Decorrelate retries: [`delay_ms_jittered`](Self::delay_ms_jittered)
+    /// draws uniformly from `[base_ms, 3 · prev_ms]` (clamped to
+    /// `max_ms`) instead of following the deterministic schedule. Off by
+    /// default — the jitter-free path is byte-identical to before this
+    /// switch existed.
+    pub jitter: bool,
 }
 
 impl Backoff {
@@ -28,11 +41,42 @@ impl Backoff {
         }
         (self.base_ms * self.factor.powi(attempt as i32 - 1)).min(self.max_ms)
     }
+
+    /// Decorrelated-jitter delay (AWS-style): uniform in
+    /// `[base_ms, 3 · max(prev_ms, base_ms)]`, capped at `max_ms`, where
+    /// `prev_ms` is the delay the *previous* retry of the same request
+    /// waited (pass 0 before the first retry). Each caller threads its own
+    /// `prev_ms` state, so independent requests decorrelate instead of
+    /// retrying in lockstep waves.
+    ///
+    /// With [`jitter`](Self::jitter) disabled this is exactly
+    /// [`delay_ms`](Self::delay_ms) and the RNG is **not** consumed —
+    /// enabling the field in a config that never sets it cannot perturb
+    /// any other seeded stream.
+    #[must_use]
+    pub fn delay_ms_jittered<R: Rng>(&self, attempt: u32, prev_ms: f64, rng: &mut R) -> f64 {
+        if !self.jitter {
+            return self.delay_ms(attempt);
+        }
+        if attempt == 0 {
+            return 0.0;
+        }
+        let lo = self.base_ms;
+        let hi = (3.0 * prev_ms.max(self.base_ms)).min(self.max_ms).max(lo);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        lo + u * (hi - lo)
+    }
+
+    /// This backoff with decorrelated jitter switched on.
+    #[must_use]
+    pub fn jittered(self) -> Self {
+        Self { jitter: true, ..self }
+    }
 }
 
 impl Default for Backoff {
     fn default() -> Self {
-        Self { base_ms: 50.0, factor: 2.0, max_ms: 5_000.0 }
+        Self { base_ms: 50.0, factor: 2.0, max_ms: 5_000.0, jitter: false }
     }
 }
 
@@ -65,6 +109,9 @@ impl RecoveryPolicy {
 
 #[cfg(test)]
 mod tests {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
     use super::*;
 
     #[test]
@@ -79,9 +126,65 @@ mod tests {
 
     #[test]
     fn backoff_is_deterministic() {
-        let b = Backoff { base_ms: 10.0, factor: 3.0, max_ms: 1_000.0 };
+        let b = Backoff { base_ms: 10.0, factor: 3.0, max_ms: 1_000.0, jitter: false };
         assert_eq!(b.delay_ms(4), b.delay_ms(4));
         assert!((b.delay_ms(4) - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_jitter_is_byte_identical_and_leaves_the_rng_alone() {
+        // Regression: the jittered entry point with `jitter: false` must
+        // reproduce `delay_ms` bit-for-bit AND consume zero RNG draws, so
+        // threading it through existing code paths changes nothing.
+        let b = Backoff::default();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut untouched = StdRng::seed_from_u64(99);
+        for attempt in 0..8 {
+            let jittered = b.delay_ms_jittered(attempt, 123.0, &mut rng);
+            assert!(jittered.to_bits() == b.delay_ms(attempt).to_bits(), "attempt {attempt}");
+        }
+        assert_eq!(rng.next_u64(), untouched.next_u64(), "rng stream must be untouched");
+    }
+
+    #[test]
+    fn jitter_draws_stay_in_the_decorrelated_envelope() {
+        let b = Backoff::default().jittered();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut prev = 0.0f64;
+        for attempt in 1..50 {
+            let hi = (3.0 * prev.max(b.base_ms)).min(b.max_ms).max(b.base_ms);
+            let d = b.delay_ms_jittered(attempt, prev, &mut rng);
+            assert!(
+                d >= b.base_ms && d <= hi,
+                "attempt {attempt}: {d} not in [{}, {hi}]",
+                b.base_ms
+            );
+            assert!(d <= b.max_ms);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_decorrelates() {
+        let b = Backoff::default().jittered();
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prev = 0.0;
+            (1..20u32)
+                .map(|a| {
+                    prev = b.delay_ms_jittered(a, prev, &mut rng);
+                    prev
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(draw(5), draw(5), "same seed, same schedule");
+        let (a, c) = (draw(5), draw(6));
+        assert!(a.iter().zip(&c).any(|(x, y)| x != y), "different seeds must decorrelate");
+        // Attempt 0 short-circuits before the draw even when jitter is on.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pristine = StdRng::seed_from_u64(1);
+        assert_eq!(b.delay_ms_jittered(0, 50.0, &mut rng), 0.0);
+        assert_eq!(rng.next_u64(), pristine.next_u64());
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Reactive autoscaling for the serving engine's prefill and decode
+//! pools, with provisioning lag and a crash-loop circuit breaker.
+//!
+//! The DeepSeek-V3 production deployment sizes prefill and decode pools
+//! independently for the offered load (§2.3.1 disaggregation; the
+//! technical report's serving section). This module adds the *reactive*
+//! version: pools scale on queue-depth/backlog signals, scale-ups pay a
+//! provisioning lag (a replica ordered now helps later — the reason
+//! autoscaling alone cannot absorb a sharp spike, and admission control
+//! must hold the line meanwhile), scale-downs are immediate and
+//! drain-free, and a circuit breaker ejects replicas that crash-loop on
+//! a `FaultPlan` timeline faster than they can be useful.
+//!
+//! KV capacity is a *shared* tier in this model
+//! (`KvCacheManager` is constructed once per run), so scaling moves
+//! compute slots — batch capacity and prefill bandwidth — not cache
+//! bytes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Crash-loop circuit breaker: eject a replica that keeps dying.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Crashes within `window_ms` that trip the breaker.
+    pub crash_threshold: u32,
+    /// Sliding crash-counting window, ms.
+    pub window_ms: f64,
+    /// How long a tripped replica stays ejected (out of the healthy
+    /// set even if the fault plan has repaired it), ms.
+    pub cooloff_ms: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { crash_threshold: 3, window_ms: 60_000.0, cooloff_ms: 120_000.0 }
+    }
+}
+
+/// Reactive-autoscaler parameters. `decode_base`/`prefill_base` anchor
+/// the scale: the engine's configured `max_batch` and prefill rate
+/// describe the *base* pools, and live pools scale them linearly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Decode replicas at t = 0 (must equal the fault plan's `replicas`
+    /// so crash timelines keep addressing real replicas).
+    pub decode_base: usize,
+    /// Floor for decode scale-down.
+    pub decode_min: usize,
+    /// Ceiling for decode scale-up.
+    pub decode_max: usize,
+    /// Prefill replicas at t = 0.
+    pub prefill_base: usize,
+    /// Floor for prefill scale-down.
+    pub prefill_min: usize,
+    /// Ceiling for prefill scale-up.
+    pub prefill_max: usize,
+    /// Scale decode up when (smoothed) ready-queue depth per live
+    /// replica exceeds this.
+    pub up_queue_per_replica: f64,
+    /// Scale decode down when (smoothed) *total decode work* — queued
+    /// plus actively decoding — per live replica falls below this. A
+    /// drained queue with a full batch is a healthy pool, not an idle
+    /// one.
+    pub down_queue_per_replica: f64,
+    /// Scale prefill up when the prefill backlog exceeds this many ms of
+    /// station work.
+    pub prefill_up_backlog_ms: f64,
+    /// Scale prefill down when the backlog falls below this.
+    pub prefill_down_backlog_ms: f64,
+    /// Signal-evaluation period, simulated ms.
+    pub evaluate_every_ms: f64,
+    /// Minimum time between consecutive scale actions per pool, ms.
+    pub cooldown_ms: f64,
+    /// Delay between ordering a replica and it joining the pool, ms.
+    pub provision_lag_ms: f64,
+    /// Crash-loop ejection (`None` = no breaker).
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl AutoscaleConfig {
+    /// A reasonable reactive policy for a pool of `decode_base` decode
+    /// and `prefill_base` prefill replicas, allowed to grow 4x.
+    #[must_use]
+    pub fn reactive(decode_base: usize, prefill_base: usize) -> Self {
+        Self {
+            decode_base,
+            decode_min: decode_base.div_ceil(2).max(1),
+            decode_max: decode_base * 4,
+            prefill_base,
+            prefill_min: prefill_base.div_ceil(2).max(1),
+            prefill_max: prefill_base * 4,
+            up_queue_per_replica: 8.0,
+            down_queue_per_replica: 1.0,
+            prefill_up_backlog_ms: 2_000.0,
+            prefill_down_backlog_ms: 200.0,
+            evaluate_every_ms: 1_000.0,
+            cooldown_ms: 5_000.0,
+            provision_lag_ms: 15_000.0,
+            breaker: Some(BreakerConfig::default()),
+        }
+    }
+}
+
+/// What the autoscaler did over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AutoscaleStats {
+    /// Decode scale-up orders placed.
+    pub decode_scale_ups: usize,
+    /// Decode scale-downs applied.
+    pub decode_scale_downs: usize,
+    /// Prefill scale-up orders placed.
+    pub prefill_scale_ups: usize,
+    /// Prefill scale-downs applied.
+    pub prefill_scale_downs: usize,
+    /// Peak live decode replicas.
+    pub decode_peak: usize,
+    /// Live decode replicas at the end of the run.
+    pub decode_final: usize,
+    /// Peak live prefill replicas.
+    pub prefill_peak: usize,
+    /// Live prefill replicas at the end of the run.
+    pub prefill_final: usize,
+    /// Replicas ejected by the crash-loop breaker.
+    pub breaker_ejections: usize,
+}
+
+/// Live autoscaler state (engine-internal).
+#[derive(Debug, Clone)]
+pub(crate) struct AutoscaleState {
+    /// Live decode replicas (provisioned and past their lag).
+    pub(crate) decode_live: usize,
+    /// Live prefill replicas.
+    pub(crate) prefill_live: usize,
+    /// In-flight provisions: (ready_ms, is_decode), kept sorted.
+    pending: Vec<(f64, bool)>,
+    next_eval_ms: f64,
+    decode_hold_until: f64,
+    prefill_hold_until: f64,
+    /// Recent crash times per replica, pruned to the breaker window.
+    crash_times: BTreeMap<usize, Vec<f64>>,
+    /// Breaker ejections: replica -> ejected-until time.
+    eject_until: BTreeMap<usize, f64>,
+    /// Smoothed ready-queue depth (decode scale-up signal).
+    queue_ewma: f64,
+    /// Smoothed queued + actively-decoding work (decode scale-down
+    /// signal).
+    work_ewma: f64,
+    /// Smoothed prefill backlog, ms.
+    backlog_ewma: f64,
+    /// False until the first evaluation primes the EWMAs.
+    primed: bool,
+    pub(crate) stats: AutoscaleStats,
+}
+
+/// EWMA weight on the newest sample: heavy enough to track a spike
+/// within a few evaluation periods, light enough that one drained
+/// queue sample cannot trigger a scale-down.
+const SIGNAL_ALPHA: f64 = 0.3;
+
+impl AutoscaleState {
+    pub(crate) fn new(cfg: &AutoscaleConfig) -> Self {
+        assert!(cfg.decode_base >= 1 && cfg.prefill_base >= 1, "pools need a base replica");
+        assert!(
+            (cfg.decode_min..=cfg.decode_max).contains(&cfg.decode_base),
+            "decode_base outside [min, max]"
+        );
+        assert!(
+            (cfg.prefill_min..=cfg.prefill_max).contains(&cfg.prefill_base),
+            "prefill_base outside [min, max]"
+        );
+        let stats = AutoscaleStats {
+            decode_peak: cfg.decode_base,
+            prefill_peak: cfg.prefill_base,
+            ..AutoscaleStats::default()
+        };
+        Self {
+            decode_live: cfg.decode_base,
+            prefill_live: cfg.prefill_base,
+            pending: Vec::new(),
+            next_eval_ms: cfg.evaluate_every_ms,
+            decode_hold_until: 0.0,
+            prefill_hold_until: 0.0,
+            crash_times: BTreeMap::new(),
+            eject_until: BTreeMap::new(),
+            queue_ewma: 0.0,
+            work_ewma: 0.0,
+            backlog_ewma: 0.0,
+            primed: false,
+            stats,
+        }
+    }
+
+    /// Bring provisions whose lag has elapsed into the live pools.
+    pub(crate) fn apply_due(&mut self, cfg: &AutoscaleConfig, now_ms: f64) {
+        while self.pending.first().is_some_and(|&(t, _)| t <= now_ms) {
+            let (_, is_decode) = self.pending.remove(0);
+            if is_decode {
+                self.decode_live = (self.decode_live + 1).min(cfg.decode_max);
+                self.stats.decode_peak = self.stats.decode_peak.max(self.decode_live);
+            } else {
+                self.prefill_live = (self.prefill_live + 1).min(cfg.prefill_max);
+                self.stats.prefill_peak = self.stats.prefill_peak.max(self.prefill_live);
+            }
+        }
+    }
+
+    /// Record a crash; returns true if the breaker ejected the replica.
+    pub(crate) fn on_crash(&mut self, cfg: &AutoscaleConfig, replica: usize, now_ms: f64) -> bool {
+        let Some(breaker) = &cfg.breaker else { return false };
+        let times = self.crash_times.entry(replica).or_default();
+        times.push(now_ms);
+        times.retain(|&t| now_ms - t <= breaker.window_ms);
+        if times.len() as u32 >= breaker.crash_threshold
+            && self.eject_until.get(&replica).is_none_or(|&until| until <= now_ms)
+        {
+            self.eject_until.insert(replica, now_ms + breaker.cooloff_ms);
+            self.stats.breaker_ejections += 1;
+            return true;
+        }
+        false
+    }
+
+    /// True if the breaker currently holds this replica out of service.
+    pub(crate) fn is_ejected(&self, replica: usize, now_ms: f64) -> bool {
+        self.eject_until.get(&replica).is_some_and(|&until| until > now_ms)
+    }
+
+    /// Feed the period signals; scale pools with lag/cooldowns.
+    /// `decode_queue` is the ready-queue depth, `decode_active` the
+    /// jobs currently holding a batch slot — the scale-down signal
+    /// needs both, because a drained queue at full occupancy means the
+    /// pool is exactly sized, not oversized.
+    pub(crate) fn evaluate(
+        &mut self,
+        cfg: &AutoscaleConfig,
+        now_ms: f64,
+        decode_queue: usize,
+        decode_active: usize,
+        prefill_backlog_ms: f64,
+    ) {
+        if now_ms < self.next_eval_ms {
+            return;
+        }
+        self.next_eval_ms = now_ms + cfg.evaluate_every_ms;
+
+        let queue = decode_queue as f64;
+        let work = (decode_queue + decode_active) as f64;
+        if self.primed {
+            self.queue_ewma += SIGNAL_ALPHA * (queue - self.queue_ewma);
+            self.work_ewma += SIGNAL_ALPHA * (work - self.work_ewma);
+            self.backlog_ewma += SIGNAL_ALPHA * (prefill_backlog_ms - self.backlog_ewma);
+        } else {
+            self.queue_ewma = queue;
+            self.work_ewma = work;
+            self.backlog_ewma = prefill_backlog_ms;
+            self.primed = true;
+        }
+
+        let pending_decode = self.pending.iter().filter(|&&(_, d)| d).count();
+        let per_replica = self.queue_ewma / self.decode_live.max(1) as f64;
+        let work_per_replica = self.work_ewma / self.decode_live.max(1) as f64;
+        if now_ms >= self.decode_hold_until {
+            if per_replica > cfg.up_queue_per_replica
+                && self.decode_live + pending_decode < cfg.decode_max
+            {
+                let pos =
+                    self.pending.partition_point(|&(t, _)| t <= now_ms + cfg.provision_lag_ms);
+                self.pending.insert(pos, (now_ms + cfg.provision_lag_ms, true));
+                self.stats.decode_scale_ups += 1;
+                self.decode_hold_until = now_ms + cfg.cooldown_ms;
+            } else if work_per_replica < cfg.down_queue_per_replica
+                && pending_decode == 0
+                && self.decode_live > cfg.decode_min
+            {
+                self.decode_live -= 1;
+                self.stats.decode_scale_downs += 1;
+                self.decode_hold_until = now_ms + cfg.cooldown_ms;
+            }
+        }
+
+        let pending_prefill = self.pending.len() - pending_decode;
+        if now_ms >= self.prefill_hold_until {
+            if self.backlog_ewma > cfg.prefill_up_backlog_ms
+                && self.prefill_live + pending_prefill < cfg.prefill_max
+            {
+                let pos =
+                    self.pending.partition_point(|&(t, _)| t <= now_ms + cfg.provision_lag_ms);
+                self.pending.insert(pos, (now_ms + cfg.provision_lag_ms, false));
+                self.stats.prefill_scale_ups += 1;
+                self.prefill_hold_until = now_ms + cfg.cooldown_ms;
+            } else if self.backlog_ewma < cfg.prefill_down_backlog_ms
+                && pending_prefill == 0
+                && self.prefill_live > cfg.prefill_min
+            {
+                self.prefill_live -= 1;
+                self.stats.prefill_scale_downs += 1;
+                self.prefill_hold_until = now_ms + cfg.cooldown_ms;
+            }
+        }
+    }
+
+    /// Next time something scheduled here happens (provision landing or
+    /// the next evaluation) — feeds the engine's idle next-event jump.
+    pub(crate) fn next_wake_ms(&self) -> f64 {
+        let pending = self.pending.first().map_or(f64::INFINITY, |&(t, _)| t);
+        pending.min(self.next_eval_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutoscaleConfig {
+        AutoscaleConfig::reactive(4, 2)
+    }
+
+    #[test]
+    fn reactive_config_is_internally_consistent() {
+        let c = cfg();
+        assert!(c.decode_min <= c.decode_base && c.decode_base <= c.decode_max);
+        assert!(c.prefill_min <= c.prefill_base && c.prefill_base <= c.prefill_max);
+        assert!(c.down_queue_per_replica < c.up_queue_per_replica);
+        assert!(c.prefill_down_backlog_ms < c.prefill_up_backlog_ms);
+    }
+
+    #[test]
+    fn scale_up_pays_provisioning_lag() {
+        let c = cfg();
+        let mut s = AutoscaleState::new(&c);
+        assert_eq!(s.decode_live, 4);
+        // Deep queue at t=1000 → order one replica; it is NOT live yet.
+        s.evaluate(&c, 1_000.0, 100, 0, 0.0);
+        assert_eq!(s.stats.decode_scale_ups, 1);
+        s.apply_due(&c, 1_000.0);
+        assert_eq!(s.decode_live, 4, "provisioning lag must delay the capacity");
+        // Cooldown blocks another order even at the next eval.
+        s.evaluate(&c, 2_000.0, 100, 0, 0.0);
+        assert_eq!(s.stats.decode_scale_ups, 1);
+        // After the lag the replica lands.
+        s.apply_due(&c, 1_000.0 + c.provision_lag_ms);
+        assert_eq!(s.decode_live, 5);
+        assert_eq!(s.stats.decode_peak, 5);
+        assert!(s.next_wake_ms().is_finite());
+    }
+
+    #[test]
+    fn scale_down_is_immediate_and_respects_floor() {
+        let c = cfg();
+        let mut s = AutoscaleState::new(&c);
+        let mut t = c.evaluate_every_ms;
+        for _ in 0..50 {
+            s.evaluate(&c, t, 0, 0, 0.0);
+            s.apply_due(&c, t);
+            t += c.cooldown_ms.max(c.evaluate_every_ms);
+        }
+        assert_eq!(s.decode_live, c.decode_min, "drains to the floor, not below");
+        assert_eq!(s.prefill_live, c.prefill_min);
+        assert!(s.stats.decode_scale_downs >= 1);
+        assert!(s.stats.prefill_scale_downs >= 1);
+    }
+
+    #[test]
+    fn full_batch_with_empty_queue_never_scales_down() {
+        let c = cfg();
+        let mut s = AutoscaleState::new(&c);
+        let mut t = c.evaluate_every_ms;
+        // Queue drained every step but 64 jobs actively decoding:
+        // the pool is exactly sized, not idle.
+        for _ in 0..50 {
+            s.evaluate(&c, t, 0, 64, 1_000.0);
+            s.apply_due(&c, t);
+            t += c.cooldown_ms.max(c.evaluate_every_ms);
+        }
+        assert_eq!(s.decode_live, 4, "occupied slots must block decode scale-down");
+        assert_eq!(s.stats.decode_scale_downs, 0);
+    }
+
+    #[test]
+    fn prefill_scales_on_backlog_independently_of_decode() {
+        let c = cfg();
+        let mut s = AutoscaleState::new(&c);
+        // Decode queue in the dead band (per-replica 4, between 1 and 8)
+        // so only the prefill signal acts.
+        s.evaluate(&c, 1_000.0, 16, 0, 10_000.0);
+        assert_eq!(s.stats.prefill_scale_ups, 1);
+        assert_eq!(s.stats.decode_scale_ups, 0);
+        assert_eq!(s.stats.decode_scale_downs, 0);
+        s.apply_due(&c, 1_000.0 + c.provision_lag_ms);
+        assert_eq!(s.prefill_live, 3);
+        assert_eq!(s.decode_live, 4);
+    }
+
+    #[test]
+    fn breaker_ejects_crash_loops_and_releases_after_cooloff() {
+        let c = cfg();
+        let mut s = AutoscaleState::new(&c);
+        assert!(!s.on_crash(&c, 1, 0.0));
+        assert!(!s.on_crash(&c, 1, 10_000.0));
+        assert!(s.on_crash(&c, 1, 20_000.0), "third crash in the window trips");
+        assert!(s.is_ejected(1, 20_001.0));
+        assert!(!s.is_ejected(0, 20_001.0), "only the looping replica is ejected");
+        let release = 20_000.0 + BreakerConfig::default().cooloff_ms;
+        assert!(!s.is_ejected(1, release + 1.0));
+        assert_eq!(s.stats.breaker_ejections, 1);
+        // Crashes spread wider than the window never trip.
+        let mut calm = AutoscaleState::new(&c);
+        assert!(!calm.on_crash(&c, 2, 0.0));
+        assert!(!calm.on_crash(&c, 2, 70_000.0));
+        assert!(!calm.on_crash(&c, 2, 140_000.0));
+        assert_eq!(calm.stats.breaker_ejections, 0);
+    }
+
+    #[test]
+    fn no_breaker_config_never_ejects() {
+        let mut c = cfg();
+        c.breaker = None;
+        let mut s = AutoscaleState::new(&c);
+        for i in 0..20 {
+            assert!(!s.on_crash(&c, 0, i as f64 * 100.0));
+        }
+        assert!(!s.is_ejected(0, 2_000.0));
+    }
+}

@@ -22,6 +22,14 @@
 //! fault path is strictly additive: with an empty plan every fault branch
 //! is dead and [`run`] produces its report byte-for-byte.
 //!
+//! Overload robustness arrives through [`run_overload`]: admission
+//! control (queue bound, token bucket, deadline predictor), a
+//! graceful-degradation ladder, closed-loop clients with timeouts and
+//! jittered-backoff retries, and reactive pool autoscaling — see
+//! [`crate::overload`] and [`crate::autoscale`]. The overload path is
+//! additive the same way: with [`OverloadConfig::disabled`] every branch
+//! is dead and the report is byte-identical to [`run_with_faults`]'s.
+//!
 //! Everything is driven by seeded RNG and ordered containers, so equal
 //! configs produce byte-identical reports.
 
@@ -39,7 +47,11 @@ use dsv3_inference::SpeedLimitConfig;
 use dsv3_model::zoo;
 use dsv3_telemetry::Recorder;
 
+use crate::autoscale::{AutoscaleState, AutoscaleStats};
 use crate::metrics::Summary;
+use crate::overload::{
+    GoodputWindow, LadderState, OverloadConfig, OverloadServingReport, OverloadStats, TokenBucket,
+};
 use crate::router::RouterPolicy;
 use crate::workload::{self, ArrivalProcess, LengthDistribution, Request, WorkloadConfig};
 
@@ -252,6 +264,10 @@ struct Job {
     req: Request,
     /// 0 = original, 1 = hedge clone.
     clone_tag: u8,
+    /// Client attempt number (0 = first submission). Bumped when a
+    /// closed-loop client abandons and resubmits; stale attempts still
+    /// in the system are zombies the engine cancels on sight.
+    attempt: u32,
     /// KV tokens this job needs on (re-)admission.
     resident_tokens: usize,
     /// Output tokens decoded so far (survives preemption).
@@ -273,6 +289,7 @@ impl Job {
         Self {
             req,
             clone_tag: 0,
+            attempt: 0,
             resident_tokens: resident,
             generated: 0,
             first_token_ms: None,
@@ -282,9 +299,12 @@ impl Job {
         }
     }
 
-    /// KV-cache key: clones of one request need distinct cache entries.
+    /// KV-cache key: clones and retry attempts of one request need
+    /// distinct cache entries. Attempt 0 reduces to the historical
+    /// `id·2 + clone_tag`, so baseline runs keep their exact BTreeMap
+    /// ordering (request ids are far below 2^31 in practice).
     fn cache_id(&self) -> u64 {
-        self.req.id * 2 + u64::from(self.clone_tag)
+        (u64::from(self.attempt) << 32) | (self.req.id * 2 + u64::from(self.clone_tag))
     }
 
     /// Bookkeeping index of this job's request.
@@ -498,7 +518,6 @@ pub fn run_with_faults(
 ///
 /// Same contract as [`run_with_faults`].
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_with_faults_traced(
     cfg: &ServingSimConfig,
     plan: &FaultPlan,
@@ -506,6 +525,66 @@ pub fn run_with_faults_traced(
     rec: &mut Recorder,
     scope: &str,
 ) -> FaultyServingReport {
+    let r = simulate(cfg, plan, policy, None, rec, scope);
+    FaultyServingReport { serving: r.serving, faults: r.faults }
+}
+
+/// Run the simulation with the overload-robustness layer active:
+/// admission control, the degradation ladder, closed-loop retrying
+/// clients, and reactive autoscaling, per `ov` (see [`crate::overload`]).
+///
+/// With [`OverloadConfig::disabled`] the serving and fault reports are
+/// byte-identical to [`run_with_faults`]'s — every overload branch is
+/// guarded, the overload layer draws from its own seeded RNG stream, and
+/// the disabled path performs no extra float arithmetic on shared state.
+///
+/// # Panics
+///
+/// Same contract as [`run_with_faults`], plus: an autoscale config whose
+/// `decode_base` disagrees with `plan.replicas` (the crash timeline
+/// would address a pool that does not exist).
+#[must_use]
+pub fn run_overload(
+    cfg: &ServingSimConfig,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    ov: &OverloadConfig,
+) -> OverloadServingReport {
+    simulate(cfg, plan, policy, Some(ov), &mut Recorder::disabled(), "")
+}
+
+/// [`run_overload`] plus telemetry: everything [`run_with_faults_traced`]
+/// records, plus an instant for every shed/timeout/retry/give-up on the
+/// request track, every rung transition and scale decision on the engine
+/// track, and per-step gauges for the active rung and live pool sizes.
+///
+/// # Panics
+///
+/// Same contract as [`run_overload`].
+#[must_use]
+pub fn run_overload_traced(
+    cfg: &ServingSimConfig,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    ov: &OverloadConfig,
+    rec: &mut Recorder,
+    scope: &str,
+) -> OverloadServingReport {
+    simulate(cfg, plan, policy, Some(ov), rec, scope)
+}
+
+/// The one simulation loop behind every public entry point. `ov = None`
+/// (or a disabled config) reproduces the pre-overload engine
+/// byte-for-byte.
+#[allow(clippy::too_many_lines)]
+fn simulate(
+    cfg: &ServingSimConfig,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    ov: Option<&OverloadConfig>,
+    rec: &mut Recorder,
+    scope: &str,
+) -> OverloadServingReport {
     assert!(cfg.engine.max_batch > 0, "batch cap must be positive");
     assert!(cfg.engine.prefill_tokens_per_ms > 0.0, "prefill rate must be positive");
 
@@ -520,6 +599,58 @@ pub fn run_with_faults_traced(
 
     let mut driver = FaultDriver::new(plan);
     let mut fstate = FaultState::new(plan);
+
+    // Overload layer: every feature is individually optional, and each
+    // `None` below kills its branches dead so the legacy path stays
+    // byte-identical.
+    let adm = ov.and_then(|o| o.admission.as_ref());
+    let ladder_cfg = ov.and_then(|o| o.ladder.as_ref());
+    let clients = ov.and_then(|o| o.clients.as_ref());
+    let as_cfg = ov.and_then(|o| o.autoscale.as_ref());
+    let priority_classes = ov.map_or(1, |o| o.priority_classes.max(1));
+    let window_ms = ov.map_or(0.0, |o| o.timeline_window_ms);
+    if let Some(ac) = as_cfg {
+        assert_eq!(
+            ac.decode_base, plan.replicas,
+            "autoscale decode_base must match the fault plan's replica count"
+        );
+    }
+    let mut ostats = OverloadStats::default();
+    let mut ladder = LadderState::new();
+    let mut bucket = adm.and_then(|a| a.rate_limit.as_ref()).map(TokenBucket::new);
+    let mut ascale = as_cfg.map(AutoscaleState::new);
+    // Jitter draws come from their own stream so client backoff never
+    // perturbs the MTP RNG.
+    let mut jitter_rng = StdRng::seed_from_u64(cfg.workload.seed ^ 0x6f76_6a74);
+    let base_prefill_rate = cfg.router.prefill_rate(cfg.engine.prefill_tokens_per_ms);
+
+    // Closed-loop client state, indexed by request id. `req_info` keeps
+    // each request as generated so a timed-out attempt can be resubmitted
+    // verbatim (original arrival stamp included — latency samples charge
+    // the client's full wait, retries and all).
+    let mut req_info: Vec<Option<Request>> = vec![None; total_requests];
+    let mut attempt_cur = vec![0u32; total_requests];
+    let mut retries_used = vec![0u32; total_requests];
+    let mut prev_backoff = vec![0.0f64; total_requests];
+    let mut crash_prev_backoff = vec![0.0f64; total_requests];
+    let mut served_first_token = vec![false; total_requests];
+    // (deadline, seq, rid, attempt), kept sorted by deadline: client
+    // retries and fresh arrivals interleave within an iteration, so the
+    // push order alone is not quite chronological.
+    let mut timeouts: Vec<(f64, u64, usize, u32)> = Vec::new();
+    let mut timeout_seq = 0u64;
+    // Client retries waiting out their backoff, sorted like `delayed`.
+    let mut client_delayed: Vec<(f64, u64, Request)> = Vec::new();
+    let mut client_seq = 0u64;
+
+    // Goodput timeline: (offered, completed, good) per window.
+    let mut windows: Vec<(usize, usize, usize)> = Vec::new();
+    // Smoothed decode-step duration: feeds the deadline predictor and
+    // the ladder's pressure signal.
+    let mut ewma_step_ms = 0.0f64;
+    // The admission cap the previous iteration ran with (the pressure
+    // estimate uses it before this iteration's value exists).
+    let mut last_cap = cfg.engine.max_batch;
 
     // Telemetry tracks and metric names. `on` guards every emission so a
     // disabled recorder costs one branch per site and these few one-time
@@ -540,6 +671,13 @@ pub fn run_with_faults_traced(
     let m_ttft = format!("{scope}.ttft_ms");
     let m_tpot = format!("{scope}.tpot_ms");
     let m_e2e = format!("{scope}.e2e_ms");
+    // Overload-only telemetry handles, created only when a feature is on
+    // so the disabled path emits exactly the legacy trace.
+    let ov_any = ov.is_some_and(|o| !o.is_disabled());
+    let tid_engine = if on && ov_any { rec.thread(pid_engine, "engine") } else { 0 };
+    let m_rung = format!("{scope}.rung");
+    let m_decode_live = format!("{scope}.decode_replicas");
+    let m_prefill_live = format!("{scope}.prefill_replicas");
 
     let mut prefill = match cfg.router {
         RouterPolicy::Unified => Prefill::Unified {
@@ -575,6 +713,7 @@ pub fn run_with_faults_traced(
     let mut dropped = 0usize;
     let mut preemptions = 0usize;
     let mut steps = 0usize;
+    let mut idle_jumps = 0usize;
     let mut good = 0usize;
     let mut tokens_emitted = 0u64;
     let mut ttft_samples = Vec::new();
@@ -583,18 +722,186 @@ pub fn run_with_faults_traced(
     let mut qdepth_samples = Vec::new();
     let mut kvutil_samples = Vec::new();
 
-    while completed + dropped + fstate.stats.rejected < total_requests
+    // Schedule a client retry for a shed/timed-out attempt, or settle the
+    // request as rejected once the retry budget is spent. A macro (not a
+    // closure) because it mutably borrows half the loop state.
+    macro_rules! client_retry_or_reject {
+        ($cl:expr, $rid:expr, $req:expr, $now:expr) => {{
+            if retries_used[$rid] >= $cl.retry_budget {
+                if !done[$rid] {
+                    done[$rid] = true;
+                    ostats.rejected += 1;
+                    if on {
+                        let tid = rec.thread(pid_req, &format!("req{}", $rid));
+                        rec.instant(pid_req, tid, "request", "give-up", $now * 1000.0);
+                    }
+                }
+            } else {
+                retries_used[$rid] += 1;
+                let d = $cl.backoff.delay_ms_jittered(
+                    retries_used[$rid],
+                    prev_backoff[$rid],
+                    &mut jitter_rng,
+                );
+                prev_backoff[$rid] = d;
+                ostats.client_retries += 1;
+                let at = $now + d;
+                let pos = client_delayed
+                    .partition_point(|(t, s, _)| *t < at || (*t == at && *s < client_seq));
+                client_delayed.insert(pos, (at, client_seq, $req));
+                client_seq += 1;
+            }
+        }};
+    }
+
+    // Offer one submission attempt (fresh arrival or client retry) to the
+    // admission gate; on admit it enters prefill, on shed the client
+    // retries or the request is settled as rejected. With every overload
+    // feature off this reduces exactly to the legacy enqueue.
+    macro_rules! submit {
+        ($req:expr, $attempt:expr, $at:expr) => {{
+            let req: Request = $req;
+            let rid = req.id as usize;
+            let at: f64 = $at;
+            if ov_any {
+                ostats.offered_attempts += 1;
+            }
+            let mut shed: Option<&'static str> = None;
+            if let Some(rung) = ladder_cfg.and_then(|lc| ladder.active(lc)) {
+                let prio = (req.id % u64::from(priority_classes)) as u8;
+                if prio < rung.shed_below_priority {
+                    ostats.shed_priority += 1;
+                    shed = Some("shed-priority");
+                } else if rung.context_cap_tokens > 0 && req.prompt_tokens > rung.context_cap_tokens
+                {
+                    ostats.shed_context += 1;
+                    shed = Some("shed-context");
+                }
+            }
+            if shed.is_none() {
+                if let Some(a) = adm {
+                    let queued = ready.len()
+                        + match &prefill {
+                            Prefill::Unified { backlog, .. } => backlog.len(),
+                            Prefill::Disaggregated { .. } => 0,
+                        };
+                    let live_decode = ascale.as_ref().map_or(fstate.replicas, |s| s.decode_live);
+                    if a.queue_cap > 0 && queued >= a.queue_cap {
+                        ostats.shed_queue_full += 1;
+                        shed = Some("shed-queue-full");
+                    } else if let (Some(rl), Some(b)) = (a.rate_limit.as_ref(), bucket.as_mut()) {
+                        if !b.try_take(rl, live_decode, at) {
+                            ostats.shed_rate_limited += 1;
+                            shed = Some("shed-rate-limit");
+                        }
+                    }
+                    if shed.is_none() && a.deadline_headroom > 0.0 {
+                        // Predicted TTFT = prefill completion estimate plus
+                        // the decode queue ahead, each slot costing one
+                        // smoothed step per mean output token share.
+                        let prompt = req.prompt_tokens as f64;
+                        let prefill_est = match &prefill {
+                            Prefill::Disaggregated { station_free_ms, rate } => {
+                                station_free_ms.max(at) + prompt / *rate - at
+                            }
+                            Prefill::Unified { backlog, rate } => {
+                                (backlog.iter().map(|(_, t)| *t).sum::<f64>() + prompt) / *rate
+                            }
+                        };
+                        let per_slot = if ewma_step_ms > 0.0 {
+                            ewma_step_ms * cfg.workload.output.mean_tokens / last_cap.max(1) as f64
+                        } else {
+                            0.0
+                        };
+                        let predicted = prefill_est + ready.len() as f64 * per_slot;
+                        if predicted > a.deadline_headroom * cfg.slo.ttft_ms {
+                            ostats.shed_deadline += 1;
+                            shed = Some("shed-deadline");
+                        }
+                    }
+                }
+            }
+            match shed {
+                None => {
+                    if ov_any {
+                        ostats.admitted_attempts += 1;
+                    }
+                    live[rid] += 1;
+                    if let Some(cl) = clients {
+                        let deadline = at + cl.timeout_ms;
+                        let pos = timeouts.partition_point(|(t, s, _, _)| {
+                            *t < deadline || (*t == deadline && *s < timeout_seq)
+                        });
+                        timeouts.insert(pos, (deadline, timeout_seq, rid, $attempt));
+                        timeout_seq += 1;
+                        served_first_token[rid] = false;
+                    }
+                    let mut job = Job::new(req);
+                    job.attempt = $attempt;
+                    let tokens = job.req.prompt_tokens as f64;
+                    enqueue_prefill(&mut prefill, &mut ready, job, at, tokens);
+                }
+                Some(label) => {
+                    if on {
+                        let tid = rec.thread(pid_req, &format!("req{rid}"));
+                        rec.instant(pid_req, tid, "request", label, clock_ms * 1000.0);
+                    }
+                    if let Some(cl) = clients {
+                        client_retry_or_reject!(cl, rid, req, clock_ms);
+                    } else if !done[rid] {
+                        done[rid] = true;
+                        ostats.rejected += 1;
+                    }
+                }
+            }
+        }};
+    }
+
+    while completed + dropped + fstate.stats.rejected + ostats.rejected < total_requests
         && steps < cfg.engine.max_steps
     {
+        // Closed-loop clients: fire timeouts that have come due. The
+        // abandoned attempt becomes a zombie (cancelled wherever the
+        // engine next touches it); the client retries after jittered
+        // backoff or gives up for good.
+        if let Some(cl) = clients {
+            while timeouts.first().is_some_and(|&(d, _, _, _)| d <= clock_ms) {
+                let (_, _, rid, att) = timeouts.remove(0);
+                if done[rid] || att != attempt_cur[rid] || served_first_token[rid] {
+                    continue; // settled, superseded, or already streaming
+                }
+                ostats.client_timeouts += 1;
+                attempt_cur[rid] += 1; // invalidate the in-flight attempt
+                if on {
+                    let tid = rec.thread(pid_req, &format!("req{rid}"));
+                    rec.instant(pid_req, tid, "request", "client-timeout", clock_ms * 1000.0);
+                }
+                let Some(req) = req_info[rid].clone() else { continue };
+                client_retry_or_reject!(cl, rid, req, clock_ms);
+            }
+        }
+
         // Deliver fault events due by now, then apply crash consequences:
         // every job on a crashed replica (position i runs on replica
         // i mod R) loses its KV and is requeued, rejected, or hedged.
         driver.poll_traced(clock_ms, &mut fstate, rec, pid_faults, scope);
         for replica in std::mem::take(&mut fstate.pending_crashes) {
+            if let (Some(ac), Some(ast)) = (as_cfg, ascale.as_mut()) {
+                if ast.on_crash(ac, replica, clock_ms) && on {
+                    rec.instant(
+                        pid_engine,
+                        tid_engine,
+                        "autoscale",
+                        "breaker-eject",
+                        clock_ms * 1000.0,
+                    );
+                }
+            }
+            let rmap = ascale.as_ref().map_or(fstate.replicas, |s| s.decode_live.max(1));
             let mut i = active.len();
             while i > 0 {
                 i -= 1;
-                if i % fstate.replicas != replica {
+                if i % rmap != replica {
                     continue;
                 }
                 let mut victim = active.remove(i);
@@ -602,6 +909,17 @@ pub fn run_with_faults_traced(
                 let held = kv.release(victim.cache_id()).expect("active jobs hold cache");
                 victim.resident_tokens = held;
                 let id = victim.rid();
+                if clients.is_some() && victim.attempt != attempt_cur[id] {
+                    // The client already timed this attempt out: the crash
+                    // just beat the engine to collecting the zombie.
+                    live[id] -= 1;
+                    ostats.zombies_cancelled += 1;
+                    if on {
+                        let tid = rec.thread(pid_req, &req_label(&victim));
+                        rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
+                    }
+                    continue;
+                }
                 let req = victim.req.clone();
                 fstate.stats.jobs_lost_to_crashes += 1;
                 crash_count[id] += 1;
@@ -632,7 +950,15 @@ pub fn run_with_faults_traced(
                     }
                 } else {
                     fstate.stats.retries += 1;
-                    let at = clock_ms + policy.backoff.delay_ms(crash_count[id]);
+                    // With a jitter-free policy (the default) this is
+                    // exactly `delay_ms` and never touches the RNG.
+                    let d = policy.backoff.delay_ms_jittered(
+                        crash_count[id],
+                        crash_prev_backoff[id],
+                        &mut jitter_rng,
+                    );
+                    crash_prev_backoff[id] = d;
+                    let at = clock_ms + d;
                     victim.ready_ms = f64::INFINITY;
                     let pos = delayed
                         .partition_point(|(t, s, _)| *t < at || (*t == at && *s < delayed_seq));
@@ -645,6 +971,7 @@ pub fn run_with_faults_traced(
                     fstate.stats.hedges_spawned += 1;
                     let mut clone = Job::new(req);
                     clone.clone_tag = 1;
+                    clone.attempt = attempt_cur[id];
                     if on {
                         let tid = rec.thread(pid_req, &req_label(&clone));
                         rec.instant(pid_req, tid, "request", "hedge-spawn", clock_ms * 1000.0);
@@ -663,6 +990,15 @@ pub fn run_with_faults_traced(
                 live[job.rid()] -= 1; // sibling already settled it
                 continue;
             }
+            if clients.is_some() && job.attempt != attempt_cur[job.rid()] {
+                live[job.rid()] -= 1; // client timed it out while it waited
+                ostats.zombies_cancelled += 1;
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&job));
+                    rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
+                }
+                continue;
+            }
             if on {
                 let tid = rec.thread(pid_req, &req_label(&job));
                 rec.instant(pid_req, tid, "request", "retry-release", clock_ms * 1000.0);
@@ -671,18 +1007,129 @@ pub fn run_with_faults_traced(
             enqueue_prefill(&mut prefill, &mut ready, job, clock_ms, tokens);
         }
 
-        // Hand arrived requests to the prefill stage.
+        // Release client retries whose backoff has elapsed: they re-enter
+        // through admission like any fresh arrival.
+        while client_delayed.first().is_some_and(|&(t, _, _)| t <= clock_ms) {
+            let (t, _, req) = client_delayed.remove(0);
+            let rid = req.id as usize;
+            if done[rid] {
+                continue; // settled while the client waited
+            }
+            if on {
+                let tid = rec.thread(pid_req, &format!("req{rid}"));
+                rec.instant(pid_req, tid, "request", "client-resubmit", clock_ms * 1000.0);
+            }
+            submit!(req, attempt_cur[rid], t);
+        }
+
+        // Hand arrived requests to the admission gate (the legacy direct
+        // enqueue when every overload feature is off).
         while let Some(req) = arrivals.next_if(|r| r.arrival_ms <= clock_ms) {
-            live[req.id as usize] = 1;
+            let rid = req.id as usize;
             let at = req.arrival_ms;
-            let tokens = req.prompt_tokens as f64;
-            enqueue_prefill(&mut prefill, &mut ready, Job::new(req), at, tokens);
+            if window_ms > 0.0 {
+                let w = (at / window_ms) as usize;
+                if windows.len() <= w {
+                    windows.resize(w + 1, (0, 0, 0));
+                }
+                windows[w].0 += 1;
+            }
+            if clients.is_some() {
+                req_info[rid] = Some(req.clone());
+            }
+            submit!(req, 0, at);
+        }
+
+        // Reactive autoscaling: land provisions that have come due, read
+        // this period's signals, maybe scale. The prefill station's rate
+        // tracks the live prefill pool.
+        if let (Some(ac), Some(ast)) = (as_cfg, ascale.as_mut()) {
+            ast.apply_due(ac, clock_ms);
+            let backlog_ms = match &prefill {
+                Prefill::Disaggregated { station_free_ms, .. } => {
+                    (station_free_ms - clock_ms).max(0.0)
+                }
+                Prefill::Unified { backlog, rate } => backlog.iter().map(|(_, t)| t / *rate).sum(),
+            };
+            let before = ast.stats;
+            ast.evaluate(ac, clock_ms, ready.len(), active.len(), backlog_ms);
+            if on {
+                let after = ast.stats;
+                let ts = clock_ms * 1000.0;
+                if after.decode_scale_ups > before.decode_scale_ups {
+                    rec.instant(pid_engine, tid_engine, "autoscale", "scale-up decode", ts);
+                }
+                if after.decode_scale_downs > before.decode_scale_downs {
+                    rec.instant(pid_engine, tid_engine, "autoscale", "scale-down decode", ts);
+                }
+                if after.prefill_scale_ups > before.prefill_scale_ups {
+                    rec.instant(pid_engine, tid_engine, "autoscale", "scale-up prefill", ts);
+                }
+                if after.prefill_scale_downs > before.prefill_scale_downs {
+                    rec.instant(pid_engine, tid_engine, "autoscale", "scale-down prefill", ts);
+                }
+            }
+            let pf_mult = ast.prefill_live as f64 / ac.prefill_base as f64;
+            match &mut prefill {
+                Prefill::Disaggregated { rate, .. } | Prefill::Unified { rate, .. } => {
+                    *rate = base_prefill_rate * pf_mult;
+                }
+            }
+        }
+
+        // Degradation ladder: pressure is the predicted TTFT for a new
+        // arrival — prefill wait plus ready-queue drain — against the
+        // TTFT SLO; transitions carry hysteresis (dwell). The prefill
+        // term matters in disaggregated mode, where overload piles up
+        // station-side and the ready queue stays deceptively short.
+        if let Some(lc) = ladder_cfg {
+            let per_slot = if ewma_step_ms > 0.0 {
+                ewma_step_ms * cfg.workload.output.mean_tokens / last_cap.max(1) as f64
+            } else {
+                0.0
+            };
+            let prefill_wait_ms = match &prefill {
+                Prefill::Disaggregated { station_free_ms, .. } => {
+                    (station_free_ms - clock_ms).max(0.0)
+                }
+                Prefill::Unified { backlog, rate } => backlog.iter().map(|(_, t)| t / *rate).sum(),
+            };
+            let pressure = (prefill_wait_ms + ready.len() as f64 * per_slot) / cfg.slo.ttft_ms;
+            if let Some((from, to)) = ladder.update(lc, pressure, clock_ms) {
+                ostats.rung_transitions += 1;
+                ostats.max_rung = ostats.max_rung.max(to);
+                if on {
+                    let name = if to > from {
+                        format!("rung-degrade {from}->{to}")
+                    } else {
+                        format!("rung-recover {from}->{to}")
+                    };
+                    rec.instant(pid_engine, tid_engine, "ladder", &name, clock_ms * 1000.0);
+                }
+            }
         }
 
         // Admit ready jobs FIFO while the batch and the cache have room;
-        // crashed replicas shrink the batch cap proportionally.
-        let healthy = fstate.healthy_replicas();
-        let effective_max_batch = (cfg.engine.max_batch * healthy).div_ceil(fstate.replicas);
+        // crashed replicas shrink the batch cap proportionally, and an
+        // active rung may shrink it further.
+        let cap_batch = match ladder_cfg.and_then(|lc| ladder.active(lc)) {
+            Some(rung) => {
+                let capped = (cfg.engine.max_batch as f64 * rung.batch_cap_factor) as usize;
+                capped.max(1)
+            }
+            None => cfg.engine.max_batch,
+        };
+        let (healthy, pool_size) = match (as_cfg, ascale.as_ref()) {
+            (Some(ac), Some(ast)) => {
+                let down = (0..ast.decode_live)
+                    .filter(|r| fstate.replica_down.contains_key(r) || ast.is_ejected(*r, clock_ms))
+                    .count();
+                (ast.decode_live - down, ac.decode_base)
+            }
+            _ => (fstate.healthy_replicas(), fstate.replicas),
+        };
+        let effective_max_batch = (cap_batch * healthy).div_ceil(pool_size);
+        last_cap = effective_max_batch.max(1);
         while active.len() < effective_max_batch {
             let Some(front) = ready.front() else { break };
             if done[front.rid()] {
@@ -692,6 +1139,18 @@ pub fn run_with_faults_traced(
                 if on {
                     let tid = rec.thread(pid_req, &req_label(&job));
                     rec.instant(pid_req, tid, "request", "cancel", clock_ms * 1000.0);
+                }
+                continue;
+            }
+            if clients.is_some() && front.attempt != attempt_cur[front.rid()] {
+                // Client timed this attempt out while it queued: cancel on
+                // sight rather than let a zombie hold the FIFO head.
+                let Some(job) = ready.pop_front() else { break };
+                live[job.rid()] -= 1;
+                ostats.zombies_cancelled += 1;
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&job));
+                    rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
                 }
                 continue;
             }
@@ -762,6 +1221,21 @@ pub fn run_with_faults_traced(
             if let Some(&(t, _, _)) = delayed.first() {
                 next = next.min(t);
             }
+            if let Some(&(d, _, _, _)) = timeouts.first() {
+                next = next.min(d);
+            }
+            if let Some(&(t, _, _)) = client_delayed.first() {
+                next = next.min(t);
+            }
+            if let Some(ast) = &ascale {
+                next = next.min(ast.next_wake_ms());
+                // Autoscale wake-ups recur forever; cap idle spins so a
+                // permanently dead pool cannot loop the clock endlessly.
+                idle_jumps += 1;
+                if idle_jumps > 4 * cfg.engine.max_steps + 1_000_000 {
+                    break;
+                }
+            }
             if let Some(t) = driver.next_wake_ms() {
                 next = next.min(t);
             }
@@ -792,6 +1266,9 @@ pub fn run_with_faults_traced(
                     ready.push_back(job);
                 }
             }
+            if ladder.level > 0 {
+                ostats.degraded_ms += next - clock_ms;
+            }
             clock_ms = next;
             continue;
         }
@@ -801,6 +1278,12 @@ pub fn run_with_faults_traced(
         let step_batch = active.len();
         let mut speed = cfg.engine.speed;
         speed.tokens_per_device = step_batch;
+        if let (Some(ac), Some(ast)) = (as_cfg, ascale.as_ref()) {
+            // A scaled pool spreads the batch across more (or fewer)
+            // replicas than the speed model's baseline assumes.
+            speed.tokens_per_device =
+                (step_batch * ac.decode_base).div_ceil(ast.decode_live.max(1)).max(1);
+        }
         if !fstate.plane_down.is_empty() {
             // Flapped planes shrink scale-out bandwidth; the step runs at
             // the degraded speed limit (§5.1.1 retention).
@@ -810,8 +1293,11 @@ pub fn run_with_faults_traced(
             fstate.stats.min_bandwidth_retention =
                 fstate.stats.min_bandwidth_retention.min(retention);
         }
+        // The first ladder rung turns MTP off: no speculative draft chain,
+        // no per-step draft overhead.
+        let mtp_off = ladder_cfg.and_then(|lc| ladder.active(lc)).is_some_and(|r| r.disable_mtp);
         let mut dt = speed.evaluate().tpot_ms * decode_slowdown;
-        if let Some(mtp) = &cfg.engine.mtp {
+        if let Some(mtp) = cfg.engine.mtp.as_ref().filter(|_| !mtp_off) {
             dt *= 1.0 + mtp.step_overhead;
         }
         let straggle = fstate.slowdown();
@@ -848,6 +1334,10 @@ pub fn run_with_faults_traced(
                 ready.push_back(job);
             }
         }
+        ewma_step_ms = if ewma_step_ms > 0.0 { 0.9 * ewma_step_ms + 0.1 * dt } else { dt };
+        if ladder.level > 0 {
+            ostats.degraded_ms += dt;
+        }
         clock_ms += dt;
 
         // Drain tokens into each active request, oldest first.
@@ -874,7 +1364,30 @@ pub fn run_with_faults_traced(
                 }
                 continue;
             }
-            let want = match &cfg.engine.mtp {
+            if clients.is_some() && active[idx].attempt != attempt_cur[active[idx].rid()] {
+                // Client timed this attempt out mid-decode: cancel before
+                // it emits another token.
+                let job = active.remove(idx);
+                let _ = kv.release(job.cache_id());
+                live[job.rid()] -= 1;
+                ostats.zombies_cancelled += 1;
+                if on {
+                    let tid = rec.thread(pid_req, &req_label(&job));
+                    if job.admitted_ms.is_finite() {
+                        rec.span(
+                            pid_req,
+                            tid,
+                            "request",
+                            "decode",
+                            job.admitted_ms * 1000.0,
+                            clock_ms * 1000.0,
+                        );
+                    }
+                    rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
+                }
+                continue;
+            }
+            let want = match cfg.engine.mtp.as_ref().filter(|_| !mtp_off) {
                 None => 1,
                 Some(mtp) => {
                     // The verified token always lands; the draft chain
@@ -967,6 +1480,10 @@ pub fn run_with_faults_traced(
             if emitted > 0 {
                 tokens_emitted += emitted as u64;
                 active[idx].generated += emitted;
+                if clients.is_some() {
+                    // A streaming attempt is safe from its client timeout.
+                    served_first_token[active[idx].rid()] = true;
+                }
                 if active[idx].first_token_ms.is_none() {
                     active[idx].first_token_ms = Some(clock_ms);
                     if !ttft_recorded[active[idx].rid()] {
@@ -999,10 +1516,21 @@ pub fn run_with_faults_traced(
                     0.0
                 };
                 e2e_samples.push(e2e);
-                if ttft <= cfg.slo.ttft_ms && tpot <= cfg.slo.tpot_ms && !is_corrupt {
+                let is_good = ttft <= cfg.slo.ttft_ms && tpot <= cfg.slo.tpot_ms && !is_corrupt;
+                if is_good {
                     good += 1;
                 }
                 completed += 1;
+                if window_ms > 0.0 {
+                    let w = (clock_ms / window_ms) as usize;
+                    if windows.len() <= w {
+                        windows.resize(w + 1, (0, 0, 0));
+                    }
+                    windows[w].1 += 1;
+                    if is_good {
+                        windows[w].2 += 1;
+                    }
+                }
                 if on {
                     let tid = rec.thread(pid_req, &req_label(&job));
                     if job.admitted_ms.is_finite() {
@@ -1034,11 +1562,18 @@ pub fn run_with_faults_traced(
             rec.counter_sample(pid_engine, &m_batch, ts, step_batch as f64);
             rec.counter_sample(pid_engine, &m_queue, ts, ready.len() as f64);
             rec.counter_sample(pid_engine, &m_kv, ts, kv.utilization());
+            if ov_any {
+                rec.counter_sample(pid_engine, &m_rung, ts, ladder.level as f64);
+                if let Some(ast) = &ascale {
+                    rec.counter_sample(pid_engine, &m_decode_live, ts, ast.decode_live as f64);
+                    rec.counter_sample(pid_engine, &m_prefill_live, ts, ast.prefill_live as f64);
+                }
+            }
         }
     }
 
     let mut stats = fstate.stats;
-    stats.unfinished = total_requests - completed - dropped - stats.rejected;
+    stats.unfinished = total_requests - completed - dropped - stats.rejected - ostats.rejected;
     let sim_s = (clock_ms / 1000.0).max(f64::MIN_POSITIVE);
     let serving = ServingReport {
         requests: total_requests,
@@ -1070,12 +1605,57 @@ pub fn run_with_faults_traced(
         rec.gauge_set(&format!("{scope}.throughput_tokens_per_s"), serving.throughput_tokens_per_s);
         rec.gauge_set(&format!("{scope}.sim_duration_ms"), serving.sim_duration_ms);
     }
-    FaultyServingReport { serving, faults: stats }
+    let autoscale_stats = match ascale {
+        Some(mut ast) => {
+            ast.stats.decode_final = ast.decode_live;
+            ast.stats.prefill_final = ast.prefill_live;
+            ast.stats
+        }
+        None => AutoscaleStats::default(),
+    };
+    let timeline: Vec<GoodputWindow> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, &(off, comp, g))| GoodputWindow {
+            start_ms: i as f64 * window_ms,
+            offered: off,
+            completed: comp,
+            good: g,
+            goodput_rps: g as f64 / (window_ms / 1000.0),
+        })
+        .collect();
+    if on && ov_any {
+        let shed = ostats.shed_queue_full
+            + ostats.shed_rate_limited
+            + ostats.shed_deadline
+            + ostats.shed_priority
+            + ostats.shed_context;
+        rec.counter_add(&format!("{scope}.ov_offered_attempts"), ostats.offered_attempts as u64);
+        rec.counter_add(&format!("{scope}.ov_shed"), shed as u64);
+        rec.counter_add(&format!("{scope}.ov_client_timeouts"), ostats.client_timeouts as u64);
+        rec.counter_add(&format!("{scope}.ov_client_retries"), ostats.client_retries as u64);
+        rec.counter_add(&format!("{scope}.ov_zombies_cancelled"), ostats.zombies_cancelled as u64);
+        rec.counter_add(&format!("{scope}.ov_rejected"), ostats.rejected as u64);
+        rec.counter_add(&format!("{scope}.ov_rung_transitions"), ostats.rung_transitions as u64);
+        rec.counter_add(
+            &format!("{scope}.ov_breaker_ejections"),
+            autoscale_stats.breaker_ejections as u64,
+        );
+    }
+    OverloadServingReport {
+        serving,
+        faults: stats,
+        overload: ostats,
+        autoscale: autoscale_stats,
+        timeline,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::autoscale::AutoscaleConfig;
+    use crate::overload::{AdmissionConfig, ClientConfig, LadderConfig};
 
     fn poisson_cfg(rate: f64, requests: usize, router: RouterPolicy) -> ServingSimConfig {
         ServingSimConfig::h800_baseline(
@@ -1406,5 +1986,212 @@ mod tests {
             r.serving.completed + r.serving.dropped + r.faults.rejected + r.faults.unfinished,
             80
         );
+    }
+
+    // ----- overload layer -----
+
+    fn conservation(r: &crate::OverloadServingReport, requests: usize) {
+        assert_eq!(
+            r.serving.completed
+                + r.serving.dropped
+                + r.faults.rejected
+                + r.overload.rejected
+                + r.faults.unfinished,
+            requests,
+            "conservation: {:?} / {:?}",
+            r.faults,
+            r.overload
+        );
+    }
+
+    #[test]
+    fn disabled_overload_is_byte_identical_to_run_with_faults() {
+        let plan = FaultPlan {
+            replicas: 4,
+            planes: 8,
+            links: 0,
+            events: vec![crash(400.0, 1, 600.0), crash(900.0, 2, 500.0)],
+        };
+        let policy = RecoveryPolicy::default();
+        let ov = OverloadConfig::disabled();
+        assert!(ov.is_disabled());
+        for router in
+            [RouterPolicy::Unified, RouterPolicy::Disaggregated { prefill_fraction: 0.25 }]
+        {
+            let cfg = poisson_cfg(20.0, 250, router);
+            let base = run_with_faults(&cfg, &plan, &policy);
+            let o = run_overload(&cfg, &plan, &policy, &ov);
+            assert_eq!(o.serving, base.serving, "serving must match byte-for-byte");
+            assert_eq!(o.faults, base.faults, "fault stats must match byte-for-byte");
+            assert_eq!(o.overload, OverloadStats::default());
+            assert!(o.timeline.is_empty());
+        }
+    }
+
+    #[test]
+    fn admission_queue_cap_sheds_and_conserves_requests() {
+        let cfg = poisson_cfg(60.0, 300, RouterPolicy::Unified);
+        let ov = OverloadConfig {
+            admission: Some(AdmissionConfig {
+                queue_cap: 8,
+                deadline_headroom: 0.0,
+                rate_limit: None,
+            }),
+            ..OverloadConfig::disabled()
+        };
+        let r = run_overload(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default(), &ov);
+        assert!(r.overload.shed_queue_full > 0, "40x overload must overflow an 8-deep queue");
+        assert!(r.overload.rejected > 0, "no clients: a shed attempt is a terminal reject");
+        assert_eq!(
+            r.overload.offered_attempts,
+            r.overload.admitted_attempts
+                + r.overload.shed_queue_full
+                + r.overload.shed_rate_limited
+                + r.overload.shed_deadline
+                + r.overload.shed_priority
+                + r.overload.shed_context
+        );
+        conservation(&r, 300);
+    }
+
+    #[test]
+    fn closed_loop_clients_retry_after_shed_and_finish_the_offered_work() {
+        let cfg = poisson_cfg(12.0, 200, RouterPolicy::Unified);
+        let ov = OverloadConfig {
+            admission: Some(AdmissionConfig {
+                queue_cap: 16,
+                deadline_headroom: 0.0,
+                rate_limit: None,
+            }),
+            clients: Some(ClientConfig {
+                timeout_ms: 60_000.0,
+                retry_budget: 8,
+                ..ClientConfig::default()
+            }),
+            ..OverloadConfig::disabled()
+        };
+        let r = run_overload(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default(), &ov);
+        conservation(&r, 200);
+        assert_eq!(r.serving.completed, 200, "modest load with retries completes everything");
+        assert!(
+            r.overload.client_retries > 0 || r.overload.shed_queue_full == 0,
+            "any shed must have produced a retry: {:?}",
+            r.overload
+        );
+    }
+
+    #[test]
+    fn client_timeouts_cancel_zombies_and_conserve() {
+        // Saturating load with impatient clients: attempts time out on the
+        // queue, their zombies are collected, and every request still
+        // settles exactly once.
+        let cfg = poisson_cfg(50.0, 250, RouterPolicy::Unified);
+        let ov = OverloadConfig {
+            clients: Some(ClientConfig {
+                timeout_ms: 1_500.0,
+                retry_budget: 2,
+                ..ClientConfig::default()
+            }),
+            ..OverloadConfig::disabled()
+        };
+        let r = run_overload(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default(), &ov);
+        conservation(&r, 250);
+        assert!(r.overload.client_timeouts > 0, "saturation must trip client timeouts");
+        assert!(r.overload.zombies_cancelled > 0, "timed-out attempts must be collected");
+        assert!(r.overload.rejected > 0, "a 2-retry budget must exhaust under saturation");
+    }
+
+    #[test]
+    fn ladder_degrades_under_pressure_and_recovers_when_it_drains() {
+        let cfg = poisson_cfg(80.0, 400, RouterPolicy::Unified);
+        let ov = OverloadConfig {
+            ladder: Some(LadderConfig { dwell_ms: 200.0, ..LadderConfig::default() }),
+            ..OverloadConfig::disabled()
+        };
+        let r = run_overload(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default(), &ov);
+        conservation(&r, 400);
+        assert!(r.overload.rung_transitions >= 2, "must degrade and later recover");
+        assert!(r.overload.max_rung >= 1);
+        assert!(r.overload.degraded_ms > 0.0);
+        assert_eq!(
+            r.overload.rung_transitions % 2,
+            0,
+            "a finite run that drains ends back at healthy"
+        );
+    }
+
+    #[test]
+    fn autoscale_grows_the_decode_pool_under_sustained_load() {
+        let plan = FaultPlan { replicas: 4, planes: 8, links: 0, events: Vec::new() };
+        let cfg = poisson_cfg(40.0, 500, RouterPolicy::Unified);
+        let ov = OverloadConfig {
+            autoscale: Some(AutoscaleConfig {
+                provision_lag_ms: 2_000.0,
+                cooldown_ms: 1_000.0,
+                ..AutoscaleConfig::reactive(4, 2)
+            }),
+            ..OverloadConfig::disabled()
+        };
+        let r = run_overload(&cfg, &plan, &RecoveryPolicy::default(), &ov);
+        conservation(&r, 500);
+        assert!(r.autoscale.decode_scale_ups > 0, "sustained overload must order replicas");
+        assert!(r.autoscale.decode_peak > 4, "ordered replicas must land: {:?}", r.autoscale);
+        let baseline = run_with_faults(&cfg, &plan, &RecoveryPolicy::default());
+        assert!(
+            r.serving.sim_duration_ms < baseline.serving.sim_duration_ms,
+            "extra capacity must drain the same work sooner: {} vs {}",
+            r.serving.sim_duration_ms,
+            baseline.serving.sim_duration_ms
+        );
+    }
+
+    #[test]
+    fn autoscale_base_must_match_the_fault_plan() {
+        let cfg = poisson_cfg(10.0, 50, RouterPolicy::Unified);
+        let ov = OverloadConfig {
+            autoscale: Some(AutoscaleConfig::reactive(4, 2)),
+            ..OverloadConfig::disabled()
+        };
+        let err = std::panic::catch_unwind(|| {
+            run_overload(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default(), &ov)
+        });
+        assert!(err.is_err(), "healthy() has 1 replica, decode_base is 4: must panic");
+    }
+
+    #[test]
+    fn goodput_timeline_buckets_cover_the_run_and_count_every_arrival() {
+        let cfg = poisson_cfg(30.0, 300, RouterPolicy::Unified);
+        let ov = OverloadConfig { timeline_window_ms: 1_000.0, ..OverloadConfig::disabled() };
+        let r = run_overload(&cfg, &FaultPlan::healthy(), &RecoveryPolicy::default(), &ov);
+        assert!(!r.timeline.is_empty());
+        assert_eq!(r.timeline.iter().map(|w| w.offered).sum::<usize>(), 300);
+        assert_eq!(
+            r.timeline.iter().map(|w| w.completed).sum::<usize>(),
+            r.serving.completed,
+            "every completion lands in exactly one window"
+        );
+        for (i, w) in r.timeline.iter().enumerate() {
+            assert!(w.good <= w.completed);
+            assert!((w.start_ms - i as f64 * 1_000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overload_runs_are_deterministic_per_seed() {
+        let cfg = poisson_cfg(45.0, 250, RouterPolicy::Disaggregated { prefill_fraction: 0.25 });
+        let plan =
+            FaultPlan { replicas: 4, planes: 8, links: 0, events: vec![crash(500.0, 0, 800.0)] };
+        let ov = OverloadConfig {
+            admission: Some(AdmissionConfig::default()),
+            ladder: Some(LadderConfig::default()),
+            clients: Some(ClientConfig::default()),
+            autoscale: Some(AutoscaleConfig::reactive(4, 2)),
+            priority_classes: 4,
+            timeline_window_ms: 2_000.0,
+        };
+        let a = run_overload(&cfg, &plan, &RecoveryPolicy::default(), &ov);
+        let b = run_overload(&cfg, &plan, &RecoveryPolicy::default(), &ov);
+        assert_eq!(a, b, "the full overload stack must stay deterministic");
+        conservation(&a, 250);
     }
 }

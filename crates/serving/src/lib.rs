@@ -18,6 +18,14 @@
 //! stragglers, SDC) with recovery policies — an empty plan reproduces
 //! [`run`]'s report byte-for-byte.
 //!
+//! Overload: [`engine::run_overload`] layers [`overload`] (admission
+//! control, a graceful-degradation ladder, closed-loop retrying clients)
+//! and [`autoscale`] (reactive pool scaling with provisioning lag and a
+//! crash-loop circuit breaker) on the same loop — retry storms and
+//! metastable overload become reproducible, then defeatable. A
+//! [`OverloadConfig::disabled`] run reproduces [`run_with_faults`]
+//! byte-for-byte.
+//!
 //! ```
 //! use dsv3_serving::{run, ArrivalProcess, RouterPolicy, ServingSimConfig};
 //!
@@ -33,15 +41,23 @@
 
 #![forbid(unsafe_code)]
 
+pub mod autoscale;
 pub mod engine;
 pub mod metrics;
+pub mod overload;
 pub mod router;
 pub mod workload;
 
+pub use autoscale::{AutoscaleConfig, AutoscaleStats, BreakerConfig};
 pub use engine::{
-    run, run_traced, run_with_faults, run_with_faults_traced, EngineConfig, FaultStats,
-    FaultyServingReport, MtpSpec, ServingReport, ServingSimConfig, SloConfig,
+    run, run_overload, run_overload_traced, run_traced, run_with_faults, run_with_faults_traced,
+    EngineConfig, FaultStats, FaultyServingReport, MtpSpec, ServingReport, ServingSimConfig,
+    SloConfig,
 };
 pub use metrics::{percentile, Summary};
+pub use overload::{
+    AdmissionConfig, ClientConfig, GoodputWindow, LadderConfig, OverloadConfig,
+    OverloadServingReport, OverloadStats, RateLimitConfig, Rung,
+};
 pub use router::RouterPolicy;
-pub use workload::{ArrivalProcess, LengthDistribution, Request, WorkloadConfig};
+pub use workload::{ArrivalProcess, LengthDistribution, Phase, Request, WorkloadConfig};

@@ -1,0 +1,436 @@
+//! Overload robustness: admission control, a graceful-degradation
+//! ladder, and closed-loop clients that retry — the three ingredients of
+//! the metastable retry-storm failure mode and of its defense.
+//!
+//! The paper frames DeepSeek-V3 serving as an SLO problem (§2.3, §6):
+//! TTFT/TPOT targets held under hard hardware limits. A serving system
+//! meets those targets under overload only by *not doing some of the
+//! work*: rejecting traffic it cannot serve in time (admission control),
+//! doing cheaper work (degradation rungs), and spreading the retries it
+//! causes (jittered backoff, `dsv3_faults::recovery`). Without those,
+//! closed-loop clients convert a transient spike into a *metastable*
+//! state: every timed-out request re-arrives with its prefill work
+//! already wasted, the offered load stays above capacity after the spike
+//! ends, and goodput pins near zero — the classic retry-storm collapse.
+//!
+//! Everything here is configuration and bookkeeping; the mechanics live
+//! in [`crate::engine`]'s simulation loop, gated so that a disabled
+//! [`OverloadConfig`] leaves the engine byte-identical to
+//! [`crate::engine::run_with_faults`].
+
+use serde::{Deserialize, Serialize};
+
+use dsv3_faults::Backoff;
+
+use crate::autoscale::{AutoscaleConfig, AutoscaleStats};
+use crate::engine::{FaultStats, ServingReport};
+
+/// Token-bucket rate limiter for one replica group. Deterministic: the
+/// bucket refills with simulated time, so equal configs admit identical
+/// prefixes of the arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateLimitConfig {
+    /// Sustained admission rate per *live* decode replica, requests/s —
+    /// the bucket refill rate scales with the pool, so autoscaling
+    /// raises the admissible load.
+    pub rate_per_s_per_replica: f64,
+    /// Bucket depth in requests (absorbs bursts above the sustained
+    /// rate).
+    pub burst: f64,
+}
+
+/// Admission control: what gets into the engine at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Bound on requests waiting for decode (ready queue + prefill
+    /// backlog). Arrivals beyond it are shed on sight. 0 = unbounded.
+    pub queue_cap: usize,
+    /// Deadline-aware shedding: reject on arrival when the predicted
+    /// TTFT exceeds `deadline_headroom · slo.ttft_ms`. The prediction is
+    /// prefill completion plus a queue-drain estimate from the engine's
+    /// smoothed step time. 0 disables the predictor.
+    pub deadline_headroom: f64,
+    /// Optional token-bucket rate limiter in front of the queue.
+    pub rate_limit: Option<RateLimitConfig>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self { queue_cap: 256, deadline_headroom: 1.0, rate_limit: None }
+    }
+}
+
+/// One rung of the degradation ladder. Rungs are *absolute* operating
+/// points, not deltas: rung `k` active means exactly these settings
+/// apply. Write them progressively tighter — the canonical order is
+/// "drop MTP speculation → shrink batch/context admission → shed
+/// low-priority traffic", cheapest reversible knob first.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rung {
+    /// Switch off MTP speculative decoding (saves the draft-module
+    /// overhead per step).
+    pub disable_mtp: bool,
+    /// Multiplier on `max_batch` for the *admission cap* (1.0 = no
+    /// change). Smaller batches decode faster per §2.3.2's speed limit,
+    /// trading throughput for latency.
+    pub batch_cap_factor: f64,
+    /// Reject arrivals whose prompt exceeds this many tokens (0 = no
+    /// context cap). Long contexts are the most KV-expensive work.
+    pub context_cap_tokens: usize,
+    /// Shed arrivals with priority class below this bound (0 = shed
+    /// nothing; priorities are `id % priority_classes`, 0 = lowest).
+    pub shed_below_priority: u8,
+}
+
+/// The degradation ladder: pressure thresholds plus hysteresis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderConfig {
+    /// Rungs in escalation order (`rungs[0]` is the first, mildest
+    /// step-down).
+    pub rungs: Vec<Rung>,
+    /// Step *down* (tighter) when pressure stays above this for
+    /// `dwell_ms`. Pressure is predicted queue wait over the TTFT SLO,
+    /// so 1.0 means "we are about to start missing deadlines".
+    pub high_pressure: f64,
+    /// Step *up* (looser) when pressure stays below this for `dwell_ms`.
+    /// Keep well under `high_pressure` or the ladder oscillates.
+    pub low_pressure: f64,
+    /// Dwell time a pressure excursion must persist before a transition
+    /// — the hysteresis that stops rung flapping.
+    pub dwell_ms: f64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        Self {
+            rungs: vec![
+                Rung {
+                    disable_mtp: true,
+                    batch_cap_factor: 1.0,
+                    context_cap_tokens: 0,
+                    shed_below_priority: 0,
+                },
+                Rung {
+                    disable_mtp: true,
+                    batch_cap_factor: 0.5,
+                    context_cap_tokens: 2048,
+                    shed_below_priority: 0,
+                },
+                Rung {
+                    disable_mtp: true,
+                    batch_cap_factor: 0.5,
+                    context_cap_tokens: 1024,
+                    shed_below_priority: 1,
+                },
+            ],
+            high_pressure: 0.8,
+            low_pressure: 0.3,
+            dwell_ms: 2_000.0,
+        }
+    }
+}
+
+/// Closed-loop client behavior: the demand side of the retry storm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientConfig {
+    /// Client abandons the attempt when no first token has arrived by
+    /// this deadline and (budget permitting) retries. The abandoned
+    /// attempt keeps consuming engine resources until the engine notices
+    /// — that zombie work is what makes overload metastable.
+    pub timeout_ms: f64,
+    /// Total retries a client makes before giving up for good.
+    pub retry_budget: u32,
+    /// Delay schedule between abandon/shed and the retry. Enable
+    /// [`Backoff::jitter`] to decorrelate the storm.
+    pub backoff: Backoff,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self { timeout_ms: 4_000.0, retry_budget: 3, backoff: Backoff::default().jittered() }
+    }
+}
+
+/// The full overload-robustness layer. Every part is optional and
+/// default-off; [`OverloadConfig::disabled`] is the explicit all-off
+/// value under which the engine is byte-identical to the plain fault
+/// path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Admission control (`None` = admit everything, the legacy
+    /// behavior).
+    pub admission: Option<AdmissionConfig>,
+    /// Graceful-degradation ladder (`None` = never degrade).
+    pub ladder: Option<LadderConfig>,
+    /// Closed-loop clients (`None` = open loop: shed work vanishes).
+    pub clients: Option<ClientConfig>,
+    /// Reactive autoscaling (`None` = fixed pools).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Number of priority classes; request priority is
+    /// `id % priority_classes` (0 = lowest, shed first). 1 = everyone
+    /// equal.
+    pub priority_classes: u8,
+    /// Goodput-timeline bucket width, ms (0 = no timeline). The
+    /// timeline is how the metastable plateau and the post-spike
+    /// recovery are measured.
+    pub timeline_window_ms: f64,
+}
+
+impl OverloadConfig {
+    /// Everything off: the engine must behave byte-identically to
+    /// [`crate::engine::run_with_faults`].
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            admission: None,
+            ladder: None,
+            clients: None,
+            autoscale: None,
+            priority_classes: 1,
+            timeline_window_ms: 0.0,
+        }
+    }
+
+    /// True if every feature is off (the byte-identity precondition).
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.admission.is_none()
+            && self.ladder.is_none()
+            && self.clients.is_none()
+            && self.autoscale.is_none()
+            && self.timeline_window_ms <= 0.0
+    }
+}
+
+/// Counters for every overload decision the engine made.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OverloadStats {
+    /// Submission attempts offered to admission (first tries + client
+    /// retries).
+    pub offered_attempts: usize,
+    /// Attempts that passed admission into the prefill stage.
+    pub admitted_attempts: usize,
+    /// Attempts shed because the admission queue was full.
+    pub shed_queue_full: usize,
+    /// Attempts shed by the token-bucket rate limiter.
+    pub shed_rate_limited: usize,
+    /// Attempts shed by the deadline predictor (would miss TTFT).
+    pub shed_deadline: usize,
+    /// Attempts shed by the active rung's priority bound.
+    pub shed_priority: usize,
+    /// Attempts shed by the active rung's context cap.
+    pub shed_context: usize,
+    /// Client timeouts fired (attempt abandoned without a first token).
+    pub client_timeouts: usize,
+    /// Client retries submitted after a timeout or shed.
+    pub client_retries: usize,
+    /// Abandoned (zombie) attempts the engine cancelled before they
+    /// wasted a full decode.
+    pub zombies_cancelled: usize,
+    /// Requests terminally rejected by the overload layer (shed with no
+    /// client loop, or clients that exhausted the retry budget).
+    pub rejected: usize,
+    /// Ladder transitions (both directions).
+    pub rung_transitions: usize,
+    /// Deepest rung reached (0 = never degraded).
+    pub max_rung: usize,
+    /// Simulated time spent on any rung > 0, ms.
+    pub degraded_ms: f64,
+}
+
+/// One bucket of the goodput timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoodputWindow {
+    /// Window start, simulated ms.
+    pub start_ms: f64,
+    /// First-time request arrivals in the window (not retries).
+    pub offered: usize,
+    /// Completions in the window.
+    pub completed: usize,
+    /// SLO-good completions in the window.
+    pub good: usize,
+    /// Good completions per second of window.
+    pub goodput_rps: f64,
+}
+
+/// Output of [`crate::engine::run_overload`]: the serving + fault
+/// reports plus everything the overload layer did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadServingReport {
+    /// The usual serving metrics.
+    pub serving: ServingReport,
+    /// Fault-layer counters.
+    pub faults: FaultStats,
+    /// Overload-layer counters.
+    pub overload: OverloadStats,
+    /// Autoscaler counters.
+    pub autoscale: AutoscaleStats,
+    /// Windowed goodput (empty when `timeline_window_ms` is 0).
+    pub timeline: Vec<GoodputWindow>,
+}
+
+/// Runtime token-bucket state (engine-internal).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TokenBucket {
+    tokens: f64,
+    last_ms: f64,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(cfg: &RateLimitConfig) -> Self {
+        Self { tokens: cfg.burst, last_ms: 0.0 }
+    }
+
+    /// Refill for elapsed simulated time (rate scales with live
+    /// replicas), then try to take one token.
+    pub(crate) fn try_take(&mut self, cfg: &RateLimitConfig, replicas: usize, now_ms: f64) -> bool {
+        let rate_per_ms = cfg.rate_per_s_per_replica * replicas as f64 / 1000.0;
+        self.tokens = (self.tokens + (now_ms - self.last_ms).max(0.0) * rate_per_ms).min(cfg.burst);
+        self.last_ms = now_ms;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runtime ladder state (engine-internal): current rung plus the
+/// hysteresis timers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LadderState {
+    /// Active rung: 0 = healthy, `k` = `rungs[k-1]` applies.
+    pub(crate) level: usize,
+    above_since: Option<f64>,
+    below_since: Option<f64>,
+}
+
+impl LadderState {
+    pub(crate) fn new() -> Self {
+        Self { level: 0, above_since: None, below_since: None }
+    }
+
+    /// The active rung's settings, if degraded.
+    pub(crate) fn active<'a>(&self, cfg: &'a LadderConfig) -> Option<&'a Rung> {
+        self.level.checked_sub(1).and_then(|i| cfg.rungs.get(i))
+    }
+
+    /// Feed a pressure sample; returns `Some((from, to))` on a rung
+    /// transition. Excursions must persist for `dwell_ms` before acting,
+    /// and each transition re-arms the timer, so the ladder walks one
+    /// rung per dwell period at most.
+    pub(crate) fn update(
+        &mut self,
+        cfg: &LadderConfig,
+        pressure: f64,
+        now_ms: f64,
+    ) -> Option<(usize, usize)> {
+        if pressure >= cfg.high_pressure {
+            self.below_since = None;
+            let since = *self.above_since.get_or_insert(now_ms);
+            if now_ms - since >= cfg.dwell_ms && self.level < cfg.rungs.len() {
+                let from = self.level;
+                self.level += 1;
+                self.above_since = Some(now_ms);
+                return Some((from, self.level));
+            }
+        } else if pressure <= cfg.low_pressure {
+            self.above_since = None;
+            let since = *self.below_since.get_or_insert(now_ms);
+            if now_ms - since >= cfg.dwell_ms && self.level > 0 {
+                let from = self.level;
+                self.level -= 1;
+                self.below_since = Some(now_ms);
+                return Some((from, self.level));
+            }
+        } else {
+            self.above_since = None;
+            self.below_since = None;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_reports_disabled() {
+        assert!(OverloadConfig::disabled().is_disabled());
+        let mut on = OverloadConfig::disabled();
+        on.admission = Some(AdmissionConfig::default());
+        assert!(!on.is_disabled());
+    }
+
+    #[test]
+    fn token_bucket_admits_burst_then_throttles_then_refills() {
+        let cfg = RateLimitConfig { rate_per_s_per_replica: 10.0, burst: 3.0 };
+        let mut b = TokenBucket::new(&cfg);
+        // Burst: 3 instant admits, then dry.
+        assert!(b.try_take(&cfg, 1, 0.0));
+        assert!(b.try_take(&cfg, 1, 0.0));
+        assert!(b.try_take(&cfg, 1, 0.0));
+        assert!(!b.try_take(&cfg, 1, 0.0));
+        // 10 rps → one token per 100 ms.
+        assert!(!b.try_take(&cfg, 1, 50.0));
+        assert!(b.try_take(&cfg, 1, 150.0));
+        // Refill rate scales with the replica pool: 4 replicas fill 4x
+        // faster.
+        assert!(b.try_take(&cfg, 4, 175.0));
+        // Bucket never exceeds burst depth.
+        assert!(b.try_take(&cfg, 1, 1_000_000.0));
+        assert!(b.try_take(&cfg, 1, 1_000_000.0));
+        assert!(b.try_take(&cfg, 1, 1_000_000.0));
+        assert!(!b.try_take(&cfg, 1, 1_000_000.0));
+    }
+
+    #[test]
+    fn ladder_steps_down_after_dwell_and_back_up_with_hysteresis() {
+        let cfg = LadderConfig::default();
+        let mut s = LadderState::new();
+        // A short excursion does nothing.
+        assert_eq!(s.update(&cfg, 2.0, 0.0), None);
+        assert_eq!(s.update(&cfg, 2.0, 1_000.0), None);
+        // Dropping back between the thresholds re-arms the timer.
+        assert_eq!(s.update(&cfg, 0.5, 1_500.0), None);
+        assert_eq!(s.update(&cfg, 2.0, 2_000.0), None);
+        assert_eq!(s.update(&cfg, 2.0, 3_000.0), None, "dwell restarted at 2000");
+        // Sustained pressure: one rung per dwell period.
+        assert_eq!(s.update(&cfg, 2.0, 4_000.0), Some((0, 1)));
+        assert_eq!(s.update(&cfg, 2.0, 5_999.0), None);
+        assert_eq!(s.update(&cfg, 2.0, 6_000.0), Some((1, 2)));
+        assert_eq!(s.update(&cfg, 2.0, 8_000.0), Some((2, 3)));
+        assert_eq!(s.update(&cfg, 2.0, 20_000.0), None, "bottom rung holds");
+        assert_eq!(s.level, 3);
+        assert!(s.active(&cfg).is_some());
+        // Recovery: low pressure must also dwell before stepping up.
+        assert_eq!(s.update(&cfg, 0.1, 21_000.0), None);
+        assert_eq!(s.update(&cfg, 0.1, 23_000.0), Some((3, 2)));
+        assert_eq!(s.update(&cfg, 0.1, 25_000.0), Some((2, 1)));
+        assert_eq!(s.update(&cfg, 0.1, 27_000.0), Some((1, 0)));
+        assert_eq!(s.level, 0);
+        assert!(s.active(&cfg).is_none());
+        // Mid-band pressure holds the current rung forever.
+        assert_eq!(s.update(&cfg, 0.5, 100_000.0), None);
+    }
+
+    #[test]
+    fn default_rungs_escalate_monotonically() {
+        let cfg = LadderConfig::default();
+        assert!(cfg.low_pressure < cfg.high_pressure);
+        for w in cfg.rungs.windows(2) {
+            assert!(w[1].batch_cap_factor <= w[0].batch_cap_factor);
+            assert!(w[1].shed_below_priority >= w[0].shed_below_priority);
+            let cap = |r: &Rung| {
+                if r.context_cap_tokens == 0 {
+                    usize::MAX
+                } else {
+                    r.context_cap_tokens
+                }
+            };
+            assert!(cap(&w[1]) <= cap(&w[0]));
+        }
+    }
+}

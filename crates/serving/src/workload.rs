@@ -36,6 +36,27 @@ pub enum ArrivalProcess {
         /// Interarrival gaps in milliseconds, replayed in order.
         interarrival_ms: Vec<f64>,
     },
+    /// Piecewise-constant Poisson: the rate steps through [`Phase`]s in
+    /// order and the last phase's rate extends forever. This is the spike
+    /// shape of the overload experiments (base load → transient surge →
+    /// base load) and is sampled *exactly* — an exponential unit of
+    /// arrival work is spent across phase boundaries by inversion, so a
+    /// gap spanning a rate change is distributed correctly rather than
+    /// drawn at the rate of the phase it started in.
+    Phased {
+        /// Rate phases, walked in order from t = 0.
+        phases: Vec<Phase>,
+    },
+}
+
+/// One constant-rate segment of [`ArrivalProcess::Phased`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// How long this rate holds, milliseconds (the last phase ignores
+    /// this and extends forever).
+    pub duration_ms: f64,
+    /// Mean arrival rate during the phase, requests per second.
+    pub rate_per_s: f64,
 }
 
 /// Discretized lognormal token-length distribution, clamped to
@@ -108,7 +129,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<Request> {
     let mut clock_ms = 0.0;
     let mut out = Vec::with_capacity(cfg.requests);
     for id in 0..cfg.requests as u64 {
-        clock_ms += interarrival_ms(&cfg.arrival, id as usize, &mut rng);
+        clock_ms += interarrival_ms(&cfg.arrival, id as usize, clock_ms, &mut rng);
         out.push(Request {
             id,
             arrival_ms: clock_ms,
@@ -119,7 +140,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<Request> {
     out
 }
 
-fn interarrival_ms(arrival: &ArrivalProcess, index: usize, rng: &mut StdRng) -> f64 {
+fn interarrival_ms(arrival: &ArrivalProcess, index: usize, clock_ms: f64, rng: &mut StdRng) -> f64 {
     match arrival {
         ArrivalProcess::Poisson { rate_per_s } => {
             assert!(*rate_per_s > 0.0, "arrival rate must be positive");
@@ -137,7 +158,41 @@ fn interarrival_ms(arrival: &ArrivalProcess, index: usize, rng: &mut StdRng) -> 
             assert!(!interarrival_ms.is_empty(), "empty trace");
             interarrival_ms[index % interarrival_ms.len()]
         }
+        ArrivalProcess::Phased { phases } => phased_gap_ms(phases, clock_ms, exponential(rng)),
     }
+}
+
+/// Spend `work` (a unit-mean exponential deviate) across the
+/// piecewise-constant rate profile starting at absolute time `from_ms`,
+/// returning the gap to the next arrival. Inversion of the inhomogeneous
+/// Poisson integral: a phase at `rate_per_s` consumes `rate · dt` work
+/// per elapsed second.
+fn phased_gap_ms(phases: &[Phase], from_ms: f64, work: f64) -> f64 {
+    assert!(!phases.is_empty(), "phased arrival needs at least one phase");
+    let mut w = work;
+    let mut t = from_ms;
+    let mut gap = 0.0;
+    let mut start = 0.0;
+    for (i, p) in phases.iter().enumerate() {
+        assert!(p.rate_per_s > 0.0, "phase rate must be positive");
+        let last = i + 1 == phases.len();
+        let end = start + p.duration_ms.max(0.0);
+        if last || t < end {
+            let rate_per_ms = p.rate_per_s / 1000.0;
+            let span = end - t;
+            if last || w <= rate_per_ms * span {
+                // Same expression shape as the plain-Poisson arm, so a
+                // single-phase profile reproduces its stream bit-for-bit.
+                return gap + w / p.rate_per_s * 1000.0;
+            }
+            w -= rate_per_ms * span;
+            gap += span;
+            t = end;
+        }
+        start = end;
+    }
+    // lint:allow(P1) — the final loop iteration always returns (last phase extends forever); reaching here means the non-empty assertion above was violated
+    unreachable!("the last phase extends forever")
 }
 
 /// Standard normal via Box–Muller (one deviate per call; the pair's
@@ -245,6 +300,57 @@ mod tests {
         let reqs = generate(&cfg);
         let times: Vec<f64> = reqs.iter().map(|r| r.arrival_ms).collect();
         assert_eq!(times, vec![10.0, 30.0, 60.0, 70.0, 90.0]);
+    }
+
+    #[test]
+    fn phased_rates_hold_per_phase_and_last_phase_extends() {
+        let mut cfg = base_config(ArrivalProcess::Phased {
+            phases: vec![
+                Phase { duration_ms: 20_000.0, rate_per_s: 10.0 },
+                Phase { duration_ms: 10_000.0, rate_per_s: 80.0 },
+                Phase { duration_ms: 0.0, rate_per_s: 10.0 },
+            ],
+        });
+        cfg.requests = 3000;
+        let reqs = generate(&cfg);
+        let in_window = |lo: f64, hi: f64| {
+            reqs.iter().filter(|r| r.arrival_ms >= lo && r.arrival_ms < hi).count() as f64
+        };
+        // Phase 1: ~10 rps over 20 s → ~200; phase 2: ~80 rps over 10 s
+        // → ~800; tail (last phase, zero nominal duration) → ~10 rps.
+        let p1 = in_window(0.0, 20_000.0) / 20.0;
+        let p2 = in_window(20_000.0, 30_000.0) / 10.0;
+        let tail = in_window(30_000.0, 80_000.0) / 50.0;
+        assert!((p1 - 10.0).abs() < 2.0, "phase-1 rate {p1}");
+        assert!((p2 - 80.0).abs() < 8.0, "phase-2 rate {p2}");
+        assert!((tail - 10.0).abs() < 2.0, "tail rate {tail}");
+        assert!(reqs.last().unwrap().arrival_ms > 30_000.0, "last phase must extend forever");
+    }
+
+    #[test]
+    fn phased_single_phase_matches_poisson_exactly() {
+        // One infinite phase is the same inversion as plain Poisson, so
+        // the streams must agree byte-for-byte under one seed.
+        let poisson = base_config(ArrivalProcess::Poisson { rate_per_s: 25.0 });
+        let phased = base_config(ArrivalProcess::Phased {
+            phases: vec![Phase { duration_ms: 1.0, rate_per_s: 25.0 }],
+        });
+        assert_eq!(generate(&poisson), generate(&phased));
+    }
+
+    #[test]
+    fn phased_gap_spends_work_across_boundaries() {
+        // 1 rps for 1 s, then 10 rps. 1.5 units of work: 1.0 spent in the
+        // first second, 0.5 at 10/s = 50 ms → gap 1050 ms.
+        let phases = [
+            Phase { duration_ms: 1_000.0, rate_per_s: 1.0 },
+            Phase { duration_ms: 0.0, rate_per_s: 10.0 },
+        ];
+        let gap = phased_gap_ms(&phases, 0.0, 1.5);
+        assert!((gap - 1_050.0).abs() < 1e-9, "gap {gap}");
+        // Starting mid-phase-2 never revisits phase 1.
+        let gap2 = phased_gap_ms(&phases, 5_000.0, 2.0);
+        assert!((gap2 - 200.0).abs() < 1e-9, "gap2 {gap2}");
     }
 
     #[test]

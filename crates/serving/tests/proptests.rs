@@ -2,8 +2,12 @@
 //! schedules (the ISSUE's conservation invariant): no request is ever
 //! lost or double-completed, whatever the fault plan throws at the run.
 
-use dsv3_faults::{FaultPlan, FaultPlanConfig, RecoveryPolicy};
-use dsv3_serving::{run, run_with_faults, ArrivalProcess, RouterPolicy, ServingSimConfig};
+use dsv3_faults::{Backoff, FaultPlan, FaultPlanConfig, RecoveryPolicy};
+use dsv3_serving::{
+    run, run_overload, run_with_faults, AdmissionConfig, ArrivalProcess, AutoscaleConfig,
+    ClientConfig, LadderConfig, OverloadConfig, OverloadStats, Phase, RateLimitConfig,
+    RouterPolicy, ServingSimConfig,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -97,5 +101,171 @@ proptest! {
         prop_assert_eq!(faulty.faults.retries, 0);
         prop_assert_eq!(faulty.faults.unfinished, 0);
         prop_assert!((faulty.faults.min_bandwidth_retention - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// Overload conservation: with admission shedding, closed-loop
+    /// client retries, the degradation ladder, autoscaling, and a seeded
+    /// fault plan all in play at once, every request still lands in
+    /// exactly one terminal bucket — completed, dropped, rejected by the
+    /// fault layer, rejected by the overload layer, or unfinished at
+    /// termination. Attempt accounting closes too: every offered attempt
+    /// is either admitted or shed by exactly one admission gate.
+    #[test]
+    fn overload_conserves_requests_under_storms(
+        plan_seed in 0u64..1_000,
+        workload_seed in 0u64..1_000,
+        rate in 2.0f64..24.0,
+        spiky in 0u8..2,
+        queue_cap_sel in 0usize..4,
+        headroom in 0.0f64..2.0,
+        rate_limited in 0u8..2,
+        clients_on in 0u8..2,
+        timeout_s in 1.0f64..8.0,
+        retry_budget in 0u32..4,
+        jitter in 0u8..2,
+        ladder_on in 0u8..2,
+        autoscale_on in 0u8..2,
+        crash_mtbf_s in 4.0f64..40.0,
+        disaggregated in 0u8..2,
+    ) {
+        let queue_cap = [0usize, 8, 64, 256][queue_cap_sel];
+        let arrival = if spiky == 1 {
+            // A 3x spike sandwiched between steady phases.
+            ArrivalProcess::Phased { phases: vec![
+                Phase { duration_ms: 8_000.0, rate_per_s: rate },
+                Phase { duration_ms: 8_000.0, rate_per_s: 3.0 * rate },
+                Phase { duration_ms: 16_000.0, rate_per_s: rate },
+            ] }
+        } else {
+            ArrivalProcess::Poisson { rate_per_s: rate }
+        };
+        let router = if disaggregated == 1 {
+            RouterPolicy::Disaggregated { prefill_fraction: 0.25 }
+        } else {
+            RouterPolicy::Unified
+        };
+        let mut cfg = ServingSimConfig::h800_baseline(arrival, 100, router);
+        cfg.workload.seed = workload_seed;
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            seed: plan_seed,
+            horizon_ms: 30_000.0,
+            replicas: 4,
+            planes: 8,
+            crash_mtbf_ms: crash_mtbf_s * 1_000.0,
+            crash_repair_ms: 2_000.0,
+            ..FaultPlanConfig::default()
+        });
+        let backoff =
+            if jitter == 1 { Backoff::default().jittered() } else { Backoff::default() };
+        let ov = OverloadConfig {
+            admission: Some(AdmissionConfig {
+                queue_cap,
+                deadline_headroom: headroom,
+                rate_limit: if rate_limited == 1 {
+                    Some(RateLimitConfig { rate_per_s_per_replica: rate / 3.0, burst: 8.0 })
+                } else {
+                    None
+                },
+            }),
+            ladder: if ladder_on == 1 {
+                Some(LadderConfig { dwell_ms: 500.0, ..LadderConfig::default() })
+            } else {
+                None
+            },
+            clients: if clients_on == 1 {
+                Some(ClientConfig {
+                    timeout_ms: timeout_s * 1_000.0,
+                    retry_budget,
+                    backoff,
+                })
+            } else {
+                None
+            },
+            autoscale: if autoscale_on == 1 {
+                Some(AutoscaleConfig::reactive(4, 4))
+            } else {
+                None
+            },
+            priority_classes: 4,
+            timeline_window_ms: 5_000.0,
+        };
+        let r = run_overload(&cfg, &plan, &RecoveryPolicy::default(), &ov);
+
+        // Request conservation across every terminal bucket.
+        prop_assert_eq!(
+            r.serving.completed + r.serving.dropped + r.faults.rejected
+                + r.overload.rejected + r.faults.unfinished,
+            r.serving.requests,
+            "conservation violated: {:?} / {:?} / {:?}",
+            r.serving,
+            r.faults,
+            r.overload
+        );
+        // Attempt conservation: offered == admitted + shed (each shed
+        // counted by exactly one gate).
+        let shed = r.overload.shed_queue_full + r.overload.shed_rate_limited
+            + r.overload.shed_deadline + r.overload.shed_priority
+            + r.overload.shed_context;
+        prop_assert_eq!(
+            r.overload.offered_attempts,
+            r.overload.admitted_attempts + shed,
+            "attempt accounting leaked: {:?}",
+            r.overload
+        );
+        // Retries are always a response to a timeout or a shed.
+        prop_assert!(
+            r.overload.client_retries <= r.overload.client_timeouts + shed,
+            "spontaneous retry: {:?}",
+            r.overload
+        );
+        // The timeline never sees more first-time arrivals than exist.
+        let offered: usize = r.timeline.iter().map(|w| w.offered).sum();
+        prop_assert!(offered <= r.serving.requests);
+        // Determinism: the same seeds reproduce the same report.
+        let again = run_overload(&cfg, &plan, &RecoveryPolicy::default(), &ov);
+        prop_assert_eq!(&again, &r);
+    }
+
+    /// A disabled overload config is byte-transparent for any workload,
+    /// fault plan, and recovery policy: `run_overload` must reproduce
+    /// `run_with_faults` exactly, overload counters all zero, timeline
+    /// empty.
+    #[test]
+    fn disabled_overload_is_transparent(
+        plan_seed in 0u64..1_000,
+        workload_seed in 0u64..1_000,
+        rate in 4.0f64..20.0,
+        crash_mtbf_s in 4.0f64..40.0,
+        hedge in 0u8..2,
+        disaggregated in 0u8..2,
+    ) {
+        let router = if disaggregated == 1 {
+            RouterPolicy::Disaggregated { prefill_fraction: 0.4 }
+        } else {
+            RouterPolicy::Unified
+        };
+        let mut cfg = ServingSimConfig::h800_baseline(
+            ArrivalProcess::Poisson { rate_per_s: rate },
+            80,
+            router,
+        );
+        cfg.workload.seed = workload_seed;
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            seed: plan_seed,
+            horizon_ms: 30_000.0,
+            replicas: 4,
+            planes: 8,
+            crash_mtbf_ms: crash_mtbf_s * 1_000.0,
+            crash_repair_ms: 2_000.0,
+            ..FaultPlanConfig::default()
+        });
+        let policy =
+            if hedge == 1 { RecoveryPolicy::hedged() } else { RecoveryPolicy::default() };
+        let base = run_with_faults(&cfg, &plan, &policy);
+        let ov = run_overload(&cfg, &plan, &policy, &OverloadConfig::disabled());
+        prop_assert_eq!(&ov.serving, &base.serving);
+        prop_assert_eq!(&ov.faults, &base.faults);
+        prop_assert_eq!(ov.overload, OverloadStats::default());
+        prop_assert!(ov.timeline.is_empty());
     }
 }

@@ -1,0 +1,99 @@
+//! Reproduce — then defeat — a metastable retry storm.
+//!
+//! A closed-loop client population with timeouts and retries runs a
+//! 0.9x / 2.0x / 0.9x load profile through the disaggregated H800
+//! baseline. With no protection, the 30-second spike leaves the system
+//! pinned near zero goodput long after it ends: timed-out attempts keep
+//! wasting prefill as zombies, and their synchronized retries re-offer
+//! the same work forever. Admission control (bounded queue + token
+//! bucket + deadline shedding), the degradation ladder, and reactive
+//! autoscaling then defeat the storm one layer at a time.
+//!
+//! ```sh
+//! cargo run --release --example overload_storm
+//! ```
+
+use dsv3_core::faults::{Backoff, FaultPlan, RecoveryPolicy};
+use dsv3_core::serving::{
+    run_overload, AdmissionConfig, ArrivalProcess, AutoscaleConfig, ClientConfig, LadderConfig,
+    OverloadConfig, Phase, RateLimitConfig, RouterPolicy, ServingSimConfig,
+};
+
+fn arms() -> Vec<(&'static str, OverloadConfig)> {
+    let base = OverloadConfig {
+        priority_classes: 4,
+        timeline_window_ms: 10_000.0,
+        ..OverloadConfig::disabled()
+    };
+    let admission = AdmissionConfig {
+        queue_cap: 256,
+        deadline_headroom: 1.0,
+        rate_limit: Some(RateLimitConfig { rate_per_s_per_replica: 2.5, burst: 24.0 }),
+    };
+    let storm_clients = ClientConfig { backoff: Backoff::default(), ..ClientConfig::default() };
+    vec![
+        ("none", OverloadConfig { clients: Some(storm_clients), ..base.clone() }),
+        (
+            "shed",
+            OverloadConfig {
+                clients: Some(ClientConfig::default()),
+                admission: Some(admission),
+                ..base.clone()
+            },
+        ),
+        (
+            "ladder+autoscale",
+            OverloadConfig {
+                clients: Some(ClientConfig::default()),
+                admission: Some(admission),
+                ladder: Some(LadderConfig::default()),
+                autoscale: Some(AutoscaleConfig::reactive(4, 4)),
+                ..base
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let phases = vec![
+        Phase { duration_ms: 30_000.0, rate_per_s: 5.4 },
+        Phase { duration_ms: 30_000.0, rate_per_s: 12.0 },
+        Phase { duration_ms: 120_000.0, rate_per_s: 5.4 },
+    ];
+    let requests = phases.iter().map(|p| p.duration_ms * p.rate_per_s / 1_000.0).sum::<f64>();
+    let cfg = ServingSimConfig::h800_baseline(
+        ArrivalProcess::Phased { phases },
+        requests as usize,
+        RouterPolicy::Disaggregated { prefill_fraction: 0.25 },
+    );
+    let plan = FaultPlan { replicas: 4, planes: 8, links: 0, events: Vec::new() };
+
+    println!("A 2.0x spike (30 s) between steady 0.9x phases, closed-loop clients:\n");
+    for (name, ov) in arms() {
+        let r = run_overload(&cfg, &plan, &RecoveryPolicy::default(), &ov);
+        println!(
+            "{name:<18} completed {:>4}/{:<4}  timeouts {:>4}  retries {:>4}  shed {:>4}  \
+             rung {}  pools d{}/p{}",
+            r.serving.completed,
+            r.serving.requests,
+            r.overload.client_timeouts,
+            r.overload.client_retries,
+            r.overload.shed_deadline
+                + r.overload.shed_rate_limited
+                + r.overload.shed_queue_full
+                + r.overload.shed_priority
+                + r.overload.shed_context,
+            r.overload.max_rung,
+            r.autoscale.decode_peak.max(4),
+            r.autoscale.prefill_peak.max(4),
+        );
+        print!("{:<18} goodput rps by 10s window:", "");
+        for w in &r.timeline {
+            print!(" {:>4.1}", w.goodput_rps);
+        }
+        println!("\n");
+    }
+    println!("The unprotected arm never recovers after the spike — the retry storm");
+    println!("is self-sustaining (metastable). Shedding bounds the damage, and the");
+    println!("ladder plus autoscaling hold goodput through the spike and after it.");
+}

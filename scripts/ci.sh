@@ -41,6 +41,13 @@ trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp"' EXIT
 ./target/release/dsv3 mem-timeline --trace-out "$memtl_tmp" > /dev/null
 ./target/release/dsv3 check-trace "$memtl_tmp"
 
+echo "==> overload smoke: dsv3 overload --json + --trace-out round-trip"
+overload_tmp="$(mktemp /tmp/dsv3_overload.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp" "$overload_tmp"' EXIT
+./target/release/dsv3 overload --json > /dev/null
+./target/release/dsv3 overload --trace-out "$overload_tmp" > /dev/null
+./target/release/dsv3 check-trace "$overload_tmp"
+
 echo "==> examples build"
 cargo build --release --offline --examples
 

@@ -172,6 +172,73 @@ fn fault_types_roundtrip() {
 }
 
 #[test]
+fn overload_types_roundtrip() {
+    use dsv3_core::faults::{Backoff, FaultPlan, RecoveryPolicy};
+    use dsv3_core::serving::{
+        run_overload, AdmissionConfig, ArrivalProcess, AutoscaleConfig, BreakerConfig,
+        ClientConfig, LadderConfig, OverloadConfig, Phase, RateLimitConfig, RouterPolicy, Rung,
+        ServingSimConfig,
+    };
+
+    // Configs: every overload knob turned on at once, plus the phased
+    // arrival process the spike arms use.
+    let ov = OverloadConfig {
+        admission: Some(AdmissionConfig {
+            queue_cap: 64,
+            deadline_headroom: 1.5,
+            rate_limit: Some(RateLimitConfig { rate_per_s_per_replica: 2.0, burst: 16.0 }),
+        }),
+        ladder: Some(LadderConfig {
+            rungs: vec![Rung {
+                disable_mtp: true,
+                batch_cap_factor: 0.5,
+                context_cap_tokens: 1_024,
+                shed_below_priority: 2,
+            }],
+            high_pressure: 0.7,
+            low_pressure: 0.2,
+            dwell_ms: 1_500.0,
+        }),
+        clients: Some(ClientConfig {
+            timeout_ms: 3_000.0,
+            retry_budget: 2,
+            backoff: Backoff::default().jittered(),
+        }),
+        autoscale: Some(AutoscaleConfig {
+            breaker: Some(BreakerConfig::default()),
+            ..AutoscaleConfig::reactive(4, 4)
+        }),
+        priority_classes: 4,
+        timeline_window_ms: 5_000.0,
+    };
+    roundtrip(&ov);
+    roundtrip(&OverloadConfig::disabled());
+    roundtrip(&Phase { duration_ms: 10_000.0, rate_per_s: 12.0 });
+
+    // The full overload report: serving + faults + overload + autoscale
+    // stats and the goodput timeline, exercised with every subsystem live.
+    let cfg = ServingSimConfig::h800_baseline(
+        ArrivalProcess::Phased {
+            phases: vec![
+                Phase { duration_ms: 5_000.0, rate_per_s: 8.0 },
+                Phase { duration_ms: 5_000.0, rate_per_s: 24.0 },
+            ],
+        },
+        120,
+        RouterPolicy::Disaggregated { prefill_fraction: 0.25 },
+    );
+    let plan = FaultPlan { replicas: 4, planes: 8, links: 0, events: Vec::new() };
+    let report = run_overload(&cfg, &plan, &RecoveryPolicy::default(), &ov);
+    assert!(!report.timeline.is_empty(), "windowed goodput should be recorded");
+    roundtrip(&report.overload);
+    roundtrip(&report.autoscale);
+    roundtrip(&report);
+
+    // The registry experiment's full report.
+    roundtrip(&overload::run());
+}
+
+#[test]
 fn memtl_types_roundtrip() {
     use dsv3_core::memtl::{
         analytic_1f1b, largest_fitting, simulate, FrontierQuery, GpuSpec, MemPlan, Offload,
