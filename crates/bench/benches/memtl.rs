@@ -58,15 +58,14 @@ fn bench_memtl(c: &mut Criterion) {
     }
     let frontier_ns = time_ns(3, 2, || largest_fitting(&cfg, &dualpipe, &query));
 
-    let mut json = String::from("{\n  \"bench\": \"memtl\",\n  \"timelines\": [\n");
-    for (i, (name, events, ns, eps)) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{name}\", \"chunk_events\": {events}, \"ns_per_walk\": {ns:.0}, \"events_per_sec\": {eps:.0}}}{}",
-            if i + 1 < rows.len() { "," } else { "" }
-        );
+    let mut json = String::from("{\n  \"bench\": \"memtl\",\n  \"metrics\": {\n");
+    for (name, events, ns, eps) in &rows {
+        let _ = writeln!(json, "    \"{name}_chunk_events\": {events},");
+        let _ = writeln!(json, "    \"{name}_walk_ns\": {ns:.0},");
+        let _ = writeln!(json, "    \"{name}_events_per_sec\": {eps:.0},");
     }
-    let _ = write!(json, "  ],\n  \"frontier_2048_gpus_ns\": {frontier_ns:.0}\n}}\n");
+    let _ = writeln!(json, "    \"frontier_2048_gpus_ns\": {frontier_ns:.0}");
+    json.push_str("  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_memtl.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -78,13 +78,13 @@ fn bench_overload(c: &mut Criterion) {
     let off_ratio = off_ns / base_ns;
     let full_ratio = full_ns / base_ns;
 
-    let mut json = String::from("{\n  \"bench\": \"overload\",\n");
-    let _ = writeln!(json, "  \"baseline_ns\": {base_ns:.0},");
-    let _ = writeln!(json, "  \"disabled_overload_ns\": {off_ns:.0},");
-    let _ = writeln!(json, "  \"full_stack_ns\": {full_ns:.0},");
-    let _ = writeln!(json, "  \"disabled_overhead_ratio\": {off_ratio:.3},");
-    let _ = writeln!(json, "  \"full_stack_overhead_ratio\": {full_ratio:.3}");
-    json.push_str("}\n");
+    let mut json = String::from("{\n  \"bench\": \"overload\",\n  \"metrics\": {\n");
+    let _ = writeln!(json, "    \"baseline_ns\": {base_ns:.0},");
+    let _ = writeln!(json, "    \"disabled_overload_ns\": {off_ns:.0},");
+    let _ = writeln!(json, "    \"full_stack_ns\": {full_ns:.0},");
+    let _ = writeln!(json, "    \"disabled_overhead_ratio\": {off_ratio:.3},");
+    let _ = writeln!(json, "    \"full_stack_overhead_ratio\": {full_ratio:.3}");
+    json.push_str("  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overload.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -8,6 +8,8 @@
 //! dsv3 serving --trace-out t.json   # Chrome-trace of the simulation
 //! dsv3 serving --metrics-out m.json # counters/gauges/histograms + manifest
 //! dsv3 check-trace t.json           # validate an emitted trace file
+//! dsv3 check-metrics m.json         # validate an emitted metrics document
+//! dsv3 audit overload               # run + SLO watchdog + incident report
 //! dsv3 lint                         # invariant lint; nonzero exit on errors
 //! ```
 //!
@@ -17,13 +19,18 @@
 //! output is byte-identical to pre-telemetry builds.
 
 use dsv3_core::registry::{registry, Entry};
-use dsv3_core::telemetry::{validate_chrome_trace, MetricsDocument, Recorder, RunManifest};
+use dsv3_core::telemetry::{
+    validate_chrome_trace, validate_metrics_document, MetricsDocument, Recorder, RunManifest,
+    WatchConfig,
+};
 use std::process::ExitCode;
 
 fn usage(entries: &[Entry]) {
     println!("dsv3 — reproduce 'Insights into DeepSeek-V3' (ISCA '25)\n");
     println!("usage: dsv3 <experiment> [--json] [--trace-out <path>] [--metrics-out <path>]");
-    println!("       dsv3 all [--json] | dsv3 list | dsv3 check-trace <path>\n");
+    println!("       dsv3 audit <experiment> [--json] [--incidents-out <path>]");
+    println!("       dsv3 all [--json] | dsv3 list");
+    println!("       dsv3 check-trace <path> | dsv3 check-metrics <path>\n");
     println!("experiments:");
     for e in entries {
         let tag = if e.instrumented.is_some() { " [traceable]" } else { "" };
@@ -37,24 +44,31 @@ struct Cli {
     json: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    incidents_out: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
-    let mut cli = Cli { positional: Vec::new(), json: false, trace_out: None, metrics_out: None };
+    let mut cli = Cli {
+        positional: Vec::new(),
+        json: false,
+        trace_out: None,
+        metrics_out: None,
+        incidents_out: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => cli.json = true,
-            "--trace-out" | "--metrics-out" => {
+            "--trace-out" | "--metrics-out" | "--incidents-out" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(path) = args.get(i) else {
                     return Err(format!("{flag} requires a path argument"));
                 };
-                if flag == "--trace-out" {
-                    cli.trace_out = Some(path.clone());
-                } else {
-                    cli.metrics_out = Some(path.clone());
+                match flag.as_str() {
+                    "--trace-out" => cli.trace_out = Some(path.clone()),
+                    "--metrics-out" => cli.metrics_out = Some(path.clone()),
+                    _ => cli.incidents_out = Some(path.clone()),
                 }
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
@@ -88,6 +102,91 @@ fn check_trace(path: &str) -> ExitCode {
     }
 }
 
+fn check_metrics(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("check-metrics: cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_metrics_document(&json) {
+        Ok(stats) => {
+            println!(
+                "{path}: valid metrics document — {} counters, {} gauges, {} histograms, {} dropped events",
+                stats.counters, stats.gauges, stats.histograms, stats.dropped_events
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check-metrics: '{path}' is not a valid metrics document: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Shared tail of `run_instrumented` and `run_audit`: write the optional
+/// trace/metrics artifacts for a completed recording.
+fn write_telemetry(rec: &Recorder, manifest: &RunManifest, cli: &Cli) -> Result<(), ExitCode> {
+    if let Some(path) = &cli.trace_out {
+        let trace = rec.export_trace().to_json();
+        if let Err(err) = std::fs::write(path, trace) {
+            eprintln!("cannot write trace to '{path}': {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    if let Some(path) = &cli.metrics_out {
+        let doc = MetricsDocument { manifest: manifest.clone(), metrics: rec.snapshot() };
+        let body = serde_json::to_string_pretty(&doc).expect("metrics document serializes");
+        if let Err(err) = std::fs::write(path, body) {
+            eprintln!("cannot write metrics to '{path}': {err}");
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    Ok(())
+}
+
+/// `dsv3 audit <experiment>`: run instrumented, evaluate the watch
+/// detectors over everything recorded, and print (or export) the
+/// incident report alongside the usual experiment output.
+fn run_audit(e: &Entry, cli: &Cli) -> ExitCode {
+    let mut rec = Recorder::new();
+    let Some(w) = e.run_watched(&mut rec, &WatchConfig::default()) else {
+        eprintln!("audit: '{}' is analytic (no simulation loop); nothing to watch", e.name);
+        return ExitCode::FAILURE;
+    };
+    let manifest = RunManifest::capture(e.name, w.run.seed, &w.run.config_json, &rec);
+    if let Err(code) = write_telemetry(&rec, &manifest, cli) {
+        return code;
+    }
+    if let Some(path) = &cli.incidents_out {
+        if let Err(err) = std::fs::write(path, w.incidents.to_json()) {
+            eprintln!("cannot write incidents to '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cli.json {
+        let report: serde_json::Value =
+            serde_json::from_str(&w.run.json).unwrap_or(serde_json::Value::Null);
+        let manifest_value: serde_json::Value = serde_json::to_string(&manifest)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or(serde_json::Value::Null);
+        let incidents: serde_json::Value =
+            serde_json::from_str(&w.incidents.to_json()).unwrap_or(serde_json::Value::Null);
+        let doc = serde_json::Value::Object(vec![
+            (String::from("manifest"), manifest_value),
+            (String::from("report"), report),
+            (String::from("incidents"), incidents),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("null")));
+    } else {
+        println!("{}", w.run.table);
+        println!("{}", w.incidents.render());
+    }
+    ExitCode::SUCCESS
+}
+
 /// Run one entry with telemetry and honor `--trace-out`/`--metrics-out`.
 fn run_instrumented(e: &Entry, cli: &Cli) -> ExitCode {
     let mut rec = Recorder::new();
@@ -105,20 +204,8 @@ fn run_instrumented(e: &Entry, cli: &Cli) -> ExitCode {
         }
     };
     let manifest = RunManifest::capture(e.name, seed, &config_json, &rec);
-    if let Some(path) = &cli.trace_out {
-        let trace = rec.export_trace().to_json();
-        if let Err(err) = std::fs::write(path, trace) {
-            eprintln!("cannot write trace to '{path}': {err}");
-            return ExitCode::FAILURE;
-        }
-    }
-    if let Some(path) = &cli.metrics_out {
-        let doc = MetricsDocument { manifest: manifest.clone(), metrics: rec.snapshot() };
-        let body = serde_json::to_string_pretty(&doc).expect("metrics document serializes");
-        if let Err(err) = std::fs::write(path, body) {
-            eprintln!("cannot write metrics to '{path}': {err}");
-            return ExitCode::FAILURE;
-        }
+    if let Err(code) = write_telemetry(&rec, &manifest, cli) {
+        return code;
     }
     if cli.json {
         println!("{}", dsv3_core::telemetry::manifest_wrap(&manifest, &json));
@@ -140,6 +227,10 @@ fn main() -> ExitCode {
         }
     };
     let telemetry = cli.trace_out.is_some() || cli.metrics_out.is_some();
+    if cli.incidents_out.is_some() && cli.positional.first().map(String::as_str) != Some("audit") {
+        eprintln!("--incidents-out only applies to the audit subcommand");
+        return ExitCode::FAILURE;
+    }
     match cli.positional.first().map(String::as_str) {
         None | Some("list") | Some("help") => {
             usage(&entries);
@@ -152,6 +243,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("check-metrics") => match cli.positional.get(1) {
+            Some(path) => check_metrics(path),
+            None => {
+                eprintln!("check-metrics requires a path argument");
+                ExitCode::FAILURE
+            }
+        },
+        Some("audit") => {
+            let Some(name) = cli.positional.get(1) else {
+                eprintln!("audit requires an experiment name (try 'dsv3 audit overload')");
+                return ExitCode::FAILURE;
+            };
+            match entries.iter().find(|e| e.name.replace('-', "_") == name.replace('-', "_")) {
+                Some(e) => run_audit(e, &cli),
+                None => {
+                    eprintln!("unknown experiment '{name}'\n");
+                    usage(&entries);
+                    ExitCode::FAILURE
+                }
+            }
+        }
         // `lint` is special: unlike the experiments it has a pass/fail
         // verdict, so a clean CI gate needs the exit code to carry it.
         Some("lint") => {

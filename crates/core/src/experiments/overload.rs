@@ -386,6 +386,36 @@ pub fn run_seeded_traced(seed: u64, rec: &mut Recorder) -> OverloadReport {
         });
     }
 
+    // Watchdog control arms, traced only — the report never reads them,
+    // so the plain (disabled-recorder) path does identical work and stays
+    // byte-for-byte. A bare queue (queue_cap only, no deadline shedder or
+    // rate limit) sized so the queue wait hovers right at the client
+    // timeout puts the system on the metastable boundary: synchronized
+    // (jitter-free) retry waves tip it into a self-sustaining storm,
+    // while decorrelated jitter — the only difference between the two
+    // arms — spreads the same retries thinly enough to drain. `dsv3
+    // audit overload` must fire the metastability detector on the
+    // jitter-free arms (`spike-none`, `spike-storm`) and stay silent on
+    // `spike-storm-jitter`.
+    if rec.is_enabled() {
+        for (jitter, arm_scope) in [(false, "spike-storm"), (true, "spike-storm-jitter")] {
+            let arrival = ArrivalProcess::Phased { phases: vec![pre, spike_ph, post] };
+            let mut ov = OverloadConfig {
+                timeline_window_ms: WINDOW_MS,
+                priority_classes: 4,
+                ..OverloadConfig::disabled()
+            };
+            ov.admission =
+                Some(AdmissionConfig { queue_cap: 27, deadline_headroom: 0.0, rate_limit: None });
+            ov.clients = Some(if jitter {
+                ClientConfig::default()
+            } else {
+                ClientConfig { backoff: Backoff::default(), ..ClientConfig::default() }
+            });
+            let _ = run_arm(seed, arrival, spike_n, &ov, rec, arm_scope);
+        }
+    }
+
     // Crash-loop arm: replica 2 dies every 10 s; the breaker ejects it.
     let crash_events: Vec<FaultEvent> = (1..=6)
         .map(|k| FaultEvent {

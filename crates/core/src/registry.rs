@@ -7,7 +7,7 @@
 
 use crate::experiments::*;
 use crate::report::Table;
-use dsv3_telemetry::Recorder;
+use dsv3_telemetry::{IncidentReport, Recorder, WatchConfig};
 
 /// The result of one telemetry-instrumented experiment run: the rendered
 /// outputs (computed once from a single simulation) plus the provenance
@@ -21,6 +21,14 @@ pub struct InstrumentedRun {
     pub seed: u64,
     /// Serialized configuration (hashed into the manifest).
     pub config_json: String,
+}
+
+/// An instrumented run plus its watchdog verdict (`dsv3 audit`).
+pub struct WatchedRun {
+    /// The underlying instrumented run.
+    pub run: InstrumentedRun,
+    /// What the detectors saw, with incident attribution.
+    pub incidents: IncidentReport,
 }
 
 /// One named experiment: how to render it as text and as JSON.
@@ -37,6 +45,18 @@ pub struct Entry {
     /// `--metrics-out`). `None` for analytic experiments with no
     /// simulation loop worth tracing.
     pub instrumented: Option<fn(&mut Recorder) -> InstrumentedRun>,
+}
+
+impl Entry {
+    /// Run the experiment instrumented AND evaluate the watch detectors
+    /// over everything it recorded. `None` for entries with nothing to
+    /// trace. The recorder must be enabled for the detectors to see any
+    /// series; a disabled recorder yields an empty (but valid) report.
+    pub fn run_watched(&self, rec: &mut Recorder, wcfg: &WatchConfig) -> Option<WatchedRun> {
+        let run = (self.instrumented?)(rec);
+        let incidents = dsv3_telemetry::evaluate(self.name, rec, wcfg);
+        Some(WatchedRun { run, incidents })
+    }
 }
 
 fn to_json<T: serde::Serialize>(v: &T) -> String {

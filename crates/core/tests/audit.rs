@@ -1,0 +1,101 @@
+//! `dsv3 audit` end-to-end: the SLO watchdog over the overload retry
+//! storm.
+//!
+//! The overload experiment traces three watchdog control arms: the
+//! unprotected jitter-free storm (`spike-none`), a marginal bounded
+//! queue with jitter-free clients (`spike-storm`), and the identical
+//! queue with decorrelated-jitter clients (`spike-storm-jitter`). The
+//! metastability detector must fire on both jitter-free arms, attribute
+//! the collapse to client timeout/retry instants, and stay silent on
+//! the jittered twin — the whole point of the control pair.
+
+use dsv3_core::registry::{registry, Entry, WatchedRun};
+use dsv3_core::telemetry::{Recorder, WatchConfig};
+
+fn overload_entry() -> Entry {
+    registry().into_iter().find(|e| e.name == "overload").expect("overload registered")
+}
+
+fn watched() -> WatchedRun {
+    let mut rec = Recorder::new();
+    overload_entry()
+        .run_watched(&mut rec, &WatchConfig::default())
+        .expect("overload is instrumented")
+}
+
+#[test]
+fn audit_fires_metastability_on_jitter_free_arms_only() {
+    let w = watched();
+    let meta: Vec<_> =
+        w.incidents.alerts.iter().filter(|a| a.detector == "metastability").collect();
+    let mut scopes: Vec<&str> = meta.iter().map(|a| a.scope.as_str()).collect();
+    scopes.sort_unstable();
+    scopes.dedup();
+    assert_eq!(
+        scopes,
+        ["spike-none", "spike-storm"],
+        "metastability must fire on exactly the jitter-free arms: {meta:?}"
+    );
+    assert!(
+        !w.incidents
+            .alerts
+            .iter()
+            .any(|a| a.scope == "spike-storm-jitter" && a.detector == "metastability"),
+        "decorrelated jitter must keep the identical queue out of the metastable basin"
+    );
+
+    // Onset timing: the metastability alert can only begin once offered
+    // load is back at baseline, i.e. at the spike-end boundary (60 s);
+    // dwell delays firing by a few windows beyond that.
+    let spike = (30_000.0, 60_000.0);
+    for a in &meta {
+        assert!(
+            a.pending_ms >= spike.1 && a.pending_ms <= spike.1 + 30_000.0,
+            "{}: metastability onset {} not at the spike-end boundary",
+            a.scope,
+            a.pending_ms
+        );
+        assert!(a.firing_ms >= a.pending_ms);
+        assert_eq!(a.severity, "page");
+    }
+
+    // Attribution: the jitter-free storm's collapse is the clients' own
+    // timeout/resubmit loop.
+    let none = meta.iter().find(|a| a.scope == "spike-none").expect("spike-none fires");
+    let causes: Vec<&str> = none.blame.iter().map(|b| b.cause.as_str()).collect();
+    assert!(
+        causes.contains(&"client-timeout") && causes.contains(&"client-resubmit"),
+        "goodput collapse must be blamed on the retry storm: {causes:?}"
+    );
+
+    // Burn-rate onset lands inside the spike window itself.
+    let burn = w
+        .incidents
+        .alerts
+        .iter()
+        .find(|a| a.scope == "spike-none" && a.detector == "burn-rate" && a.signal == "goodput")
+        .expect("burn-rate fires on the unprotected arm");
+    assert!(
+        burn.pending_ms >= spike.0 && burn.pending_ms <= spike.1,
+        "burn-rate onset {} outside the spike window",
+        burn.pending_ms
+    );
+}
+
+#[test]
+fn audit_is_byte_identical_per_seed_and_empty_when_disabled() {
+    let a = watched();
+    let b = watched();
+    assert_eq!(a.incidents.to_json(), b.incidents.to_json(), "incident JSON must be stable");
+    assert_eq!(a.incidents.render(), b.incidents.render(), "incident text must be stable");
+    assert!(a.incidents.firing > 0, "the retry storm must produce alerts");
+
+    // A disabled recorder sees no series: the report stays valid but
+    // empty, and the run itself is the plain (golden) path.
+    let mut off = Recorder::disabled();
+    let w = overload_entry()
+        .run_watched(&mut off, &WatchConfig::default())
+        .expect("overload is instrumented");
+    assert!(w.incidents.alerts.is_empty(), "disabled watch must stay silent");
+    assert_eq!(w.run.table.to_string(), (overload_entry().render)().to_string());
+}

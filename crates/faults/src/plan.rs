@@ -503,6 +503,7 @@ impl FaultDriver {
                     let tid = rec.thread(*pid, label);
                     rec.instant(*pid, tid, "fault", &format!("heal {label} #{seq}"), at * 1000.0);
                     rec.counter_add(&format!("{scope}.faults.heal.{label}"), 1);
+                    rec.series(&format!("{scope}.faults.active"), at, self.repairs.len() as f64);
                 }
                 sink.heal(seq, &event);
                 continue;
@@ -529,6 +530,13 @@ impl FaultDriver {
                             event.at_ms * 1000.0,
                         );
                         rec.counter_add(&format!("{scope}.faults.inject.{label}"), 1);
+                        // Outstanding (repairable) faults over time: the
+                        // pending-repair queue length is exactly that.
+                        rec.series(
+                            &format!("{scope}.faults.active"),
+                            event.at_ms,
+                            self.repairs.len() as f64,
+                        );
                     }
                     sink.inject(seq, &event);
                 }

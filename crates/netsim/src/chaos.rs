@@ -816,6 +816,26 @@ impl ChaosSim {
                     );
                 }
             }
+            // Concurrently-down link count over time, as a series for the
+            // changepoint detector. Heals sort before fails at equal
+            // timestamps so an instantaneous swap never overcounts.
+            let mut edges: Vec<(f64, i32)> = Vec::new();
+            for flap in &cfg.schedule.flaps {
+                edges.push((flap.down_at_us, 1));
+                if flap.up_at_us().is_finite() {
+                    edges.push((flap.up_at_us(), -1));
+                }
+            }
+            edges.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+            });
+            let series_name = format!("{scope}.links_down");
+            let mut down = 0i32;
+            for (us, delta) in edges {
+                down += delta;
+                // Series timestamps are ms; the trace above stays in µs.
+                rec.series(&series_name, us / 1000.0, f64::from(down));
+            }
             for (f, out) in report.flows.iter().enumerate() {
                 let spec = &self.flows[f];
                 let end = out.finish_us.or(out.stranded_us).unwrap_or(report.makespan_us);

@@ -1,0 +1,165 @@
+//! Map the metastable boundary of the spike study: which client/admission
+//! configurations recover from the 2x retry spike, and where does backoff
+//! jitter alone decide the outcome?
+//!
+//! Run with `cargo run --release -p dsv3-serving --example jitter_scan`.
+//!
+//! Each row replays the `overload` spike timeline (30 s at 0.9x capacity,
+//! 30 s at 2x, 120 s back at 0.9x) under one configuration and prints the
+//! mean goodput per phase plus `badrun` — the longest run of post-spike
+//! windows where goodput sat below half the offered load while offered
+//! load was back at baseline. That is exactly the signal the telemetry
+//! metastability detector dwells on (6 windows), so `badrun >= 6` means
+//! the watchdog would page.
+//!
+//! The scan shows three regimes:
+//!
+//! * **No admission control**: the storm is self-sustaining at any
+//!   jitter setting or client timeout — retry amplification (timeout
+//!   4 s, budget 3) keeps wasted zombie prefill above capacity forever.
+//!   Jitter alone cannot rescue an unprotected system.
+//! * **Full shedding** (bounded queue + rate limit + deadline): never
+//!   metastable, jitter or not.
+//! * **A bare bounded queue near the boundary** (`queue_cap` ~24-32,
+//!   where queue wait sits near the client timeout): jitter is
+//!   decisive. This is where the `spike-storm` / `spike-storm-jitter`
+//!   audit arms live (`queue_cap: 27`).
+
+use dsv3_faults::{Backoff, FaultPlan, RecoveryPolicy};
+use dsv3_serving::engine::{run_overload, ServingSimConfig};
+use dsv3_serving::overload::{AdmissionConfig, ClientConfig, OverloadConfig, RateLimitConfig};
+use dsv3_serving::router::RouterPolicy;
+use dsv3_serving::workload::{ArrivalProcess, Phase};
+
+const CAP: f64 = 6.0;
+
+fn arrival() -> ArrivalProcess {
+    ArrivalProcess::Phased {
+        phases: vec![
+            Phase { duration_ms: 30_000.0, rate_per_s: 0.9 * CAP },
+            Phase { duration_ms: 30_000.0, rate_per_s: 2.0 * CAP },
+            Phase { duration_ms: 120_000.0, rate_per_s: 0.9 * CAP },
+        ],
+    }
+}
+
+fn shed() -> AdmissionConfig {
+    AdmissionConfig {
+        queue_cap: 256,
+        deadline_headroom: 1.0,
+        rate_limit: Some(RateLimitConfig { rate_per_s_per_replica: 2.5, burst: 24.0 }),
+    }
+}
+
+fn run_case(label: &str, ov: &OverloadConfig) {
+    let n = ((30.0 * 0.9 * CAP) + (30.0 * 2.0 * CAP) + (120.0 * 0.9 * CAP)) as usize;
+    let mut cfg = ServingSimConfig::h800_baseline(
+        arrival(),
+        n,
+        RouterPolicy::Disaggregated { prefill_fraction: 0.25 },
+    );
+    cfg.workload.seed = 20_250_808;
+    let plan = FaultPlan { replicas: 4, planes: 8, links: 0, events: Vec::new() };
+    let r = run_overload(&cfg, &plan, &RecoveryPolicy::default(), ov);
+    let mean = |from: f64, to: f64| {
+        let s: Vec<f64> = r
+            .timeline
+            .iter()
+            .filter(|w| w.start_ms >= from && w.start_ms < to)
+            .map(|w| w.goodput_rps)
+            .collect();
+        if s.is_empty() {
+            f64::NAN
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    };
+    // Metastability signal: longest run of post-spike windows where
+    // goodput < 50% of offered while offered is back at baseline.
+    let mut worst = 0usize;
+    let mut cur = 0usize;
+    for w in r.timeline.iter().filter(|w| w.start_ms >= 60_000.0) {
+        let offered_rps = w.offered as f64 / 5.0;
+        if w.offered > 0
+            && offered_rps < 1.25 * 0.9 * CAP
+            && (w.good as f64 / 5.0) < 0.5 * offered_rps
+        {
+            cur += 1;
+            worst = worst.max(cur);
+        } else {
+            cur = 0;
+        }
+    }
+    println!(
+        "{label:<34} spike {:5.2}  plateau(60-120) {:5.2}  recovery(120-180) {:5.2}  badrun {:3}  timeouts {:5}  retries {:5}  rejected {:4}  completed {:4}",
+        mean(30_000.0, 60_000.0),
+        mean(60_000.0, 120_000.0),
+        mean(120_000.0, 180_000.0),
+        worst,
+        r.overload.client_timeouts,
+        r.overload.client_retries,
+        r.overload.rejected,
+        r.serving.completed,
+    );
+}
+
+fn main() {
+    let base = OverloadConfig {
+        timeline_window_ms: 5_000.0,
+        priority_classes: 4,
+        ..OverloadConfig::disabled()
+    };
+    let jitter_free = |cl: ClientConfig| ClientConfig { backoff: Backoff::default(), ..cl };
+
+    println!("-- no admission control: metastable regardless of jitter or timeout --");
+    let mut ov = base.clone();
+    ov.clients = Some(jitter_free(ClientConfig::default()));
+    run_case("none / jitter-free", &ov);
+
+    let mut ov = base.clone();
+    ov.clients = Some(ClientConfig::default());
+    run_case("none / jittered", &ov);
+
+    for t in [6_000.0, 8_000.0, 12_000.0] {
+        let mut ov = base.clone();
+        ov.clients = Some(ClientConfig { timeout_ms: t, ..ClientConfig::default() });
+        run_case(&format!("none / jittered t={t}"), &ov);
+        let mut ov = base.clone();
+        ov.clients = Some(jitter_free(ClientConfig { timeout_ms: t, ..ClientConfig::default() }));
+        run_case(&format!("none / jitter-free t={t}"), &ov);
+    }
+
+    let mut ov = base.clone();
+    ov.clients = Some(ClientConfig {
+        backoff: Backoff { base_ms: 500.0, factor: 2.0, max_ms: 20_000.0, jitter: true },
+        ..ClientConfig::default()
+    });
+    run_case("none / jittered slow backoff", &ov);
+
+    let mut ov = base.clone();
+    ov.clients = Some(ClientConfig { retry_budget: 1, ..ClientConfig::default() });
+    run_case("none / jittered budget=1", &ov);
+
+    println!("-- full shedding: never metastable --");
+    let mut ov = base.clone();
+    ov.admission = Some(shed());
+    ov.clients = Some(jitter_free(ClientConfig::default()));
+    run_case("shed / jitter-free", &ov);
+
+    let mut ov = base.clone();
+    ov.admission = Some(shed());
+    ov.clients = Some(ClientConfig::default());
+    run_case("shed / jittered", &ov);
+
+    println!("-- bare bounded queue at the boundary: jitter decides --");
+    for cap in [20usize, 22, 24, 25, 26, 27, 28, 29, 30, 31, 32] {
+        let mut ov = base.clone();
+        ov.admission =
+            Some(AdmissionConfig { queue_cap: cap, deadline_headroom: 0.0, rate_limit: None });
+        ov.clients = Some(jitter_free(ClientConfig::default()));
+        run_case(&format!("qcap={cap} / jitter-free"), &ov);
+        let mut ov2 = ov.clone();
+        ov2.clients = Some(ClientConfig::default());
+        run_case(&format!("qcap={cap} / jittered"), &ov2);
+    }
+}

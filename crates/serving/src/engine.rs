@@ -678,6 +678,15 @@ fn simulate(
     let m_rung = format!("{scope}.rung");
     let m_decode_live = format!("{scope}.decode_replicas");
     let m_prefill_live = format!("{scope}.prefill_replicas");
+    // Time-series tracks for the watch detectors (`dsv3 audit`). The
+    // queue/kv/batch/rung names are shared with the counter samples
+    // above; series live in their own namespace in the recorder.
+    let s_offered = format!("{scope}.offered");
+    let s_good = format!("{scope}.slo.good");
+    let s_ttft_ok = format!("{scope}.slo.ttft_ok");
+    let s_tpot_ok = format!("{scope}.slo.tpot_ok");
+    let mut s_replica: Vec<String> = Vec::new();
+    let mut replica_counts: Vec<u32> = Vec::new();
 
     let mut prefill = match cfg.router {
         RouterPolicy::Unified => Prefill::Unified {
@@ -1027,6 +1036,12 @@ fn simulate(
         while let Some(req) = arrivals.next_if(|r| r.arrival_ms <= clock_ms) {
             let rid = req.id as usize;
             let at = req.arrival_ms;
+            if on {
+                // Fresh arrivals only: client retries re-enter elsewhere,
+                // so this series is the *offered* load the metastability
+                // detector compares goodput against.
+                rec.series(&s_offered, at, 1.0);
+            }
             if window_ms > 0.0 {
                 let w = (at / window_ms) as usize;
                 if windows.len() <= w {
@@ -1549,6 +1564,12 @@ fn simulate(
                         rec.observe(&m_tpot, tpot);
                     }
                     rec.observe(&m_e2e, e2e);
+                    let ok = |pass: bool| if pass { 1.0 } else { 0.0 };
+                    rec.series(&s_ttft_ok, clock_ms, ok(ttft <= cfg.slo.ttft_ms));
+                    if job.req.output_tokens > 1 {
+                        rec.series(&s_tpot_ok, clock_ms, ok(tpot <= cfg.slo.tpot_ms));
+                    }
+                    rec.series(&s_good, clock_ms, ok(is_good));
                 }
             } else {
                 idx += 1;
@@ -1562,12 +1583,32 @@ fn simulate(
             rec.counter_sample(pid_engine, &m_batch, ts, step_batch as f64);
             rec.counter_sample(pid_engine, &m_queue, ts, ready.len() as f64);
             rec.counter_sample(pid_engine, &m_kv, ts, kv.utilization());
+            rec.series(&m_batch, clock_ms, step_batch as f64);
+            rec.series(&m_queue, clock_ms, ready.len() as f64);
+            rec.series(&m_kv, clock_ms, kv.utilization());
             if ov_any {
                 rec.counter_sample(pid_engine, &m_rung, ts, ladder.level as f64);
+                rec.series(&m_rung, clock_ms, ladder.level as f64);
                 if let Some(ast) = &ascale {
                     rec.counter_sample(pid_engine, &m_decode_live, ts, ast.decode_live as f64);
                     rec.counter_sample(pid_engine, &m_prefill_live, ts, ast.prefill_live as f64);
+                    rec.series(&m_decode_live, clock_ms, ast.decode_live as f64);
+                    rec.series(&m_prefill_live, clock_ms, ast.prefill_live as f64);
                 }
+            }
+            // Per-replica active-load series for the straggler detector,
+            // using the same index→replica mapping as crash handling.
+            let rmap = ascale.as_ref().map_or(fstate.replicas, |s| s.decode_live.max(1));
+            while s_replica.len() < rmap {
+                s_replica.push(format!("{scope}.replica{}.active", s_replica.len()));
+            }
+            replica_counts.clear();
+            replica_counts.resize(rmap, 0);
+            for i in 0..active.len() {
+                replica_counts[i % rmap] += 1;
+            }
+            for (name, &c) in s_replica.iter().zip(&replica_counts) {
+                rec.series(name, clock_ms, f64::from(c));
             }
         }
     }

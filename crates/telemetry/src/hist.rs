@@ -215,8 +215,39 @@ mod tests {
     fn single_sample_is_every_quantile() {
         let mut h = Histogram::new();
         h.observe(7.5);
-        for p in [0.0, 50.0, 100.0] {
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
             assert_eq!(h.quantile(p), 7.5);
+        }
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let mut h = Histogram::new();
+        // 499 fast samples and one huge straggler: p99 must not see it
+        // (rank 495 of 500), p999 (rank 500) and p100 must.
+        for _ in 0..499 {
+            h.observe(1.0);
+        }
+        h.observe(1_000.0);
+        let p99 = h.quantile(99.0);
+        assert!((1.0..=growth() * 1.000_001).contains(&p99), "p99 {p99} saw the straggler");
+        let p999 = h.quantile(99.9);
+        assert!(p999 >= 1_000.0 / growth() && p999 <= 1_000.0, "p999 {p999}");
+        assert_eq!(h.quantile(100.0), 1_000.0);
+        assert!(p99 <= p999 && p999 <= h.quantile(100.0));
+    }
+
+    #[test]
+    fn endpoint_quantiles_are_exact_for_every_size() {
+        // p0 and p100 return the exact (unbucketed) extremes whatever
+        // the sample count, including n = 1 and n = 2.
+        for n in [1usize, 2, 3, 10, 101] {
+            let mut h = Histogram::new();
+            for i in 0..n {
+                h.observe(0.3 + i as f64 * 1.7);
+            }
+            assert_eq!(h.quantile(0.0), 0.3, "n={n}");
+            assert_eq!(h.quantile(100.0), 0.3 + (n - 1) as f64 * 1.7, "n={n}");
         }
     }
 }

@@ -36,11 +36,24 @@
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod incident;
 pub mod manifest;
 pub mod recorder;
+pub mod series;
 pub mod trace;
+pub mod watch;
 
 pub use hist::{growth, Histogram};
-pub use manifest::{config_hash, manifest_wrap, MetricsDocument, RunManifest};
-pub use recorder::{HistogramSummary, MetricsSnapshot, Recorder};
+pub use incident::{Alert, BlameConfig, BlameEntry, IncidentReport};
+pub use manifest::{
+    config_hash, manifest_wrap, validate_metrics_document, MetricsDocStats, MetricsDocument,
+    RunManifest,
+};
+pub use recorder::{
+    HistogramSummary, MetricsSnapshot, Recorder, DEFAULT_MAX_EVENTS, DROPPED_EVENTS_COUNTER,
+};
+pub use series::{Series, SeriesBucket, DEFAULT_MAX_BUCKETS};
 pub use trace::{validate_chrome_trace, ChromeTrace, TraceEvent, TraceStats};
+pub use watch::{
+    evaluate, BurnRateConfig, ChangepointConfig, MetastabilityConfig, OutlierConfig, WatchConfig,
+};

@@ -19,6 +19,9 @@ pub struct RunManifest {
     pub config_hash: String,
     /// Workspace crate version the run was built from.
     pub crate_version: String,
+    /// Trace events dropped at the recorder's buffer cap (0 in any
+    /// healthy run; nonzero means the trace is incomplete).
+    pub dropped_events: u64,
     /// Counter snapshot at export time.
     pub counters: BTreeMap<String, u64>,
 }
@@ -32,6 +35,7 @@ impl RunManifest {
             seed,
             config_hash: config_hash(config_json),
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            dropped_events: rec.dropped_events(),
             counters: rec.counters().clone(),
         }
     }
@@ -80,6 +84,115 @@ pub fn manifest_wrap(manifest: &RunManifest, report_json: &str) -> String {
     serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("null"))
 }
 
+/// What [`validate_metrics_document`] counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsDocStats {
+    /// Counters in the metrics section.
+    pub counters: usize,
+    /// Gauges in the metrics section.
+    pub gauges: usize,
+    /// Histogram summaries in the metrics section.
+    pub histograms: usize,
+    /// Dropped trace events reported by the manifest.
+    pub dropped_events: u64,
+}
+
+/// Parse `json` as a `--metrics-out` document ([`MetricsDocument`]) and
+/// sanity-check it: manifest provenance fields, numeric counters and
+/// gauges, and internally-consistent histogram summaries (quantiles
+/// ordered, bracketed by min/max). The metrics sibling of
+/// [`crate::trace::validate_chrome_trace`], used by `dsv3 check-metrics`.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn validate_metrics_document(json: &str) -> Result<MetricsDocStats, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let Some(entries) = doc.as_object() else {
+        return Err("top level is not a JSON object".into());
+    };
+    let get = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+
+    let Some(manifest) = get("manifest").and_then(serde_json::Value::as_object) else {
+        return Err("missing \"manifest\" object".into());
+    };
+    let mget = |name: &str| manifest.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    for key in ["experiment", "config_hash", "crate_version"] {
+        if !matches!(mget(key), Some(serde_json::Value::Str(_))) {
+            return Err(format!("manifest: missing string \"{key}\""));
+        }
+    }
+    if let Some(serde_json::Value::Str(hash)) = mget("config_hash") {
+        if !hash.starts_with("fnv1a64:") {
+            return Err(format!("manifest: config_hash {hash:?} lacks fnv1a64: prefix"));
+        }
+    }
+    for key in ["seed", "dropped_events"] {
+        if mget(key).and_then(serde_json::Value::as_f64).is_none() {
+            return Err(format!("manifest: missing numeric \"{key}\""));
+        }
+    }
+    let dropped_events =
+        mget("dropped_events").and_then(serde_json::Value::as_f64).unwrap_or(0.0) as u64;
+
+    let Some(metrics) = get("metrics").and_then(serde_json::Value::as_object) else {
+        return Err("missing \"metrics\" object".into());
+    };
+    let sget = |name: &str| metrics.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let section = |name: &str| -> Result<&[(String, serde_json::Value)], String> {
+        sget(name)
+            .and_then(serde_json::Value::as_object)
+            .ok_or_else(|| format!("metrics: missing \"{name}\" object"))
+    };
+
+    let counters = section("counters")?;
+    for (name, v) in counters {
+        if v.as_f64().is_none() {
+            return Err(format!("counter {name:?}: not numeric"));
+        }
+    }
+    let gauges = section("gauges")?;
+    for (name, v) in gauges {
+        if v.as_f64().is_none() {
+            return Err(format!("gauge {name:?}: not numeric"));
+        }
+    }
+    let histograms = section("histograms")?;
+    for (name, v) in histograms {
+        let Some(fields) = v.as_object() else {
+            return Err(format!("histogram {name:?}: not an object"));
+        };
+        let hget = |key: &str| fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_f64());
+        let mut vals = [0.0_f64; 9];
+        let keys = ["count", "sum", "mean", "min", "max", "p50", "p95", "p99", "p999"];
+        for (slot, key) in vals.iter_mut().zip(keys) {
+            match hget(key) {
+                Some(x) => *slot = x,
+                None => return Err(format!("histogram {name:?}: missing numeric \"{key}\"")),
+            }
+        }
+        let [count, _, _, min, max, p50, p95, p99, p999] = vals;
+        if count < 1.0 {
+            return Err(format!("histogram {name:?}: empty (count {count})"));
+        }
+        let ordered = min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= p999 && p999 <= max;
+        if !ordered {
+            return Err(format!(
+                "histogram {name:?}: quantiles out of order \
+                 (min {min} p50 {p50} p95 {p95} p99 {p99} p999 {p999} max {max})"
+            ));
+        }
+    }
+
+    Ok(MetricsDocStats {
+        counters: counters.len(),
+        gauges: gauges.len(),
+        histograms: histograms.len(),
+        dropped_events,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +229,56 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&m).expect("serializes"))
                 .expect("round-trips");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn validate_accepts_real_metrics_document() {
+        let mut rec = Recorder::new();
+        rec.counter_add("done", 3);
+        rec.gauge_set("util", 0.5);
+        for v in [1.0, 5.0, 9.0] {
+            rec.observe("lat", v);
+        }
+        let doc = MetricsDocument {
+            manifest: RunManifest::capture("serving", 7, "{}", &rec),
+            metrics: rec.snapshot(),
+        };
+        let json = serde_json::to_string(&doc).expect("serializes");
+        let stats = validate_metrics_document(&json).expect("valid");
+        assert_eq!(
+            stats,
+            MetricsDocStats { counters: 1, gauges: 1, histograms: 1, dropped_events: 0 }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate_metrics_document("not json").is_err());
+        assert!(validate_metrics_document("{}").is_err());
+        assert!(validate_metrics_document("{\"manifest\": {}, \"metrics\": {}}").is_err());
+        // Valid manifest but metrics sections missing.
+        let m = RunManifest::capture("e", 1, "{}", &Recorder::new());
+        let mjson = serde_json::to_string(&m).expect("serializes");
+        let doc = format!("{{\"manifest\": {mjson}, \"metrics\": {{}}}}");
+        assert!(validate_metrics_document(&doc).is_err());
+        // Out-of-order quantiles are caught.
+        let bad = format!(
+            "{{\"manifest\": {mjson}, \"metrics\": {{\"counters\": {{}}, \"gauges\": {{}}, \
+             \"histograms\": {{\"h\": {{\"count\": 1, \"sum\": 1, \"mean\": 1, \"min\": 1, \
+             \"max\": 1, \"p50\": 2, \"p95\": 1, \"p99\": 1, \"p999\": 1}}}}}}}}"
+        );
+        assert!(validate_metrics_document(&bad).is_err());
+    }
+
+    #[test]
+    fn capture_surfaces_dropped_events() {
+        let mut rec = Recorder::new();
+        rec.set_max_events(1);
+        rec.instant(1, 1, "c", "a", 0.0);
+        rec.instant(1, 1, "c", "b", 1.0);
+        let m = RunManifest::capture("e", 1, "{}", &rec);
+        assert_eq!(m.dropped_events, 1);
+        assert_eq!(m.counters[crate::recorder::DROPPED_EVENTS_COUNTER], 1);
     }
 
     #[test]

@@ -12,7 +12,18 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::hist::Histogram;
+use crate::series::Series;
 use crate::trace::{ChromeTrace, TraceEvent};
+
+/// Default cap on buffered trace events (satellite of ISSUE 8): generous
+/// enough that no current experiment comes near it, but bounded so a
+/// runaway instrumentation loop degrades to dropped events + a counter
+/// instead of unbounded memory growth.
+pub const DEFAULT_MAX_EVENTS: usize = 4_000_000;
+
+/// Counter bumped once per trace event dropped at the cap; surfaced in
+/// `RunManifest::dropped_events`.
+pub const DROPPED_EVENTS_COUNTER: &str = "telemetry.dropped_events";
 
 /// Bucketless summary of one histogram, for metrics snapshots.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +44,8 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// 99th percentile (within one bucket width).
     pub p99: f64,
+    /// 99.9th percentile (within one bucket width).
+    pub p999: f64,
 }
 
 /// Every labeled metric a [`Recorder`] accumulated, in serializable form
@@ -50,12 +63,13 @@ pub struct MetricsSnapshot {
 /// Sim-time telemetry sink: counters, gauges, histograms, and Chrome
 /// trace events. See the crate docs for the determinism and disabled
 /// no-op contracts.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recorder {
     enabled: bool,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Series>,
     events: Vec<TraceEvent>,
     /// Process label → pid, in registration order.
     pids: BTreeMap<String, u64>,
@@ -63,6 +77,14 @@ pub struct Recorder {
     tids: BTreeMap<(u64, String), u64>,
     next_pid: u64,
     next_tid: BTreeMap<u64, u64>,
+    max_events: usize,
+    dropped_events: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::disabled()
+    }
 }
 
 impl Recorder {
@@ -82,12 +104,40 @@ impl Recorder {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            series: BTreeMap::new(),
             events: Vec::new(),
             pids: BTreeMap::new(),
             tids: BTreeMap::new(),
             next_pid: 1,
             next_tid: BTreeMap::new(),
+            max_events: DEFAULT_MAX_EVENTS,
+            dropped_events: 0,
         }
+    }
+
+    /// Override the trace-event buffer cap (see [`DEFAULT_MAX_EVENTS`]).
+    /// Events arriving past the cap are dropped, counted in
+    /// [`DROPPED_EVENTS_COUNTER`] and [`Recorder::dropped_events`].
+    pub fn set_max_events(&mut self, max_events: usize) {
+        self.max_events = max_events;
+    }
+
+    /// Trace events dropped at the buffer cap so far.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Buffer `event`, or drop it (and account for the drop) at the cap.
+    /// Metric maps (counters/gauges/histograms/series) are never capped —
+    /// they are bounded by label cardinality, not run length.
+    fn push_event(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.max_events {
+            self.dropped_events += 1;
+            *self.counters.entry(DROPPED_EVENTS_COUNTER.to_string()).or_insert(0) += 1;
+            return;
+        }
+        self.events.push(event);
     }
 
     /// Whether this recorder records anything. Instrumentation sites
@@ -111,7 +161,7 @@ impl Recorder {
         let pid = self.next_pid;
         self.next_pid += 1;
         self.pids.insert(label.to_string(), pid);
-        self.events.push(meta_event("process_name", label, pid, 0));
+        self.push_event(meta_event("process_name", label, pid, 0));
         pid
     }
 
@@ -130,7 +180,7 @@ impl Recorder {
         let tid = *next;
         *next += 1;
         self.tids.insert(key, tid);
-        self.events.push(meta_event("thread_name", label, pid, tid));
+        self.push_event(meta_event("thread_name", label, pid, tid));
         tid
     }
 
@@ -140,7 +190,7 @@ impl Recorder {
         if !self.enabled {
             return;
         }
-        self.events.push(TraceEvent {
+        self.push_event(TraceEvent {
             name: name.to_string(),
             cat: cat.to_string(),
             ph: "X".to_string(),
@@ -157,7 +207,7 @@ impl Recorder {
         if !self.enabled {
             return;
         }
-        self.events.push(TraceEvent {
+        self.push_event(TraceEvent {
             name: name.to_string(),
             cat: cat.to_string(),
             ph: "i".to_string(),
@@ -177,7 +227,7 @@ impl Recorder {
         }
         let mut args = BTreeMap::new();
         args.insert("value".to_string(), serde_json::Value::Float(value));
-        self.events.push(TraceEvent {
+        self.push_event(TraceEvent {
             name: name.to_string(),
             cat: "counter".to_string(),
             ph: "C".to_string(),
@@ -211,6 +261,37 @@ impl Recorder {
             return;
         }
         self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Record a `(sim-time, value)` sample into the bounded time series
+    /// `name` (workspace convention: `ts_ms` is milliseconds of sim
+    /// time). Series give gauges and counters a time dimension — they
+    /// are what the `watch` detectors replay.
+    pub fn series(&mut self, name: &str, ts_ms: f64, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.series.entry(name.to_string()).or_default().record(ts_ms, value);
+    }
+
+    /// All recorded time series, keyed by name (empty when disabled).
+    #[must_use]
+    pub fn series_map(&self) -> &BTreeMap<String, Series> {
+        &self.series
+    }
+
+    /// Read back one time series, if it exists.
+    #[must_use]
+    pub fn series_get(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Registered trace processes, label → pid (empty when disabled).
+    /// Incident attribution uses this to map an instant event's pid back
+    /// to the experiment scope that emitted it.
+    #[must_use]
+    pub fn processes(&self) -> &BTreeMap<String, u64> {
+        &self.pids
     }
 
     /// The accumulated counters (empty when disabled).
@@ -249,6 +330,7 @@ impl Recorder {
                         p50: h.quantile(50.0),
                         p95: h.quantile(95.0),
                         p99: h.quantile(99.0),
+                        p999: h.quantile(99.9),
                     },
                 )
             })
@@ -356,5 +438,62 @@ mod tests {
         let mut rec = Recorder::new();
         rec.span(1, 1, "c", "s", 5.0, 3.0);
         assert_eq!(rec.events()[0].dur, 0.0);
+    }
+
+    #[test]
+    fn event_cap_drops_and_counts() {
+        let mut rec = Recorder::new();
+        rec.set_max_events(3);
+        for i in 0..10 {
+            rec.instant(1, 1, "c", "i", f64::from(i));
+        }
+        assert_eq!(rec.events().len(), 3);
+        assert_eq!(rec.dropped_events(), 7);
+        assert_eq!(rec.counters()[DROPPED_EVENTS_COUNTER], 7);
+        // Metrics are not capped alongside events.
+        rec.counter_add("done", 1);
+        rec.observe("h", 1.0);
+        rec.series("s", 0.0, 1.0);
+        assert_eq!(rec.counters()["done"], 1);
+        assert_eq!(rec.series_get("s").map(crate::series::Series::count), Some(1));
+    }
+
+    #[test]
+    fn under_cap_nothing_drops() {
+        let mut rec = Recorder::new();
+        for i in 0..100 {
+            rec.instant(1, 1, "c", "i", f64::from(i));
+        }
+        assert_eq!(rec.dropped_events(), 0);
+        assert!(!rec.counters().contains_key(DROPPED_EVENTS_COUNTER));
+    }
+
+    #[test]
+    fn series_accumulate_and_disabled_is_noop() {
+        let mut rec = Recorder::new();
+        rec.series("q", 0.5, 2.0);
+        rec.series("q", 1.5, 4.0);
+        let s = rec.series_get("q").expect("recorded");
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(rec.series_map().len(), 1);
+
+        let mut off = Recorder::disabled();
+        off.series("q", 0.5, 2.0);
+        assert!(off.series_map().is_empty());
+        assert_eq!(off.dropped_events(), 0);
+    }
+
+    #[test]
+    fn snapshot_p999_brackets_tail() {
+        let mut rec = Recorder::new();
+        for i in 1..=1000 {
+            rec.observe("lat", f64::from(i));
+        }
+        let h = &rec.snapshot().histograms["lat"];
+        assert!(h.p999 >= h.p99);
+        assert!(h.p999 <= h.max);
+        assert!(h.p999 >= 999.0 / crate::hist::growth());
     }
 }

@@ -1,0 +1,330 @@
+//! Bounded, deterministically-downsampled time series.
+//!
+//! A [`Series`] is the time-dimensioned sibling of a gauge: callers feed
+//! `(timestamp, value)` samples and read back per-bucket aggregates
+//! (count / min / max / last / sum). Storage is bounded — when the
+//! number of occupied buckets would exceed the configured cap, the
+//! bucket width doubles and width-aligned neighbours merge. The merge is
+//! exact for every aggregate the bucket keeps: counts add, min/max take
+//! the envelope, sums add, and `last` follows the latest-stamped sample,
+//! so downsampling never invents or loses a sample (the proptests pin
+//! this down).
+//!
+//! Everything is keyed on integer bucket indices (`floor(ts / width)`),
+//! so a series filled in any order from the same samples converges to
+//! the same buckets: downsampling is a pure function of the sample set
+//! and the cap, never of arrival order or wall time.
+
+use std::collections::BTreeMap;
+
+/// Default cap on occupied buckets per series. Generous enough that a
+/// three-minute serving run at millisecond resolution keeps sub-second
+/// buckets, small enough that a million-sample series stays a few KiB.
+pub const DEFAULT_MAX_BUCKETS: usize = 512;
+
+/// Initial bucket width, in the caller's clock unit (the workspace
+/// convention is milliseconds of simulation time).
+pub const INITIAL_BUCKET_WIDTH: f64 = 1.0;
+
+/// Aggregates of the samples that landed in one bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesBucket {
+    /// Samples in the bucket.
+    pub count: u64,
+    /// Smallest sample value.
+    pub min: f64,
+    /// Largest sample value.
+    pub max: f64,
+    /// Sum of sample values (mean = `sum / count`).
+    pub sum: f64,
+    /// Value of the latest-stamped sample (ties: latest recorded).
+    pub last: f64,
+    /// Timestamp of the `last` sample.
+    pub last_ts: f64,
+}
+
+impl SeriesBucket {
+    fn of(ts: f64, value: f64) -> Self {
+        Self { count: 1, min: value, max: value, sum: value, last: value, last_ts: ts }
+    }
+
+    fn absorb(&mut self, other: &SeriesBucket) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        if other.last_ts >= self.last_ts {
+            self.last = other.last;
+            self.last_ts = other.last_ts;
+        }
+    }
+}
+
+/// One bounded time-series track (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    width: f64,
+    max_buckets: usize,
+    buckets: BTreeMap<i64, SeriesBucket>,
+    count: u64,
+}
+
+impl Default for Series {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Series {
+    /// An empty series with the default bucket cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_max_buckets(DEFAULT_MAX_BUCKETS)
+    }
+
+    /// An empty series bounded to at most `max_buckets` occupied buckets
+    /// (clamped to at least 2 so downsampling can always terminate).
+    #[must_use]
+    pub fn with_max_buckets(max_buckets: usize) -> Self {
+        Self {
+            width: INITIAL_BUCKET_WIDTH,
+            max_buckets: max_buckets.max(2),
+            buckets: BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    /// Record one `(timestamp, value)` sample. Non-finite timestamps or
+    /// values are ignored (they carry no envelope information and would
+    /// poison the sums), as are timestamps too large to index.
+    pub fn record(&mut self, ts: f64, value: f64) {
+        if !ts.is_finite() || !value.is_finite() {
+            return;
+        }
+        let mut idx = (ts / self.width).floor();
+        // Far outside any simulated horizon; refuse rather than wrap.
+        if idx.abs() >= 9.0e18 {
+            return;
+        }
+        if !self.buckets.contains_key(&(idx as i64)) {
+            while self.buckets.len() >= self.max_buckets {
+                self.double_width();
+                idx = (ts / self.width).floor();
+            }
+        }
+        let key = idx as i64;
+        match self.buckets.get_mut(&key) {
+            Some(b) => {
+                b.count += 1;
+                b.min = b.min.min(value);
+                b.max = b.max.max(value);
+                b.sum += value;
+                if ts >= b.last_ts {
+                    b.last = value;
+                    b.last_ts = ts;
+                }
+            }
+            None => {
+                self.buckets.insert(key, SeriesBucket::of(ts, value));
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Double the bucket width, merging width-aligned neighbours. Exact:
+    /// `floor(ts / 2w) == floor(floor(ts / w) / 2)` for every `ts`, so
+    /// each old bucket lands whole inside exactly one new bucket.
+    fn double_width(&mut self) {
+        self.width *= 2.0;
+        let old = std::mem::take(&mut self.buckets);
+        for (key, bucket) in old {
+            let merged = key.div_euclid(2);
+            match self.buckets.get_mut(&merged) {
+                Some(b) => b.absorb(&bucket),
+                None => {
+                    self.buckets.insert(merged, bucket);
+                }
+            }
+        }
+    }
+
+    /// Current bucket width (initially [`INITIAL_BUCKET_WIDTH`], doubled
+    /// on every downsampling pass).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Total samples recorded (exact, unaffected by downsampling).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether anything was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Occupied buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterate the buckets in time order as `(start_ts, &bucket)`; each
+    /// bucket covers `[start_ts, start_ts + width)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, &SeriesBucket)> {
+        let w = self.width;
+        self.buckets.iter().map(move |(&k, b)| (k as f64 * w, b))
+    }
+
+    /// Aggregate every bucket whose *start* falls in `[from, to)`.
+    /// Returns `None` when no bucket starts inside the window. The
+    /// half-open convention means adjacent windows partition the buckets
+    /// exactly, whatever the current bucket width.
+    #[must_use]
+    pub fn window(&self, from: f64, to: f64) -> Option<SeriesBucket> {
+        let mut acc: Option<SeriesBucket> = None;
+        for (start, b) in self.buckets() {
+            if start < from || start >= to {
+                continue;
+            }
+            match acc.as_mut() {
+                Some(a) => a.absorb(b),
+                None => acc = Some(*b),
+            }
+        }
+        acc
+    }
+
+    /// Smallest recorded value, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.buckets.values().map(|b| b.min).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Largest recorded value, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.buckets.values().map(|b| b.max).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Timestamp of the last occupied bucket's end (an upper bound on
+    /// the latest sample), if any.
+    #[must_use]
+    pub fn end_ts(&self) -> Option<f64> {
+        self.buckets.keys().next_back().map(|&k| (k as f64 + 1.0) * self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates_one_bucket() {
+        let mut s = Series::new();
+        s.record(0.25, 3.0);
+        s.record(0.75, 1.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.len(), 1);
+        let (start, b) = s.buckets().next().unwrap();
+        assert_eq!(start, 0.0);
+        assert_eq!(b.count, 2);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 3.0);
+        assert_eq!(b.sum, 4.0);
+        assert_eq!(b.last, 1.0, "latest-stamped sample wins");
+    }
+
+    #[test]
+    fn downsampling_bounds_buckets_and_preserves_count() {
+        let mut s = Series::with_max_buckets(8);
+        for i in 0..1000 {
+            s.record(f64::from(i), f64::from(i % 10));
+        }
+        assert!(s.len() <= 8, "cap respected: {} buckets", s.len());
+        assert_eq!(s.count(), 1000, "no sample lost");
+        assert_eq!(s.buckets().map(|(_, b)| b.count).sum::<u64>(), 1000);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!(s.width() >= 128.0, "width doubled: {}", s.width());
+    }
+
+    #[test]
+    fn last_follows_the_latest_timestamp_through_merges() {
+        let mut s = Series::with_max_buckets(2);
+        for i in 0..64 {
+            s.record(f64::from(i), f64::from(i));
+        }
+        let last_bucket = s.buckets().last().unwrap().1;
+        assert_eq!(last_bucket.last, 63.0);
+        assert_eq!(last_bucket.last_ts, 63.0);
+    }
+
+    #[test]
+    fn same_samples_any_order_same_buckets() {
+        let samples: Vec<(f64, f64)> =
+            (0..500).map(|i| (f64::from(i) * 0.7, f64::from(i % 17))).collect();
+        let mut fwd = Series::with_max_buckets(16);
+        let mut rev = Series::with_max_buckets(16);
+        for &(t, v) in &samples {
+            fwd.record(t, v);
+        }
+        for &(t, v) in samples.iter().rev() {
+            rev.record(t, v);
+        }
+        // Arrival order may leave the two at different widths mid-run;
+        // force both to the coarser width before comparing.
+        while fwd.width() < rev.width() {
+            fwd.double_width();
+        }
+        while rev.width() < fwd.width() {
+            rev.double_width();
+        }
+        let a: Vec<_> = fwd.buckets().map(|(s, b)| (s, *b)).collect();
+        let b: Vec<_> = rev.buckets().map(|(s, b)| (s, *b)).collect();
+        for ((sa, ba), (sb, bb)) in a.iter().zip(&b) {
+            assert_eq!(sa, sb);
+            assert_eq!(ba.count, bb.count);
+            assert_eq!(ba.min, bb.min);
+            assert_eq!(ba.max, bb.max);
+            assert!((ba.sum - bb.sum).abs() < 1e-9);
+            assert_eq!(ba.last, bb.last, "last is time-stamped, not order-stamped");
+        }
+    }
+
+    #[test]
+    fn window_partitions_half_open() {
+        let mut s = Series::new();
+        for i in 0..10 {
+            s.record(f64::from(i) + 0.5, 1.0);
+        }
+        let lo = s.window(0.0, 5.0).unwrap();
+        let hi = s.window(5.0, 10.0).unwrap();
+        assert_eq!(lo.count + hi.count, 10);
+        assert_eq!(lo.count, 5);
+        assert!(s.window(10.0, 20.0).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut s = Series::new();
+        s.record(f64::NAN, 1.0);
+        s.record(1.0, f64::INFINITY);
+        s.record(f64::INFINITY, 1.0);
+        s.record(2.0, 5.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn negative_timestamps_bucket_correctly() {
+        let mut s = Series::new();
+        s.record(-0.5, 2.0);
+        s.record(0.5, 3.0);
+        let starts: Vec<f64> = s.buckets().map(|(t, _)| t).collect();
+        assert_eq!(starts, vec![-1.0, 0.0]);
+    }
+}

@@ -1,0 +1,780 @@
+//! Streaming detectors over recorded time series: the SLO watchdog.
+//!
+//! [`evaluate`] replays every [`crate::series::Series`] a run recorded on
+//! a fixed grid of sim-time windows and runs four detector families over
+//! each experiment scope (the series-name prefix before the first `.`):
+//!
+//! | detector        | signal(s)                     | fires when |
+//! |-----------------|-------------------------------|------------|
+//! | `burn-rate`     | `ttft`, `tpot`, `goodput`     | short- AND long-window error rate burn the SLO budget faster than `burn_threshold`× |
+//! | `changepoint`   | `queue_depth`, `goodput`, `links_down` | EWMA-standardized CUSUM drifts beyond `h_sigma` |
+//! | `outlier`       | `replica{r}`                  | one replica's active load deviates from the fleet median by > max(`mad_k`·MAD, `min_abs`) |
+//! | `metastability` | `goodput`                     | goodput stays below `goodput_frac`× offered for `windows` consecutive windows *after* offered load has returned to its pre-spike baseline |
+//!
+//! Every detector runs through the same pending → firing → resolved
+//! lifecycle (dwell before paging, dwell before resolving), and every
+//! alert's onset is then correlated with recorded fault/chaos/overload
+//! instants by [`crate::incident::attribute`].
+//!
+//! Because all timestamps are simulation time, replaying the series
+//! after the run is *exactly* the online computation — the detectors see
+//! the same windows, in the same order, with the same values, as they
+//! would have streamed during it. Byte-identical runs produce
+//! byte-identical incident reports.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::incident::{attribute, Alert, BlameConfig, IncidentReport};
+use crate::recorder::Recorder;
+use crate::series::{Series, SeriesBucket};
+
+/// Multi-window SLO burn-rate alerting (the SRE workbook shape: a fast
+/// window to catch cliffs, a slow window to suppress blips).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurnRateConfig {
+    /// Fast lookback, in windows.
+    pub short_windows: usize,
+    /// Slow lookback, in windows.
+    pub long_windows: usize,
+    /// Acceptable error fraction (the SLO budget).
+    pub error_budget: f64,
+    /// Both lookbacks must burn budget faster than this multiple.
+    pub burn_threshold: f64,
+    /// Consecutive breaching windows before firing.
+    pub dwell_windows: usize,
+    /// Consecutive clear windows before resolving.
+    pub resolve_windows: usize,
+}
+
+impl Default for BurnRateConfig {
+    fn default() -> Self {
+        Self {
+            short_windows: 1,
+            long_windows: 6,
+            error_budget: 0.05,
+            burn_threshold: 4.0,
+            dwell_windows: 1,
+            resolve_windows: 2,
+        }
+    }
+}
+
+/// EWMA-standardized CUSUM changepoint detection on level signals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangepointConfig {
+    /// EWMA smoothing factor for the running mean/variance.
+    pub alpha: f64,
+    /// CUSUM slack, in standard deviations (drift smaller than this is
+    /// absorbed).
+    pub k_sigma: f64,
+    /// CUSUM decision threshold, in standard deviations.
+    pub h_sigma: f64,
+    /// Windows used purely to prime the EWMA before detection starts.
+    pub warmup_windows: usize,
+    /// Consecutive clear windows before resolving.
+    pub resolve_windows: usize,
+}
+
+impl Default for ChangepointConfig {
+    fn default() -> Self {
+        Self { alpha: 0.3, k_sigma: 0.5, h_sigma: 5.0, warmup_windows: 3, resolve_windows: 2 }
+    }
+}
+
+/// Cross-replica straggler detection via median absolute deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutlierConfig {
+    /// Deviation threshold, in MADs.
+    pub mad_k: f64,
+    /// Absolute deviation floor (suppresses MAD≈0 pathologies when the
+    /// fleet is uniformly idle).
+    pub min_abs: f64,
+    /// Minimum replicas reporting in a window for it to count.
+    pub min_peers: usize,
+    /// Consecutive deviant windows before firing.
+    pub dwell_windows: usize,
+    /// Consecutive conforming windows before resolving.
+    pub resolve_windows: usize,
+}
+
+impl Default for OutlierConfig {
+    fn default() -> Self {
+        Self { mad_k: 4.0, min_abs: 2.0, min_peers: 3, dwell_windows: 2, resolve_windows: 2 }
+    }
+}
+
+/// Metastable-failure detection: the load is back, the goodput is not.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetastabilityConfig {
+    /// Goodput must stay below this fraction of offered load.
+    pub goodput_frac: f64,
+    /// "Back at baseline" means offered ≤ (1 + `load_tol`) × baseline.
+    pub load_tol: f64,
+    /// Consecutive degraded baseline-load windows before firing.
+    pub windows: usize,
+    /// A window only counts as a spike when offered exceeds this
+    /// multiple of baseline; without any spike the detector is inert.
+    pub min_spike_mult: f64,
+}
+
+impl Default for MetastabilityConfig {
+    fn default() -> Self {
+        Self { goodput_frac: 0.5, load_tol: 0.25, windows: 6, min_spike_mult: 1.5 }
+    }
+}
+
+/// Top-level watchdog configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchConfig {
+    /// Detector evaluation window, ms of sim time.
+    pub window_ms: f64,
+    /// Burn-rate detector settings.
+    pub burn: BurnRateConfig,
+    /// Changepoint detector settings.
+    pub changepoint: ChangepointConfig,
+    /// Straggler outlier detector settings.
+    pub outlier: OutlierConfig,
+    /// Metastability detector settings.
+    pub metastability: MetastabilityConfig,
+    /// Incident attribution settings.
+    pub blame: BlameConfig,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 5_000.0,
+            burn: BurnRateConfig::default(),
+            changepoint: ChangepointConfig::default(),
+            outlier: OutlierConfig::default(),
+            metastability: MetastabilityConfig::default(),
+            blame: BlameConfig::default(),
+        }
+    }
+}
+
+/// One closed pending→firing(→resolved) episode from a lifecycle.
+struct Episode {
+    pending_ms: f64,
+    firing_ms: f64,
+    resolved_ms: Option<f64>,
+    peak: f64,
+}
+
+/// The shared alert lifecycle: `dwell` consecutive active windows to
+/// fire, `resolve` consecutive clear windows to resolve. A condition
+/// that clears before reaching dwell never alerts.
+struct Lifecycle {
+    dwell: usize,
+    resolve: usize,
+    consec_true: usize,
+    consec_false: usize,
+    pending: Option<f64>,
+    firing: Option<f64>,
+    clear_at: Option<f64>,
+    peak: f64,
+    episodes: Vec<Episode>,
+}
+
+impl Lifecycle {
+    fn new(dwell: usize, resolve: usize) -> Self {
+        Self {
+            dwell: dwell.max(1),
+            resolve: resolve.max(1),
+            consec_true: 0,
+            consec_false: 0,
+            pending: None,
+            firing: None,
+            clear_at: None,
+            peak: 0.0,
+            episodes: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.consec_true = 0;
+        self.consec_false = 0;
+        self.pending = None;
+        self.firing = None;
+        self.clear_at = None;
+        self.peak = 0.0;
+    }
+
+    fn step(&mut self, start_ms: f64, active: bool, value: f64) {
+        if active {
+            self.consec_false = 0;
+            self.clear_at = None;
+            if self.pending.is_none() {
+                self.pending = Some(start_ms);
+            }
+            self.consec_true += 1;
+            self.peak = self.peak.max(value);
+            if self.firing.is_none() && self.consec_true >= self.dwell {
+                self.firing = Some(start_ms);
+            }
+        } else {
+            self.consec_true = 0;
+            match (self.pending, self.firing) {
+                (Some(pending_ms), Some(firing_ms)) => {
+                    if self.clear_at.is_none() {
+                        self.clear_at = Some(start_ms);
+                    }
+                    self.consec_false += 1;
+                    if self.consec_false >= self.resolve {
+                        self.episodes.push(Episode {
+                            pending_ms,
+                            firing_ms,
+                            resolved_ms: self.clear_at,
+                            peak: self.peak,
+                        });
+                        self.reset();
+                    }
+                }
+                // Cleared before dwell: a blip, not an alert.
+                (Some(_), None) => self.reset(),
+                _ => {}
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<Episode> {
+        if let (Some(pending_ms), Some(firing_ms)) = (self.pending, self.firing) {
+            self.episodes.push(Episode {
+                pending_ms,
+                firing_ms,
+                resolved_ms: None,
+                peak: self.peak,
+            });
+        }
+        self.episodes
+    }
+}
+
+/// Per-window aggregates of one series on the evaluation grid.
+fn window_buckets(s: &Series, nwin: usize, window_ms: f64) -> Vec<Option<SeriesBucket>> {
+    (0..nwin)
+        .map(|w| {
+            let from = w as f64 * window_ms;
+            s.window(from, from + window_ms)
+        })
+        .collect()
+}
+
+fn counts(buckets: &[Option<SeriesBucket>]) -> Vec<u64> {
+    buckets.iter().map(|b| b.map_or(0, |b| b.count)).collect()
+}
+
+fn sums(buckets: &[Option<SeriesBucket>]) -> Vec<f64> {
+    buckets.iter().map(|b| b.map_or(0.0, |b| b.sum)).collect()
+}
+
+fn means(buckets: &[Option<SeriesBucket>]) -> Vec<Option<f64>> {
+    buckets
+        .iter()
+        .map(|b| b.and_then(|b| if b.count > 0 { Some(b.sum / b.count as f64) } else { None }))
+        .collect()
+}
+
+fn lasts(buckets: &[Option<SeriesBucket>]) -> Vec<Option<f64>> {
+    buckets.iter().map(|b| b.map(|b| b.last)).collect()
+}
+
+/// Carry the last observed value into empty windows (level signals keep
+/// their value between samples; the sampler just didn't run).
+fn carry_forward(sig: &[Option<f64>]) -> Vec<Option<f64>> {
+    let mut held = None;
+    sig.iter()
+        .map(|v| {
+            if v.is_some() {
+                held = *v;
+            }
+            held
+        })
+        .collect()
+}
+
+fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(values[values.len() / 2])
+}
+
+/// Trailing mean of the `Some` entries among the last `span` windows
+/// ending at `w` (inclusive); `None` when every entry is missing.
+fn trailing_mean(sig: &[Option<f64>], w: usize, span: usize) -> Option<f64> {
+    let lo = (w + 1).saturating_sub(span.max(1));
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for v in sig[lo..=w].iter().flatten() {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / f64::from(n))
+    }
+}
+
+fn push_episodes(
+    alerts: &mut Vec<Alert>,
+    episodes: Vec<Episode>,
+    scope: &str,
+    detector: &str,
+    signal: &str,
+    severity: &str,
+    detail: impl Fn(&Episode) -> String,
+) {
+    for ep in episodes {
+        alerts.push(Alert {
+            scope: scope.to_string(),
+            detector: detector.to_string(),
+            signal: signal.to_string(),
+            severity: severity.to_string(),
+            pending_ms: ep.pending_ms,
+            firing_ms: ep.firing_ms,
+            resolved_ms: ep.resolved_ms,
+            detail: detail(&ep),
+            blame: Vec::new(),
+        });
+    }
+}
+
+/// Burn-rate detection over one per-window error-fraction signal.
+fn burn_rate(
+    alerts: &mut Vec<Alert>,
+    scope: &str,
+    signal: &str,
+    err: &[Option<f64>],
+    window_ms: f64,
+    cfg: &BurnRateConfig,
+) {
+    let budget = cfg.error_budget.max(1e-9);
+    let mut lc = Lifecycle::new(cfg.dwell_windows, cfg.resolve_windows);
+    for w in 0..err.len() {
+        let short = trailing_mean(err, w, cfg.short_windows);
+        let long = trailing_mean(err, w, cfg.long_windows);
+        let (active, burn) = match (short, long) {
+            (Some(s), Some(l)) => {
+                let (bs, bl) = (s / budget, l / budget);
+                (bs > cfg.burn_threshold && bl > cfg.burn_threshold, bs.max(bl))
+            }
+            _ => (false, 0.0),
+        };
+        lc.step(w as f64 * window_ms, active, burn);
+    }
+    push_episodes(alerts, lc.finish(), scope, "burn-rate", signal, "page", |ep| {
+        format!(
+            "error budget {budget:.3} burned at up to {:.1}x over {}w/{}w windows",
+            ep.peak, cfg.short_windows, cfg.long_windows
+        )
+    });
+}
+
+/// EWMA-standardized CUSUM changepoint detection on one level signal.
+fn changepoint(
+    alerts: &mut Vec<Alert>,
+    scope: &str,
+    signal: &str,
+    sig: &[Option<f64>],
+    window_ms: f64,
+    cfg: &ChangepointConfig,
+) {
+    let alpha = cfg.alpha.clamp(0.01, 1.0);
+    let mut lc = Lifecycle::new(1, cfg.resolve_windows);
+    let mut mean = 0.0_f64;
+    let mut var = 0.0_f64;
+    let mut seen = 0usize;
+    let mut s_plus = 0.0_f64;
+    let mut s_minus = 0.0_f64;
+    for (w, v) in sig.iter().enumerate() {
+        let Some(x) = *v else {
+            lc.step(w as f64 * window_ms, false, 0.0);
+            continue;
+        };
+        let mut active = false;
+        let mut peak = 0.0;
+        if seen >= cfg.warmup_windows {
+            let sigma = var.sqrt().max(1e-9);
+            let z = (x - mean) / sigma;
+            s_plus = (s_plus + z - cfg.k_sigma).max(0.0);
+            s_minus = (s_minus - z - cfg.k_sigma).max(0.0);
+            peak = s_plus.max(s_minus);
+            active = peak > cfg.h_sigma;
+        }
+        let diff = x - mean;
+        mean += alpha * diff;
+        var = (1.0 - alpha) * (var + alpha * diff * diff);
+        seen += 1;
+        lc.step(w as f64 * window_ms, active, peak);
+    }
+    push_episodes(alerts, lc.finish(), scope, "changepoint", signal, "warn", |ep| {
+        format!("cusum peaked at {:.1} sigma (threshold {:.1})", ep.peak, cfg.h_sigma)
+    });
+}
+
+/// Median/MAD cross-replica outlier detection.
+fn outliers(
+    alerts: &mut Vec<Alert>,
+    scope: &str,
+    replicas: &[(String, Vec<Option<f64>>)],
+    window_ms: f64,
+    cfg: &OutlierConfig,
+) {
+    if replicas.len() < cfg.min_peers {
+        return;
+    }
+    let nwin = replicas.first().map_or(0, |(_, sig)| sig.len());
+    let mut lcs: Vec<Lifecycle> =
+        replicas.iter().map(|_| Lifecycle::new(cfg.dwell_windows, cfg.resolve_windows)).collect();
+    for w in 0..nwin {
+        let mut present: Vec<f64> = replicas.iter().filter_map(|(_, sig)| sig[w]).collect();
+        let (med, mad) = if present.len() >= cfg.min_peers {
+            let med = median(&mut present).unwrap_or(0.0);
+            let mut devs: Vec<f64> = present.iter().map(|v| (v - med).abs()).collect();
+            (Some(med), median(&mut devs).unwrap_or(0.0))
+        } else {
+            (None, 0.0)
+        };
+        let threshold = (cfg.mad_k * mad).max(cfg.min_abs);
+        for (lc, (_, sig)) in lcs.iter_mut().zip(replicas) {
+            let (active, dev) = match (med, sig[w]) {
+                (Some(med), Some(v)) => {
+                    let dev = (v - med).abs();
+                    (dev > threshold, dev)
+                }
+                _ => (false, 0.0),
+            };
+            lc.step(w as f64 * window_ms, active, dev);
+        }
+    }
+    for (lc, (signal, _)) in lcs.into_iter().zip(replicas) {
+        push_episodes(alerts, lc.finish(), scope, "outlier", signal, "warn", |ep| {
+            format!("deviation from fleet median peaked at {:.2} active requests", ep.peak)
+        });
+    }
+}
+
+/// Metastability detection: after a spike, offered load is back at
+/// baseline but goodput is not.
+fn metastability(
+    alerts: &mut Vec<Alert>,
+    scope: &str,
+    offered: &[u64],
+    good: &[f64],
+    window_ms: f64,
+    cfg: &MetastabilityConfig,
+) {
+    let mut positive: Vec<f64> = offered.iter().filter(|&&c| c > 0).map(|&c| c as f64).collect();
+    let Some(baseline) = median(&mut positive) else {
+        return;
+    };
+    let spike_at = offered.iter().position(|&c| (c as f64) > cfg.min_spike_mult * baseline);
+    let Some(spike_w) = spike_at else {
+        return;
+    };
+    let mut lc = Lifecycle::new(cfg.windows, 2);
+    for w in (spike_w + 1)..offered.len() {
+        let off = offered[w] as f64;
+        let at_baseline = off > 0.0 && off <= (1.0 + cfg.load_tol) * baseline;
+        let degraded = good[w] < cfg.goodput_frac * off;
+        let deficit = if off > 0.0 { 1.0 - good[w] / off } else { 0.0 };
+        lc.step(w as f64 * window_ms, at_baseline && degraded, deficit);
+    }
+    push_episodes(alerts, lc.finish(), scope, "metastability", "goodput", "page", |ep| {
+        format!(
+            "goodput deficit held at up to {:.0}% for {}+ windows with offered load back at \
+             baseline ({baseline:.0}/window)",
+            ep.peak * 100.0,
+            cfg.windows
+        )
+    });
+}
+
+/// Replay every recorded series through the detector suite and return
+/// the attributed incident report. Pure function of the recorder
+/// contents: byte-identical runs yield byte-identical reports.
+#[must_use]
+pub fn evaluate(experiment: &str, rec: &Recorder, cfg: &WatchConfig) -> IncidentReport {
+    let window_ms = cfg.window_ms.max(1.0);
+    let end = rec.series_map().values().filter_map(Series::end_ts).fold(0.0_f64, f64::max);
+    let nwin = ((end / window_ms).ceil() as usize).clamp(1, 200_000);
+
+    let scopes: Vec<String> = rec
+        .series_map()
+        .keys()
+        .filter_map(|name| name.split('.').next())
+        .map(str::to_string)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let get = |name: String| rec.series_get(&name).map(|s| window_buckets(s, nwin, window_ms));
+
+    let mut alerts: Vec<Alert> = Vec::new();
+    for scope in &scopes {
+        let offered = get(format!("{scope}.offered")).map(|b| counts(&b));
+        let slo_good = get(format!("{scope}.slo.good"));
+        let slo_ttft = get(format!("{scope}.slo.ttft_ok"));
+        let slo_tpot = get(format!("{scope}.slo.tpot_ok"));
+        let queue = get(format!("{scope}.queue_depth"));
+        let links = get(format!("{scope}.links_down"));
+
+        // Per-window SLO error fractions among completions; a window with
+        // offered load but zero completions is a 100% goodput error.
+        let ok_err = |b: &Option<SeriesBucket>| {
+            b.and_then(|b| if b.count > 0 { Some(1.0 - b.sum / b.count as f64) } else { None })
+        };
+        if let Some(goodb) = &slo_good {
+            let ttft_err: Vec<Option<f64>> = slo_ttft.iter().flatten().map(ok_err).collect();
+            let tpot_err: Vec<Option<f64>> = slo_tpot.iter().flatten().map(ok_err).collect();
+            let good_err: Vec<Option<f64>> = goodb
+                .iter()
+                .enumerate()
+                .map(|(w, b)| {
+                    let offered_w = offered.as_ref().map_or(0, |o| o[w]);
+                    match ok_err(b) {
+                        Some(e) => Some(e),
+                        None if offered_w > 0 => Some(1.0),
+                        None => None,
+                    }
+                })
+                .collect();
+            burn_rate(&mut alerts, scope, "ttft", &ttft_err, window_ms, &cfg.burn);
+            burn_rate(&mut alerts, scope, "tpot", &tpot_err, window_ms, &cfg.burn);
+            burn_rate(&mut alerts, scope, "goodput", &good_err, window_ms, &cfg.burn);
+
+            let good_rate: Vec<Option<f64>> = sums(goodb).into_iter().map(Some).collect();
+            changepoint(&mut alerts, scope, "goodput", &good_rate, window_ms, &cfg.changepoint);
+
+            if let Some(off) = &offered {
+                metastability(&mut alerts, scope, off, &sums(goodb), window_ms, &cfg.metastability);
+            }
+        }
+        if let Some(q) = &queue {
+            let sig = carry_forward(&means(q));
+            changepoint(&mut alerts, scope, "queue_depth", &sig, window_ms, &cfg.changepoint);
+        }
+        if let Some(l) = &links {
+            let sig = carry_forward(&lasts(l));
+            changepoint(&mut alerts, scope, "links_down", &sig, window_ms, &cfg.changepoint);
+        }
+
+        let mut replicas: Vec<(String, Vec<Option<f64>>)> = Vec::new();
+        let prefix = format!("{scope}.replica");
+        for (name, s) in rec.series_map().range(prefix.clone()..) {
+            if !name.starts_with(&prefix) {
+                break;
+            }
+            if let Some(idx) =
+                name.strip_prefix(&prefix).and_then(|rest| rest.strip_suffix(".active"))
+            {
+                let sig = means(&window_buckets(s, nwin, window_ms));
+                replicas.push((format!("replica{idx}"), sig));
+            }
+        }
+        outliers(&mut alerts, scope, &replicas, window_ms, &cfg.outlier);
+    }
+
+    alerts.sort_by(|a, b| {
+        a.firing_ms
+            .partial_cmp(&b.firing_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.scope.cmp(&b.scope))
+            .then_with(|| a.detector.cmp(&b.detector))
+            .then_with(|| a.signal.cmp(&b.signal))
+    });
+    let firing = alerts.len();
+    let resolved = alerts.iter().filter(|a| a.resolved_ms.is_some()).count();
+    let blame = attribute(rec, &mut alerts, &cfg.blame);
+
+    IncidentReport {
+        experiment: experiment.to_string(),
+        window_ms,
+        scopes,
+        alerts,
+        blame,
+        firing,
+        resolved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: usize) -> f64 {
+        i as f64 * 5_000.0 + 2_500.0
+    }
+
+    /// A healthy scope: steady offered load, everything completing in SLO.
+    fn feed_healthy(rec: &mut Recorder, scope: &str, windows: usize) {
+        for i in 0..windows {
+            for j in 0..10 {
+                let ts = w(i) + f64::from(j as u32);
+                rec.series(&format!("{scope}.offered"), ts, 1.0);
+                rec.series(&format!("{scope}.slo.good"), ts, 1.0);
+                rec.series(&format!("{scope}.slo.ttft_ok"), ts, 1.0);
+                rec.series(&format!("{scope}.slo.tpot_ok"), ts, 1.0);
+                rec.series(&format!("{scope}.queue_depth"), ts, 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_run_raises_nothing() {
+        let mut rec = Recorder::new();
+        feed_healthy(&mut rec, "s", 30);
+        let report = evaluate("t", &rec, &WatchConfig::default());
+        assert_eq!(report.scopes, vec!["s".to_string()]);
+        assert!(report.alerts.is_empty(), "unexpected alerts: {:?}", report.alerts);
+    }
+
+    #[test]
+    fn sustained_slo_violation_fires_and_resolves_burn_rate() {
+        let mut rec = Recorder::new();
+        // 10 healthy windows, 8 windows of 100% TTFT violation, 10 healthy.
+        for i in 0..28 {
+            let ok = !(10..18).contains(&i);
+            for j in 0..10 {
+                let ts = w(i) + f64::from(j as u32);
+                rec.series("s.offered", ts, 1.0);
+                rec.series("s.slo.good", ts, if ok { 1.0 } else { 0.0 });
+                rec.series("s.slo.ttft_ok", ts, if ok { 1.0 } else { 0.0 });
+                rec.series("s.slo.tpot_ok", ts, 1.0);
+            }
+        }
+        let report = evaluate("t", &rec, &WatchConfig::default());
+        let ttft: Vec<&Alert> = report.alerts.iter().filter(|a| a.signal == "ttft").collect();
+        assert_eq!(ttft.len(), 1, "alerts: {:?}", report.alerts);
+        let a = ttft[0];
+        assert_eq!(a.detector, "burn-rate");
+        assert_eq!(a.severity, "page");
+        assert!(a.pending_ms >= 50_000.0 && a.pending_ms < 70_000.0, "onset {}", a.pending_ms);
+        assert!(a.resolved_ms.is_some(), "should resolve after recovery");
+        // No TPOT alert: that signal stayed clean.
+        assert!(!report.alerts.iter().any(|a| a.signal == "tpot"));
+    }
+
+    #[test]
+    fn queue_level_shift_fires_changepoint() {
+        let mut rec = Recorder::new();
+        for i in 0..30 {
+            let depth = if i < 15 { 2.0 } else { 40.0 };
+            for j in 0..5 {
+                rec.series("s.queue_depth", w(i) + f64::from(j as u32), depth);
+            }
+        }
+        let report = evaluate("t", &rec, &WatchConfig::default());
+        let cp: Vec<&Alert> = report
+            .alerts
+            .iter()
+            .filter(|a| a.detector == "changepoint" && a.signal == "queue_depth")
+            .collect();
+        assert_eq!(cp.len(), 1, "alerts: {:?}", report.alerts);
+        assert!((cp[0].pending_ms - 75_000.0).abs() <= 10_000.0, "onset {}", cp[0].pending_ms);
+    }
+
+    #[test]
+    fn straggling_replica_is_singled_out() {
+        let mut rec = Recorder::new();
+        for i in 0..20 {
+            for r in 0..4 {
+                let v = if r == 2 && i >= 8 { 30.0 } else { 4.0 };
+                for j in 0..5 {
+                    rec.series(&format!("s.replica{r}.active"), w(i) + f64::from(j as u32), v);
+                }
+            }
+        }
+        let report = evaluate("t", &rec, &WatchConfig::default());
+        let out: Vec<&Alert> = report.alerts.iter().filter(|a| a.detector == "outlier").collect();
+        assert_eq!(out.len(), 1, "alerts: {:?}", report.alerts);
+        assert_eq!(out[0].signal, "replica2");
+    }
+
+    #[test]
+    fn metastability_needs_a_spike_and_a_stuck_recovery() {
+        // Collapse after the spike: fires.
+        let mut rec = Recorder::new();
+        for i in 0..40 {
+            let offered = if (10..16).contains(&i) { 30 } else { 10 };
+            let good = if i < 10 { 10 } else { 0 };
+            for j in 0..offered {
+                rec.series("s.offered", w(i) + f64::from(j as u32), 1.0);
+            }
+            for j in 0..good {
+                rec.series("s.slo.good", w(i) + f64::from(j as u32), 1.0);
+            }
+        }
+        let report = evaluate("t", &rec, &WatchConfig::default());
+        let meta: Vec<&Alert> =
+            report.alerts.iter().filter(|a| a.detector == "metastability").collect();
+        assert_eq!(meta.len(), 1, "alerts: {:?}", report.alerts);
+        assert!(meta[0].pending_ms >= 80_000.0, "onset {} after spike end", meta[0].pending_ms);
+        assert!(meta[0].resolved_ms.is_none(), "never recovers");
+
+        // Same collapse with no preceding spike: the detector stays inert
+        // (that is overload, not metastability).
+        let mut rec2 = Recorder::new();
+        for i in 0..40 {
+            let good = if i < 10 { 10 } else { 0 };
+            for j in 0..10 {
+                rec2.series("s.offered", w(i) + f64::from(j as u32), 1.0);
+            }
+            for j in 0..good {
+                rec2.series("s.slo.good", w(i) + f64::from(j as u32), 1.0);
+            }
+        }
+        let report2 = evaluate("t", &rec2, &WatchConfig::default());
+        assert!(!report2.alerts.iter().any(|a| a.detector == "metastability"));
+
+        // Spike with clean recovery: silent.
+        let mut rec3 = Recorder::new();
+        for i in 0..40 {
+            let offered = if (10..16).contains(&i) { 30 } else { 10 };
+            let good = if (10..16).contains(&i) { 5 } else { 10 };
+            for j in 0..offered {
+                rec3.series("s.offered", w(i) + f64::from(j as u32), 1.0);
+            }
+            for j in 0..good {
+                rec3.series("s.slo.good", w(i) + f64::from(j as u32), 1.0);
+            }
+        }
+        let report3 = evaluate("t", &rec3, &WatchConfig::default());
+        assert!(!report3.alerts.iter().any(|a| a.detector == "metastability"));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let mut rec = Recorder::new();
+        feed_healthy(&mut rec, "a", 20);
+        for i in 0..20 {
+            let ok = i < 5;
+            for j in 0..10 {
+                let ts = w(i) + f64::from(j as u32);
+                rec.series("b.offered", ts, 1.0);
+                rec.series("b.slo.good", ts, if ok { 1.0 } else { 0.0 });
+                rec.series("b.slo.ttft_ok", ts, if ok { 1.0 } else { 0.0 });
+                rec.series("b.slo.tpot_ok", ts, 1.0);
+            }
+        }
+        let r1 = evaluate("t", &rec, &WatchConfig::default());
+        let r2 = evaluate("t", &rec, &WatchConfig::default());
+        assert_eq!(r1, r2);
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert_eq!(r1.render(), r2.render());
+        assert_eq!(r1.scopes, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn empty_recorder_yields_empty_report() {
+        let report = evaluate("t", &Recorder::disabled(), &WatchConfig::default());
+        assert!(report.scopes.is_empty());
+        assert!(report.alerts.is_empty());
+        assert_eq!(report.firing, 0);
+    }
+}

@@ -1,8 +1,11 @@
 //! Properties of the trace export: recorded spans survive a round trip
 //! through `serde_json` unchanged, and every export the recorder can
-//! produce passes its own validator.
+//! produce passes its own validator. Plus the series-downsampling
+//! invariants: whatever the bucket cap forces the series to merge, the
+//! total count is exact and the per-bucket min/max never escape the
+//! envelope of the raw sample stream.
 
-use dsv3_telemetry::{validate_chrome_trace, ChromeTrace, Recorder};
+use dsv3_telemetry::{validate_chrome_trace, ChromeTrace, Recorder, Series};
 use proptest::prelude::*;
 
 proptest! {
@@ -52,5 +55,57 @@ proptest! {
         prop_assert_eq!(stats.instants, n_instants);
         prop_assert_eq!(stats.counters, n_counters);
         prop_assert_eq!(stats.events, n_spans + n_instants + n_counters + 2);
+    }
+
+    #[test]
+    fn series_downsampling_preserves_count_and_envelope(
+        samples in prop::collection::vec(
+            (0.0f64..500_000.0, -1e6f64..1e6),
+            1..600,
+        ),
+        max_buckets in 2usize..64,
+    ) {
+        let mut s = Series::with_max_buckets(max_buckets);
+        for &(ts, v) in &samples {
+            s.record(ts, v);
+        }
+        // The cap holds however hostile the timestamp spread.
+        prop_assert!(s.len() <= max_buckets,
+            "cap {} exceeded: {} buckets", max_buckets, s.len());
+        // Merging buckets preserves the count exactly.
+        prop_assert_eq!(s.count(), samples.len() as u64);
+        let bucket_total: u64 = s.buckets().map(|(_, b)| b.count).sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        // And the min/max envelope of the raw stream.
+        let raw_min = samples.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let raw_max = samples.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), Some(raw_min));
+        prop_assert_eq!(s.max(), Some(raw_max));
+        // Per-bucket aggregates stay inside the global envelope, and the
+        // per-bucket sums recompose to the raw sum.
+        for (_, b) in s.buckets() {
+            prop_assert!(b.min >= raw_min && b.max <= raw_max);
+            prop_assert!(b.min <= b.last && b.last <= b.max);
+        }
+        let raw_sum: f64 = samples.iter().map(|&(_, v)| v).sum();
+        let bucket_sum: f64 = s.buckets().map(|(_, b)| b.sum).sum();
+        prop_assert!((raw_sum - bucket_sum).abs() <= 1e-6 * (1.0 + raw_sum.abs()),
+            "sum drifted: raw {} vs buckets {}", raw_sum, bucket_sum);
+    }
+
+    #[test]
+    fn series_ignores_only_non_finite_samples(
+        good in prop::collection::vec((0.0f64..1e6, -1e3f64..1e3), 0..100),
+        bad in 0usize..20,
+    ) {
+        let mut s = Series::new();
+        for &(ts, v) in &good {
+            s.record(ts, v);
+        }
+        for i in 0..bad {
+            s.record(f64::NAN, i as f64);
+            s.record(i as f64, f64::INFINITY);
+        }
+        prop_assert_eq!(s.count(), good.len() as u64);
     }
 }

@@ -48,6 +48,20 @@ trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp" "$overload_tmp"' EXIT
 ./target/release/dsv3 overload --trace-out "$overload_tmp" > /dev/null
 ./target/release/dsv3 check-trace "$overload_tmp"
 
+echo "==> metrics smoke: dsv3 serving --metrics-out emits a valid metrics document"
+metrics_tmp="$(mktemp /tmp/dsv3_metrics.XXXXXX.json)"
+incidents_tmp="$(mktemp /tmp/dsv3_incidents.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp" "$overload_tmp" "$metrics_tmp" "$incidents_tmp"' EXIT
+./target/release/dsv3 serving --metrics-out "$metrics_tmp" > /dev/null
+./target/release/dsv3 check-metrics "$metrics_tmp"
+
+echo "==> audit smoke: dsv3 audit overload fires the watchdog deterministically"
+./target/release/dsv3 audit overload --incidents-out "$incidents_tmp" > /dev/null
+grep -q '"detector": "metastability"' "$incidents_tmp"
+
+echo "==> bench gate: watch overhead within budget, no >25% regression"
+scripts/bench_gate.sh run watch
+
 echo "==> examples build"
 cargo build --release --offline --examples
 
