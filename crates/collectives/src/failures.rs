@@ -8,6 +8,7 @@
 
 use crate::{Cluster, CollectiveReport};
 use dsv3_netsim::chaos::{LinkFlap, LinkSchedule};
+use dsv3_units::ms_to_us;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -205,8 +206,8 @@ pub fn link_schedule(cluster: &Cluster, sched: &FlapSchedule) -> LinkSchedule {
         for link in cluster.plane_links(f.plane) {
             flaps.push(LinkFlap {
                 link,
-                down_at_us: f.down_at_ms * 1000.0,
-                repair_us: f.repair_ms * 1000.0,
+                down_at_us: ms_to_us(f.down_at_ms),
+                repair_us: ms_to_us(f.repair_ms),
             });
         }
     }

@@ -30,7 +30,8 @@ fn usage(entries: &[Entry]) {
     println!("usage: dsv3 <experiment> [--json] [--trace-out <path>] [--metrics-out <path>]");
     println!("       dsv3 audit <experiment> [--json] [--incidents-out <path>]");
     println!("       dsv3 all [--json] | dsv3 list");
-    println!("       dsv3 check-trace <path> | dsv3 check-metrics <path>\n");
+    println!("       dsv3 check-trace <path> | dsv3 check-metrics <path>");
+    println!("       dsv3 lint [--rules <R1,R2,..>] [--baseline <path>] [--readiness]\n");
     println!("experiments:");
     for e in entries {
         let tag = if e.instrumented.is_some() { " [traceable]" } else { "" };
@@ -45,6 +46,9 @@ struct Cli {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     incidents_out: Option<String>,
+    rules: Option<String>,
+    baseline: Option<String>,
+    readiness: bool,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -54,11 +58,26 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         trace_out: None,
         metrics_out: None,
         incidents_out: None,
+        rules: None,
+        baseline: None,
+        readiness: false,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => cli.json = true,
+            "--readiness" => cli.readiness = true,
+            "--rules" | "--baseline" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return Err(format!("{flag} requires an argument"));
+                };
+                match flag.as_str() {
+                    "--rules" => cli.rules = Some(value.clone()),
+                    _ => cli.baseline = Some(value.clone()),
+                }
+            }
             "--trace-out" | "--metrics-out" | "--incidents-out" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -267,7 +286,11 @@ fn main() -> ExitCode {
         // `lint` is special: unlike the experiments it has a pass/fail
         // verdict, so a clean CI gate needs the exit code to carry it.
         Some("lint") => {
-            let report = dsv3_core::experiments::lint::run();
+            let opts = dsv3_core::experiments::lint::LintOptions {
+                rules: cli.rules.clone(),
+                baseline: cli.baseline.clone(),
+            };
+            let (report, readiness) = dsv3_core::experiments::lint::run_with(&opts);
             let rec = Recorder::new();
             let manifest =
                 RunManifest::capture("lint", 0, &dsv3_core::experiments::lint::config_json(), &rec);
@@ -291,7 +314,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            if cli.json {
+            if cli.readiness {
+                if cli.json {
+                    println!(
+                        "{}",
+                        dsv3_core::telemetry::manifest_wrap(&manifest, &readiness.render_json())
+                    );
+                } else {
+                    print!("{}", readiness.render_text());
+                }
+            } else if cli.json {
                 let body =
                     serde_json::to_string_pretty(&report).unwrap_or_else(|_| String::from("null"));
                 println!("{}", dsv3_core::telemetry::manifest_wrap(&manifest, &body));

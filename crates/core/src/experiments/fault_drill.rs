@@ -25,6 +25,7 @@ use dsv3_serving::{
     ServingReport, ServingSimConfig,
 };
 use dsv3_telemetry::Recorder;
+use dsv3_units::s_to_ms;
 use serde::{Deserialize, Serialize};
 
 /// One MTBF point of the training-availability validation.
@@ -202,10 +203,10 @@ fn availability_point(seed: u64, mtbf_h: f64) -> AvailabilityRow {
     // never runs out of failures early (which would inflate goodput).
     let timeline = FaultPlan::generate(&FaultPlanConfig {
         seed,
-        horizon_ms: horizon_s * 4.0 * 1_000.0,
+        horizon_ms: s_to_ms(horizon_s * 4.0),
         replicas: 1,
         planes: 1,
-        crash_mtbf_ms: av.mtbf_s * 1_000.0,
+        crash_mtbf_ms: s_to_ms(av.mtbf_s),
         crash_repair_ms: 0.0,
         ..FaultPlanConfig::default()
     });

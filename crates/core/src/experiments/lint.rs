@@ -35,12 +35,24 @@ pub struct LintReport {
     pub manifests_scanned: usize,
     /// Waivers that suppressed at least one finding.
     pub waivers_honored: usize,
+    /// Findings suppressed by a `--baseline` file.
+    pub baseline_suppressed: usize,
     /// Error-severity findings.
     pub errors: usize,
     /// Warning-severity findings.
     pub warnings: usize,
     /// All findings in (path, line, rule) order.
     pub findings: Vec<LintFinding>,
+}
+
+/// Knobs for one lint invocation, mirrored from the CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// `--rules U2,F2`: run only these families (comma-separated ids).
+    pub rules: Option<String>,
+    /// `--baseline <path>`: suppress findings whose rendered line
+    /// appears verbatim in this file.
+    pub baseline: Option<String>,
 }
 
 /// Locate the workspace root. The compile-time manifest dir of this
@@ -62,6 +74,7 @@ fn convert(report: &Report) -> LintReport {
         files_scanned: report.files_scanned,
         manifests_scanned: report.manifests_scanned,
         waivers_honored: report.waivers_honored,
+        baseline_suppressed: 0,
         errors: report.errors(),
         warnings: report.warnings(),
         findings: report
@@ -78,25 +91,84 @@ fn convert(report: &Report) -> LintReport {
     }
 }
 
+fn error_report(message: String) -> LintReport {
+    LintReport {
+        files_scanned: 0,
+        manifests_scanned: 0,
+        waivers_honored: 0,
+        baseline_suppressed: 0,
+        errors: 1,
+        warnings: 0,
+        findings: vec![LintFinding {
+            path: String::from("<workspace>"),
+            line: 0,
+            rule: String::from("IO"),
+            severity: String::from("error"),
+            message,
+        }],
+    }
+}
+
 /// Scan the workspace under the default policy.
 #[must_use]
 pub fn run() -> LintReport {
     match dsv3_lint::scan(&workspace_root()) {
         Ok(report) => convert(&report),
-        Err(e) => LintReport {
-            files_scanned: 0,
-            manifests_scanned: 0,
-            waivers_honored: 0,
-            errors: 1,
-            warnings: 0,
-            findings: vec![LintFinding {
-                path: String::from("<workspace>"),
-                line: 0,
-                rule: String::from("IO"),
-                severity: String::from("error"),
-                message: format!("cannot scan workspace: {e}"),
-            }],
-        },
+        Err(e) => error_report(format!("cannot scan workspace: {e}")),
+    }
+}
+
+/// Parse a `--rules` comma list into rule ids; unknown names are errors.
+pub fn parse_rules(spec: &str) -> Result<Vec<RuleId>, String> {
+    let mut out = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match RuleId::parse(name) {
+            Some(r) => out.push(r),
+            None => return Err(format!("unknown rule '{name}' in --rules")),
+        }
+    }
+    if out.is_empty() {
+        return Err(String::from("--rules names no rules"));
+    }
+    Ok(out)
+}
+
+/// Scan the workspace with CLI options: an optional `--rules` family
+/// filter, an optional `--baseline` suppression file, and always the
+/// P3 parallel-readiness report alongside the findings.
+#[must_use]
+pub fn run_with(opts: &LintOptions) -> (LintReport, dsv3_lint::ReadinessReport) {
+    let mut cfg = LintConfig::default_config();
+    if let Some(spec) = &opts.rules {
+        match parse_rules(spec) {
+            Ok(rules) => cfg.only = Some(rules),
+            Err(e) => return (error_report(e), dsv3_lint::ReadinessReport::default()),
+        }
+    }
+    match dsv3_lint::analyze_workspace(&workspace_root(), &cfg) {
+        Ok(mut analysis) => {
+            let mut suppressed = 0;
+            if let Some(path) = &opts.baseline {
+                match std::fs::read_to_string(path) {
+                    Ok(base) => {
+                        suppressed = dsv3_lint::apply_baseline(&mut analysis.report, &base);
+                    }
+                    Err(e) => {
+                        return (
+                            error_report(format!("cannot read baseline '{path}': {e}")),
+                            dsv3_lint::ReadinessReport::default(),
+                        )
+                    }
+                }
+            }
+            let mut report = convert(&analysis.report);
+            report.baseline_suppressed = suppressed;
+            (report, analysis.readiness)
+        }
+        Err(e) => (
+            error_report(format!("cannot scan workspace: {e}")),
+            dsv3_lint::ReadinessReport::default(),
+        ),
     }
 }
 

@@ -34,6 +34,7 @@ use dsv3_serving::{
     RateLimitConfig, RouterPolicy, ServingSimConfig,
 };
 use dsv3_telemetry::Recorder;
+use dsv3_units::s_to_ms;
 use serde::{Deserialize, Serialize};
 
 /// Steady-state SLO capacity of the scenario (requests/s): the largest
@@ -356,14 +357,14 @@ pub fn run_seeded_traced(seed: u64, rec: &mut Recorder) -> OverloadReport {
     }
 
     // Spike study: 0.9× — 2× — 0.9×, one arm per policy.
-    let pre = Phase { duration_ms: PRE_S * 1_000.0, rate_per_s: 0.9 * CAPACITY_RPS };
-    let spike_ph = Phase { duration_ms: SPIKE_S * 1_000.0, rate_per_s: 2.0 * CAPACITY_RPS };
-    let post = Phase { duration_ms: POST_S * 1_000.0, rate_per_s: 0.9 * CAPACITY_RPS };
+    let pre = Phase { duration_ms: s_to_ms(PRE_S), rate_per_s: 0.9 * CAPACITY_RPS };
+    let spike_ph = Phase { duration_ms: s_to_ms(SPIKE_S), rate_per_s: 2.0 * CAPACITY_RPS };
+    let post = Phase { duration_ms: s_to_ms(POST_S), rate_per_s: 0.9 * CAPACITY_RPS };
     let spike_n = ((pre.duration_ms * pre.rate_per_s
         + spike_ph.duration_ms * spike_ph.rate_per_s
         + post.duration_ms * post.rate_per_s)
         / 1_000.0) as usize;
-    let spike_end_ms = (PRE_S + SPIKE_S) * 1_000.0;
+    let spike_end_ms = s_to_ms(PRE_S + SPIKE_S);
     let mut spike = Vec::new();
     for policy in POLICIES {
         let arrival = ArrivalProcess::Phased { phases: vec![pre, spike_ph, post] };
@@ -377,7 +378,7 @@ pub fn run_seeded_traced(seed: u64, rec: &mut Recorder) -> OverloadReport {
             window_mean_rps(&r.timeline, spike_end_ms + 60_000.0, spike_end_ms + 120_000.0);
         spike.push(SpikeArm {
             policy: policy.to_string(),
-            spike_goodput_rps: window_mean_rps(&r.timeline, PRE_S * 1_000.0, spike_end_ms),
+            spike_goodput_rps: window_mean_rps(&r.timeline, s_to_ms(PRE_S), spike_end_ms),
             plateau_goodput_rps: plateau,
             recovery_goodput_rps: recovery,
             metastable: plateau < 0.5 * baseline_goodput_rps,

@@ -22,6 +22,7 @@
 pub use dsv3_collectives as collectives;
 pub use dsv3_faults as faults;
 pub use dsv3_inference as inference;
+pub use dsv3_lint as lint;
 pub use dsv3_memtl as memtl;
 pub use dsv3_model as model;
 pub use dsv3_netsim as netsim;
@@ -30,6 +31,7 @@ pub use dsv3_parallel as parallel;
 pub use dsv3_serving as serving;
 pub use dsv3_telemetry as telemetry;
 pub use dsv3_topology as topology;
+pub use dsv3_units as units;
 
 pub mod experiments;
 pub mod hardware;

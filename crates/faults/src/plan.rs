@@ -16,6 +16,7 @@
 use dsv3_collectives::failures::{expected_retention, FlapSchedule, PlaneFlap};
 use dsv3_netsim::chaos::{LinkFlap, LinkSchedule};
 use dsv3_telemetry::Recorder;
+use dsv3_units::{ms_to_s, ms_to_us};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -270,7 +271,9 @@ impl FaultPlan {
     /// [`dsv3_netsim::chaos::LinkSchedule`] for the chaos flow simulator.
     ///
     /// Plan timestamps are milliseconds; the flow simulator runs in
-    /// microseconds, so instants scale by 1000. The down-inclusive /
+    /// microseconds, so instants cross the unit boundary through the
+    /// named [`dsv3_units::ms_to_us`] conversion (lint rule U2 flags
+    /// the bare `* 1000.0` this used to be). The down-inclusive /
     /// up-exclusive interval convention carries over unchanged
     /// (`LinkFlap::is_down_at` matches `FlapSchedule` and the driver's
     /// repairs-before-injections tie order).
@@ -282,8 +285,8 @@ impl FaultPlan {
             .filter_map(|e| match e.kind {
                 FaultKind::LinkFail { link, repair_ms } => Some(LinkFlap {
                     link,
-                    down_at_us: e.at_ms * 1000.0,
-                    repair_us: repair_ms * 1000.0,
+                    down_at_us: ms_to_us(e.at_ms),
+                    repair_us: ms_to_us(repair_ms),
                 }),
                 _ => None,
             })
@@ -299,7 +302,7 @@ impl FaultPlan {
             .events
             .iter()
             .filter(|e| matches!(e.kind, FaultKind::ReplicaCrash { .. }))
-            .map(|e| e.at_ms / 1000.0)
+            .map(|e| ms_to_s(e.at_ms))
             .collect();
         times.sort_by(f64::total_cmp);
         times
@@ -466,6 +469,7 @@ impl FaultDriver {
     /// thread per fault class), stamped with the fault's own sim-time
     /// (injections at `at_ms`, heals at the actual repair instant), and
     /// bumps the `{scope}.faults.{inject|heal}.{label}` counters.
+    // lint:entry — FaultDriver::poll, the fault-injection pump every sim embeds.
     pub fn poll_traced(
         &mut self,
         now_ms: f64,
@@ -527,7 +531,7 @@ impl FaultDriver {
                             tid,
                             "fault",
                             &format!("inject {label} #{seq}"),
-                            event.at_ms * 1000.0,
+                            ms_to_us(event.at_ms),
                         );
                         rec.counter_add(&format!("{scope}.faults.inject.{label}"), 1);
                         // Outstanding (repairable) faults over time: the

@@ -1,0 +1,553 @@
+//! Pass-2 semantic checks over the workspace call graph: cross-file
+//! unit checks (U2), RNG-stream discipline (R2), and the P3 effect
+//! reachability analysis with its parallel-readiness report.
+//!
+//! The graph is conservative by construction: nodes are the parsed
+//! functions, edges are name-resolved call sites (see
+//! [`crate::symbols::SymbolTable::resolve`]), and only functions inside
+//! the configured universe (library code outside test regions)
+//! participate. Unresolvable calls — std, vendored crates — simply have
+//! no edges, which errs toward silence for unit checks and is the
+//! documented soundness boundary of the effect analysis: effects inside
+//! vendored code are invisible, so the workspace bans the *entry
+//! tokens* of those effects separately (D1/D3/D4).
+
+use std::collections::BTreeMap;
+
+use crate::diag::json_string;
+use crate::expr::{mix_message, BodyFacts, EUnit, EffectKind, SemFinding};
+use crate::rules::RuleId;
+use crate::symbols::SymbolTable;
+use crate::units::unit_of_ident;
+
+/// The per-function inputs to pass 2, indexed by function id. Functions
+/// without bodies (trait signatures) carry empty facts.
+pub struct GraphInput<'a> {
+    /// The workspace symbol table.
+    pub symbols: &'a SymbolTable,
+    /// Body facts per function id.
+    pub facts: &'a [BodyFacts],
+    /// Function participates in the analysis universe (library source,
+    /// not in a test region).
+    pub universe: &'a [bool],
+}
+
+/// A pass-2 finding, located by file index (the caller maps it back to
+/// a path and applies waivers).
+#[derive(Debug)]
+pub struct FileFinding {
+    /// Index into the symbol table's file list.
+    pub file: usize,
+    /// The finding.
+    pub finding: SemFinding,
+}
+
+/// R2: every RNG from a named seed derivation (R2a, local) and no
+/// `&mut` RNG threaded across file boundaries into reorderable code
+/// (R2b, cross-file).
+#[must_use]
+pub fn rng_findings(input: &GraphInput<'_>) -> Vec<FileFinding> {
+    let mut out = Vec::new();
+    for (id, info) in input.symbols.fns.iter().enumerate() {
+        if !input.universe.get(id).copied().unwrap_or(false) {
+            continue;
+        }
+        for call in &input.facts[id].calls {
+            // R2a — seeding constructors must mention a seed by name.
+            if matches!(call.name.as_str(), "seed_from_u64" | "from_seed" | "from_rng") {
+                let sanctioned = call
+                    .args
+                    .iter()
+                    .any(|a| a.has_seed_ident || (call.name == "from_rng" && a.has_rng_ident));
+                if !sanctioned {
+                    out.push(FileFinding {
+                        file: info.file,
+                        finding: SemFinding {
+                            rule: RuleId::R2,
+                            line: call.line,
+                            message: format!(
+                                "`{}` argument names no seed; derive every RNG stream from a \
+                                 named seed derivation",
+                                call.name
+                            ),
+                        },
+                    });
+                }
+                continue;
+            }
+            // R2b — `&mut …rng…` crossing a file boundary inside a
+            // reorderable position couples iteration order to the
+            // stream; a parallel schedule would scramble draws.
+            if !call.in_loop || !call.args.iter().any(|a| a.leading_mut_ref && a.has_rng_ident) {
+                continue;
+            }
+            let candidates = input.symbols.resolve(info.file, call);
+            if let Some(&other) =
+                candidates.iter().find(|&&c| input.symbols.fns[c].file != info.file)
+            {
+                let callee = &input.symbols.fns[other];
+                out.push(FileFinding {
+                    file: info.file,
+                    finding: SemFinding {
+                        rule: RuleId::R2,
+                        line: call.line,
+                        message: format!(
+                            "`&mut` RNG threaded across a module boundary into reorderable code \
+                             (callee `{}` in {}); split a named child stream instead",
+                            callee.display(),
+                            input.symbols.files[callee.file].rel
+                        ),
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Cross-file U2: call arguments with a known unit checked against the
+/// callee's parameter-name suffixes. Fires only when at least one
+/// candidate declares a unit at that position and *every* such
+/// candidate disagrees — name resolution without types must not guess.
+#[must_use]
+pub fn call_arg_unit_findings(input: &GraphInput<'_>) -> Vec<FileFinding> {
+    let mut out = Vec::new();
+    for (id, info) in input.symbols.fns.iter().enumerate() {
+        if !input.universe.get(id).copied().unwrap_or(false) {
+            continue;
+        }
+        for call in &input.facts[id].calls {
+            if call.is_macro || crate::units::conversion_of(&call.name).is_some() {
+                continue;
+            }
+            let candidates = input.symbols.resolve(info.file, call);
+            if candidates.is_empty() {
+                continue;
+            }
+            for (j, arg) in call.args.iter().enumerate() {
+                let EUnit::Known(got) = arg.unit else { continue };
+                let mut mismatch: Option<(crate::units::Unit, String)> = None;
+                let mut any_known = false;
+                let mut all_mismatch = true;
+                for &c in &candidates {
+                    let Some(pname) = input.symbols.fns[c].param_names.get(j) else {
+                        continue;
+                    };
+                    let Some(want) = unit_of_ident(pname) else { continue };
+                    any_known = true;
+                    if want == got {
+                        all_mismatch = false;
+                    } else if mismatch.is_none() {
+                        mismatch = Some((want, pname.clone()));
+                    }
+                }
+                if any_known && all_mismatch {
+                    if let Some((want, pname)) = mismatch {
+                        out.push(FileFinding {
+                            file: info.file,
+                            finding: SemFinding {
+                                rule: RuleId::U2,
+                                line: call.line,
+                                message: mix_message(
+                                    &format!("argument `{pname}` of `{}`", call.name),
+                                    got,
+                                    want,
+                                ),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Readiness of one `lint:entry` function.
+#[derive(Debug)]
+pub struct EntryReadiness {
+    /// Display name (`ChaosSim::run`).
+    pub entry: String,
+    /// Crate the entry lives in.
+    pub krate: String,
+    /// File of the entry.
+    pub file: String,
+    /// Line of the entry fn.
+    pub line: u32,
+    /// Functions reachable from the entry (including itself).
+    pub reachable_fns: usize,
+    /// Sorted crate names touched by the reachable set.
+    pub crates_touched: Vec<String>,
+    /// (effect label, count) pairs, sorted by label; empty means READY.
+    pub effects: Vec<(String, usize)>,
+}
+
+impl EntryReadiness {
+    /// No reachable forbidden effects.
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        self.effects.is_empty()
+    }
+}
+
+/// The workspace parallel-readiness report: per entry, per crate.
+#[derive(Debug, Default)]
+pub struct ReadinessReport {
+    /// One row per `lint:entry` fn, in symbol-table order.
+    pub entries: Vec<EntryReadiness>,
+}
+
+impl ReadinessReport {
+    /// Per-crate rollup: (crate, entry count, all entries ready).
+    #[must_use]
+    pub fn crate_rollup(&self) -> Vec<(String, usize, bool)> {
+        let mut map: BTreeMap<String, (usize, bool)> = BTreeMap::new();
+        for e in &self.entries {
+            let slot = map.entry(e.krate.clone()).or_insert((0, true));
+            slot.0 += 1;
+            slot.1 &= e.ready();
+        }
+        map.into_iter().map(|(k, (n, r))| (k, n, r)).collect()
+    }
+
+    /// Human text rendering.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("parallel-readiness report\n=========================\n");
+        if self.entries.is_empty() {
+            out.push_str("no `lint:entry` functions declared\n");
+            return out;
+        }
+        for e in &self.entries {
+            out.push_str(&format!(
+                "\nentry `{}` ({}) at {}:{}\n",
+                e.entry, e.krate, e.file, e.line
+            ));
+            out.push_str(&format!(
+                "  reachable fns: {} across crates: {}\n",
+                e.reachable_fns,
+                e.crates_touched.join(", ")
+            ));
+            if e.effects.is_empty() {
+                out.push_str("  effects: none\n  verdict: READY\n");
+            } else {
+                let list: Vec<String> =
+                    e.effects.iter().map(|(k, n)| format!("{k} x{n}")).collect();
+                out.push_str(&format!("  effects: {}\n  verdict: NOT READY\n", list.join(", ")));
+            }
+        }
+        out.push_str("\nper-crate rollup\n");
+        for (krate, n, ready) in self.crate_rollup() {
+            out.push_str(&format!(
+                "  {krate}: {n} entr{} — {}\n",
+                if n == 1 { "y" } else { "ies" },
+                if ready { "READY" } else { "NOT READY" }
+            ));
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering (hand-emitted; the crate is
+    /// dependency-free).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let crates: Vec<String> = e.crates_touched.iter().map(|c| json_string(c)).collect();
+            let effects: Vec<String> = e
+                .effects
+                .iter()
+                .map(|(k, n)| format!("{{\"kind\": {}, \"count\": {n}}}", json_string(k)))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"entry\": {}, \"crate\": {}, \"file\": {}, \"line\": {}, \
+                 \"reachable_fns\": {}, \"crates_touched\": [{}], \"effects\": [{}], \
+                 \"ready\": {}}}",
+                json_string(&e.entry),
+                json_string(&e.krate),
+                json_string(&e.file),
+                e.line,
+                e.reachable_fns,
+                crates.join(", "),
+                effects.join(", "),
+                e.ready()
+            ));
+        }
+        out.push_str(if self.entries.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"crates\": [");
+        let roll = self.crate_rollup();
+        for (i, (krate, n, ready)) in roll.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"crate\": {}, \"entries\": {n}, \"ready\": {ready}}}",
+                json_string(krate)
+            ));
+        }
+        out.push_str(if roll.is_empty() { "]\n}" } else { "\n  ]\n}" });
+        out
+    }
+}
+
+/// P3: BFS from every `lint:entry` function; each reachable forbidden
+/// effect is a finding at the *effect site*, with the call path in the
+/// message. Also produces the readiness report.
+#[must_use]
+pub fn effect_analysis(input: &GraphInput<'_>) -> (Vec<FileFinding>, ReadinessReport) {
+    let n = input.symbols.fns.len();
+    // Adjacency, built once: edges only between universe functions.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, row) in adj.iter_mut().enumerate() {
+        if !input.universe.get(id).copied().unwrap_or(false) {
+            continue;
+        }
+        let file = input.symbols.fns[id].file;
+        for call in &input.facts[id].calls {
+            for c in input.symbols.resolve(file, call) {
+                if input.universe.get(c).copied().unwrap_or(false) && !row.contains(&c) {
+                    row.push(c);
+                }
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    let mut report = ReadinessReport::default();
+    for (entry, info) in input.symbols.fns.iter().enumerate() {
+        if !info.is_entry || !input.universe.get(entry).copied().unwrap_or(false) {
+            continue;
+        }
+        // BFS with parent pointers for path reconstruction.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[entry] = true;
+        queue.push_back(entry);
+        let mut order = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut crates: Vec<String> = order
+            .iter()
+            .map(|&id| input.symbols.files[input.symbols.fns[id].file].krate.clone())
+            .collect();
+        crates.sort();
+        crates.dedup();
+        let mut effect_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for &id in &order {
+            for eff in &input.facts[id].effects {
+                *effect_counts.entry(eff.kind.label()).or_insert(0) += 1;
+                // Reconstruct entry → … → id.
+                let mut path = Vec::new();
+                let mut cur = Some(id);
+                while let Some(c) = cur {
+                    path.push(input.symbols.fns[c].display());
+                    cur = parent[c];
+                }
+                path.reverse();
+                findings.push(FileFinding {
+                    file: input.symbols.fns[id].file,
+                    finding: SemFinding {
+                        rule: RuleId::P3,
+                        line: eff.line,
+                        message: format!(
+                            "entry `{}` reaches {} effect `{}` via `{}`",
+                            info.display(),
+                            eff.kind.label(),
+                            eff.what,
+                            path.join(" -> ")
+                        ),
+                    },
+                });
+            }
+        }
+        report.entries.push(EntryReadiness {
+            entry: info.display(),
+            krate: input.symbols.files[info.file].krate.clone(),
+            file: input.symbols.files[info.file].rel.clone(),
+            line: info.line,
+            reachable_fns: order.len(),
+            crates_touched: crates,
+            effects: effect_counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+    (findings, report)
+}
+
+/// Which effect kinds exist, for doc/reporting completeness.
+#[must_use]
+pub fn all_effect_kinds() -> [EffectKind; 5] {
+    [
+        EffectKind::WallClock,
+        EffectKind::Entropy,
+        EffectKind::Print,
+        EffectKind::GlobalMut,
+        EffectKind::FsEnv,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::analyze_body;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    /// Build a GraphInput from (rel, src) pairs; all fns in-universe.
+    struct Built {
+        symbols: SymbolTable,
+        facts: Vec<BodyFacts>,
+        universe: Vec<bool>,
+    }
+
+    fn build(files: &[(&str, &str)]) -> Built {
+        let mut symbols = SymbolTable::default();
+        let mut facts = Vec::new();
+        for (rel, src) in files {
+            let lexed = lex(src);
+            let parsed = parse_items(&lexed.toks, &lexed.comments);
+            symbols.add_file(rel, &parsed, &|_| false);
+            let muts: Vec<String> =
+                parsed.statics.iter().filter(|s| s.is_mut).map(|s| s.name.clone()).collect();
+            for f in &parsed.fns {
+                facts.push(match f.body {
+                    Some(range) => analyze_body(&lexed.toks, range, &muts, &[], &[], f.is_macro),
+                    None => BodyFacts::default(),
+                });
+            }
+        }
+        let universe = vec![true; symbols.fns.len()];
+        Built { symbols, facts, universe }
+    }
+
+    fn input(b: &Built) -> GraphInput<'_> {
+        GraphInput { symbols: &b.symbols, facts: &b.facts, universe: &b.universe }
+    }
+
+    #[test]
+    fn r2b_fires_only_across_files_in_loops() {
+        let cross = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn driver(jitter_rng: &mut R) { for i in 0..3 { step(&mut jitter_rng); } }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn step(rng: &mut R) {}\n"),
+        ]);
+        let got = rng_findings(&input(&cross));
+        assert_eq!(got.len(), 1);
+        assert!(got[0].finding.message.contains("crates/b/src/lib.rs"));
+
+        let local = build(&[(
+            "crates/a/src/lib.rs",
+            "fn driver(rng: &mut R) { for i in 0..3 { step(&mut rng); } }\nfn step(rng: &mut R) \
+             {}\n",
+        )]);
+        assert!(rng_findings(&input(&local)).is_empty(), "same file is fine");
+
+        let no_loop = build(&[
+            ("crates/a/src/lib.rs", "fn driver(rng: &mut R) { step(&mut rng); }\n"),
+            ("crates/b/src/lib.rs", "pub fn step(rng: &mut R) {}\n"),
+        ]);
+        assert!(rng_findings(&input(&no_loop)).is_empty(), "no reorderable position");
+    }
+
+    #[test]
+    fn r2a_requires_a_named_seed() {
+        let bad =
+            build(&[("crates/a/src/lib.rs", "fn mk() -> StdRng { StdRng::seed_from_u64(42) }\n")]);
+        assert_eq!(rng_findings(&input(&bad)).len(), 1);
+        let good = build(&[(
+            "crates/a/src/lib.rs",
+            "fn mk(seed: u64) -> StdRng { StdRng::seed_from_u64(derive_seed(seed, 1)) }\n",
+        )]);
+        assert!(rng_findings(&input(&good)).is_empty());
+    }
+
+    #[test]
+    fn cross_file_arg_units_check_param_suffixes() {
+        let bad = build(&[
+            ("crates/a/src/lib.rs", "fn caller(at_ms: f64) { record(at_ms * 1000.0, 1.0); }\n"),
+            ("crates/b/src/lib.rs", "pub fn record(ts_us: f64, v: f64) {}\n"),
+        ]);
+        let got = call_arg_unit_findings(&input(&bad));
+        assert_eq!(got.len(), 1);
+        assert!(got[0].finding.message.contains("ts_us"));
+
+        let good = build(&[
+            ("crates/a/src/lib.rs", "fn caller(at_ms: f64) { record(ms_to_us(at_ms), 1.0); }\n"),
+            ("crates/b/src/lib.rs", "pub fn record(ts_us: f64, v: f64) {}\n"),
+        ]);
+        assert!(call_arg_unit_findings(&input(&good)).is_empty());
+    }
+
+    #[test]
+    fn effect_analysis_reports_reachable_effects_with_paths() {
+        let b = build(&[
+            (
+                "crates/sim/src/lib.rs",
+                "// lint:entry — event loop\npub fn run() { step(); }\nfn step() { \
+                 helper::emit(); }\n",
+            ),
+            (
+                "crates/sim/src/helper.rs",
+                "pub fn emit() { println!(\"x\"); }\nfn unreached() { let t = Instant::now(); \
+                 }\n",
+            ),
+        ]);
+        let (findings, report) = effect_analysis(&input(&b));
+        assert_eq!(findings.len(), 1, "only the reachable effect: {findings:?}");
+        let f = &findings[0].finding;
+        assert_eq!(f.rule, RuleId::P3);
+        assert!(f.message.contains("run -> step -> emit"), "{}", f.message);
+        assert!(f.message.contains("stdout"));
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        assert_eq!(e.entry, "run");
+        assert!(!e.ready());
+        assert_eq!(e.reachable_fns, 3);
+    }
+
+    #[test]
+    fn clean_entry_is_ready_and_renders() {
+        let b = build(&[(
+            "crates/sim/src/lib.rs",
+            "// lint:entry — loop\npub fn run() { step(); }\nfn step() {}\n",
+        )]);
+        let (findings, report) = effect_analysis(&input(&b));
+        assert!(findings.is_empty());
+        assert!(report.entries[0].ready());
+        let text = report.render_text();
+        assert!(text.contains("verdict: READY"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"ready\": true"), "{json}");
+        assert_eq!(json, report.render_json(), "byte-stable");
+    }
+
+    #[test]
+    fn static_mut_use_is_a_reachable_effect() {
+        let b = build(&[(
+            "crates/sim/src/lib.rs",
+            "static mut COUNTER: u64 = 0;\n// lint:entry — loop\npub fn run() { unsafe { \
+             COUNTER += 1; } }\n",
+        )]);
+        let (findings, _) = effect_analysis(&input(&b));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].finding.message.contains("global-mut"));
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let b = build(&[(
+            "crates/sim/src/lib.rs",
+            "// lint:entry — loop\npub fn run() { run(); other(); }\nfn other() { run(); }\n",
+        )]);
+        let (_, report) = effect_analysis(&input(&b));
+        assert_eq!(report.entries[0].reachable_fns, 2);
+    }
+}

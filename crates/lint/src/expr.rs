@@ -1,0 +1,1426 @@
+//! Expression-level semantic analysis of one function body.
+//!
+//! A precedence-climbing expression walker over the token stream that
+//! infers the *unit* of every subexpression (rule U2), records every
+//! call site with per-argument facts (cross-file U2 and rule R2), spots
+//! order-sensitive float accumulation (rule F2), and collects effect
+//! sites (wall clock, entropy, printing, global mutable state, fs/env)
+//! for the P3 reachability analysis.
+//!
+//! Like the item parser it never fails: fuel- and depth-limited, with a
+//! progress guarantee in every loop. Anything it cannot classify gets
+//! unit [`EUnit::Unknown`], which suppresses rather than invents
+//! findings — the analysis only speaks when both sides of an operator
+//! are confidently known.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::RuleId;
+use crate::units::{conversion_of, unit_of_ident, Dimension, Unit};
+
+/// The inferred unit of an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EUnit {
+    /// Carries a concrete unit (`at_ms` → ms).
+    Known(Unit),
+    /// A dimensionless scalar: numeric literals and ratios. Scaling a
+    /// unit-carrying value by a scalar KEEPS the unit — that is what
+    /// makes `at_ms * 1000.0` still milliseconds, so storing it in a
+    /// `_us` slot fires until routed through `ms_to_us`.
+    Scalar,
+    /// No confident unit; suppresses checks it participates in.
+    Unknown,
+}
+
+/// A category of effect forbidden on deterministic-parallel paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EffectKind {
+    /// Reads the wall clock (`Instant`, `SystemTime`).
+    WallClock,
+    /// Draws OS entropy (`thread_rng`, `from_entropy`, `OsRng`).
+    Entropy,
+    /// Writes to the console (`println!` family).
+    Print,
+    /// Touches same-file `static mut` state.
+    GlobalMut,
+    /// Reaches into the filesystem or process environment.
+    FsEnv,
+}
+
+impl EffectKind {
+    /// Short stable label used in diagnostics and the readiness report.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EffectKind::WallClock => "wall-clock",
+            EffectKind::Entropy => "entropy",
+            EffectKind::Print => "stdout",
+            EffectKind::GlobalMut => "global-mut",
+            EffectKind::FsEnv => "fs-env",
+        }
+    }
+}
+
+/// One effect occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub struct EffectSite {
+    /// What kind of effect.
+    pub kind: EffectKind,
+    /// 1-based line.
+    pub line: u32,
+    /// The token that evidenced it (`Instant`, `println!`, …).
+    pub what: String,
+}
+
+/// Facts about one call argument, for cross-file unit checks and R2.
+#[derive(Debug, Clone)]
+pub struct ArgFact {
+    /// Inferred unit of the argument expression.
+    pub unit: EUnit,
+    /// Argument starts with `&mut`.
+    pub leading_mut_ref: bool,
+    /// Argument tokens mention an identifier containing "rng".
+    pub has_rng_ident: bool,
+    /// Argument tokens mention an identifier containing "seed".
+    pub has_seed_ident: bool,
+}
+
+/// One call site recorded for the call graph and pass-2 checks.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment / method name / macro name).
+    pub name: String,
+    /// `Type::name(..)` qualifier when present.
+    pub owner: Option<String>,
+    /// `recv.name(..)` method call.
+    pub is_method: bool,
+    /// `name!(..)` macro invocation.
+    pub is_macro: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// Per-argument facts in order.
+    pub args: Vec<ArgFact>,
+    /// Syntactically inside a loop, closure, or macro body — positions a
+    /// reordering transformation could reorder.
+    pub in_loop: bool,
+}
+
+/// A semantic finding emitted directly by the body walker (local U2, F2
+/// accumulation). Cross-file findings are produced later from the facts.
+#[derive(Debug, Clone)]
+pub struct SemFinding {
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// Everything learned from one function body.
+#[derive(Debug, Default)]
+pub struct BodyFacts {
+    /// Local findings (U2 mixing, F2 hash accumulation).
+    pub findings: Vec<SemFinding>,
+    /// Call sites in source order.
+    pub calls: Vec<CallSite>,
+    /// Effect sites in source order.
+    pub effects: Vec<EffectSite>,
+}
+
+fn dim_name(d: Dimension) -> &'static str {
+    match d {
+        Dimension::Time => "time",
+        Dimension::Data => "data",
+        Dimension::Tokens => "tokens",
+        Dimension::Flops => "flops",
+    }
+}
+
+/// The canonical U2 message for mixing units `a` and `b` in `context`.
+#[must_use]
+pub fn mix_message(context: &str, a: Unit, b: Unit) -> String {
+    if a.dimension() == b.dimension() {
+        format!(
+            "unit mismatch: {context} mixes `{}` and `{}`; route through `{}_to_{}`-style \
+             conversions in core::units",
+            a.suffix(),
+            b.suffix(),
+            a.suffix(),
+            b.suffix()
+        )
+    } else {
+        format!(
+            "unit mismatch: {context} mixes `{}` ({}) and `{}` ({}); these measure different \
+             dimensions",
+            a.suffix(),
+            dim_name(a.dimension()),
+            b.suffix(),
+            dim_name(b.dimension())
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinOp {
+    OrOr,
+    AndAnd,
+    Cmp,
+    Range,
+    BitOr,
+    BitXor,
+    BitAnd,
+    Shift,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+impl BinOp {
+    fn prec(self) -> u8 {
+        match self {
+            BinOp::OrOr => 1,
+            BinOp::AndAnd => 2,
+            BinOp::Cmp => 3,
+            BinOp::Range => 4,
+            BinOp::BitOr => 5,
+            BinOp::BitXor => 6,
+            BinOp::BitAnd => 7,
+            BinOp::Shift => 8,
+            BinOp::Add | BinOp::Sub => 9,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+        }
+    }
+}
+
+/// Methods that preserve their receiver's unit.
+const UNIT_PRESERVING: [&str; 10] =
+    ["abs", "floor", "ceil", "round", "trunc", "min", "max", "clamp", "clone", "copied"];
+
+/// Methods that compare receiver and argument (units must agree).
+const UNIT_COMPARING: [&str; 3] = ["min", "max", "clamp"];
+
+/// Iteration adapters that expose hash-ordered elements.
+const HASH_ITERS: [&str; 5] = ["iter", "into_iter", "keys", "values", "drain"];
+
+/// Order-sensitive float reducers.
+const FLOAT_REDUCERS: [&str; 3] = ["sum", "fold", "product"];
+
+const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Chain state threaded through postfix parsing for the F2 check.
+#[derive(Debug, Clone, Copy, Default)]
+struct Chain {
+    /// Base of the chain is a known hash-ordered container.
+    hashy: bool,
+    /// A hash-ordered iteration adapter has been applied.
+    iterated: bool,
+}
+
+struct Body<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    end: usize,
+    fuel: usize,
+    depth: usize,
+    loop_depth: usize,
+    closure_depth: usize,
+    in_macro: bool,
+    static_muts: &'a [String],
+    hash_fields: &'a [String],
+    hash_locals: Vec<String>,
+    out: BodyFacts,
+}
+
+impl<'a> Body<'a> {
+    fn peek(&self, off: usize) -> Option<&'a Tok> {
+        let idx = self.i + off;
+        if idx < self.end {
+            self.toks.get(idx)
+        } else {
+            None
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn line(&self) -> u32 {
+        self.peek(0).map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn spend(&mut self) -> bool {
+        if self.fuel == 0 {
+            self.i = self.end;
+            return false;
+        }
+        self.fuel -= 1;
+        true
+    }
+
+    fn in_reorderable(&self) -> bool {
+        self.loop_depth > 0 || self.closure_depth > 0 || self.in_macro
+    }
+
+    /// Index just past the matching closer for the group opening at
+    /// `self.i` (which must be at `open`).
+    fn find_close(&self, open: char, close: char) -> usize {
+        let mut depth = 0usize;
+        let mut j = self.i;
+        while j < self.end {
+            let Some(t) = self.toks.get(j) else { break };
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                let arrow =
+                    close == '>' && j > 0 && self.toks.get(j - 1).is_some_and(|p| p.is_punct('-'));
+                if !arrow {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            j += 1;
+        }
+        self.end
+    }
+
+    fn skip_group(&mut self, open: char, close: char) {
+        self.i = self.find_close(open, close);
+    }
+
+    fn push_finding(&mut self, rule: RuleId, line: u32, message: String) {
+        self.out.findings.push(SemFinding { rule, line, message });
+    }
+
+    fn push_effect(&mut self, kind: EffectKind, line: u32, what: &str) {
+        self.out.effects.push(EffectSite { kind, line, what: what.to_string() });
+    }
+
+    /// Additive-position merge: flag Known/Known mismatches.
+    fn additive(&mut self, context: &str, a: EUnit, b: EUnit, line: u32) -> EUnit {
+        match (a, b) {
+            (EUnit::Known(x), EUnit::Known(y)) => {
+                if x != y {
+                    self.push_finding(RuleId::U2, line, mix_message(context, x, y));
+                }
+                EUnit::Known(x)
+            }
+            (EUnit::Known(x), _) | (_, EUnit::Known(x)) => EUnit::Known(x),
+            (EUnit::Scalar, EUnit::Scalar) => EUnit::Scalar,
+            _ => EUnit::Unknown,
+        }
+    }
+
+    // ---- statement level -----------------------------------------------
+
+    fn walk_stmts(&mut self, end: usize) {
+        let save_end = self.end;
+        self.end = end.min(save_end);
+        while self.i < self.end {
+            if !self.spend() {
+                break;
+            }
+            let before = self.i;
+            self.walk_one_stmt();
+            if self.i == before {
+                self.bump();
+            }
+        }
+        self.i = self.end;
+        self.end = save_end;
+    }
+
+    fn walk_one_stmt(&mut self) {
+        while self.at_punct('#') {
+            self.bump();
+            if self.at_punct('!') {
+                self.bump();
+            }
+            if self.at_punct('[') {
+                self.skip_group('[', ']');
+            }
+        }
+        let Some(t) = self.peek(0) else { return };
+        if t.is_ident("let") {
+            self.walk_let();
+            return;
+        }
+        if t.is_punct(';') || t.is_punct(',') {
+            self.bump();
+            return;
+        }
+        // Match-arm arrow and stray closers: consumed as separators.
+        if t.is_punct('=') && self.peek(1).is_some_and(|n| n.is_punct('>')) {
+            self.bump();
+            self.bump();
+            return;
+        }
+        let lhs = self.parse_expr(true);
+        // Assignment / compound assignment.
+        if let Some(t) = self.peek(0) {
+            if t.is_punct('=') && !self.peek(1).is_some_and(|n| n.is_punct('=') || n.is_punct('>'))
+            {
+                let line = t.line;
+                self.bump();
+                let rhs = self.parse_expr(true);
+                self.additive("assignment", lhs, rhs, line);
+                return;
+            }
+            for (op, additive) in
+                [('+', true), ('-', true), ('*', false), ('/', false), ('%', false)]
+            {
+                if t.is_punct(op) && self.peek(1).is_some_and(|n| n.is_punct('=')) {
+                    let line = t.line;
+                    self.bump();
+                    self.bump();
+                    let rhs = self.parse_expr(true);
+                    if additive {
+                        self.additive("compound assignment", lhs, rhs, line);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn walk_let(&mut self) {
+        self.bump(); // let
+        if self.at_ident("mut") {
+            self.bump();
+        }
+        // Simple `name [: Type] = expr` pattern?
+        let mut bound: Option<(String, u32)> = None;
+        let mut ty = String::new();
+        if let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Ident
+                && !t.is_ident("_")
+                && self
+                    .peek(1)
+                    .is_some_and(|n| n.is_punct(':') || n.is_punct('=') || n.is_punct(';'))
+            {
+                bound = Some((t.text.clone(), t.line));
+                self.bump();
+                if self.at_punct(':') && !self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                    self.bump();
+                    ty = self.flat_type_until(&['=', ';']);
+                }
+            }
+        }
+        if let Some((name, _)) = &bound {
+            if ty.contains("HashMap") || ty.contains("HashSet") {
+                self.hash_locals.push(name.clone());
+            }
+        }
+        // Destructuring or other pattern: skip to `=` at depth 0.
+        if bound.is_none() {
+            let mut depth = 0usize;
+            while let Some(t) = self.peek(0) {
+                match t.kind {
+                    TokKind::Punct if "([{".contains(&t.text) => depth += 1,
+                    TokKind::Punct if ")]}".contains(&t.text) => {
+                        depth = depth.saturating_sub(1);
+                    }
+                    TokKind::Punct if t.is_punct(';') && depth == 0 => return,
+                    TokKind::Punct
+                        if t.is_punct('=')
+                            && depth == 0
+                            && !self.peek(1).is_some_and(|n| n.is_punct('=')) =>
+                    {
+                        break
+                    }
+                    _ => {}
+                }
+                self.bump();
+            }
+        }
+        if self.at_punct('=') {
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_expr(true);
+            if let Some((name, _)) = &bound {
+                if let Some(u) = unit_of_ident(name) {
+                    let name = name.clone();
+                    if let EUnit::Known(r) = rhs {
+                        if r != u {
+                            let msg = mix_message(&format!("`let` binding of `{name}`"), u, r);
+                            self.push_finding(RuleId::U2, line, msg);
+                        }
+                    }
+                }
+            }
+            // `let … = expr else { … };`
+            if self.at_ident("else") {
+                self.bump();
+                if self.at_punct('{') {
+                    let inner_end = self.find_close('{', '}');
+                    self.bump();
+                    self.walk_stmts(inner_end.saturating_sub(1));
+                    if self.at_punct('}') {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        if self.at_punct(';') {
+            self.bump();
+        }
+    }
+
+    fn flat_type_until(&mut self, stops: &[char]) -> String {
+        let mut depth = 0usize;
+        let mut out = String::new();
+        while let Some(t) = self.peek(0) {
+            if depth == 0 && t.kind == TokKind::Punct && stops.iter().any(|&c| t.is_punct(c)) {
+                break;
+            }
+            match t.kind {
+                TokKind::Punct if "([<{".contains(&t.text) => depth += 1,
+                TokKind::Punct if ")]>}".contains(&t.text) => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokKind::Ident => {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(&t.text);
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        out
+    }
+
+    // ---- expression level ----------------------------------------------
+
+    fn parse_expr(&mut self, allow_struct: bool) -> EUnit {
+        self.parse_bin(0, allow_struct)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8, allow_struct: bool) -> EUnit {
+        if self.depth > 64 || !self.spend() {
+            self.bump();
+            return EUnit::Unknown;
+        }
+        self.depth += 1;
+        let mut lhs = self.parse_unary(allow_struct);
+        loop {
+            if !self.spend() {
+                break;
+            }
+            let Some((op, len)) = self.peek_bin_op() else { break };
+            if op.prec() < min_prec {
+                break;
+            }
+            let line = self.line();
+            for _ in 0..len {
+                self.bump();
+            }
+            let rhs = self.parse_bin(op.prec() + 1, allow_struct);
+            lhs = match op {
+                BinOp::Add | BinOp::Sub => self.additive("arithmetic", lhs, rhs, line),
+                BinOp::Cmp => {
+                    self.additive("comparison", lhs, rhs, line);
+                    EUnit::Scalar
+                }
+                BinOp::Range => {
+                    self.additive("range", lhs, rhs, line);
+                    EUnit::Unknown
+                }
+                BinOp::Mul => match (lhs, rhs) {
+                    (EUnit::Known(u), EUnit::Scalar) | (EUnit::Scalar, EUnit::Known(u)) => {
+                        EUnit::Known(u)
+                    }
+                    (EUnit::Scalar, EUnit::Scalar) => EUnit::Scalar,
+                    _ => EUnit::Unknown,
+                },
+                BinOp::Div => match (lhs, rhs) {
+                    (EUnit::Known(u), EUnit::Scalar) => EUnit::Known(u),
+                    (EUnit::Known(a), EUnit::Known(b)) if a == b => EUnit::Scalar,
+                    (EUnit::Scalar, EUnit::Scalar) => EUnit::Scalar,
+                    _ => EUnit::Unknown,
+                },
+                BinOp::Rem | BinOp::Shift => lhs,
+                BinOp::OrOr | BinOp::AndAnd => EUnit::Scalar,
+                BinOp::BitOr | BinOp::BitXor | BinOp::BitAnd => EUnit::Unknown,
+            };
+        }
+        self.depth -= 1;
+        lhs
+    }
+
+    /// Recognize a binary operator at the cursor (from single-char punct
+    /// tokens); `None` for assignment-like ops, `=>`, and `->`.
+    fn peek_bin_op(&self) -> Option<(BinOp, usize)> {
+        let a = self.peek(0)?;
+        if a.kind != TokKind::Punct {
+            return None;
+        }
+        let b = |c: char| self.peek(1).is_some_and(|t| t.is_punct(c));
+        let c = |c: char| self.peek(2).is_some_and(|t| t.is_punct(c));
+        match a.text.as_str() {
+            "|" if b('|') => Some((BinOp::OrOr, 2)),
+            "|" if b('=') => None,
+            "|" => Some((BinOp::BitOr, 1)),
+            "&" if b('&') => Some((BinOp::AndAnd, 2)),
+            "&" if b('=') => None,
+            "&" => Some((BinOp::BitAnd, 1)),
+            "^" if b('=') => None,
+            "^" => Some((BinOp::BitXor, 1)),
+            "=" if b('=') => Some((BinOp::Cmp, 2)),
+            "=" => None,
+            "!" if b('=') => Some((BinOp::Cmp, 2)),
+            "!" => None,
+            "<" if b('=') => Some((BinOp::Cmp, 2)),
+            "<" if b('<') => {
+                if c('=') {
+                    None
+                } else {
+                    Some((BinOp::Shift, 2))
+                }
+            }
+            "<" => Some((BinOp::Cmp, 1)),
+            ">" if b('=') => Some((BinOp::Cmp, 2)),
+            ">" if b('>') => {
+                if c('=') {
+                    None
+                } else {
+                    Some((BinOp::Shift, 2))
+                }
+            }
+            ">" => Some((BinOp::Cmp, 1)),
+            "." if b('.') => {
+                if c('=') {
+                    Some((BinOp::Range, 3))
+                } else {
+                    Some((BinOp::Range, 2))
+                }
+            }
+            "+" if b('=') => None,
+            "+" => Some((BinOp::Add, 1)),
+            "-" if b('=') || b('>') => None,
+            "-" => Some((BinOp::Sub, 1)),
+            "*" if b('=') => None,
+            "*" => Some((BinOp::Mul, 1)),
+            "/" if b('=') => None,
+            "/" => Some((BinOp::Div, 1)),
+            "%" if b('=') => None,
+            "%" => Some((BinOp::Rem, 1)),
+            _ => None,
+        }
+    }
+
+    fn parse_unary(&mut self, allow_struct: bool) -> EUnit {
+        if self.depth > 64 || !self.spend() {
+            self.bump();
+            return EUnit::Unknown;
+        }
+        let Some(t) = self.peek(0) else { return EUnit::Unknown };
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "-" | "!" => {
+                    self.bump();
+                    self.parse_unary(allow_struct)
+                }
+                "&" => {
+                    self.bump();
+                    if self.at_ident("mut") {
+                        self.bump();
+                    }
+                    self.parse_unary(allow_struct)
+                }
+                "*" => {
+                    self.bump();
+                    self.parse_unary(allow_struct)
+                }
+                "|" => self.parse_closure(),
+                _ => {
+                    let (u, chain) = self.parse_primary(allow_struct);
+                    self.parse_postfix(u, chain)
+                }
+            },
+            _ => {
+                let (u, chain) = self.parse_primary(allow_struct);
+                self.parse_postfix(u, chain)
+            }
+        }
+    }
+
+    fn parse_closure(&mut self) -> EUnit {
+        // `|params| body` or `|| body`; cursor at the first `|`.
+        self.bump();
+        if self.at_punct('|') {
+            self.bump();
+        } else {
+            let mut depth = 0usize;
+            while let Some(t) = self.peek(0) {
+                match t.kind {
+                    TokKind::Punct if "([<{".contains(&t.text) => depth += 1,
+                    TokKind::Punct if ")]>}".contains(&t.text) => {
+                        depth = depth.saturating_sub(1);
+                    }
+                    TokKind::Punct if t.is_punct('|') && depth == 0 => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                self.bump();
+            }
+        }
+        // Optional `-> Type`.
+        if self.at_punct('-') && self.peek(1).is_some_and(|n| n.is_punct('>')) {
+            self.bump();
+            self.bump();
+            let _ = self.flat_type_until(&['{', ',', ')']);
+        }
+        self.closure_depth += 1;
+        let u = if self.at_punct('{') {
+            let inner_end = self.find_close('{', '}');
+            self.bump();
+            self.walk_stmts(inner_end.saturating_sub(1));
+            if self.at_punct('}') {
+                self.bump();
+            }
+            EUnit::Unknown
+        } else {
+            self.parse_expr(true)
+        };
+        self.closure_depth -= 1;
+        u
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn parse_primary(&mut self, allow_struct: bool) -> (EUnit, Chain) {
+        let Some(t) = self.peek(0) else { return (EUnit::Unknown, Chain::default()) };
+        let line = t.line;
+        match t.kind {
+            TokKind::Num => {
+                self.bump();
+                (EUnit::Scalar, Chain::default())
+            }
+            TokKind::Str => {
+                self.bump();
+                (EUnit::Unknown, Chain::default())
+            }
+            TokKind::Punct if t.is_punct('(') => {
+                let close = self.find_close('(', ')');
+                self.bump();
+                let save_end = self.end;
+                self.end = close.saturating_sub(1).min(save_end);
+                let first = self.parse_expr(true);
+                let mut tuple = false;
+                while self.i < self.end {
+                    if !self.spend() {
+                        break;
+                    }
+                    let before = self.i;
+                    if self.at_punct(',') {
+                        tuple = true;
+                        self.bump();
+                        if self.i < self.end {
+                            let _ = self.parse_expr(true);
+                        }
+                    }
+                    if self.i == before {
+                        self.bump();
+                    }
+                }
+                self.i = close.min(save_end);
+                self.end = save_end;
+                (if tuple { EUnit::Unknown } else { first }, Chain::default())
+            }
+            TokKind::Punct if t.is_punct('[') => {
+                let close = self.find_close('[', ']');
+                self.bump();
+                self.walk_stmts(close.saturating_sub(1));
+                if self.at_punct(']') {
+                    self.bump();
+                }
+                (EUnit::Unknown, Chain::default())
+            }
+            TokKind::Punct if t.is_punct('{') => {
+                let close = self.find_close('{', '}');
+                self.bump();
+                self.walk_stmts(close.saturating_sub(1));
+                if self.at_punct('}') {
+                    self.bump();
+                }
+                (EUnit::Unknown, Chain::default())
+            }
+            TokKind::Punct if t.is_punct('$') => {
+                // Macro metavariable: `$x` — opaque.
+                self.bump();
+                if self.peek(0).is_some_and(|t| t.kind == TokKind::Ident) {
+                    self.bump();
+                }
+                (EUnit::Unknown, Chain::default())
+            }
+            TokKind::Punct => {
+                self.bump();
+                (EUnit::Unknown, Chain::default())
+            }
+            TokKind::Ident => match t.text.as_str() {
+                "if" => {
+                    self.bump();
+                    let _ = self.parse_cond();
+                    self.parse_block_operand();
+                    while self.at_ident("else") {
+                        self.bump();
+                        if self.at_ident("if") {
+                            self.bump();
+                            let _ = self.parse_cond();
+                        }
+                        self.parse_block_operand();
+                    }
+                    (EUnit::Unknown, Chain::default())
+                }
+                "match" => {
+                    self.bump();
+                    let _ = self.parse_cond();
+                    self.parse_block_operand();
+                    (EUnit::Unknown, Chain::default())
+                }
+                "while" => {
+                    self.bump();
+                    let _ = self.parse_cond();
+                    self.loop_depth += 1;
+                    self.parse_block_operand();
+                    self.loop_depth -= 1;
+                    (EUnit::Unknown, Chain::default())
+                }
+                "loop" => {
+                    self.bump();
+                    self.loop_depth += 1;
+                    self.parse_block_operand();
+                    self.loop_depth -= 1;
+                    (EUnit::Unknown, Chain::default())
+                }
+                "for" => {
+                    self.bump();
+                    // Skip the pattern up to `in` at depth 0.
+                    let mut depth = 0usize;
+                    while let Some(t) = self.peek(0) {
+                        match t.kind {
+                            TokKind::Ident if t.is_ident("in") && depth == 0 => break,
+                            TokKind::Punct if "([{".contains(&t.text) => depth += 1,
+                            TokKind::Punct if ")]}".contains(&t.text) => {
+                                depth = depth.saturating_sub(1);
+                            }
+                            _ => {}
+                        }
+                        self.bump();
+                    }
+                    if self.at_ident("in") {
+                        self.bump();
+                        let _ = self.parse_cond();
+                    }
+                    self.loop_depth += 1;
+                    self.parse_block_operand();
+                    self.loop_depth -= 1;
+                    (EUnit::Unknown, Chain::default())
+                }
+                "unsafe" => {
+                    self.bump();
+                    self.parse_block_operand();
+                    (EUnit::Unknown, Chain::default())
+                }
+                "return" | "break" | "continue" => {
+                    self.bump();
+                    if !(self.at_punct(';') || self.at_punct(',') || self.at_punct(')')) {
+                        let _ = self.parse_expr(allow_struct);
+                    }
+                    (EUnit::Unknown, Chain::default())
+                }
+                "move" => {
+                    self.bump();
+                    if self.at_punct('|') {
+                        (self.parse_closure(), Chain::default())
+                    } else {
+                        self.parse_primary(allow_struct)
+                    }
+                }
+                "let" => {
+                    // `if let PAT = expr` condition position.
+                    self.bump();
+                    let mut depth = 0usize;
+                    while let Some(t) = self.peek(0) {
+                        match t.kind {
+                            TokKind::Punct if "([{".contains(&t.text) => depth += 1,
+                            TokKind::Punct if ")]}".contains(&t.text) => {
+                                depth = depth.saturating_sub(1);
+                            }
+                            TokKind::Punct
+                                if t.is_punct('=')
+                                    && depth == 0
+                                    && !self.peek(1).is_some_and(|n| n.is_punct('=')) =>
+                            {
+                                break
+                            }
+                            _ => {}
+                        }
+                        self.bump();
+                    }
+                    if self.at_punct('=') {
+                        self.bump();
+                        let _ = self.parse_expr(false);
+                    }
+                    (EUnit::Scalar, Chain::default())
+                }
+                _ => self.parse_path(line, allow_struct),
+            },
+        }
+    }
+
+    /// Condition position: no struct literals allowed.
+    fn parse_cond(&mut self) -> EUnit {
+        self.parse_expr(false)
+    }
+
+    /// A `{ … }` in statement/operand position after if/match/loop heads.
+    fn parse_block_operand(&mut self) {
+        if self.at_punct('{') {
+            let close = self.find_close('{', '}');
+            self.bump();
+            self.walk_stmts(close.saturating_sub(1));
+            if self.at_punct('}') {
+                self.bump();
+            }
+        }
+    }
+
+    /// Path expression, call, macro invocation, or struct literal.
+    fn parse_path(&mut self, line: u32, allow_struct: bool) -> (EUnit, Chain) {
+        let mut segs: Vec<String> = Vec::new();
+        while let Some(t) = self.peek(0) {
+            if t.kind != TokKind::Ident {
+                break;
+            }
+            segs.push(t.text.clone());
+            self.bump();
+            if self.at_punct(':') && self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                self.bump();
+                self.bump();
+                if self.at_punct('<') {
+                    self.skip_group('<', '>'); // turbofish
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            return (EUnit::Unknown, Chain::default());
+        }
+        self.record_path_effects(&segs, line);
+        let last = segs.last().cloned().unwrap_or_default();
+
+        // Macro invocation.
+        if self.at_punct('!')
+            && self.peek(1).is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+        {
+            self.bump(); // !
+            if PRINT_MACROS.contains(&last.as_str()) {
+                self.push_effect(EffectKind::Print, line, &format!("{last}!"));
+            }
+            let args = match self.peek(0) {
+                Some(t) if t.is_punct('(') => self.parse_args('(', ')'),
+                Some(t) if t.is_punct('[') => self.parse_args('[', ']'),
+                _ => self.parse_args('{', '}'),
+            };
+            self.out.calls.push(CallSite {
+                name: last,
+                owner: None,
+                is_method: false,
+                is_macro: true,
+                line,
+                args,
+                in_loop: self.in_reorderable(),
+            });
+            return (EUnit::Unknown, Chain::default());
+        }
+
+        // Call.
+        if self.at_punct('(') {
+            let args = self.parse_args('(', ')');
+            let owner = if segs.len() >= 2 {
+                let o = &segs[segs.len() - 2];
+                if o.chars().next().is_some_and(char::is_uppercase) {
+                    Some(o.clone())
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let unit = self.call_result_unit(&last, &args, line);
+            self.out.calls.push(CallSite {
+                name: last,
+                owner,
+                is_method: false,
+                is_macro: false,
+                line,
+                args,
+                in_loop: self.in_reorderable(),
+            });
+            return (unit, Chain::default());
+        }
+
+        // Struct literal.
+        if allow_struct && self.at_punct('{') && last.chars().next().is_some_and(char::is_uppercase)
+        {
+            self.parse_struct_literal();
+            return (EUnit::Unknown, Chain::default());
+        }
+
+        // Plain path value.
+        let unit = if segs.len() == 1 {
+            unit_of_ident(&last).map_or(EUnit::Unknown, EUnit::Known)
+        } else {
+            // Multi-segment paths are constants/variants; the last
+            // segment's suffix still speaks (`limits::QUEUE_MS`).
+            unit_of_ident(&last).map_or(EUnit::Unknown, EUnit::Known)
+        };
+        let chain = Chain { hashy: self.hash_locals.contains(&last), iterated: false };
+        (unit, chain)
+    }
+
+    /// The unit a call's result carries, from the callee's *name*;
+    /// conversion functions also check their argument here.
+    fn call_result_unit(&mut self, name: &str, args: &[ArgFact], line: u32) -> EUnit {
+        if let Some((from, to)) = conversion_of(name) {
+            if let Some(ArgFact { unit: EUnit::Known(got), .. }) = args.first() {
+                if *got != from {
+                    let msg = mix_message(&format!("argument of `{name}`"), from, *got);
+                    self.push_finding(RuleId::U2, line, msg);
+                }
+            }
+            return EUnit::Known(to);
+        }
+        unit_of_ident(name).map_or(EUnit::Unknown, EUnit::Known)
+    }
+
+    fn record_path_effects(&mut self, segs: &[String], line: u32) {
+        for (si, s) in segs.iter().enumerate() {
+            match s.as_str() {
+                "Instant" | "SystemTime" => self.push_effect(EffectKind::WallClock, line, s),
+                "thread_rng" | "from_entropy" | "OsRng" => {
+                    self.push_effect(EffectKind::Entropy, line, s);
+                }
+                "fs" | "env" if si + 1 < segs.len() => {
+                    self.push_effect(EffectKind::FsEnv, line, &format!("{s}::{}", segs[si + 1]));
+                }
+                _ => {}
+            }
+        }
+        if segs.len() == 1 && self.static_muts.iter().any(|m| *m == segs[0]) {
+            self.push_effect(EffectKind::GlobalMut, line, &format!("static mut {}", segs[0]));
+        }
+    }
+
+    fn parse_struct_literal(&mut self) {
+        // Cursor at `{`.
+        let close = self.find_close('{', '}');
+        self.bump();
+        let save_end = self.end;
+        self.end = close.saturating_sub(1).min(save_end);
+        while self.i < self.end {
+            if !self.spend() {
+                break;
+            }
+            let before = self.i;
+            // `..base` functional update.
+            if self.at_punct('.') && self.peek(1).is_some_and(|n| n.is_punct('.')) {
+                self.bump();
+                self.bump();
+                let _ = self.parse_expr(true);
+            } else if let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Ident && self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                    let field = t.text.clone();
+                    let line = t.line;
+                    self.bump();
+                    self.bump();
+                    let value = self.parse_expr(true);
+                    if let (Some(f), EUnit::Known(v)) = (unit_of_ident(&field), value) {
+                        if f != v {
+                            let msg = mix_message(&format!("field `{field}` initialization"), f, v);
+                            self.push_finding(RuleId::U2, line, msg);
+                        }
+                    }
+                } else if t.kind == TokKind::Ident {
+                    self.bump(); // shorthand field
+                } else if t.is_punct(',') {
+                    self.bump();
+                }
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+        self.i = close.min(save_end);
+        self.end = save_end;
+    }
+
+    /// Parse a delimited argument list; cursor at the opener.
+    fn parse_args(&mut self, open: char, close_c: char) -> Vec<ArgFact> {
+        let close = self.find_close(open, close_c);
+        self.bump();
+        let save_end = self.end;
+        self.end = close.saturating_sub(1).min(save_end);
+        let mut out = Vec::new();
+        while self.i < self.end {
+            if !self.spend() {
+                break;
+            }
+            if self.at_punct(',') {
+                self.bump();
+                continue;
+            }
+            let start = self.i;
+            let leading_mut_ref =
+                self.at_punct('&') && self.peek(1).is_some_and(|n| n.is_ident("mut"));
+            let unit = self.parse_expr(true);
+            let span_end = self.i;
+            let mut has_rng = false;
+            let mut has_seed = false;
+            for t in &self.toks[start..span_end.min(self.toks.len())] {
+                if t.kind == TokKind::Ident {
+                    let low = t.text.to_ascii_lowercase();
+                    has_rng |= low.contains("rng");
+                    has_seed |= low.contains("seed");
+                }
+            }
+            out.push(ArgFact {
+                unit,
+                leading_mut_ref,
+                has_rng_ident: has_rng,
+                has_seed_ident: has_seed,
+            });
+            if self.i == start {
+                self.bump();
+            }
+        }
+        self.i = close.min(save_end);
+        self.end = save_end;
+        out
+    }
+
+    /// Postfix chain: field access, method calls, indexing, `?`, `as`.
+    fn parse_postfix(&mut self, mut unit: EUnit, mut chain: Chain) -> EUnit {
+        loop {
+            if !self.spend() {
+                break;
+            }
+            let Some(t) = self.peek(0) else { break };
+            match t.kind {
+                TokKind::Punct if t.is_punct('?') => self.bump(),
+                TokKind::Punct if t.is_punct('[') => {
+                    let close = self.find_close('[', ']');
+                    self.bump();
+                    self.walk_stmts(close.saturating_sub(1));
+                    if self.at_punct(']') {
+                        self.bump();
+                    }
+                    // Indexing keeps the container's element unit when the
+                    // container name carried one (`times_ms[i]`).
+                }
+                TokKind::Punct if t.is_punct('(') => {
+                    // Calling an expression result (closure variable).
+                    let _ = self.parse_args('(', ')');
+                    unit = EUnit::Unknown;
+                    chain = Chain::default();
+                }
+                TokKind::Punct
+                    if t.is_punct('.') && !self.peek(1).is_some_and(|n| n.is_punct('.')) =>
+                {
+                    self.bump();
+                    let Some(m) = self.peek(0) else { break };
+                    if m.kind == TokKind::Num {
+                        // Tuple index.
+                        self.bump();
+                        unit = EUnit::Unknown;
+                        continue;
+                    }
+                    if m.kind != TokKind::Ident {
+                        break;
+                    }
+                    let mname = m.text.clone();
+                    let mline = m.line;
+                    self.bump();
+                    if mname == "await" {
+                        continue;
+                    }
+                    // Turbofish on methods: `.collect::<Vec<_>>()`.
+                    if self.at_punct(':') && self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                        self.bump();
+                        self.bump();
+                        if self.at_punct('<') {
+                            self.skip_group('<', '>');
+                        }
+                    }
+                    if self.at_punct('(') {
+                        let args = self.parse_args('(', ')');
+                        // F2: hash-ordered iteration feeding a reducer.
+                        if HASH_ITERS.contains(&mname.as_str()) && chain.hashy {
+                            chain.iterated = true;
+                        }
+                        if FLOAT_REDUCERS.contains(&mname.as_str()) && chain.hashy && chain.iterated
+                        {
+                            self.push_finding(
+                                RuleId::F2,
+                                mline,
+                                format!(
+                                    "order-sensitive float accumulation: `.{mname}()` over \
+                                     hash-ordered iteration; collect into a sorted container \
+                                     first"
+                                ),
+                            );
+                        }
+                        // U2: min/max/clamp compare receiver and argument.
+                        if UNIT_COMPARING.contains(&mname.as_str()) {
+                            if let (EUnit::Known(r), Some(ArgFact { unit: EUnit::Known(a), .. })) =
+                                (unit, args.first())
+                            {
+                                if r != *a {
+                                    let msg =
+                                        mix_message(&format!("`.{mname}()` comparison"), r, *a);
+                                    self.push_finding(RuleId::U2, mline, msg);
+                                }
+                            }
+                        }
+                        let result = if UNIT_PRESERVING.contains(&mname.as_str()) {
+                            unit
+                        } else {
+                            self.call_result_unit(&mname, &args, mline)
+                        };
+                        self.out.calls.push(CallSite {
+                            name: mname,
+                            owner: None,
+                            is_method: true,
+                            is_macro: false,
+                            line: mline,
+                            args,
+                            in_loop: self.in_reorderable(),
+                        });
+                        unit = result;
+                    } else {
+                        // Field access: the field's suffix speaks.
+                        unit = unit_of_ident(&mname).map_or(EUnit::Unknown, EUnit::Known);
+                        chain.hashy = chain.hashy
+                            || self.hash_fields.contains(&mname)
+                            || self.hash_locals.contains(&mname);
+                        chain.iterated = false;
+                    }
+                }
+                TokKind::Ident if t.is_ident("as") => {
+                    self.bump();
+                    // Consume a simple type path; the cast keeps the unit.
+                    while let Some(t) = self.peek(0) {
+                        if t.kind == TokKind::Ident && !t.is_ident("as") {
+                            self.bump();
+                            if self.at_punct(':') && self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                                self.bump();
+                                self.bump();
+                                continue;
+                            }
+                            if self.at_punct('<') {
+                                self.skip_group('<', '>');
+                            }
+                        }
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        unit
+    }
+}
+
+/// Analyze one function body (a token index range produced by the item
+/// parser). `static_muts` are the same-file `static mut` names (their
+/// use is a GlobalMut effect); `hash_fields` are same-file struct fields
+/// with hash-ordered types; `hash_params` seeds the tracked hash-typed
+/// locals from the fn's own parameters; `in_macro` marks `macro_rules!`
+/// pseudo-bodies (conservatively treated as reorderable positions).
+#[must_use]
+pub fn analyze_body(
+    toks: &[Tok],
+    range: (usize, usize),
+    static_muts: &[String],
+    hash_fields: &[String],
+    hash_params: &[String],
+    in_macro: bool,
+) -> BodyFacts {
+    let (start, end) = range;
+    let end = end.min(toks.len());
+    let start = start.min(end);
+    let mut b = Body {
+        toks,
+        i: start,
+        end,
+        fuel: 8 * (end - start) + 64,
+        depth: 0,
+        loop_depth: 0,
+        closure_depth: 0,
+        in_macro,
+        static_muts,
+        hash_fields,
+        hash_locals: hash_params.to_vec(),
+        out: BodyFacts::default(),
+    };
+    b.walk_stmts(end);
+    b.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn facts(body_src: &str) -> BodyFacts {
+        let src = format!("fn t() {{ {body_src} }}\n");
+        let lexed = lex(&src);
+        let parsed = parse_items(&lexed.toks, &lexed.comments);
+        let f = &parsed.fns[0];
+        analyze_body(&lexed.toks, f.body.expect("body"), &[], &[], &[], false)
+    }
+
+    fn u2_count(src: &str) -> usize {
+        facts(src).findings.iter().filter(|f| f.rule == RuleId::U2).count()
+    }
+
+    #[test]
+    fn scalar_scaling_keeps_the_unit() {
+        // The load-bearing case: numerically-correct ms→µs multiply is
+        // dimensionally still ms, so a `_us` slot rejects it.
+        assert_eq!(u2_count("let down_at_us = at_ms * 1000.0;"), 1);
+        assert_eq!(u2_count("let down_at_ms = at_ms * 1000.0;"), 0);
+        assert_eq!(u2_count("let x = at_ms * 1000.0;"), 0, "unsuffixed binding checks nothing");
+    }
+
+    #[test]
+    fn named_conversions_change_the_unit() {
+        assert_eq!(u2_count("let down_at_us = ms_to_us(at_ms);"), 0);
+        assert_eq!(u2_count("let t_s = ms_to_s(at_ms);"), 0);
+        assert_eq!(u2_count("let t_ms = ms_to_us(at_ms);"), 1, "conversion result is µs");
+        assert_eq!(u2_count("let t_us = ms_to_us(at_us);"), 1, "wrong-unit argument");
+    }
+
+    #[test]
+    fn additive_mixing_fires_and_same_unit_does_not() {
+        assert_eq!(u2_count("let d = end_us - start_ms;"), 1);
+        assert_eq!(u2_count("let d = end_us - start_us;"), 0);
+        assert_eq!(u2_count("if deadline_ms < now_us { x(); }"), 1);
+        assert_eq!(u2_count("let ok = kv_bytes + hbm_gb;"), 1, "cross-dimension");
+    }
+
+    #[test]
+    fn division_of_same_units_is_a_ratio() {
+        assert_eq!(u2_count("let frac = used_bytes / total_bytes; let y_ms = frac * t_ms;"), 0);
+    }
+
+    #[test]
+    fn struct_literal_fields_are_checked() {
+        assert_eq!(u2_count("let f = Flap { down_at_us: e.at_ms * 1000.0 };"), 1);
+        assert_eq!(u2_count("let f = Flap { down_at_us: ms_to_us(e.at_ms) };"), 0);
+    }
+
+    #[test]
+    fn assignment_and_compound_assignment_check_units() {
+        assert_eq!(u2_count("total_us += step_ms;"), 1);
+        assert_eq!(u2_count("total_us += step_us;"), 0);
+        assert_eq!(u2_count("slot.end_us = t_ms;"), 1);
+    }
+
+    #[test]
+    fn min_max_compare_units() {
+        assert_eq!(u2_count("let t = a_ms.min(b_us);"), 1);
+        assert_eq!(u2_count("let t_ms = a_ms.min(b_ms);"), 0, "min preserves the unit");
+    }
+
+    #[test]
+    fn field_access_and_indexing_carry_units() {
+        assert_eq!(u2_count("let t_us = flap.down_at_us;"), 0);
+        assert_eq!(u2_count("let t_us = flap.down_at_ms;"), 1);
+        assert_eq!(u2_count("let t_ms = times_ms[i];"), 0);
+    }
+
+    #[test]
+    fn rates_are_unitless() {
+        assert_eq!(u2_count("let gap_s = 1.0 / rate_per_s;"), 0);
+    }
+
+    #[test]
+    fn f2_hash_iteration_accumulation_fires() {
+        let src = "let m: HashMap<String, f64> = make(); let s: f64 = m.values().sum();";
+        let f = facts(src);
+        assert_eq!(f.findings.iter().filter(|x| x.rule == RuleId::F2).count(), 1);
+        let ok = "let m: BTreeMap<String, f64> = make(); let s: f64 = m.values().sum();";
+        assert_eq!(facts(ok).findings.iter().filter(|x| x.rule == RuleId::F2).count(), 0);
+    }
+
+    #[test]
+    fn effects_are_recorded() {
+        let f = facts(
+            "let t = Instant::now(); let r = rand::thread_rng(); println!(\"x\"); \
+             let h = std::fs::read_to_string(p); let v = std::env::var(k);",
+        );
+        let kinds: Vec<EffectKind> = f.effects.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EffectKind::WallClock));
+        assert!(kinds.contains(&EffectKind::Entropy));
+        assert!(kinds.contains(&EffectKind::Print));
+        assert!(kinds.contains(&EffectKind::FsEnv));
+    }
+
+    #[test]
+    fn call_sites_record_loop_and_rng_facts() {
+        let f = facts("for i in 0..n { step(&mut jitter_rng, i); } init(&mut seed_rng);");
+        let in_loop: Vec<(&str, bool)> =
+            f.calls.iter().map(|c| (c.name.as_str(), c.in_loop)).collect();
+        assert!(in_loop.contains(&("step", true)));
+        assert!(in_loop.contains(&("init", false)));
+        let step = f.calls.iter().find(|c| c.name == "step").expect("step");
+        assert!(step.args[0].leading_mut_ref && step.args[0].has_rng_ident);
+    }
+
+    #[test]
+    fn method_and_macro_calls_are_recorded() {
+        let f = facts("self.step(q); retry!(q); Engine::tick(e);");
+        let step = f.calls.iter().find(|c| c.name == "step").expect("step");
+        assert!(step.is_method);
+        let retry = f.calls.iter().find(|c| c.name == "retry").expect("retry");
+        assert!(retry.is_macro);
+        let tick = f.calls.iter().find(|c| c.name == "tick").expect("tick");
+        assert_eq!(tick.owner.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn closures_count_as_reorderable_positions() {
+        let f = facts("items.retain(|x| keep(x));");
+        let keep = f.calls.iter().find(|c| c.name == "keep").expect("keep");
+        assert!(keep.in_loop);
+    }
+
+    #[test]
+    fn garbage_bodies_terminate() {
+        for src in ["(((((", "a + + *", "| | |", "x.....y", "match { { {", "&mut &mut"] {
+            let _ = facts(src);
+        }
+    }
+}

@@ -17,6 +17,12 @@ pub enum TokKind {
     Ident,
     /// A single punctuation character (`.`, `!`, `{`, …).
     Punct,
+    /// A numeric literal (`1000.0`, `0x6d74`, `1_000`). The semantic
+    /// pass treats these as dimensionless scalars.
+    Num,
+    /// A string/char/byte literal, kept as an opaque placeholder so
+    /// argument positions stay countable. Contents are never surfaced.
+    Str,
 }
 
 /// One significant token.
@@ -201,7 +207,13 @@ pub fn lex(src: &str) -> Lexed {
                     j += 1;
                 }
                 if j < n && cs[j] == '"' {
+                    let start_line = line;
                     i = skip_raw_string(&cs, j, hashes, &mut line);
+                    out.toks.push(Tok {
+                        line: start_line,
+                        kind: TokKind::Str,
+                        text: String::new(),
+                    });
                     continue;
                 }
                 if c == 'r' && hashes == 1 && j < n && is_ident_start(cs[j]) {
@@ -221,17 +233,23 @@ pub fn lex(src: &str) -> Lexed {
             }
             // `b"…"` byte string / `b'…'` byte char.
             if c == 'b' && i + 1 < n && cs[i + 1] == '"' {
+                let start_line = line;
                 i = skip_string(&cs, i + 1, &mut line);
+                out.toks.push(Tok { line: start_line, kind: TokKind::Str, text: String::new() });
                 continue;
             }
             if c == 'b' && i + 1 < n && cs[i + 1] == '\'' {
+                let start_line = line;
                 i = skip_char_lit(&cs, i + 1, &mut line);
+                out.toks.push(Tok { line: start_line, kind: TokKind::Str, text: String::new() });
                 continue;
             }
             // Plain identifier starting with r/b: fall through.
         }
         if c == '"' {
+            let start_line = line;
             i = skip_string(&cs, i, &mut line);
+            out.toks.push(Tok { line: start_line, kind: TokKind::Str, text: String::new() });
             continue;
         }
         if c == '\'' {
@@ -245,7 +263,9 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 continue;
             }
+            let start_line = line;
             i = skip_char_lit(&cs, i, &mut line);
+            out.toks.push(Tok { line: start_line, kind: TokKind::Str, text: String::new() });
             continue;
         }
         if is_ident_start(c) {
@@ -260,6 +280,7 @@ pub fn lex(src: &str) -> Lexed {
             // Numeric literal: digits, `_`, type suffixes, hex/bin
             // alphabetics, and a decimal point only when a digit follows
             // (`1..10` must leave the range dots alone).
+            let s = i;
             i += 1;
             while i < n {
                 if is_ident_continue(cs[i]) {
@@ -270,6 +291,7 @@ pub fn lex(src: &str) -> Lexed {
                     break;
                 }
             }
+            out.toks.push(Tok { line, kind: TokKind::Num, text: cs[s..i].iter().collect() });
             continue;
         }
         out.toks.push(Tok { line, kind: TokKind::Punct, text: c.to_string() });

@@ -1,0 +1,797 @@
+//! Item-level recursive-descent parser over the token stream.
+//!
+//! The semantic rules (U2/F2/R2/P3) need structure the lexer cannot
+//! give them: which tokens form a function body, what the function's
+//! parameters are called, which type an `impl` block extends, where
+//! `static mut` state lives, and which functions carry a
+//! `// lint:entry` marker. This parser recovers exactly that much — it
+//! is *not* a Rust front end. It never fails: anything it does not
+//! understand is skipped token-by-token, which is the right posture for
+//! a linter (rustc rejects genuinely malformed files long before we
+//! see them). The proptest suite feeds it arbitrary token soup and
+//! asserts it terminates without panicking.
+
+use crate::lexer::{Comment, Tok, TokKind};
+
+/// One function parameter (or struct field): the name and the flat text
+/// of its declared type.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Pattern/field name; empty for patterns we do not resolve
+    /// (tuple/struct patterns), keeping positions countable.
+    pub name: String,
+    /// Type text with `::`/`<`/`>` squeezed to spaces — enough for
+    /// substring checks (`HashMap`, `Rng`), not for type analysis.
+    pub ty: String,
+}
+
+/// A parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (`run`, `link_schedule`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, when any (`FaultDriver`).
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword (or `macro_rules!` name).
+    pub line: u32,
+    /// Whether the first parameter is a form of `self`.
+    pub has_self: bool,
+    /// Non-`self` parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Flat text of the return type, empty when none.
+    pub ret: String,
+    /// Token index range of the body *contents* (inside the braces);
+    /// `None` for bodiless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// True for `macro_rules!` pseudo-functions: their "body" is the
+    /// macro definition, analyzed leniently.
+    pub is_macro: bool,
+    /// True when a `// lint:entry` marker names this fn a
+    /// parallel-readiness entry point (rule P3 roots reachability here).
+    pub is_entry: bool,
+}
+
+/// A parsed `struct` item with named fields.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Named fields (empty for tuple/unit structs).
+    pub fields: Vec<Param>,
+}
+
+/// A `static` item; `static mut` is global mutable state (effect for P3).
+#[derive(Debug, Clone)]
+pub struct StaticItem {
+    /// Item name.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// `static mut` — forbidden effect.
+    pub is_mut: bool,
+}
+
+/// A `use` declaration, flattened to `a::b::c` text.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    /// Flat path text.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Everything the item parser recovered from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Functions (free, impl methods, trait defaults, macro pseudo-fns).
+    pub fns: Vec<FnItem>,
+    /// Structs with named fields.
+    pub structs: Vec<StructItem>,
+    /// Statics.
+    pub statics: Vec<StaticItem>,
+    /// Use declarations.
+    pub uses: Vec<UseItem>,
+}
+
+/// Lines that carry a `// lint:entry` marker. The marker declares the
+/// *next* `fn` item an entry point for the P3 effect analysis, the same
+/// attachment rule waivers use.
+#[must_use]
+pub fn entry_marker_lines(comments: &[Comment]) -> Vec<u32> {
+    comments
+        .iter()
+        .filter(|c| {
+            c.text.trim_start_matches(['/', '*', '!']).trim_start().starts_with("lint:entry")
+        })
+        .map(|c| c.line)
+        .collect()
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    out: ParsedFile,
+    /// Entry-marker lines not yet attached to a fn.
+    entries: Vec<u32>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, off: usize) -> Option<&'a Tok> {
+        self.toks.get(self.i + off)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    /// Skip a balanced `(…)`, `[…]`, `{…}`, or `<…>` group; `self.i` is
+    /// at the opener. `<` needs care: `->`'s `>` and shift-like `>>` are
+    /// both handled by plain depth counting over single-char tokens, and
+    /// a `>` preceded by `-` never closes a generic.
+    fn skip_group(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                let arrow = close == '>'
+                    && self.i > 0
+                    && self.toks.get(self.i - 1).is_some_and(|p| p.is_punct('-'));
+                if !arrow {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip one attribute `#[…]` / `#![…]`; `self.i` is at `#`.
+    fn skip_attribute(&mut self) {
+        self.bump(); // '#'
+        if self.at_punct('!') {
+            self.bump();
+        }
+        if self.at_punct('[') {
+            self.skip_group('[', ']');
+        }
+    }
+
+    /// Collect a flat type/path text up to any of `stops` at depth zero.
+    fn flat_text_until(&mut self, stops: &[char]) -> String {
+        let mut depth = 0usize;
+        let mut out = String::new();
+        while let Some(t) = self.peek(0) {
+            if depth == 0 && t.kind == TokKind::Punct && stops.iter().any(|&c| t.is_punct(c)) {
+                break;
+            }
+            match t.kind {
+                TokKind::Punct if "([<{".contains(&t.text) => depth += 1,
+                TokKind::Punct if ")]>}".contains(&t.text) => {
+                    // `->` does not close anything.
+                    let arrow = t.is_punct('>')
+                        && self.i > 0
+                        && self.toks.get(self.i - 1).is_some_and(|p| p.is_punct('-'));
+                    if !arrow {
+                        if depth == 0 {
+                            break; // unbalanced closer ends the type
+                        }
+                        depth -= 1;
+                    }
+                }
+                _ => {}
+            }
+            if t.kind == TokKind::Ident {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&t.text);
+            }
+            self.bump();
+        }
+        out
+    }
+
+    /// Parse a parameter list; `self.i` is at `(`. Returns
+    /// (has_self, params).
+    fn parse_params(&mut self) -> (bool, Vec<Param>) {
+        let mut has_self = false;
+        let mut params = Vec::new();
+        if !self.at_punct('(') {
+            return (has_self, params);
+        }
+        self.bump(); // '('
+        let mut depth = 0usize; // nesting inside the param list
+        let mut expecting = true; // at the start of a parameter
+        while let Some(t) = self.peek(0) {
+            if depth == 0 && t.is_punct(')') {
+                self.bump();
+                break;
+            }
+            match t.kind {
+                TokKind::Punct if "([<{".contains(&t.text) => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokKind::Punct if ")]>}".contains(&t.text) => {
+                    let arrow = t.is_punct('>')
+                        && self.i > 0
+                        && self.toks.get(self.i - 1).is_some_and(|p| p.is_punct('-'));
+                    if !arrow {
+                        depth = depth.saturating_sub(1);
+                    }
+                    self.bump();
+                }
+                TokKind::Punct if t.is_punct(',') && depth == 0 => {
+                    expecting = true;
+                    self.bump();
+                }
+                _ if expecting => {
+                    // Start of a parameter: `self` forms, `mut name`,
+                    // `name: Type`, or an unresolvable pattern.
+                    if t.is_punct('&') || t.is_ident("mut") {
+                        self.bump();
+                        continue; // stay in `expecting`
+                    }
+                    if t.is_ident("self") {
+                        has_self = true;
+                        expecting = false;
+                        self.bump();
+                        continue;
+                    }
+                    if t.kind == TokKind::Ident && self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                        let name = t.text.clone();
+                        self.bump(); // name
+                        self.bump(); // ':'
+                        let ty = self.flat_text_until(&[',', ')']);
+                        params.push(Param { name, ty });
+                        expecting = false;
+                        continue;
+                    }
+                    // Unresolvable pattern (tuple, struct, `_`): keep the
+                    // position with an empty name.
+                    params.push(Param { name: String::new(), ty: String::new() });
+                    expecting = false;
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        (has_self, params)
+    }
+
+    /// Parse a `fn` item; `self.i` is at the `fn` keyword.
+    fn parse_fn(&mut self, owner: Option<&str>) {
+        let line = self.peek(0).map_or(0, |t| t.line);
+        self.bump(); // 'fn'
+        let Some(name_tok) = self.peek(0) else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_group('<', '>');
+        }
+        let (has_self, params) = self.parse_params();
+        // Return type: `-> Type`, ended by `{`, `;`, or `where`.
+        let mut ret = String::new();
+        if self.at_punct('-') && self.peek(1).is_some_and(|t| t.is_punct('>')) {
+            self.bump();
+            self.bump();
+            ret = self.flat_text_until(&['{', ';']);
+        }
+        // `where` clause folds into flat_text_until already (idents are
+        // harmless); make sure we are now at `{` or `;`.
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            self.bump();
+        }
+        let mut body = None;
+        if self.at_punct('{') {
+            let start = self.i + 1;
+            self.skip_group('{', '}');
+            body = Some((start, self.i.saturating_sub(1)));
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        let is_entry = self.take_entry_for(line);
+        self.out.fns.push(FnItem {
+            name,
+            owner: owner.map(str::to_string),
+            line,
+            has_self,
+            params,
+            ret,
+            body,
+            is_macro: false,
+            is_entry,
+        });
+    }
+
+    /// Consume a pending entry marker that targets a fn at `line`: the
+    /// marker must sit strictly above the item and nothing but other
+    /// markers/attributes/comments may intervene — approximated by
+    /// "marker line is above `line`". Markers never match twice.
+    fn take_entry_for(&mut self, line: u32) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&m| m < line) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse `struct Name { fields }` / tuple / unit struct.
+    fn parse_struct(&mut self) {
+        let line = self.peek(0).map_or(0, |t| t.line);
+        self.bump(); // 'struct'
+        let Some(name_tok) = self.peek(0) else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_group('<', '>');
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('(') {
+            self.skip_group('(', ')');
+            if self.at_punct(';') {
+                self.bump();
+            }
+        } else if self.at_punct('{') {
+            self.bump();
+            // Field list: `pub? name : Type ,` — attributes and doc
+            // comments already stripped by the lexer/attribute skipper.
+            loop {
+                while self.at_punct('#') {
+                    self.skip_attribute();
+                }
+                if self.at_ident("pub") {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_group('(', ')');
+                    }
+                }
+                let Some(t) = self.peek(0) else { break };
+                if t.is_punct('}') {
+                    self.bump();
+                    break;
+                }
+                if t.kind == TokKind::Ident && self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                    let fname = t.text.clone();
+                    self.bump();
+                    self.bump();
+                    let ty = self.flat_text_until(&[',', '}']);
+                    fields.push(Param { name: fname, ty });
+                    if self.at_punct(',') {
+                        self.bump();
+                    }
+                } else {
+                    self.bump();
+                }
+            }
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        self.out.structs.push(StructItem { name, line, fields });
+    }
+
+    /// Parse the contents of an `impl`/`trait` block body.
+    fn parse_block_items(&mut self, owner: Option<&str>) {
+        // `self.i` is at `{`.
+        if !self.at_punct('{') {
+            return;
+        }
+        let end_guard = {
+            // Find the matching close so nested parsing cannot overrun.
+            let save = self.i;
+            self.skip_group('{', '}');
+            let end = self.i;
+            self.i = save + 1;
+            end
+        };
+        while self.i < end_guard.saturating_sub(1) {
+            if !self.parse_one_item(owner, end_guard.saturating_sub(1)) {
+                break;
+            }
+        }
+        self.i = end_guard;
+    }
+
+    /// Parse one item at the current position (bounded by `limit`).
+    /// Returns false when no progress can be made.
+    fn parse_one_item(&mut self, owner: Option<&str>, limit: usize) -> bool {
+        while self.i < limit {
+            let Some(t) = self.peek(0) else { return false };
+            match t.kind {
+                TokKind::Punct if t.is_punct('#') => self.skip_attribute(),
+                TokKind::Ident => match t.text.as_str() {
+                    "pub" => {
+                        self.bump();
+                        if self.at_punct('(') {
+                            self.skip_group('(', ')');
+                        }
+                    }
+                    "unsafe" | "async" | "default" => self.bump(),
+                    "extern" => {
+                        self.bump();
+                        if self.peek(0).is_some_and(|t| t.kind == TokKind::Str) {
+                            self.bump();
+                        }
+                    }
+                    "const" => {
+                        // `const fn` is a modifier; `const NAME: …;` is an item.
+                        if self.peek(1).is_some_and(|n| n.is_ident("fn")) {
+                            self.bump();
+                        } else {
+                            self.skip_to_semi(limit);
+                            return true;
+                        }
+                    }
+                    "fn" => {
+                        self.parse_fn(owner);
+                        return true;
+                    }
+                    "struct" => {
+                        self.parse_struct();
+                        return true;
+                    }
+                    "enum" | "union" => {
+                        self.bump();
+                        if self.peek(0).is_some_and(|t| t.kind == TokKind::Ident) {
+                            self.bump();
+                        }
+                        if self.at_punct('<') {
+                            self.skip_group('<', '>');
+                        }
+                        if self.at_punct('{') {
+                            self.skip_group('{', '}');
+                        }
+                        return true;
+                    }
+                    "impl" | "trait" => {
+                        let is_trait = t.text == "trait";
+                        self.bump();
+                        if self.at_punct('<') {
+                            self.skip_group('<', '>');
+                        }
+                        // First type path; with `impl Trait for Type` the
+                        // owner is the type after `for`.
+                        let mut ty = self.next_type_head();
+                        if self.at_ident("for") {
+                            self.bump();
+                            ty = self.next_type_head();
+                        }
+                        // Skip any remaining generics / where clause.
+                        while self.i < limit {
+                            if self.at_punct('{') || self.at_punct(';') {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        if self.at_punct('{') {
+                            let _ = is_trait;
+                            self.parse_block_items(ty.as_deref());
+                        } else if self.at_punct(';') {
+                            self.bump();
+                        }
+                        return true;
+                    }
+                    "mod" => {
+                        self.bump();
+                        if self.peek(0).is_some_and(|t| t.kind == TokKind::Ident) {
+                            self.bump();
+                        }
+                        if self.at_punct('{') {
+                            self.parse_block_items(owner);
+                        } else if self.at_punct(';') {
+                            self.bump();
+                        }
+                        return true;
+                    }
+                    "static" => {
+                        let line = t.line;
+                        self.bump();
+                        let is_mut = self.at_ident("mut");
+                        if is_mut {
+                            self.bump();
+                        }
+                        if let Some(name_tok) = self.peek(0) {
+                            if name_tok.kind == TokKind::Ident {
+                                self.out.statics.push(StaticItem {
+                                    name: name_tok.text.clone(),
+                                    line,
+                                    is_mut,
+                                });
+                            }
+                        }
+                        self.skip_to_semi(limit);
+                        return true;
+                    }
+                    "use" => {
+                        let line = t.line;
+                        self.bump();
+                        let mut path = String::new();
+                        while self.i < limit {
+                            let Some(t) = self.peek(0) else { break };
+                            if t.is_punct(';') {
+                                self.bump();
+                                break;
+                            }
+                            if t.is_punct('{') {
+                                self.skip_group('{', '}');
+                                continue;
+                            }
+                            if t.kind == TokKind::Ident {
+                                if !path.is_empty() {
+                                    path.push_str("::");
+                                }
+                                path.push_str(&t.text);
+                            }
+                            self.bump();
+                        }
+                        self.out.uses.push(UseItem { path, line });
+                        return true;
+                    }
+                    "macro_rules" => {
+                        let line = t.line;
+                        self.bump(); // macro_rules
+                        if self.at_punct('!') {
+                            self.bump();
+                        }
+                        let name = match self.peek(0) {
+                            Some(t) if t.kind == TokKind::Ident => {
+                                let n = t.text.clone();
+                                self.bump();
+                                n
+                            }
+                            _ => String::from("_macro"),
+                        };
+                        let mut body = None;
+                        if self.at_punct('{') {
+                            let start = self.i + 1;
+                            self.skip_group('{', '}');
+                            body = Some((start, self.i.saturating_sub(1)));
+                        }
+                        let is_entry = self.take_entry_for(line);
+                        self.out.fns.push(FnItem {
+                            name,
+                            owner: None,
+                            line,
+                            has_self: false,
+                            params: Vec::new(),
+                            ret: String::new(),
+                            body,
+                            is_macro: true,
+                            is_entry,
+                        });
+                        return true;
+                    }
+                    "type" => {
+                        self.skip_to_semi(limit);
+                        return true;
+                    }
+                    _ => self.bump(),
+                },
+                _ => self.bump(),
+            }
+        }
+        false
+    }
+
+    /// Skip to just past the next `;` at group depth zero.
+    fn skip_to_semi(&mut self, limit: usize) {
+        let mut depth = 0usize;
+        while self.i < limit {
+            let Some(t) = self.peek(0) else { return };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    ";" if depth == 0 => {
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Read the head identifier of a type path (`Foo` of `Foo<Bar>`,
+    /// `fmt::Display` → `Display`).
+    fn next_type_head(&mut self) -> Option<String> {
+        let mut last = None;
+        while let Some(t) = self.peek(0) {
+            match t.kind {
+                TokKind::Ident if t.text == "for" => break,
+                TokKind::Ident => {
+                    last = Some(t.text.clone());
+                    self.bump();
+                    if self.at_punct('<') {
+                        self.skip_group('<', '>');
+                    }
+                    // Continue through `::`; anything else ends the path.
+                    if self.at_punct(':') && self.peek(1).is_some_and(|n| n.is_punct(':')) {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                TokKind::Punct if t.is_punct('&') || t.is_punct('*') => self.bump(),
+                TokKind::Punct
+                    if t.is_punct(':') && self.peek(1).is_some_and(|n| n.is_punct(':')) =>
+                {
+                    self.bump();
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        last
+    }
+}
+
+/// Parse the items of one file. `comments` supplies `lint:entry`
+/// markers. Never panics; unknown constructs are skipped.
+#[must_use]
+pub fn parse_items(toks: &[Tok], comments: &[Comment]) -> ParsedFile {
+    let mut p = Parser { toks, i: 0, out: ParsedFile::default(), entries: Vec::new() };
+    // Markers attach to the next fn *below* them; sort descending so
+    // `take_entry_for` (which scans for "marker above item") pairs the
+    // closest marker first.
+    p.entries = entry_marker_lines(comments);
+    p.entries.sort_unstable_by(|a, b| b.cmp(a));
+    let limit = toks.len();
+    while p.i < limit {
+        let before = p.i;
+        if !p.parse_one_item(None, limit) && p.i == before {
+            p.bump();
+        }
+    }
+    p.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        parse_items(&lexed.toks, &lexed.comments)
+    }
+
+    #[test]
+    fn free_fn_signature_and_body_are_recovered() {
+        let p = parse("pub fn ms_to_us(ms: f64) -> f64 { ms * 1000.0 }\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "ms_to_us");
+        assert!(!f.has_self);
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.params[0].name, "ms");
+        assert_eq!(f.params[0].ty, "f64");
+        assert_eq!(f.ret, "f64");
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_carry_their_owner() {
+        let src = "impl<R: Rng> FaultDriver<R> {\n    pub fn poll(&mut self, now_ms: f64) {}\n    \
+                   fn helper(x: u32) -> u32 { x }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("FaultDriver"));
+        assert!(p.fns[0].has_self);
+        assert_eq!(p.fns[0].params.len(), 1);
+        assert_eq!(p.fns[0].params[0].name, "now_ms");
+        assert_eq!(p.fns[1].owner.as_deref(), Some("FaultDriver"));
+        assert!(!p.fns[1].has_self);
+    }
+
+    #[test]
+    fn impl_trait_for_type_owner_is_the_type() {
+        let p = parse("impl fmt::Display for RuleId { fn fmt(&self, f: &mut F) -> R {} }\n");
+        assert_eq!(p.fns[0].owner.as_deref(), Some("RuleId"));
+    }
+
+    #[test]
+    fn struct_fields_are_collected() {
+        let src = "pub struct LinkFlap {\n    pub link: usize,\n    pub down_at_us: f64,\n    \
+                   pub repair_us: f64,\n}\n";
+        let p = parse(src);
+        assert_eq!(p.structs.len(), 1);
+        let names: Vec<&str> = p.structs[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["link", "down_at_us", "repair_us"]);
+    }
+
+    #[test]
+    fn static_mut_is_detected() {
+        let p = parse("static GOOD: u32 = 1;\nstatic mut EVIL: u32 = 2;\n");
+        assert_eq!(p.statics.len(), 2);
+        assert!(!p.statics[0].is_mut);
+        assert!(p.statics[1].is_mut);
+        assert_eq!(p.statics[1].name, "EVIL");
+    }
+
+    #[test]
+    fn entry_marker_attaches_to_next_fn() {
+        let src = "fn plain() {}\n// lint:entry — serving engine step loop\npub fn run(cfg: \
+                   &Cfg) {}\nfn after() {}\n";
+        let p = parse(src);
+        let flags: Vec<(&str, bool)> =
+            p.fns.iter().map(|f| (f.name.as_str(), f.is_entry)).collect();
+        assert_eq!(flags, vec![("plain", false), ("run", true), ("after", false)]);
+    }
+
+    #[test]
+    fn nested_mods_and_generic_fns_do_not_confuse_the_walker() {
+        let src = "mod inner {\n    pub fn a<T: Into<B>>(x: T) -> Vec<u8> { vec![] }\n}\nfn b() \
+                   {}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fn_with_where_clause_and_return_generics() {
+        let src = "fn f<R>(rng: &mut R) -> Option<Vec<u8>> where R: Rng { None }\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].params[0].name, "rng");
+        assert!(p.fns[0].params[0].ty.contains("R"));
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn macro_rules_becomes_a_pseudo_fn() {
+        let p = parse("macro_rules! give_up {\n    ($req:expr) => {{ drop($req); }};\n}\n");
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].is_macro);
+        assert_eq!(p.fns[0].name, "give_up");
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn use_paths_flatten() {
+        let p = parse("use std::collections::BTreeMap;\nuse crate::lexer::{lex, Tok};\n");
+        assert_eq!(p.uses.len(), 2);
+        assert_eq!(p.uses[0].path, "std::collections::BTreeMap");
+    }
+
+    #[test]
+    fn tuple_pattern_params_keep_positions() {
+        let p = parse("fn f((a, b): (f64, f64), c_ms: f64) {}\n");
+        assert_eq!(p.fns[0].params.len(), 2);
+        assert_eq!(p.fns[0].params[0].name, "");
+        assert_eq!(p.fns[0].params[1].name, "c_ms");
+    }
+
+    #[test]
+    fn garbage_terminates_without_panic() {
+        for src in ["fn", "fn (", "impl {", "struct", "fn f(x: ) -> {", "{{{{", ")]}>", "fn f<"] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -27,11 +27,25 @@ pub enum RuleId {
     W1,
     /// A well-formed waiver must actually suppress something.
     W2,
+    /// Unit-of-measure discipline: arithmetic never mixes `_us`/`_ms`/
+    /// `_s`/`_bytes`/`_gb`/`_tokens`/`_flops` quantities except through
+    /// named conversions in `core::units`.
+    U2,
+    /// Float determinism: no `partial_cmp`-based orderings without a
+    /// total-order shim, no float accumulation over hash iteration.
+    F2,
+    /// RNG-stream discipline: every RNG from a named seed derivation; no
+    /// `&mut` RNG threaded across module boundaries into reorderable
+    /// loops.
+    R2,
+    /// Effect analysis: configured entry points reach no forbidden
+    /// effects (the parallel-readiness gate).
+    P3,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -41,6 +55,10 @@ impl RuleId {
         RuleId::V1,
         RuleId::W1,
         RuleId::W2,
+        RuleId::U2,
+        RuleId::F2,
+        RuleId::R2,
+        RuleId::P3,
     ];
 
     /// Stable identifier used in output and in waivers.
@@ -56,6 +74,10 @@ impl RuleId {
             RuleId::V1 => "V1",
             RuleId::W1 => "W1",
             RuleId::W2 => "W2",
+            RuleId::U2 => "U2",
+            RuleId::F2 => "F2",
+            RuleId::R2 => "R2",
+            RuleId::P3 => "P3",
         }
     }
 
@@ -78,6 +100,10 @@ impl RuleId {
             RuleId::V1 => "dependencies resolve to vendor/ or workspace paths only",
             RuleId::W1 => "waivers are well-formed and carry a written reason",
             RuleId::W2 => "waivers suppress at least one finding",
+            RuleId::U2 => "arithmetic never mixes units except through named conversions",
+            RuleId::F2 => "float orderings and reductions are total and order-independent",
+            RuleId::R2 => "RNG streams derive from named seeds and stay module-local in loops",
+            RuleId::P3 => "entry points reach no forbidden effects (parallel readiness)",
         }
     }
 
@@ -189,6 +215,18 @@ pub fn scan_tokens(model: &SourceModel, rule_applies: &dyn Fn(RuleId) -> bool) -
                     RuleId::D4,
                     t.line,
                     format!("`{name}!` in library code (return data; printing belongs in bin/)"),
+                );
+            }
+            // F2 — partial orderings over floats, library code only. The
+            // token-level half of the rule; the accumulation half lives
+            // in the expression analyzer.
+            "partial_cmp" if rule_applies(RuleId::F2) && !in_test && prev_is(toks, i, '.') => {
+                push(
+                    RuleId::F2,
+                    t.line,
+                    "`partial_cmp`-based float ordering is not total; use `f64::total_cmp` or a \
+                     documented total-order shim"
+                        .to_string(),
                 );
             }
             // P1 — panicking calls, library code only.

@@ -32,6 +32,8 @@ pub struct SourceModel {
     pub test_line: Vec<bool>,
     /// Parsed waivers in source order.
     pub waivers: Vec<Waiver>,
+    /// All comments, kept for the item parser's `lint:entry` markers.
+    pub comments: Vec<Comment>,
 }
 
 impl SourceModel {
@@ -41,7 +43,7 @@ impl SourceModel {
         let lexed = lex(src);
         let test_line = test_mask(&lexed);
         let waivers = parse_waivers(&lexed);
-        Self { toks: lexed.toks, test_line, waivers }
+        Self { toks: lexed.toks, test_line, waivers, comments: lexed.comments }
     }
 
     /// Is 1-based `line` inside a `#[cfg(test)]` / `mod tests` region?

@@ -1,0 +1,248 @@
+//! Workspace symbol table: every parsed `fn` across every scanned file,
+//! indexed by name for conservative call resolution.
+//!
+//! Resolution is tiered — same file, then same crate, then the whole
+//! workspace — and returns *all* candidates in the first non-empty
+//! tier. Downstream checks are phrased so that multiple candidates only
+//! strengthen them (a cross-file unit check fires only when every
+//! candidate disagrees with the argument), which keeps a name-based
+//! table sound enough for linting without real type resolution.
+
+use std::collections::BTreeMap;
+
+use crate::expr::CallSite;
+use crate::parser::ParsedFile;
+
+/// One file's identity inside the table.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Short crate name (`serving`, `netsim`; `root` for `src/`).
+    pub krate: String,
+}
+
+/// One function, flattened for cross-file queries.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Index into [`SymbolTable::files`].
+    pub file: usize,
+    /// Bare name.
+    pub name: String,
+    /// `impl`/`trait` owner type.
+    pub owner: Option<String>,
+    /// 1-based line of the item.
+    pub line: u32,
+    /// Method (first param is `self`).
+    pub has_self: bool,
+    /// `macro_rules!` pseudo-function.
+    pub is_macro: bool,
+    /// Marked `// lint:entry` for the P3 analysis.
+    pub is_entry: bool,
+    /// Non-`self` parameter names in order.
+    pub param_names: Vec<String>,
+    /// The item line sits in a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl FnInfo {
+    /// `Owner::name` or bare `name` — the display form used in reports.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace-wide function index.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Files in insertion (sorted-walk) order.
+    pub files: Vec<FileMeta>,
+    /// Functions in (file, source) order — ids are stable and sorted.
+    pub fns: Vec<FnInfo>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// The short crate name a workspace-relative path belongs to.
+#[must_use]
+pub fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+impl SymbolTable {
+    /// Register one parsed file; returns its file index. `in_test` is
+    /// the file's test-region mask, queried at each fn's own line.
+    pub fn add_file(
+        &mut self,
+        rel: &str,
+        parsed: &ParsedFile,
+        in_test: &dyn Fn(u32) -> bool,
+    ) -> usize {
+        let file = self.files.len();
+        self.files.push(FileMeta { rel: rel.to_string(), krate: crate_of(rel) });
+        for f in &parsed.fns {
+            let id = self.fns.len();
+            self.fns.push(FnInfo {
+                file,
+                name: f.name.clone(),
+                owner: f.owner.clone(),
+                line: f.line,
+                has_self: f.has_self,
+                is_macro: f.is_macro,
+                is_entry: f.is_entry,
+                param_names: f.params.iter().map(|p| p.name.clone()).collect(),
+                in_test: in_test(f.line),
+            });
+            self.by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        file
+    }
+
+    /// All candidate callees for `call` made from `from_file`, in the
+    /// first non-empty tier of same-file → same-crate → workspace.
+    /// Empty means the callee is external (std/vendor) — no checks run.
+    #[must_use]
+    pub fn resolve(&self, from_file: usize, call: &CallSite) -> Vec<usize> {
+        let Some(ids) = self.by_name.get(&call.name) else { return Vec::new() };
+        // Macro invocations resolve only to same-file `macro_rules!`.
+        if call.is_macro {
+            return ids
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].is_macro && self.fns[id].file == from_file)
+                .collect();
+        }
+        let base: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let f = &self.fns[id];
+                if f.is_macro {
+                    return false;
+                }
+                if call.is_method && !f.has_self {
+                    return false;
+                }
+                if !call.is_method && call.owner.is_none() && f.has_self {
+                    return false;
+                }
+                match call.owner.as_deref() {
+                    Some("Self") | None => true,
+                    Some(o) => f.owner.as_deref() == Some(o),
+                }
+            })
+            .collect();
+        let from_crate = &self.files[from_file].krate;
+        for tier in [
+            base.iter().copied().filter(|&id| self.fns[id].file == from_file).collect::<Vec<_>>(),
+            base.iter()
+                .copied()
+                .filter(|&id| &self.files[self.fns[id].file].krate == from_crate)
+                .collect(),
+            base,
+        ] {
+            if !tier.is_empty() {
+                return tier;
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn add(table: &mut SymbolTable, rel: &str, src: &str) -> usize {
+        let lexed = lex(src);
+        let parsed = parse_items(&lexed.toks, &lexed.comments);
+        table.add_file(rel, &parsed, &|_| false)
+    }
+
+    fn call(name: &str) -> CallSite {
+        CallSite {
+            name: name.to_string(),
+            owner: None,
+            is_method: false,
+            is_macro: false,
+            line: 1,
+            args: Vec::new(),
+            in_loop: false,
+        }
+    }
+
+    #[test]
+    fn crate_names_come_from_the_path() {
+        assert_eq!(crate_of("crates/serving/src/engine.rs"), "serving");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn same_file_candidates_shadow_the_workspace() {
+        let mut t = SymbolTable::default();
+        let a = add(&mut t, "crates/a/src/lib.rs", "fn work() {}\n");
+        let _b = add(&mut t, "crates/b/src/lib.rs", "fn work() {}\n");
+        let got = t.resolve(a, &call("work"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(t.fns[got[0]].file, a);
+    }
+
+    #[test]
+    fn same_crate_beats_global_and_global_returns_all() {
+        let mut t = SymbolTable::default();
+        let a1 = add(&mut t, "crates/a/src/lib.rs", "pub fn go() {}\n");
+        let a2 = add(&mut t, "crates/a/src/other.rs", "fn caller() {}\n");
+        let _b = add(&mut t, "crates/b/src/lib.rs", "pub fn go() {}\n");
+        let got = t.resolve(a2, &call("go"));
+        assert_eq!(got.len(), 1, "same-crate tier wins");
+        assert_eq!(t.fns[got[0]].file, a1);
+
+        let c = add(&mut t, "crates/c/src/lib.rs", "fn caller2() {}\n");
+        let got = t.resolve(c, &call("go"));
+        assert_eq!(got.len(), 2, "no local candidate: all workspace fns match");
+    }
+
+    #[test]
+    fn method_calls_only_match_methods_and_owner_filters() {
+        let mut t = SymbolTable::default();
+        let f = add(
+            &mut t,
+            "crates/a/src/lib.rs",
+            "impl Engine { pub fn step(&mut self) {} }\nimpl Other { pub fn step(&mut self) {} \
+             }\nfn step() {}\n",
+        );
+        let mut m = call("step");
+        m.is_method = true;
+        let got = t.resolve(f, &m);
+        assert_eq!(got.len(), 2, "methods only");
+        let mut owned = call("step");
+        owned.owner = Some("Engine".to_string());
+        let got = t.resolve(f, &owned);
+        assert_eq!(got.len(), 1);
+        assert_eq!(t.fns[got[0]].owner.as_deref(), Some("Engine"));
+        let free = t.resolve(f, &call("step"));
+        assert_eq!(free.len(), 1, "unqualified non-method call skips methods");
+        assert!(!t.fns[free[0]].has_self);
+    }
+
+    #[test]
+    fn macros_resolve_same_file_only() {
+        let mut t = SymbolTable::default();
+        let a = add(&mut t, "crates/a/src/lib.rs", "macro_rules! give_up { () => {}; }\n");
+        let b = add(&mut t, "crates/b/src/lib.rs", "fn f() {}\n");
+        let mut mc = call("give_up");
+        mc.is_macro = true;
+        assert_eq!(t.resolve(a, &mc).len(), 1);
+        assert!(t.resolve(b, &mc).is_empty(), "macros do not cross files");
+    }
+}

@@ -1,0 +1,200 @@
+//! The unit-of-measure model behind rule U2: which identifier suffixes
+//! carry a unit, which units share a dimension, and which function
+//! names count as sanctioned conversions.
+//!
+//! The analysis is deliberately *suffix-based*: this workspace already
+//! encodes units in names (`at_ms`, `one_way_us`, `hbm_gb`,
+//! `prompt_tokens`) with near-total consistency, so the name is the
+//! type. A bare numeric literal is dimensionless — which makes scaling
+//! by a literal (`at_ms * 1000.0`) keep the operand's unit. That is the
+//! load-bearing design decision: the numerically-correct ad-hoc ms→µs
+//! multiply is *dimensionally* still milliseconds, so assigning it to a
+//! `_us` name is flagged until it is routed through a named conversion
+//! (`ms_to_us`) whose signature declares the unit change.
+
+/// One concrete unit a name can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Microseconds (`_us`).
+    Us,
+    /// Milliseconds (`_ms`).
+    Ms,
+    /// Seconds (`_s`).
+    S,
+    /// Bytes (`_bytes`).
+    Bytes,
+    /// Gigabytes (`_gb`).
+    Gb,
+    /// Token counts (`_tokens`).
+    Tokens,
+    /// Floating-point operations (`_flops`).
+    Flops,
+}
+
+/// The dimension a unit measures; two units only ever *convert* within
+/// one dimension, but mixing across dimensions in additive positions is
+/// just as wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimension {
+    /// Time (µs/ms/s).
+    Time,
+    /// Data volume (bytes/GB).
+    Data,
+    /// Token counts.
+    Tokens,
+    /// Compute volume.
+    Flops,
+}
+
+impl Unit {
+    /// The unit's canonical suffix, without the leading underscore.
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::Us => "us",
+            Unit::Ms => "ms",
+            Unit::S => "s",
+            Unit::Bytes => "bytes",
+            Unit::Gb => "gb",
+            Unit::Tokens => "tokens",
+            Unit::Flops => "flops",
+        }
+    }
+
+    /// Parse a bare suffix (`"us"`, `"gb"`, …).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Unit> {
+        match s {
+            "us" => Some(Unit::Us),
+            "ms" => Some(Unit::Ms),
+            "s" => Some(Unit::S),
+            "bytes" => Some(Unit::Bytes),
+            "gb" => Some(Unit::Gb),
+            "tokens" => Some(Unit::Tokens),
+            "flops" => Some(Unit::Flops),
+            _ => None,
+        }
+    }
+
+    /// The dimension this unit measures.
+    #[must_use]
+    pub fn dimension(self) -> Dimension {
+        match self {
+            Unit::Us | Unit::Ms | Unit::S => Dimension::Time,
+            Unit::Bytes | Unit::Gb => Dimension::Data,
+            Unit::Tokens => Dimension::Tokens,
+            Unit::Flops => Dimension::Flops,
+        }
+    }
+}
+
+/// The unit an identifier carries, judged by its trailing `_suffix`.
+/// Plural-of-unit names (`times_ms`) and single-segment names (`ms`,
+/// `us`) both count; names whose *whole* text is a suffix only count
+/// for the multi-letter units (a bare `s` is a generic variable, not
+/// seconds).
+#[must_use]
+pub fn unit_of_ident(name: &str) -> Option<Unit> {
+    // Constants carry units too (`DAY_MS`); compare case-insensitively.
+    let name = name.to_ascii_lowercase();
+    // Rate names (`rate_per_s`, `tokens_per_s`) measure a *ratio*; the
+    // trailing unit is a denominator, not the quantity's unit.
+    if name.contains("_per_") {
+        return None;
+    }
+    if let Some((_, last)) = name.rsplit_once('_') {
+        return Unit::parse(last);
+    }
+    // Un-underscored whole-name match: `ms`/`us`/`gb`/`bytes`/`tokens`/
+    // `flops` read unambiguously as units; a lone `s` does not.
+    if name != "s" {
+        return Unit::parse(&name);
+    }
+    None
+}
+
+/// If `name` is a sanctioned conversion function (`ms_to_us`,
+/// `gb_to_bytes`, …), the units it consumes and produces.
+#[must_use]
+pub fn conversion_of(name: &str) -> Option<(Unit, Unit)> {
+    let (from, to) = name.split_once("_to_")?;
+    let from = Unit::parse(from)?;
+    let to = Unit::parse(to)?;
+    if from.dimension() == to.dimension() && from != to {
+        Some((from, to))
+    } else {
+        None
+    }
+}
+
+/// Are two known units compatible in an additive/assignment position?
+#[must_use]
+pub fn compatible(a: Unit, b: Unit) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_extraction_reads_the_last_segment() {
+        assert_eq!(unit_of_ident("at_ms"), Some(Unit::Ms));
+        assert_eq!(unit_of_ident("one_way_us"), Some(Unit::Us));
+        assert_eq!(unit_of_ident("crash_times_s"), Some(Unit::S));
+        assert_eq!(unit_of_ident("hbm_gb"), Some(Unit::Gb));
+        assert_eq!(unit_of_ident("prompt_tokens"), Some(Unit::Tokens));
+        assert_eq!(unit_of_ident("dense_flops"), Some(Unit::Flops));
+        assert_eq!(unit_of_ident("kv_bytes"), Some(Unit::Bytes));
+    }
+
+    #[test]
+    fn non_unit_names_carry_nothing() {
+        assert_eq!(unit_of_ident("at"), None);
+        assert_eq!(unit_of_ident("planes"), None);
+        assert_eq!(unit_of_ident("s"), None, "a lone `s` is a variable, not seconds");
+        assert_eq!(unit_of_ident("repair"), None);
+        assert_eq!(unit_of_ident("gbps"), None, "a rate is not a volume");
+        assert_eq!(unit_of_ident("items"), None);
+    }
+
+    #[test]
+    fn constants_match_case_insensitively() {
+        assert_eq!(unit_of_ident("DAY_MS"), Some(Unit::Ms));
+        assert_eq!(unit_of_ident("PEAK_FLOPS"), Some(Unit::Flops));
+        assert_eq!(unit_of_ident("S"), None, "a lone `S` is still not seconds");
+    }
+
+    #[test]
+    fn per_names_are_rates_not_quantities() {
+        assert_eq!(unit_of_ident("rate_per_s"), None);
+        assert_eq!(unit_of_ident("tokens_per_s"), None);
+        assert_eq!(unit_of_ident("bytes_per_ms"), None);
+    }
+
+    #[test]
+    fn bare_unit_names_count_except_s() {
+        assert_eq!(unit_of_ident("ms"), Some(Unit::Ms));
+        assert_eq!(unit_of_ident("us"), Some(Unit::Us));
+        assert_eq!(unit_of_ident("bytes"), Some(Unit::Bytes));
+    }
+
+    #[test]
+    fn conversion_names_parse_within_a_dimension_only() {
+        assert_eq!(conversion_of("ms_to_us"), Some((Unit::Ms, Unit::Us)));
+        assert_eq!(conversion_of("gb_to_bytes"), Some((Unit::Gb, Unit::Bytes)));
+        assert_eq!(conversion_of("us_to_s"), Some((Unit::Us, Unit::S)));
+        assert_eq!(conversion_of("ms_to_bytes"), None, "cross-dimension is no conversion");
+        assert_eq!(conversion_of("ms_to_ms"), None, "identity is no conversion");
+        assert_eq!(conversion_of("a_to_b"), None);
+        assert_eq!(conversion_of("convert"), None);
+    }
+
+    #[test]
+    fn dimensions_group_units() {
+        assert_eq!(Unit::Us.dimension(), Dimension::Time);
+        assert_eq!(Unit::Gb.dimension(), Dimension::Data);
+        assert!(compatible(Unit::Ms, Unit::Ms));
+        assert!(!compatible(Unit::Ms, Unit::Us));
+    }
+}

@@ -60,7 +60,7 @@ fn every_fixture_matches_its_golden_diagnostics() {
         assert_eq!(got, expected, "fixture {stem}: rendered diagnostics diverge from golden");
         checked += 1;
     }
-    assert!(checked >= 13, "expected at least 13 fixtures, found {checked}");
+    assert!(checked >= 19, "expected at least 19 fixtures, found {checked}");
 }
 
 #[test]

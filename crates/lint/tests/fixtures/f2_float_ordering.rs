@@ -1,0 +1,18 @@
+//! F2 fixture: partial orderings over floats, and float accumulation
+//! over hash-ordered iteration. (The `HashMap` itself also trips D2.)
+
+pub struct Acc {
+    pub weights: HashMap<u64, f64>,
+}
+
+pub fn order(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn accumulate(acc: &Acc) -> f64 {
+    acc.weights.values().sum()
+}
+
+pub fn total_order(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

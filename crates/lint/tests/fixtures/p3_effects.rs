@@ -1,0 +1,15 @@
+//! P3 fixture: a `lint:entry` event loop that reaches a printing helper
+//! two calls down. (The `println!` itself also trips D4.)
+
+// lint:entry — fixture event loop
+pub fn run() {
+    step();
+}
+
+fn step() {
+    emit();
+}
+
+fn emit() {
+    println!("tick");
+}

@@ -1,0 +1,13 @@
+//! R2 fixture: RNG construction must name its seed derivation.
+
+fn derive_seed(seed: u64, lane: u64) -> u64 {
+    seed ^ (lane << 32)
+}
+
+pub fn fresh_unnamed() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+pub fn fresh_named(run_seed: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(run_seed, 7))
+}

@@ -1,0 +1,16 @@
+//! Seeded regression for the faults→netsim bridge: scheduling link flaps
+//! in µs from a plan expressed in ms. Bypassing `core::units` with a
+//! bare `* 1000.0` must fire U2; routing through `ms_to_us` must not.
+
+pub struct LinkFlap {
+    pub down_at_us: f64,
+    pub repair_us: f64,
+}
+
+pub fn link_schedule_bypassing_units(down_at_ms: f64, repair_ms: f64) -> LinkFlap {
+    LinkFlap { down_at_us: down_at_ms * 1000.0, repair_us: repair_ms * 1000.0 }
+}
+
+pub fn link_schedule_via_units(down_at_ms: f64, repair_ms: f64) -> LinkFlap {
+    LinkFlap { down_at_us: ms_to_us(down_at_ms), repair_us: ms_to_us(repair_ms) }
+}

@@ -1,0 +1,21 @@
+//! U2 fixture: every way arithmetic can mix units of measure.
+
+pub struct Window {
+    pub start_ms: f64,
+}
+
+fn helper(timeout_ms: f64) -> f64 {
+    timeout_ms
+}
+
+pub fn mixes(at_ms: f64, dur_us: f64, cap_gb: f64, total_bytes: f64) {
+    let deadline_us = at_ms + 5.0;
+    let _sum = at_ms + dur_us;
+    let mut acc_ms = 0.0;
+    acc_ms += dur_us;
+    let _w = Window { start_ms: dur_us };
+    let _m = at_ms.max(dur_us);
+    let _r = helper(dur_us);
+    let _cross = cap_gb < total_bytes;
+    let _ = deadline_us;
+}

@@ -1,0 +1,12 @@
+//! U2 fixture: same-unit arithmetic, scalar scaling, named conversions,
+//! and `_per_` rates never fire.
+
+pub fn ok(at_ms: f64, dur_ms: f64, budget_bytes: f64) {
+    let _t_ms = at_ms + dur_ms;
+    let _scaled_ms = at_ms * 3.0;
+    let _frac = at_ms / dur_ms;
+    let _t_us = ms_to_us(at_ms);
+    let _pool_bytes = gb_to_bytes(2.0) + budget_bytes;
+    let _tokens_per_s = dur_ms / 7.0;
+    let _clamped_ms = at_ms.clamp(0.0, dur_ms);
+}

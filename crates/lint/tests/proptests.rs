@@ -1,0 +1,107 @@
+//! Property-based tests for the semantic pass: the item parser and the
+//! expression analyzer must never panic on arbitrary token soup, and
+//! the U2 unit algebra must never fire on same-unit arithmetic.
+
+use dsv3_lint::config::LintConfig;
+use dsv3_lint::rules::RuleId;
+use dsv3_lint::scan_source;
+use proptest::prelude::*;
+
+/// Fragments that, concatenated, cover every construct the parser and
+/// analyzer special-case: items, generics, closures, macros, match
+/// arms, struct literals, ranges, casts — plus plain garbage.
+const FRAGMENTS: [&str; 49] = [
+    "fn f(",
+    ") {",
+    "}",
+    "impl X for Y {",
+    "struct S {",
+    "a_ms",
+    "b_us",
+    "n_bytes",
+    "x",
+    "Self::new",
+    "|a, b|",
+    "match x {",
+    "=> {",
+    "let y =",
+    "+",
+    "*",
+    "/",
+    "..",
+    "..=",
+    "::<",
+    "<T: Ord>",
+    "where T:",
+    "macro_rules! m",
+    "( $x:expr )",
+    "$x",
+    "1.0",
+    "0xff_u64",
+    "'a",
+    "\"s\"",
+    "r#\"raw\"#",
+    "#[cfg(test)]",
+    "// lint:entry",
+    "// lint:allow(U2) — x",
+    "as f64",
+    ".max(",
+    ".await",
+    "?",
+    "&mut rng",
+    "for i in",
+    "while let Some(v)",
+    "return",
+    "->",
+    "=",
+    "+=",
+    ";",
+    ",",
+    "(",
+    "[",
+    "]",
+];
+
+const BIN_OPS: [&str; 4] = ["+", "-", "*", "/"];
+const UNITS: [&str; 4] = ["ms", "us", "bytes", "tokens"];
+
+proptest! {
+    /// Identifier/punct soup round-trips through the whole pipeline —
+    /// lexer, item parser, expression analyzer, waiver application —
+    /// without panicking or hanging.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..64),
+    ) {
+        let src = picks.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+        let cfg = LintConfig::default_config();
+        let _ = scan_source("crates/fixture/src/soup.rs", &src, &cfg);
+        let _ = scan_source("crates/fixture/src/lib.rs", &src, &cfg);
+    }
+
+    /// Arithmetic over a single unit, at any nesting depth, is never a
+    /// U2 finding: the algebra only objects to *mixing*.
+    #[test]
+    fn u2_never_fires_on_same_unit_arithmetic(
+        ops in prop::collection::vec(0usize..BIN_OPS.len(), 1..8),
+        unit_pick in 0usize..UNITS.len(),
+    ) {
+        let unit = UNITS[unit_pick];
+        let mut expr = format!("a_{unit}");
+        for (i, &op) in ops.iter().enumerate() {
+            let op = BIN_OPS[op];
+            // Multiplication/division by a bare scalar keeps the unit;
+            // additive ops combine two quantities of the same unit.
+            if op == "+" || op == "-" {
+                expr = format!("({expr} {op} v{i}_{unit})");
+            } else {
+                expr = format!("({expr} {op} {}.0)", i + 2);
+            }
+        }
+        let src = format!("pub fn f() {{ let out_{unit} = {expr}; }}\n");
+        let scan =
+            scan_source("crates/fixture/src/same_unit.rs", &src, &LintConfig::default_config());
+        let u2: Vec<_> = scan.diagnostics.iter().filter(|d| d.rule == RuleId::U2).collect();
+        prop_assert!(u2.is_empty(), "spurious U2 on {}: {:?}", src, u2);
+    }
+}

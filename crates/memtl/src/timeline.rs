@@ -147,6 +147,7 @@ pub fn simulate(cfg: &ModelConfig, plan: &MemPlan) -> TimelineReport {
 /// With a disabled recorder this is byte-identical to [`simulate`].
 #[must_use]
 #[allow(clippy::too_many_lines)]
+// lint:entry — memtl schedule walker (training memory timeline).
 pub fn simulate_traced(cfg: &ModelConfig, plan: &MemPlan, rec: &mut Recorder) -> TimelineReport {
     assert!(plan.is_valid(), "invalid memory plan");
     assert!(cfg.layers >= 1, "model needs at least one layer");

@@ -29,6 +29,7 @@
 
 use crate::sim::{max_min_rates_for, Link, LinkId};
 use dsv3_telemetry::Recorder;
+use dsv3_units::us_to_ms;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -508,6 +509,7 @@ impl ChaosSim {
     ///
     /// As [`ChaosSim::run`].
     #[must_use]
+    // lint:entry — ChaosSim event loop (link flaps + reroute under faults).
     pub fn run_traced(&self, rec: &mut Recorder, scope: &str, cfg: &ChaosConfig) -> ChaosReport {
         if rec.is_enabled() {
             self.run_impl(cfg, Some((rec, scope)))
@@ -826,15 +828,13 @@ impl ChaosSim {
                     edges.push((flap.up_at_us(), -1));
                 }
             }
-            edges.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-            });
+            edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let series_name = format!("{scope}.links_down");
             let mut down = 0i32;
             for (us, delta) in edges {
                 down += delta;
                 // Series timestamps are ms; the trace above stays in µs.
-                rec.series(&series_name, us / 1000.0, f64::from(down));
+                rec.series(&series_name, us_to_ms(us), f64::from(down));
             }
             for (f, out) in report.flows.iter().enumerate() {
                 let spec = &self.flows[f];

@@ -145,6 +145,7 @@ impl FlowSim {
     /// # Panics
     ///
     /// Panics if no flows were added.
+    // lint:entry — FlowSim event loop (fluid max-min flow simulation).
     pub fn run_traced(&mut self, rec: &mut Recorder, scope: &str) -> SimReport {
         if rec.is_enabled() {
             self.run_impl(Some((rec, scope)))

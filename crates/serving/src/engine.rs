@@ -46,6 +46,7 @@ use dsv3_inference::kvcache::{CacheError, KvCacheManager};
 use dsv3_inference::SpeedLimitConfig;
 use dsv3_model::zoo;
 use dsv3_telemetry::Recorder;
+use dsv3_units::{ms_to_s, ms_to_us};
 
 use crate::autoscale::{AutoscaleState, AutoscaleStats};
 use crate::metrics::Summary;
@@ -561,6 +562,8 @@ pub fn run_overload(
 /// # Panics
 ///
 /// Same contract as [`run_overload`].
+// lint:entry — the serving engine step loop (overload superset: admission,
+// ladder, autoscale, retries, hedging all run under this entry).
 #[must_use]
 pub fn run_overload_traced(
     cfg: &ServingSimConfig,
@@ -742,7 +745,7 @@ fn simulate(
                     ostats.rejected += 1;
                     if on {
                         let tid = rec.thread(pid_req, &format!("req{}", $rid));
-                        rec.instant(pid_req, tid, "request", "give-up", $now * 1000.0);
+                        rec.instant(pid_req, tid, "request", "give-up", ms_to_us($now));
                     }
                 }
             } else {
@@ -853,7 +856,7 @@ fn simulate(
                 Some(label) => {
                     if on {
                         let tid = rec.thread(pid_req, &format!("req{rid}"));
-                        rec.instant(pid_req, tid, "request", label, clock_ms * 1000.0);
+                        rec.instant(pid_req, tid, "request", label, ms_to_us(clock_ms));
                     }
                     if let Some(cl) = clients {
                         client_retry_or_reject!(cl, rid, req, clock_ms);
@@ -883,7 +886,7 @@ fn simulate(
                 attempt_cur[rid] += 1; // invalidate the in-flight attempt
                 if on {
                     let tid = rec.thread(pid_req, &format!("req{rid}"));
-                    rec.instant(pid_req, tid, "request", "client-timeout", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "client-timeout", ms_to_us(clock_ms));
                 }
                 let Some(req) = req_info[rid].clone() else { continue };
                 client_retry_or_reject!(cl, rid, req, clock_ms);
@@ -902,7 +905,7 @@ fn simulate(
                         tid_engine,
                         "autoscale",
                         "breaker-eject",
-                        clock_ms * 1000.0,
+                        ms_to_us(clock_ms),
                     );
                 }
             }
@@ -925,7 +928,7 @@ fn simulate(
                     ostats.zombies_cancelled += 1;
                     if on {
                         let tid = rec.thread(pid_req, &req_label(&victim));
-                        rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
+                        rec.instant(pid_req, tid, "request", "cancel-zombie", ms_to_us(clock_ms));
                     }
                     continue;
                 }
@@ -940,11 +943,11 @@ fn simulate(
                             tid,
                             "request",
                             "decode",
-                            victim.admitted_ms * 1000.0,
-                            clock_ms * 1000.0,
+                            ms_to_us(victim.admitted_ms),
+                            ms_to_us(clock_ms),
                         );
                     }
-                    rec.instant(pid_req, tid, "request", "crash-evict", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "crash-evict", ms_to_us(clock_ms));
                 }
                 victim.admitted_ms = f64::NAN;
                 if crash_count[id] > policy.max_retries {
@@ -954,13 +957,14 @@ fn simulate(
                         fstate.stats.rejected += 1;
                         if on {
                             let tid = rec.thread(pid_req, &req_label(&victim));
-                            rec.instant(pid_req, tid, "request", "reject", clock_ms * 1000.0);
+                            rec.instant(pid_req, tid, "request", "reject", ms_to_us(clock_ms));
                         }
                     }
                 } else {
                     fstate.stats.retries += 1;
                     // With a jitter-free policy (the default) this is
                     // exactly `delay_ms` and never touches the RNG.
+                    // lint:allow(R2) — jitter_rng is a dedicated child stream seeded from the run seed; the crash-retry loop drains it in deterministic event order
                     let d = policy.backoff.delay_ms_jittered(
                         crash_count[id],
                         crash_prev_backoff[id],
@@ -983,7 +987,7 @@ fn simulate(
                     clone.attempt = attempt_cur[id];
                     if on {
                         let tid = rec.thread(pid_req, &req_label(&clone));
-                        rec.instant(pid_req, tid, "request", "hedge-spawn", clock_ms * 1000.0);
+                        rec.instant(pid_req, tid, "request", "hedge-spawn", ms_to_us(clock_ms));
                     }
                     let tokens = clone.req.prompt_tokens as f64;
                     enqueue_prefill(&mut prefill, &mut ready, clone, clock_ms, tokens);
@@ -1004,13 +1008,13 @@ fn simulate(
                 ostats.zombies_cancelled += 1;
                 if on {
                     let tid = rec.thread(pid_req, &req_label(&job));
-                    rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "cancel-zombie", ms_to_us(clock_ms));
                 }
                 continue;
             }
             if on {
                 let tid = rec.thread(pid_req, &req_label(&job));
-                rec.instant(pid_req, tid, "request", "retry-release", clock_ms * 1000.0);
+                rec.instant(pid_req, tid, "request", "retry-release", ms_to_us(clock_ms));
             }
             let tokens = job.resident_tokens as f64;
             enqueue_prefill(&mut prefill, &mut ready, job, clock_ms, tokens);
@@ -1026,7 +1030,7 @@ fn simulate(
             }
             if on {
                 let tid = rec.thread(pid_req, &format!("req{rid}"));
-                rec.instant(pid_req, tid, "request", "client-resubmit", clock_ms * 1000.0);
+                rec.instant(pid_req, tid, "request", "client-resubmit", ms_to_us(clock_ms));
             }
             submit!(req, attempt_cur[rid], t);
         }
@@ -1070,7 +1074,7 @@ fn simulate(
             ast.evaluate(ac, clock_ms, ready.len(), active.len(), backlog_ms);
             if on {
                 let after = ast.stats;
-                let ts = clock_ms * 1000.0;
+                let ts = ms_to_us(clock_ms);
                 if after.decode_scale_ups > before.decode_scale_ups {
                     rec.instant(pid_engine, tid_engine, "autoscale", "scale-up decode", ts);
                 }
@@ -1119,7 +1123,7 @@ fn simulate(
                     } else {
                         format!("rung-recover {from}->{to}")
                     };
-                    rec.instant(pid_engine, tid_engine, "ladder", &name, clock_ms * 1000.0);
+                    rec.instant(pid_engine, tid_engine, "ladder", &name, ms_to_us(clock_ms));
                 }
             }
         }
@@ -1153,7 +1157,7 @@ fn simulate(
                 live[job.rid()] -= 1;
                 if on {
                     let tid = rec.thread(pid_req, &req_label(&job));
-                    rec.instant(pid_req, tid, "request", "cancel", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "cancel", ms_to_us(clock_ms));
                 }
                 continue;
             }
@@ -1165,7 +1169,7 @@ fn simulate(
                 ostats.zombies_cancelled += 1;
                 if on {
                     let tid = rec.thread(pid_req, &req_label(&job));
-                    rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "cancel-zombie", ms_to_us(clock_ms));
                 }
                 continue;
             }
@@ -1182,7 +1186,7 @@ fn simulate(
                 }
                 if on {
                     let tid = rec.thread(pid_req, &req_label(&job));
-                    rec.instant(pid_req, tid, "request", "drop-infeasible", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "drop-infeasible", ms_to_us(clock_ms));
                 }
                 continue;
             }
@@ -1197,8 +1201,8 @@ fn simulate(
                                 tid,
                                 "request",
                                 "prefill",
-                                job.prefill_enter_ms * 1000.0,
-                                job.ready_ms * 1000.0,
+                                ms_to_us(job.prefill_enter_ms),
+                                ms_to_us(job.ready_ms),
                             );
                         }
                         rec.span(
@@ -1206,8 +1210,8 @@ fn simulate(
                             tid,
                             "request",
                             "queued",
-                            job.ready_ms * 1000.0,
-                            clock_ms * 1000.0,
+                            ms_to_us(job.ready_ms),
+                            ms_to_us(clock_ms),
                         );
                     }
                     job.prefill_enter_ms = f64::NAN;
@@ -1371,11 +1375,11 @@ fn simulate(
                             tid,
                             "request",
                             "decode",
-                            job.admitted_ms * 1000.0,
-                            clock_ms * 1000.0,
+                            ms_to_us(job.admitted_ms),
+                            ms_to_us(clock_ms),
                         );
                     }
-                    rec.instant(pid_req, tid, "request", "cancel", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "cancel", ms_to_us(clock_ms));
                 }
                 continue;
             }
@@ -1394,11 +1398,11 @@ fn simulate(
                             tid,
                             "request",
                             "decode",
-                            job.admitted_ms * 1000.0,
-                            clock_ms * 1000.0,
+                            ms_to_us(job.admitted_ms),
+                            ms_to_us(clock_ms),
                         );
                     }
-                    rec.instant(pid_req, tid, "request", "cancel-zombie", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "cancel-zombie", ms_to_us(clock_ms));
                 }
                 continue;
             }
@@ -1443,11 +1447,11 @@ fn simulate(
                                         tid,
                                         "request",
                                         "decode",
-                                        victim.admitted_ms * 1000.0,
-                                        clock_ms * 1000.0,
+                                        ms_to_us(victim.admitted_ms),
+                                        ms_to_us(clock_ms),
                                     );
                                 }
-                                rec.instant(pid_req, tid, "request", "preempt", clock_ms * 1000.0);
+                                rec.instant(pid_req, tid, "request", "preempt", ms_to_us(clock_ms));
                             }
                             victim.admitted_ms = f64::NAN;
                             ready.push_front(victim);
@@ -1470,11 +1474,17 @@ fn simulate(
                                         tid,
                                         "request",
                                         "decode",
-                                        job.admitted_ms * 1000.0,
-                                        clock_ms * 1000.0,
+                                        ms_to_us(job.admitted_ms),
+                                        ms_to_us(clock_ms),
                                     );
                                 }
-                                rec.instant(pid_req, tid, "request", "drop-oom", clock_ms * 1000.0);
+                                rec.instant(
+                                    pid_req,
+                                    tid,
+                                    "request",
+                                    "drop-oom",
+                                    ms_to_us(clock_ms),
+                                );
                             }
                             dropped_self = true;
                             break;
@@ -1554,11 +1564,11 @@ fn simulate(
                             tid,
                             "request",
                             "decode",
-                            job.admitted_ms * 1000.0,
-                            clock_ms * 1000.0,
+                            ms_to_us(job.admitted_ms),
+                            ms_to_us(clock_ms),
                         );
                     }
-                    rec.instant(pid_req, tid, "request", "complete", clock_ms * 1000.0);
+                    rec.instant(pid_req, tid, "request", "complete", ms_to_us(clock_ms));
                     rec.observe(&m_ttft, ttft);
                     if job.req.output_tokens > 1 {
                         rec.observe(&m_tpot, tpot);
@@ -1579,7 +1589,7 @@ fn simulate(
         qdepth_samples.push(ready.len() as f64);
         kvutil_samples.push(kv.utilization());
         if on {
-            let ts = clock_ms * 1000.0;
+            let ts = ms_to_us(clock_ms);
             rec.counter_sample(pid_engine, &m_batch, ts, step_batch as f64);
             rec.counter_sample(pid_engine, &m_queue, ts, ready.len() as f64);
             rec.counter_sample(pid_engine, &m_kv, ts, kv.utilization());
@@ -1615,7 +1625,7 @@ fn simulate(
 
     let mut stats = fstate.stats;
     stats.unfinished = total_requests - completed - dropped - stats.rejected - ostats.rejected;
-    let sim_s = (clock_ms / 1000.0).max(f64::MIN_POSITIVE);
+    let sim_s = ms_to_s(clock_ms).max(f64::MIN_POSITIVE);
     let serving = ServingReport {
         requests: total_requests,
         completed,
@@ -1662,7 +1672,7 @@ fn simulate(
             offered: off,
             completed: comp,
             good: g,
-            goodput_rps: g as f64 / (window_ms / 1000.0),
+            goodput_rps: g as f64 / ms_to_s(window_ms),
         })
         .collect();
     if on && ov_any {

@@ -157,12 +157,7 @@ fn rank(table: BTreeMap<(String, String), (u64, f64)>, max_causes: usize) -> Vec
         .into_iter()
         .map(|((cause, cat), (count, score))| BlameEntry { cause, cat, count, score })
         .collect();
-    entries.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.cause.cmp(&b.cause))
-    });
+    entries.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.cause.cmp(&b.cause)));
     entries.truncate(max_causes);
     entries
 }

@@ -299,7 +299,7 @@ fn median(values: &mut [f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.sort_by(|a, b| a.total_cmp(b));
     Some(values[values.len() / 2])
 }
 
@@ -582,8 +582,7 @@ pub fn evaluate(experiment: &str, rec: &Recorder, cfg: &WatchConfig) -> Incident
 
     alerts.sort_by(|a, b| {
         a.firing_ms
-            .partial_cmp(&b.firing_ms)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&b.firing_ms)
             .then_with(|| a.scope.cmp(&b.scope))
             .then_with(|| a.detector.cmp(&b.detector))
             .then_with(|| a.signal.cmp(&b.signal))

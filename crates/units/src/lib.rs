@@ -1,0 +1,109 @@
+//! Named unit-of-measure conversions.
+//!
+//! The workspace speaks several time bases at once: fault plans are
+//! scheduled in milliseconds, the flow simulator runs in microseconds,
+//! the training availability model thinks in seconds, and memory models
+//! mix bytes with gigabytes. Crossing one of those boundaries with an
+//! ad-hoc `* 1000.0` is exactly the class of silent bug that corrupts
+//! fabric-scale results, so the lint rule U2 treats a bare scale factor
+//! as *dimensionally unsound*: scaling a `_ms` quantity by a literal
+//! still yields milliseconds as far as the analysis is concerned.
+//!
+//! These functions are the sanctioned escape hatch. Each one's name
+//! follows the `<from>_to_<to>` pattern that the linter's conversion
+//! registry recognizes, so `us = ms_to_us(ms)` type-checks dimensionally
+//! while `us = ms * 1000.0` is flagged. Keep them `#[inline]` and
+//! trivially equal to the multiply they replace: every golden report in
+//! the tree must stay byte-identical when a call site is converted.
+
+#![forbid(unsafe_code)]
+
+/// Milliseconds → microseconds.
+#[inline]
+#[must_use]
+pub fn ms_to_us(ms: f64) -> f64 {
+    ms * 1000.0
+}
+
+/// Microseconds → milliseconds.
+#[inline]
+#[must_use]
+pub fn us_to_ms(us: f64) -> f64 {
+    us / 1000.0
+}
+
+/// Seconds → milliseconds.
+#[inline]
+#[must_use]
+pub fn s_to_ms(s: f64) -> f64 {
+    s * 1000.0
+}
+
+/// Milliseconds → seconds.
+#[inline]
+#[must_use]
+pub fn ms_to_s(ms: f64) -> f64 {
+    ms / 1000.0
+}
+
+/// Seconds → microseconds.
+#[inline]
+#[must_use]
+pub fn s_to_us(s: f64) -> f64 {
+    s * 1_000_000.0
+}
+
+/// Microseconds → seconds.
+#[inline]
+#[must_use]
+pub fn us_to_s(us: f64) -> f64 {
+    us / 1_000_000.0
+}
+
+/// Gigabytes (decimal, 1e9 — the convention every bandwidth and memory
+/// figure in this workspace already uses) → bytes.
+#[inline]
+#[must_use]
+pub fn gb_to_bytes(gb: f64) -> f64 {
+    gb * 1e9
+}
+
+/// Bytes → gigabytes (decimal, 1e9).
+#[inline]
+#[must_use]
+pub fn bytes_to_gb(bytes: f64) -> f64 {
+    bytes / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_are_exact_inverses_on_representable_values() {
+        assert_eq!(ms_to_us(1.5), 1500.0);
+        assert_eq!(us_to_ms(1500.0), 1.5);
+        assert_eq!(s_to_ms(2.0), 2000.0);
+        assert_eq!(ms_to_s(2000.0), 2.0);
+        assert_eq!(s_to_us(0.25), 250_000.0);
+        assert_eq!(us_to_s(250_000.0), 0.25);
+    }
+
+    #[test]
+    fn conversions_are_bit_identical_to_the_bare_multiplies_they_replace() {
+        // The faults→netsim bridge used `at_ms * 1000.0`; goldens pin
+        // its output byte-exactly, so the named conversion must produce
+        // the *same bits*, not just the same value approximately.
+        for ms in [0.0, 0.1, 1.0 / 3.0, 17.25, 9_999.75, 1e12] {
+            assert!(ms_to_us(ms).to_bits() == (ms * 1000.0).to_bits());
+            assert!(ms_to_s(ms).to_bits() == (ms / 1000.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn data_conversions_round_trip() {
+        assert_eq!(gb_to_bytes(80.0), 80e9);
+        assert_eq!(bytes_to_gb(80e9), 80.0);
+        assert_eq!(bytes_to_gb(gb_to_bytes(57.9)), 57.9);
+    }
+}

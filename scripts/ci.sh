@@ -20,7 +20,17 @@ echo "==> invariant lints: dsv3 lint"
 # -p dsv3-core: building the root package alone links dsv3-core as a
 # library and can leave target/release/dsv3 stale.
 cargo build --release --offline -p dsv3-core
+# Strict mode: no --baseline, so every finding (token rules and the
+# semantic U2/F2/R2/P3 pass) fails CI unless waived with a reason.
 ./target/release/dsv3 lint
+
+echo "==> parallel-readiness: every lint:entry fn must be effect-free"
+./target/release/dsv3 lint --readiness
+if ./target/release/dsv3 lint --readiness | grep -q "NOT READY"; then
+  echo "readiness regression: an entry point reaches a forbidden effect" >&2
+  exit 1
+fi
+./target/release/dsv3 lint --rules U2,F2,R2,P3 > /dev/null
 
 echo "==> telemetry smoke: dsv3 serving --trace-out emits a valid Chrome trace"
 trace_tmp="$(mktemp /tmp/dsv3_trace.XXXXXX.json)"
@@ -61,6 +71,9 @@ grep -q '"detector": "metastability"' "$incidents_tmp"
 
 echo "==> bench gate: watch overhead within budget, no >25% regression"
 scripts/bench_gate.sh run watch
+
+echo "==> bench gate: lint scan + parser throughput, no >25% regression"
+scripts/bench_gate.sh run lint
 
 echo "==> examples build"
 cargo build --release --offline --examples
