@@ -59,7 +59,7 @@ fn bench_faults(c: &mut Criterion) {
     .crash_times_s();
     let tau = av.young_daly_interval_s();
     g.bench_function("goodput_walk_2000_failures", |b| {
-        b.iter(|| black_box(simulate_goodput(&av, tau, &timeline, av.mtbf_s * 2_000.0)))
+        b.iter(|| black_box(simulate_goodput(&av, tau, &timeline, av.mtbf_s * 2_000.0).unwrap()))
     });
     g.finish();
 }

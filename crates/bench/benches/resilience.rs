@@ -1,0 +1,125 @@
+//! Benchmark the fleet-scale resilience walker against the legacy
+//! single-tier goodput simulator it generalises. Three rows: the
+//! degenerate configuration (one synchronous remote tier, cold
+//! restart, no SDC) on the *same* failure timeline `simulate_goodput`
+//! walks, the full-feature tiered + spare-pool + SDC configuration,
+//! and the fleet timeline generator itself. Writes
+//! `BENCH_resilience.json` at the repo root in the shared
+//! `{"bench", "metrics"}` schema and asserts the degenerate path stays
+//! within 1.2x of `simulate_goodput` — the generalisation must not tax
+//! the case the old API already handled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsv3_core::faults::{
+    generate_failures, simulate_goodput, simulate_resilience, system_mtbf_s, CheckpointBytes,
+    CheckpointStack, ComponentMtbf, FleetSpec, RecoveryKind, ResilienceConfig, SdcConfig,
+};
+use dsv3_core::model::availability::AvailabilityModel;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`samples` per-iteration nanoseconds for `f`.
+fn time_ns<O>(samples: u32, iters: u32, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn bench_resilience(c: &mut Criterion) {
+    let spec = FleetSpec::with_gpus(16_384);
+    let mtbf = ComponentMtbf::production();
+    let mtbf_s = system_mtbf_s(&spec, &mtbf);
+    let horizon_s = 86_400.0 * 30.0;
+    let failures = generate_failures(&spec, &mtbf, 42, horizon_s);
+    let times: Vec<f64> = failures.iter().map(|f| f.at_s).collect();
+
+    // The degenerate configuration and its analytic-era equivalent walk
+    // the same physics: one synchronous remote tier, cold restart, the
+    // restore read folded into the restart term.
+    let ckpt = CheckpointBytes { write_bytes: 30e9, restore_bytes: 30e9 };
+    let stack = CheckpointStack::single_sync_remote(2.0);
+    let av = AvailabilityModel {
+        mtbf_s,
+        checkpoint_write_s: stack.blocking_write_s(ckpt.write_bytes),
+        restart_s: 180.0 + stack.tiers[0].restore_s(ckpt.restore_bytes),
+    };
+    let interval_s = av.young_daly_interval_s();
+    let degenerate = ResilienceConfig {
+        interval_s,
+        ckpt,
+        stack,
+        recovery: RecoveryKind::ColdRestart,
+        sdc: SdcConfig::disabled(),
+        restart_s: 180.0,
+        repair_s: 21_600.0,
+        gpus_per_failure: 8,
+        horizon_s,
+        seed: 42,
+    };
+    // The full-feature path: async tiers, hot spares, SDC verification.
+    let full = ResilienceConfig {
+        stack: CheckpointStack::tiered(),
+        recovery: RecoveryKind::SparePool { spares: 512, provision_s: 30.0 },
+        sdc: SdcConfig {
+            mtbf_s: 86_400.0,
+            detection_mean_s: 7_200.0,
+            verify_every: 20,
+            verify_cost_s: 30.0,
+        },
+        ..degenerate.clone()
+    };
+
+    let mut g = c.benchmark_group("resilience");
+    g.sample_size(10);
+    g.bench_function("goodput_30d_16k", |b| {
+        b.iter(|| black_box(simulate_goodput(&av, interval_s, &times, horizon_s)))
+    });
+    g.bench_function("degenerate_30d_16k", |b| {
+        b.iter(|| black_box(simulate_resilience(&degenerate, &failures)))
+    });
+    g.bench_function("tiered_spare_sdc_30d_16k", |b| {
+        b.iter(|| black_box(simulate_resilience(&full, &failures)))
+    });
+    g.bench_function("generate_failures_30d_16k", |b| {
+        b.iter(|| black_box(generate_failures(&spec, &mtbf, 42, horizon_s)))
+    });
+    g.finish();
+
+    // Machine-readable artifact plus the no-generalisation-tax gate.
+    let goodput_ns = time_ns(5, 8, || simulate_goodput(&av, interval_s, &times, horizon_s));
+    let degen_ns = time_ns(5, 8, || simulate_resilience(&degenerate, &failures));
+    let full_ns = time_ns(5, 8, || simulate_resilience(&full, &failures));
+    let gen_ns = time_ns(5, 8, || generate_failures(&spec, &mtbf, 42, horizon_s));
+    let ratio = degen_ns / goodput_ns;
+
+    let mut json = String::from("{\n  \"bench\": \"resilience\",\n  \"metrics\": {\n");
+    let _ = writeln!(json, "    \"simulate_goodput_ns\": {goodput_ns:.0},");
+    let _ = writeln!(json, "    \"degenerate_ns\": {degen_ns:.0},");
+    let _ = writeln!(json, "    \"tiered_spare_sdc_ns\": {full_ns:.0},");
+    let _ = writeln!(json, "    \"generate_failures_ns\": {gen_ns:.0},");
+    let _ = writeln!(json, "    \"degenerate_vs_goodput_ratio\": {ratio:.3}");
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+
+    assert!(
+        ratio <= 1.2,
+        "degenerate resilience walk must cost <= 1.2x simulate_goodput, measured {ratio:.3}x"
+    );
+}
+
+criterion_group!(benches, bench_resilience);
+criterion_main!(benches);

@@ -210,13 +210,24 @@ fn availability_point(seed: u64, mtbf_h: f64) -> AvailabilityRow {
         crash_repair_ms: 0.0,
         ..FaultPlanConfig::default()
     });
-    let g = simulate_goodput(&av, interval_s, &timeline.crash_times_s(), horizon_s);
-    AvailabilityRow {
-        mtbf_h,
-        interval_s,
-        analytic_goodput: g.analytic_goodput,
-        simulated_goodput: g.goodput,
-        rel_err: (g.goodput - g.analytic_goodput).abs() / g.analytic_goodput,
+    // The Young/Daly interval is positive and FaultPlan timelines are
+    // sorted, so the Err arms are unreachable; report a NaN row rather
+    // than panicking if that invariant ever breaks upstream.
+    match simulate_goodput(&av, interval_s, &timeline.crash_times_s(), horizon_s) {
+        Ok(g) => AvailabilityRow {
+            mtbf_h,
+            interval_s,
+            analytic_goodput: g.analytic_goodput,
+            simulated_goodput: g.goodput,
+            rel_err: (g.goodput - g.analytic_goodput).abs() / g.analytic_goodput,
+        },
+        Err(_) => AvailabilityRow {
+            mtbf_h,
+            interval_s,
+            analytic_goodput: f64::NAN,
+            simulated_goodput: f64::NAN,
+            rel_err: f64::NAN,
+        },
     }
 }
 

@@ -23,6 +23,7 @@
 //! | [`net_chaos`] | §5.1.1 — link chaos: reroute policies per fabric |
 //! | [`mem_timeline`] | §2.1 — training memory timeline & fit frontier |
 //! | [`overload`] | §2.3 — overload-robust serving: admission, ladder, autoscale |
+//! | [`resilience`] | §6.1 — fleet-scale resilience: tiers, spares, elastic, SDC |
 //! | [`future_hardware`] | §4.4/§4.5/§6.4/§6.5 — recommendation payoffs |
 //! | [`serving`] | §2.3 — request-level serving simulation |
 //! | [`lint`] | repo invariants — determinism / panic-freedom / vendor policy |
@@ -43,6 +44,7 @@ pub mod mtp;
 pub mod net_chaos;
 pub mod node_limited;
 pub mod overload;
+pub mod resilience;
 pub mod robustness;
 pub mod serving;
 pub mod speed_limits;

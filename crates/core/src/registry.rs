@@ -150,6 +150,21 @@ pub fn registry() -> Vec<Entry> {
             }),
         },
         Entry {
+            name: "resilience",
+            about: "fleet-scale resilience: tiers, spares, elastic, SDC (§6.1)",
+            render: resilience::render,
+            json: || to_json(&resilience::run()),
+            instrumented: Some(|rec| {
+                let report = resilience::run_instrumented(rec);
+                InstrumentedRun {
+                    table: resilience::render_report(&report),
+                    json: to_json(&report),
+                    seed: resilience::seed(),
+                    config_json: resilience::config_json(),
+                }
+            }),
+        },
+        Entry {
             name: "net-chaos",
             about: "link chaos: reroute policies vs failed fraction (§5.1.1)",
             render: net_chaos::render,

@@ -1,0 +1,270 @@
+//! Fleet-scale failure composition: per-component MTBFs across N GPUs.
+//!
+//! §6.1's observation is quantitative: a per-GPU MTBF measured in years
+//! becomes a system-level failure every few minutes once 100k
+//! accelerators, their NICs, hosts, and switches are composed. This
+//! module holds the component failure table, the fleet shape that
+//! multiplies it, and a seeded generator producing the merged failure
+//! timeline the resilience walker consumes. *What* failed matters, not
+//! just *when*: a GPU death takes its HBM checkpoint tier with it, a
+//! host death takes device and host-RAM copies, while NIC and switch
+//! faults interrupt the step but leave node state intact — the tier
+//! survival logic in [`crate::tiers`] keys on the component kind.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Unit-mean exponential deviate (module-local so each component
+/// class's stream stays self-contained).
+fn exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+/// Hardware component classes with independent failure processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FleetComponent {
+    /// One accelerator (HBM, compute die).
+    Gpu,
+    /// One NIC.
+    Nic,
+    /// One host (CPU, DRAM, PCIe fabric; takes its GPUs down with it).
+    Host,
+    /// One leaf/spine switch (connectivity domain of many GPUs).
+    Switch,
+}
+
+impl FleetComponent {
+    /// All component classes, in report order.
+    pub const ALL: [FleetComponent; 4] =
+        [FleetComponent::Gpu, FleetComponent::Nic, FleetComponent::Host, FleetComponent::Switch];
+
+    /// Stable lowercase label for series/counter names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetComponent::Gpu => "gpu",
+            FleetComponent::Nic => "nic",
+            FleetComponent::Host => "host",
+            FleetComponent::Switch => "switch",
+        }
+    }
+}
+
+/// Per-unit MTBF of each component class, hours. `f64::INFINITY`
+/// disables a class (mirroring [`crate::plan::FaultPlanConfig`]'s
+/// opt-in convention).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentMtbf {
+    /// Hours between failures of one GPU.
+    pub gpu_h: f64,
+    /// Hours between failures of one NIC.
+    pub nic_h: f64,
+    /// Hours between failures of one host.
+    pub host_h: f64,
+    /// Hours between failures of one switch.
+    pub switch_h: f64,
+}
+
+impl ComponentMtbf {
+    /// Production-scale table: the per-GPU rate dominates, hosts and
+    /// switches are rarer per unit but each takes more state down. At
+    /// 16k GPUs the composition lands near one interruption every
+    /// 1–2 hours, the scale large published training runs report.
+    #[must_use]
+    pub fn production() -> Self {
+        Self { gpu_h: 40_000.0, nic_h: 100_000.0, host_h: 80_000.0, switch_h: 150_000.0 }
+    }
+
+    /// Per-unit MTBF of a class, hours.
+    #[must_use]
+    pub fn for_component(&self, c: FleetComponent) -> f64 {
+        match c {
+            FleetComponent::Gpu => self.gpu_h,
+            FleetComponent::Nic => self.nic_h,
+            FleetComponent::Host => self.host_h,
+            FleetComponent::Switch => self.switch_h,
+        }
+    }
+}
+
+/// The fleet shape that multiplies the component table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Accelerators in the job.
+    pub gpus: usize,
+    /// GPUs per host (a host failure idles this many).
+    pub gpus_per_host: usize,
+    /// GPUs under one switch domain.
+    pub gpus_per_switch: usize,
+    /// NICs per GPU.
+    pub nics_per_gpu: usize,
+}
+
+impl FleetSpec {
+    /// An H800-pod shape: 8-GPU hosts, 64-GPU switch domains, one NIC
+    /// per GPU.
+    #[must_use]
+    pub fn with_gpus(gpus: usize) -> Self {
+        Self { gpus, gpus_per_host: 8, gpus_per_switch: 64, nics_per_gpu: 1 }
+    }
+
+    /// Unit count of a component class in this fleet.
+    #[must_use]
+    pub fn units(&self, c: FleetComponent) -> usize {
+        match c {
+            FleetComponent::Gpu => self.gpus,
+            FleetComponent::Nic => self.gpus * self.nics_per_gpu,
+            FleetComponent::Host => self.gpus.div_ceil(self.gpus_per_host.max(1)),
+            FleetComponent::Switch => self.gpus.div_ceil(self.gpus_per_switch.max(1)),
+        }
+    }
+
+    /// Basic sanity of the shape.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.gpus > 0 && self.gpus_per_host > 0 && self.gpus_per_switch > 0
+    }
+}
+
+/// Composed system failure rate: `λ = Σ units_c / mtbf_c`, returned as
+/// a mean time between failures in seconds. `f64::INFINITY` when every
+/// class is disabled.
+#[must_use]
+pub fn system_mtbf_s(spec: &FleetSpec, mtbf: &ComponentMtbf) -> f64 {
+    let lambda_per_h: f64 = FleetComponent::ALL
+        .iter()
+        .map(|&c| {
+            let m = mtbf.for_component(c);
+            if m.is_finite() {
+                spec.units(c) as f64 / m
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    if lambda_per_h > 0.0 {
+        3_600.0 / lambda_per_h
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// One failure somewhere in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetFailure {
+    /// Failure instant, seconds.
+    pub at_s: f64,
+    /// What broke.
+    pub component: FleetComponent,
+}
+
+/// Per-class seed salts, mirroring [`crate::plan`]'s convention of one
+/// independent stream per fault class.
+fn salt(c: FleetComponent) -> u64 {
+    match c {
+        FleetComponent::Gpu => 0x67_7075,    // "gpu"
+        FleetComponent::Nic => 0x6e_6963,    // "nic"
+        FleetComponent::Host => 0x686f_7374, // "host"
+        FleetComponent::Switch => 0x73_7769, // "swi"
+    }
+}
+
+/// Generate the merged, sorted failure timeline of a fleet over
+/// `horizon_s`. One salted Poisson stream per component class (a class
+/// whose MTBF is infinite contributes nothing), merged by time with the
+/// component order breaking ties, so the timeline is byte-reproducible
+/// per seed and stable under adding classes.
+#[must_use]
+pub fn generate_failures(
+    spec: &FleetSpec,
+    mtbf: &ComponentMtbf,
+    seed: u64,
+    horizon_s: f64,
+) -> Vec<FleetFailure> {
+    let mut out = Vec::new();
+    for c in FleetComponent::ALL {
+        let m = mtbf.for_component(c);
+        let units = spec.units(c) as f64;
+        if !m.is_finite() || units <= 0.0 {
+            continue;
+        }
+        let mean_gap_s = m * 3_600.0 / units;
+        let mut rng = StdRng::seed_from_u64(seed ^ salt(c));
+        let mut t = 0.0f64;
+        loop {
+            t += exponential(&mut rng) * mean_gap_s;
+            if t > horizon_s {
+                break;
+            }
+            out.push(FleetFailure { at_s: t, component: c });
+        }
+    }
+    out.sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.component.cmp(&b.component)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_scales_inversely_with_fleet_size() {
+        let mtbf = ComponentMtbf::production();
+        let small = system_mtbf_s(&FleetSpec::with_gpus(2_048), &mtbf);
+        let large = system_mtbf_s(&FleetSpec::with_gpus(102_400), &mtbf);
+        assert!(small > 40.0 * large, "{small} vs {large}");
+        // 2k GPUs: failures every several hours; 100k: minutes.
+        assert!(small > 3_600.0 * 4.0 && small < 3_600.0 * 40.0, "{small}");
+        assert!(large < 3_600.0, "{large}");
+    }
+
+    #[test]
+    fn disabled_classes_contribute_nothing() {
+        let spec = FleetSpec::with_gpus(8_192);
+        let all_off = ComponentMtbf {
+            gpu_h: f64::INFINITY,
+            nic_h: f64::INFINITY,
+            host_h: f64::INFINITY,
+            switch_h: f64::INFINITY,
+        };
+        assert!(system_mtbf_s(&spec, &all_off).is_infinite());
+        assert!(generate_failures(&spec, &all_off, 7, 1e6).is_empty());
+        let gpu_only = ComponentMtbf { gpu_h: 40_000.0, ..all_off };
+        let fails = generate_failures(&spec, &gpu_only, 7, 1e7);
+        assert!(!fails.is_empty());
+        assert!(fails.iter().all(|f| f.component == FleetComponent::Gpu));
+    }
+
+    #[test]
+    fn timeline_is_sorted_deterministic_and_poisson_scaled() {
+        let spec = FleetSpec::with_gpus(16_384);
+        let mtbf = ComponentMtbf::production();
+        let horizon_s = system_mtbf_s(&spec, &mtbf) * 500.0;
+        let a = generate_failures(&spec, &mtbf, 42, horizon_s);
+        let b = generate_failures(&spec, &mtbf, 42, horizon_s);
+        assert_eq!(a, b, "byte-reproducible per seed");
+        assert!(a.windows(2).all(|w| w[0].at_s <= w[1].at_s), "sorted");
+        let c = generate_failures(&spec, &mtbf, 43, horizon_s);
+        assert_ne!(a, c, "seed moves the timeline");
+        // Count within 20% of the composed expectation over 500 MTBFs.
+        let expect = 500.0;
+        let n = a.len() as f64;
+        assert!((n / expect - 1.0).abs() < 0.2, "{n} vs {expect}");
+        // GPU failures dominate the mix.
+        let gpus = a.iter().filter(|f| f.component == FleetComponent::Gpu).count();
+        assert!(gpus * 2 > a.len(), "{gpus} of {}", a.len());
+    }
+
+    #[test]
+    fn unit_counts_follow_the_shape() {
+        let spec = FleetSpec::with_gpus(2_048);
+        assert_eq!(spec.units(FleetComponent::Gpu), 2_048);
+        assert_eq!(spec.units(FleetComponent::Nic), 2_048);
+        assert_eq!(spec.units(FleetComponent::Host), 256);
+        assert_eq!(spec.units(FleetComponent::Switch), 32);
+        assert!(spec.is_valid());
+        assert!(!FleetSpec { gpus: 0, ..spec }.is_valid());
+    }
+}

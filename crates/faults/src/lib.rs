@@ -17,6 +17,16 @@
 //! - [`training`] — checkpoint/restart goodput simulation
 //!   ([`simulate_goodput`]) validated against the Young/Daly analytic
 //!   model in `dsv3_model::availability`.
+//! - [`fleet`] — per-component MTBF tables composed across fleet
+//!   shapes into seeded failure timelines ([`generate_failures`]).
+//! - [`tiers`] — device / host-RAM / remote checkpoint tier pricing and
+//!   the per-component survival matrix ([`CheckpointStack`]).
+//! - [`resilience`] — the fleet-scale walker ([`simulate_resilience`]):
+//!   tiered asynchronous checkpoints (bytes from `dsv3-memtl`),
+//!   spare-pool / elastic-shrink recovery (re-planned via
+//!   `dsv3-parallel`), and SDC rollback past the last verified
+//!   checkpoint. Its degenerate configuration reproduces the Young/Daly
+//!   regime within the same 5% gate `fault_drill` enforces.
 //!
 //! The serving engine (`dsv3-serving`) implements [`Injectable`] and
 //! exposes `run_with_faults`; an empty plan reproduces the healthy
@@ -25,12 +35,23 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fleet;
 pub mod plan;
 pub mod recovery;
+pub mod resilience;
+pub mod tiers;
 pub mod training;
 
+pub use fleet::{
+    generate_failures, system_mtbf_s, ComponentMtbf, FleetComponent, FleetFailure, FleetSpec,
+};
 pub use plan::{
     bandwidth_retention, FaultDriver, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, Injectable,
 };
 pub use recovery::{Backoff, RecoveryPolicy};
-pub use training::{simulate_goodput, TrainingGoodput};
+pub use resilience::{
+    simulate_resilience, simulate_resilience_traced, CheckpointBytes, RecoveryKind,
+    ResilienceConfig, ResilienceError, ResilienceReport, SdcConfig, WasteBreakdown,
+};
+pub use tiers::{CheckpointStack, CheckpointTier, TierKind};
+pub use training::{simulate_goodput, TrainingGoodput, TrainingSimError};

@@ -1,0 +1,1130 @@
+//! Fleet-scale training resilience: tiered checkpoints, recovery
+//! policies, and SDC rollback under a composed failure timeline.
+//!
+//! This walker generalizes [`crate::training::simulate_goodput`] along
+//! the three axes §6.1 of the paper argues matter at fleet scale:
+//!
+//! 1. **Where checkpoints live.** A [`CheckpointStack`] of device /
+//!    host-RAM / remote tiers with asynchronous bandwidth-limited
+//!    drains; in-flight drains die with a failure, surviving tiers are
+//!    ranked by progress (then restore cost) at recovery time. Bytes
+//!    come from [`dsv3_memtl::checkpoint_footprint`], not a constant.
+//! 2. **How the job comes back.** [`RecoveryKind::ColdRestart`] pays
+//!    the full reschedule; `SparePool` hot-swaps with a provisioning
+//!    lag until the pool drains; `ElasticShrink` re-plans the grid via
+//!    [`dsv3_parallel::replan_shrink`] and trains degraded until
+//!    backfill.
+//! 3. **What a failure even is.** Hardware failures arrive per
+//!    component class ([`crate::fleet`]); silent data corruption
+//!    arrives separately, is *detected* only after an exponential lag
+//!    (or at the next verification replay), and forces a rollback past
+//!    the last checkpoint captured before the corruption instant.
+//!
+//! The degenerate configuration — one synchronous tier, cold restart,
+//! exponential arrivals, SDC disabled — collapses to the exact regime
+//! of the Young/Daly analytic in `dsv3_model::availability`, and tests
+//! hold the two within the same 5% gate `fault_drill` enforces.
+
+use crate::fleet::{FleetComponent, FleetFailure};
+use crate::tiers::{CheckpointStack, TierKind};
+use dsv3_memtl::CheckpointFootprint;
+use dsv3_parallel::{replan_shrink, TrainStepConfig};
+use dsv3_telemetry::Recorder;
+use dsv3_units::{s_to_ms, s_to_us};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Unit-mean exponential deviate (module-local SDC streams).
+fn exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+/// Per-rank checkpoint traffic, bytes. Usually built from memtl's
+/// schedule-resolved footprint via [`CheckpointBytes::from_footprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointBytes {
+    /// Bytes each rank writes per checkpoint (its weight + optimizer
+    /// shard slice).
+    pub write_bytes: f64,
+    /// Bytes the critical-path rank reads at restore.
+    pub restore_bytes: f64,
+}
+
+impl CheckpointBytes {
+    /// Critical-path sizing from a memtl checkpoint footprint: the
+    /// slowest rank's write and restore slices bound the job.
+    #[must_use]
+    pub fn from_footprint(fp: &CheckpointFootprint) -> Self {
+        Self { write_bytes: fp.max_write_bytes, restore_bytes: fp.max_restore_bytes }
+    }
+}
+
+/// How the job resumes after a hardware failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryKind {
+    /// Full reschedule: pay `restart_s` plus the restore read.
+    ColdRestart,
+    /// Hot spares: pay only `provision_s` plus restore while the pool
+    /// lasts; consumed spares return after the repair turnaround.
+    SparePool {
+        /// Spare nodes provisioned up front.
+        spares: usize,
+        /// Seconds to swap a spare in (attach, warm, rejoin).
+        provision_s: f64,
+    },
+    /// Shrink the grid and keep training degraded until backfill.
+    ElasticShrink {
+        /// Seconds to re-plan and re-shard onto the survivors.
+        replan_s: f64,
+        /// The healthy training grid the re-plan shrinks (boxed: the
+        /// grid config dwarfs the other variants).
+        train: Box<TrainStepConfig>,
+        /// Healthy expert-parallel group size.
+        ep: usize,
+    },
+}
+
+/// Silent-data-corruption process. `mtbf_s = f64::INFINITY` disables
+/// corruption entirely (the degenerate gate's configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SdcConfig {
+    /// Mean wall seconds between corruption events.
+    pub mtbf_s: f64,
+    /// Mean detection lag, seconds (exponential): how long the job
+    /// trains on poisoned state before anything notices.
+    pub detection_mean_s: f64,
+    /// Run a verification replay every this many checkpoints
+    /// (0 disables); it catches any corruption older than itself.
+    pub verify_every: usize,
+    /// Blocking seconds each verification replay costs.
+    pub verify_cost_s: f64,
+}
+
+impl SdcConfig {
+    /// No corruption, no verification tax.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { mtbf_s: f64::INFINITY, detection_mean_s: 0.0, verify_every: 0, verify_cost_s: 0.0 }
+    }
+
+    /// Is the corruption process active?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.mtbf_s.is_finite()
+    }
+}
+
+/// Full resilience scenario: checkpoint geometry, recovery policy,
+/// corruption process, and the recovery cost constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Useful seconds of training per checkpoint segment.
+    pub interval_s: f64,
+    /// Per-rank checkpoint traffic (from memtl).
+    pub ckpt: CheckpointBytes,
+    /// Tier pipeline the checkpoints flow through.
+    pub stack: CheckpointStack,
+    /// Recovery policy after hardware failures.
+    pub recovery: RecoveryKind,
+    /// Corruption process and verification-replay policy.
+    pub sdc: SdcConfig,
+    /// Seconds of a full cold reschedule (also the SDC rollback and
+    /// spare-exhausted fallback cost), excluding the restore read.
+    pub restart_s: f64,
+    /// Seconds until failed hardware returns (refills the spare pool /
+    /// backfills a shrunk grid).
+    pub repair_s: f64,
+    /// GPUs taken down by one failure (elastic shrink granularity).
+    pub gpus_per_failure: usize,
+    /// Wall-clock horizon to simulate, seconds.
+    pub horizon_s: f64,
+    /// Seed for the SDC corruption and detection-lag streams.
+    pub seed: u64,
+}
+
+/// Why a resilience simulation request was rejected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResilienceError {
+    /// `interval_s` must be positive.
+    NonPositiveInterval {
+        /// The rejected interval.
+        interval_s: f64,
+    },
+    /// `horizon_s` must be positive.
+    NonPositiveHorizon {
+        /// The rejected horizon.
+        horizon_s: f64,
+    },
+    /// Checkpoint bytes must be positive.
+    NonPositiveBytes,
+    /// The tier stack failed structural validation.
+    InvalidStack {
+        /// Human-readable violation from [`CheckpointStack::validate`].
+        reason: String,
+    },
+    /// The failure timeline must be sorted ascending.
+    UnsortedFailures {
+        /// First out-of-order position.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilienceError::NonPositiveInterval { interval_s } => {
+                write!(f, "checkpoint interval must be positive, got {interval_s} s")
+            }
+            ResilienceError::NonPositiveHorizon { horizon_s } => {
+                write!(f, "horizon must be positive, got {horizon_s} s")
+            }
+            ResilienceError::NonPositiveBytes => {
+                write!(f, "checkpoint write/restore bytes must be positive")
+            }
+            ResilienceError::InvalidStack { reason } => write!(f, "invalid tier stack: {reason}"),
+            ResilienceError::UnsortedFailures { index } => {
+                write!(f, "failure timeline must be sorted ascending (violated at index {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+/// Where the wasted wall clock went, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WasteBreakdown {
+    /// Banked-then-lost plus partial-segment work discarded, seconds
+    /// of healthy-equivalent compute.
+    pub lost_work_s: f64,
+    /// Reschedule / provisioning / re-plan downtime.
+    pub restart_s: f64,
+    /// Restore reads out of checkpoint tiers.
+    pub restore_s: f64,
+    /// Verification-replay tax.
+    pub verify_s: f64,
+    /// Extra wall clock paid to degraded (shrunk-grid) throughput.
+    pub degraded_s: f64,
+    /// Blocking checkpoint-write stalls.
+    pub checkpoint_stall_s: f64,
+}
+
+/// Outcome of one resilience run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Healthy-equivalent useful seconds banked per wall second.
+    pub goodput: f64,
+    /// Useful seconds banked (surviving checkpointed progress).
+    pub useful_s: f64,
+    /// Wall clock consumed, seconds.
+    pub wall_s: f64,
+    /// Hardware failures that interrupted work.
+    pub failures: usize,
+    /// Total interrupting events (hardware + SDC rollbacks).
+    pub interrupts: usize,
+    /// Hardware failures absorbed by in-progress downtime.
+    pub absorbed: usize,
+    /// Rollbacks forced by detected corruption.
+    pub sdc_rollbacks: usize,
+    /// Checkpoints successfully captured into the entry tier.
+    pub checkpoints: usize,
+    /// Verification replays executed.
+    pub verifications: usize,
+    /// Failures answered from the spare pool.
+    pub spare_swaps: usize,
+    /// Failures that found the pool empty and fell back cold.
+    pub spare_exhausted: usize,
+    /// Shrink re-plans taken.
+    pub elastic_events: usize,
+    /// Restores served per tier position, plus a final slot for
+    /// from-scratch (no surviving checkpoint).
+    pub restores_by_tier: Vec<usize>,
+    /// Mean time from interrupt to regaining the pre-interrupt
+    /// progress point, seconds.
+    pub mean_ettr_s: f64,
+    /// Where the wasted wall clock went.
+    pub waste: WasteBreakdown,
+    /// Goodput of the same configuration with an empty timeline and no
+    /// corruption: the checkpoint + verification overhead bound.
+    pub no_fault_goodput: f64,
+}
+
+/// A checkpoint copy resident in (or draining toward) a tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stamp {
+    /// Wall instant the checkpoint was captured (entry-tier landing).
+    capture_wall: f64,
+    /// Banked progress the checkpoint encodes, seconds.
+    progress: f64,
+    /// Wall instant the copy finished landing in *this* tier.
+    landed_wall: f64,
+}
+
+/// Mutable per-tier state during the walk.
+#[derive(Debug, Clone, Copy)]
+struct TierState {
+    newest: Option<Stamp>,
+    inflight: Option<Stamp>,
+    /// When the in-flight drain (if any) completes; also the earliest
+    /// instant the tier's ingest link is free again.
+    inflight_done: f64,
+}
+
+const CORRUPT_SALT: u64 = 0x73_6463_2d74; // sdc corruption arrivals
+const DETECT_SALT: u64 = 0x73_6463_2d64; // sdc detection lags
+
+/// Pregenerate `(corruption, lag)` pairs over the horizon.
+fn sdc_timeline(sdc: &SdcConfig, seed: u64, horizon_s: f64) -> Vec<(f64, f64)> {
+    if !sdc.enabled() {
+        return Vec::new();
+    }
+    let mut arr = StdRng::seed_from_u64(seed ^ CORRUPT_SALT);
+    let mut lag = StdRng::seed_from_u64(seed ^ DETECT_SALT);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        t += exponential(&mut arr) * sdc.mtbf_s;
+        if t > horizon_s {
+            return out;
+        }
+        out.push((t, exponential(&mut lag) * sdc.detection_mean_s));
+    }
+}
+
+fn validate(cfg: &ResilienceConfig, failures: &[FleetFailure]) -> Result<(), ResilienceError> {
+    if cfg.interval_s <= 0.0 || cfg.interval_s.is_nan() {
+        return Err(ResilienceError::NonPositiveInterval { interval_s: cfg.interval_s });
+    }
+    if cfg.horizon_s <= 0.0 || cfg.horizon_s.is_nan() {
+        return Err(ResilienceError::NonPositiveHorizon { horizon_s: cfg.horizon_s });
+    }
+    let bad_bytes = |b: f64| b <= 0.0 || b.is_nan();
+    if bad_bytes(cfg.ckpt.write_bytes) || bad_bytes(cfg.ckpt.restore_bytes) {
+        return Err(ResilienceError::NonPositiveBytes);
+    }
+    if let Err(reason) = cfg.stack.validate() {
+        return Err(ResilienceError::InvalidStack { reason });
+    }
+    if let Some(i) = failures.windows(2).position(|w| w[0].at_s > w[1].at_s) {
+        return Err(ResilienceError::UnsortedFailures { index: i + 1 });
+    }
+    Ok(())
+}
+
+/// Simulate a resilience scenario against a fleet failure timeline.
+///
+/// # Errors
+///
+/// [`ResilienceError`] on a non-positive interval/horizon/byte count,
+/// an invalid tier stack, or an unsorted timeline.
+pub fn simulate_resilience(
+    cfg: &ResilienceConfig,
+    failures: &[FleetFailure],
+) -> Result<ResilienceReport, ResilienceError> {
+    let mut rec = Recorder::disabled();
+    simulate_resilience_traced(cfg, failures, &mut rec, "resilience")
+}
+
+/// The walker: everything in one pass so the degenerate path stays a
+/// tight segment loop.
+struct Walker<'a> {
+    cfg: &'a ResilienceConfig,
+    tiers: Vec<TierState>,
+    /// Retained remote-store history (newest last); populated only when
+    /// SDC is enabled, so the degenerate path never allocates.
+    history: Vec<Stamp>,
+    keep_history: bool,
+    factor_cache: BTreeMap<usize, f64>,
+}
+
+impl Walker<'_> {
+    /// Land finished drains and start new ones, to fixpoint, as of
+    /// `now`. Drains are skip-to-newest: each tier copies the *current*
+    /// newest of its upstream tier, so a slow remote link skips
+    /// intermediate checkpoints instead of queueing them.
+    fn advance_drains(&mut self, now: f64) {
+        if self.cfg.stack.synchronous || self.tiers.len() < 2 {
+            return;
+        }
+        loop {
+            let mut changed = false;
+            for i in 1..self.tiers.len() {
+                if self.tiers[i].inflight.is_some() && self.tiers[i].inflight_done <= now {
+                    let mut st = self.tiers[i].inflight.take().unwrap_or(Stamp {
+                        capture_wall: 0.0,
+                        progress: 0.0,
+                        landed_wall: 0.0,
+                    });
+                    st.landed_wall = self.tiers[i].inflight_done;
+                    self.tiers[i].newest = Some(st);
+                    if self.keep_history && i == self.tiers.len() - 1 {
+                        self.history.push(st);
+                    }
+                    changed = true;
+                }
+                if self.tiers[i].inflight.is_none() {
+                    let up = self.tiers[i - 1].newest;
+                    let cur = self.tiers[i].newest.map_or(-1.0, |s| s.progress);
+                    if let Some(up) = up {
+                        if up.landed_wall <= now && up.progress > cur {
+                            let start = up.landed_wall.max(self.tiers[i].inflight_done);
+                            let dur = self.cfg.stack.tiers[i].write_s(self.cfg.ckpt.write_bytes);
+                            self.tiers[i].inflight = Some(up);
+                            self.tiers[i].inflight_done = start + dur;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Record a freshly captured checkpoint in the entry tier (all
+    /// tiers when synchronous).
+    fn capture(&mut self, capture_wall: f64, progress: f64) {
+        let st = Stamp { capture_wall, progress, landed_wall: capture_wall };
+        if self.cfg.stack.synchronous {
+            for (i, t) in self.tiers.iter_mut().enumerate() {
+                t.newest = Some(st);
+                if self.keep_history && i == self.cfg.stack.tiers.len() - 1 {
+                    self.history.push(st);
+                }
+            }
+            // dedupe: history pushed once per capture above only for the
+            // last tier, so nothing further to do.
+        } else {
+            self.tiers[0].newest = Some(st);
+            if self.keep_history && self.tiers.len() == 1 {
+                self.history.push(st);
+            }
+            self.advance_drains(capture_wall);
+        }
+    }
+
+    /// Drop in-flight drains and non-surviving copies after a hardware
+    /// failure of `component`.
+    fn apply_survival(&mut self, component: FleetComponent) {
+        for (i, t) in self.tiers.iter_mut().enumerate() {
+            t.inflight = None;
+            if !self.cfg.stack.tiers[i].survives(component) {
+                t.newest = None;
+            }
+        }
+        if let Some(last) = self.cfg.stack.tiers.last() {
+            if !last.survives(component) {
+                self.history.clear();
+            }
+        }
+    }
+
+    /// Best restorable stamp: max progress, tiebreak cheapest restore.
+    /// Returns `(tier index or tiers.len() for scratch, stamp, restore
+    /// seconds)`. The implicit progress-0 state is always restorable.
+    fn best_restore(&self, max_capture_wall: f64) -> (usize, Stamp, f64) {
+        let mut best: Option<(usize, Stamp, f64)> = None;
+        for (i, t) in self.tiers.iter().enumerate() {
+            let Some(st) = t.newest else { continue };
+            if st.capture_wall > max_capture_wall {
+                continue;
+            }
+            let cost = self.cfg.stack.tiers[i].restore_s(self.cfg.ckpt.restore_bytes);
+            let better = match best {
+                None => true,
+                Some((_, b, bc)) => {
+                    st.progress > b.progress || (st.progress == b.progress && cost < bc)
+                }
+            };
+            if better {
+                best = Some((i, st, cost));
+            }
+        }
+        if best.is_none() && self.keep_history {
+            // Tainted tiers may hide an older clean remote copy.
+            let last = self.tiers.len() - 1;
+            let cost = self.cfg.stack.tiers[last].restore_s(self.cfg.ckpt.restore_bytes);
+            if let Some(st) = self.history.iter().rev().find(|s| s.capture_wall <= max_capture_wall)
+            {
+                best = Some((last, *st, cost));
+            }
+        }
+        best.unwrap_or((
+            self.tiers.len(),
+            Stamp { capture_wall: 0.0, progress: 0.0, landed_wall: 0.0 },
+            0.0,
+        ))
+    }
+
+    /// Invalidate every copy captured after the corruption instant.
+    fn taint_after(&mut self, t_c: f64) {
+        for t in &mut self.tiers {
+            if t.newest.is_some_and(|s| s.capture_wall > t_c) {
+                t.newest = None;
+            }
+            t.inflight = None;
+        }
+        self.history.retain(|s| s.capture_wall <= t_c);
+    }
+
+    /// Degraded throughput factor for a shrunk-grid down-count.
+    fn shrink_factor(&mut self, down: usize) -> f64 {
+        if down == 0 {
+            return 1.0;
+        }
+        let RecoveryKind::ElasticShrink { ref train, ep, .. } = self.cfg.recovery else {
+            return 1.0;
+        };
+        if let Some(f) = self.factor_cache.get(&down) {
+            return *f;
+        }
+        let lost = down * self.cfg.gpus_per_failure;
+        let available = train.gpus.saturating_sub(lost);
+        // An unshrinkable grid (survivors can't host one pipeline lane)
+        // degenerates to a full stop until backfill; model it as cold
+        // throughput 1.0 after the restart cost — unreachable for the
+        // fleet shapes the experiments sweep.
+        let f = replan_shrink(train, ep, available).map_or(1.0, |p| p.throughput_factor);
+        self.factor_cache.insert(down, f);
+        f
+    }
+}
+
+/// Traced variant of [`simulate_resilience`]: emits goodput/backlog/
+/// fleet-health series, per-failure instants, and per-class counters
+/// under `scope` into `rec`.
+///
+/// # Errors
+///
+/// Same contract as [`simulate_resilience`].
+// lint:entry
+pub fn simulate_resilience_traced(
+    cfg: &ResilienceConfig,
+    failures: &[FleetFailure],
+    rec: &mut Recorder,
+    scope: &str,
+) -> Result<ResilienceReport, ResilienceError> {
+    validate(cfg, failures)?;
+    let pid = rec.process(scope);
+    let tid = rec.thread(pid, "events");
+
+    let n_tiers = cfg.stack.tiers.len();
+    let keep_history = cfg.sdc.enabled()
+        && cfg.stack.tiers.last().is_some_and(|t| t.kind == TierKind::RemoteStore);
+    let mut w = Walker {
+        cfg,
+        tiers: vec![TierState { newest: None, inflight: None, inflight_done: 0.0 }; n_tiers],
+        history: Vec::new(),
+        keep_history,
+        factor_cache: BTreeMap::new(),
+    };
+
+    let blocking_s = cfg.stack.blocking_write_s(cfg.ckpt.write_bytes);
+    let verify_amortized_s = if cfg.sdc.verify_every > 0 {
+        cfg.sdc.verify_cost_s / cfg.sdc.verify_every as f64
+    } else {
+        0.0
+    };
+    let no_fault_goodput = cfg.interval_s / (cfg.interval_s + blocking_s + verify_amortized_s);
+
+    // The degenerate shape (one synchronous tier, cold restart, no SDC,
+    // no tracing) is the regime `simulate_goodput` already walked; a
+    // dedicated tight loop keeps the generalisation tax off it. The
+    // arithmetic mirrors the general walk operation-for-operation, so
+    // the two paths produce bit-identical reports.
+    if !rec.is_enabled()
+        && matches!(cfg.recovery, RecoveryKind::ColdRestart)
+        && !cfg.sdc.enabled()
+        && cfg.sdc.verify_every == 0
+        && cfg.stack.synchronous
+        && cfg.stack.tiers.len() == 1
+    {
+        return Ok(degenerate_walk(cfg, failures, blocking_s, no_fault_goodput));
+    }
+
+    let sdc_events = sdc_timeline(&cfg.sdc, cfg.seed, cfg.horizon_s);
+    let mut sdc_iter = sdc_events.iter().copied();
+    let mut pending_sdc: Option<(f64, f64)> = None; // (t_c, t_d by lag)
+
+    let mut fail_iter = failures.iter().copied();
+    let mut pending_fail = fail_iter.next();
+
+    let mut spares_available = match cfg.recovery {
+        RecoveryKind::SparePool { spares, .. } => spares,
+        _ => 0,
+    };
+    let mut refills: VecDeque<f64> = VecDeque::new();
+    let mut backfills: VecDeque<f64> = VecDeque::new();
+    let mut down_count = 0usize;
+
+    let mut wall = 0.0f64;
+    let mut banked = 0.0f64;
+    let mut report = ResilienceReport {
+        goodput: 0.0,
+        useful_s: 0.0,
+        wall_s: 0.0,
+        failures: 0,
+        interrupts: 0,
+        absorbed: 0,
+        sdc_rollbacks: 0,
+        checkpoints: 0,
+        verifications: 0,
+        spare_swaps: 0,
+        spare_exhausted: 0,
+        elastic_events: 0,
+        restores_by_tier: vec![0; n_tiers + 1],
+        mean_ettr_s: 0.0,
+        waste: WasteBreakdown::default(),
+        no_fault_goodput,
+    };
+    let mut ettr_sum_s = 0.0f64;
+
+    while wall < cfg.horizon_s {
+        // Repair events that matured during the last segment/downtime.
+        while refills.front().is_some_and(|&t| t <= wall) {
+            refills.pop_front();
+            spares_available += 1;
+        }
+        while backfills.front().is_some_and(|&t| t <= wall) {
+            backfills.pop_front();
+            down_count = down_count.saturating_sub(1);
+        }
+        // Failures landing inside completed downtime are absorbed by it.
+        while pending_fail.is_some_and(|f| f.at_s <= wall) {
+            report.absorbed += 1;
+            pending_fail = fail_iter.next();
+        }
+        // Corruption can only strike live training state.
+        if pending_sdc.is_none() {
+            pending_sdc = loop {
+                match sdc_iter.next() {
+                    Some((tc, _)) if tc <= wall => continue,
+                    other => break other,
+                }
+            };
+        }
+
+        let factor = w.shrink_factor(down_count);
+        let compute_s = cfg.interval_s / factor;
+        let verify_this = cfg.sdc.verify_every > 0
+            && (report.checkpoints + 1).is_multiple_of(cfg.sdc.verify_every);
+        let verify_cost = if verify_this { cfg.sdc.verify_cost_s } else { 0.0 };
+        let seg_wall = compute_s + blocking_s + verify_cost;
+        let seg_end = wall + seg_wall;
+        let capture_at = wall + compute_s + blocking_s;
+
+        // Earliest interrupt inside this segment: hardware failure, or
+        // a corruption whose detection (lag or verification replay)
+        // matures before the segment ends.
+        let hw_at = pending_fail.map(|f| f.at_s).filter(|&t| t < seg_end);
+        let sdc_at = pending_sdc.and_then(|(tc, lag)| {
+            if tc >= seg_end {
+                return None;
+            }
+            let mut td = tc + lag;
+            if verify_this && tc < seg_end {
+                td = td.min(seg_end);
+            }
+            (td <= seg_end).then_some(td.max(tc))
+        });
+
+        let hw_first = match (hw_at, sdc_at) {
+            (Some(h), Some(s)) => Some(h <= s),
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (None, None) => None,
+        };
+
+        let Some(hw_first) = hw_first else {
+            // Clean segment: bank it.
+            banked += cfg.interval_s;
+            report.checkpoints += 1;
+            report.waste.checkpoint_stall_s += blocking_s;
+            if factor < 1.0 {
+                report.waste.degraded_s += compute_s - cfg.interval_s;
+            }
+            if verify_this {
+                report.verifications += 1;
+                report.waste.verify_s += verify_cost;
+            }
+            w.capture(capture_at, banked);
+            wall = seg_end;
+            if report.checkpoints.is_multiple_of(64) && rec.is_enabled() {
+                rec.series(&format!("{scope}.goodput"), s_to_ms(wall), banked / wall);
+                rec.series(&format!("{scope}.gpus_down"), s_to_ms(wall), down_count as f64);
+            }
+            continue;
+        };
+
+        report.interrupts += 1;
+        if hw_first {
+            // Hardware failure mid-segment: partial work is gone.
+            let f = pending_fail
+                .unwrap_or(FleetFailure { at_s: seg_end, component: FleetComponent::Gpu });
+            pending_fail = fail_iter.next();
+            report.failures += 1;
+            let partial = (f.at_s - wall).min(compute_s) * factor;
+            w.advance_drains(f.at_s);
+            w.apply_survival(f.component);
+            let (tier_idx, stamp, restore_s) = w.best_restore(f.at_s);
+            report.restores_by_tier[tier_idx] += 1;
+
+            let mut down_s = restore_s;
+            match cfg.recovery {
+                RecoveryKind::ColdRestart => down_s += cfg.restart_s,
+                RecoveryKind::SparePool { provision_s, .. } => {
+                    if spares_available > 0 {
+                        spares_available -= 1;
+                        refills.push_back(f.at_s + cfg.repair_s);
+                        report.spare_swaps += 1;
+                        down_s += provision_s;
+                    } else {
+                        report.spare_exhausted += 1;
+                        down_s += cfg.restart_s;
+                    }
+                }
+                RecoveryKind::ElasticShrink { replan_s, .. } => {
+                    down_count += 1;
+                    backfills.push_back(f.at_s + cfg.repair_s);
+                    report.elastic_events += 1;
+                    down_s += replan_s;
+                }
+            }
+            let lost = banked - stamp.progress + partial;
+            report.waste.lost_work_s += lost;
+            report.waste.restart_s += down_s - restore_s;
+            report.waste.restore_s += restore_s;
+            let factor_after = w.shrink_factor(down_count);
+            ettr_sum_s += down_s + lost / factor_after;
+
+            if rec.is_enabled() {
+                rec.instant(pid, tid, "fault", f.component.label(), s_to_us(f.at_s));
+                rec.counter_add(&format!("{scope}.failures.{}", f.component.label()), 1);
+                rec.series(&format!("{scope}.backlog"), s_to_ms(f.at_s), lost);
+                rec.series(&format!("{scope}.gpus_down"), s_to_ms(f.at_s), down_count as f64);
+                if f.at_s > 0.0 {
+                    rec.series(&format!("{scope}.goodput"), s_to_ms(f.at_s), banked / f.at_s);
+                }
+            }
+            banked = stamp.progress;
+            wall = f.at_s + down_s;
+        } else {
+            // Corruption detected: roll back past the corruption instant.
+            let (t_c, _) = pending_sdc.unwrap_or((wall, 0.0));
+            let t_d = sdc_at.unwrap_or(seg_end);
+            report.sdc_rollbacks += 1;
+            // Work completed between segment start and detection; if
+            // the detection came from this segment's verification, the
+            // segment's checkpoint was already written — and is tainted.
+            let partial = (t_d - wall).min(compute_s) * factor;
+            let banked_at_detect = if t_d >= capture_at {
+                report.checkpoints += 1;
+                report.waste.checkpoint_stall_s += blocking_s;
+                if verify_this {
+                    report.verifications += 1;
+                    report.waste.verify_s += verify_cost;
+                }
+                w.capture(capture_at, banked + cfg.interval_s);
+                banked + cfg.interval_s
+            } else {
+                banked
+            };
+            w.advance_drains(t_d);
+            w.taint_after(t_c);
+            let (tier_idx, stamp, restore_s) = w.best_restore(t_c);
+            report.restores_by_tier[tier_idx] += 1;
+            let down_s = cfg.restart_s + restore_s;
+            let lost = (banked_at_detect - stamp.progress).max(0.0)
+                + if t_d >= capture_at { 0.0 } else { partial };
+            report.waste.lost_work_s += lost;
+            report.waste.restart_s += cfg.restart_s;
+            report.waste.restore_s += restore_s;
+            let factor_after = w.shrink_factor(down_count);
+            ettr_sum_s += down_s + lost / factor_after;
+
+            if rec.is_enabled() {
+                rec.instant(pid, tid, "fault", "sdc_rollback", s_to_us(t_d));
+                rec.counter_add(&format!("{scope}.failures.sdc"), 1);
+                rec.series(&format!("{scope}.backlog"), s_to_ms(t_d), lost);
+            }
+            banked = stamp.progress;
+            wall = t_d + down_s;
+            pending_sdc = None;
+        }
+    }
+
+    report.useful_s = banked;
+    report.wall_s = wall;
+    report.goodput = if wall > 0.0 { banked / wall } else { 0.0 };
+    report.mean_ettr_s =
+        if report.interrupts > 0 { ettr_sum_s / report.interrupts as f64 } else { 0.0 };
+    if rec.is_enabled() && wall > 0.0 {
+        rec.series(&format!("{scope}.goodput"), s_to_ms(wall), report.goodput);
+    }
+    Ok(report)
+}
+
+/// Tight loop for the degenerate (single synchronous tier, cold
+/// restart, no SDC, untraced) shape. Every float operation matches the
+/// general walker's expression and order, so the reports are
+/// bit-identical — the gate in `BENCH_resilience.json` holds this path
+/// within 1.2x of [`crate::training::simulate_goodput`].
+fn degenerate_walk(
+    cfg: &ResilienceConfig,
+    failures: &[FleetFailure],
+    blocking_s: f64,
+    no_fault_goodput: f64,
+) -> ResilienceReport {
+    let tier = cfg.stack.tiers[0];
+    let restore_cost = tier.restore_s(cfg.ckpt.restore_bytes);
+    // factor is pinned at 1.0 here, and x / 1.0 == x exactly in IEEE
+    // arithmetic, so the general walker's `interval_s / factor` is
+    // plain `interval_s`.
+    let compute_s = cfg.interval_s;
+    let seg_s = compute_s + blocking_s;
+
+    let mut report = ResilienceReport {
+        goodput: 0.0,
+        useful_s: 0.0,
+        wall_s: 0.0,
+        failures: 0,
+        interrupts: 0,
+        absorbed: 0,
+        sdc_rollbacks: 0,
+        checkpoints: 0,
+        verifications: 0,
+        spare_swaps: 0,
+        spare_exhausted: 0,
+        elastic_events: 0,
+        restores_by_tier: vec![0; 2],
+        mean_ettr_s: 0.0,
+        waste: WasteBreakdown::default(),
+        no_fault_goodput,
+    };
+    let mut wall = 0.0f64;
+    let mut banked = 0.0f64;
+    let mut ettr_sum_s = 0.0f64;
+    // In synchronous single-tier mode the newest stamp's progress always
+    // equals `banked`, so a bool stands in for the whole tier state.
+    let mut have_stamp = false;
+    let mut fi = 0usize;
+
+    while wall < cfg.horizon_s {
+        while fi < failures.len() && failures[fi].at_s <= wall {
+            report.absorbed += 1;
+            fi += 1;
+        }
+        let fail_at = if fi < failures.len() { failures[fi].at_s } else { f64::INFINITY };
+        while wall < cfg.horizon_s && fail_at >= wall + seg_s {
+            banked += cfg.interval_s;
+            report.checkpoints += 1;
+            report.waste.checkpoint_stall_s += blocking_s;
+            have_stamp = true;
+            wall += seg_s;
+        }
+        if wall >= cfg.horizon_s || fi >= failures.len() {
+            break;
+        }
+        if fail_at <= wall {
+            // Landed exactly on the segment boundary: the general walker
+            // absorbs it at the top of the next iteration.
+            continue;
+        }
+        // Failure strictly inside (wall, wall + seg_s).
+        let f = failures[fi];
+        fi += 1;
+        report.interrupts += 1;
+        report.failures += 1;
+        let partial = (f.at_s - wall).min(compute_s) * 1.0;
+        if !tier.survives(f.component) {
+            have_stamp = false;
+        }
+        let (tier_idx, stamp_progress, restore_s) =
+            if have_stamp { (0, banked, restore_cost) } else { (1, 0.0, 0.0) };
+        report.restores_by_tier[tier_idx] += 1;
+        let mut down_s = restore_s;
+        down_s += cfg.restart_s;
+        let lost = banked - stamp_progress + partial;
+        report.waste.lost_work_s += lost;
+        report.waste.restart_s += down_s - restore_s;
+        report.waste.restore_s += restore_s;
+        ettr_sum_s += down_s + lost / 1.0;
+        banked = stamp_progress;
+        wall = f.at_s + down_s;
+    }
+
+    report.useful_s = banked;
+    report.wall_s = wall;
+    report.goodput = if wall > 0.0 { banked / wall } else { 0.0 };
+    report.mean_ettr_s =
+        if report.interrupts > 0 { ettr_sum_s / report.interrupts as f64 } else { 0.0 };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{generate_failures, system_mtbf_s, ComponentMtbf, FleetSpec};
+    use crate::tiers::CheckpointTier;
+    use dsv3_model::availability::AvailabilityModel;
+
+    fn bytes() -> CheckpointBytes {
+        CheckpointBytes { write_bytes: 30e9, restore_bytes: 30e9 }
+    }
+
+    fn degenerate_cfg(interval_s: f64, horizon_s: f64) -> ResilienceConfig {
+        ResilienceConfig {
+            interval_s,
+            ckpt: bytes(),
+            stack: CheckpointStack::single_sync_remote(2.0),
+            recovery: RecoveryKind::ColdRestart,
+            sdc: SdcConfig::disabled(),
+            restart_s: 180.0,
+            repair_s: 3_600.0,
+            gpus_per_failure: 8,
+            horizon_s,
+            seed: 11,
+        }
+    }
+
+    /// The availability model the degenerate configuration embodies:
+    /// C = the synchronous write, R = restart + restore.
+    fn equivalent_availability(cfg: &ResilienceConfig, mtbf_s: f64) -> AvailabilityModel {
+        let write_s = cfg.stack.blocking_write_s(cfg.ckpt.write_bytes);
+        let restore_s = cfg.stack.tiers[0].restore_s(cfg.ckpt.restore_bytes);
+        AvailabilityModel {
+            mtbf_s,
+            checkpoint_write_s: write_s,
+            restart_s: cfg.restart_s + restore_s,
+        }
+    }
+
+    #[test]
+    fn empty_timeline_hits_the_overhead_bound() {
+        let cfg = degenerate_cfg(900.0, 1e6);
+        let r = simulate_resilience(&cfg, &[]).unwrap();
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.interrupts, 0);
+        assert!(
+            (r.goodput - r.no_fault_goodput).abs() < 1e-6,
+            "{} vs {}",
+            r.goodput,
+            r.no_fault_goodput
+        );
+        assert!((r.waste.lost_work_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_matches_young_daly_within_five_percent() {
+        let spec = FleetSpec::with_gpus(16_384);
+        let mtbf = ComponentMtbf::production();
+        let sys_mtbf_s = system_mtbf_s(&spec, &mtbf);
+        let mut cfg = degenerate_cfg(0.0, 0.0);
+        let av = equivalent_availability(&cfg, sys_mtbf_s);
+        cfg.interval_s = av.young_daly_interval_s();
+        cfg.horizon_s = sys_mtbf_s * 2_000.0;
+        let failures = generate_failures(&spec, &mtbf, 11, cfg.horizon_s * 4.0);
+        let r = simulate_resilience(&cfg, &failures).unwrap();
+        assert!(r.failures > 500, "need statistics, got {}", r.failures);
+        let analytic = av.goodput_fraction(cfg.interval_s);
+        let rel = (r.goodput - analytic).abs() / analytic;
+        assert!(rel < 0.05, "rel err {rel} (sim {} vs analytic {analytic})", r.goodput);
+        // ETTR should also land near the first-order expectation.
+        let expected_ettr = av.expected_ettr_s(cfg.interval_s);
+        let ettr_rel = (r.mean_ettr_s - expected_ettr).abs() / expected_ettr;
+        assert!(ettr_rel < 0.10, "ettr rel err {ettr_rel} ({} vs {expected_ettr})", r.mean_ettr_s);
+    }
+
+    #[test]
+    fn tiered_async_beats_sync_single_tier() {
+        let spec = FleetSpec::with_gpus(32_768);
+        let mtbf = ComponentMtbf::production();
+        let horizon_s = 3_600.0 * 24.0 * 30.0;
+        let failures = generate_failures(&spec, &mtbf, 5, horizon_s * 2.0);
+        let sync = degenerate_cfg(600.0, horizon_s);
+        let tiered = ResilienceConfig { stack: CheckpointStack::tiered(), ..sync.clone() };
+        let r_sync = simulate_resilience(&sync, &failures).unwrap();
+        let r_tiered = simulate_resilience(&tiered, &failures).unwrap();
+        assert!(
+            r_tiered.goodput > r_sync.goodput,
+            "tiered {} vs sync {}",
+            r_tiered.goodput,
+            r_sync.goodput
+        );
+        // Device/host tiers serve most restores; remote is the fallback.
+        assert!(r_tiered.restores_by_tier[..2].iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn spare_pool_beats_cold_restart_and_pool_drains() {
+        let spec = FleetSpec::with_gpus(16_384);
+        let mtbf = ComponentMtbf::production();
+        let horizon_s = 3_600.0 * 24.0 * 14.0;
+        let failures = generate_failures(&spec, &mtbf, 21, horizon_s * 2.0);
+        let cold = ResilienceConfig {
+            stack: CheckpointStack::tiered(),
+            ..degenerate_cfg(600.0, horizon_s)
+        };
+        let spare = ResilienceConfig {
+            recovery: RecoveryKind::SparePool { spares: 64, provision_s: 30.0 },
+            ..cold.clone()
+        };
+        let r_cold = simulate_resilience(&cold, &failures).unwrap();
+        let r_spare = simulate_resilience(&spare, &failures).unwrap();
+        assert!(r_spare.spare_swaps > 0);
+        assert!(
+            r_spare.goodput > r_cold.goodput,
+            "spare {} vs cold {}",
+            r_spare.goodput,
+            r_cold.goodput
+        );
+        // A starving pool falls back cold instead of wedging.
+        let tiny = ResilienceConfig {
+            recovery: RecoveryKind::SparePool { spares: 1, provision_s: 30.0 },
+            repair_s: horizon_s * 10.0,
+            ..cold.clone()
+        };
+        let r_tiny = simulate_resilience(&tiny, &failures).unwrap();
+        assert!(r_tiny.spare_exhausted > 0);
+    }
+
+    #[test]
+    fn elastic_shrink_pays_degraded_time_until_backfill() {
+        let spec = FleetSpec::with_gpus(2_048);
+        let mtbf = ComponentMtbf::production();
+        let horizon_s = 3_600.0 * 24.0 * 30.0;
+        let failures = generate_failures(&spec, &mtbf, 3, horizon_s * 2.0);
+        let train = TrainStepConfig::deepseek_v3(1.0);
+        let cfg = ResilienceConfig {
+            recovery: RecoveryKind::ElasticShrink {
+                replan_s: 60.0,
+                train: Box::new(train),
+                ep: 64,
+            },
+            stack: CheckpointStack::tiered(),
+            repair_s: 3_600.0 * 6.0,
+            ..degenerate_cfg(600.0, horizon_s)
+        };
+        let r = simulate_resilience(&cfg, &failures).unwrap();
+        assert!(r.elastic_events > 0);
+        assert!(r.waste.degraded_s > 0.0, "shrunk grid must cost wall clock");
+        assert!(r.goodput > 0.5, "elastic keeps the job mostly productive: {}", r.goodput);
+    }
+
+    #[test]
+    fn sdc_forces_rollback_past_the_corruption_and_verification_caps_the_lag() {
+        let base = ResilienceConfig {
+            stack: CheckpointStack::tiered(),
+            sdc: SdcConfig {
+                mtbf_s: 3_600.0 * 12.0,
+                detection_mean_s: 3_600.0 * 4.0,
+                verify_every: 0,
+                verify_cost_s: 0.0,
+            },
+            ..degenerate_cfg(600.0, 3_600.0 * 24.0 * 30.0)
+        };
+        let r = simulate_resilience(&base, &[]).unwrap();
+        assert!(r.sdc_rollbacks > 10, "{}", r.sdc_rollbacks);
+        assert!(r.waste.lost_work_s > 0.0);
+
+        // Periodic verification trades a small tax for bounded rollback
+        // depth: with long detection lags it must win.
+        let verified = ResilienceConfig {
+            sdc: SdcConfig { verify_every: 10, verify_cost_s: 30.0, ..base.sdc },
+            ..base.clone()
+        };
+        let rv = simulate_resilience(&verified, &[]).unwrap();
+        assert!(rv.verifications > 0);
+        assert!(
+            rv.goodput > r.goodput,
+            "verification {} should beat lag-only {}",
+            rv.goodput,
+            r.goodput
+        );
+        // Rollback must land at or before the corruption instant:
+        // useful work never exceeds the no-SDC bound.
+        assert!(rv.useful_s < rv.wall_s * rv.no_fault_goodput + 1e-6);
+    }
+
+    #[test]
+    fn bad_inputs_are_errors_not_panics() {
+        let cfg = degenerate_cfg(600.0, 1e5);
+        assert!(matches!(
+            simulate_resilience(&ResilienceConfig { interval_s: 0.0, ..cfg.clone() }, &[]),
+            Err(ResilienceError::NonPositiveInterval { .. })
+        ));
+        assert!(matches!(
+            simulate_resilience(&ResilienceConfig { horizon_s: -1.0, ..cfg.clone() }, &[]),
+            Err(ResilienceError::NonPositiveHorizon { .. })
+        ));
+        assert!(matches!(
+            simulate_resilience(
+                &ResilienceConfig {
+                    ckpt: CheckpointBytes { write_bytes: 0.0, restore_bytes: 1.0 },
+                    ..cfg.clone()
+                },
+                &[]
+            ),
+            Err(ResilienceError::NonPositiveBytes)
+        ));
+        let unsorted = [
+            FleetFailure { at_s: 5.0, component: FleetComponent::Gpu },
+            FleetFailure { at_s: 1.0, component: FleetComponent::Gpu },
+        ];
+        assert_eq!(
+            simulate_resilience(&cfg, &unsorted),
+            Err(ResilienceError::UnsortedFailures { index: 1 })
+        );
+        let mut bad_stack = cfg.clone();
+        bad_stack.stack.tiers.clear();
+        assert!(matches!(
+            simulate_resilience(&bad_stack, &[]),
+            Err(ResilienceError::InvalidStack { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_fast_path_matches_the_general_walker() {
+        // An enabled recorder forces the general walk on the same
+        // degenerate config the fast path serves; the reports must be
+        // bit-identical, including the no-surviving-tier reset case.
+        let spec = FleetSpec::with_gpus(16_384);
+        let mtbf = ComponentMtbf::production();
+        let horizon_s = 3_600.0 * 24.0 * 30.0;
+        let failures = generate_failures(&spec, &mtbf, 13, horizon_s * 2.0);
+        for stack in [
+            CheckpointStack::single_sync_remote(2.0),
+            CheckpointStack { tiers: vec![CheckpointTier::device()], synchronous: true },
+        ] {
+            let cfg = ResilienceConfig { stack, ..degenerate_cfg(600.0, horizon_s) };
+            let fast = simulate_resilience(&cfg, &failures).unwrap();
+            let mut rec = Recorder::new();
+            let general = simulate_resilience_traced(&cfg, &failures, &mut rec, "res").unwrap();
+            assert_eq!(fast, general, "fast path must mirror the general walk exactly");
+            assert!(fast.failures > 100, "need a meaningful run, got {}", fast.failures);
+        }
+    }
+
+    #[test]
+    fn traced_run_equals_plain_and_emits_series() {
+        let spec = FleetSpec::with_gpus(16_384);
+        let mtbf = ComponentMtbf::production();
+        let horizon_s = 3_600.0 * 24.0 * 7.0;
+        let failures = generate_failures(&spec, &mtbf, 9, horizon_s * 2.0);
+        let cfg = ResilienceConfig {
+            stack: CheckpointStack::tiered(),
+            ..degenerate_cfg(600.0, horizon_s)
+        };
+        let plain = simulate_resilience(&cfg, &failures).unwrap();
+        let mut rec = Recorder::new();
+        let traced = simulate_resilience_traced(&cfg, &failures, &mut rec, "res").unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the walk");
+        assert!(rec.series_get("res.goodput").is_some());
+        assert!(rec.series_get("res.backlog").is_some());
+        assert!(!rec.counters().is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Tiered checkpoint storage: device → host RAM → remote store.
+//!
+//! A synchronous remote-store checkpoint stalls every rank for the full
+//! write; §6.1's mitigation is a staged pipeline — snapshot into device
+//! HBM at memory speed (the only blocking cost), then drain device →
+//! host RAM → remote store asynchronously at each link's bandwidth.
+//! The price of asynchrony is durability: an in-flight drain dies with
+//! the failure, and each tier only survives the failure classes that
+//! leave its medium intact. This module prices writes/restores per tier
+//! from bandwidths and the per-rank checkpoint bytes that
+//! [`dsv3_memtl::checkpoint_footprint`] derives — no hand-picked
+//! constants — and encodes the survival matrix against
+//! [`crate::fleet::FleetComponent`].
+
+use crate::fleet::FleetComponent;
+use serde::{Deserialize, Serialize};
+
+/// Storage medium of a checkpoint tier, ordered fastest to most durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Spare HBM on the training GPU itself: memory-bandwidth fast,
+    /// dies with the GPU or its host.
+    Device,
+    /// Host DRAM over PCIe: survives GPU loss; optionally replicated to
+    /// a peer host so a host loss is survivable too.
+    HostRam,
+    /// Remote durable store (parallel FS / object store): survives
+    /// everything, slowest link.
+    RemoteStore,
+}
+
+/// One tier of the checkpoint pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointTier {
+    /// Storage medium.
+    pub kind: TierKind,
+    /// Per-rank write bandwidth into this tier, GB/s.
+    pub write_gbps: f64,
+    /// Per-rank restore bandwidth out of this tier, GB/s.
+    pub restore_gbps: f64,
+    /// Host-RAM copies mirrored to a peer host: the copy then survives
+    /// the owning host's failure. Ignored for other kinds.
+    pub peer_replicated: bool,
+}
+
+impl CheckpointTier {
+    /// Device-HBM snapshot tier at a memory-bandwidth-ish rate.
+    #[must_use]
+    pub fn device() -> Self {
+        Self {
+            kind: TierKind::Device,
+            write_gbps: 1_200.0,
+            restore_gbps: 1_200.0,
+            peer_replicated: false,
+        }
+    }
+
+    /// Host-DRAM tier over PCIe Gen4-ish, peer-replicated by default.
+    #[must_use]
+    pub fn host_ram() -> Self {
+        Self {
+            kind: TierKind::HostRam,
+            write_gbps: 25.0,
+            restore_gbps: 25.0,
+            peer_replicated: true,
+        }
+    }
+
+    /// Remote durable store at a per-rank share of fabric bandwidth.
+    #[must_use]
+    pub fn remote_store(gbps: f64) -> Self {
+        Self {
+            kind: TierKind::RemoteStore,
+            write_gbps: gbps,
+            restore_gbps: gbps,
+            peer_replicated: false,
+        }
+    }
+
+    /// Seconds to write `bytes` into this tier.
+    #[must_use]
+    pub fn write_s(&self, bytes: f64) -> f64 {
+        bytes / (self.write_gbps * 1e9)
+    }
+
+    /// Seconds to restore `bytes` out of this tier.
+    #[must_use]
+    pub fn restore_s(&self, bytes: f64) -> f64 {
+        bytes / (self.restore_gbps * 1e9)
+    }
+
+    /// Does a copy resident in this tier survive `failed`?
+    ///
+    /// * Device copies die with the GPU or its host; NIC/switch faults
+    ///   leave HBM intact.
+    /// * Host-RAM copies die with the host unless peer-replicated;
+    ///   they survive GPU, NIC and switch faults.
+    /// * Remote-store copies survive every modeled component.
+    #[must_use]
+    pub fn survives(&self, failed: FleetComponent) -> bool {
+        match self.kind {
+            TierKind::Device => {
+                matches!(failed, FleetComponent::Nic | FleetComponent::Switch)
+            }
+            TierKind::HostRam => match failed {
+                FleetComponent::Host => self.peer_replicated,
+                FleetComponent::Gpu | FleetComponent::Nic | FleetComponent::Switch => true,
+            },
+            TierKind::RemoteStore => true,
+        }
+    }
+}
+
+/// An ordered checkpoint pipeline: writes enter `tiers[0]` and drain
+/// toward the last tier. `synchronous` collapses the pipeline into one
+/// blocking write through every tier — the degenerate configuration the
+/// Young/Daly gate runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointStack {
+    /// Tiers, fastest (entry) first.
+    pub tiers: Vec<CheckpointTier>,
+    /// Block the job for the full pipeline instead of draining
+    /// asynchronously behind compute.
+    pub synchronous: bool,
+}
+
+impl CheckpointStack {
+    /// The production three-tier asynchronous pipeline:
+    /// device snapshot → peer-replicated host RAM → remote store.
+    #[must_use]
+    pub fn tiered() -> Self {
+        Self {
+            tiers: vec![
+                CheckpointTier::device(),
+                CheckpointTier::host_ram(),
+                CheckpointTier::remote_store(2.0),
+            ],
+            synchronous: false,
+        }
+    }
+
+    /// Degenerate single synchronous remote-store tier: the classic
+    /// checkpoint/restart regime `simulate_goodput` and the Young/Daly
+    /// analytic describe.
+    #[must_use]
+    pub fn single_sync_remote(gbps: f64) -> Self {
+        Self { tiers: vec![CheckpointTier::remote_store(gbps)], synchronous: true }
+    }
+
+    /// Structural validity: at least one tier, positive bandwidths.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiers.is_empty() {
+            return Err("checkpoint stack needs at least one tier".into());
+        }
+        for (i, t) in self.tiers.iter().enumerate() {
+            let bad = |g: f64| g <= 0.0 || g.is_nan();
+            if bad(t.write_gbps) || bad(t.restore_gbps) {
+                return Err(format!(
+                    "tier {i} ({:?}) needs positive write/restore bandwidth",
+                    t.kind
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Seconds the job stalls per checkpoint: the full pipeline when
+    /// synchronous, only the entry-tier write when asynchronous.
+    #[must_use]
+    pub fn blocking_write_s(&self, bytes: f64) -> f64 {
+        if self.synchronous {
+            self.tiers.iter().map(|t| t.write_s(bytes)).sum()
+        } else {
+            self.tiers.first().map_or(0.0, |t| t.write_s(bytes))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_matrix_matches_the_medium() {
+        let dev = CheckpointTier::device();
+        assert!(!dev.survives(FleetComponent::Gpu));
+        assert!(!dev.survives(FleetComponent::Host));
+        assert!(dev.survives(FleetComponent::Nic));
+        assert!(dev.survives(FleetComponent::Switch));
+
+        let mut host = CheckpointTier::host_ram();
+        assert!(host.survives(FleetComponent::Gpu));
+        assert!(host.survives(FleetComponent::Host), "peer-replicated by default");
+        host.peer_replicated = false;
+        assert!(!host.survives(FleetComponent::Host));
+        assert!(host.survives(FleetComponent::Switch));
+
+        let remote = CheckpointTier::remote_store(2.0);
+        for c in FleetComponent::ALL {
+            assert!(remote.survives(c));
+        }
+    }
+
+    #[test]
+    fn async_stack_blocks_only_on_the_entry_tier() {
+        let stack = CheckpointStack::tiered();
+        let bytes = 100e9;
+        let entry_only = stack.tiers[0].write_s(bytes);
+        assert!((stack.blocking_write_s(bytes) - entry_only).abs() < 1e-12);
+        // Full pipeline is far slower than the snapshot.
+        let sync = CheckpointStack { synchronous: true, ..stack };
+        assert!(sync.blocking_write_s(bytes) > 100.0 * entry_only);
+    }
+
+    #[test]
+    fn write_restore_times_follow_bandwidth() {
+        let t = CheckpointTier::remote_store(2.0);
+        assert!((t.write_s(10e9) - 5.0).abs() < 1e-12);
+        assert!((t.restore_s(4e9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_broken_stacks() {
+        assert!(CheckpointStack { tiers: vec![], synchronous: true }.validate().is_err());
+        let mut s = CheckpointStack::single_sync_remote(2.0);
+        assert!(s.validate().is_ok());
+        s.tiers[0].write_gbps = 0.0;
+        assert!(s.validate().is_err());
+        s.tiers[0].write_gbps = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+}

@@ -12,6 +12,39 @@
 use dsv3_model::availability::AvailabilityModel;
 use serde::{Deserialize, Serialize};
 
+/// Why a goodput simulation request was rejected (the lib-code
+/// replacement for the asserts this API once carried: callers get a
+/// value to handle instead of a panic path).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrainingSimError {
+    /// The checkpoint interval must be a positive number of seconds.
+    NonPositiveInterval {
+        /// The rejected interval.
+        interval_s: f64,
+    },
+    /// The failure timeline must be sorted ascending; `index` is the
+    /// first position whose time precedes its predecessor.
+    UnsortedTimeline {
+        /// First out-of-order position.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for TrainingSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainingSimError::NonPositiveInterval { interval_s } => {
+                write!(f, "checkpoint interval must be positive, got {interval_s} s")
+            }
+            TrainingSimError::UnsortedTimeline { index } => {
+                write!(f, "failure timeline must be sorted ascending (violated at index {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainingSimError {}
+
 /// Outcome of one simulated training run under failures.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainingGoodput {
@@ -40,18 +73,22 @@ pub struct TrainingGoodput {
 /// whichever is later in wall clock — so short timelines still yield a
 /// well-defined (optimistic) goodput.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `interval_s` is not positive or `failures_s` is unsorted.
-#[must_use]
+/// [`TrainingSimError`] if `interval_s` is not positive or `failures_s`
+/// is unsorted.
 pub fn simulate_goodput(
     av: &AvailabilityModel,
     interval_s: f64,
     failures_s: &[f64],
     horizon_s: f64,
-) -> TrainingGoodput {
-    assert!(interval_s > 0.0, "interval must be positive");
-    assert!(failures_s.windows(2).all(|w| w[0] <= w[1]), "failure timeline must be sorted");
+) -> Result<TrainingGoodput, TrainingSimError> {
+    if interval_s <= 0.0 || interval_s.is_nan() {
+        return Err(TrainingSimError::NonPositiveInterval { interval_s });
+    }
+    if let Some(i) = failures_s.windows(2).position(|w| w[0] > w[1]) {
+        return Err(TrainingSimError::UnsortedTimeline { index: i + 1 });
+    }
     let segment_s = interval_s + av.checkpoint_write_s;
     let mut wall = 0.0f64;
     let mut useful = 0.0f64;
@@ -93,7 +130,7 @@ pub fn simulate_goodput(
     }
 
     let goodput = if wall > 0.0 { useful / wall } else { 0.0 };
-    TrainingGoodput {
+    Ok(TrainingGoodput {
         interval_s,
         useful_s: useful,
         wall_s: wall,
@@ -101,7 +138,7 @@ pub fn simulate_goodput(
         failures,
         checkpoints,
         analytic_goodput: av.goodput_fraction(interval_s),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -132,7 +169,7 @@ mod tests {
     fn no_failures_gives_segment_efficiency() {
         let av = model();
         let tau = av.young_daly_interval_s();
-        let g = simulate_goodput(&av, tau, &[], 1_000_000.0);
+        let g = simulate_goodput(&av, tau, &[], 1_000_000.0).unwrap();
         assert_eq!(g.failures, 0);
         let expected = tau / (tau + av.checkpoint_write_s);
         assert!((g.goodput - expected).abs() < 1e-9);
@@ -144,7 +181,7 @@ mod tests {
         let tau = av.young_daly_interval_s();
         let horizon = av.mtbf_s * 2_000.0;
         let fails = poisson_failures(99, av.mtbf_s, horizon * 4.0);
-        let g = simulate_goodput(&av, tau, &fails, horizon);
+        let g = simulate_goodput(&av, tau, &fails, horizon).unwrap();
         assert!(g.failures > 500, "need a statistically meaningful run");
         let rel = (g.goodput - g.analytic_goodput).abs() / g.analytic_goodput;
         assert!(rel < 0.05, "rel err {rel} (sim {} vs analytic {})", g.goodput, g.analytic_goodput);
@@ -157,17 +194,40 @@ mod tests {
         let horizon = av.mtbf_s * 500.0;
         let sparse = poisson_failures(7, av.mtbf_s * 4.0, horizon * 4.0);
         let dense = poisson_failures(7, av.mtbf_s / 4.0, horizon * 4.0);
-        let gs = simulate_goodput(&av, tau, &sparse, horizon);
-        let gd = simulate_goodput(&av, tau, &dense, horizon);
+        let gs = simulate_goodput(&av, tau, &sparse, horizon).unwrap();
+        let gd = simulate_goodput(&av, tau, &dense, horizon).unwrap();
         assert!(gs.goodput > gd.goodput);
+    }
+
+    #[test]
+    fn bad_inputs_are_errors_not_panics() {
+        let av = model();
+        assert_eq!(
+            simulate_goodput(&av, 0.0, &[], 10.0),
+            Err(TrainingSimError::NonPositiveInterval { interval_s: 0.0 })
+        );
+        assert_eq!(
+            simulate_goodput(&av, -5.0, &[], 10.0),
+            Err(TrainingSimError::NonPositiveInterval { interval_s: -5.0 })
+        );
+        assert!(matches!(
+            simulate_goodput(&av, f64::NAN, &[], 10.0),
+            Err(TrainingSimError::NonPositiveInterval { .. })
+        ));
+        assert_eq!(
+            simulate_goodput(&av, 60.0, &[3.0, 1.0, 2.0], 10.0),
+            Err(TrainingSimError::UnsortedTimeline { index: 1 })
+        );
+        let msg = TrainingSimError::UnsortedTimeline { index: 1 }.to_string();
+        assert!(msg.contains("index 1"), "{msg}");
     }
 
     #[test]
     fn simulation_is_deterministic() {
         let av = model();
         let fails = poisson_failures(3, av.mtbf_s, av.mtbf_s * 100.0);
-        let a = simulate_goodput(&av, 600.0, &fails, av.mtbf_s * 50.0);
-        let b = simulate_goodput(&av, 600.0, &fails, av.mtbf_s * 50.0);
+        let a = simulate_goodput(&av, 600.0, &fails, av.mtbf_s * 50.0).unwrap();
+        let b = simulate_goodput(&av, 600.0, &fails, av.mtbf_s * 50.0).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -1,0 +1,110 @@
+//! Property-based tests for the fleet-scale resilience walker.
+
+use dsv3_faults::{
+    generate_failures, simulate_resilience, CheckpointBytes, CheckpointStack, CheckpointTier,
+    ComponentMtbf, FleetComponent, FleetFailure, FleetSpec, RecoveryKind, ResilienceConfig,
+    SdcConfig,
+};
+use proptest::prelude::*;
+
+fn cfg_base(interval_s: f64, stack: CheckpointStack, horizon_s: f64) -> ResilienceConfig {
+    ResilienceConfig {
+        interval_s,
+        ckpt: CheckpointBytes { write_bytes: 30e9, restore_bytes: 30e9 },
+        stack,
+        recovery: RecoveryKind::ColdRestart,
+        sdc: SdcConfig::disabled(),
+        restart_s: 180.0,
+        repair_s: 1_800.0,
+        gpus_per_failure: 8,
+        horizon_s,
+        seed: 0,
+    }
+}
+
+fn arb_component() -> impl Strategy<Value = FleetComponent> {
+    (0usize..4).prop_map(|i| FleetComponent::ALL[i])
+}
+
+proptest! {
+    /// No failures ⇒ nothing is ever lost and goodput sits exactly on
+    /// the checkpoint-overhead bound the report carries.
+    #[test]
+    fn empty_timeline_is_overhead_only(
+        interval_s in 60.0..1_800.0f64,
+        gb in 1.0..64.0f64,
+        sync in 0u8..2,
+    ) {
+        let stack = if sync == 1 {
+            CheckpointStack::single_sync_remote(2.0)
+        } else {
+            CheckpointStack::tiered()
+        };
+        let mut cfg = cfg_base(interval_s, stack, 2e6);
+        cfg.ckpt = CheckpointBytes { write_bytes: gb * 1e9, restore_bytes: gb * 1e9 };
+        let r = simulate_resilience(&cfg, &[]).unwrap();
+        prop_assert_eq!(r.failures, 0);
+        prop_assert!(r.waste.lost_work_s.abs() < 1e-9);
+        prop_assert!(
+            (r.goodput - r.no_fault_goodput).abs() < 1e-6,
+            "goodput {} vs bound {}", r.goodput, r.no_fault_goodput
+        );
+    }
+
+    /// With a well-stocked pool and a swap cheaper than a reschedule,
+    /// hot spares never yield lower goodput than cold restart on the
+    /// same seed, plan, and failure timeline.
+    #[test]
+    fn spare_pool_never_loses_to_cold_restart(
+        seed in 0u64..64,
+        gpus_k in 2usize..32,
+        provision_s in 10.0..180.0f64,
+    ) {
+        let spec = FleetSpec::with_gpus(gpus_k * 1_024);
+        let horizon_s = 86_400.0 * 14.0;
+        let failures = generate_failures(&spec, &ComponentMtbf::production(), seed, horizon_s * 2.0);
+        let cold = cfg_base(600.0, CheckpointStack::tiered(), horizon_s);
+        let spare = ResilienceConfig {
+            recovery: RecoveryKind::SparePool { spares: 100_000, provision_s },
+            ..cold.clone()
+        };
+        let r_cold = simulate_resilience(&cold, &failures).unwrap();
+        let r_spare = simulate_resilience(&spare, &failures).unwrap();
+        prop_assert!(
+            r_spare.goodput >= r_cold.goodput - 1e-9,
+            "spare {} < cold {} (seed {seed}, {} GPUs)",
+            r_spare.goodput, r_cold.goodput, spec.gpus
+        );
+    }
+
+    /// Appending deeper (more durable) tiers to the same entry tier
+    /// never loses *more* useful work on a single failure: the deeper
+    /// stack's surviving checkpoint is at least as fresh.
+    #[test]
+    fn deeper_stacks_lose_no_more_work_per_failure(
+        interval_s in 120.0..1_800.0f64,
+        fail_at_s in 5_000.0..200_000.0f64,
+        component in arb_component(),
+    ) {
+        let device_only = CheckpointStack {
+            tiers: vec![CheckpointTier::device()],
+            synchronous: false,
+        };
+        let plus_host = CheckpointStack {
+            tiers: vec![CheckpointTier::device(), CheckpointTier::host_ram()],
+            synchronous: false,
+        };
+        let plus_remote = CheckpointStack::tiered();
+        let failure = [FleetFailure { at_s: fail_at_s, component }];
+        let horizon_s = fail_at_s + 50_000.0;
+        let lost = |stack: CheckpointStack| {
+            let cfg = cfg_base(interval_s, stack, horizon_s);
+            simulate_resilience(&cfg, &failure).unwrap().waste.lost_work_s
+        };
+        let l1 = lost(device_only);
+        let l2 = lost(plus_host);
+        let l3 = lost(plus_remote);
+        prop_assert!(l2 <= l1 + 1e-9, "device+host lost {l2} > device-only {l1}");
+        prop_assert!(l3 <= l2 + 1e-9, "three-tier lost {l3} > device+host {l2}");
+    }
+}

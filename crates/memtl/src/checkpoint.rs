@@ -1,0 +1,198 @@
+//! Checkpoint sizing: what a full-state checkpoint weighs under a plan.
+//!
+//! The resilience simulator in `dsv3-faults` prices checkpoint writes and
+//! restores from *bytes*, not from a hand-picked `checkpoint_write_s`
+//! constant. This module derives those bytes from the same per-stage
+//! parameter model the timeline walker uses, under the plan's schedule
+//! (DualPipe ranks hold two stages), ZeRO stage, and precision:
+//!
+//! - **Weights** — the FP8/BF16 training weights a restoring rank must
+//!   have resident: `params × weight_bytes`, divided across `zero_dp`
+//!   only under ZeRO-3. Under Z1/Z2 the weights are replicated, so one
+//!   checkpoint needs only a `1/zero_dp` slice *written* per rank.
+//! - **Optimizer shard** — FP32 master weights plus Adam moments
+//!   (`optimizer_bytes` per param), always sharded `1/zero_dp`. The
+//!   shard is persisted whether it lives in HBM or (offloaded) in host
+//!   DRAM — offload moves the bytes, not the obligation.
+//! - **Gradients** — not checkpointed: a restart replays the partial
+//!   step, so persistent gradient buffers die with the failure.
+//!
+//! `write_bytes` is therefore a rank's *unique contribution* to one
+//! checkpoint (weights slice + optimizer shard) and `restore_bytes` is
+//! what the rank must read back to resume (full resident weights +
+//! optimizer shard).
+
+use crate::footprint::stage_footprint;
+use crate::plan::{MemPlan, ScheduleKind, ZeroStage};
+use dsv3_model::config::ModelConfig;
+use dsv3_units::bytes_to_gb;
+use serde::{Deserialize, Serialize};
+
+/// Checkpoint bytes of one pipeline rank (one GPU; EP/TP division is
+/// already inside the per-stage parameter counts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankCheckpoint {
+    /// Pipeline rank.
+    pub rank: usize,
+    /// Training weights resident on this rank (bytes): what a restore
+    /// must deliver back into HBM.
+    pub weights_bytes: f64,
+    /// This rank's optimizer-state shard (bytes): FP32 master + moments,
+    /// `1/zero_dp` of the held parameters.
+    pub optimizer_shard_bytes: f64,
+    /// Unique bytes this rank contributes to one checkpoint: its
+    /// `1/zero_dp` weights slice plus its optimizer shard.
+    pub write_bytes: f64,
+    /// Bytes this rank reads to resume: resident weights plus the
+    /// optimizer shard.
+    pub restore_bytes: f64,
+}
+
+/// Checkpoint sizing for a whole pipeline under one plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointFootprint {
+    /// Per-pipeline-rank byte counts.
+    pub ranks: Vec<RankCheckpoint>,
+    /// Largest per-rank write (bytes) — the straggler that paces a
+    /// synchronous checkpoint or the first tier of an async drain.
+    pub max_write_bytes: f64,
+    /// Largest per-rank restore (bytes) — what paces a recovery.
+    pub max_restore_bytes: f64,
+    /// Bytes a remote store ingests per complete checkpoint, summed over
+    /// the whole `pp × zero_dp` grid (GB). Every GPU persists its own
+    /// write slice, so DualPipe's mirror-held stages and EP-replicated
+    /// expert shards are counted once per holder, exactly as the
+    /// timeline's resident-byte model counts them.
+    pub job_ingest_gb: f64,
+}
+
+/// Pipeline stages held by rank `r` under the plan's schedule: 1F1B rank
+/// `r` holds stage `r`; DualPipe rank `r` holds `r` and its mirror
+/// `pp − 1 − r` (matching the timeline walker's floor model).
+fn held_stages(plan: &MemPlan, r: usize) -> Vec<usize> {
+    match plan.schedule {
+        ScheduleKind::OneFOneB => vec![r],
+        ScheduleKind::DualPipe => {
+            let mirror = plan.pp - 1 - r;
+            if mirror == r {
+                vec![r]
+            } else {
+                vec![r, mirror]
+            }
+        }
+    }
+}
+
+/// Size one full-state checkpoint of `cfg` under `plan`.
+///
+/// Shares the parameter model of [`crate::timeline::simulate`]: per-stage
+/// resident params (EP/TP applied, embeddings on the edge stages), summed
+/// over the rank's held stages.
+#[must_use]
+pub fn checkpoint_footprint(cfg: &ModelConfig, plan: &MemPlan) -> CheckpointFootprint {
+    let dp = plan.zero_dp as f64;
+    let weight_shard = if matches!(plan.zero_stage, ZeroStage::Z3) { dp } else { 1.0 };
+    let mut ranks = Vec::with_capacity(plan.pp);
+    let mut max_write_bytes = 0.0f64;
+    let mut max_restore_bytes = 0.0f64;
+    let mut job_ingest = 0.0f64;
+    let stage_params: Vec<f64> =
+        (0..plan.pp).map(|s| stage_footprint(cfg, plan, s).params).collect();
+    for r in 0..plan.pp {
+        let params: f64 = held_stages(plan, r).iter().map(|&s| stage_params[s]).sum();
+        let weights_bytes = params * plan.weight_bytes / weight_shard;
+        let optimizer_shard_bytes = params * plan.optimizer_bytes / dp;
+        // Under Z3 the resident weights *are* this rank's unique slice;
+        // under Z1/Z2 replication leaves each rank a 1/dp slice to write.
+        let write_bytes = params * plan.weight_bytes / dp + optimizer_shard_bytes;
+        let restore_bytes = weights_bytes + optimizer_shard_bytes;
+        max_write_bytes = max_write_bytes.max(write_bytes);
+        max_restore_bytes = max_restore_bytes.max(restore_bytes);
+        job_ingest += write_bytes * dp;
+        ranks.push(RankCheckpoint {
+            rank: r,
+            weights_bytes,
+            optimizer_shard_bytes,
+            write_bytes,
+            restore_bytes,
+        });
+    }
+    CheckpointFootprint {
+        ranks,
+        max_write_bytes,
+        max_restore_bytes,
+        job_ingest_gb: bytes_to_gb(job_ingest),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv3_model::zoo;
+
+    fn plan() -> MemPlan {
+        MemPlan::deepseek_v3_production()
+    }
+
+    #[test]
+    fn production_checkpoint_is_optimizer_dominated() {
+        let cfg = zoo::deepseek_v3();
+        let f = checkpoint_footprint(&cfg, &plan());
+        assert_eq!(f.ranks.len(), 16);
+        for r in &f.ranks {
+            // FP8 weights (1 B/param) vs 12 B/param optimizer over 128-way
+            // ZeRO-1: the weights slice is 1/12 of the optimizer shard.
+            assert!(r.optimizer_shard_bytes > 5.0 * r.write_bytes / 6.0, "{r:?}");
+            assert!(r.restore_bytes > r.write_bytes, "replicated weights read > slice write");
+        }
+        assert!(f.max_write_bytes > 0.0 && f.max_restore_bytes > f.max_write_bytes);
+    }
+
+    #[test]
+    fn job_ingest_sums_the_grid() {
+        // The ingest volume is exactly every GPU's write slice: per
+        // pipeline rank, `zero_dp` replicas each persist `write_bytes`.
+        let cfg = zoo::deepseek_v3();
+        let f = checkpoint_footprint(&cfg, &plan());
+        let expect: f64 = f.ranks.iter().map(|r| r.write_bytes * 128.0).sum();
+        assert!((f.job_ingest_gb - bytes_to_gb(expect)).abs() < 1e-9);
+        // Scale sanity: hundreds of GB for the EP/TP-resident V3 state.
+        assert!(f.job_ingest_gb > 100.0 && f.job_ingest_gb < 10_000.0, "{}", f.job_ingest_gb);
+    }
+
+    #[test]
+    fn zero3_shards_the_restore_but_not_the_write() {
+        let cfg = zoo::deepseek_v3();
+        let z1 = checkpoint_footprint(&cfg, &plan());
+        let z3 = checkpoint_footprint(&cfg, &MemPlan { zero_stage: ZeroStage::Z3, ..plan() });
+        assert!(z3.max_restore_bytes < z1.max_restore_bytes, "Z3 restores a 1/dp weight shard");
+        for (a, b) in z1.ranks.iter().zip(&z3.ranks) {
+            assert!((a.write_bytes - b.write_bytes).abs() < 1e-6, "unique slice is stage-free");
+        }
+    }
+
+    #[test]
+    fn dualpipe_edge_ranks_carry_two_stages() {
+        let cfg = zoo::deepseek_v3();
+        let dual = checkpoint_footprint(&cfg, &plan());
+        let single =
+            checkpoint_footprint(&cfg, &MemPlan { schedule: ScheduleKind::OneFOneB, ..plan() });
+        // Rank 0 under DualPipe holds stages 0 and 15; under 1F1B only 0.
+        assert!(dual.ranks[0].restore_bytes > single.ranks[0].restore_bytes);
+        // Every stage is mirror-held by two rank groups under DualPipe
+        // (pp = 16 is even), so the grid persists each slice twice.
+        assert!((dual.job_ingest_gb / single.job_ingest_gb - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offload_does_not_shrink_the_checkpoint() {
+        use crate::plan::Offload;
+        let cfg = zoo::deepseek_v3();
+        let hbm = checkpoint_footprint(&cfg, &plan());
+        let off = checkpoint_footprint(
+            &cfg,
+            &MemPlan { offload: Offload::OptimizerCpu { pcie_gbps: 32.0 }, ..plan() },
+        );
+        assert_eq!(hbm, off, "offload moves optimizer bytes, not the durability obligation");
+    }
+}

@@ -25,16 +25,20 @@
 //!   telemetry-traced [`simulate_traced`].
 //! - [`analytic`]: closed 1F1B forms and the DualPipe peak bound.
 //! - [`frontier`]: "largest model that fits N × 80 GB" search.
+//! - [`checkpoint`]: full-state checkpoint sizing (per-rank write and
+//!   restore bytes) for the `dsv3-faults` resilience simulator.
 
 #![forbid(unsafe_code)]
 
 pub mod analytic;
+pub mod checkpoint;
 pub mod footprint;
 pub mod frontier;
 pub mod plan;
 pub mod timeline;
 
 pub use analytic::{analytic_1f1b, analytic_dualpipe_bound, max_rel_err, AnalyticRank};
+pub use checkpoint::{checkpoint_footprint, CheckpointFootprint, RankCheckpoint};
 pub use footprint::{
     layer_footprint, stage_footprint, stage_layers, LayerFootprint, StageFootprint,
 };

@@ -58,6 +58,23 @@ impl AvailabilityModel {
     pub fn optimal_goodput(&self) -> f64 {
         self.goodput_fraction(self.young_daly_interval_s())
     }
+
+    /// First-order expected useful seconds lost per failure at a given
+    /// interval: the failure lands uniformly inside the `τ + C` segment
+    /// (good approximation while `τ ≪ MTBF`), so half a segment on
+    /// average. The resilience simulator reports its *measured*
+    /// wasted-work-per-failure against this reference.
+    #[must_use]
+    pub fn expected_rework_s(&self, interval_s: f64) -> f64 {
+        (interval_s + self.checkpoint_write_s) / 2.0
+    }
+
+    /// First-order expected time to recovery per failure: the restart
+    /// cost plus the rework to regain the pre-failure progress point.
+    #[must_use]
+    pub fn expected_ettr_s(&self, interval_s: f64) -> f64 {
+        self.restart_s + self.expected_rework_s(interval_s)
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +109,14 @@ mod tests {
         let tau = 3_600.0;
         let ideal = tau / (tau + 60.0);
         assert!((av.goodput_fraction(tau) - ideal).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ettr_combines_restart_and_half_a_segment() {
+        let av = model();
+        let tau = av.young_daly_interval_s();
+        assert!((av.expected_rework_s(tau) - (tau + 60.0) / 2.0).abs() < 1e-12);
+        assert!((av.expected_ettr_s(tau) - (180.0 + (tau + 60.0) / 2.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Elastic shrink: re-plan the training grid after losing GPUs.
+//!
+//! When a node dies and no spare is available, the alternative to idling
+//! the whole job is to drop the failed data-parallel lanes, redistribute
+//! their microbatches over the survivors, and keep training at a degraded
+//! step time until backfill. This module prices that re-plan with the
+//! same Table 4 chunk-time machinery the healthy step uses: the global
+//! batch is preserved (tokens per step do not change under shrink), so
+//! the degraded step time follows from the same FLOPs spread over fewer
+//! GPUs, plus the bubble of the re-balanced microbatch count.
+
+use crate::schedule::{analytic_step_time, bubble_dualpipe};
+use crate::trainstep::{chunk_times, TrainStepConfig};
+use serde::{Deserialize, Serialize};
+
+/// A degraded-but-running plan after an elastic shrink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShrinkPlan {
+    /// GPUs the re-planned grid actually uses (`width × pp`).
+    pub gpus_used: usize,
+    /// Data-parallel lanes dropped relative to the healthy grid.
+    pub dropped_lanes: usize,
+    /// Expert-parallel group size after the re-plan: the largest size
+    /// ≤ the healthy EP that divides the surviving stage width.
+    pub ep: usize,
+    /// Microbatches per pipeline after redistributing the dropped lanes'
+    /// share (global batch preserved).
+    pub microbatches: usize,
+    /// Degraded step time, seconds.
+    pub step_time_s: f64,
+    /// Degraded throughput relative to healthy (`healthy step time ÷
+    /// degraded step time`, in `(0, 1]` — same tokens per step, slower).
+    pub throughput_factor: f64,
+}
+
+/// Full step time of a config under the DualPipe analytic schedule.
+fn step_time_s(cfg: &TrainStepConfig) -> f64 {
+    let times = chunk_times(cfg);
+    let bubble = bubble_dualpipe(cfg.pp, times, 1.0);
+    analytic_step_time(cfg.microbatches, times, bubble) + cfg.optimizer_seconds
+}
+
+/// Re-plan `cfg`'s grid onto `available_gpus`, dropping whole
+/// data-parallel lanes (one GPU per pipeline stage each) and shrinking
+/// EP to the largest group that still divides the surviving width.
+///
+/// Returns `None` when the survivors cannot host even one lane of the
+/// `pp`-deep pipeline, when the config is degenerate (`gpus < pp`), or
+/// when nothing was actually lost (`available_gpus ≥ cfg.gpus` — the
+/// healthy plan stands).
+#[must_use]
+pub fn replan_shrink(
+    cfg: &TrainStepConfig,
+    ep: usize,
+    available_gpus: usize,
+) -> Option<ShrinkPlan> {
+    let width = cfg.gpus / cfg.pp;
+    if width == 0 || ep == 0 || available_gpus >= cfg.gpus {
+        return None;
+    }
+    let new_width = available_gpus / cfg.pp;
+    if new_width == 0 {
+        return None;
+    }
+    let gpus_used = new_width * cfg.pp;
+    // The dropped lanes' microbatches move to the survivors; ceil keeps
+    // the global batch at least intact (the last microbatch may run
+    // light, which the analytic step time prices as full — conservative).
+    let microbatches = (cfg.microbatches * width).div_ceil(new_width);
+    let new_ep = (1..=ep.min(new_width)).rev().find(|e| new_width.is_multiple_of(*e))?;
+    let degraded = TrainStepConfig { gpus: gpus_used, microbatches, ..cfg.clone() };
+    let healthy_s = step_time_s(cfg);
+    let degraded_s = step_time_s(&degraded);
+    Some(ShrinkPlan {
+        gpus_used,
+        dropped_lanes: width - new_width,
+        ep: new_ep,
+        microbatches,
+        step_time_s: degraded_s,
+        throughput_factor: healthy_s / degraded_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v3() -> TrainStepConfig {
+        TrainStepConfig::deepseek_v3(1.0)
+    }
+
+    #[test]
+    fn losing_one_lane_costs_about_one_lane_of_throughput() {
+        let cfg = v3();
+        // 2048 GPUs, PP16 → 128 lanes; lose one lane's 16 GPUs.
+        let p = replan_shrink(&cfg, 64, 2048 - 16).expect("re-plan");
+        assert_eq!(p.gpus_used, 2032);
+        assert_eq!(p.dropped_lanes, 1);
+        assert!(p.microbatches >= 120);
+        assert!(p.throughput_factor < 1.0);
+        assert!(p.throughput_factor > 126.0 / 128.0, "factor {}", p.throughput_factor);
+    }
+
+    #[test]
+    fn ep_shrinks_to_divide_the_surviving_width() {
+        let cfg = v3();
+        // 127 lanes survive: 64 does not divide 127, the largest divisor
+        // of 127 (prime) below 64 is 1.
+        let p = replan_shrink(&cfg, 64, 2048 - 16).expect("re-plan");
+        assert_eq!(p.ep, 1);
+        // 96 lanes: largest divisor ≤ 64 is 48.
+        let p = replan_shrink(&cfg, 64, 96 * 16).expect("re-plan");
+        assert_eq!(p.ep, 48);
+    }
+
+    #[test]
+    fn deeper_losses_degrade_monotonically() {
+        let cfg = v3();
+        let mut last = 1.0f64;
+        for lost_lanes in [1usize, 8, 32, 64] {
+            let p = replan_shrink(&cfg, 64, 2048 - lost_lanes * 16).expect("re-plan");
+            assert!(p.throughput_factor < last, "lanes {lost_lanes}: {}", p.throughput_factor);
+            last = p.throughput_factor;
+        }
+    }
+
+    #[test]
+    fn no_loss_or_total_loss_yields_none() {
+        let cfg = v3();
+        assert!(replan_shrink(&cfg, 64, 2048).is_none(), "nothing lost");
+        assert!(replan_shrink(&cfg, 64, 4096).is_none(), "grew, not shrank");
+        assert!(replan_shrink(&cfg, 64, 15).is_none(), "cannot host one lane");
+    }
+}

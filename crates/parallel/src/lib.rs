@@ -12,14 +12,18 @@
 //!   vs Megatron conventions).
 //! * [`trainstep`] — the Table 4 harness: compose chunk times, a schedule
 //!   and an optimizer step into the paper's training metrics.
+//! * [`elastic`] — shrink re-planning after GPU loss: drop data-parallel
+//!   lanes, rebalance microbatches, price the degraded step time.
 
 #![forbid(unsafe_code)]
 
 pub mod dualpipe;
+pub mod elastic;
 pub mod memory;
 pub mod mfu;
 pub mod schedule;
 pub mod trainstep;
 
+pub use elastic::{replan_shrink, ShrinkPlan};
 pub use schedule::{ChunkEvent, ChunkKind, ChunkTimes, PipelineOutcome};
 pub use trainstep::{chunk_times, table4, Table4Metrics, TrainStepConfig};

@@ -80,7 +80,8 @@ fn main() {
             crash_repair_ms: 0.0,
             ..FaultPlanConfig::default()
         });
-        let g = simulate_goodput(&av, tau, &timeline.crash_times_s(), horizon_s);
+        let g = simulate_goodput(&av, tau, &timeline.crash_times_s(), horizon_s)
+            .expect("positive interval and sorted seeded timeline");
         println!(
             "{mtbf_h:>7.1}h  {tau:>7.0}s  {:>9.2}% {:>9.2}% {:>8.2}%",
             g.analytic_goodput * 100.0,

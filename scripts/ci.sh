@@ -58,10 +58,20 @@ trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp" "$overload_tmp"' EXIT
 ./target/release/dsv3 overload --trace-out "$overload_tmp" > /dev/null
 ./target/release/dsv3 check-trace "$overload_tmp"
 
+echo "==> resilience smoke: dsv3 resilience --json + --trace-out round-trip"
+resilience_tmp="$(mktemp /tmp/dsv3_resilience.XXXXXX.json)"
+resilience_metrics_tmp="$(mktemp /tmp/dsv3_resilience_metrics.XXXXXX.json)"
+trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp" "$overload_tmp" "$resilience_tmp" "$resilience_metrics_tmp"' EXIT
+./target/release/dsv3 resilience --json > /dev/null
+./target/release/dsv3 resilience --trace-out "$resilience_tmp" > /dev/null
+./target/release/dsv3 check-trace "$resilience_tmp"
+./target/release/dsv3 resilience --metrics-out "$resilience_metrics_tmp" > /dev/null
+./target/release/dsv3 check-metrics "$resilience_metrics_tmp"
+
 echo "==> metrics smoke: dsv3 serving --metrics-out emits a valid metrics document"
 metrics_tmp="$(mktemp /tmp/dsv3_metrics.XXXXXX.json)"
 incidents_tmp="$(mktemp /tmp/dsv3_incidents.XXXXXX.json)"
-trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp" "$overload_tmp" "$metrics_tmp" "$incidents_tmp"' EXIT
+trap 'rm -f "$trace_tmp" "$chaos_tmp" "$memtl_tmp" "$overload_tmp" "$resilience_tmp" "$resilience_metrics_tmp" "$metrics_tmp" "$incidents_tmp"' EXIT
 ./target/release/dsv3 serving --metrics-out "$metrics_tmp" > /dev/null
 ./target/release/dsv3 check-metrics "$metrics_tmp"
 
@@ -74,6 +84,9 @@ scripts/bench_gate.sh run watch
 
 echo "==> bench gate: lint scan + parser throughput, no >25% regression"
 scripts/bench_gate.sh run lint
+
+echo "==> bench gate: degenerate resilience walk within 1.2x of simulate_goodput"
+scripts/bench_gate.sh run resilience
 
 echo "==> examples build"
 cargo build --release --offline --examples

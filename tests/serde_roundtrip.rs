@@ -125,7 +125,9 @@ fn fault_types_roundtrip() {
     roundtrip(&RecoveryPolicy::hedged());
     let av = AvailabilityModel { mtbf_s: 3_600.0, checkpoint_write_s: 60.0, restart_s: 180.0 };
     roundtrip(&av);
-    roundtrip(&simulate_goodput(&av, av.young_daly_interval_s(), &[500.0, 4_000.0], 10_000.0));
+    let goodput = simulate_goodput(&av, av.young_daly_interval_s(), &[500.0, 4_000.0], 10_000.0)
+        .expect("valid interval and sorted timeline");
+    roundtrip(&goodput);
 
     // Flap schedules from collectives::failures.
     let flap = PlaneFlap { plane: 3, down_at_ms: 100.0, repair_ms: 50.0 };
@@ -271,6 +273,88 @@ fn memtl_types_roundtrip() {
 
     // The registry experiment's full report.
     roundtrip(&mem_timeline::run());
+}
+
+#[test]
+fn resilience_types_roundtrip() {
+    use dsv3_core::experiments::resilience;
+    use dsv3_core::faults::{
+        generate_failures, simulate_resilience, CheckpointBytes, CheckpointStack, CheckpointTier,
+        ComponentMtbf, FleetComponent, FleetFailure, FleetSpec, RecoveryKind, ResilienceConfig,
+        ResilienceError, SdcConfig, TrainingSimError,
+    };
+    use dsv3_core::parallel::TrainStepConfig;
+
+    // Tier specs: every stock tier plus both stack constructors.
+    for tier in
+        [CheckpointTier::device(), CheckpointTier::host_ram(), CheckpointTier::remote_store(2.0)]
+    {
+        roundtrip(&tier);
+    }
+    roundtrip(&CheckpointStack::tiered());
+    roundtrip(&CheckpointStack::single_sync_remote(20.0));
+    roundtrip(&CheckpointBytes { write_bytes: 0.53e9, restore_bytes: 5.73e9 });
+
+    // Recovery policies, all variants (ElasticShrink carries the grid).
+    roundtrip(&RecoveryKind::ColdRestart);
+    roundtrip(&RecoveryKind::SparePool { spares: 32, provision_s: 30.0 });
+    roundtrip(&RecoveryKind::ElasticShrink {
+        replan_s: 60.0,
+        train: Box::new(TrainStepConfig::deepseek_v3(1.0)),
+        ep: 64,
+    });
+
+    // SDC knobs. Every rate must be finite here: JSON has no Infinity,
+    // so the disabled() (INFINITY-MTBF) form is not JSON-representable.
+    roundtrip(&SdcConfig {
+        mtbf_s: 86_400.0,
+        detection_mean_s: 7_200.0,
+        verify_every: 20,
+        verify_cost_s: 30.0,
+    });
+
+    // Fleet MTBF table, shape, and a timeline slice.
+    roundtrip(&ComponentMtbf::production());
+    let spec = FleetSpec::with_gpus(16_384);
+    roundtrip(&spec);
+    let failures = generate_failures(&spec, &ComponentMtbf::production(), 7, 86_400.0);
+    assert!(!failures.is_empty(), "a day at 16k GPUs should see failures");
+    roundtrip(&failures);
+    for c in FleetComponent::ALL {
+        roundtrip(&FleetFailure { at_s: 123.5, component: c });
+    }
+
+    // A full config and the report a real run produces.
+    let cfg = ResilienceConfig {
+        interval_s: 600.0,
+        ckpt: CheckpointBytes { write_bytes: 0.53e9, restore_bytes: 5.73e9 },
+        stack: CheckpointStack::tiered(),
+        recovery: RecoveryKind::SparePool { spares: 64, provision_s: 30.0 },
+        sdc: SdcConfig {
+            mtbf_s: 86_400.0 * 7.0,
+            detection_mean_s: 3_600.0,
+            verify_every: 10,
+            verify_cost_s: 30.0,
+        },
+        restart_s: 180.0,
+        repair_s: 21_600.0,
+        gpus_per_failure: 8,
+        horizon_s: 86_400.0 * 7.0,
+        seed: 11,
+    };
+    roundtrip(&cfg);
+    let report = simulate_resilience(&cfg, &failures).expect("valid config");
+    roundtrip(&report.waste);
+    roundtrip(&report);
+
+    // Error enums from both the legacy and the resilience walkers.
+    roundtrip(&TrainingSimError::NonPositiveInterval { interval_s: -1.0 });
+    roundtrip(&TrainingSimError::UnsortedTimeline { index: 3 });
+    roundtrip(&ResilienceError::NonPositiveInterval { interval_s: 0.0 });
+    roundtrip(&ResilienceError::InvalidStack { reason: "empty".into() });
+
+    // The registry experiment's full sweep report.
+    roundtrip(&resilience::run());
 }
 
 #[test]
